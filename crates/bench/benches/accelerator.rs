@@ -1,0 +1,62 @@
+//! Criterion benchmark of the accelerator-simulator hot paths: the Updater
+//! cache and a single simulated processing batch on each design point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgnn_bench::{build_model, harness_model_config, Dataset};
+use tgnn_core::OptimizationVariant;
+use tgnn_graph::EventBatch;
+use tgnn_hwsim::design::DesignConfig;
+use tgnn_hwsim::device::FpgaDevice;
+use tgnn_hwsim::{AcceleratorSim, Updater};
+
+fn bench_updater(c: &mut Criterion) {
+    let mut group = c.benchmark_group("updater_cache");
+    for &elimination in &[true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("receive_drain_256", elimination),
+            &elimination,
+            |b, &elim| {
+                b.iter(|| {
+                    let mut upd = Updater::new(16, 2, 3, elim);
+                    for i in 0..256u32 {
+                        upd.receive((i % 2) as usize, i % 40, i as f64, 572);
+                        if i % 3 == 0 {
+                            upd.commit_cycle();
+                        }
+                    }
+                    black_box(upd.drain())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulated_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accelerator_batch");
+    group.sample_size(10);
+    let graph = Dataset::Wikipedia.graph(0.01, 3);
+    let batch = EventBatch::new(graph.events()[..200].to_vec());
+
+    for (label, design, device) in [
+        ("u200", DesignConfig::u200(), FpgaDevice::alveo_u200()),
+        ("zcu104", DesignConfig::zcu104(), FpgaDevice::zcu104()),
+    ] {
+        group.bench_function(BenchmarkId::new("np_medium_200_edges", label), |b| {
+            b.iter_batched(
+                || {
+                    let cfg = harness_model_config(&graph, OptimizationVariant::NpMedium);
+                    let model = build_model(&graph, &cfg, 5);
+                    AcceleratorSim::new(model, graph.num_nodes(), device.clone(), design.clone())
+                },
+                |mut sim| black_box(sim.process_batch(&batch, &graph)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updater, bench_simulated_batch);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion benchmark of the attention aggregators: vanilla (Eq. 11–15) vs
+//! the simplified attention (Eq. 16), with and without temporal-neighbor
+//! pruning — the source of the Table II computation reductions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgnn_nn::{SimplifiedAttention, VanillaAttention};
+use tgnn_tensor::{Float, TensorRng};
+
+fn bench_attention(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attention_aggregator");
+    let mut rng = TensorRng::new(7);
+
+    // Paper dimensions: 100-dim memory, 172-dim edge features, 100-dim time
+    // encoding, 10 candidate temporal neighbors.
+    let neighbor_in = 100 + 172 + 100;
+    let vanilla = VanillaAttention::new("v", 200, neighbor_in, 100, 100, &mut rng);
+    let sat = SimplifiedAttention::new("s", 10, neighbor_in, 100, 86_400.0, &mut rng);
+
+    let query = rng.uniform_matrix(1, 200, -1.0, 1.0);
+    let neighbors = rng.uniform_matrix(10, neighbor_in, -1.0, 1.0);
+    let dts: Vec<Float> = (0..10).map(|i| (i as Float + 1.0) * 3_600.0).collect();
+
+    group.bench_function("vanilla_10_neighbors", |b| {
+        b.iter(|| black_box(vanilla.forward(&query, &neighbors)))
+    });
+    for &budget in &[10usize, 6, 4, 2] {
+        group.bench_with_input(BenchmarkId::new("simplified_topk", budget), &budget, |b, &k| {
+            b.iter(|| black_box(sat.forward(&dts, &neighbors, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmark of end-to-end batch inference in the software
+//! reference engine for every optimization-ladder rung — the measured
+//! counterpart of the Table II throughput column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgnn_bench::{build_model, harness_model_config, Dataset};
+use tgnn_core::{InferenceEngine, OptimizationVariant};
+use tgnn_graph::EventBatch;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_batch_200");
+    group.sample_size(10);
+    let graph = Dataset::Wikipedia.graph(0.01, 11);
+    let batch = EventBatch::new(graph.events()[..200].to_vec());
+
+    for variant in OptimizationVariant::ladder() {
+        group.bench_function(BenchmarkId::from_parameter(variant.label()), |b| {
+            b.iter_batched(
+                || {
+                    let cfg = harness_model_config(&graph, variant);
+                    let model = build_model(&graph, &cfg, 13);
+                    InferenceEngine::new(model, graph.num_nodes())
+                },
+                |mut engine| black_box(engine.process_batch(&batch, &graph)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

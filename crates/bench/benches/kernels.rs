@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the dense kernels the model is built from:
+//! GEMM (serial and rayon-parallel), the GRU memory updater, and the two time
+//! encoders (cos vs LUT — the Section III-C optimization).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tgnn_nn::{CosTimeEncoder, GruCell, LutTimeEncoder};
+use tgnn_tensor::gemm::{matmul, par_matmul};
+use tgnn_tensor::{Float, TensorRng};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    let mut rng = TensorRng::new(1);
+    for &n in &[32usize, 128, 256] {
+        let a = rng.uniform_matrix(n, n, -1.0, 1.0);
+        let b = rng.uniform_matrix(n, n, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
+            bench.iter(|| black_box(matmul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", n), &n, |bench, _| {
+            bench.iter(|| black_box(par_matmul(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_gru(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gru_memory_update");
+    let mut rng = TensorRng::new(2);
+    // Paper dimensions: 472-dim message -> 100-dim memory.
+    let cell = GruCell::new("g", 472, 100, &mut rng);
+    for &batch in &[1usize, 8, 64] {
+        let m = rng.uniform_matrix(batch, 472, -1.0, 1.0);
+        let s = rng.uniform_matrix(batch, 100, -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |bench, _| {
+            bench.iter(|| black_box(cell.forward(&m, &s)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_time_encoders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("time_encoder");
+    let mut rng = TensorRng::new(3);
+    let cos = CosTimeEncoder::new("t", 100, &mut rng);
+    let samples: Vec<Float> = (0..5000).map(|_| rng.pareto(1.0, 1.2).min(1e6)).collect();
+    let lut = LutTimeEncoder::calibrate("lut", &samples, 128, &cos);
+    let batch: Vec<Float> = (0..64).map(|_| rng.pareto(1.0, 1.2).min(1e6)).collect();
+
+    group.bench_function("cos_eq6", |bench| bench.iter(|| black_box(cos.forward(&batch))));
+    group.bench_function("lut_128bins", |bench| bench.iter(|| black_box(lut.forward(&batch))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_gru, bench_time_encoders);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Figure 1 — frequency histogram of the time-encoder input Δt on the
+//! Wikipedia-like and Reddit-like datasets, plus the equal-frequency LUT bin
+//! edges derived from it (Section III-C).
+
+use tgnn_bench::{Dataset, HarnessArgs};
+use tgnn_data::delta_t::{fig1_histogram, lut_bin_edges, mass_below, memory_delta_t};
+use tgnn_data::SECONDS_PER_DAY;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Figure 1 — Δt distribution of the time-encoder input\n");
+
+    for dataset in [Dataset::Wikipedia, Dataset::Reddit] {
+        let graph = dataset.graph(args.scale, args.seed);
+        let deltas = memory_delta_t(graph.events(), graph.num_nodes());
+        let hist = fig1_histogram(&deltas, 25.0, 25);
+
+        println!("## {} ({} Δt samples)", dataset.name(), deltas.len());
+        tgnn_bench::print_header(&["Δt (days)", "frequency", "bar"]);
+        let max = hist.counts().iter().copied().max().unwrap_or(1).max(1);
+        for (center, count) in hist.series() {
+            let bar_len = (40.0 * count as f64 / max as f64).round() as usize;
+            tgnn_bench::print_row(&[
+                format!("{:.1}", center / SECONDS_PER_DAY as f32),
+                count.to_string(),
+                "#".repeat(bar_len),
+            ]);
+        }
+        println!(
+            "\nmass below 1 day: {:.1}%  |  mass below 5 days: {:.1}%",
+            100.0 * mass_below(&deltas, SECONDS_PER_DAY as f32),
+            100.0 * mass_below(&deltas, 5.0 * SECONDS_PER_DAY as f32)
+        );
+
+        let edges = lut_bin_edges(&deltas, 128);
+        println!(
+            "equal-frequency LUT: {} bins, first edge {:.1}s, median edge {:.1}s, last edge {:.1} days\n",
+            edges.len() - 1,
+            edges[1],
+            edges[edges.len() / 2],
+            edges.last().unwrap() / SECONDS_PER_DAY as f32
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Table I — operation counts (kMEM / kMAC) and per-stage execution time per
+//! dynamic node embedding for the baseline TGN-attn model.
+//!
+//! The kMEM/kMAC columns come from the analytical complexity model and are
+//! cross-checked against the counters of the executing inference engine; the
+//! execution-time columns report (a) the measured per-stage time of the Rust
+//! reference implementation on this machine (single thread) and (b) the
+//! calibrated CPU (1 thread / 32 threads) and GPU cost models standing in for
+//! the paper's platforms.
+
+use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_core::complexity::per_embedding_ops;
+use tgnn_core::profiling::Stage;
+use tgnn_core::{InferenceEngine, OptimizationVariant};
+use tgnn_hwsim::baseline::{BaselinePlatform, BaselineSimulator};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Table I — per-embedding complexity and execution-time breakdown");
+    println!("(synthetic datasets at scale {}, baseline TGN-attn model)\n", args.scale);
+
+    for dataset in [Dataset::Wikipedia, Dataset::Reddit] {
+        let graph = dataset.graph(args.scale, args.seed);
+        let paper_cfg = tgnn_bench::paper_model_config(dataset, OptimizationVariant::Baseline);
+        let ops = per_embedding_ops(&paper_cfg);
+
+        // Measured per-stage time of the Rust reference on this machine.
+        let run_cfg = harness_model_config(&graph, OptimizationVariant::Baseline);
+        let model = build_model(&graph, &run_cfg, args.seed);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let events = graph.events();
+        let take = events.len().min(4_000);
+        let report = engine.run_stream(&events[..take], &graph, 200);
+
+        let baselines = [
+            BaselinePlatform::CpuSingleThread,
+            BaselinePlatform::CpuMultiThread,
+            BaselinePlatform::Gpu,
+        ]
+        .map(|p| BaselineSimulator::new(p, paper_cfg.clone()).stage_micros());
+
+        println!("## {}", dataset.name());
+        tgnn_bench::print_header(&[
+            "stage",
+            "kMEM",
+            "MEM %",
+            "kMAC",
+            "MAC %",
+            "measured 1-thread (ns)",
+            "model: CPU 1T (us)",
+            "model: CPU 32T (us)",
+            "model: GPU (us)",
+        ]);
+        let total = ops.total();
+        for (i, stage) in Stage::all().into_iter().enumerate() {
+            let s = ops.stage(stage);
+            tgnn_bench::print_row(&[
+                stage.label().to_string(),
+                format!("{:.1}", s.mems as f64 / 1e3),
+                format!("{:.1}%", 100.0 * s.mems as f64 / total.mems.max(1) as f64),
+                format!("{:.1}", s.macs as f64 / 1e3),
+                format!("{:.1}%", 100.0 * s.macs as f64 / total.macs.max(1) as f64),
+                format!("{:.0}", report.timings.nanos_per_item(stage, report.num_embeddings)),
+                format!("{:.0}", baselines[0][i]),
+                format!("{:.0}", baselines[1][i]),
+                format!("{:.0}", baselines[2][i]),
+            ]);
+        }
+        tgnn_bench::print_row(&[
+            "total".into(),
+            format!("{:.1}", total.mems as f64 / 1e3),
+            "100%".into(),
+            format!("{:.1}", total.macs as f64 / 1e3),
+            "100%".into(),
+            format!(
+                "{:.0}",
+                report.timings.total().as_nanos() as f64 / report.num_embeddings.max(1) as f64
+            ),
+            format!("{:.0}", baselines[0].iter().sum::<f64>()),
+            format!("{:.0}", baselines[1].iter().sum::<f64>()),
+            format!("{:.0}", baselines[2].iter().sum::<f64>()),
+        ]);
+        println!(
+            "\nengine-counted per-embedding: {} MACs, {} MEMs ({} embeddings)\n",
+            report.ops_per_embedding().macs,
+            report.ops_per_embedding().mems,
+            report.num_embeddings
+        );
+    }
+}

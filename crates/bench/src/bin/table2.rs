@@ -1,0 +1,94 @@
+//! Table II — accuracy (AP), complexity, and single-thread throughput of the
+//! optimization ladder Baseline → +SAT → +LUT → +NP(L/M/S).
+//!
+//! The baseline (teacher) is trained with self-supervision; every other rung
+//! is a student trained with knowledge distillation from that teacher
+//! (Section III-A).  kMEM/kMAC come from the complexity model at the paper's
+//! dimensions; the throughput column is measured by running the Rust
+//! reference single-threaded on the synthetic test split.
+
+use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_core::complexity::per_embedding_ops;
+use tgnn_core::distillation::{distill, DistillationConfig};
+use tgnn_core::training::{TrainConfig, Trainer};
+use tgnn_core::{InferenceEngine, OptimizationVariant};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Table II — model-optimization ladder (accuracy / complexity / throughput)");
+    println!("(synthetic datasets at scale {}, {} training epochs)\n", args.scale, args.epochs);
+
+    for dataset in Dataset::all() {
+        let graph = dataset.graph(args.scale, args.seed);
+        println!("## {} ({} events, {} nodes)", dataset.name(), graph.num_events(), graph.num_nodes());
+
+        let train_cfg = TrainConfig {
+            epochs: args.epochs,
+            batch_size: 100,
+            learning_rate: 1e-3,
+            decoder_hidden: 32,
+            seed: args.seed,
+        };
+        let kd_cfg = DistillationConfig { temperature: 1.0, kd_weight: 0.5, train: train_cfg.clone() };
+        let trainer = Trainer::new(train_cfg.clone());
+
+        // Teacher.
+        let teacher_cfg = harness_model_config(&graph, OptimizationVariant::Baseline);
+        let teacher = trainer.train(&teacher_cfg, &graph);
+        let teacher_ap = trainer.evaluate(&teacher, &graph, 200).average_precision;
+
+        tgnn_bench::print_header(&[
+            "model", "|v|", "|e|", "|N(v)|", "kMEM", "kMEM %", "kMAC", "kMAC %", "AP", "ΔAP",
+            "thpt (kE/s)", "speedup",
+        ]);
+
+        let baseline_ops = per_embedding_ops(&tgnn_bench::paper_model_config(dataset, OptimizationVariant::Baseline));
+        let mut baseline_throughput = None;
+
+        for variant in OptimizationVariant::ladder() {
+            let paper_cfg = tgnn_bench::paper_model_config(dataset, variant);
+            let ops = per_embedding_ops(&paper_cfg);
+
+            // Accuracy: teacher for the baseline rung, distilled student otherwise.
+            let ap = if variant == OptimizationVariant::Baseline {
+                teacher_ap
+            } else {
+                let student_cfg = harness_model_config(&graph, variant);
+                let (student, _) = distill(&teacher, &student_cfg, &graph, &kd_cfg);
+                trainer.evaluate(&student, &graph, 200).average_precision
+            };
+
+            // Single-thread throughput of the Rust reference.
+            let run_cfg = harness_model_config(&graph, variant);
+            let model = build_model(&graph, &run_cfg, args.seed);
+            let mut engine = InferenceEngine::new(model, graph.num_nodes());
+            engine.warm_up(graph.train_events(), &graph);
+            let take = graph.test_events().len().min(3_000);
+            let report = engine.run_stream(&graph.test_events()[..take], &graph, 200);
+            let throughput_ke = report.throughput_eps() / 1e3;
+            let speedup = match baseline_throughput {
+                None => {
+                    baseline_throughput = Some(throughput_ke);
+                    1.0
+                }
+                Some(base) => throughput_ke / base,
+            };
+
+            tgnn_bench::print_row(&[
+                variant.label().to_string(),
+                paper_cfg.node_feature_dim.to_string(),
+                paper_cfg.edge_feature_dim.to_string(),
+                paper_cfg.neighbor_budget.to_string(),
+                format!("{:.1}", ops.total().mems as f64 / 1e3),
+                format!("{:.1}%", 100.0 * ops.total().mems as f64 / baseline_ops.total().mems as f64),
+                format!("{:.1}", ops.total().macs as f64 / 1e3),
+                format!("{:.1}%", 100.0 * ops.total().macs as f64 / baseline_ops.total().macs as f64),
+                format!("{:.4}", ap),
+                format!("{:+.4}", ap - teacher_ap),
+                format!("{:.2}", throughput_ke),
+                format!("{:.2}x", speedup),
+            ]);
+        }
+        println!();
+    }
+}

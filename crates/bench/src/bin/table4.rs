@@ -1,0 +1,65 @@
+//! Table III and Table IV — platform specifications, design configurations,
+//! and estimated resource utilization of the two accelerator design points.
+
+use tgnn_bench::{paper_model_config, Dataset};
+use tgnn_core::OptimizationVariant;
+use tgnn_hwsim::design::{estimate_resources, map_to_dies, DesignConfig};
+use tgnn_hwsim::device::{FpgaDevice, PlatformSpec};
+
+fn main() {
+    println!("# Table III — hardware platforms\n");
+    tgnn_bench::print_header(&["platform", "dies/sockets", "resources per die", "ext. memory BW"]);
+    for dev in [FpgaDevice::alveo_u200(), FpgaDevice::zcu104()] {
+        tgnn_bench::print_row(&[
+            dev.name.clone(),
+            dev.num_dies.to_string(),
+            format!(
+                "{}K LUTs, {} DSPs, {} BRAMs, {} URAMs",
+                dev.luts_per_die / 1000,
+                dev.dsps_per_die,
+                dev.brams_per_die,
+                dev.urams_per_die
+            ),
+            format!("{} GB/s", dev.ddr_bandwidth_gbps),
+        ]);
+    }
+    for p in [PlatformSpec::xeon_gold_5120_dual(), PlatformSpec::titan_x()] {
+        tgnn_bench::print_row(&[
+            p.name.clone(),
+            "-".into(),
+            format!("{} lanes @ {} MHz", p.parallel_lanes, p.frequency_mhz),
+            format!("{} GB/s", p.memory_bandwidth_gbps),
+        ]);
+    }
+
+    println!("\n# Table IV — design configurations and resource utilization\n");
+    let model = paper_model_config(Dataset::Wikipedia, OptimizationVariant::NpMedium);
+    tgnn_bench::print_header(&[
+        "design", "Ncu", "Sg^2", "S_FAM", "S_FTM", "freq (MHz)", "LUT", "DSP", "BRAM", "URAM",
+        "fits", "inter-die links",
+    ]);
+    for (design, device) in [
+        (DesignConfig::u200(), FpgaDevice::alveo_u200()),
+        (DesignConfig::zcu104(), FpgaDevice::zcu104()),
+    ] {
+        let usage = estimate_resources(&design, &model);
+        let mapping = map_to_dies(&design, &device);
+        let (l, d, b, u) = usage.utilization(&device);
+        tgnn_bench::print_row(&[
+            design.name.clone(),
+            design.num_cu.to_string(),
+            format!("{}x{}", design.sg, design.sg),
+            design.s_fam.to_string(),
+            format!("{}x{}", design.s_ftm, design.s_ftm),
+            format!("{}", design.frequency_mhz),
+            format!("{}k ({:.0}%)", usage.luts / 1000, l * 100.0),
+            format!("{} ({:.0}%)", usage.dsps, d * 100.0),
+            format!("{} ({:.0}%)", usage.brams, b * 100.0),
+            format!("{} ({:.0}%)", usage.urams, u * 100.0),
+            usage.fits(&device).to_string(),
+            mapping.inter_die_links.to_string(),
+        ]);
+    }
+    println!("\n(paper-reported utilization for comparison: U200 563k LUT / 2512 DSP / 1415 BRAM / 448 URAM @250 MHz;");
+    println!(" ZCU104 125k LUT / 744 DSP / 240 BRAM / 0 URAM @125 MHz)");
+}

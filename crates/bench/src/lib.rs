@@ -1,0 +1,193 @@
+//! Shared harness code for the table/figure regeneration binaries and the
+//! criterion benches.
+//!
+//! Every binary accepts a `--scale <f64>` argument (default 0.02) that
+//! controls the fraction of the paper-scale synthetic datasets used, and a
+//! `--epochs <n>` argument for the experiments that involve training.  With
+//! the defaults each binary finishes in seconds; pass `--scale 1.0` to run at
+//! the paper's dataset sizes.
+
+use std::time::Duration;
+use tgnn_core::{ModelConfig, OptimizationVariant, TgnModel, TimeEncoderKind};
+use tgnn_data::{gdelt_like, generate, reddit_like, wikipedia_like, DatasetConfig};
+use tgnn_graph::TemporalGraph;
+use tgnn_tensor::TensorRng;
+
+/// The three datasets evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    Wikipedia,
+    Reddit,
+    Gdelt,
+}
+
+impl Dataset {
+    /// All datasets in the order the paper's tables use.
+    pub fn all() -> [Dataset; 3] {
+        [Dataset::Wikipedia, Dataset::Reddit, Dataset::Gdelt]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::Wikipedia => "Wikipedia",
+            Dataset::Reddit => "Reddit",
+            Dataset::Gdelt => "GDELT",
+        }
+    }
+
+    /// Synthetic generator configuration at the given scale.
+    pub fn config(&self, scale: f64, seed: u64) -> DatasetConfig {
+        match self {
+            Dataset::Wikipedia => wikipedia_like(scale, seed),
+            Dataset::Reddit => reddit_like(scale, seed),
+            Dataset::Gdelt => gdelt_like(scale, seed),
+        }
+    }
+
+    /// Generates the synthetic graph.
+    pub fn graph(&self, scale: f64, seed: u64) -> TemporalGraph {
+        generate(&self.config(scale, seed))
+    }
+}
+
+/// Simple command-line options shared by the binaries.
+#[derive(Clone, Debug)]
+pub struct HarnessArgs {
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Training epochs for the accuracy experiments.
+    pub epochs: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        Self { scale: 0.02, epochs: 2, seed: 7 }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `--scale`, `--epochs`, and `--seed` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut out = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--scale" => out.scale = args[i + 1].parse().unwrap_or(out.scale),
+                "--epochs" => out.epochs = args[i + 1].parse().unwrap_or(out.epochs),
+                "--seed" => out.seed = args[i + 1].parse().unwrap_or(out.seed),
+                _ => {}
+            }
+            i += 2;
+        }
+        out
+    }
+}
+
+/// The model configuration the paper uses for a dataset, shrunk so the
+/// harness runs quickly at small scales (the structural ratios — message vs
+/// memory vs attention dimensions, 10 sampled neighbors — are preserved).
+pub fn harness_model_config(graph: &TemporalGraph, variant: OptimizationVariant) -> ModelConfig {
+    let mut cfg = ModelConfig::paper_default(graph.node_feature_dim(), graph.edge_feature_dim());
+    cfg.memory_dim = 32;
+    cfg.time_dim = 32;
+    cfg.embedding_dim = 32;
+    cfg.lut_bins = 64;
+    cfg.with_variant(variant)
+}
+
+/// The full-size (paper) model configuration for analytical experiments that
+/// do not execute the network (complexity accounting, performance model,
+/// resource model).
+pub fn paper_model_config(dataset: Dataset, variant: OptimizationVariant) -> ModelConfig {
+    let (node_dim, edge_dim) = match dataset {
+        Dataset::Wikipedia | Dataset::Reddit => (0, 172),
+        Dataset::Gdelt => (200, 0),
+    };
+    ModelConfig::paper_default(node_dim, edge_dim).with_variant(variant)
+}
+
+/// Builds (and LUT-calibrates when needed) a model for a graph.
+pub fn build_model(graph: &TemporalGraph, config: &ModelConfig, seed: u64) -> TgnModel {
+    let mut rng = TensorRng::new(seed);
+    let mut model = TgnModel::new(config.clone(), &mut rng);
+    if config.time_encoder == TimeEncoderKind::Lut {
+        let deltas = tgnn_data::delta_t::memory_delta_t(graph.events(), graph.num_nodes());
+        model.calibrate_lut(&deltas);
+    }
+    model
+}
+
+/// Formats a duration in the unit Fig. 5 uses (milliseconds).
+pub fn format_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Formats seconds as milliseconds.
+pub fn secs_to_ms(s: f64) -> String {
+    format!("{:.3}", s * 1e3)
+}
+
+/// Prints a markdown-style table row.
+pub fn print_row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a markdown-style table header with a separator line.
+pub fn print_header(cells: &[&str]) {
+    println!("| {} |", cells.join(" | "));
+    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_cover_table_ii_dimensions() {
+        let w = Dataset::Wikipedia.config(0.01, 1);
+        assert_eq!(w.edge_feature_dim, 172);
+        let g = Dataset::Gdelt.config(0.01, 1);
+        assert_eq!(g.node_feature_dim, 200);
+        assert_eq!(Dataset::all().len(), 3);
+        assert_eq!(Dataset::Reddit.name(), "Reddit");
+    }
+
+    #[test]
+    fn harness_config_is_valid_for_every_variant() {
+        let graph = Dataset::Wikipedia.graph(0.005, 3);
+        for variant in OptimizationVariant::ladder() {
+            let cfg = harness_model_config(&graph, variant);
+            assert!(cfg.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn paper_config_matches_dataset_feature_dims() {
+        let cfg = paper_model_config(Dataset::Gdelt, OptimizationVariant::Baseline);
+        assert_eq!(cfg.node_feature_dim, 200);
+        assert_eq!(cfg.edge_feature_dim, 0);
+    }
+
+    #[test]
+    fn model_builder_calibrates_lut_variants() {
+        let graph = Dataset::Wikipedia.graph(0.005, 3);
+        let cfg = harness_model_config(&graph, OptimizationVariant::NpMedium);
+        let model = build_model(&graph, &cfg, 1);
+        assert!(model.uses_lut());
+        let cfg = harness_model_config(&graph, OptimizationVariant::Baseline);
+        let model = build_model(&graph, &cfg, 1);
+        assert!(!model.uses_lut());
+    }
+
+    #[test]
+    fn args_default_and_formatting() {
+        let args = HarnessArgs::default();
+        assert!(args.scale > 0.0 && args.scale <= 1.0);
+        assert_eq!(format_ms(Duration::from_millis(5)), "5.000");
+        assert_eq!(secs_to_ms(0.001), "1.000");
+    }
+}

@@ -1,0 +1,275 @@
+//! Model configuration and the optimization-variant ladder of Table II.
+
+use serde::{Deserialize, Serialize};
+use tgnn_tensor::Float;
+
+/// Which attention aggregator the embedding module uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// Transformer-style temporal attention (Eq. 11–15) — the TGN baseline.
+    Vanilla,
+    /// The paper's simplified temporal attention (Eq. 16).
+    Simplified,
+}
+
+/// Which time encoder the model uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimeEncoderKind {
+    /// `cos(ωΔt + φ)` (Eq. 6).
+    Cos,
+    /// Equal-frequency look-up table (Section III-C).
+    Lut,
+}
+
+/// The accumulated-optimization rungs reported row by row in Table II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OptimizationVariant {
+    /// Vanilla TGN-attn: full attention, cos time encoder, 10 neighbors.
+    Baseline,
+    /// + simplified attention (SAT).
+    Sat,
+    /// + LUT time encoder.
+    SatLut,
+    /// + neighbor pruning with 6 neighbors — NP(L).
+    NpLarge,
+    /// + neighbor pruning with 4 neighbors — NP(M).
+    NpMedium,
+    /// + neighbor pruning with 2 neighbors — NP(S).
+    NpSmall,
+}
+
+impl OptimizationVariant {
+    /// All rungs in Table II order.
+    pub fn ladder() -> [OptimizationVariant; 6] {
+        [
+            Self::Baseline,
+            Self::Sat,
+            Self::SatLut,
+            Self::NpLarge,
+            Self::NpMedium,
+            Self::NpSmall,
+        ]
+    }
+
+    /// Human-readable label matching the paper's row names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Baseline => "Baseline",
+            Self::Sat => "+SAT",
+            Self::SatLut => "+LUT",
+            Self::NpLarge => "+NP(L)",
+            Self::NpMedium => "+NP(M)",
+            Self::NpSmall => "+NP(S)",
+        }
+    }
+
+    /// The attention aggregator this rung uses.
+    pub fn attention(&self) -> AttentionKind {
+        match self {
+            Self::Baseline => AttentionKind::Vanilla,
+            _ => AttentionKind::Simplified,
+        }
+    }
+
+    /// The time encoder this rung uses.
+    pub fn time_encoder(&self) -> TimeEncoderKind {
+        match self {
+            Self::Baseline | Self::Sat => TimeEncoderKind::Cos,
+            _ => TimeEncoderKind::Lut,
+        }
+    }
+
+    /// The number of temporal neighbors aggregated (the pruning budget).
+    pub fn neighbor_budget(&self, sampled_neighbors: usize) -> usize {
+        match self {
+            Self::Baseline | Self::Sat | Self::SatLut => sampled_neighbors,
+            Self::NpLarge => 6.min(sampled_neighbors),
+            Self::NpMedium => 4.min(sampled_neighbors),
+            Self::NpSmall => 2.min(sampled_neighbors),
+        }
+    }
+
+    /// True if this rung is a student model trained by knowledge
+    /// distillation from the baseline teacher.
+    pub fn is_student(&self) -> bool {
+        !matches!(self, Self::Baseline)
+    }
+}
+
+/// Hyper-parameters of a TGN-attn model instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Node-memory dimensionality `f_mem` (100 in the paper's setup).
+    pub memory_dim: usize,
+    /// Time-encoding dimensionality (100 in TGN's reference configuration).
+    pub time_dim: usize,
+    /// Output embedding dimensionality `f_emb`.
+    pub embedding_dim: usize,
+    /// Static node feature dimensionality `|v_i|` (dataset dependent).
+    pub node_feature_dim: usize,
+    /// Edge feature dimensionality `|e_ij|` (dataset dependent).
+    pub edge_feature_dim: usize,
+    /// Number of most-recent temporal neighbors sampled per vertex
+    /// (`|N(v)|`, 10 in the baseline).
+    pub sampled_neighbors: usize,
+    /// Pruning budget: how many of the sampled neighbors are aggregated.
+    pub neighbor_budget: usize,
+    /// Attention aggregator.
+    pub attention: AttentionKind,
+    /// Time encoder.
+    pub time_encoder: TimeEncoderKind,
+    /// Number of LUT bins (128 in the paper).
+    pub lut_bins: usize,
+    /// Δt normalisation constant for the simplified attention (seconds).
+    pub time_scale: Float,
+    /// RNG seed used for weight initialisation.
+    pub seed: u64,
+}
+
+impl ModelConfig {
+    /// The paper's reference configuration for a dataset with the given
+    /// feature dimensions (memory 100, time encoding 100, embedding 100,
+    /// 10 sampled neighbors).
+    pub fn paper_default(node_feature_dim: usize, edge_feature_dim: usize) -> Self {
+        Self {
+            memory_dim: 100,
+            time_dim: 100,
+            embedding_dim: 100,
+            node_feature_dim,
+            edge_feature_dim,
+            sampled_neighbors: 10,
+            neighbor_budget: 10,
+            attention: AttentionKind::Vanilla,
+            time_encoder: TimeEncoderKind::Cos,
+            lut_bins: 128,
+            time_scale: 86_400.0,
+            seed: 42,
+        }
+    }
+
+    /// A small configuration for unit tests (dims of a few, 4 neighbors).
+    pub fn tiny(node_feature_dim: usize, edge_feature_dim: usize) -> Self {
+        Self {
+            memory_dim: 8,
+            time_dim: 6,
+            embedding_dim: 8,
+            node_feature_dim,
+            edge_feature_dim,
+            sampled_neighbors: 4,
+            neighbor_budget: 4,
+            attention: AttentionKind::Vanilla,
+            time_encoder: TimeEncoderKind::Cos,
+            lut_bins: 16,
+            time_scale: 3_600.0,
+            seed: 7,
+        }
+    }
+
+    /// Applies an [`OptimizationVariant`] rung to this configuration.
+    pub fn with_variant(mut self, variant: OptimizationVariant) -> Self {
+        self.attention = variant.attention();
+        self.time_encoder = variant.time_encoder();
+        self.neighbor_budget = variant.neighbor_budget(self.sampled_neighbors);
+        self
+    }
+
+    /// Message dimensionality: `s_src || s_dst || f_e || Φ(Δt)` (Eq. 4–5).
+    pub fn message_dim(&self) -> usize {
+        2 * self.memory_dim + self.edge_feature_dim + self.time_dim
+    }
+
+    /// Neighbor-side attention input dimensionality:
+    /// `f'_j || e_ij || Φ(Δt)`.
+    pub fn neighbor_input_dim(&self) -> usize {
+        self.memory_dim + self.edge_feature_dim + self.time_dim
+    }
+
+    /// Query-side attention input dimensionality: `f'_i || Φ(0)`.
+    pub fn query_input_dim(&self) -> usize {
+        self.memory_dim + self.time_dim
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.memory_dim == 0 || self.time_dim == 0 || self.embedding_dim == 0 {
+            return Err("dimensions must be positive".into());
+        }
+        if self.sampled_neighbors == 0 {
+            return Err("must sample at least one neighbor".into());
+        }
+        if self.neighbor_budget == 0 || self.neighbor_budget > self.sampled_neighbors {
+            return Err("neighbor budget must be in [1, sampled_neighbors]".into());
+        }
+        if self.lut_bins < 2 {
+            return Err("need at least two LUT bins".into());
+        }
+        if self.time_scale <= 0.0 {
+            return Err("time scale must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_matches_table_ii() {
+        let rungs = OptimizationVariant::ladder();
+        assert_eq!(rungs.len(), 6);
+        assert_eq!(rungs[0].label(), "Baseline");
+        assert_eq!(rungs[0].attention(), AttentionKind::Vanilla);
+        assert_eq!(rungs[0].time_encoder(), TimeEncoderKind::Cos);
+        assert_eq!(rungs[0].neighbor_budget(10), 10);
+        assert!(!rungs[0].is_student());
+
+        assert_eq!(rungs[1].attention(), AttentionKind::Simplified);
+        assert_eq!(rungs[1].time_encoder(), TimeEncoderKind::Cos);
+
+        assert_eq!(rungs[2].time_encoder(), TimeEncoderKind::Lut);
+        assert_eq!(rungs[2].neighbor_budget(10), 10);
+
+        assert_eq!(rungs[3].neighbor_budget(10), 6);
+        assert_eq!(rungs[4].neighbor_budget(10), 4);
+        assert_eq!(rungs[5].neighbor_budget(10), 2);
+        assert!(rungs[5].is_student());
+    }
+
+    #[test]
+    fn paper_default_dimensions() {
+        let cfg = ModelConfig::paper_default(0, 172);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.message_dim(), 200 + 172 + 100);
+        assert_eq!(cfg.neighbor_input_dim(), 100 + 172 + 100);
+        assert_eq!(cfg.query_input_dim(), 200);
+    }
+
+    #[test]
+    fn with_variant_applies_ladder() {
+        let cfg = ModelConfig::paper_default(0, 172).with_variant(OptimizationVariant::NpMedium);
+        assert_eq!(cfg.attention, AttentionKind::Simplified);
+        assert_eq!(cfg.time_encoder, TimeEncoderKind::Lut);
+        assert_eq!(cfg.neighbor_budget, 4);
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_configs() {
+        let mut cfg = ModelConfig::tiny(0, 4);
+        cfg.neighbor_budget = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny(0, 4);
+        cfg.neighbor_budget = 100;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny(0, 4);
+        cfg.memory_dim = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny(0, 4);
+        cfg.time_scale = 0.0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = ModelConfig::tiny(0, 4);
+        cfg.lut_bins = 1;
+        assert!(cfg.validate().is_err());
+    }
+}

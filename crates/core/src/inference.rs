@@ -1,0 +1,570 @@
+//! The batch inference engine — Algorithm 1 of the paper, in software.
+//!
+//! For every incoming batch of chronologically ordered edges the engine:
+//!
+//! 1. **sample** — reads each touched vertex's most-recent-`mr` neighbor
+//!    list from the FIFO neighbor table;
+//! 2. **memory** — consumes the cached mailbox messages and runs the GRU to
+//!    produce updated vertex memory, then caches the new raw messages of the
+//!    current batch (information-leak-safe ordering);
+//! 3. **GNN** — computes the output embedding of every touched vertex with
+//!    the configured attention aggregator and time encoder;
+//! 4. **update** — writes the new memory back, records the new interactions
+//!    in the neighbor table, and logs the commit order.
+//!
+//! Wall-clock time per stage (Table I), MAC/MEM counters (Tables I–II), and
+//! per-batch latencies (Fig. 5) are collected as the stream is processed.
+
+use crate::complexity::{OpCounts, StageOps};
+use crate::config::{AttentionKind, TimeEncoderKind};
+use crate::memory::NodeMemory;
+use crate::model::{NeighborContext, TgnModel};
+use crate::profiling::{Stage, StageTimer, StageTimings};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+use tgnn_graph::chronology::CommitLog;
+use tgnn_graph::{EventBatch, FifoSampler, InteractionEvent, NodeId, TemporalGraph, TemporalSampler, Timestamp};
+use tgnn_tensor::{Float, Matrix};
+
+/// Result of processing one batch: the embedding of every touched vertex.
+#[derive(Clone, Debug, Default)]
+pub struct BatchOutput {
+    /// Embeddings keyed by vertex, in order of first appearance in the batch.
+    pub embeddings: Vec<(NodeId, Vec<Float>)>,
+    /// Wall-clock latency of the batch (receive → all embeddings produced).
+    pub latency: Duration,
+}
+
+impl BatchOutput {
+    /// Looks up the embedding of a vertex.
+    pub fn embedding_of(&self, v: NodeId) -> Option<&[Float]> {
+        self.embeddings.iter().find(|(id, _)| *id == v).map(|(_, e)| e.as_slice())
+    }
+}
+
+/// Aggregate report over a processed stream — the quantities plotted in
+/// Fig. 5 and reported in Tables I–II.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// Number of edges processed.
+    pub num_events: usize,
+    /// Number of dynamic node embeddings generated.
+    pub num_embeddings: usize,
+    /// Number of batches processed.
+    pub num_batches: usize,
+    /// Total execution time.
+    pub total_time: Duration,
+    /// Per-batch latencies.
+    pub batch_latencies: Vec<Duration>,
+    /// Per-stage wall-clock breakdown.
+    pub timings: StageTimings,
+    /// Accumulated operation counts.
+    pub ops: StageOps,
+}
+
+impl InferenceReport {
+    /// Throughput in edges per second (Eq. 3).
+    pub fn throughput_eps(&self) -> f64 {
+        if self.total_time.is_zero() {
+            0.0
+        } else {
+            self.num_events as f64 / self.total_time.as_secs_f64()
+        }
+    }
+
+    /// Mean per-batch latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.batch_latencies.is_empty() {
+            Duration::ZERO
+        } else {
+            self.batch_latencies.iter().sum::<Duration>() / self.batch_latencies.len() as u32
+        }
+    }
+
+    /// Operation counts per generated embedding (the per-embedding kMAC/kMEM
+    /// numbers of Table I).
+    pub fn ops_per_embedding(&self) -> OpCounts {
+        if self.num_embeddings == 0 {
+            OpCounts::default()
+        } else {
+            OpCounts {
+                macs: self.ops.total().macs / self.num_embeddings as u64,
+                mems: self.ops.total().mems / self.num_embeddings as u64,
+            }
+        }
+    }
+}
+
+/// The inference engine: model + persistent vertex state.
+#[derive(Debug)]
+pub struct InferenceEngine {
+    model: TgnModel,
+    memory: NodeMemory,
+    sampler: FifoSampler,
+    commit_log: CommitLog,
+    ops: StageOps,
+    timings: StageTimings,
+    embeddings_generated: usize,
+    events_processed: usize,
+}
+
+impl InferenceEngine {
+    /// Creates an engine for a graph with `num_nodes` vertices.
+    pub fn new(model: TgnModel, num_nodes: usize) -> Self {
+        let memory = NodeMemory::for_config(num_nodes, &model.config);
+        let sampler = FifoSampler::new(num_nodes, model.config.sampled_neighbors);
+        Self {
+            model,
+            memory,
+            sampler,
+            commit_log: CommitLog::new(),
+            ops: StageOps::default(),
+            timings: StageTimings::default(),
+            embeddings_generated: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Read access to the model.
+    pub fn model(&self) -> &TgnModel {
+        &self.model
+    }
+
+    /// Read access to the vertex memory.
+    pub fn memory(&self) -> &NodeMemory {
+        &self.memory
+    }
+
+    /// The chronological-commit log (its cleanliness is asserted by the
+    /// integration tests).
+    pub fn commit_log(&self) -> &CommitLog {
+        &self.commit_log
+    }
+
+    /// Number of embeddings generated so far.
+    pub fn embeddings_generated(&self) -> usize {
+        self.embeddings_generated
+    }
+
+    /// Resets all vertex state (model weights are kept).
+    pub fn reset_state(&mut self) {
+        let num_nodes = self.memory.num_nodes();
+        self.memory = NodeMemory::for_config(num_nodes, &self.model.config);
+        self.sampler = FifoSampler::new(num_nodes, self.model.config.sampled_neighbors);
+        self.commit_log = CommitLog::new();
+        self.ops = StageOps::default();
+        self.timings = StageTimings::default();
+        self.embeddings_generated = 0;
+        self.events_processed = 0;
+    }
+
+    /// Warm-up: replays a chronological event prefix updating only the vertex
+    /// state (memory via the GRU, mailbox, neighbor table) without computing
+    /// embeddings.  Used to position the engine at the start of the test
+    /// split, as the paper does before measuring inference performance.
+    pub fn warm_up(&mut self, events: &[InteractionEvent], graph: &TemporalGraph) {
+        for chunk in events.chunks(256) {
+            let batch = EventBatch::new(chunk.to_vec());
+            self.advance_state(&batch, graph);
+        }
+    }
+
+    /// Processes one batch of new edges and returns the embeddings of every
+    /// touched vertex (Algorithm 1).
+    pub fn process_batch(&mut self, batch: &EventBatch, graph: &TemporalGraph) -> BatchOutput {
+        if batch.is_empty() {
+            return BatchOutput::default();
+        }
+        let wall_start = std::time::Instant::now();
+        let mut timer = StageTimer::new();
+        let touched = batch.touched_vertices();
+        let query_times = latest_event_times(batch);
+
+        // --- Stage 1: sample neighbors from the FIFO table.
+        timer.start(Stage::Sample);
+        let mut sampled: HashMap<NodeId, Vec<tgnn_graph::NeighborEntry>> = HashMap::new();
+        for &v in &touched {
+            let t = query_times[&v];
+            let neighbors =
+                self.sampler.sample(v, t, self.model.config.sampled_neighbors);
+            self.ops.sample.mems += 3 * neighbors.len() as u64;
+            sampled.insert(v, neighbors);
+        }
+
+        // --- Stage 2: memory update from cached messages.
+        timer.start(Stage::Memory);
+        let updated_memory = self.update_memories(&touched);
+        // Cache the messages generated by the current batch (Eq. 4–5), using
+        // the just-updated memory snapshots, in chronological order.
+        for e in batch.events() {
+            let edge_feature = graph.edge_feature(e.edge_id).to_vec();
+            self.memory.cache_interaction_messages(e.src, e.dst, &edge_feature, e.timestamp);
+            self.ops.update.mems += 2 * self.model.config.message_dim() as u64;
+        }
+
+        // --- Stage 3: GNN embeddings.
+        timer.start(Stage::Gnn);
+        let mut embeddings = Vec::with_capacity(touched.len());
+        for &v in &touched {
+            let query_time = query_times[&v];
+            let contexts = self.neighbor_contexts(&sampled[&v], query_time, graph);
+            let node_feature = if self.model.config.node_feature_dim > 0 {
+                Some(graph.node_feature(v))
+            } else {
+                None
+            };
+            let memory_row = updated_memory
+                .get(&v)
+                .cloned()
+                .unwrap_or_else(|| self.memory.memory_of(v).to_vec());
+            let out = self.model.compute_embedding(&memory_row, node_feature, &contexts);
+            self.count_gnn_ops(contexts.len(), out.used_neighbors.len());
+            embeddings.push((v, out.embedding));
+        }
+        self.embeddings_generated += embeddings.len();
+
+        // --- Stage 4: write back state.
+        timer.start(Stage::Update);
+        for (&v, new_mem) in &updated_memory {
+            let t = query_times[&v];
+            self.memory.set_memory(v, new_mem, t);
+            self.commit_log.commit(v, t);
+            self.ops.update.mems += self.model.config.memory_dim as u64;
+        }
+        for e in batch.events() {
+            self.sampler.observe(e);
+            self.ops.update.mems += 6; // two neighbor-table appends of (id, edge, t)
+        }
+        timer.stop();
+
+        self.timings.merge(&timer.finish());
+        self.events_processed += batch.len();
+        BatchOutput { embeddings, latency: wall_start.elapsed() }
+    }
+
+    /// Runs a full event stream split into fixed-size batches and returns the
+    /// aggregate report.
+    pub fn run_stream(
+        &mut self,
+        events: &[InteractionEvent],
+        graph: &TemporalGraph,
+        batch_size: usize,
+    ) -> InferenceReport {
+        let batches = tgnn_graph::batching::fixed_size_batches(events, batch_size);
+        self.run_batches(&batches, graph)
+    }
+
+    /// Runs an explicit batch sequence (e.g. 15-minute windows for the
+    /// real-time experiment of Fig. 5) and returns the aggregate report.
+    pub fn run_batches(
+        &mut self,
+        batches: &[EventBatch],
+        graph: &TemporalGraph,
+    ) -> InferenceReport {
+        let ops_before = self.ops;
+        let timings_before = self.timings;
+        let embeddings_before = self.embeddings_generated;
+        let start = std::time::Instant::now();
+        let mut latencies = Vec::with_capacity(batches.len());
+        let mut events = 0;
+        for batch in batches {
+            let out = self.process_batch(batch, graph);
+            latencies.push(out.latency);
+            events += batch.len();
+        }
+        let total_time = start.elapsed();
+        let mut ops = self.ops;
+        ops.sample.macs -= ops_before.sample.macs;
+        ops.sample.mems -= ops_before.sample.mems;
+        ops.memory.macs -= ops_before.memory.macs;
+        ops.memory.mems -= ops_before.memory.mems;
+        ops.gnn.macs -= ops_before.gnn.macs;
+        ops.gnn.mems -= ops_before.gnn.mems;
+        ops.update.macs -= ops_before.update.macs;
+        ops.update.mems -= ops_before.update.mems;
+
+        let mut timings = self.timings;
+        timings.sample -= timings_before.sample;
+        timings.memory -= timings_before.memory;
+        timings.gnn -= timings_before.gnn;
+        timings.update -= timings_before.update;
+
+        InferenceReport {
+            num_events: events,
+            num_embeddings: self.embeddings_generated - embeddings_before,
+            num_batches: batches.len(),
+            total_time,
+            batch_latencies: latencies,
+            timings,
+            ops,
+        }
+    }
+
+    /// Accumulated operation counters since construction / reset.
+    pub fn ops(&self) -> StageOps {
+        self.ops
+    }
+
+    /// Accumulated stage timings since construction / reset.
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+
+    // ----- internals -------------------------------------------------------
+
+    /// Consumes the pending mailbox messages of the touched vertices and runs
+    /// the GRU on them, returning the new memory per vertex (not yet written
+    /// back).
+    fn update_memories(&mut self, touched: &[NodeId]) -> HashMap<NodeId, Vec<Float>> {
+        let cfg = &self.model.config;
+        let mut with_messages: Vec<(NodeId, crate::memory::Message)> = Vec::new();
+        for &v in touched {
+            if let Some(msg) = self.memory.take_message(v) {
+                with_messages.push((v, msg));
+            }
+        }
+        if with_messages.is_empty() {
+            return HashMap::new();
+        }
+
+        // Assemble the message matrix.
+        let mut messages = Matrix::zeros(with_messages.len(), cfg.message_dim());
+        let mut memories = Matrix::zeros(with_messages.len(), cfg.memory_dim);
+        let dts: Vec<Float> = with_messages
+            .iter()
+            .map(|(v, msg)| (msg.event_time - self.memory.last_update(*v)).max(0.0) as Float)
+            .collect();
+        let encodings = self.model.encode_time(&dts);
+        let time_macs = match cfg.time_encoder {
+            TimeEncoderKind::Cos => 2 * cfg.time_dim as u64,
+            TimeEncoderKind::Lut => 0,
+        };
+        for (i, (v, msg)) in with_messages.iter().enumerate() {
+            let assembled = msg.assemble(encodings.row(i));
+            messages.set_row(i, &assembled);
+            memories.set_row(i, self.memory.memory_of(*v));
+            self.ops.memory.mems += (cfg.message_dim() + cfg.memory_dim) as u64;
+            self.ops.memory.macs += time_macs + self.model.gru.macs(1);
+        }
+
+        let updated = self.model.update_memory(&messages, &memories);
+        with_messages
+            .iter()
+            .enumerate()
+            .map(|(i, (v, _))| (*v, updated.row_to_vec(i)))
+            .collect()
+    }
+
+    /// Builds the [`NeighborContext`] list for a vertex from its sampled
+    /// neighbor entries.
+    fn neighbor_contexts(
+        &mut self,
+        entries: &[tgnn_graph::NeighborEntry],
+        query_time: Timestamp,
+        graph: &TemporalGraph,
+    ) -> Vec<NeighborContext> {
+        entries
+            .iter()
+            .map(|e| NeighborContext {
+                memory: self.memory.memory_of(e.neighbor).to_vec(),
+                edge_feature: graph.edge_feature(e.edge_id).to_vec(),
+                delta_t: (query_time - e.timestamp).max(0.0) as Float,
+            })
+            .collect()
+    }
+
+    /// Operation accounting for one embedding with `sampled` candidate
+    /// neighbors of which `used` were aggregated.
+    fn count_gnn_ops(&mut self, sampled: usize, used: usize) {
+        let cfg = &self.model.config;
+        let mem = cfg.memory_dim as u64;
+        let efeat = cfg.edge_feature_dim as u64;
+        let nfeat = cfg.node_feature_dim as u64;
+        let nbr_in = cfg.neighbor_input_dim() as u64;
+        let q_in = cfg.query_input_dim() as u64;
+        let emb = cfg.embedding_dim as u64;
+        let sampled = sampled as u64;
+        let used = used as u64;
+
+        let fetched = match cfg.attention {
+            AttentionKind::Vanilla => sampled,
+            AttentionKind::Simplified => used,
+        };
+        self.ops.gnn.mems += fetched * (mem + efeat) + nfeat;
+        let time_macs = match cfg.time_encoder {
+            TimeEncoderKind::Cos => 2 * cfg.time_dim as u64 * fetched,
+            TimeEncoderKind::Lut => 0,
+        };
+        let attention_macs = match cfg.attention {
+            AttentionKind::Vanilla => q_in * mem + 2 * sampled * nbr_in * mem + 2 * sampled * mem,
+            AttentionKind::Simplified => {
+                (cfg.sampled_neighbors * cfg.sampled_neighbors) as u64 + used * nbr_in * mem + used * mem
+            }
+        };
+        let projection = if nfeat > 0 { nfeat * mem } else { 0 };
+        self.ops.gnn.macs += time_macs + attention_macs + projection + 2 * mem * emb;
+    }
+
+    /// Advances the vertex state over a batch without producing embeddings
+    /// (used by [`Self::warm_up`] and by the trainer between optimisation
+    /// batches).
+    pub fn advance_state(&mut self, batch: &EventBatch, graph: &TemporalGraph) {
+        if batch.is_empty() {
+            return;
+        }
+        let touched = batch.touched_vertices();
+        let query_times = latest_event_times(batch);
+        let updated = self.update_memories(&touched);
+        for e in batch.events() {
+            let edge_feature = graph.edge_feature(e.edge_id).to_vec();
+            self.memory.cache_interaction_messages(e.src, e.dst, &edge_feature, e.timestamp);
+        }
+        for (&v, new_mem) in &updated {
+            let t = query_times[&v];
+            self.memory.set_memory(v, new_mem, t);
+            self.commit_log.commit(v, t);
+        }
+        for e in batch.events() {
+            self.sampler.observe(e);
+        }
+        self.events_processed += batch.len();
+    }
+}
+
+/// The latest event timestamp per vertex within a batch (the query time used
+/// for its embedding).
+fn latest_event_times(batch: &EventBatch) -> HashMap<NodeId, Timestamp> {
+    let mut times = HashMap::new();
+    for e in batch.events() {
+        for v in e.endpoints() {
+            let entry = times.entry(v).or_insert(e.timestamp);
+            if e.timestamp > *entry {
+                *entry = e.timestamp;
+            }
+        }
+    }
+    times
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ModelConfig, OptimizationVariant};
+    use tgnn_data::{generate, tiny};
+    use tgnn_tensor::TensorRng;
+
+    fn tiny_setup(variant: OptimizationVariant) -> (TgnModel, TemporalGraph) {
+        let graph = generate(&tiny(11));
+        let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim())
+            .with_variant(variant);
+        let mut rng = TensorRng::new(3);
+        let mut model = TgnModel::new(cfg, &mut rng);
+        if model.config.time_encoder == TimeEncoderKind::Lut {
+            let deltas = tgnn_data::delta_t::memory_delta_t(graph.events(), graph.num_nodes());
+            model.calibrate_lut(&deltas);
+        }
+        (model, graph)
+    }
+
+    #[test]
+    fn batch_produces_one_embedding_per_touched_vertex() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Baseline);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let batch = EventBatch::new(graph.events()[..32].to_vec());
+        let expected = batch.touched_vertices().len();
+        let out = engine.process_batch(&batch, &graph);
+        assert_eq!(out.embeddings.len(), expected);
+        assert_eq!(engine.embeddings_generated(), expected);
+        let first_vertex = out.embeddings[0].0;
+        assert!(out.embedding_of(first_vertex).is_some());
+        assert!(out.embedding_of(u32::MAX).is_none());
+    }
+
+    #[test]
+    fn memory_evolves_and_commits_stay_chronological() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Baseline);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let report = engine.run_stream(&graph.events()[..200], &graph, 25);
+        assert_eq!(report.num_events, 200);
+        assert_eq!(report.num_batches, 8);
+        assert!(report.num_embeddings > 0);
+        assert!(engine.commit_log().is_clean());
+        assert!(engine.commit_log().commits() > 0);
+        // Some vertex memory must have moved away from zero.
+        let moved = (0..graph.num_nodes() as u32)
+            .any(|v| engine.memory().memory_of(v).iter().any(|&x| x.abs() > 1e-6));
+        assert!(moved, "node memory never updated");
+        assert!(report.throughput_eps() > 0.0);
+        assert!(report.mean_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Baseline);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let out = engine.process_batch(&EventBatch::empty(), &graph);
+        assert!(out.embeddings.is_empty());
+        assert_eq!(engine.embeddings_generated(), 0);
+    }
+
+    #[test]
+    fn op_counters_track_variant_differences() {
+        let (baseline_model, graph) = tiny_setup(OptimizationVariant::Baseline);
+        let (pruned_model, _) = tiny_setup(OptimizationVariant::NpSmall);
+        let events = &graph.events()[..300];
+
+        let mut base_engine = InferenceEngine::new(baseline_model, graph.num_nodes());
+        let base_report = base_engine.run_stream(events, &graph, 30);
+        let mut pruned_engine = InferenceEngine::new(pruned_model, graph.num_nodes());
+        let pruned_report = pruned_engine.run_stream(events, &graph, 30);
+
+        assert_eq!(base_report.num_embeddings, pruned_report.num_embeddings);
+        assert!(
+            pruned_report.ops.total().macs < base_report.ops.total().macs,
+            "pruned model must do less compute"
+        );
+        assert!(
+            pruned_report.ops.gnn.mems < base_report.ops.gnn.mems,
+            "pruned model must fetch fewer neighbor features"
+        );
+        assert!(base_report.ops_per_embedding().macs > 0);
+    }
+
+    #[test]
+    fn warm_up_advances_state_without_embeddings() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Sat);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        engine.warm_up(graph.train_events(), &graph);
+        assert_eq!(engine.embeddings_generated(), 0);
+        assert!(engine.memory().pending_messages() > 0);
+        assert!(engine.commit_log().is_clean());
+        // After warm-up, processing the validation events still works.
+        let batch = EventBatch::new(graph.val_events().to_vec());
+        let out = engine.process_batch(&batch, &graph);
+        assert!(!out.embeddings.is_empty());
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_weights() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Baseline);
+        let before = model.num_parameters();
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let _ = engine.run_stream(&graph.events()[..100], &graph, 20);
+        engine.reset_state();
+        assert_eq!(engine.embeddings_generated(), 0);
+        assert_eq!(engine.ops().total().macs, 0);
+        assert_eq!(engine.model().num_parameters(), before);
+        assert_eq!(engine.memory().pending_messages(), 0);
+    }
+
+    #[test]
+    fn report_per_batch_latency_count_matches_batches() {
+        let (model, graph) = tiny_setup(OptimizationVariant::NpMedium);
+        let mut engine = InferenceEngine::new(model, graph.num_nodes());
+        let batches = tgnn_graph::batching::fixed_size_batches(&graph.events()[..120], 17);
+        let report = engine.run_batches(&batches, &graph);
+        assert_eq!(report.batch_latencies.len(), batches.len());
+        assert_eq!(report.num_events, 120);
+    }
+}

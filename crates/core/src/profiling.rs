@@ -1,0 +1,198 @@
+//! Wall-clock stage profiling — the execution-time breakdown of Table I.
+
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The four stages of memory-based TGNN inference identified in
+/// Section II-B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Accessing the dynamic graph and sampling temporal neighbors.
+    Sample,
+    /// Aggregating messages and computing the updated node memory (GRU).
+    Memory,
+    /// Applying the attention aggregator to produce embeddings.
+    Gnn,
+    /// Writing back updated memory / messages / neighbor tables.
+    Update,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub fn all() -> [Stage; 4] {
+        [Stage::Sample, Stage::Memory, Stage::Gnn, Stage::Update]
+    }
+
+    /// Label used in tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Sample => "sample",
+            Stage::Memory => "memory",
+            Stage::Gnn => "GNN",
+            Stage::Update => "update",
+        }
+    }
+}
+
+/// Accumulated wall-clock time per stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimings {
+    pub sample: Duration,
+    pub memory: Duration,
+    pub gnn: Duration,
+    pub update: Duration,
+}
+
+impl StageTimings {
+    /// Total across stages.
+    pub fn total(&self) -> Duration {
+        self.sample + self.memory + self.gnn + self.update
+    }
+
+    /// Adds elapsed time to a stage.
+    pub fn add(&mut self, stage: Stage, elapsed: Duration) {
+        match stage {
+            Stage::Sample => self.sample += elapsed,
+            Stage::Memory => self.memory += elapsed,
+            Stage::Gnn => self.gnn += elapsed,
+            Stage::Update => self.update += elapsed,
+        }
+    }
+
+    /// Reads a stage's accumulated time.
+    pub fn get(&self, stage: Stage) -> Duration {
+        match stage {
+            Stage::Sample => self.sample,
+            Stage::Memory => self.memory,
+            Stage::Gnn => self.gnn,
+            Stage::Update => self.update,
+        }
+    }
+
+    /// Fraction of total time spent in a stage (0 if total is zero).
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        let total = self.total().as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(stage).as_secs_f64() / total
+        }
+    }
+
+    /// Merges another timing record into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.sample += other.sample;
+        self.memory += other.memory;
+        self.gnn += other.gnn;
+        self.update += other.update;
+    }
+
+    /// Average nanoseconds per item (e.g. per generated embedding), the unit
+    /// used by Table I.
+    pub fn nanos_per_item(&self, stage: Stage, items: usize) -> f64 {
+        if items == 0 {
+            0.0
+        } else {
+            self.get(stage).as_nanos() as f64 / items as f64
+        }
+    }
+}
+
+/// RAII-free stage timer: call [`StageTimer::start`], do the work, then
+/// [`StageTimer::stop`] to accumulate.
+#[derive(Debug)]
+pub struct StageTimer {
+    timings: StageTimings,
+    current: Option<(Stage, Instant)>,
+}
+
+impl Default for StageTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StageTimer {
+    /// Creates an empty timer.
+    pub fn new() -> Self {
+        Self { timings: StageTimings::default(), current: None }
+    }
+
+    /// Starts timing a stage.  Any previously running stage is stopped
+    /// first.
+    pub fn start(&mut self, stage: Stage) {
+        self.stop();
+        self.current = Some((stage, Instant::now()));
+    }
+
+    /// Stops the currently running stage (no-op if none).
+    pub fn stop(&mut self) {
+        if let Some((stage, started)) = self.current.take() {
+            self.timings.add(stage, started.elapsed());
+        }
+    }
+
+    /// Finishes and returns the accumulated timings.
+    pub fn finish(mut self) -> StageTimings {
+        self.stop();
+        self.timings
+    }
+
+    /// Reads the timings accumulated so far (does not stop the running
+    /// stage).
+    pub fn timings(&self) -> StageTimings {
+        self.timings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn stage_labels_and_order() {
+        let all = Stage::all();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].label(), "sample");
+        assert_eq!(all[2].label(), "GNN");
+    }
+
+    #[test]
+    fn timings_accumulate_and_fraction() {
+        let mut t = StageTimings::default();
+        t.add(Stage::Gnn, Duration::from_millis(30));
+        t.add(Stage::Memory, Duration::from_millis(10));
+        t.add(Stage::Gnn, Duration::from_millis(10));
+        assert_eq!(t.get(Stage::Gnn), Duration::from_millis(40));
+        assert_eq!(t.total(), Duration::from_millis(50));
+        assert!((t.fraction(Stage::Gnn) - 0.8).abs() < 1e-9);
+        assert_eq!(t.nanos_per_item(Stage::Memory, 10), 1_000_000.0);
+        assert_eq!(t.nanos_per_item(Stage::Memory, 0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_records() {
+        let mut a = StageTimings::default();
+        a.add(Stage::Sample, Duration::from_millis(1));
+        let mut b = StageTimings::default();
+        b.add(Stage::Sample, Duration::from_millis(2));
+        b.add(Stage::Update, Duration::from_millis(3));
+        a.merge(&b);
+        assert_eq!(a.get(Stage::Sample), Duration::from_millis(3));
+        assert_eq!(a.get(Stage::Update), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn timer_records_elapsed_time() {
+        let mut timer = StageTimer::new();
+        timer.start(Stage::Gnn);
+        sleep(Duration::from_millis(5));
+        timer.start(Stage::Update); // implicitly stops GNN
+        sleep(Duration::from_millis(1));
+        let t = timer.finish();
+        assert!(t.get(Stage::Gnn) >= Duration::from_millis(4));
+        assert!(t.get(Stage::Update) >= Duration::from_micros(500));
+        assert_eq!(t.get(Stage::Sample), Duration::ZERO);
+    }
+}

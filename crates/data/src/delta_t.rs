@@ -1,0 +1,150 @@
+//! Time-encoder input (Δt) analysis — Figure 1 of the paper.
+//!
+//! The time encoder receives Δt = (current event time) − (timestamp of the
+//! node's previous interaction / of each sampled temporal neighbor).  Fig. 1
+//! shows its empirical distribution follows a power law: most Δt are close to
+//! zero with a long tail out to tens of days.  The LUT time encoder exploits
+//! this by using equal-frequency (not equal-width) bins.
+//!
+//! This module extracts the Δt samples from a trace and builds both the
+//! Fig. 1 histogram and the equal-frequency LUT bin edges.
+
+use crate::SECONDS_PER_DAY;
+use tgnn_graph::{InteractionEvent, Timestamp};
+use tgnn_tensor::stats::{equal_frequency_edges, Histogram};
+use tgnn_tensor::Float;
+
+/// Collects the Δt sample observed by the memory updater: for every event and
+/// each of its two endpoints, the time since that endpoint's previous
+/// interaction (skipping a node's first appearance, which has no previous
+/// interaction).
+pub fn memory_delta_t(events: &[InteractionEvent], num_nodes: usize) -> Vec<Float> {
+    let mut last_seen: Vec<Option<Timestamp>> = vec![None; num_nodes];
+    let mut deltas = Vec::with_capacity(events.len() * 2);
+    for e in events {
+        for v in e.endpoints() {
+            if let Some(prev) = last_seen[v as usize] {
+                deltas.push((e.timestamp - prev) as Float);
+            }
+            last_seen[v as usize] = Some(e.timestamp);
+        }
+    }
+    deltas
+}
+
+/// Collects the Δt sample observed by the attention aggregator: for each
+/// event endpoint, the differences between the event time and the timestamps
+/// of its up-to-`k` most recent prior interactions.
+pub fn attention_delta_t(events: &[InteractionEvent], num_nodes: usize, k: usize) -> Vec<Float> {
+    let mut recent: Vec<Vec<Timestamp>> = vec![Vec::new(); num_nodes];
+    let mut deltas = Vec::new();
+    for e in events {
+        for v in e.endpoints() {
+            let hist = &recent[v as usize];
+            for &t in hist.iter().rev().take(k) {
+                deltas.push((e.timestamp - t) as Float);
+            }
+        }
+        for v in e.endpoints() {
+            recent[v as usize].push(e.timestamp);
+        }
+    }
+    deltas
+}
+
+/// Builds the Fig. 1 histogram: Δt frequency in day-resolution bins over
+/// `[0, max_days]`.
+pub fn fig1_histogram(deltas: &[Float], max_days: Float, bins: usize) -> Histogram {
+    let mut h = Histogram::new(0.0, max_days * SECONDS_PER_DAY as Float, bins);
+    h.add_all(deltas);
+    h
+}
+
+/// Computes the LUT time-encoder bin edges (equal-frequency quantiles of the
+/// Δt distribution), as in Section III-C.
+pub fn lut_bin_edges(deltas: &[Float], bins: usize) -> Vec<Float> {
+    equal_frequency_edges(deltas, bins)
+}
+
+/// Fraction of Δt mass that falls below `threshold` — used to assert the
+/// power-law shape ("most inputs are close to 0").
+pub fn mass_below(deltas: &[Float], threshold: Float) -> Float {
+    if deltas.is_empty() {
+        return 0.0;
+    }
+    deltas.iter().filter(|&&d| d < threshold).count() as Float / deltas.len() as Float
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::presets::tiny;
+
+    #[test]
+    fn memory_delta_skips_first_appearance() {
+        let events = vec![
+            InteractionEvent::new(0, 1, 0, 10.0),
+            InteractionEvent::new(0, 2, 1, 25.0),
+            InteractionEvent::new(1, 2, 2, 40.0),
+        ];
+        let d = memory_delta_t(&events, 3);
+        // Event 0: both nodes first appearance -> no deltas.
+        // Event 1: node 0 seen at 10 -> 15; node 2 first appearance.
+        // Event 2: node 1 seen at 10 -> 30; node 2 seen at 25 -> 15.
+        assert_eq!(d, vec![15.0, 30.0, 15.0]);
+    }
+
+    #[test]
+    fn attention_delta_counts_up_to_k_neighbors() {
+        let events = vec![
+            InteractionEvent::new(0, 1, 0, 1.0),
+            InteractionEvent::new(0, 1, 1, 2.0),
+            InteractionEvent::new(0, 1, 2, 4.0),
+        ];
+        // Event 2 at t=4: node 0 has prior interactions at 1,2 -> Δt {3,2};
+        // node 1 likewise.  Event 1 at t=2: Δt {1} per endpoint.
+        let d = attention_delta_t(&events, 2, 10);
+        assert_eq!(d.len(), 2 + 4);
+        let d1 = attention_delta_t(&events, 2, 1);
+        // With k=1 only the most recent neighbor counts.
+        assert_eq!(d1, vec![1.0, 1.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn synthetic_trace_delta_t_is_heavy_tailed() {
+        let g = generate(&tiny(3));
+        let deltas = memory_delta_t(g.events(), g.num_nodes());
+        assert!(!deltas.is_empty());
+        let mean = deltas.iter().sum::<Float>() / deltas.len() as Float;
+        // Most of the mass sits below the mean — the defining feature of the
+        // right-skewed distribution in Fig. 1.
+        assert!(mass_below(&deltas, mean) > 0.6, "Δt distribution not right-skewed");
+    }
+
+    #[test]
+    fn fig1_histogram_has_requested_bins_and_captures_mass() {
+        let g = generate(&tiny(3));
+        let deltas = memory_delta_t(g.events(), g.num_nodes());
+        let h = fig1_histogram(&deltas, 2.0, 25);
+        assert_eq!(h.bins(), 25);
+        assert!(h.total() as usize + h.outliers() as usize == deltas.len());
+        // First bins should dominate.
+        let counts = h.counts();
+        let first_quarter: u64 = counts[..6].iter().sum();
+        assert!(first_quarter > h.total() / 2);
+    }
+
+    #[test]
+    fn lut_edges_are_monotone_and_cover_data() {
+        let g = generate(&tiny(9));
+        let deltas = memory_delta_t(g.events(), g.num_nodes());
+        let edges = lut_bin_edges(&deltas, 128);
+        assert!(edges.len() >= 2);
+        assert!(edges.windows(2).all(|w| w[1] > w[0]));
+        let min = deltas.iter().cloned().fold(Float::INFINITY, Float::min);
+        let max = deltas.iter().cloned().fold(Float::NEG_INFINITY, Float::max);
+        assert!(edges[0] <= min + 1e-3);
+        assert!(*edges.last().unwrap() >= max - 1e-3);
+    }
+}

@@ -1,0 +1,157 @@
+//! Batch formation over the incoming edge stream.
+//!
+//! Section II-A of the paper: "TGNN-based systems usually operate on upcoming
+//! graph signals in batches, formed either by fixed number of graph signals
+//! or by the graph signals in fixed time windows."  Both policies are
+//! provided here; the fixed-size policy drives the batch-size sweeps of
+//! Fig. 5/6 and the fixed-window policy drives the "real-time inference every
+//! 15 minutes" experiment (right-hand plots of Fig. 5).
+
+use crate::{EventBatch, InteractionEvent, Timestamp};
+
+/// Splits a chronological event stream into consecutive batches of at most
+/// `batch_size` events.
+///
+/// # Panics
+/// Panics if `batch_size == 0`.
+pub fn fixed_size_batches(events: &[InteractionEvent], batch_size: usize) -> Vec<EventBatch> {
+    assert!(batch_size > 0, "fixed_size_batches: batch_size must be positive");
+    events
+        .chunks(batch_size)
+        .map(|chunk| EventBatch::new(chunk.to_vec()))
+        .collect()
+}
+
+/// Splits a chronological event stream into fixed-duration time windows of
+/// length `window` (e.g. 15 minutes = 900 seconds).  Windows are aligned to
+/// the timestamp of the first event; empty windows are included so that the
+/// latency series has one point per wall-clock interval, matching the
+/// real-time plots in Fig. 5.
+///
+/// # Panics
+/// Panics if `window <= 0`.
+pub fn time_window_batches(events: &[InteractionEvent], window: Timestamp) -> Vec<EventBatch> {
+    assert!(window > 0.0, "time_window_batches: window must be positive");
+    if events.is_empty() {
+        return Vec::new();
+    }
+    let start = events[0].timestamp;
+    let end = events[events.len() - 1].timestamp;
+    let num_windows = ((end - start) / window).floor() as usize + 1;
+    let mut batches: Vec<Vec<InteractionEvent>> = vec![Vec::new(); num_windows];
+    for e in events {
+        let mut idx = ((e.timestamp - start) / window).floor() as usize;
+        if idx >= num_windows {
+            idx = num_windows - 1;
+        }
+        batches[idx].push(*e);
+    }
+    batches.into_iter().map(EventBatch::new).collect()
+}
+
+/// Statistics of a batch sequence, used to report the workload shape of the
+/// real-time experiment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchStats {
+    pub num_batches: usize,
+    pub total_events: usize,
+    pub min_batch: usize,
+    pub max_batch: usize,
+    pub mean_batch: f64,
+    pub empty_batches: usize,
+}
+
+/// Computes [`BatchStats`] over a batch sequence.
+pub fn batch_stats(batches: &[EventBatch]) -> BatchStats {
+    let sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+    let total: usize = sizes.iter().sum();
+    BatchStats {
+        num_batches: batches.len(),
+        total_events: total,
+        min_batch: sizes.iter().copied().min().unwrap_or(0),
+        max_batch: sizes.iter().copied().max().unwrap_or(0),
+        mean_batch: if batches.is_empty() { 0.0 } else { total as f64 / batches.len() as f64 },
+        empty_batches: sizes.iter().filter(|&&s| s == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(n: usize) -> Vec<InteractionEvent> {
+        (0..n)
+            .map(|i| InteractionEvent::new((i % 5) as u32, ((i + 1) % 5) as u32, i as u32, i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn fixed_size_covers_all_events_in_order() {
+        let events = stream(23);
+        let batches = fixed_size_batches(&events, 10);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 10);
+        assert_eq!(batches[2].len(), 3);
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 23);
+        // Chronology preserved across batch boundaries.
+        assert!(batches[0].end_time().unwrap() <= batches[1].start_time().unwrap());
+    }
+
+    #[test]
+    fn fixed_size_exact_multiple() {
+        let batches = fixed_size_batches(&stream(20), 5);
+        assert_eq!(batches.len(), 4);
+        assert!(batches.iter().all(|b| b.len() == 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn fixed_size_zero_rejected() {
+        let _ = fixed_size_batches(&stream(3), 0);
+    }
+
+    #[test]
+    fn time_windows_partition_events() {
+        // Events at t = 0..9; window of 2.5 → windows [0,2.5), [2.5,5), [5,7.5), [7.5,10)
+        let events = stream(10);
+        let batches = time_window_batches(&events, 2.5);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches[0].len(), 3); // t=0,1,2
+        assert_eq!(batches[1].len(), 2); // t=3,4
+        assert_eq!(batches[2].len(), 3); // t=5,6,7
+        assert_eq!(batches[3].len(), 2); // t=8,9
+        let total: usize = batches.iter().map(|b| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn time_windows_include_empty_intervals() {
+        let events = vec![
+            InteractionEvent::new(0, 1, 0, 0.0),
+            InteractionEvent::new(1, 2, 1, 10.0),
+        ];
+        let batches = time_window_batches(&events, 2.0);
+        assert_eq!(batches.len(), 6);
+        let empties = batches.iter().filter(|b| b.is_empty()).count();
+        assert_eq!(empties, 4);
+    }
+
+    #[test]
+    fn time_windows_empty_stream() {
+        assert!(time_window_batches(&[], 5.0).is_empty());
+    }
+
+    #[test]
+    fn stats_summarise_sequence() {
+        let events = stream(10);
+        let batches = time_window_batches(&events, 2.5);
+        let s = batch_stats(&batches);
+        assert_eq!(s.num_batches, 4);
+        assert_eq!(s.total_events, 10);
+        assert_eq!(s.min_batch, 2);
+        assert_eq!(s.max_batch, 3);
+        assert!((s.mean_batch - 2.5).abs() < 1e-9);
+        assert_eq!(s.empty_batches, 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Interaction events (graph signals) and batches.
+
+use crate::{EdgeId, NodeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A single graph signal: a new timestamped interaction edge
+/// `e(src, dst, f_e, t_e)` as defined in Section IV-A of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct InteractionEvent {
+    /// Source vertex index.
+    pub src: NodeId,
+    /// Destination vertex index.
+    pub dst: NodeId,
+    /// Index into the edge-feature table (`fe`).
+    pub edge_id: EdgeId,
+    /// Event timestamp `t_e`.
+    pub timestamp: Timestamp,
+}
+
+impl InteractionEvent {
+    /// Convenience constructor.
+    pub fn new(src: NodeId, dst: NodeId, edge_id: EdgeId, timestamp: Timestamp) -> Self {
+        Self { src, dst, edge_id, timestamp }
+    }
+
+    /// The two endpoints in `(src, dst)` order.
+    pub fn endpoints(&self) -> [NodeId; 2] {
+        [self.src, self.dst]
+    }
+
+    /// True if the event touches vertex `v`.
+    pub fn involves(&self, v: NodeId) -> bool {
+        self.src == v || self.dst == v
+    }
+}
+
+/// A batch of chronologically ordered events processed in one forward pass
+/// (one iteration of the outer loop of Algorithm 1).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventBatch {
+    events: Vec<InteractionEvent>,
+}
+
+impl EventBatch {
+    /// Wraps a vector of events.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the events are not sorted by timestamp:
+    /// the paper's inference procedure assumes the incoming stream is
+    /// chronological.
+    pub fn new(events: Vec<InteractionEvent>) -> Self {
+        debug_assert!(
+            events.windows(2).all(|w| w[0].timestamp <= w[1].timestamp),
+            "EventBatch: events must be chronologically ordered"
+        );
+        Self { events }
+    }
+
+    /// Empty batch.
+    pub fn empty() -> Self {
+        Self { events: Vec::new() }
+    }
+
+    /// The events in the batch.
+    pub fn events(&self) -> &[InteractionEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Earliest timestamp in the batch (None if empty).
+    pub fn start_time(&self) -> Option<Timestamp> {
+        self.events.first().map(|e| e.timestamp)
+    }
+
+    /// Latest timestamp in the batch (None if empty).
+    pub fn end_time(&self) -> Option<Timestamp> {
+        self.events.last().map(|e| e.timestamp)
+    }
+
+    /// All vertices touched by the batch, deduplicated, in order of first
+    /// appearance.  These are the vertices whose memory must be updated and
+    /// whose embeddings the batch produces ({u} ∪ {v} in Algorithm 1).
+    pub fn touched_vertices(&self) -> Vec<NodeId> {
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        for e in &self.events {
+            for v in e.endpoints() {
+                if seen.insert(v) {
+                    out.push(v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterator over the events.
+    pub fn iter(&self) -> impl Iterator<Item = &InteractionEvent> {
+        self.events.iter()
+    }
+}
+
+impl From<Vec<InteractionEvent>> for EventBatch {
+    fn from(events: Vec<InteractionEvent>) -> Self {
+        Self::new(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(src: NodeId, dst: NodeId, t: Timestamp) -> InteractionEvent {
+        InteractionEvent::new(src, dst, 0, t)
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = InteractionEvent::new(3, 7, 11, 42.5);
+        assert_eq!(e.endpoints(), [3, 7]);
+        assert!(e.involves(3));
+        assert!(e.involves(7));
+        assert!(!e.involves(5));
+    }
+
+    #[test]
+    fn batch_times_and_len() {
+        let b = EventBatch::new(vec![ev(0, 1, 1.0), ev(1, 2, 2.0), ev(0, 2, 2.0)]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        assert_eq!(b.start_time(), Some(1.0));
+        assert_eq!(b.end_time(), Some(2.0));
+        assert!(EventBatch::empty().is_empty());
+        assert_eq!(EventBatch::empty().start_time(), None);
+    }
+
+    #[test]
+    fn touched_vertices_dedup_preserves_order() {
+        let b = EventBatch::new(vec![ev(5, 1, 1.0), ev(1, 5, 2.0), ev(2, 3, 3.0)]);
+        assert_eq!(b.touched_vertices(), vec![5, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "chronologically ordered")]
+    #[cfg(debug_assertions)]
+    fn unordered_batch_panics_in_debug() {
+        let _ = EventBatch::new(vec![ev(0, 1, 5.0), ev(1, 2, 1.0)]);
+    }
+}

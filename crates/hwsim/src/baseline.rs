@@ -1,0 +1,207 @@
+//! CPU / GPU baseline cost models, calibrated on the paper's Table I
+//! measurements.
+//!
+//! Table I reports the execution time per dynamic node embedding of the
+//! baseline TGN-attn model on a single CPU thread, 32 CPU threads, and a
+//! Titan Xp GPU, broken down by stage.  The models here scale those
+//! calibrated per-stage times with the operation counts of the model variant
+//! being run (so the +SAT/+LUT/+NP rungs speed up the compute-bound stages
+//! but not the fixed overheads), and add the per-batch fixed costs that make
+//! small batches inefficient on the GPU — the effect the paper exploits.
+
+use serde::{Deserialize, Serialize};
+use tgnn_core::complexity::per_embedding_ops;
+use tgnn_core::{ModelConfig, OptimizationVariant};
+
+/// Which baseline platform to model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BaselinePlatform {
+    /// A single Xeon Gold 5120 thread.
+    CpuSingleThread,
+    /// 32 threads across the dual-socket Xeon Gold 5120.
+    CpuMultiThread,
+    /// Nvidia Titan X(p).
+    Gpu,
+}
+
+impl BaselinePlatform {
+    /// Calibrated per-embedding stage times (sample, memory, GNN, update) in
+    /// microseconds for the *baseline* model on the Wikipedia workload.  The
+    /// relative split follows Table I; the absolute scale is calibrated so
+    /// that the end-to-end throughput matches the measured numbers of
+    /// Table II / Fig. 5 (which include the framework overhead of the real
+    /// PyTorch runs the paper compares against).
+    fn calibrated_stage_micros(&self) -> [f64; 4] {
+        match self {
+            BaselinePlatform::CpuSingleThread => [9.0, 273.0, 296.0, 23.0],
+            BaselinePlatform::CpuMultiThread => [9.0, 40.0, 33.0, 21.0],
+            BaselinePlatform::Gpu => [8.0, 8.0, 4.0, 19.0],
+        }
+    }
+
+    /// Fixed overhead per batch, seconds (framework dispatch, kernel
+    /// launches, synchronisation).  This is what makes small batches
+    /// disproportionately expensive on the GPU.
+    fn per_batch_overhead(&self) -> f64 {
+        match self {
+            BaselinePlatform::CpuSingleThread => 100e-6,
+            BaselinePlatform::CpuMultiThread => 500e-6,
+            BaselinePlatform::Gpu => 2e-3,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BaselinePlatform::CpuSingleThread => "CPU (1 thread)",
+            BaselinePlatform::CpuMultiThread => "CPU (32 threads)",
+            BaselinePlatform::Gpu => "GPU",
+        }
+    }
+}
+
+/// Latency/throughput estimate for a batch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BaselineEstimate {
+    /// Latency to process the batch, seconds.
+    pub latency: f64,
+    /// Throughput, edges per second, at this batch size.
+    pub throughput_eps: f64,
+    /// Per-stage per-embedding times (sample, memory, GNN, update), µs.
+    pub stage_micros: [f64; 4],
+}
+
+/// Baseline cost model for a given platform and model configuration.
+#[derive(Clone, Debug)]
+pub struct BaselineSimulator {
+    pub platform: BaselinePlatform,
+    pub model: ModelConfig,
+}
+
+impl BaselineSimulator {
+    /// Creates the simulator.
+    pub fn new(platform: BaselinePlatform, model: ModelConfig) -> Self {
+        Self { platform, model }
+    }
+
+    /// Per-embedding stage times for this model variant, obtained by scaling
+    /// the calibrated baseline times with the variant's MAC/MEM reductions.
+    pub fn stage_micros(&self) -> [f64; 4] {
+        let baseline_cfg = ModelConfig {
+            node_feature_dim: self.model.node_feature_dim,
+            edge_feature_dim: self.model.edge_feature_dim,
+            ..ModelConfig::paper_default(self.model.node_feature_dim, self.model.edge_feature_dim)
+        }
+        .with_variant(OptimizationVariant::Baseline);
+        let base_ops = per_embedding_ops(&baseline_cfg);
+        let this_ops = per_embedding_ops(&self.model);
+        let calibrated = self.platform.calibrated_stage_micros();
+
+        // sample/update are access-bound; memory and GNN scale with their
+        // MAC+MEM workload relative to the baseline model.
+        let memory_scale = (this_ops.memory.macs + this_ops.memory.mems) as f64
+            / (base_ops.memory.macs + base_ops.memory.mems).max(1) as f64;
+        let gnn_scale = (this_ops.gnn.macs + this_ops.gnn.mems) as f64
+            / (base_ops.gnn.macs + base_ops.gnn.mems).max(1) as f64;
+        // On the CPU the LUT brings no benefit because the table does not fit
+        // in registers/on-chip memory (the paper notes exactly this).
+        let lut_penalty = if self.model.time_encoder == tgnn_core::TimeEncoderKind::Lut
+            && self.platform != BaselinePlatform::Gpu
+        {
+            1.02
+        } else {
+            1.0
+        };
+        [
+            calibrated[0],
+            calibrated[1] * memory_scale as f64 * lut_penalty,
+            calibrated[2] * gnn_scale as f64,
+            calibrated[3],
+        ]
+    }
+
+    /// Estimates latency and throughput for processing one batch of
+    /// `batch_size` edges (each edge produces two embeddings).
+    pub fn estimate(&self, batch_size: usize) -> BaselineEstimate {
+        let stage_micros = self.stage_micros();
+        let per_embedding_s: f64 = stage_micros.iter().sum::<f64>() * 1e-6;
+        let embeddings = 2.0 * batch_size as f64;
+        let latency = self.platform.per_batch_overhead() + embeddings * per_embedding_s;
+        BaselineEstimate {
+            latency,
+            throughput_eps: if latency > 0.0 { batch_size as f64 / latency } else { 0.0 },
+            stage_micros,
+        }
+    }
+
+    /// Throughput over a long stream processed in batches of `batch_size`.
+    pub fn stream_throughput(&self, num_edges: usize, batch_size: usize) -> f64 {
+        if num_edges == 0 || batch_size == 0 {
+            return 0.0;
+        }
+        let batches = num_edges.div_ceil(batch_size);
+        let total: f64 = (0..batches)
+            .map(|i| {
+                let edges = if i + 1 == batches { num_edges - batch_size * (batches - 1) } else { batch_size };
+                self.estimate(edges).latency
+            })
+            .sum();
+        num_edges as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(variant: OptimizationVariant) -> ModelConfig {
+        ModelConfig::paper_default(0, 172).with_variant(variant)
+    }
+
+    #[test]
+    fn gpu_beats_cpu_at_large_batches_but_not_tiny_ones() {
+        let cpu = BaselineSimulator::new(BaselinePlatform::CpuMultiThread, cfg(OptimizationVariant::Baseline));
+        let gpu = BaselineSimulator::new(BaselinePlatform::Gpu, cfg(OptimizationVariant::Baseline));
+        assert!(gpu.estimate(4000).latency < cpu.estimate(4000).latency);
+        // At very small batches the GPU's fixed overhead dominates.
+        assert!(gpu.estimate(10).latency > cpu.estimate(10).latency);
+    }
+
+    #[test]
+    fn single_thread_matches_table_i_magnitudes() {
+        let sim = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Baseline));
+        let stage = sim.stage_micros();
+        // ~600 µs per embedding on one thread (≈0.85 kE/s as in Table II),
+        // with the GNN stage the largest part as in Table I.
+        let total: f64 = stage.iter().sum();
+        assert!((400.0..900.0).contains(&total), "total {total} µs");
+        assert!(stage[2] > stage[0] && stage[2] > stage[3]);
+    }
+
+    #[test]
+    fn optimized_models_speed_up_single_thread_as_in_table_ii() {
+        let base = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Baseline));
+        let np_s = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::NpSmall));
+        let base_tp = base.stream_throughput(10_000, 200);
+        let np_tp = np_s.stream_throughput(10_000, 200);
+        let speedup = np_tp / base_tp;
+        // Table II reports 2.4–3.8× single-thread speedup for NP(S).  Our
+        // calibrated model keeps the (non-shrinking) memory stage on the
+        // critical path, so the speedup is compressed but must remain
+        // clearly monotone in the same direction.
+        assert!(speedup > 1.4 && speedup < 6.0, "speedup {speedup}");
+    }
+
+    #[test]
+    fn throughput_increases_with_batch_size() {
+        let gpu = BaselineSimulator::new(BaselinePlatform::Gpu, cfg(OptimizationVariant::Baseline));
+        assert!(gpu.estimate(2000).throughput_eps > gpu.estimate(100).throughput_eps);
+    }
+
+    #[test]
+    fn stream_throughput_handles_edge_cases() {
+        let sim = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Sat));
+        assert_eq!(sim.stream_throughput(0, 100), 0.0);
+        assert!(sim.stream_throughput(1000, 128) > 0.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! External-memory (DDR) model.
+//!
+//! The performance model of Section V expresses the load/store time of a
+//! pipeline stage as `bytes / (α(l)·BW)` where `BW` is the peak bandwidth and
+//! `α(l) ∈ (0, 1]` is the effective-bandwidth factor for burst transactions
+//! of length `l` (following the FPGA memory-system characterisation of Lu et
+//! al. that the paper cites).  Short bursts waste a large fraction of the
+//! peak bandwidth; long bursts approach it.
+
+use serde::{Deserialize, Serialize};
+
+/// DDR bandwidth model with burst-efficiency derating and a fixed
+/// per-transaction latency.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DdrModel {
+    /// Peak bandwidth in bytes per second.
+    pub peak_bandwidth: f64,
+    /// Burst length (bytes) at which efficiency reaches ~63% of peak.
+    pub knee_bytes: f64,
+    /// Fixed latency per transaction, seconds (row activation + controller).
+    pub transaction_latency: f64,
+}
+
+impl DdrModel {
+    /// Creates a model from a peak bandwidth in GB/s with the default knee
+    /// (256 B, typical for a 64-bit DDR4 channel) and 60 ns transaction
+    /// latency.
+    pub fn new_gbps(peak_gbps: f64) -> Self {
+        assert!(peak_gbps > 0.0, "DdrModel: bandwidth must be positive");
+        Self { peak_bandwidth: peak_gbps * 1e9, knee_bytes: 256.0, transaction_latency: 60e-9 }
+    }
+
+    /// Effective-bandwidth factor `α(l)` for a burst of `burst_bytes`.
+    /// Monotonically increasing in the burst length, in `(0, 1]`.
+    pub fn alpha(&self, burst_bytes: f64) -> f64 {
+        if burst_bytes <= 0.0 {
+            return 1e-3;
+        }
+        let a = 1.0 - (-burst_bytes / self.knee_bytes).exp();
+        a.clamp(1e-3, 1.0)
+    }
+
+    /// Effective bandwidth for a given burst length, bytes per second.
+    pub fn effective_bandwidth(&self, burst_bytes: f64) -> f64 {
+        self.peak_bandwidth * self.alpha(burst_bytes)
+    }
+
+    /// Time to move `total_bytes` using transactions of `burst_bytes`
+    /// (seconds), including the fixed per-transaction latency.
+    pub fn transfer_time(&self, total_bytes: f64, burst_bytes: f64) -> f64 {
+        if total_bytes <= 0.0 {
+            return 0.0;
+        }
+        let burst = burst_bytes.max(1.0);
+        let transactions = (total_bytes / burst).ceil();
+        total_bytes / self.effective_bandwidth(burst) + transactions * self.transaction_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_monotone_and_bounded() {
+        let ddr = DdrModel::new_gbps(77.0);
+        let mut prev = 0.0;
+        for &l in &[8.0, 32.0, 64.0, 256.0, 1024.0, 8192.0] {
+            let a = ddr.alpha(l);
+            assert!(a > prev, "alpha must increase with burst length");
+            assert!(a <= 1.0);
+            prev = a;
+        }
+        assert!(ddr.alpha(0.0) > 0.0);
+        assert!(ddr.alpha(1e9) > 0.99);
+    }
+
+    #[test]
+    fn long_bursts_approach_peak_bandwidth() {
+        let ddr = DdrModel::new_gbps(10.0);
+        let bytes = 100e6;
+        let t_long = ddr.transfer_time(bytes, 64.0 * 1024.0);
+        let ideal = bytes / 10e9;
+        assert!(t_long < ideal * 1.3, "long bursts should be near peak: {t_long} vs {ideal}");
+    }
+
+    #[test]
+    fn short_bursts_are_much_slower() {
+        let ddr = DdrModel::new_gbps(10.0);
+        let bytes = 1e6;
+        let t_short = ddr.transfer_time(bytes, 16.0);
+        let t_long = ddr.transfer_time(bytes, 4096.0);
+        assert!(t_short > 3.0 * t_long, "short bursts must be penalised: {t_short} vs {t_long}");
+    }
+
+    #[test]
+    fn zero_bytes_take_zero_time() {
+        let ddr = DdrModel::new_gbps(19.2);
+        assert_eq!(ddr.transfer_time(0.0, 64.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_nonpositive_bandwidth() {
+        let _ = DdrModel::new_gbps(0.0);
+    }
+}

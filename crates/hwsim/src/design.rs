@@ -1,0 +1,282 @@
+//! Accelerator design configurations, the resource model, and the multi-die
+//! (SLR) mapping — Table IV of the paper.
+
+use crate::device::FpgaDevice;
+use serde::{Deserialize, Serialize};
+use tgnn_core::ModelConfig;
+
+/// A design configuration of the accelerator (the left half of Table IV).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of Computation Units `N_cu`.
+    pub num_cu: usize,
+    /// MAC-array edge `S_g` of each GRU gate in the Memory Update Unit
+    /// (each gate is an `S_g × S_g` array).
+    pub sg: usize,
+    /// Computation parallelism of the Feature Aggregation Module.
+    pub s_fam: usize,
+    /// Computation parallelism of the Feature Transformation Module
+    /// (an `S_ftm × S_ftm` array).
+    pub s_ftm: usize,
+    /// Processing-batch size `N_b` (edges that flow through one pipeline
+    /// stage together).
+    pub nb: usize,
+    /// Clock frequency in MHz.
+    pub frequency_mhz: f64,
+    /// Whether neighbor-memory prefetching (Section IV-C) is enabled.
+    pub prefetch: bool,
+    /// Whether the Updater eliminates redundant writes to the same vertex.
+    pub redundant_write_elimination: bool,
+}
+
+impl DesignConfig {
+    /// The U200 design point of Table IV: 2 CUs, Sg²=8², S_FAM=16, S_FTM=8×8,
+    /// 250 MHz.
+    pub fn u200() -> Self {
+        Self {
+            name: "U200".into(),
+            num_cu: 2,
+            sg: 8,
+            s_fam: 16,
+            s_ftm: 8,
+            nb: 8,
+            frequency_mhz: 250.0,
+            prefetch: true,
+            redundant_write_elimination: true,
+        }
+    }
+
+    /// The ZCU104 design point of Table IV: 1 CU, Sg²=4², S_FAM=8, S_FTM=4×4,
+    /// 125 MHz.
+    pub fn zcu104() -> Self {
+        Self {
+            name: "ZCU104".into(),
+            num_cu: 1,
+            sg: 4,
+            s_fam: 8,
+            s_ftm: 4,
+            nb: 4,
+            frequency_mhz: 125.0,
+            prefetch: true,
+            redundant_write_elimination: true,
+        }
+    }
+
+    /// Clock period in seconds.
+    pub fn clock_period(&self) -> f64 {
+        1.0 / (self.frequency_mhz * 1e6)
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_cu == 0 || self.sg == 0 || self.s_fam == 0 || self.s_ftm == 0 || self.nb == 0 {
+            return Err("all parallelism parameters must be positive".into());
+        }
+        if self.frequency_mhz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// Estimated resource utilization of a design (the right half of Table IV).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    pub luts: u64,
+    pub dsps: u64,
+    pub brams: u64,
+    pub urams: u64,
+}
+
+impl ResourceUsage {
+    /// True if the usage fits on the given device.
+    pub fn fits(&self, device: &FpgaDevice) -> bool {
+        self.luts <= device.total_luts()
+            && self.dsps <= device.total_dsps()
+            && self.brams <= device.total_brams()
+            && self.urams <= device.total_urams()
+    }
+
+    /// Utilization fractions `(lut, dsp, bram, uram)` relative to a device.
+    pub fn utilization(&self, device: &FpgaDevice) -> (f64, f64, f64, f64) {
+        (
+            self.luts as f64 / device.total_luts() as f64,
+            self.dsps as f64 / device.total_dsps() as f64,
+            self.brams as f64 / device.total_brams() as f64,
+            self.urams as f64 / device.total_urams() as f64,
+        )
+    }
+}
+
+/// DSPs per fp32 multiplier / accumulator, as stated in Section VI-A.
+const DSP_PER_MULTIPLIER: u64 = 3;
+const DSP_PER_ACCUMULATOR: u64 = 2;
+
+/// Estimates the resource usage of a design point running a given model
+/// configuration.
+///
+/// The estimate follows the structure of the architecture: per CU, three
+/// `S_g × S_g` MAC arrays (update/reset/memory gates) plus the merging gate,
+/// the FAM adder tree (`S_fam` multipliers + accumulators), the FTM
+/// `S_ftm × S_ftm` array, and the on-chip tables (LUT time encoder, Updater
+/// cache, FIFOs) mapped to BRAM/URAM.
+pub fn estimate_resources(design: &DesignConfig, model: &ModelConfig) -> ResourceUsage {
+    let per_gate_macs = (design.sg * design.sg) as u64;
+    let muu_macs = 3 * per_gate_macs + design.sg as u64; // 3 gate arrays + merge
+    let fam_macs = design.s_fam as u64;
+    let ftm_macs = (design.s_ftm * design.s_ftm) as u64;
+    let am_macs = (model.sampled_neighbors * model.sampled_neighbors) as u64; // W_t·Δt array
+    let macs_per_cu = muu_macs + fam_macs + ftm_macs + am_macs;
+
+    let dsps = design.num_cu as u64 * macs_per_cu * (DSP_PER_MULTIPLIER + DSP_PER_ACCUMULATOR);
+
+    // Control logic, FIFOs, and the data loader/updater dominate the LUT
+    // count; scale with the number of CUs and the datapath widths.
+    let luts = 60_000
+        + design.num_cu as u64
+            * (30_000 + 64 * (design.sg * design.sg + design.s_ftm * design.s_ftm + design.s_fam) as u64);
+
+    // BRAM: inter-module FIFOs (~2 per stage per CU), the Updater cache, and
+    // double-buffered per-batch staging of messages and neighbor features.
+    let bytes_per_word = 4u64;
+    let staging_bytes = (design.nb
+        * (model.message_dim() + model.sampled_neighbors * model.neighbor_input_dim()))
+        as u64
+        * bytes_per_word
+        * 2;
+    let bram_bytes = 36 * 1024 / 8;
+    let staging_brams = staging_bytes.div_ceil(bram_bytes);
+    let brams = design.num_cu as u64 * (24 + staging_brams) + 32;
+
+    // URAM: the fused LUT time encoder tables and the vertex-memory cache of
+    // hot vertices.
+    let lut_bytes = (model.lut_bins * model.message_dim()) as u64 * bytes_per_word;
+    let uram_bytes = 288 * 1024 / 8;
+    let urams = if model.time_encoder == tgnn_core::TimeEncoderKind::Lut {
+        design.num_cu as u64 * lut_bytes.div_ceil(uram_bytes) * 4
+    } else {
+        0
+    };
+
+    ResourceUsage { luts, dsps, brams, urams }
+}
+
+/// Assignment of hardware modules to dies (Super Logic Regions), as in the
+/// right-hand side of Fig. 2.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MultiDieMapping {
+    /// die index -> module names placed on it.
+    pub placement: Vec<Vec<String>>,
+    /// Number of inter-die FIFO crossings required.
+    pub inter_die_links: usize,
+}
+
+/// Maps a design onto a device's dies: the shared front-end (edge parser,
+/// data loader, updater) goes on die 0 and the CUs are distributed
+/// round-robin over the remaining dies (or share die 0 on single-die parts).
+pub fn map_to_dies(design: &DesignConfig, device: &FpgaDevice) -> MultiDieMapping {
+    let mut placement: Vec<Vec<String>> = vec![Vec::new(); device.num_dies];
+    placement[0].push("EdgeParser".into());
+    placement[0].push("DataLoader".into());
+    placement[0].push("Updater".into());
+    let mut links = 0;
+    for cu in 0..design.num_cu {
+        let die = if device.num_dies == 1 { 0 } else { 1 + cu % (device.num_dies - 1) };
+        placement[die].push(format!("CU{cu}"));
+        if die != 0 {
+            links += 2; // loader→CU and CU→updater crossings
+        }
+    }
+    MultiDieMapping { placement, inter_die_links: links }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgnn_core::OptimizationVariant;
+
+    fn paper_model() -> ModelConfig {
+        ModelConfig::paper_default(0, 172).with_variant(OptimizationVariant::NpMedium)
+    }
+
+    #[test]
+    fn table_iv_design_points() {
+        let u200 = DesignConfig::u200();
+        assert_eq!((u200.num_cu, u200.sg, u200.s_fam, u200.s_ftm), (2, 8, 16, 8));
+        assert!((u200.frequency_mhz - 250.0).abs() < 1e-9);
+        assert!(u200.validate().is_ok());
+
+        let zcu = DesignConfig::zcu104();
+        assert_eq!((zcu.num_cu, zcu.sg, zcu.s_fam, zcu.s_ftm), (1, 4, 8, 4));
+        assert!((zcu.frequency_mhz - 125.0).abs() < 1e-9);
+        assert!(zcu.clock_period() > u200.clock_period());
+    }
+
+    #[test]
+    fn designs_fit_their_devices() {
+        let model = paper_model();
+        let u200_use = estimate_resources(&DesignConfig::u200(), &model);
+        assert!(u200_use.fits(&FpgaDevice::alveo_u200()), "{u200_use:?}");
+        let zcu_use = estimate_resources(&DesignConfig::zcu104(), &model);
+        assert!(zcu_use.fits(&FpgaDevice::zcu104()), "{zcu_use:?}");
+        // The bigger design uses more of everything.
+        assert!(u200_use.dsps > zcu_use.dsps);
+        assert!(u200_use.luts > zcu_use.luts);
+    }
+
+    #[test]
+    fn dsp_count_tracks_parallelism() {
+        let model = paper_model();
+        let mut small = DesignConfig::zcu104();
+        let small_use = estimate_resources(&small, &model);
+        small.sg *= 2;
+        small.s_ftm *= 2;
+        let big_use = estimate_resources(&small, &model);
+        assert!(big_use.dsps > 2 * small_use.dsps);
+    }
+
+    #[test]
+    fn utilization_fractions_in_unit_interval() {
+        let model = paper_model();
+        let usage = estimate_resources(&DesignConfig::u200(), &model);
+        let (l, d, b, u) = usage.utilization(&FpgaDevice::alveo_u200());
+        for f in [l, d, b, u] {
+            assert!((0.0..=1.0).contains(&f), "utilization {f} out of range");
+        }
+    }
+
+    #[test]
+    fn lut_time_encoder_consumes_uram_only_when_enabled() {
+        let mut model = paper_model();
+        let with_lut = estimate_resources(&DesignConfig::u200(), &model);
+        model.time_encoder = tgnn_core::TimeEncoderKind::Cos;
+        let without_lut = estimate_resources(&DesignConfig::u200(), &model);
+        assert!(with_lut.urams > 0);
+        assert_eq!(without_lut.urams, 0);
+    }
+
+    #[test]
+    fn multi_die_mapping_places_cus_off_die_zero_on_u200() {
+        let mapping = map_to_dies(&DesignConfig::u200(), &FpgaDevice::alveo_u200());
+        assert_eq!(mapping.placement.len(), 3);
+        assert!(mapping.placement[0].iter().any(|m| m == "Updater"));
+        assert!(mapping.placement[1].iter().any(|m| m.starts_with("CU")));
+        assert!(mapping.inter_die_links > 0);
+
+        let single = map_to_dies(&DesignConfig::zcu104(), &FpgaDevice::zcu104());
+        assert_eq!(single.placement.len(), 1);
+        assert_eq!(single.inter_die_links, 0);
+    }
+
+    #[test]
+    fn invalid_designs_rejected() {
+        let mut bad = DesignConfig::u200();
+        bad.num_cu = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = DesignConfig::u200();
+        bad.frequency_mhz = 0.0;
+        assert!(bad.validate().is_err());
+    }
+}

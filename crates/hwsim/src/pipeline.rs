@@ -1,0 +1,337 @@
+//! The 9-stage task schedule of Fig. 4 and its pipelined execution.
+//!
+//! A processing batch of `N_b` edges passes through: (1) load edges,
+//! (2) load neighbors / vertex memory / mail, (3) prefetch neighbor
+//! memories, (4) update neighbors / memory / mail, (5) update embeddings,
+//! (6.1–6.5) the MUU sub-stages (time encoding, update/reset/memory/merging
+//! gates) and (7.1–7.4) the EU sub-stages (attention, time encoding, feature
+//! aggregation, feature transformation).  Consecutive processing batches are
+//! fully pipelined, so the steady-state cost of a batch is the longest stage
+//! (`T_p`), with the full pipeline depth paid once per user-visible batch.
+//!
+//! The simulator works at stage-time granularity: each stage's duration is
+//! derived from cycle counts (compute stages) or from the DDR model (memory
+//! stages), using the *actual* per-batch workload (how many vertices had
+//! pending messages, how many neighbors were fetched after pruning), which is
+//! what distinguishes it from the closed-form model of Section V.
+
+use crate::ddr::DdrModel;
+use crate::design::DesignConfig;
+use serde::{Deserialize, Serialize};
+use tgnn_core::{AttentionKind, ModelConfig, TimeEncoderKind};
+
+/// Workload of one processing batch (measured by the functional engine).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchWorkload {
+    /// Edges in the processing batch.
+    pub edges: usize,
+    /// Vertices whose memory is updated (had a pending message).
+    pub memory_updates: usize,
+    /// Vertices for which embeddings are produced.
+    pub embeddings: usize,
+    /// Total neighbor-feature fetches (after pruning).
+    pub neighbors_fetched: usize,
+    /// Total candidate neighbors scored (before pruning).
+    pub neighbors_scored: usize,
+}
+
+/// Per-stage time breakdown of one processing batch, seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageBreakdown {
+    pub load_edges: f64,
+    pub load_vertex_state: f64,
+    pub prefetch_neighbors: f64,
+    pub muu_time_encoding: f64,
+    pub muu_gates: f64,
+    pub eu_attention: f64,
+    pub eu_time_encoding: f64,
+    pub eu_aggregation: f64,
+    pub eu_transformation: f64,
+    pub write_back: f64,
+}
+
+impl StageBreakdown {
+    /// The longest stage — the pipeline period `T_p` contribution of this
+    /// batch.
+    pub fn max_stage(&self) -> f64 {
+        [
+            self.load_edges,
+            self.load_vertex_state,
+            self.prefetch_neighbors,
+            self.muu_time_encoding,
+            self.muu_gates,
+            self.eu_attention,
+            self.eu_time_encoding,
+            self.eu_aggregation,
+            self.eu_transformation,
+            self.write_back,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Sum of all stages — the unpipelined latency of this batch.
+    pub fn total(&self) -> f64 {
+        self.load_edges
+            + self.load_vertex_state
+            + self.prefetch_neighbors
+            + self.muu_time_encoding
+            + self.muu_gates
+            + self.eu_attention
+            + self.eu_time_encoding
+            + self.eu_aggregation
+            + self.eu_transformation
+            + self.write_back
+    }
+}
+
+/// The pipeline timing model.
+#[derive(Clone, Debug)]
+pub struct PipelineModel {
+    pub design: DesignConfig,
+    pub model: ModelConfig,
+    pub ddr: DdrModel,
+}
+
+impl PipelineModel {
+    /// Creates a pipeline model.
+    pub fn new(design: DesignConfig, model: ModelConfig, ddr: DdrModel) -> Self {
+        Self { design, model, ddr }
+    }
+
+    /// Stage breakdown for one processing batch with the given measured
+    /// workload.
+    pub fn stage_breakdown(&self, w: &BatchWorkload) -> StageBreakdown {
+        let d = &self.design;
+        let m = &self.model;
+        let clk = d.clock_period();
+        let word = 4.0;
+
+        let msg = m.message_dim() as f64;
+        let mem = m.memory_dim as f64;
+        let efeat = m.edge_feature_dim as f64;
+        let nfeat = m.node_feature_dim as f64;
+        let emb = m.embedding_dim as f64;
+        let time = m.time_dim as f64;
+
+        // --- memory stages (DDR model).
+        let edge_bytes = w.edges as f64 * (2.0 + 1.0 + efeat) * word;
+        let vertex_state_bytes =
+            w.embeddings as f64 * (msg + mem + m.sampled_neighbors as f64 * 3.0) * word;
+        let neighbor_bytes = w.neighbors_fetched as f64 * (mem + efeat) * word + w.embeddings as f64 * nfeat * word;
+        let write_bytes = w.memory_updates as f64 * mem * word
+            + w.edges as f64 * 2.0 * msg * word
+            + w.embeddings as f64 * emb * word;
+
+        let load_edges = self.ddr.transfer_time(edge_bytes, (efeat.max(4.0)) * word);
+        let load_vertex_state = self.ddr.transfer_time(vertex_state_bytes, msg * word);
+        let mut prefetch_neighbors = self.ddr.transfer_time(neighbor_bytes, (mem + efeat) * word);
+        let write_back = self.ddr.transfer_time(write_bytes, mem * word);
+
+        // --- compute stages (cycle counts / parallelism / frequency).
+        let cu = d.num_cu as f64;
+        let muu_time_encoding = match m.time_encoder {
+            // One LUT read per update: a single cycle each.
+            TimeEncoderKind::Lut => w.memory_updates as f64 * clk / cu,
+            TimeEncoderKind::Cos => w.memory_updates as f64 * time * clk / cu,
+        };
+        let muu_gates =
+            w.memory_updates as f64 * 3.0 * msg * mem / (d.sg * d.sg) as f64 * clk / cu;
+
+        let eu_attention = match m.attention {
+            AttentionKind::Vanilla => {
+                // q·K dot products plus the key/query projections.
+                w.neighbors_scored as f64 * (m.neighbor_input_dim() as f64 * mem + mem)
+                    / d.s_fam as f64
+                    * clk
+                    / cu
+            }
+            AttentionKind::Simplified => {
+                // The tiny W_t·Δt product per embedding.
+                w.embeddings as f64 * (m.sampled_neighbors * m.sampled_neighbors) as f64
+                    / d.s_fam as f64
+                    * clk
+                    / cu
+            }
+        };
+        let eu_time_encoding = match m.time_encoder {
+            TimeEncoderKind::Lut => w.neighbors_fetched as f64 * clk / cu,
+            TimeEncoderKind::Cos => w.neighbors_fetched as f64 * time * clk / cu,
+        };
+        let eu_aggregation = w.neighbors_fetched as f64 * m.neighbor_input_dim() as f64 * mem
+            / d.s_fam as f64
+            / 8.0
+            * clk
+            / cu;
+        let eu_transformation =
+            w.embeddings as f64 * 2.0 * mem * emb / (d.s_ftm * d.s_ftm) as f64 * clk / cu;
+
+        // Prefetching (Section IV-C) overlaps the neighbor-memory loads with
+        // the MUU computation: only the non-overlapped part remains on the
+        // critical path.
+        if d.prefetch {
+            let overlap = muu_gates + muu_time_encoding;
+            prefetch_neighbors = (prefetch_neighbors - overlap).max(0.0);
+        }
+
+        StageBreakdown {
+            load_edges,
+            load_vertex_state,
+            prefetch_neighbors,
+            muu_time_encoding,
+            muu_gates,
+            eu_attention,
+            eu_time_encoding,
+            eu_aggregation,
+            eu_transformation,
+            write_back,
+        }
+    }
+
+    /// Simulated latency of one user-visible batch made of several processing
+    /// batches (fully pipelined): the pipeline fills once and then advances
+    /// one processing batch per period.
+    pub fn batch_latency(&self, workloads: &[BatchWorkload]) -> f64 {
+        if workloads.is_empty() {
+            return 0.0;
+        }
+        let breakdowns: Vec<StageBreakdown> =
+            workloads.iter().map(|w| self.stage_breakdown(w)).collect();
+        // Fill latency of the first processing batch plus one period per
+        // subsequent batch (each period bounded by that batch's slowest
+        // stage — a conservative dynamic version of Eq. 22).
+        let fill = breakdowns[0].total();
+        let steady: f64 = breakdowns[1..].iter().map(|b| b.max_stage()).sum();
+        fill + steady
+    }
+
+    /// Splits a user batch of `edges` into processing batches of `N_b` and
+    /// produces per-processing-batch workloads assuming the given average
+    /// statistics (used when only aggregate workload numbers are available).
+    pub fn split_workload(&self, total: &BatchWorkload) -> Vec<BatchWorkload> {
+        let nb = self.design.nb.max(1);
+        if total.edges == 0 {
+            return Vec::new();
+        }
+        let chunks = total.edges.div_ceil(nb);
+        (0..chunks)
+            .map(|i| {
+                let edges = if i + 1 == chunks { total.edges - nb * (chunks - 1) } else { nb };
+                let scale = edges as f64 / total.edges as f64;
+                BatchWorkload {
+                    edges,
+                    memory_updates: (total.memory_updates as f64 * scale).round() as usize,
+                    embeddings: (total.embeddings as f64 * scale).round() as usize,
+                    neighbors_fetched: (total.neighbors_fetched as f64 * scale).round() as usize,
+                    neighbors_scored: (total.neighbors_scored as f64 * scale).round() as usize,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::FpgaDevice;
+    use tgnn_core::OptimizationVariant;
+
+    fn workload(edges: usize, model: &ModelConfig) -> BatchWorkload {
+        BatchWorkload {
+            edges,
+            memory_updates: edges * 2,
+            embeddings: edges * 2,
+            neighbors_fetched: edges * 2 * model.neighbor_budget,
+            neighbors_scored: edges * 2 * model.sampled_neighbors,
+        }
+    }
+
+    fn pipeline(variant: OptimizationVariant, design: DesignConfig, gbps: f64) -> PipelineModel {
+        PipelineModel::new(
+            design,
+            ModelConfig::paper_default(0, 172).with_variant(variant),
+            DdrModel::new_gbps(gbps),
+        )
+    }
+
+    #[test]
+    fn stage_breakdown_is_positive_and_bounded() {
+        let p = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), 77.0);
+        let w = workload(8, &p.model);
+        let b = p.stage_breakdown(&w);
+        assert!(b.total() > 0.0);
+        assert!(b.max_stage() <= b.total());
+        assert!(b.max_stage() > 0.0);
+    }
+
+    #[test]
+    fn simplified_attention_shrinks_the_attention_stage() {
+        let vanilla = pipeline(OptimizationVariant::Baseline, DesignConfig::u200(), 77.0);
+        let sat = pipeline(OptimizationVariant::Sat, DesignConfig::u200(), 77.0);
+        let wv = workload(8, &vanilla.model);
+        let ws = workload(8, &sat.model);
+        let bv = vanilla.stage_breakdown(&wv);
+        let bs = sat.stage_breakdown(&ws);
+        assert!(
+            bs.eu_attention < 0.2 * bv.eu_attention,
+            "SAT attention stage {} vs vanilla {}",
+            bs.eu_attention,
+            bv.eu_attention
+        );
+    }
+
+    #[test]
+    fn lut_time_encoder_removes_time_encoding_cycles() {
+        let cos = pipeline(OptimizationVariant::Sat, DesignConfig::u200(), 77.0);
+        let lut = pipeline(OptimizationVariant::SatLut, DesignConfig::u200(), 77.0);
+        let wc = workload(8, &cos.model);
+        let wl = workload(8, &lut.model);
+        assert!(lut.stage_breakdown(&wl).eu_time_encoding < cos.stage_breakdown(&wc).eu_time_encoding);
+        assert!(lut.stage_breakdown(&wl).muu_time_encoding < cos.stage_breakdown(&wc).muu_time_encoding);
+    }
+
+    #[test]
+    fn prefetching_hides_neighbor_loads() {
+        let mut design = DesignConfig::u200();
+        design.prefetch = false;
+        let without = pipeline(OptimizationVariant::NpMedium, design, 77.0);
+        let with = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), 77.0);
+        let w = workload(8, &with.model);
+        let b_without = without.stage_breakdown(&w);
+        let b_with = with.stage_breakdown(&w);
+        assert!(b_with.prefetch_neighbors <= b_without.prefetch_neighbors);
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_execution() {
+        let p = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), 77.0);
+        let total = workload(256, &p.model);
+        let workloads = p.split_workload(&total);
+        assert!(workloads.len() > 1);
+        let pipelined = p.batch_latency(&workloads);
+        let sequential: f64 = workloads.iter().map(|w| p.stage_breakdown(w).total()).sum();
+        assert!(pipelined < sequential, "pipelining must help: {pipelined} vs {sequential}");
+    }
+
+    #[test]
+    fn split_workload_conserves_edges() {
+        let p = pipeline(OptimizationVariant::NpSmall, DesignConfig::zcu104(), 19.2);
+        let total = workload(103, &p.model);
+        let parts = p.split_workload(&total);
+        let edges: usize = parts.iter().map(|w| w.edges).sum();
+        assert_eq!(edges, 103);
+        assert!(parts.iter().all(|w| w.edges <= p.design.nb));
+        assert!(p.split_workload(&BatchWorkload::default()).is_empty());
+    }
+
+    #[test]
+    fn zcu104_is_slower_than_u200() {
+        let u200 = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), FpgaDevice::alveo_u200().ddr_bandwidth_gbps);
+        let zcu = pipeline(OptimizationVariant::NpMedium, DesignConfig::zcu104(), FpgaDevice::zcu104().ddr_bandwidth_gbps);
+        let total_u = workload(200, &u200.model);
+        let total_z = workload(200, &zcu.model);
+        let lat_u = u200.batch_latency(&u200.split_workload(&total_u));
+        let lat_z = zcu.batch_latency(&zcu.split_workload(&total_z));
+        assert!(lat_u < lat_z);
+    }
+}

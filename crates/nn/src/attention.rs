@@ -1,0 +1,775 @@
+//! Temporal attention aggregators.
+//!
+//! Two aggregators with the same input/output contract so the model can swap
+//! them:
+//!
+//! * [`VanillaAttention`] — the Transformer-style temporal attention of TGN
+//!   (Eq. 11–15): queries from the target vertex, keys/values from its
+//!   temporal neighbors, scaled dot-product scores.
+//! * [`SimplifiedAttention`] — the paper's light-weight attention (Eq. 16):
+//!   the attention logits are `a + W_t·Δt`, a function of the neighbor time
+//!   deltas only.  Because no key/query projections are needed, the score is
+//!   known *before* any neighbor feature is fetched, which enables the top-k
+//!   temporal-neighbor pruning of Section III-B and the prefetching the
+//!   hardware relies on.
+//!
+//! Both operate on one target vertex at a time: the caller supplies the
+//! target's query-side input row and a `n × d_n` matrix of neighbor-side
+//! inputs (already concatenated `[f'_j || e_ij || Φ(Δt_j)]`, exactly the
+//! layout the Embedding Unit streams from the Data Loader).
+
+use crate::linear::Linear;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use tgnn_tensor::gemm::matvec;
+use tgnn_tensor::ops::{softmax, top_k_indices, weighted_row_sum};
+use tgnn_tensor::{Float, Matrix, TensorRng};
+
+/// Output of an attention forward pass, including what is needed for
+/// backward and for the pruning/complexity analysis.
+#[derive(Clone, Debug)]
+pub struct PrunedAttentionOutput {
+    /// Aggregated output vector `h_i`.
+    pub output: Vec<Float>,
+    /// Attention weights over the *selected* neighbors (sums to 1).
+    pub weights: Vec<Float>,
+    /// Indices (into the caller's neighbor list) that were actually used.
+    pub selected: Vec<usize>,
+    /// Pre-softmax logits over all candidate neighbors (used by the
+    /// knowledge-distillation loss, Eq. 17).
+    pub logits: Vec<Float>,
+}
+
+/// Transformer-style temporal attention (Eq. 11–15).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct VanillaAttention {
+    /// Query projection `W_q, b_q` applied to `[f'_i || Φ(0)]`.
+    pub w_q: Linear,
+    /// Key projection `W_k, b_k` applied to `[f'_j || e_ij || Φ(Δt)]`.
+    pub w_k: Linear,
+    /// Value projection `W_v, b_v` applied to the same neighbor input.
+    pub w_v: Linear,
+    query_in_dim: usize,
+    neighbor_in_dim: usize,
+    head_dim: usize,
+    value_dim: usize,
+}
+
+/// Cache for [`VanillaAttention::backward`].
+#[derive(Clone, Debug)]
+pub struct VanillaCache {
+    query_input: Matrix,
+    neighbor_input: Matrix,
+    q: Vec<Float>,
+    k: Matrix,
+    v: Matrix,
+    weights: Vec<Float>,
+}
+
+impl VanillaAttention {
+    /// Creates the aggregator.
+    ///
+    /// * `query_in_dim` — dimensionality of the target-side input
+    ///   `[f'_i || Φ(0)]`.
+    /// * `neighbor_in_dim` — dimensionality of the neighbor-side input
+    ///   `[f'_j || e_ij || Φ(Δt)]`.
+    /// * `head_dim` — dimensionality of queries/keys.
+    /// * `value_dim` — dimensionality of values and of the output.
+    pub fn new(
+        name: &str,
+        query_in_dim: usize,
+        neighbor_in_dim: usize,
+        head_dim: usize,
+        value_dim: usize,
+        rng: &mut TensorRng,
+    ) -> Self {
+        Self {
+            w_q: Linear::new(&format!("{name}.w_q"), query_in_dim, head_dim, rng),
+            w_k: Linear::new(&format!("{name}.w_k"), neighbor_in_dim, head_dim, rng),
+            w_v: Linear::new(&format!("{name}.w_v"), neighbor_in_dim, value_dim, rng),
+            query_in_dim,
+            neighbor_in_dim,
+            head_dim,
+            value_dim,
+        }
+    }
+
+    /// Output (value) dimensionality.
+    pub fn value_dim(&self) -> usize {
+        self.value_dim
+    }
+
+    /// Neighbor-side input dimensionality.
+    pub fn neighbor_in_dim(&self) -> usize {
+        self.neighbor_in_dim
+    }
+
+    /// Query-side input dimensionality.
+    pub fn query_in_dim(&self) -> usize {
+        self.query_in_dim
+    }
+
+    /// Forward pass for one target vertex.
+    ///
+    /// `query_input` is `1 × query_in_dim`; `neighbor_input` is
+    /// `n × neighbor_in_dim`.  With `n = 0` the output is the zero vector
+    /// (a vertex with no temporal neighbors contributes only through its
+    /// memory, handled by the caller).
+    pub fn forward(&self, query_input: &Matrix, neighbor_input: &Matrix) -> PrunedAttentionOutput {
+        self.forward_cached(query_input, neighbor_input).0
+    }
+
+    /// Forward pass that also returns the cache for [`Self::backward`].
+    pub fn forward_cached(
+        &self,
+        query_input: &Matrix,
+        neighbor_input: &Matrix,
+    ) -> (PrunedAttentionOutput, VanillaCache) {
+        assert_eq!(query_input.rows(), 1, "VanillaAttention: one query row per call");
+        assert_eq!(query_input.cols(), self.query_in_dim, "VanillaAttention: query dim mismatch");
+        let n = neighbor_input.rows();
+        if n > 0 {
+            assert_eq!(
+                neighbor_input.cols(),
+                self.neighbor_in_dim,
+                "VanillaAttention: neighbor dim mismatch"
+            );
+        }
+
+        let q = self.w_q.forward(query_input).row_to_vec(0);
+        if n == 0 {
+            let out = PrunedAttentionOutput {
+                output: vec![0.0; self.value_dim],
+                weights: Vec::new(),
+                selected: Vec::new(),
+                logits: Vec::new(),
+            };
+            let cache = VanillaCache {
+                query_input: query_input.clone(),
+                neighbor_input: neighbor_input.clone(),
+                q,
+                k: Matrix::zeros(0, self.head_dim),
+                v: Matrix::zeros(0, self.value_dim),
+                weights: Vec::new(),
+            };
+            return (out, cache);
+        }
+
+        let k = self.w_k.forward(neighbor_input);
+        let v = self.w_v.forward(neighbor_input);
+        let scale = 1.0 / (n as Float).sqrt();
+        let logits: Vec<Float> = (0..n)
+            .map(|j| tgnn_tensor::gemm::dot(&q, k.row(j)) * scale)
+            .collect();
+        let weights = softmax(&logits);
+        let output = weighted_row_sum(&v, &weights);
+
+        let out = PrunedAttentionOutput {
+            output,
+            weights: weights.clone(),
+            selected: (0..n).collect(),
+            logits,
+        };
+        let cache = VanillaCache {
+            query_input: query_input.clone(),
+            neighbor_input: neighbor_input.clone(),
+            q,
+            k,
+            v,
+            weights,
+        };
+        (out, cache)
+    }
+
+    /// Backward pass for one target vertex.  Accumulates all weight
+    /// gradients and returns `(grad_query_input, grad_neighbor_input)`.
+    pub fn backward(&mut self, cache: &VanillaCache, grad_output: &[Float]) -> (Matrix, Matrix) {
+        assert_eq!(grad_output.len(), self.value_dim, "VanillaAttention: grad dim mismatch");
+        let n = cache.neighbor_input.rows();
+        if n == 0 {
+            return (
+                Matrix::zeros(1, self.query_in_dim),
+                Matrix::zeros(0, self.neighbor_in_dim),
+            );
+        }
+        let scale = 1.0 / (n as Float).sqrt();
+
+        // output = Σ_j w_j v_j
+        // dv_j = w_j * grad_output
+        let mut grad_v = Matrix::zeros(n, self.value_dim);
+        for j in 0..n {
+            for (g, &go) in grad_v.row_mut(j).iter_mut().zip(grad_output) {
+                *g = cache.weights[j] * go;
+            }
+        }
+        // dw_j = grad_output · v_j
+        let dw: Vec<Float> = (0..n)
+            .map(|j| tgnn_tensor::gemm::dot(grad_output, cache.v.row(j)))
+            .collect();
+        // softmax backward: dlogit_j = w_j * (dw_j - Σ_k w_k dw_k)
+        let dot_sum: Float = cache.weights.iter().zip(&dw).map(|(&w, &d)| w * d).sum();
+        let dlogits: Vec<Float> = (0..n).map(|j| cache.weights[j] * (dw[j] - dot_sum)).collect();
+
+        // logit_j = scale * q·k_j
+        let mut grad_q = vec![0.0; self.head_dim];
+        let mut grad_k = Matrix::zeros(n, self.head_dim);
+        for j in 0..n {
+            let dl = dlogits[j] * scale;
+            for (gq, &kj) in grad_q.iter_mut().zip(cache.k.row(j)) {
+                *gq += dl * kj;
+            }
+            for (gk, &qi) in grad_k.row_mut(j).iter_mut().zip(&cache.q) {
+                *gk = dl * qi;
+            }
+        }
+
+        let grad_query_input =
+            self.w_q.backward(&cache.query_input, &Matrix::from_vec(1, self.head_dim, grad_q));
+        let grad_from_k = self.w_k.backward(&cache.neighbor_input, &grad_k);
+        let grad_from_v = self.w_v.backward(&cache.neighbor_input, &grad_v);
+        let grad_neighbor_input = tgnn_tensor::ops::add(&grad_from_k, &grad_from_v);
+        (grad_query_input, grad_neighbor_input)
+    }
+
+    /// Learnable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = Vec::new();
+        out.extend(self.w_q.params_mut());
+        out.extend(self.w_k.params_mut());
+        out.extend(self.w_v.params_mut());
+        out
+    }
+
+    /// Immutable parameter access.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out = Vec::new();
+        out.extend(self.w_q.params());
+        out.extend(self.w_k.params());
+        out.extend(self.w_v.params());
+        out
+    }
+
+    /// MAC count for one target with `n` neighbors: query, key, value
+    /// projections plus the score dot-products and the weighted sum.
+    pub fn macs(&self, n: usize) -> u64 {
+        let proj = self.w_q.macs(1) + self.w_k.macs(n) + self.w_v.macs(n);
+        let scores = (n * self.head_dim) as u64;
+        let aggregate = (n * self.value_dim) as u64;
+        proj + scores + aggregate
+    }
+}
+
+/// The paper's simplified temporal attention (Eq. 16) with optional top-k
+/// neighbor pruning (Section III-B).
+///
+/// Logits are `a + W_t·Δt` where `Δt` is the vector of time differences to
+/// the (timestamp-sorted) candidate neighbors, `a` is a learnable constant
+/// vector shared across nodes, and `W_t` maps the node-specific Δt pattern to
+/// per-slot offsets.  Values are still projected with `W_v` — but only for
+/// the selected neighbors, which is where the linear reduction in computation
+/// and memory accesses comes from.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimplifiedAttention {
+    /// Constant attention logits `a` (1×slots).
+    pub a: Param,
+    /// Time-difference mixing matrix `W_t` (slots×slots).
+    pub w_t: Param,
+    /// Value projection shared with the vanilla aggregator's role.
+    pub w_v: Linear,
+    /// Number of candidate neighbor slots `n` (the fixed-length sorted list).
+    slots: usize,
+    neighbor_in_dim: usize,
+    value_dim: usize,
+    /// Normalisation applied to Δt before the linear map, keeping the logits
+    /// in a trainable range regardless of the dataset's time unit.
+    time_scale: Float,
+}
+
+/// Cache for [`SimplifiedAttention::backward`].
+#[derive(Clone, Debug)]
+pub struct SimplifiedCache {
+    neighbor_input: Matrix,
+    scaled_dt: Vec<Float>,
+    selected: Vec<usize>,
+    weights: Vec<Float>,
+    v_selected: Matrix,
+}
+
+impl SimplifiedAttention {
+    /// Creates the simplified aggregator.
+    ///
+    /// * `slots` — length of the fixed candidate neighbor list (10 in the
+    ///   paper's baseline configuration).
+    /// * `neighbor_in_dim` / `value_dim` — as in [`VanillaAttention`].
+    /// * `time_scale` — divisor applied to Δt (e.g. one day in seconds) so
+    ///   logits stay well-conditioned.
+    pub fn new(
+        name: &str,
+        slots: usize,
+        neighbor_in_dim: usize,
+        value_dim: usize,
+        time_scale: Float,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(slots > 0, "SimplifiedAttention: need at least one slot");
+        assert!(time_scale > 0.0, "SimplifiedAttention: time scale must be positive");
+        Self {
+            a: Param::new(format!("{name}.a"), rng.uniform_matrix(1, slots, -0.1, 0.1)),
+            w_t: Param::new(format!("{name}.w_t"), rng.xavier_matrix(slots, slots)),
+            w_v: Linear::new(&format!("{name}.w_v"), neighbor_in_dim, value_dim, rng),
+            slots,
+            neighbor_in_dim,
+            value_dim,
+            time_scale,
+        }
+    }
+
+    /// Number of candidate slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Output dimensionality.
+    pub fn value_dim(&self) -> usize {
+        self.value_dim
+    }
+
+    /// Neighbor-side input dimensionality.
+    pub fn neighbor_in_dim(&self) -> usize {
+        self.neighbor_in_dim
+    }
+
+    /// Computes the attention logits for a Δt vector without touching any
+    /// neighbor features.  `delta_t` must have at most `slots` entries
+    /// (missing slots — vertices with fewer temporal neighbors — are treated
+    /// as absent and receive a logit of `-inf` so they never get selected).
+    pub fn logits(&self, delta_t: &[Float]) -> Vec<Float> {
+        assert!(delta_t.len() <= self.slots, "SimplifiedAttention: too many neighbors");
+        let scaled: Vec<Float> = self.padded_scaled_dt(delta_t);
+        let offsets = matvec(&self.w_t.value, &scaled);
+        (0..self.slots)
+            .map(|j| {
+                if j < delta_t.len() {
+                    self.a.value[(0, j)] + offsets[j]
+                } else {
+                    Float::NEG_INFINITY
+                }
+            })
+            .collect()
+    }
+
+    fn padded_scaled_dt(&self, delta_t: &[Float]) -> Vec<Float> {
+        let mut scaled = vec![0.0; self.slots];
+        for (i, &dt) in delta_t.iter().enumerate() {
+            scaled[i] = dt / self.time_scale;
+        }
+        scaled
+    }
+
+    /// Forward pass for one target vertex with pruning budget `budget`
+    /// (the NP(L/M/S) parameter; pass `slots` for no pruning).
+    pub fn forward(
+        &self,
+        delta_t: &[Float],
+        neighbor_input: &Matrix,
+        budget: usize,
+    ) -> PrunedAttentionOutput {
+        self.forward_cached(delta_t, neighbor_input, budget).0
+    }
+
+    /// Forward pass that also returns the backward cache.
+    pub fn forward_cached(
+        &self,
+        delta_t: &[Float],
+        neighbor_input: &Matrix,
+        budget: usize,
+    ) -> (PrunedAttentionOutput, SimplifiedCache) {
+        assert_eq!(
+            delta_t.len(),
+            neighbor_input.rows(),
+            "SimplifiedAttention: Δt / neighbor count mismatch"
+        );
+        if !delta_t.is_empty() {
+            assert_eq!(
+                neighbor_input.cols(),
+                self.neighbor_in_dim,
+                "SimplifiedAttention: neighbor dim mismatch"
+            );
+        }
+        let logits = self.logits(delta_t);
+        let present_logits: Vec<Float> = logits[..delta_t.len()].to_vec();
+
+        // Top-k pruning on the logits of the present neighbors.
+        let selected = top_k_indices(&present_logits, budget.min(delta_t.len()).max(0));
+        if selected.is_empty() {
+            let out = PrunedAttentionOutput {
+                output: vec![0.0; self.value_dim],
+                weights: Vec::new(),
+                selected: Vec::new(),
+                logits: present_logits,
+            };
+            let cache = SimplifiedCache {
+                neighbor_input: neighbor_input.clone(),
+                scaled_dt: self.padded_scaled_dt(delta_t),
+                selected: Vec::new(),
+                weights: Vec::new(),
+                v_selected: Matrix::zeros(0, self.value_dim),
+            };
+            return (out, cache);
+        }
+
+        let selected_logits: Vec<Float> = selected.iter().map(|&j| present_logits[j]).collect();
+        let weights = softmax(&selected_logits);
+
+        // Only the selected neighbors' values are computed/fetched.
+        let selected_input = neighbor_input.gather_rows(&selected);
+        let v_selected = self.w_v.forward(&selected_input);
+        let output = weighted_row_sum(&v_selected, &weights);
+
+        let out = PrunedAttentionOutput {
+            output,
+            weights: weights.clone(),
+            selected: selected.clone(),
+            logits: present_logits,
+        };
+        let cache = SimplifiedCache {
+            neighbor_input: neighbor_input.clone(),
+            scaled_dt: self.padded_scaled_dt(delta_t),
+            selected,
+            weights,
+            v_selected,
+        };
+        (out, cache)
+    }
+
+    /// Backward pass.  Accumulates gradients for `a`, `W_t`, `W_v` and
+    /// returns the gradient with respect to the neighbor inputs (rows not
+    /// selected by pruning receive zero gradient, mirroring the fact that
+    /// they were never fetched).
+    pub fn backward(&mut self, cache: &SimplifiedCache, grad_output: &[Float]) -> Matrix {
+        assert_eq!(grad_output.len(), self.value_dim, "SimplifiedAttention: grad dim mismatch");
+        let total_neighbors = cache.neighbor_input.rows();
+        let mut grad_neighbor_input = Matrix::zeros(total_neighbors, self.neighbor_in_dim);
+        if cache.selected.is_empty() {
+            return grad_neighbor_input;
+        }
+        let k = cache.selected.len();
+
+        // output = Σ_j w_j v_j over selected neighbors.
+        let mut grad_v = Matrix::zeros(k, self.value_dim);
+        for j in 0..k {
+            for (g, &go) in grad_v.row_mut(j).iter_mut().zip(grad_output) {
+                *g = cache.weights[j] * go;
+            }
+        }
+        let dw: Vec<Float> = (0..k)
+            .map(|j| tgnn_tensor::gemm::dot(grad_output, cache.v_selected.row(j)))
+            .collect();
+        let dot_sum: Float = cache.weights.iter().zip(&dw).map(|(&w, &d)| w * d).sum();
+        let dlogits_selected: Vec<Float> =
+            (0..k).map(|j| cache.weights[j] * (dw[j] - dot_sum)).collect();
+
+        // Value projection backward (only selected rows).
+        let selected_input = cache.neighbor_input.gather_rows(&cache.selected);
+        let grad_selected_input = self.w_v.backward(&selected_input, &grad_v);
+        for (pos, &orig) in cache.selected.iter().enumerate() {
+            let src = grad_selected_input.row(pos).to_vec();
+            let dst = grad_neighbor_input.row_mut(orig);
+            for (d, s) in dst.iter_mut().zip(src) {
+                *d += s;
+            }
+        }
+
+        // Logit backward: logit_j = a_j + Σ_m W_t[j, m] * scaled_dt_m.
+        let mut d_a = Matrix::zeros(1, self.slots);
+        let mut d_wt = Matrix::zeros(self.slots, self.slots);
+        for (pos, &slot) in cache.selected.iter().enumerate() {
+            let dl = dlogits_selected[pos];
+            d_a[(0, slot)] += dl;
+            for m in 0..self.slots {
+                d_wt[(slot, m)] += dl * cache.scaled_dt[m];
+            }
+        }
+        self.a.accumulate(&d_a);
+        self.w_t.accumulate(&d_wt);
+
+        grad_neighbor_input
+    }
+
+    /// Learnable parameters.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut out = vec![];
+        out.push(&mut self.a);
+        out.push(&mut self.w_t);
+        out.extend(self.w_v.params_mut());
+        out
+    }
+
+    /// Immutable parameter access.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut out: Vec<&Param> = vec![&self.a, &self.w_t];
+        out.extend(self.w_v.params());
+        out
+    }
+
+    /// MAC count for one target aggregating `k` selected neighbors out of
+    /// `slots` candidates: the tiny `W_t·Δt` product, the value projections
+    /// of the selected neighbors, and the weighted sum.  Compare with
+    /// [`VanillaAttention::macs`]: there is no query/key projection and no
+    /// per-neighbor dot product, and the value work scales with `k`, not
+    /// `slots`.
+    pub fn macs(&self, k: usize) -> u64 {
+        let logit = (self.slots * self.slots) as u64;
+        let values = self.w_v.macs(k);
+        let aggregate = (k * self.value_dim) as u64;
+        logit + values + aggregate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use tgnn_tensor::approx_eq;
+
+    fn setup_vanilla() -> (VanillaAttention, Matrix, Matrix, TensorRng) {
+        let mut rng = TensorRng::new(10);
+        let att = VanillaAttention::new("att", 6, 9, 5, 4, &mut rng);
+        let q = rng.uniform_matrix(1, 6, -1.0, 1.0);
+        let nbrs = rng.uniform_matrix(7, 9, -1.0, 1.0);
+        (att, q, nbrs, rng)
+    }
+
+    #[test]
+    fn vanilla_weights_sum_to_one_and_output_in_value_span() {
+        let (att, q, nbrs, _) = setup_vanilla();
+        let out = att.forward(&q, &nbrs);
+        assert_eq!(out.output.len(), 4);
+        assert_eq!(out.weights.len(), 7);
+        assert!(approx_eq(out.weights.iter().sum::<Float>(), 1.0, 1e-5));
+        assert_eq!(out.selected, (0..7).collect::<Vec<_>>());
+        assert_eq!(out.logits.len(), 7);
+    }
+
+    #[test]
+    fn vanilla_no_neighbors_returns_zero() {
+        let (att, q, _, _) = setup_vanilla();
+        let out = att.forward(&q, &Matrix::zeros(0, 9));
+        assert_eq!(out.output, vec![0.0; 4]);
+        assert!(out.weights.is_empty());
+    }
+
+    #[test]
+    fn vanilla_single_neighbor_gets_full_weight() {
+        let (att, q, nbrs, _) = setup_vanilla();
+        let single = nbrs.gather_rows(&[2]);
+        let out = att.forward(&q, &single);
+        assert_eq!(out.weights.len(), 1);
+        assert!(approx_eq(out.weights[0], 1.0, 1e-6));
+        // Output equals that neighbor's value projection.
+        let v = att.w_v.forward(&single);
+        for (a, b) in out.output.iter().zip(v.row(0)) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn vanilla_backward_matches_finite_differences() {
+        let mut rng = TensorRng::new(20);
+        let mut att = VanillaAttention::new("att", 4, 5, 3, 3, &mut rng);
+        let q = rng.uniform_matrix(1, 4, -1.0, 1.0);
+        let nbrs = rng.uniform_matrix(4, 5, -1.0, 1.0);
+
+        let loss_fn = |a: &VanillaAttention, qi: &Matrix, ni: &Matrix| {
+            a.forward(qi, ni).output.iter().sum::<Float>()
+        };
+        let (out, cache) = att.forward_cached(&q, &nbrs);
+        let loss = out.output.iter().sum::<Float>();
+        let (grad_q, grad_n) = att.backward(&cache, &[1.0, 1.0, 1.0]);
+
+        check_gradients(
+            &loss,
+            &att.w_q.weight.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.w_q.weight.value[(i, j)] += eps;
+                loss_fn(&p, &q, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &att.w_k.weight.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.w_k.weight.value[(i, j)] += eps;
+                loss_fn(&p, &q, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &att.w_v.weight.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.w_v.weight.value[(i, j)] += eps;
+                loss_fn(&p, &q, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &grad_q,
+            |i, j, eps| {
+                let mut p = q.clone();
+                p[(i, j)] += eps;
+                loss_fn(&att, &p, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &grad_n,
+            |i, j, eps| {
+                let mut p = nbrs.clone();
+                p[(i, j)] += eps;
+                loss_fn(&att, &q, &p)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn simplified_logits_ignore_features_and_respect_missing_slots() {
+        let mut rng = TensorRng::new(30);
+        let att = SimplifiedAttention::new("sat", 6, 8, 4, 1.0, &mut rng);
+        let logits = att.logits(&[0.5, 1.0, 2.0]);
+        assert_eq!(logits.len(), 6);
+        assert!(logits[..3].iter().all(|l| l.is_finite()));
+        assert!(logits[3..].iter().all(|l| l.is_infinite() && *l < 0.0));
+    }
+
+    #[test]
+    fn simplified_pruning_selects_top_logits_and_weights_normalise() {
+        let mut rng = TensorRng::new(31);
+        let att = SimplifiedAttention::new("sat", 10, 8, 4, 1.0, &mut rng);
+        let dts: Vec<Float> = (0..10).map(|i| i as Float * 0.3).collect();
+        let nbrs = rng.uniform_matrix(10, 8, -1.0, 1.0);
+        let out = att.forward(&dts, &nbrs, 4);
+        assert_eq!(out.selected.len(), 4);
+        assert!(approx_eq(out.weights.iter().sum::<Float>(), 1.0, 1e-5));
+        // The selected logits are the top-4 of all logits.
+        let mut sorted = out.logits.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let threshold = sorted[3];
+        for &s in &out.selected {
+            assert!(out.logits[s] >= threshold - 1e-6);
+        }
+    }
+
+    #[test]
+    fn simplified_full_budget_uses_all_neighbors() {
+        let mut rng = TensorRng::new(32);
+        let att = SimplifiedAttention::new("sat", 5, 6, 3, 1.0, &mut rng);
+        let dts = vec![0.1, 0.2, 0.3];
+        let nbrs = rng.uniform_matrix(3, 6, -1.0, 1.0);
+        let out = att.forward(&dts, &nbrs, 5);
+        assert_eq!(out.selected.len(), 3);
+        let empty = att.forward(&[], &Matrix::zeros(0, 6), 5);
+        assert_eq!(empty.output, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn simplified_macs_smaller_than_vanilla() {
+        let mut rng = TensorRng::new(33);
+        // Dimensions roughly matching the paper (100-dim memory, 172-dim
+        // edge features, 100-dim time encoding, 10 neighbors).
+        let neighbor_in = 100 + 172 + 100;
+        let vanilla = VanillaAttention::new("v", 200, neighbor_in, 100, 100, &mut rng);
+        let sat = SimplifiedAttention::new("s", 10, neighbor_in, 100, 86_400.0, &mut rng);
+        let full = vanilla.macs(10);
+        let simplified = sat.macs(10);
+        let pruned = sat.macs(2);
+        assert!(
+            (simplified as f64) < 0.75 * full as f64,
+            "SAT should cut computation substantially: {simplified} vs {full}"
+        );
+        assert!((pruned as f64) < 0.3 * full as f64);
+    }
+
+    #[test]
+    fn simplified_backward_matches_finite_differences() {
+        let mut rng = TensorRng::new(34);
+        let mut att = SimplifiedAttention::new("sat", 4, 5, 3, 1.0, &mut rng);
+        let dts = vec![0.2, 0.9, 1.7, 0.4];
+        let nbrs = rng.uniform_matrix(4, 5, -1.0, 1.0);
+        let budget = 3;
+
+        let loss_fn = |a: &SimplifiedAttention, ni: &Matrix| {
+            a.forward(&dts, ni, budget).output.iter().sum::<Float>()
+        };
+        let (out, cache) = att.forward_cached(&dts, &nbrs, budget);
+        let loss = out.output.iter().sum::<Float>();
+        let grad_n = att.backward(&cache, &[1.0, 1.0, 1.0]);
+
+        check_gradients(
+            &loss,
+            &att.w_v.weight.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.w_v.weight.value[(i, j)] += eps;
+                loss_fn(&p, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &att.a.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.a.value[(i, j)] += eps;
+                loss_fn(&p, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &att.w_t.grad,
+            |i, j, eps| {
+                let mut p = att.clone();
+                p.w_t.value[(i, j)] += eps;
+                loss_fn(&p, &nbrs)
+            },
+            3e-2,
+        );
+        check_gradients(
+            &loss,
+            &grad_n,
+            |i, j, eps| {
+                let mut p = nbrs.clone();
+                p[(i, j)] += eps;
+                loss_fn(&att, &p)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn pruned_neighbors_receive_zero_gradient() {
+        let mut rng = TensorRng::new(35);
+        let mut att = SimplifiedAttention::new("sat", 4, 5, 3, 1.0, &mut rng);
+        let dts = vec![0.2, 0.9, 1.7, 0.4];
+        let nbrs = rng.uniform_matrix(4, 5, -1.0, 1.0);
+        let (_, cache) = att.forward_cached(&dts, &nbrs, 2);
+        let grad_n = att.backward(&cache, &[1.0, 1.0, 1.0]);
+        let selected = cache.selected.clone();
+        for j in 0..4 {
+            let row_norm: Float = grad_n.row(j).iter().map(|x| x.abs()).sum();
+            if selected.contains(&j) {
+                assert!(row_norm > 0.0, "selected neighbor {j} should receive gradient");
+            } else {
+                assert_eq!(row_norm, 0.0, "pruned neighbor {j} must not receive gradient");
+            }
+        }
+    }
+}

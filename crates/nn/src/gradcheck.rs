@@ -1,0 +1,98 @@
+//! Finite-difference gradient checking.
+//!
+//! Every hand-written backward pass in this crate is validated against a
+//! central finite difference of the corresponding scalar loss.  The helper is
+//! exposed publicly so higher-level crates (the full model in `tgnn-core`)
+//! can reuse it in their own tests.
+
+use tgnn_tensor::{Float, Matrix};
+
+/// Default perturbation used by the checks.
+pub const DEFAULT_EPS: Float = 1e-2;
+
+/// Checks an analytic gradient matrix against central finite differences.
+///
+/// * `_loss_at_center` — the unperturbed loss (unused numerically, kept for
+///   call-site readability).
+/// * `analytic` — the gradient under test (same shape as the parameter).
+/// * `loss_with_perturbation(i, j, eps)` — recomputes the loss with element
+///   `(i, j)` of the parameter shifted by `eps`.
+/// * `tol` — maximum allowed absolute/relative deviation.
+///
+/// # Panics
+/// Panics with a descriptive message when any element deviates.
+pub fn check_gradients(
+    _loss_at_center: &Float,
+    analytic: &Matrix,
+    mut loss_with_perturbation: impl FnMut(usize, usize, Float) -> Float,
+    tol: Float,
+) {
+    for i in 0..analytic.rows() {
+        for j in 0..analytic.cols() {
+            let plus = loss_with_perturbation(i, j, DEFAULT_EPS);
+            let minus = loss_with_perturbation(i, j, -DEFAULT_EPS);
+            let numeric = (plus - minus) / (2.0 * DEFAULT_EPS);
+            let a = analytic[(i, j)];
+            let denom = 1.0_f32.max(a.abs()).max(numeric.abs());
+            let rel = (a - numeric).abs() / denom;
+            assert!(
+                rel <= tol,
+                "gradient mismatch at ({i}, {j}): analytic {a}, numeric {numeric}, rel err {rel}"
+            );
+        }
+    }
+}
+
+/// Relative error between an analytic and a numeric scalar derivative.
+pub fn relative_error(analytic: Float, numeric: Float) -> Float {
+    let denom = 1.0_f32.max(analytic.abs()).max(numeric.abs());
+    (analytic - numeric).abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient_of_quadratic() {
+        // loss(w) = sum(w^2); d/dw = 2w.
+        let w = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0]]);
+        let analytic = w.map(|x| 2.0 * x);
+        let loss = w.map(|x| x * x).sum();
+        check_gradients(
+            &loss,
+            &analytic,
+            |i, j, eps| {
+                let mut p = w.clone();
+                p[(i, j)] += eps;
+                p.map(|x| x * x).sum()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn rejects_wrong_gradient() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let wrong = w.map(|x| 3.0 * x); // true gradient is 2w
+        let loss = w.map(|x| x * x).sum();
+        check_gradients(
+            &loss,
+            &wrong,
+            |i, j, eps| {
+                let mut p = w.clone();
+                p[(i, j)] += eps;
+                p.map(|x| x * x).sum()
+            },
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn relative_error_behaviour() {
+        assert!(relative_error(1.0, 1.0) < 1e-9);
+        assert!(relative_error(0.0, 0.0) < 1e-9);
+        assert!(relative_error(10.0, 11.0) > 0.05);
+    }
+}

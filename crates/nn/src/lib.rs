@@ -1,0 +1,38 @@
+//! Neural-network kernels for memory-based TGNNs.
+//!
+//! Each module implements one building block of the TGN-attn model the paper
+//! optimizes, with an explicit forward pass and a hand-written backward pass
+//! (gradient-checked against finite differences in the tests):
+//!
+//! * [`linear`] — affine projection, the workhorse of the GRU gates and the
+//!   attention query/key/value projections and feature transformation.
+//! * [`gru`] — the GRU memory updater `UPDT` (Eq. 7–10).
+//! * [`time_encode`] — the trigonometric time encoder `Φ(Δt) = cos(ωΔt + φ)`
+//!   (Eq. 6) and the LUT-based replacement of Section III-C.
+//! * [`attention`] — the vanilla temporal attention aggregator (Eq. 11–15),
+//!   the simplified attention of Eq. 16, and the top-k temporal neighbor
+//!   pruning of Section III-B.
+//! * [`loss`] — binary cross-entropy for self-supervised link prediction and
+//!   the soft cross-entropy knowledge-distillation loss of Eq. 17.
+//! * [`optim`] — SGD and Adam optimizers over [`param::Param`] collections.
+//! * [`gradcheck`] — finite-difference gradient checking used by the tests.
+//!
+//! Training follows the standard TGN protocol: gradients flow through the
+//! current batch's memory update and embedding computation but the node
+//! memory read from the global table is treated as a constant (no
+//! backpropagation across batches).
+
+pub mod attention;
+pub mod gradcheck;
+pub mod gru;
+pub mod linear;
+pub mod loss;
+pub mod optim;
+pub mod param;
+pub mod time_encode;
+
+pub use attention::{PrunedAttentionOutput, SimplifiedAttention, VanillaAttention};
+pub use gru::GruCell;
+pub use linear::Linear;
+pub use param::Param;
+pub use time_encode::{CosTimeEncoder, LutTimeEncoder};

@@ -1,0 +1,192 @@
+//! Affine (fully-connected) layer with explicit backward pass.
+
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+use tgnn_tensor::gemm::matmul;
+use tgnn_tensor::ops::add_row_broadcast;
+use tgnn_tensor::{Matrix, TensorRng};
+
+/// `y = x · Wᵀ + b`, operating on batches where each row of `x` is one
+/// sample.
+///
+/// Weights are stored as `out_dim × in_dim` (the natural layout for the
+/// hardware's Multiply-Accumulate arrays, which stream one output row per
+/// array pass).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Linear {
+    pub weight: Param,
+    pub bias: Param,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(name: &str, in_dim: usize, out_dim: usize, rng: &mut TensorRng) -> Self {
+        Self {
+            weight: Param::new(format!("{name}.weight"), rng.xavier_matrix(out_dim, in_dim)),
+            bias: Param::zeros(format!("{name}.bias"), 1, out_dim),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Creates a layer from explicit weights (used by tests and by the
+    /// LUT-fusion pre-computation).
+    pub fn from_parts(name: &str, weight: Matrix, bias: Vec<f32>) -> Self {
+        let in_dim = weight.cols();
+        let out_dim = weight.rows();
+        assert_eq!(bias.len(), out_dim, "Linear::from_parts: bias length mismatch");
+        Self {
+            weight: Param::new(format!("{name}.weight"), weight),
+            bias: Param::new(format!("{name}.bias"), Matrix::from_vec(1, out_dim, bias)),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass: `x (B×in) -> y (B×out)`.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "Linear::forward: input dim mismatch");
+        let y = matmul(x, &self.weight.value.transpose());
+        add_row_broadcast(&y, self.bias.value.row(0))
+    }
+
+    /// Backward pass.  Accumulates `dW = grad_outᵀ · x` and
+    /// `db = Σ_rows grad_out`, and returns `grad_x = grad_out · W`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "Linear::backward: input dim mismatch");
+        assert_eq!(grad_out.cols(), self.out_dim, "Linear::backward: grad dim mismatch");
+        assert_eq!(x.rows(), grad_out.rows(), "Linear::backward: batch mismatch");
+
+        let dw = matmul(&grad_out.transpose(), x);
+        self.weight.accumulate(&dw);
+
+        let mut db = Matrix::zeros(1, self.out_dim);
+        for i in 0..grad_out.rows() {
+            for (acc, &g) in db.row_mut(0).iter_mut().zip(grad_out.row(i)) {
+                *acc += g;
+            }
+        }
+        self.bias.accumulate(&db);
+
+        matmul(grad_out, &self.weight.value)
+    }
+
+    /// The learnable parameters of the layer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    /// Immutable access to the parameters.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    /// Number of multiply-accumulate operations for a batch of `batch` rows —
+    /// used by the complexity accounting of Table I/II.
+    pub fn macs(&self, batch: usize) -> u64 {
+        (batch * self.in_dim * self.out_dim) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_gradients;
+    use tgnn_tensor::approx_eq;
+
+    #[test]
+    fn forward_matches_manual() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let layer = Linear::from_parts("t", w, vec![0.5, -0.5, 0.0]);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.0]]);
+        let y = layer.forward(&x);
+        assert_eq!(y.shape(), (2, 3));
+        assert!(approx_eq(y[(0, 0)], 3.5, 1e-6));
+        assert!(approx_eq(y[(0, 1)], 6.5, 1e-6));
+        assert!(approx_eq(y[(1, 2)], 10.0, 1e-6));
+    }
+
+    #[test]
+    fn macs_scale_with_batch() {
+        let mut rng = TensorRng::new(0);
+        let layer = Linear::new("t", 8, 4, &mut rng);
+        assert_eq!(layer.macs(1), 32);
+        assert_eq!(layer.macs(10), 320);
+    }
+
+    #[test]
+    fn backward_gradients_match_finite_differences() {
+        let mut rng = TensorRng::new(5);
+        let mut layer = Linear::new("t", 4, 3, &mut rng);
+        let x = rng.uniform_matrix(5, 4, -1.0, 1.0);
+
+        // Loss = sum of outputs; d(loss)/d(out) = ones.
+        let grad_out = Matrix::full(5, 3, 1.0);
+        let grad_x = layer.backward(&x, &grad_out);
+
+        // Check dW against finite differences of loss(w) = sum(forward(x)).
+        let loss_fn = |l: &Linear| l.forward(&x).sum();
+        check_gradients(
+            &loss_fn(&layer),
+            &layer.weight.grad,
+            |i, j, eps| {
+                let mut pert = layer.clone();
+                pert.weight.value[(i, j)] += eps;
+                loss_fn(&pert)
+            },
+            2e-2,
+        );
+        check_gradients(
+            &loss_fn(&layer),
+            &layer.bias.grad,
+            |i, j, eps| {
+                let mut pert = layer.clone();
+                pert.bias.value[(i, j)] += eps;
+                loss_fn(&pert)
+            },
+            2e-2,
+        );
+        // grad_x: each element of x contributes sum of its weight column.
+        for i in 0..4 {
+            let col_sum: f32 = (0..3).map(|o| layer.weight.value[(o, i)]).sum();
+            for r in 0..5 {
+                assert!(approx_eq(grad_x[(r, i)], col_sum, 1e-4));
+            }
+        }
+    }
+
+    #[test]
+    fn params_are_exposed() {
+        let mut rng = TensorRng::new(1);
+        let mut layer = Linear::new("t", 3, 2, &mut rng);
+        assert_eq!(layer.params().len(), 2);
+        assert_eq!(layer.params_mut().len(), 2);
+        assert_eq!(crate::param::count_parameters(&layer.params()), 3 * 2 + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "input dim mismatch")]
+    fn forward_rejects_bad_input() {
+        let mut rng = TensorRng::new(2);
+        let layer = Linear::new("t", 3, 2, &mut rng);
+        let _ = layer.forward(&Matrix::zeros(1, 4));
+    }
+}

@@ -1,0 +1,243 @@
+//! Loss functions.
+//!
+//! * [`bce_with_logits`] — binary cross-entropy on raw scores, the
+//!   self-supervised temporal link-prediction objective used to train both
+//!   the teacher and the student models (positive = observed temporal edge,
+//!   negative = randomly sampled non-edge).
+//! * [`distillation_loss`] — the soft cross-entropy between student and
+//!   teacher attention distributions (Eq. 17 of the paper), used by the
+//!   knowledge-distillation setup of Section III-A.
+//! * [`mse`] — mean squared error, used by ablation experiments.
+
+use tgnn_tensor::ops::{log_softmax, sigmoid, softmax};
+use tgnn_tensor::Float;
+
+/// Numerically-stable binary cross-entropy with logits.
+///
+/// Returns `(loss, gradient w.r.t. each logit)`, averaged over the batch.
+///
+/// # Panics
+/// Panics if lengths differ or the batch is empty.
+pub fn bce_with_logits(logits: &[Float], targets: &[Float]) -> (Float, Vec<Float>) {
+    assert_eq!(logits.len(), targets.len(), "bce_with_logits: length mismatch");
+    assert!(!logits.is_empty(), "bce_with_logits: empty batch");
+    let n = logits.len() as Float;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(logits.len());
+    for (&x, &y) in logits.iter().zip(targets) {
+        // loss = max(x, 0) - x*y + ln(1 + exp(-|x|))
+        loss += x.max(0.0) - x * y + (1.0 + (-x.abs()).exp()).ln();
+        grad.push((sigmoid(x) - y) / n);
+    }
+    (loss / n, grad)
+}
+
+/// Accuracy of thresholded logits against binary targets.
+pub fn binary_accuracy(logits: &[Float], targets: &[Float]) -> Float {
+    assert_eq!(logits.len(), targets.len(), "binary_accuracy: length mismatch");
+    if logits.is_empty() {
+        return 0.0;
+    }
+    let correct = logits
+        .iter()
+        .zip(targets)
+        .filter(|(&x, &y)| (x > 0.0) == (y > 0.5))
+        .count();
+    correct as Float / logits.len() as Float
+}
+
+/// Average precision (area under the precision–recall curve, computed by the
+/// rank-based formula) — the AP metric reported throughout Table II and
+/// Fig. 7 of the paper.
+///
+/// `scores` are arbitrary real-valued rankings, `labels` are 0/1.
+pub fn average_precision(scores: &[Float], labels: &[Float]) -> Float {
+    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    let total_pos = labels.iter().filter(|&&l| l > 0.5).count();
+    if total_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut hits = 0usize;
+    let mut sum_precision = 0.0;
+    for (rank, &idx) in order.iter().enumerate() {
+        if labels[idx] > 0.5 {
+            hits += 1;
+            sum_precision += hits as Float / (rank + 1) as Float;
+        }
+    }
+    sum_precision / total_pos as Float
+}
+
+/// Soft cross-entropy knowledge-distillation loss (Eq. 17):
+/// `- Σ softmax(teacher/T) · log softmax(student/T)`, averaged over targets.
+///
+/// Returns `(loss, gradient w.r.t. the student logits)`.  Missing-slot logits
+/// (`-inf`) are handled by the underlying softmax.
+///
+/// # Panics
+/// Panics if the lengths differ, the batch is empty, or `temperature <= 0`.
+pub fn distillation_loss(
+    student_logits: &[Float],
+    teacher_logits: &[Float],
+    temperature: Float,
+) -> (Float, Vec<Float>) {
+    assert_eq!(
+        student_logits.len(),
+        teacher_logits.len(),
+        "distillation_loss: length mismatch"
+    );
+    assert!(!student_logits.is_empty(), "distillation_loss: empty logits");
+    assert!(temperature > 0.0, "distillation_loss: temperature must be positive");
+
+    let t_scaled: Vec<Float> = teacher_logits.iter().map(|&x| x / temperature).collect();
+    let s_scaled: Vec<Float> = student_logits.iter().map(|&x| x / temperature).collect();
+    let p_teacher = softmax(&t_scaled);
+    let log_p_student = log_softmax(&s_scaled);
+    let p_student = softmax(&s_scaled);
+
+    let loss: Float = -p_teacher
+        .iter()
+        .zip(&log_p_student)
+        .map(|(&pt, &lps)| if pt > 0.0 { pt * lps } else { 0.0 })
+        .sum::<Float>();
+
+    // d loss / d s_i = (softmax(s/T)_i - softmax(t/T)_i) / T
+    let grad: Vec<Float> = p_student
+        .iter()
+        .zip(&p_teacher)
+        .map(|(&ps, &pt)| (ps - pt) / temperature)
+        .collect();
+    (loss, grad)
+}
+
+/// Mean squared error and its gradient with respect to the predictions.
+pub fn mse(predictions: &[Float], targets: &[Float]) -> (Float, Vec<Float>) {
+    assert_eq!(predictions.len(), targets.len(), "mse: length mismatch");
+    assert!(!predictions.is_empty(), "mse: empty batch");
+    let n = predictions.len() as Float;
+    let mut loss = 0.0;
+    let mut grad = Vec::with_capacity(predictions.len());
+    for (&p, &t) in predictions.iter().zip(targets) {
+        let d = p - t;
+        loss += d * d;
+        grad.push(2.0 * d / n);
+    }
+    (loss / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgnn_tensor::approx_eq;
+
+    #[test]
+    fn bce_perfect_predictions_have_low_loss() {
+        let (loss_good, _) = bce_with_logits(&[10.0, -10.0], &[1.0, 0.0]);
+        let (loss_bad, _) = bce_with_logits(&[-10.0, 10.0], &[1.0, 0.0]);
+        assert!(loss_good < 1e-3);
+        assert!(loss_bad > 5.0);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = vec![0.3, -1.2, 2.0];
+        let targets = vec![1.0, 0.0, 1.0];
+        let (_, grad) = bce_with_logits(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = logits.clone();
+            plus[i] += eps;
+            let mut minus = logits.clone();
+            minus[i] -= eps;
+            let numeric =
+                (bce_with_logits(&plus, &targets).0 - bce_with_logits(&minus, &targets).0)
+                    / (2.0 * eps);
+            assert!(approx_eq(grad[i], numeric, 1e-2), "grad {} vs {}", grad[i], numeric);
+        }
+    }
+
+    #[test]
+    fn bce_symmetric_at_zero_logit() {
+        let (loss, grad) = bce_with_logits(&[0.0], &[1.0]);
+        assert!(approx_eq(loss, (2.0f32).ln(), 1e-5));
+        assert!(approx_eq(grad[0], -0.5, 1e-5));
+    }
+
+    #[test]
+    fn accuracy_counts_correct_signs() {
+        let acc = binary_accuracy(&[1.0, -1.0, 2.0, -2.0], &[1.0, 0.0, 0.0, 0.0]);
+        assert!(approx_eq(acc, 0.75, 1e-6));
+        assert_eq!(binary_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_perfect_and_random() {
+        // Perfect ranking: all positives ranked above negatives.
+        let ap = average_precision(&[0.9, 0.8, 0.2, 0.1], &[1.0, 1.0, 0.0, 0.0]);
+        assert!(approx_eq(ap, 1.0, 1e-6));
+        // Worst ranking: positives at the bottom.
+        let ap_bad = average_precision(&[0.1, 0.2, 0.8, 0.9], &[1.0, 1.0, 0.0, 0.0]);
+        assert!(ap_bad < 0.6);
+        // No positives.
+        assert_eq!(average_precision(&[0.5], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn average_precision_known_value() {
+        // Ranking: pos, neg, pos -> AP = (1/1 + 2/3) / 2 = 5/6.
+        let ap = average_precision(&[0.9, 0.5, 0.3], &[1.0, 0.0, 1.0]);
+        assert!(approx_eq(ap, 5.0 / 6.0, 1e-5));
+    }
+
+    #[test]
+    fn distillation_zero_when_distributions_match() {
+        let logits = vec![1.0, 2.0, 0.5];
+        let (loss, grad) = distillation_loss(&logits, &logits, 1.0);
+        // Loss equals the entropy of the teacher (non-zero) but the gradient
+        // must vanish when the student matches the teacher.
+        assert!(loss > 0.0);
+        for g in grad {
+            assert!(g.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distillation_gradient_points_toward_teacher() {
+        let student = vec![0.0, 0.0];
+        let teacher = vec![5.0, -5.0];
+        let (_, grad) = distillation_loss(&student, &teacher, 1.0);
+        // Student under-weights slot 0 relative to the teacher, so the
+        // gradient for slot 0 must be negative (increase that logit).
+        assert!(grad[0] < 0.0);
+        assert!(grad[1] > 0.0);
+    }
+
+    #[test]
+    fn distillation_gradient_matches_finite_difference() {
+        let student = vec![0.3, -0.7, 1.1];
+        let teacher = vec![1.0, 0.2, -0.5];
+        let temperature = 2.0;
+        let (_, grad) = distillation_loss(&student, &teacher, temperature);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let mut plus = student.clone();
+            plus[i] += eps;
+            let mut minus = student.clone();
+            minus[i] -= eps;
+            let numeric = (distillation_loss(&plus, &teacher, temperature).0
+                - distillation_loss(&minus, &teacher, temperature).0)
+                / (2.0 * eps);
+            assert!(approx_eq(grad[i], numeric, 1e-2));
+        }
+    }
+
+    #[test]
+    fn mse_basic() {
+        let (loss, grad) = mse(&[1.0, 2.0], &[0.0, 2.0]);
+        assert!(approx_eq(loss, 0.5, 1e-6));
+        assert!(approx_eq(grad[0], 1.0, 1e-6));
+        assert!(approx_eq(grad[1], 0.0, 1e-6));
+    }
+}

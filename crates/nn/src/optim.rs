@@ -1,0 +1,197 @@
+//! Optimizers operating on [`Param`] collections.
+
+use crate::param::Param;
+use std::collections::HashMap;
+use tgnn_tensor::{Float, Matrix};
+
+/// Plain stochastic gradient descent with optional gradient clipping.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub learning_rate: Float,
+    /// Maximum gradient L2 norm per parameter tensor (`None` disables
+    /// clipping).
+    pub clip_norm: Option<Float>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    pub fn new(learning_rate: Float) -> Self {
+        Self { learning_rate, clip_norm: None }
+    }
+
+    /// Enables per-tensor gradient-norm clipping.
+    pub fn with_clip(mut self, clip_norm: Float) -> Self {
+        self.clip_norm = Some(clip_norm);
+        self
+    }
+
+    /// Applies one update step and zeroes the gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            let scale = clip_scale(p, self.clip_norm);
+            for (v, &g) in p.value.as_mut_slice().iter_mut().zip(p.grad.as_slice()) {
+                *v -= self.learning_rate * scale * g;
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba).  Per-parameter state is keyed by the
+/// parameter name, so the same optimizer instance can be reused across
+/// training steps as long as parameter names are unique within a model.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub learning_rate: Float,
+    pub beta1: Float,
+    pub beta2: Float,
+    pub epsilon: Float,
+    /// Maximum gradient L2 norm per parameter tensor.
+    pub clip_norm: Option<Float>,
+    step_count: u64,
+    first_moment: HashMap<String, Matrix>,
+    second_moment: HashMap<String, Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard defaults.
+    pub fn new(learning_rate: Float) -> Self {
+        Self {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            clip_norm: Some(5.0),
+            step_count: 0,
+            first_moment: HashMap::new(),
+            second_moment: HashMap::new(),
+        }
+    }
+
+    /// Number of update steps performed so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// Applies one update step and zeroes the gradients.
+    pub fn step(&mut self, params: &mut [&mut Param]) {
+        self.step_count += 1;
+        let t = self.step_count as Float;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+
+        for p in params.iter_mut() {
+            let scale = clip_scale(p, self.clip_norm);
+            let m = self
+                .first_moment
+                .entry(p.name.clone())
+                .or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
+            let v = self
+                .second_moment
+                .entry(p.name.clone())
+                .or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
+            assert_eq!(m.shape(), p.value.shape(), "Adam: parameter {} changed shape", p.name);
+
+            let values = p.value.as_mut_slice();
+            let grads = p.grad.as_slice();
+            let ms = m.as_mut_slice();
+            let vs = v.as_mut_slice();
+            for i in 0..values.len() {
+                let g = grads[i] * scale;
+                ms[i] = self.beta1 * ms[i] + (1.0 - self.beta1) * g;
+                vs[i] = self.beta2 * vs[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = ms[i] / bias1;
+                let v_hat = vs[i] / bias2;
+                values[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+            p.zero_grad();
+        }
+    }
+}
+
+fn clip_scale(p: &Param, clip_norm: Option<Float>) -> Float {
+    match clip_norm {
+        Some(max_norm) => {
+            let norm = p.grad_norm();
+            if norm > max_norm && norm > 0.0 {
+                max_norm / norm
+            } else {
+                1.0
+            }
+        }
+        None => 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_params() -> Param {
+        Param::new("w", Matrix::from_rows(&[vec![5.0, -3.0]]))
+    }
+
+    /// Minimise f(w) = Σ w², whose gradient is 2w.
+    fn fill_grad(p: &mut Param) {
+        let g = p.value.map(|x| 2.0 * x);
+        p.zero_grad();
+        p.accumulate(&g);
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut p = quadratic_params();
+        let mut opt = Sgd::new(0.1);
+        for _ in 0..100 {
+            fill_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_clipping_limits_step_size() {
+        let mut p = Param::new("w", Matrix::from_rows(&[vec![1000.0]]));
+        fill_grad(&mut p); // gradient 2000
+        let before = p.value[(0, 0)];
+        let mut opt = Sgd::new(0.1).with_clip(1.0);
+        opt.step(&mut [&mut p]);
+        // With clipping the step is at most lr * clip_norm = 0.1.
+        assert!((before - p.value[(0, 0)]).abs() <= 0.1 + 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut p = quadratic_params();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            fill_grad(&mut p);
+            opt.step(&mut [&mut p]);
+        }
+        assert!(p.value.max_abs() < 1e-2, "residual {:?}", p.value);
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_state_is_per_parameter_name() {
+        let mut a = Param::new("a", Matrix::from_rows(&[vec![1.0]]));
+        let mut b = Param::new("b", Matrix::from_rows(&[vec![1.0]]));
+        let mut opt = Adam::new(0.01);
+        fill_grad(&mut a);
+        fill_grad(&mut b);
+        opt.step(&mut [&mut a, &mut b]);
+        assert_eq!(opt.first_moment.len(), 2);
+        assert!(opt.first_moment.contains_key("a"));
+        assert!(opt.first_moment.contains_key("b"));
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let mut p = quadratic_params();
+        fill_grad(&mut p);
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut [&mut p]);
+        assert_eq!(p.grad.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,281 @@
+//! Matrix multiplication kernels.
+//!
+//! Two variants are provided:
+//!
+//! * [`matmul`] — cache-blocked serial kernel used for small per-vertex
+//!   products (the common case at inference: batch rows in the tens).
+//! * [`par_matmul`] — rayon-parallel kernel splitting over output rows, used
+//!   for large batched products during training and for the 32-thread CPU
+//!   baseline measurements.
+//!
+//! Both produce bit-identical results because each output element is
+//! accumulated in the same order (k-inner loop), which keeps the software
+//! reference deterministic — a property the integration tests rely on when
+//! comparing the reference model with the accelerator simulator.
+
+use crate::{Float, Matrix};
+use rayon::prelude::*;
+
+/// Cache-block edge (in elements) for the serial kernel.
+const BLOCK: usize = 64;
+
+/// Serial blocked matrix product `A (m×k) · B (k×n) -> C (m×n)`.
+///
+/// # Panics
+/// Panics if the inner dimensions disagree.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dimension mismatch {}x{} · {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let m = a.rows();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    matmul_into(a, b, &mut c);
+    c
+}
+
+/// Serial blocked matrix product writing into a pre-allocated output.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn matmul_into(a: &Matrix, b: &Matrix, c: &mut Matrix) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul_into: inner dimension mismatch");
+    assert_eq!(c.shape(), (m, n), "matmul_into: output shape mismatch");
+    c.as_mut_slice().fill(0.0);
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let c_data = c.as_mut_slice();
+
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for k0 in (0..k).step_by(BLOCK) {
+            let k1 = (k0 + BLOCK).min(k);
+            for i in i0..i1 {
+                let a_row = &a_data[i * k..(i + 1) * k];
+                let c_row = &mut c_data[i * n..(i + 1) * n];
+                for kk in k0..k1 {
+                    let aik = a_row[kk];
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = &b_data[kk * n..(kk + 1) * n];
+                    for j in 0..n {
+                        c_row[j] += aik * b_row[j];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel matrix product, parallelised over blocks of output rows.
+///
+/// Falls back to the serial kernel for small problems where the spawn
+/// overhead dominates.
+pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "par_matmul: inner dimension mismatch");
+
+    // Small problems: not worth parallelising.
+    if m * n * k < 64 * 64 * 64 {
+        return matmul(a, b);
+    }
+
+    let a_data = a.as_slice();
+    let b_data = b.as_slice();
+    let mut c = Matrix::zeros(m, n);
+    c.as_mut_slice()
+        .par_chunks_mut(n)
+        .enumerate()
+        .for_each(|(i, c_row)| {
+            let a_row = &a_data[i * k..(i + 1) * k];
+            for (kk, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &b_data[kk * n..(kk + 1) * n];
+                for j in 0..n {
+                    c_row[j] += aik * b_row[j];
+                }
+            }
+        });
+    c
+}
+
+/// Matrix–vector product `A (m×k) · x (k) -> y (m)`.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()`.
+pub fn matvec(a: &Matrix, x: &[Float]) -> Vec<Float> {
+    assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
+    (0..a.rows()).map(|i| dot(a.row(i), x)).collect()
+}
+
+/// Vector–matrix product `x (m) · A (m×n) -> y (n)`; equivalent to
+/// `Aᵀ · x` but avoids materialising the transpose.
+pub fn vecmat(x: &[Float], a: &Matrix) -> Vec<Float> {
+    assert_eq!(a.rows(), x.len(), "vecmat: dimension mismatch");
+    let n = a.cols();
+    let mut y = vec![0.0; n];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = a.row(i);
+        for j in 0..n {
+            y[j] += xi * row[j];
+        }
+    }
+    y
+}
+
+/// Dot product of two equally-sized slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Outer product `x (m) ⊗ y (n) -> M (m×n)`.
+pub fn outer(x: &[Float], y: &[Float]) -> Matrix {
+    let mut out = Matrix::zeros(x.len(), y.len());
+    for (i, &xi) in x.iter().enumerate() {
+        let row = out.row_mut(i);
+        for (j, &yj) in y.iter().enumerate() {
+            row[j] = xi * yj;
+        }
+    }
+    out
+}
+
+/// `y += alpha * x`, the BLAS axpy primitive.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(alpha: Float, x: &[Float], y: &mut [Float]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(k, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matmul_matches_naive_small() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_matches_naive_random() {
+        let mut rng = TensorRng::new(7);
+        for &(m, k, n) in &[(3, 5, 4), (17, 33, 9), (70, 70, 70), (1, 128, 1)] {
+            let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+            let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+            let c = matmul(&a, &b);
+            let reference = naive_matmul(&a, &b);
+            for i in 0..m {
+                for j in 0..n {
+                    assert!((c[(i, j)] - reference[(i, j)]).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn par_matmul_matches_serial() {
+        let mut rng = TensorRng::new(13);
+        let a = rng.uniform_matrix(80, 96, -1.0, 1.0);
+        let b = rng.uniform_matrix(96, 72, -1.0, 1.0);
+        let serial = matmul(&a, &b);
+        let parallel = par_matmul(&a, &b);
+        for i in 0..serial.rows() {
+            for j in 0..serial.cols() {
+                assert_eq!(serial[(i, j)], parallel[(i, j)], "determinism violated");
+            }
+        }
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = TensorRng::new(3);
+        let a = rng.uniform_matrix(6, 6, -2.0, 2.0);
+        let eye = Matrix::identity(6);
+        assert_eq!(matmul(&a, &eye), a);
+        assert_eq!(matmul(&eye, &a), a);
+    }
+
+    #[test]
+    fn matvec_and_vecmat_consistent_with_matmul() {
+        let mut rng = TensorRng::new(5);
+        let a = rng.uniform_matrix(4, 7, -1.0, 1.0);
+        let x: Vec<Float> = (0..7).map(|i| i as Float * 0.5).collect();
+        let y = matvec(&a, &x);
+        let x_col = Matrix::from_vec(7, 1, x.clone());
+        let y_ref = matmul(&a, &x_col);
+        for i in 0..4 {
+            assert!((y[i] - y_ref[(i, 0)]).abs() < 1e-5);
+        }
+
+        let z: Vec<Float> = (0..4).map(|i| 1.0 - i as Float).collect();
+        let w = vecmat(&z, &a);
+        let z_row = Matrix::from_vec(1, 4, z);
+        let w_ref = matmul(&z_row, &a);
+        for j in 0..7 {
+            assert!((w[j] - w_ref[(0, j)]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn dot_outer_axpy() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        let m = outer(&[1.0, 2.0], &[3.0, 4.0, 5.0]);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(1, 2)], 10.0);
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = matmul(&a, &b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Dense linear-algebra substrate for the TGNN co-design reproduction.
+//!
+//! The paper's model (TGN-attn) is built from a small set of dense kernels:
+//! matrix–matrix and matrix–vector products (the GRU gates, the attention
+//! query/key/value projections, the feature transformation), row-wise
+//! softmax, and elementwise activations.  This crate provides those kernels
+//! on a simple row-major [`Matrix`] type, with a blocked serial GEMM and a
+//! [rayon]-parallel variant used for batched inference, plus the random
+//! initialisation and descriptive-statistics helpers used by the dataset
+//! generators and the LUT time-encoder calibration.
+//!
+//! The crate is deliberately dependency-light (no BLAS): every experiment in
+//! the paper is reproduced with these kernels so that operation counts
+//! reported by `tgnn-core::complexity` correspond one-to-one to the code that
+//! actually runs.
+
+pub mod gemm;
+pub mod matrix;
+pub mod ops;
+pub mod rng;
+pub mod stats;
+
+pub use matrix::Matrix;
+pub use rng::TensorRng;
+
+/// Crate-wide floating point type.  The paper uses IEEE fp32 on the FPGA
+/// (each multiplier costs 3 DSPs, each accumulator 2), so the software
+/// reference uses `f32` as well.
+pub type Float = f32;
+
+/// Absolute tolerance used by tests and gradient checks throughout the
+/// workspace.
+pub const TEST_EPS: Float = 1e-4;
+
+/// Asserts that two floats are close, with a helpful message.
+#[inline]
+pub fn approx_eq(a: Float, b: Float, tol: Float) -> bool {
+    let diff = (a - b).abs();
+    if diff <= tol {
+        return true;
+    }
+    // Relative comparison for large magnitudes.
+    diff <= tol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_absolute() {
+        assert!(approx_eq(1.0, 1.0 + 1e-6, 1e-4));
+        assert!(!approx_eq(1.0, 1.1, 1e-4));
+    }
+
+    #[test]
+    fn approx_eq_relative() {
+        assert!(approx_eq(1e6, 1e6 + 50.0, 1e-4));
+        assert!(!approx_eq(1e6, 1.1e6, 1e-4));
+    }
+}

@@ -1,0 +1,283 @@
+//! Elementwise operations, activations, and row-wise softmax.
+//!
+//! These cover the nonlinearities of the GRU memory updater (sigmoid/tanh,
+//! Eq. 7–10 of the paper), the attention softmax (Eq. 15/16), and the small
+//! vector utilities the model and accelerator simulator share.
+
+use crate::{Float, Matrix};
+
+/// Logistic sigmoid.
+#[inline]
+pub fn sigmoid(x: Float) -> Float {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Derivative of the sigmoid expressed in terms of its output `s`.
+#[inline]
+pub fn sigmoid_grad_from_output(s: Float) -> Float {
+    s * (1.0 - s)
+}
+
+/// Hyperbolic tangent.
+#[inline]
+pub fn tanh(x: Float) -> Float {
+    x.tanh()
+}
+
+/// Derivative of tanh expressed in terms of its output `t`.
+#[inline]
+pub fn tanh_grad_from_output(t: Float) -> Float {
+    1.0 - t * t
+}
+
+/// Rectified linear unit.
+#[inline]
+pub fn relu(x: Float) -> Float {
+    x.max(0.0)
+}
+
+/// Elementwise sigmoid over a matrix.
+pub fn sigmoid_matrix(m: &Matrix) -> Matrix {
+    m.map(sigmoid)
+}
+
+/// Elementwise tanh over a matrix.
+pub fn tanh_matrix(m: &Matrix) -> Matrix {
+    m.map(tanh)
+}
+
+/// Numerically-stable softmax of a slice, written into a new vector.
+/// Returns a uniform distribution for an empty or all-`-inf` input.
+pub fn softmax(logits: &[Float]) -> Vec<Float> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(Float::NEG_INFINITY, Float::max);
+    if !max.is_finite() {
+        return vec![1.0 / logits.len() as Float; logits.len()];
+    }
+    let exps: Vec<Float> = logits.iter().map(|&x| (x - max).exp()).collect();
+    let sum: Float = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Softmax applied independently to every row of a matrix.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for i in 0..m.rows() {
+        let row = softmax(m.row(i));
+        out.row_mut(i).copy_from_slice(&row);
+    }
+    out
+}
+
+/// Log-softmax of a slice (stable).
+pub fn log_softmax(logits: &[Float]) -> Vec<Float> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().cloned().fold(Float::NEG_INFINITY, Float::max);
+    let log_sum: Float = logits.iter().map(|&x| (x - max).exp()).sum::<Float>().ln() + max;
+    logits.iter().map(|&x| x - log_sum).collect()
+}
+
+/// Elementwise addition of two equally shaped matrices.
+pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip(b, |x, y| x + y)
+}
+
+/// Elementwise subtraction `a - b`.
+pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip(b, |x, y| x - y)
+}
+
+/// Elementwise (Hadamard) product.
+pub fn hadamard(a: &Matrix, b: &Matrix) -> Matrix {
+    a.zip(b, |x, y| x * y)
+}
+
+/// Scales every element by `alpha`.
+pub fn scale(a: &Matrix, alpha: Float) -> Matrix {
+    a.map(|x| alpha * x)
+}
+
+/// Adds a row vector (bias) to every row of the matrix.
+///
+/// # Panics
+/// Panics if `bias.len() != m.cols()`.
+pub fn add_row_broadcast(m: &Matrix, bias: &[Float]) -> Matrix {
+    assert_eq!(m.cols(), bias.len(), "add_row_broadcast: length mismatch");
+    let mut out = m.clone();
+    for i in 0..out.rows() {
+        for (v, &b) in out.row_mut(i).iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+    out
+}
+
+/// In-place `a += b` for equally shaped matrices.
+pub fn add_assign(a: &mut Matrix, b: &Matrix) {
+    assert_eq!(a.shape(), b.shape(), "add_assign: shape mismatch");
+    for (x, &y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
+        *x += y;
+    }
+}
+
+/// Weighted sum of rows: `Σ_i w[i] * m.row(i)`, the feature-aggregation
+/// primitive of the Embedding Unit's FAM module.
+///
+/// # Panics
+/// Panics if `weights.len() != m.rows()`.
+pub fn weighted_row_sum(m: &Matrix, weights: &[Float]) -> Vec<Float> {
+    assert_eq!(m.rows(), weights.len(), "weighted_row_sum: length mismatch");
+    let mut acc = vec![0.0; m.cols()];
+    for (i, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        for (a, &x) in acc.iter_mut().zip(m.row(i)) {
+            *a += w * x;
+        }
+    }
+    acc
+}
+
+/// Squared L2 distance between two slices.
+pub fn squared_distance(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "squared_distance: length mismatch");
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Cosine similarity between two slices (0 if either is the zero vector).
+pub fn cosine_similarity(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let dot: Float = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: Float = a.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    let nb: Float = b.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Returns the indices of the `k` largest values, in descending value order.
+/// Ties are broken by the lower index.  Used by the temporal-neighbor pruning
+/// strategy (Section III-B) to keep the neighbors with the top attention
+/// logits.
+pub fn top_k_indices(values: &[Float], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k.min(values.len()));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn sigmoid_properties() {
+        assert!(approx_eq(sigmoid(0.0), 0.5, 1e-6));
+        assert!(sigmoid(10.0) > 0.999);
+        assert!(sigmoid(-10.0) < 0.001);
+        // derivative identity
+        let s = sigmoid(0.7);
+        assert!(approx_eq(sigmoid_grad_from_output(s), s * (1.0 - s), 1e-7));
+    }
+
+    #[test]
+    fn tanh_grad_identity() {
+        let t = tanh(0.3);
+        assert!(approx_eq(tanh_grad_from_output(t), 1.0 - t * t, 1e-7));
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_shift_invariant() {
+        let logits = vec![1.0, 2.0, 3.0, -5.0];
+        let p = softmax(&logits);
+        let sum: Float = p.iter().sum();
+        assert!(approx_eq(sum, 1.0, 1e-6));
+
+        let shifted: Vec<Float> = logits.iter().map(|&x| x + 100.0).collect();
+        let p2 = softmax(&shifted);
+        for (a, b) in p.iter().zip(p2.iter()) {
+            assert!(approx_eq(*a, *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn softmax_handles_extremes() {
+        let p = softmax(&[1e30, -1e30]);
+        assert!(p[0] > 0.999 && p[1] < 0.001);
+        assert!(softmax(&[]).is_empty());
+        let single = softmax(&[42.0]);
+        assert!(approx_eq(single[0], 1.0, 1e-6));
+    }
+
+    #[test]
+    fn log_softmax_consistent_with_softmax() {
+        let logits = vec![0.3, -1.2, 2.5];
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (a, b) in p.iter().zip(lp.iter()) {
+            assert!(approx_eq(a.ln(), *b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_each_row_normalised() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-1.0, 0.0, 1.0]]);
+        let s = softmax_rows(&m);
+        for i in 0..2 {
+            let sum: Float = s.row(i).iter().sum();
+            assert!(approx_eq(sum, 1.0, 1e-6));
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        assert_eq!(add(&a, &b)[(1, 1)], 12.0);
+        assert_eq!(sub(&b, &a)[(0, 0)], 4.0);
+        assert_eq!(hadamard(&a, &b)[(1, 0)], 21.0);
+        assert_eq!(scale(&a, 2.0)[(0, 1)], 4.0);
+        let biased = add_row_broadcast(&a, &[10.0, 20.0]);
+        assert_eq!(biased[(1, 1)], 24.0);
+        let mut c = a.clone();
+        add_assign(&mut c, &b);
+        assert_eq!(c, add(&a, &b));
+    }
+
+    #[test]
+    fn weighted_row_sum_matches_manual() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let out = weighted_row_sum(&m, &[0.5, 0.25, 0.25]);
+        assert!(approx_eq(out[0], 0.75, 1e-6));
+        assert!(approx_eq(out[1], 0.5, 1e-6));
+    }
+
+    #[test]
+    fn top_k_orders_by_value_then_index() {
+        let v = vec![0.1, 0.9, 0.5, 0.9, 0.2];
+        assert_eq!(top_k_indices(&v, 3), vec![1, 3, 2]);
+        assert_eq!(top_k_indices(&v, 10).len(), 5);
+        assert!(top_k_indices(&v, 0).is_empty());
+    }
+
+    #[test]
+    fn similarity_measures() {
+        assert!(approx_eq(cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]), 1.0, 1e-6));
+        assert!(approx_eq(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0, 1e-6));
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!(approx_eq(squared_distance(&[1.0, 2.0], &[3.0, 0.0]), 8.0, 1e-6));
+    }
+}

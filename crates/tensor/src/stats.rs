@@ -1,0 +1,281 @@
+//! Descriptive statistics and histogram utilities.
+//!
+//! Used for two purposes in the reproduction:
+//!
+//! * Figure 1 of the paper — the Δt frequency histogram showing that the time
+//!   encoder's input follows a power law ([`Histogram`]).
+//! * The LUT-based time encoder (Section III-C) — the 128 bin boundaries are
+//!   chosen so that each interval contains the same number of Δt occurrences
+//!   ([`equal_frequency_edges`]).
+
+use crate::Float;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: Float,
+    pub std_dev: Float,
+    pub min: Float,
+    pub max: Float,
+    pub median: Float,
+    pub p95: Float,
+    pub p99: Float,
+}
+
+/// Computes summary statistics; returns `None` for an empty slice.
+pub fn summarize(values: &[Float]) -> Option<Summary> {
+    if values.is_empty() {
+        return None;
+    }
+    let count = values.len();
+    let mean = values.iter().sum::<Float>() / count as Float;
+    let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<Float>() / count as Float;
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(Summary {
+        count,
+        mean,
+        std_dev: var.sqrt(),
+        min: sorted[0],
+        max: sorted[count - 1],
+        median: percentile_sorted(&sorted, 50.0),
+        p95: percentile_sorted(&sorted, 95.0),
+        p99: percentile_sorted(&sorted, 99.0),
+    })
+}
+
+/// Percentile (nearest-rank with linear interpolation) of an already-sorted
+/// slice.  `p` is in `[0, 100]`.
+pub fn percentile_sorted(sorted: &[Float], p: Float) -> Float {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as Float;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as Float;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Percentile of an unsorted slice.
+pub fn percentile(values: &[Float], p: Float) -> Float {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    percentile_sorted(&sorted, p)
+}
+
+/// Fixed-width histogram over `[min, max]`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Histogram {
+    min: Float,
+    max: Float,
+    counts: Vec<u64>,
+    /// Samples that fell outside `[min, max]`.
+    outliers: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `bins` equal-width bins over
+    /// `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `max <= min`.
+    pub fn new(min: Float, max: Float, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(max > min, "Histogram: max must exceed min");
+        Self { min, max, counts: vec![0; bins], outliers: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds a sample.
+    pub fn add(&mut self, value: Float) {
+        if !value.is_finite() || value < self.min || value > self.max {
+            self.outliers += 1;
+            return;
+        }
+        let width = (self.max - self.min) / self.counts.len() as Float;
+        let mut bin = ((value - self.min) / width) as usize;
+        if bin >= self.counts.len() {
+            bin = self.counts.len() - 1;
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Adds many samples.
+    pub fn add_all(&mut self, values: &[Float]) {
+        for &v in values {
+            self.add(v);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of out-of-range samples.
+    pub fn outliers(&self) -> u64 {
+        self.outliers
+    }
+
+    /// Total in-range samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> Float {
+        let width = (self.max - self.min) / self.counts.len() as Float;
+        self.min + width * (i as Float + 0.5)
+    }
+
+    /// Returns `(bin_center, count)` pairs — the series plotted in Fig. 1.
+    pub fn series(&self) -> Vec<(Float, u64)> {
+        (0..self.counts.len()).map(|i| (self.bin_center(i), self.counts[i])).collect()
+    }
+}
+
+/// Computes `bins + 1` edges that split `values` into equal-frequency
+/// intervals (each interval contains roughly the same number of samples).
+/// This is exactly how the LUT time-encoder bins are chosen in the paper:
+/// "we divide the range of the input Δt to 128 intervals with equal number
+/// of Δt occurrences in each interval".
+///
+/// The returned edges are strictly increasing; duplicate quantiles caused by
+/// heavily repeated values are collapsed, so the result may contain fewer
+/// than `bins + 1` edges (but always at least 2).
+///
+/// # Panics
+/// Panics if `values` is empty or `bins == 0`.
+pub fn equal_frequency_edges(values: &[Float], bins: usize) -> Vec<Float> {
+    assert!(!values.is_empty(), "equal_frequency_edges: empty input");
+    assert!(bins > 0, "equal_frequency_edges: need at least one bin");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut edges = Vec::with_capacity(bins + 1);
+    for i in 0..=bins {
+        let q = 100.0 * i as Float / bins as Float;
+        edges.push(percentile_sorted(&sorted, q));
+    }
+    // Deduplicate while preserving order, keep strictly increasing edges.
+    let mut unique = Vec::with_capacity(edges.len());
+    for e in edges {
+        if unique.last().map_or(true, |&last| e > last) {
+            unique.push(e);
+        }
+    }
+    if unique.len() < 2 {
+        // Degenerate: all values identical — synthesise a tiny interval.
+        let v = unique[0];
+        unique.push(v + 1.0);
+    }
+    unique
+}
+
+/// Finds the bin index for `value` given sorted edges (as produced by
+/// [`equal_frequency_edges`]).  Values below the first edge map to bin 0 and
+/// values above the last edge map to the last bin, mirroring the saturation
+/// behaviour of the hardware LUT.
+pub fn bin_index(edges: &[Float], value: Float) -> usize {
+    assert!(edges.len() >= 2, "bin_index: need at least two edges");
+    let nbins = edges.len() - 1;
+    if value <= edges[0] {
+        return 0;
+    }
+    if value >= edges[nbins] {
+        return nbins - 1;
+    }
+    // Binary search for the interval containing `value`.
+    let mut lo = 0usize;
+    let mut hi = nbins;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if value >= edges[mid] {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-6);
+        assert!((s.median - 3.0).abs() < 1e-6);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.0f32).sqrt()).abs() < 1e-5);
+        assert!(summarize(&[]).is_none());
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = vec![0.0, 10.0];
+        assert!((percentile(&v, 50.0) - 5.0).abs() < 1e-6);
+        assert_eq!(percentile(&v, 0.0), 0.0);
+        assert_eq!(percentile(&v, 100.0), 10.0);
+        assert_eq!(percentile(&[7.0], 33.0), 7.0);
+    }
+
+    #[test]
+    fn histogram_counts_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add_all(&[0.5, 1.5, 2.5, 9.9, 10.0, -1.0, 11.0, Float::NAN]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outliers(), 3);
+        assert_eq!(h.counts()[0], 2); // 0.5 and 1.5
+        assert_eq!(h.counts()[4], 2); // 9.9 and 10.0 (upper edge goes to last bin)
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-6);
+        assert_eq!(h.series().len(), 5);
+    }
+
+    #[test]
+    fn equal_frequency_edges_balance_counts() {
+        // Power-law-like sample: most mass near zero.
+        let values: Vec<Float> = (1..=1000).map(|i| 1.0 / i as Float).collect();
+        let edges = equal_frequency_edges(&values, 10);
+        assert!(edges.len() >= 2 && edges.len() <= 11 + 1);
+        // Count how many values fall into each bin; counts should be roughly equal.
+        let nbins = edges.len() - 1;
+        let mut counts = vec![0usize; nbins];
+        for &v in &values {
+            counts[bin_index(&edges, v)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as Float;
+        let min = *counts.iter().min().unwrap() as Float;
+        assert!(max / min < 2.5, "counts too unbalanced: {:?}", counts);
+    }
+
+    #[test]
+    fn equal_frequency_edges_handle_duplicates() {
+        let values = vec![1.0; 50];
+        let edges = equal_frequency_edges(&values, 8);
+        assert!(edges.len() >= 2);
+        assert!(edges.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn bin_index_saturates() {
+        let edges = vec![0.0, 1.0, 2.0, 4.0];
+        assert_eq!(bin_index(&edges, -5.0), 0);
+        assert_eq!(bin_index(&edges, 0.5), 0);
+        assert_eq!(bin_index(&edges, 1.0), 1);
+        assert_eq!(bin_index(&edges, 3.9), 2);
+        assert_eq!(bin_index(&edges, 100.0), 2);
+    }
+}

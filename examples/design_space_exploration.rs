@@ -1,0 +1,63 @@
+//! Design-space exploration with the analytical performance model of
+//! Section V: sweep the number of Computation Units, the MAC-array size, and
+//! the neighbor-pruning budget, and report predicted throughput/latency next
+//! to the estimated DSP cost — the ablation study DESIGN.md calls out.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use tgnn::prelude::*;
+use tgnn_hwsim::design::estimate_resources;
+use tgnn_hwsim::DdrModel;
+
+fn main() {
+    let device = FpgaDevice::alveo_u200();
+    let ddr = DdrModel::new_gbps(device.ddr_bandwidth_gbps);
+    let batch_size = 1000;
+
+    println!("design-space exploration on {} (batch size {batch_size})\n", device.name);
+    println!(
+        "{:<10} {:>5} {:>5} {:>8} {:>14} {:>14} {:>10} {:>6}",
+        "variant", "Ncu", "Sg", "DSPs", "latency (ms)", "thpt (kE/s)", "DSP util", "fits"
+    );
+
+    for variant in [
+        OptimizationVariant::SatLut,
+        OptimizationVariant::NpLarge,
+        OptimizationVariant::NpMedium,
+        OptimizationVariant::NpSmall,
+    ] {
+        let model = ModelConfig::paper_default(0, 172).with_variant(variant);
+        for num_cu in [1usize, 2, 4] {
+            for sg in [4usize, 8, 16] {
+                let mut design = DesignConfig::u200();
+                design.num_cu = num_cu;
+                design.sg = sg;
+                design.name = format!("u200-{num_cu}cu-sg{sg}");
+
+                let usage = estimate_resources(&design, &model);
+                let fits = usage.fits(&device);
+                let perf = PerformanceModel::new(design, model.clone(), ddr.clone());
+                let p = perf.predict(batch_size);
+                let dsp_util = usage.dsps as f64 / device.total_dsps() as f64;
+
+                println!(
+                    "{:<10} {:>5} {:>5} {:>8} {:>14.3} {:>14.1} {:>9.0}% {:>6}",
+                    variant.label(),
+                    num_cu,
+                    sg,
+                    usage.dsps,
+                    p.latency * 1e3,
+                    p.throughput_eps / 1e3,
+                    dsp_util * 100.0,
+                    fits
+                );
+            }
+        }
+        println!();
+    }
+
+    println!("Reading the sweep: throughput scales with Ncu and Sg until either the DSP budget");
+    println!("is exhausted (fits = false) or the pipeline becomes memory-bound (T_LS > T_comp),");
+    println!("at which point extra compute parallelism no longer helps — the same trade-off the");
+    println!("paper's Table IV design points sit on.");
+}

@@ -1,0 +1,39 @@
+//! Facade crate for the TGNN model-architecture co-design reproduction
+//! (IPDPS 2022: "Model-Architecture Co-Design for High Performance Temporal
+//! GNN Inference on FPGA").
+//!
+//! Re-exports the workspace crates under one roof so the examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`tensor`] — dense linear algebra kernels.
+//! * [`graph`] — temporal graph substrate (events, neighbor tables,
+//!   samplers, batching).
+//! * [`data`] — synthetic Wikipedia/Reddit/GDELT-like dataset generators.
+//! * [`nn`] — neural-network kernels (GRU, attentions, time encoders) with
+//!   training support.
+//! * [`core`] — the TGN-attn model, Algorithm-1 inference engine, training
+//!   and knowledge distillation.
+//! * [`hwsim`] — the FPGA accelerator simulator, analytical performance
+//!   model, and CPU/GPU baseline cost models.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology and results.
+
+pub use tgnn_core as core;
+pub use tgnn_data as data;
+pub use tgnn_graph as graph;
+pub use tgnn_hwsim as hwsim;
+pub use tgnn_nn as nn;
+pub use tgnn_tensor as tensor;
+
+/// Convenience prelude with the types most programs need.
+pub mod prelude {
+    pub use tgnn_core::{
+        AttentionKind, InferenceEngine, ModelConfig, OptimizationVariant, TgnModel,
+        TimeEncoderKind,
+    };
+    pub use tgnn_data::{gdelt_like, generate, reddit_like, tiny, wikipedia_like};
+    pub use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
+    pub use tgnn_hwsim::{AcceleratorSim, DesignConfig, FpgaDevice, PerformanceModel};
+    pub use tgnn_tensor::{Matrix, TensorRng};
+}

@@ -1,0 +1,91 @@
+//! Integration tests of the training / distillation pipeline across crates —
+//! the accuracy side of Table II, at test scale.
+
+use tgnn::prelude::*;
+use tgnn_core::distillation::{distill, DistillationConfig};
+use tgnn_core::training::{TrainConfig, Trainer};
+use tgnn_core::LinkDecoder;
+
+fn tiny_graph(seed: u64) -> TemporalGraph {
+    generate(&tgnn_data::tiny(seed))
+}
+
+fn quick_train_config() -> TrainConfig {
+    TrainConfig { epochs: 2, batch_size: 50, learning_rate: 5e-3, decoder_hidden: 16, seed: 11 }
+}
+
+#[test]
+fn teacher_training_improves_over_random_initialisation() {
+    let graph = tiny_graph(101);
+    let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+    let trainer = Trainer::new(quick_train_config());
+
+    let mut rng = TensorRng::new(1);
+    let untrained = tgnn_core::training::TrainedModel {
+        model: TgnModel::new(cfg.clone(), &mut rng),
+        decoder: LinkDecoder::new(cfg.embedding_dim, 16, &mut rng),
+        history: Vec::new(),
+    };
+    let untrained_ap = trainer.evaluate(&untrained, &graph, 50).average_precision;
+
+    let trained = trainer.train(&cfg, &graph);
+    let trained_ap = trainer.evaluate(&trained, &graph, 50).average_precision;
+
+    assert!(trained_ap > 0.5, "trained AP {trained_ap} should beat a random ranking");
+    assert!(
+        trained_ap >= untrained_ap - 0.05,
+        "training must not collapse accuracy ({untrained_ap} -> {trained_ap})"
+    );
+    // Loss decreased across epochs.
+    let history = &trained.history;
+    assert!(history.last().unwrap().mean_loss <= history.first().unwrap().mean_loss);
+}
+
+#[test]
+fn distilled_students_stay_close_to_the_teacher_across_the_ladder() {
+    let graph = tiny_graph(202);
+    let teacher_cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+    let kd = DistillationConfig { temperature: 1.0, kd_weight: 0.5, train: quick_train_config() };
+    let trainer = Trainer::new(kd.train.clone());
+    let teacher = trainer.train(&teacher_cfg, &graph);
+    let teacher_ap = trainer.evaluate(&teacher, &graph, 50).average_precision;
+
+    for variant in [
+        OptimizationVariant::Sat,
+        OptimizationVariant::SatLut,
+        OptimizationVariant::NpSmall,
+    ] {
+        let student_cfg = teacher_cfg.clone().with_variant(variant);
+        let (student, stats) = distill(&teacher, &student_cfg, &graph, &kd);
+        let student_ap = trainer.evaluate(&student, &graph, 50).average_precision;
+        assert!(
+            student_ap > teacher_ap - 0.2,
+            "{variant:?}: student AP {student_ap} too far below teacher {teacher_ap}"
+        );
+        assert!(stats.kd_loss.iter().all(|l| l.is_finite()));
+    }
+}
+
+#[test]
+fn apan_baseline_is_less_accurate_than_the_trained_teacher() {
+    // Fig. 7's qualitative claim: the memory-based TGN models sit above the
+    // asynchronous APAN baseline in accuracy.
+    let graph = tiny_graph(303);
+    let teacher_cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+    let trainer = Trainer::new(TrainConfig { epochs: 3, ..quick_train_config() });
+    let teacher = trainer.train(&teacher_cfg, &graph);
+    let teacher_ap = trainer.evaluate(&teacher, &graph, 50).average_precision;
+
+    let mut rng = TensorRng::new(9);
+    let mut apan = tgnn_core::apan::ApanModel::new(
+        tgnn_core::apan::ApanConfig::from_model_config(&teacher_cfg),
+        graph.num_nodes(),
+        &mut rng,
+    );
+    let apan_ap = apan.evaluate_stream(graph.test_events(), &graph, &mut rng);
+
+    assert!(
+        teacher_ap + 0.05 >= apan_ap,
+        "untrained APAN ({apan_ap}) should not decisively beat the trained TGN teacher ({teacher_ap})"
+    );
+}
