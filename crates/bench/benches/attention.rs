@@ -25,9 +25,11 @@ fn bench_attention(c: &mut Criterion) {
         b.iter(|| black_box(vanilla.forward(&query, &neighbors)))
     });
     for &budget in &[10usize, 6, 4, 2] {
-        group.bench_with_input(BenchmarkId::new("simplified_topk", budget), &budget, |b, &k| {
-            b.iter(|| black_box(sat.forward(&dts, &neighbors, k)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("simplified_topk", budget),
+            &budget,
+            |b, &k| b.iter(|| black_box(sat.forward(&dts, &neighbors, k))),
+        );
     }
     group.finish();
 }

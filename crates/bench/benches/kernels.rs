@@ -1,21 +1,29 @@
 //! Criterion micro-benchmarks of the dense kernels the model is built from:
-//! GEMM (serial and rayon-parallel), the GRU memory updater, and the two time
-//! encoders (cos vs LUT — the Section III-C optimization).
+//! GEMM (blocked, packed, rayon-parallel), the GRU memory updater, and the
+//! two time encoders (cos vs LUT — the Section III-C optimization).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use tgnn_nn::{CosTimeEncoder, GruCell, LutTimeEncoder};
-use tgnn_tensor::gemm::{matmul, par_matmul};
-use tgnn_tensor::{Float, TensorRng};
+use tgnn_tensor::gemm::{matmul, matmul_packed_into, par_matmul};
+use tgnn_tensor::{Float, Matrix, TensorRng, Workspace};
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
     let mut rng = TensorRng::new(1);
-    for &n in &[32usize, 128, 256] {
+    for &n in &[32usize, 64, 128, 256] {
         let a = rng.uniform_matrix(n, n, -1.0, 1.0);
         let b = rng.uniform_matrix(n, n, -1.0, 1.0);
         group.bench_with_input(BenchmarkId::new("serial", n), &n, |bench, _| {
             bench.iter(|| black_box(matmul(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("packed", n), &n, |bench, _| {
+            let mut ws = Workspace::new();
+            let mut c_out = Matrix::zeros(n, n);
+            bench.iter(|| {
+                matmul_packed_into(&a, &b, &mut c_out, &mut ws);
+                black_box(c_out.as_slice()[0])
+            })
         });
         group.bench_with_input(BenchmarkId::new("rayon", n), &n, |bench, _| {
             bench.iter(|| black_box(par_matmul(&a, &b)))
@@ -47,8 +55,12 @@ fn bench_time_encoders(c: &mut Criterion) {
     let lut = LutTimeEncoder::calibrate("lut", &samples, 128, &cos);
     let batch: Vec<Float> = (0..64).map(|_| rng.pareto(1.0, 1.2).min(1e6)).collect();
 
-    group.bench_function("cos_eq6", |bench| bench.iter(|| black_box(cos.forward(&batch))));
-    group.bench_function("lut_128bins", |bench| bench.iter(|| black_box(lut.forward(&batch))));
+    group.bench_function("cos_eq6", |bench| {
+        bench.iter(|| black_box(cos.forward(&batch)))
+    });
+    group.bench_function("lut_128bins", |bench| {
+        bench.iter(|| black_box(lut.forward(&batch)))
+    });
     group.finish();
 }
 

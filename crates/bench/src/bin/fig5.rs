@@ -72,8 +72,14 @@ fn main() {
                 args.seed,
             );
             cells.push(tgnn_bench::secs_to_ms(zcu.mean_latency()));
-            cells.push(format!("{:.1}", cpu.estimate(batch_size).throughput_eps / 1e3));
-            cells.push(format!("{:.1}", gpu.estimate(batch_size).throughput_eps / 1e3));
+            cells.push(format!(
+                "{:.1}",
+                cpu.estimate(batch_size).throughput_eps / 1e3
+            ));
+            cells.push(format!(
+                "{:.1}",
+                gpu.estimate(batch_size).throughput_eps / 1e3
+            ));
             cells.push(format!("{:.1}", u200_npm_tp / 1e3));
             tgnn_bench::print_row(&cells);
         }
@@ -97,11 +103,17 @@ fn main() {
 
         // --- Right plots: real-time latency, one batch per 15-minute window.
         println!("### Real-time inference (15-minute windows), NP(M) on U200 vs GPU");
-        tgnn_bench::print_header(&["time (days)", "window edges", "U200 latency (ms)", "GPU latency (ms)"]);
+        tgnn_bench::print_header(&[
+            "time (days)",
+            "window edges",
+            "U200 latency (ms)",
+            "GPU latency (ms)",
+        ]);
         let test = graph.test_events();
         if !test.is_empty() {
             let windows = time_window_batches(test, 15.0 * 60.0);
-            let mut run_cfg = tgnn_bench::paper_model_config(dataset, OptimizationVariant::NpMedium);
+            let mut run_cfg =
+                tgnn_bench::paper_model_config(dataset, OptimizationVariant::NpMedium);
             run_cfg.node_feature_dim = graph.node_feature_dim();
             run_cfg.edge_feature_dim = graph.edge_feature_dim();
             let model = build_model(&graph, &run_cfg, args.seed);

@@ -12,10 +12,13 @@ const BATCH_SIZES: [usize; 6] = [100, 200, 500, 1000, 2000, 4000];
 
 fn main() {
     let args = HarnessArgs::parse();
-    println!("# Figure 6 — performance-model prediction vs simulated execution (NP(M), Wikipedia)\n");
+    println!(
+        "# Figure 6 — performance-model prediction vs simulated execution (NP(M), Wikipedia)\n"
+    );
 
     let graph = Dataset::Wikipedia.graph(args.scale, args.seed);
-    let mut run_cfg = tgnn_bench::paper_model_config(Dataset::Wikipedia, OptimizationVariant::NpMedium);
+    let mut run_cfg =
+        tgnn_bench::paper_model_config(Dataset::Wikipedia, OptimizationVariant::NpMedium);
     run_cfg.node_feature_dim = graph.node_feature_dim();
     run_cfg.edge_feature_dim = graph.edge_feature_dim();
 
@@ -48,7 +51,8 @@ fn main() {
             let prediction = perf.predict(batch_size);
 
             let model = build_model(&graph, &run_cfg, args.seed);
-            let mut sim = AcceleratorSim::new(model, graph.num_nodes(), device.clone(), design.clone());
+            let mut sim =
+                AcceleratorSim::new(model, graph.num_nodes(), device.clone(), design.clone());
             let take = graph.num_events().min(4 * batch_size.max(500));
             let report = sim.simulate_stream(&graph.events()[..take], &graph, batch_size);
 
@@ -67,8 +71,7 @@ fn main() {
             let actual_lat = report.mean_latency();
             let actual_thpt = report.throughput_eps();
             let lat_err = 100.0 * (corrected_latency - actual_lat).abs() / actual_lat.max(1e-12);
-            let thpt_err =
-                100.0 * (corrected_thpt - actual_thpt).abs() / actual_thpt.max(1e-12);
+            let thpt_err = 100.0 * (corrected_thpt - actual_thpt).abs() / actual_thpt.max(1e-12);
             lat_errs.push(lat_err);
             thpt_errs.push(thpt_err);
 

@@ -28,7 +28,11 @@ fn main() {
         seed: args.seed,
     };
     let trainer = Trainer::new(train_cfg.clone());
-    let kd_cfg = DistillationConfig { temperature: 1.0, kd_weight: 0.5, train: train_cfg };
+    let kd_cfg = DistillationConfig {
+        temperature: 1.0,
+        kd_weight: 0.5,
+        train: train_cfg,
+    };
 
     tgnn_bench::print_header(&["method", "platform", "AP", "latency (ms)"]);
 
@@ -36,8 +40,11 @@ fn main() {
     // latency from the calibrated platform models).
     let teacher_cfg = harness_model_config(&graph, OptimizationVariant::Baseline);
     let teacher = trainer.train(&teacher_cfg, &graph);
-    let teacher_ap = trainer.evaluate(&teacher, &graph, BATCH_SIZE).average_precision;
-    let paper_baseline = tgnn_bench::paper_model_config(Dataset::Wikipedia, OptimizationVariant::Baseline);
+    let teacher_ap = trainer
+        .evaluate(&teacher, &graph, BATCH_SIZE)
+        .average_precision;
+    let paper_baseline =
+        tgnn_bench::paper_model_config(Dataset::Wikipedia, OptimizationVariant::Baseline);
     for platform in [BaselinePlatform::CpuMultiThread, BaselinePlatform::Gpu] {
         let sim = BaselineSimulator::new(platform, paper_baseline.clone());
         tgnn_bench::print_row(&[
@@ -50,7 +57,8 @@ fn main() {
 
     // --- APAN-style asynchronous baseline (accuracy measured, latency from
     // the platform models scaled by its much smaller synchronous work).
-    let apan_cfg = ApanConfig::from_model_config(&harness_model_config(&graph, OptimizationVariant::Baseline));
+    let apan_cfg =
+        ApanConfig::from_model_config(&harness_model_config(&graph, OptimizationVariant::Baseline));
     let mut rng = TensorRng::new(args.seed ^ 0xa9a);
     let mut apan = ApanModel::new(apan_cfg, graph.num_nodes(), &mut rng);
     let take = graph.num_events().min(6_000);
@@ -81,14 +89,17 @@ fn main() {
     ] {
         let student_cfg = harness_model_config(&graph, variant);
         let (student, _) = distill(&teacher, &student_cfg, &graph, &kd_cfg);
-        let ap = trainer.evaluate(&student, &graph, BATCH_SIZE).average_precision;
+        let ap = trainer
+            .evaluate(&student, &graph, BATCH_SIZE)
+            .average_precision;
 
         for (design, device) in [
             (DesignConfig::u200(), FpgaDevice::alveo_u200()),
             (DesignConfig::zcu104(), FpgaDevice::zcu104()),
         ] {
             let model = build_model(&graph, &student_cfg, args.seed);
-            let mut sim = AcceleratorSim::new(model, graph.num_nodes(), device.clone(), design.clone());
+            let mut sim =
+                AcceleratorSim::new(model, graph.num_nodes(), device.clone(), design.clone());
             let take = graph.num_events().min(2_000);
             let report = sim.simulate_stream(&graph.events()[..take], &graph, BATCH_SIZE);
             tgnn_bench::print_row(&[

@@ -1,0 +1,131 @@
+//! End-to-end inference throughput measurement and perf-trajectory baseline.
+//!
+//! Streams the Wikipedia-like preset through the inference engine in every
+//! execution mode and reports edges/sec and mean batch latency, verifying on
+//! the way that the optimized modes reproduce the serial reference
+//! embeddings bit-for-bit.  Writes `BENCH_baseline.json` (override with
+//! `--out <path>`) so future PRs can track the throughput trajectory.
+//!
+//! Run with: `cargo run --release -p tgnn-bench --bin perf_baseline -- --scale 0.02`
+
+use std::time::Instant;
+use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
+use tgnn_graph::batching::fixed_size_batches;
+
+const BATCH_SIZE: usize = 200;
+
+struct ModeResult {
+    mode: ExecMode,
+    events_per_sec: f64,
+    mean_latency_ms: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let out_path = {
+        let argv: Vec<String> = std::env::args().collect();
+        argv.windows(2)
+            .find(|w| w[0] == "--out")
+            .map(|w| w[1].clone())
+            .unwrap_or_else(|| "BENCH_baseline.json".to_string())
+    };
+
+    let graph = Dataset::Wikipedia.graph(args.scale, args.seed);
+    let variant = OptimizationVariant::NpMedium;
+    let cfg = harness_model_config(&graph, variant);
+    let model = build_model(&graph, &cfg, args.seed);
+    let warm_events = graph.train_events();
+    let measure_events = graph.events();
+    println!(
+        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}",
+        args.scale,
+        graph.num_nodes(),
+        measure_events.len(),
+        variant.label()
+    );
+
+    // Reference run (serial seed path) — also the numerical ground truth.
+    let mut reference_embeddings: Vec<(u32, Vec<f32>)> = Vec::new();
+    let mut results: Vec<ModeResult> = Vec::new();
+    for mode in [ExecMode::Serial, ExecMode::Batched, ExecMode::Parallel] {
+        let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(mode);
+        engine.warm_up(warm_events, &graph);
+        let batches = fixed_size_batches(measure_events, BATCH_SIZE);
+
+        let start = Instant::now();
+        let mut embeddings: Vec<(u32, Vec<f32>)> = Vec::new();
+        let mut latencies = Vec::with_capacity(batches.len());
+        for batch in &batches {
+            let out = engine.process_batch(batch, &graph);
+            latencies.push(out.latency);
+            embeddings.extend(out.embeddings);
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+
+        let eps = measure_events.len() as f64 / elapsed;
+        let mean_ms = latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>()
+            / latencies.len().max(1) as f64
+            * 1e3;
+        println!(
+            "mode {:>8?}: {:>10.0} edges/sec, mean batch latency {:.3} ms",
+            mode, eps, mean_ms
+        );
+
+        if mode == ExecMode::Serial {
+            reference_embeddings = embeddings;
+        } else {
+            assert_eq!(
+                reference_embeddings, embeddings,
+                "{mode:?} embeddings diverged bitwise from the serial reference"
+            );
+        }
+        results.push(ModeResult {
+            mode,
+            events_per_sec: eps,
+            mean_latency_ms: mean_ms,
+        });
+    }
+
+    let serial = results[0].events_per_sec;
+    let best = results
+        .iter()
+        .map(|r| r.events_per_sec)
+        .fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "speedup over serial reference: {:.2}x (bitwise-identical embeddings)",
+        best / serial
+    );
+
+    // Hand-rolled JSON (no serde_json in this offline environment).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"dataset\": \"wikipedia_like\",\n  \"scale\": {},\n",
+        args.scale
+    ));
+    json.push_str(&format!(
+        "  \"seed\": {},\n  \"batch_size\": {},\n  \"variant\": \"{}\",\n",
+        args.seed,
+        BATCH_SIZE,
+        variant.label()
+    ));
+    json.push_str(&format!("  \"num_events\": {},\n", measure_events.len()));
+    json.push_str("  \"modes\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{:?}\": {{ \"events_per_sec\": {:.1}, \"mean_batch_latency_ms\": {:.4} }}{}\n",
+            r.mode,
+            r.events_per_sec,
+            r.mean_latency_ms,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!(
+        "  \"speedup_over_serial\": {:.3},\n",
+        best / serial
+    ));
+    json.push_str("  \"embeddings_bitwise_identical\": true\n}\n");
+    std::fs::write(&out_path, json).expect("failed to write throughput baseline");
+    println!("wrote {out_path}");
+}

@@ -17,7 +17,10 @@ use tgnn_hwsim::baseline::{BaselinePlatform, BaselineSimulator};
 fn main() {
     let args = HarnessArgs::parse();
     println!("# Table I — per-embedding complexity and execution-time breakdown");
-    println!("(synthetic datasets at scale {}, baseline TGN-attn model)\n", args.scale);
+    println!(
+        "(synthetic datasets at scale {}, baseline TGN-attn model)\n",
+        args.scale
+    );
 
     for dataset in [Dataset::Wikipedia, Dataset::Reddit] {
         let graph = dataset.graph(args.scale, args.seed);
@@ -60,7 +63,10 @@ fn main() {
                 format!("{:.1}%", 100.0 * s.mems as f64 / total.mems.max(1) as f64),
                 format!("{:.1}", s.macs as f64 / 1e3),
                 format!("{:.1}%", 100.0 * s.macs as f64 / total.macs.max(1) as f64),
-                format!("{:.0}", report.timings.nanos_per_item(stage, report.num_embeddings)),
+                format!(
+                    "{:.0}",
+                    report.timings.nanos_per_item(stage, report.num_embeddings)
+                ),
                 format!("{:.0}", baselines[0][i]),
                 format!("{:.0}", baselines[1][i]),
                 format!("{:.0}", baselines[2][i]),

@@ -16,11 +16,19 @@ use tgnn_core::{InferenceEngine, OptimizationVariant};
 fn main() {
     let args = HarnessArgs::parse();
     println!("# Table II — model-optimization ladder (accuracy / complexity / throughput)");
-    println!("(synthetic datasets at scale {}, {} training epochs)\n", args.scale, args.epochs);
+    println!(
+        "(synthetic datasets at scale {}, {} training epochs)\n",
+        args.scale, args.epochs
+    );
 
     for dataset in Dataset::all() {
         let graph = dataset.graph(args.scale, args.seed);
-        println!("## {} ({} events, {} nodes)", dataset.name(), graph.num_events(), graph.num_nodes());
+        println!(
+            "## {} ({} events, {} nodes)",
+            dataset.name(),
+            graph.num_events(),
+            graph.num_nodes()
+        );
 
         let train_cfg = TrainConfig {
             epochs: args.epochs,
@@ -29,7 +37,11 @@ fn main() {
             decoder_hidden: 32,
             seed: args.seed,
         };
-        let kd_cfg = DistillationConfig { temperature: 1.0, kd_weight: 0.5, train: train_cfg.clone() };
+        let kd_cfg = DistillationConfig {
+            temperature: 1.0,
+            kd_weight: 0.5,
+            train: train_cfg.clone(),
+        };
         let trainer = Trainer::new(train_cfg.clone());
 
         // Teacher.
@@ -38,11 +50,24 @@ fn main() {
         let teacher_ap = trainer.evaluate(&teacher, &graph, 200).average_precision;
 
         tgnn_bench::print_header(&[
-            "model", "|v|", "|e|", "|N(v)|", "kMEM", "kMEM %", "kMAC", "kMAC %", "AP", "ΔAP",
-            "thpt (kE/s)", "speedup",
+            "model",
+            "|v|",
+            "|e|",
+            "|N(v)|",
+            "kMEM",
+            "kMEM %",
+            "kMAC",
+            "kMAC %",
+            "AP",
+            "ΔAP",
+            "thpt (kE/s)",
+            "speedup",
         ]);
 
-        let baseline_ops = per_embedding_ops(&tgnn_bench::paper_model_config(dataset, OptimizationVariant::Baseline));
+        let baseline_ops = per_embedding_ops(&tgnn_bench::paper_model_config(
+            dataset,
+            OptimizationVariant::Baseline,
+        ));
         let mut baseline_throughput = None;
 
         for variant in OptimizationVariant::ladder() {
@@ -80,9 +105,15 @@ fn main() {
                 paper_cfg.edge_feature_dim.to_string(),
                 paper_cfg.neighbor_budget.to_string(),
                 format!("{:.1}", ops.total().mems as f64 / 1e3),
-                format!("{:.1}%", 100.0 * ops.total().mems as f64 / baseline_ops.total().mems as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * ops.total().mems as f64 / baseline_ops.total().mems as f64
+                ),
                 format!("{:.1}", ops.total().macs as f64 / 1e3),
-                format!("{:.1}%", 100.0 * ops.total().macs as f64 / baseline_ops.total().macs as f64),
+                format!(
+                    "{:.1}%",
+                    100.0 * ops.total().macs as f64 / baseline_ops.total().macs as f64
+                ),
                 format!("{:.4}", ap),
                 format!("{:+.4}", ap - teacher_ap),
                 format!("{:.2}", throughput_ke),

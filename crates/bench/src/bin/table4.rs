@@ -8,7 +8,12 @@ use tgnn_hwsim::device::{FpgaDevice, PlatformSpec};
 
 fn main() {
     println!("# Table III — hardware platforms\n");
-    tgnn_bench::print_header(&["platform", "dies/sockets", "resources per die", "ext. memory BW"]);
+    tgnn_bench::print_header(&[
+        "platform",
+        "dies/sockets",
+        "resources per die",
+        "ext. memory BW",
+    ]);
     for dev in [FpgaDevice::alveo_u200(), FpgaDevice::zcu104()] {
         tgnn_bench::print_row(&[
             dev.name.clone(),
@@ -35,8 +40,18 @@ fn main() {
     println!("\n# Table IV — design configurations and resource utilization\n");
     let model = paper_model_config(Dataset::Wikipedia, OptimizationVariant::NpMedium);
     tgnn_bench::print_header(&[
-        "design", "Ncu", "Sg^2", "S_FAM", "S_FTM", "freq (MHz)", "LUT", "DSP", "BRAM", "URAM",
-        "fits", "inter-die links",
+        "design",
+        "Ncu",
+        "Sg^2",
+        "S_FAM",
+        "S_FTM",
+        "freq (MHz)",
+        "LUT",
+        "DSP",
+        "BRAM",
+        "URAM",
+        "fits",
+        "inter-die links",
     ]);
     for (design, device) in [
         (DesignConfig::u200(), FpgaDevice::alveo_u200()),

@@ -64,7 +64,11 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        Self { scale: 0.02, epochs: 2, seed: 7 }
+        Self {
+            scale: 0.02,
+            epochs: 2,
+            seed: 7,
+        }
     }
 }
 
@@ -139,7 +143,10 @@ pub fn print_row(cells: &[String]) {
 /// Prints a markdown-style table header with a separator line.
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 #[cfg(test)]

@@ -81,7 +81,12 @@ impl ApanModel {
         Self {
             updater: GruCell::new("apan.updater", mail_dim, config.memory_dim, rng),
             mail_attention: Linear::new("apan.attention", mail_dim, 1, rng),
-            output: Linear::new("apan.output", config.memory_dim + mail_dim, config.memory_dim, rng),
+            output: Linear::new(
+                "apan.output",
+                config.memory_dim + mail_dim,
+                config.memory_dim,
+                rng,
+            ),
             memory: Matrix::zeros(num_nodes, config.memory_dim),
             mailboxes: vec![VecDeque::new(); num_nodes],
             recent_neighbors: vec![VecDeque::new(); num_nodes],
@@ -121,7 +126,9 @@ impl ApanModel {
         let mut input = Vec::with_capacity(self.config.memory_dim + mail_dim);
         input.extend_from_slice(state);
         input.extend_from_slice(&summary);
-        self.output.forward(&Matrix::row_vector(&input)).row_to_vec(0)
+        self.output
+            .forward(&Matrix::row_vector(&input))
+            .row_to_vec(0)
     }
 
     /// Scores a candidate edge by the dot product of the two embeddings.
@@ -193,23 +200,53 @@ impl ApanModel {
         let num_nodes = graph.num_nodes() as u32;
         let mut scores = Vec::new();
         let mut labels = Vec::new();
+        // Negatives are drawn from recently active vertices, matching
+        // `evaluate_link_prediction`'s batch-local negatives for the TGN
+        // models: sampling cold vertices instead would let any model separate
+        // positives by state warmth alone, inflating the baseline's AP.
+        let mut recent: VecDeque<NodeId> = VecDeque::new();
+        const RECENT_WINDOW: usize = 128;
         for e in events {
             scores.push(self.score(e.src, e.dst));
             labels.push(1.0);
-            let mut neg = rng.index(num_nodes as usize) as u32;
-            if neg == e.dst {
-                neg = (neg + 1) % num_nodes;
+            let mut neg = None;
+            if !recent.is_empty() {
+                for _ in 0..8 {
+                    let candidate = recent[rng.index(recent.len())];
+                    if candidate != e.dst {
+                        neg = Some(candidate);
+                        break;
+                    }
+                }
             }
+            let neg = neg.unwrap_or_else(|| {
+                let candidate = rng.index(num_nodes as usize) as u32;
+                if candidate == e.dst {
+                    (candidate + 1) % num_nodes
+                } else {
+                    candidate
+                }
+            });
             scores.push(self.score(e.src, neg));
             labels.push(0.0);
             self.observe(e, graph);
+            for v in [e.src, e.dst] {
+                if recent.len() == RECENT_WINDOW {
+                    recent.pop_front();
+                }
+                recent.push_back(v);
+            }
         }
         average_precision(&scores, &labels)
     }
 
     /// Processes a batch and returns the embeddings of the touched vertices —
     /// used by the latency measurements of Fig. 7.
-    pub fn process_batch(&mut self, batch: &EventBatch, graph: &TemporalGraph) -> Vec<(NodeId, Vec<Float>)> {
+    pub fn process_batch(
+        &mut self,
+        batch: &EventBatch,
+        graph: &TemporalGraph,
+    ) -> Vec<(NodeId, Vec<Float>)> {
         let touched = batch.touched_vertices();
         for e in batch.events() {
             self.observe(e, graph);

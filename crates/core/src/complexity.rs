@@ -24,7 +24,10 @@ pub struct OpCounts {
 impl Add for OpCounts {
     type Output = OpCounts;
     fn add(self, rhs: OpCounts) -> OpCounts {
-        OpCounts { macs: self.macs + rhs.macs, mems: self.mems + rhs.mems }
+        OpCounts {
+            macs: self.macs + rhs.macs,
+            mems: self.mems + rhs.mems,
+        }
     }
 }
 
@@ -141,10 +144,7 @@ pub fn per_embedding_ops(config: &ModelConfig) -> StageOps {
     let attention_macs = match config.attention {
         AttentionKind::Vanilla => {
             // q, K, V projections + score dot products + weighted sum.
-            q_in * mem
-                + sampled * nbr_in * mem * 2
-                + sampled * mem
-                + sampled * mem
+            q_in * mem + sampled * nbr_in * mem * 2 + sampled * mem + sampled * mem
         }
         AttentionKind::Simplified => {
             // W_t·Δt + value projections of the pruned set + weighted sum.

@@ -30,7 +30,11 @@ pub struct DistillationConfig {
 
 impl Default for DistillationConfig {
     fn default() -> Self {
-        Self { temperature: 1.0, kd_weight: 0.5, train: TrainConfig::default() }
+        Self {
+            temperature: 1.0,
+            kd_weight: 0.5,
+            train: TrainConfig::default(),
+        }
     }
 }
 
@@ -53,7 +57,10 @@ pub fn distill(
     graph: &TemporalGraph,
     config: &DistillationConfig,
 ) -> (TrainedModel, DistillationStats) {
-    assert!(config.temperature > 0.0, "distill: temperature must be positive");
+    assert!(
+        config.temperature > 0.0,
+        "distill: temperature must be positive"
+    );
     let mut rng = TensorRng::new(config.train.seed ^ 0xd157);
 
     let mut student = TgnModel::new(student_config.clone(), &mut rng);
@@ -112,8 +119,15 @@ pub fn distill(
     }
 
     (
-        TrainedModel { model: student, decoder, history },
-        DistillationStats { task_loss: task_history, kd_loss: kd_history },
+        TrainedModel {
+            model: student,
+            decoder,
+            history,
+        },
+        DistillationStats {
+            task_loss: task_history,
+            kd_loss: kd_history,
+        },
     )
 }
 
@@ -162,7 +176,9 @@ fn distillation_step(
 
             // Student logits from the simplified attention (present slots).
             let (slots, student_logits) = {
-                let Some(sat) = student.simplified.as_ref() else { continue };
+                let Some(sat) = student.simplified.as_ref() else {
+                    continue;
+                };
                 let dts: Vec<Float> = inputs.neighbors.iter().map(|c| c.delta_t).collect();
                 let full = sat.logits(&dts);
                 (sat.slots(), full[..dts.len()].to_vec())
@@ -243,7 +259,13 @@ mod tests {
         DistillationConfig {
             temperature: 1.0,
             kd_weight: 0.5,
-            train: TrainConfig { epochs: 2, batch_size: 40, learning_rate: 5e-3, decoder_hidden: 16, seed: 5 },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 40,
+                learning_rate: 5e-3,
+                decoder_hidden: 16,
+                seed: 5,
+            },
         }
     }
 
@@ -274,7 +296,9 @@ mod tests {
         let teacher = trainer.train(&teacher_cfg, &graph);
         let teacher_ap = trainer.evaluate(&teacher, &graph, 32).average_precision;
 
-        let student_cfg = teacher_cfg.clone().with_variant(OptimizationVariant::NpMedium);
+        let student_cfg = teacher_cfg
+            .clone()
+            .with_variant(OptimizationVariant::NpMedium);
         let (student, _) = distill(&teacher, &student_cfg, &graph, &cfg);
         let student_ap = trainer.evaluate(&student, &graph, 32).average_precision;
 

@@ -44,7 +44,7 @@ pub mod training;
 
 pub use complexity::{OpCounts, StageOps};
 pub use config::{AttentionKind, ModelConfig, OptimizationVariant, TimeEncoderKind};
-pub use inference::{InferenceEngine, InferenceReport};
+pub use inference::{ExecMode, InferenceEngine, InferenceReport};
 pub use link_prediction::LinkDecoder;
 pub use memory::{Message, NodeMemory};
 pub use model::TgnModel;

@@ -50,18 +50,33 @@ impl LinkDecoder {
         let hidden_pre = self.hidden.forward(&concat);
         let hidden_act = hidden_pre.map(|x| x.max(0.0));
         let score = self.output.forward(&hidden_act)[(0, 0)];
-        (score, DecoderCache { concat, hidden_pre, hidden_act })
+        (
+            score,
+            DecoderCache {
+                concat,
+                hidden_pre,
+                hidden_act,
+            },
+        )
     }
 
     /// Backward pass: accumulates decoder gradients and returns the gradient
     /// with respect to `(src, dst)` embeddings.
-    pub fn backward(&mut self, cache: &DecoderCache, grad_score: Float) -> (Vec<Float>, Vec<Float>) {
+    pub fn backward(
+        &mut self,
+        cache: &DecoderCache,
+        grad_score: Float,
+    ) -> (Vec<Float>, Vec<Float>) {
         let grad_out = Matrix::from_vec(1, 1, vec![grad_score]);
         let grad_hidden_act = self.output.backward(&cache.hidden_act, &grad_out);
-        let grad_hidden_pre = grad_hidden_act.zip(&cache.hidden_pre, |g, pre| if pre > 0.0 { g } else { 0.0 });
+        let grad_hidden_pre =
+            grad_hidden_act.zip(&cache.hidden_pre, |g, pre| if pre > 0.0 { g } else { 0.0 });
         let grad_concat = self.hidden.backward(&cache.concat, &grad_hidden_pre);
         let row = grad_concat.row(0);
-        (row[..self.embedding_dim].to_vec(), row[self.embedding_dim..].to_vec())
+        (
+            row[..self.embedding_dim].to_vec(),
+            row[self.embedding_dim..].to_vec(),
+        )
     }
 
     /// Learnable parameters.
@@ -110,8 +125,7 @@ pub fn evaluate_link_prediction(
         let batch = EventBatch::new(chunk.to_vec());
         let out = engine.process_batch(&batch, graph);
         for e in chunk {
-            let (Some(h_src), Some(h_dst)) =
-                (out.embedding_of(e.src), out.embedding_of(e.dst))
+            let (Some(h_src), Some(h_dst)) = (out.embedding_of(e.src), out.embedding_of(e.dst))
             else {
                 continue;
             };
@@ -189,7 +203,11 @@ mod tests {
             let mut am = a.clone();
             am[i] -= eps;
             let numeric = (dec.score(&ap, &b) - dec.score(&am, &b)) / (2.0 * eps);
-            assert!(approx_eq(grad_a[i], numeric, 5e-2), "src grad {i}: {} vs {numeric}", grad_a[i]);
+            assert!(
+                approx_eq(grad_a[i], numeric, 5e-2),
+                "src grad {i}: {} vs {numeric}",
+                grad_a[i]
+            );
 
             let mut bp = b.clone();
             bp[i] += eps;

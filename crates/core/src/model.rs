@@ -14,7 +14,8 @@ use tgnn_nn::attention::{SimplifiedCache, VanillaCache};
 use tgnn_nn::{
     CosTimeEncoder, GruCell, Linear, LutTimeEncoder, Param, SimplifiedAttention, VanillaAttention,
 };
-use tgnn_tensor::{Float, Matrix, TensorRng};
+use tgnn_tensor::ops::{softmax, top_k_indices};
+use tgnn_tensor::{Float, Matrix, TensorRng, Workspace};
 
 /// Per-neighbor context assembled by the caller (memory snapshot, edge
 /// feature, and time difference to the query time).
@@ -26,6 +27,30 @@ pub struct NeighborContext {
     pub edge_feature: Vec<Float>,
     /// Query time minus the interaction timestamp (≥ 0).
     pub delta_t: Float,
+}
+
+/// Borrowed per-neighbor context for the batched hot path: the engine points
+/// straight into the memory table and the graph's edge-feature storage, so
+/// assembling a batch copies nothing.
+#[derive(Clone, Copy, Debug)]
+pub struct NeighborRef<'a> {
+    /// The neighbor's current memory row.
+    pub memory: &'a [Float],
+    /// Feature of the interaction edge that connects target and neighbor.
+    pub edge_feature: &'a [Float],
+    /// Query time minus the interaction timestamp (≥ 0).
+    pub delta_t: Float,
+}
+
+/// One vertex's embedding request within a batched GNN-stage computation.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbeddingJob<'a> {
+    /// The vertex's (already updated) memory `s_i`.
+    pub memory: &'a [Float],
+    /// Its static feature row (required iff the model has node features).
+    pub node_feature: Option<&'a [Float]>,
+    /// Sampled temporal neighbor contexts, most recent first.
+    pub neighbors: &'a [NeighborRef<'a>],
 }
 
 /// Result of computing one vertex embedding.
@@ -50,6 +75,22 @@ pub struct EmbeddingCache {
     concat_input: Matrix,
     vanilla: Option<VanillaCache>,
     simplified: Option<SimplifiedCache>,
+}
+
+/// Accumulates `Σ_j weights[j] · m.row(first_row + j)` into `out`,
+/// replicating `tgnn_tensor::ops::weighted_row_sum`'s accumulation order
+/// (including its zero-weight skip) over a contiguous row range so batched
+/// and per-vertex aggregation are bit-identical.
+fn weighted_rows_into(m: &Matrix, first_row: usize, weights: &[Float], out: &mut [Float]) {
+    out.fill(0.0);
+    for (j, &w) in weights.iter().enumerate() {
+        if w == 0.0 {
+            continue;
+        }
+        for (a, &x) in out.iter_mut().zip(m.row(first_row + j)) {
+            *a += w * x;
+        }
+    }
 }
 
 /// The TGN-attn model with the paper's optimization knobs.
@@ -83,10 +124,17 @@ impl TgnModel {
     /// # Panics
     /// Panics if the configuration is invalid.
     pub fn new(config: ModelConfig, rng: &mut TensorRng) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid ModelConfig: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid ModelConfig: {e}"));
         let gru = GruCell::new("gru", config.message_dim(), config.memory_dim, rng);
         let node_proj = if config.node_feature_dim > 0 {
-            Some(Linear::new("node_proj", config.node_feature_dim, config.memory_dim, rng))
+            Some(Linear::new(
+                "node_proj",
+                config.node_feature_dim,
+                config.memory_dim,
+                rng,
+            ))
         } else {
             None
         };
@@ -190,7 +238,11 @@ impl TgnModel {
         let encodings = self.encode_time(&dts);
         let mut input = Matrix::zeros(n, self.config.neighbor_input_dim());
         for (j, ctx) in neighbors.iter().enumerate() {
-            assert_eq!(ctx.memory.len(), self.config.memory_dim, "neighbor memory dim mismatch");
+            assert_eq!(
+                ctx.memory.len(),
+                self.config.memory_dim,
+                "neighbor memory dim mismatch"
+            );
             assert_eq!(
                 ctx.edge_feature.len(),
                 self.config.edge_feature_dim,
@@ -219,7 +271,8 @@ impl TgnModel {
         node_feature: Option<&[Float]>,
         neighbors: &[NeighborContext],
     ) -> EmbeddingOutput {
-        self.compute_embedding_cached(memory, node_feature, neighbors).0
+        self.compute_embedding_cached(memory, node_feature, neighbors)
+            .0
     }
 
     /// [`Self::compute_embedding`] plus the cache needed for
@@ -234,7 +287,11 @@ impl TgnModel {
         node_feature: Option<&[Float]>,
         neighbors: &[NeighborContext],
     ) -> (EmbeddingOutput, EmbeddingCache) {
-        assert_eq!(memory.len(), self.config.memory_dim, "target memory dim mismatch");
+        assert_eq!(
+            memory.len(),
+            self.config.memory_dim,
+            "target memory dim mismatch"
+        );
         assert!(
             neighbors.len() <= self.config.sampled_neighbors,
             "more neighbors than the sampling budget"
@@ -256,10 +313,19 @@ impl TgnModel {
                 let zero_enc = self.encode_time(&[0.0]);
                 let query_input = f_prime.hconcat(&zero_enc);
                 let (out, cache) = att.forward_cached(&query_input, &neighbor_input);
-                (out.output, out.logits, out.selected, Some((query_input, cache)), None)
+                (
+                    out.output,
+                    out.logits,
+                    out.selected,
+                    Some((query_input, cache)),
+                    None,
+                )
             }
             AttentionKind::Simplified => {
-                let att = self.simplified.as_ref().expect("simplified attention missing");
+                let att = self
+                    .simplified
+                    .as_ref()
+                    .expect("simplified attention missing");
                 let budget = self.config.neighbor_budget;
                 let (out, cache) = att.forward_cached(&dts, &neighbor_input, budget);
                 (out.output, out.logits, out.selected, None, Some(cache))
@@ -276,7 +342,11 @@ impl TgnModel {
             None => (Matrix::zeros(1, self.config.query_input_dim()), None),
         };
 
-        let output = EmbeddingOutput { embedding, attention_logits: logits, used_neighbors: used };
+        let output = EmbeddingOutput {
+            embedding,
+            attention_logits: logits,
+            used_neighbors: used,
+        };
         let cache = EmbeddingCache {
             f_prime,
             node_feature: node_feature_matrix,
@@ -286,6 +356,257 @@ impl TgnModel {
             simplified: simplified_cache,
         };
         (output, cache)
+    }
+
+    /// Encodes a batch of time deltas into a pre-sized output matrix
+    /// (allocation-free [`Self::encode_time`]).
+    pub fn encode_time_into(&self, delta_t: &[Float], out: &mut Matrix) {
+        if self.uses_lut() {
+            self.lut_encoder
+                .as_ref()
+                .unwrap()
+                .forward_into(delta_t, out);
+        } else {
+            self.cos_encoder.forward_into(delta_t, out);
+        }
+    }
+
+    /// Allocation-free [`Self::update_memory`] on workspace buffers and the
+    /// packed GEMM (bit-identical results; recycle the returned matrix).
+    pub fn update_memory_ws(
+        &self,
+        messages: &Matrix,
+        memories: &Matrix,
+        ws: &mut Workspace,
+    ) -> Matrix {
+        self.gru.forward_ws(messages, memories, ws)
+    }
+
+    /// Computes the embeddings of a whole batch of vertices at once — the
+    /// GNN-stage hot path.
+    ///
+    /// Where the per-vertex [`Self::compute_embedding`] issues one small GEMM
+    /// per projection per vertex, this batches all vertices' query / key /
+    /// value projections and the output feature transformation into **one
+    /// GEMM per weight matrix per batch** on the packed kernel, with every
+    /// temporary taken from the workspace.  Per-row arithmetic is identical
+    /// to the per-vertex path, so results are bit-for-bit the same — the
+    /// engine's mode-equivalence tests rely on this.
+    ///
+    /// **Implementation note:** the attention math here deliberately inlines
+    /// (rather than calls) the aggregators' per-vertex forward passes —
+    /// batching all vertices into shared GEMMs is the whole point.  The
+    /// arithmetic therefore lives in three places: `tgnn_nn::attention`'s
+    /// `forward`/`forward_cached` (reference + training), its `forward_ws`
+    /// (allocation-free single-vertex serving), and this batch path.  If you
+    /// change any of it (scale factor, logit formula, top-k tie-breaking,
+    /// weighted-sum skip), change all three; the attention `forward_ws`
+    /// bitwise tests, the `batched_embeddings_are_bitwise_identical_to_per_vertex`
+    /// test, and the engine's mode-equivalence test pin them together and
+    /// will fail on any divergence.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches or when a job exceeds
+    /// `config.sampled_neighbors`.
+    pub fn compute_embeddings_batch(
+        &self,
+        jobs: &[EmbeddingJob<'_>],
+        ws: &mut Workspace,
+    ) -> Vec<EmbeddingOutput> {
+        let t = jobs.len();
+        if t == 0 {
+            return Vec::new();
+        }
+        let cfg = &self.config;
+        let mem_dim = cfg.memory_dim;
+        let nbr_in = cfg.neighbor_input_dim();
+
+        // --- f'_i = s_i (+ W_s f_i + b_s) for every target.
+        let mut f_prime = ws.take_matrix(t, mem_dim);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.memory.len(), mem_dim, "target memory dim mismatch");
+            assert!(
+                job.neighbors.len() <= cfg.sampled_neighbors,
+                "more neighbors than the sampling budget"
+            );
+            f_prime.row_mut(i).copy_from_slice(job.memory);
+        }
+        if let Some(proj) = &self.node_proj {
+            let mut features = ws.take_matrix(t, cfg.node_feature_dim);
+            for (i, job) in jobs.iter().enumerate() {
+                let feat = job
+                    .node_feature
+                    .expect("model expects node features but none were supplied");
+                features.row_mut(i).copy_from_slice(feat);
+            }
+            let projected = proj.forward_ws(&features, ws);
+            for (a, &b) in f_prime.as_mut_slice().iter_mut().zip(projected.as_slice()) {
+                *a += b;
+            }
+            ws.recycle_matrix(projected);
+            ws.recycle_matrix(features);
+        }
+
+        // --- Stacked neighbor inputs `[s_j || e_ij || Φ(Δt_j)]` for all
+        // targets, each target's rows contiguous.
+        let total_n: usize = jobs.iter().map(|j| j.neighbors.len()).sum();
+        let mut offsets = Vec::with_capacity(t);
+        let mut nbr_input = ws.take_matrix(total_n, nbr_in);
+        let mut dts_all = ws.take(total_n);
+        {
+            let mut row = 0;
+            for job in jobs {
+                offsets.push(row);
+                for ctx in job.neighbors {
+                    assert_eq!(ctx.memory.len(), mem_dim, "neighbor memory dim mismatch");
+                    assert_eq!(
+                        ctx.edge_feature.len(),
+                        cfg.edge_feature_dim,
+                        "neighbor edge feature dim mismatch"
+                    );
+                    let dst = nbr_input.row_mut(row);
+                    dst[..mem_dim].copy_from_slice(ctx.memory);
+                    dst[mem_dim..mem_dim + cfg.edge_feature_dim].copy_from_slice(ctx.edge_feature);
+                    dts_all[row] = ctx.delta_t;
+                    row += 1;
+                }
+            }
+        }
+        if total_n > 0 {
+            let mut enc = ws.take_matrix(total_n, cfg.time_dim);
+            self.encode_time_into(&dts_all, &mut enc);
+            for row in 0..total_n {
+                nbr_input.row_mut(row)[mem_dim + cfg.edge_feature_dim..]
+                    .copy_from_slice(enc.row(row));
+            }
+            ws.recycle_matrix(enc);
+        }
+
+        // --- Aggregate per attention kind into `agg` (T×mem).
+        let mut agg = ws.take_matrix(t, mem_dim);
+        let mut logits_out: Vec<Vec<Float>> = Vec::with_capacity(t);
+        let mut selected_out: Vec<Vec<usize>> = Vec::with_capacity(t);
+        match cfg.attention {
+            AttentionKind::Vanilla => {
+                let att = self.vanilla.as_ref().expect("vanilla attention missing");
+                // Query inputs `[f'_i || Φ(0)]`, one W_q GEMM for the batch.
+                let mut zero_enc = ws.take_matrix(1, cfg.time_dim);
+                self.encode_time_into(&[0.0], &mut zero_enc);
+                let mut query_input = ws.take_matrix(t, cfg.query_input_dim());
+                for i in 0..t {
+                    let dst = query_input.row_mut(i);
+                    dst[..mem_dim].copy_from_slice(f_prime.row(i));
+                    dst[mem_dim..].copy_from_slice(zero_enc.row(0));
+                }
+                let q_all = att.w_q.forward_ws(&query_input, ws);
+                // One W_k / W_v GEMM over all targets' neighbors.
+                let k_all = att.w_k.forward_ws(&nbr_input, ws);
+                let v_all = att.w_v.forward_ws(&nbr_input, ws);
+                for (i, job) in jobs.iter().enumerate() {
+                    let n = job.neighbors.len();
+                    if n == 0 {
+                        logits_out.push(Vec::new());
+                        selected_out.push(Vec::new());
+                        continue;
+                    }
+                    let off = offsets[i];
+                    let scale = 1.0 / (n as Float).sqrt();
+                    let logits: Vec<Float> = (0..n)
+                        .map(|j| tgnn_tensor::gemm::dot(q_all.row(i), k_all.row(off + j)) * scale)
+                        .collect();
+                    let weights = softmax(&logits);
+                    weighted_rows_into(&v_all, off, &weights, agg.row_mut(i));
+                    logits_out.push(logits);
+                    selected_out.push((0..n).collect());
+                }
+                ws.recycle_matrix(v_all);
+                ws.recycle_matrix(k_all);
+                ws.recycle_matrix(q_all);
+                ws.recycle_matrix(query_input);
+                ws.recycle_matrix(zero_enc);
+            }
+            AttentionKind::Simplified => {
+                let att = self
+                    .simplified
+                    .as_ref()
+                    .expect("simplified attention missing");
+                let budget = cfg.neighbor_budget;
+                let slots = att.slots();
+                // Per-vertex logits and top-k selection (tiny `slots×slots`
+                // work), then one stacked W_v GEMM over all selected rows.
+                let mut scaled = ws.take(slots);
+                let mut offsets_buf = ws.take(slots);
+                let mut weights_out: Vec<Vec<Float>> = Vec::with_capacity(t);
+                let mut total_selected = 0usize;
+                for job in jobs {
+                    let n = job.neighbors.len();
+                    scaled.iter_mut().for_each(|x| *x = 0.0);
+                    for (slot, ctx) in scaled.iter_mut().zip(job.neighbors) {
+                        *slot = ctx.delta_t / att.time_scale();
+                    }
+                    tgnn_tensor::gemm::matvec_into(&att.w_t.value, &scaled, &mut offsets_buf);
+                    let logits: Vec<Float> = (0..n)
+                        .map(|j| att.a.value[(0, j)] + offsets_buf[j])
+                        .collect();
+                    let selected = top_k_indices(&logits, budget.min(n));
+                    let selected_logits: Vec<Float> = selected.iter().map(|&j| logits[j]).collect();
+                    let weights = softmax(&selected_logits);
+                    total_selected += selected.len();
+                    logits_out.push(logits);
+                    selected_out.push(selected);
+                    weights_out.push(weights);
+                }
+                ws.recycle(offsets_buf);
+                ws.recycle(scaled);
+
+                let mut sel_input = ws.take_matrix(total_selected, nbr_in);
+                {
+                    let mut row = 0;
+                    for (i, selected) in selected_out.iter().enumerate() {
+                        for &j in selected {
+                            sel_input
+                                .row_mut(row)
+                                .copy_from_slice(nbr_input.row(offsets[i] + j));
+                            row += 1;
+                        }
+                    }
+                }
+                let v_sel = att.w_v.forward_ws(&sel_input, ws);
+                let mut row = 0;
+                for (i, weights) in weights_out.iter().enumerate() {
+                    weighted_rows_into(&v_sel, row, weights, agg.row_mut(i));
+                    row += weights.len();
+                }
+                ws.recycle_matrix(v_sel);
+                ws.recycle_matrix(sel_input);
+            }
+        }
+
+        // --- FTM: one GEMM over `[h_agg || f'_i]` for the whole batch.
+        let mut concat = ws.take_matrix(t, 2 * mem_dim);
+        for i in 0..t {
+            let dst = concat.row_mut(i);
+            dst[..mem_dim].copy_from_slice(agg.row(i));
+            dst[mem_dim..].copy_from_slice(f_prime.row(i));
+        }
+        let out_mat = self.output.forward_ws(&concat, ws);
+
+        let mut outputs = Vec::with_capacity(t);
+        for (i, (logits, selected)) in logits_out.into_iter().zip(selected_out).enumerate() {
+            outputs.push(EmbeddingOutput {
+                embedding: out_mat.row_to_vec(i),
+                attention_logits: logits,
+                used_neighbors: selected,
+            });
+        }
+
+        ws.recycle_matrix(out_mat);
+        ws.recycle_matrix(concat);
+        ws.recycle_matrix(agg);
+        ws.recycle(dts_all);
+        ws.recycle_matrix(nbr_input);
+        ws.recycle_matrix(f_prime);
+        outputs
     }
 
     /// Backward pass of one embedding computation.  Accumulates gradients in
@@ -301,22 +622,22 @@ impl TgnModel {
     ) -> Vec<Float> {
         let mem_dim = self.config.memory_dim;
         // FTM backward.
-        let grad_concat = self.output.backward(
-            &cache.concat_input,
-            &Matrix::row_vector(grad_embedding),
-        );
+        let grad_concat = self
+            .output
+            .backward(&cache.concat_input, &Matrix::row_vector(grad_embedding));
         let grad_agg: Vec<Float> = grad_concat.row(0)[..mem_dim].to_vec();
         let mut grad_f_prime: Vec<Float> = grad_concat.row(0)[mem_dim..].to_vec();
 
         // Attention backward.
         match self.config.attention {
             AttentionKind::Vanilla => {
-                if let (Some(att), Some(vcache)) = (self.vanilla.as_mut(), cache.vanilla.as_ref())
-                {
+                if let (Some(att), Some(vcache)) = (self.vanilla.as_mut(), cache.vanilla.as_ref()) {
                     let (grad_query, _grad_neighbors) = att.backward(vcache, &grad_agg);
                     // query_input = [f'_i || Φ(0)]; the time-encoding half is
                     // not trained through this path.
-                    for (g, &gq) in grad_f_prime.iter_mut().zip(grad_query.row(0)[..mem_dim].iter())
+                    for (g, &gq) in grad_f_prime
+                        .iter_mut()
+                        .zip(grad_query.row(0)[..mem_dim].iter())
                     {
                         *g += gq;
                     }
@@ -495,7 +816,11 @@ mod tests {
         let memory = rng.uniform_vec(cfg.memory_dim, -1.0, 1.0);
         let neighbors = tiny_neighbors(&mut rng, 4, &cfg);
         let out = model.compute_embedding(&memory, None, &neighbors);
-        assert_eq!(out.used_neighbors.len(), 2, "NP(S) must aggregate exactly 2 neighbors");
+        assert_eq!(
+            out.used_neighbors.len(),
+            2,
+            "NP(S) must aggregate exactly 2 neighbors"
+        );
         assert_eq!(out.attention_logits.len(), 4);
     }
 
@@ -567,8 +892,16 @@ mod tests {
             plus[idx] += eps;
             let mut minus = memory.clone();
             minus[idx] -= eps;
-            let lp = model.compute_embedding(&plus, None, &neighbors).embedding.iter().sum::<Float>();
-            let lm = model.compute_embedding(&minus, None, &neighbors).embedding.iter().sum::<Float>();
+            let lp = model
+                .compute_embedding(&plus, None, &neighbors)
+                .embedding
+                .iter()
+                .sum::<Float>();
+            let lm = model
+                .compute_embedding(&minus, None, &neighbors)
+                .embedding
+                .iter()
+                .sum::<Float>();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 approx_eq(grad_memory[idx], numeric, 5e-2),
@@ -576,6 +909,96 @@ mod tests {
                 grad_memory[idx]
             );
         }
+    }
+
+    #[test]
+    fn batched_embeddings_are_bitwise_identical_to_per_vertex() {
+        let mut rng = TensorRng::new(21);
+        for variant in OptimizationVariant::ladder() {
+            let cfg = ModelConfig::tiny(0, 4).with_variant(variant);
+            let mut model = TgnModel::new(cfg.clone(), &mut rng);
+            if cfg.time_encoder == TimeEncoderKind::Lut {
+                let samples: Vec<Float> = (0..500).map(|_| rng.pareto(1.0, 1.3).min(1e4)).collect();
+                model.calibrate_lut(&samples);
+            }
+            // A mixed batch: varying neighbor counts including zero.
+            let batch: Vec<(Vec<Float>, Vec<NeighborContext>)> = (0..7)
+                .map(|i| {
+                    let memory = rng.uniform_vec(cfg.memory_dim, -1.0, 1.0);
+                    let neighbors = tiny_neighbors(&mut rng, i % (cfg.sampled_neighbors + 1), &cfg);
+                    (memory, neighbors)
+                })
+                .collect();
+
+            let reference: Vec<EmbeddingOutput> = batch
+                .iter()
+                .map(|(m, nbrs)| model.compute_embedding(m, None, nbrs))
+                .collect();
+
+            let nbr_refs: Vec<Vec<NeighborRef<'_>>> = batch
+                .iter()
+                .map(|(_, nbrs)| {
+                    nbrs.iter()
+                        .map(|c| NeighborRef {
+                            memory: &c.memory,
+                            edge_feature: &c.edge_feature,
+                            delta_t: c.delta_t,
+                        })
+                        .collect()
+                })
+                .collect();
+            let jobs: Vec<EmbeddingJob<'_>> = batch
+                .iter()
+                .zip(&nbr_refs)
+                .map(|((m, _), refs)| EmbeddingJob {
+                    memory: m,
+                    node_feature: None,
+                    neighbors: refs,
+                })
+                .collect();
+            let mut ws = Workspace::new();
+            let batched = model.compute_embeddings_batch(&jobs, &mut ws);
+
+            assert_eq!(batched.len(), reference.len());
+            for (i, (b, r)) in batched.iter().zip(&reference).enumerate() {
+                assert_eq!(b.embedding, r.embedding, "{variant:?} vertex {i} embedding");
+                assert_eq!(
+                    b.attention_logits, r.attention_logits,
+                    "{variant:?} vertex {i} logits"
+                );
+                assert_eq!(
+                    b.used_neighbors, r.used_neighbors,
+                    "{variant:?} vertex {i} selection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_embeddings_with_node_features_match() {
+        let mut rng = TensorRng::new(22);
+        let cfg = ModelConfig::tiny(5, 0);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
+        let memory = rng.uniform_vec(cfg.memory_dim, -1.0, 1.0);
+        let feat = rng.uniform_vec(5, -1.0, 1.0);
+        let neighbors = tiny_neighbors(&mut rng, 3, &cfg);
+        let reference = model.compute_embedding(&memory, Some(&feat), &neighbors);
+        let refs: Vec<NeighborRef<'_>> = neighbors
+            .iter()
+            .map(|c| NeighborRef {
+                memory: &c.memory,
+                edge_feature: &c.edge_feature,
+                delta_t: c.delta_t,
+            })
+            .collect();
+        let jobs = [EmbeddingJob {
+            memory: &memory,
+            node_feature: Some(&feat),
+            neighbors: &refs,
+        }];
+        let mut ws = Workspace::new();
+        let batched = model.compute_embeddings_batch(&jobs, &mut ws);
+        assert_eq!(batched[0].embedding, reference.embedding);
     }
 
     #[test]

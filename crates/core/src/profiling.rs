@@ -115,7 +115,10 @@ impl Default for StageTimer {
 impl StageTimer {
     /// Creates an empty timer.
     pub fn new() -> Self {
-        Self { timings: StageTimings::default(), current: None }
+        Self {
+            timings: StageTimings::default(),
+            current: None,
+        }
     }
 
     /// Starts timing a stage.  Any previously running stage is stopped

@@ -38,7 +38,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 3, batch_size: 64, learning_rate: 1e-3, decoder_hidden: 32, seed: 1234 }
+        Self {
+            epochs: 3,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            decoder_hidden: 32,
+            seed: 1234,
+        }
     }
 }
 
@@ -78,7 +84,11 @@ impl Trainer {
             let deltas = tgnn_data::delta_t::memory_delta_t(graph.events(), graph.num_nodes());
             model.calibrate_lut(&deltas);
         }
-        let decoder = LinkDecoder::new(model_config.embedding_dim, self.config.decoder_hidden, &mut rng);
+        let decoder = LinkDecoder::new(
+            model_config.embedding_dim,
+            self.config.decoder_hidden,
+            &mut rng,
+        );
         self.train_model(model, decoder, graph)
     }
 
@@ -112,12 +122,20 @@ impl Trainer {
 
             history.push(EpochStats {
                 epoch,
-                mean_loss: if batches == 0 { 0.0 } else { total_loss / batches as Float },
+                mean_loss: if batches == 0 {
+                    0.0
+                } else {
+                    total_loss / batches as Float
+                },
                 batches,
             });
         }
 
-        TrainedModel { model, decoder, history }
+        TrainedModel {
+            model,
+            decoder,
+            history,
+        }
     }
 
     /// Evaluates a trained bundle on the graph's test split, after warming up
@@ -242,7 +260,13 @@ impl StreamState {
                 delta_t: (query_time - entry.timestamp).max(0.0) as Float,
             })
             .collect();
-        VertexInputs { vertex: v, message, prev_memory, node_feature, neighbors }
+        VertexInputs {
+            vertex: v,
+            message,
+            prev_memory,
+            node_feature,
+            neighbors,
+        }
     }
 
     /// Commits a batch to the streaming state (memory update with the
@@ -271,7 +295,8 @@ impl StreamState {
         }
         for e in batch.events() {
             let edge_feature = graph.edge_feature(e.edge_id).to_vec();
-            self.memory.cache_interaction_messages(e.src, e.dst, &edge_feature, e.timestamp);
+            self.memory
+                .cache_interaction_messages(e.src, e.dst, &edge_feature, e.timestamp);
             self.sampler.observe(e);
         }
     }
@@ -296,9 +321,17 @@ pub(crate) fn forward_vertex(model: &TgnModel, inputs: &VertexInputs) -> Forward
         let (updated, cache) = model.update_memory_cached(&messages, &memories);
         (updated.row_to_vec(0), Some((messages, memories, cache)))
     };
-    let node_feature = if cfg.node_feature_dim > 0 { Some(inputs.node_feature.as_slice()) } else { None };
+    let node_feature = if cfg.node_feature_dim > 0 {
+        Some(inputs.node_feature.as_slice())
+    } else {
+        None
+    };
     let (out, emb_cache) = model.compute_embedding_cached(&memory, node_feature, &inputs.neighbors);
-    ForwardPass { embedding: out.embedding, gru_cache, emb_cache }
+    ForwardPass {
+        embedding: out.embedding,
+        gru_cache,
+        emb_cache,
+    }
 }
 
 pub(crate) fn backward_vertex(model: &mut TgnModel, pass: &ForwardPass, grad_embedding: &[Float]) {
@@ -342,7 +375,11 @@ pub(crate) fn train_step(
         let grad_neg = grad_logits[2 * i + 1];
         let (g_src_pos, g_dst) = decoder.backward(pos_cache, grad_pos);
         let (g_src_neg, g_neg) = decoder.backward(neg_cache, grad_neg);
-        let g_src: Vec<Float> = g_src_pos.iter().zip(&g_src_neg).map(|(&a, &b)| a + b).collect();
+        let g_src: Vec<Float> = g_src_pos
+            .iter()
+            .zip(&g_src_neg)
+            .map(|(&a, &b)| a + b)
+            .collect();
         backward_vertex(model, src_pass, &g_src);
         backward_vertex(model, dst_pass, &g_dst);
         backward_vertex(model, neg_pass, &g_neg);
@@ -361,7 +398,13 @@ mod tests {
     use tgnn_data::{generate, tiny};
 
     fn tiny_train_config() -> TrainConfig {
-        TrainConfig { epochs: 2, batch_size: 40, learning_rate: 5e-3, decoder_hidden: 16, seed: 3 }
+        TrainConfig {
+            epochs: 2,
+            batch_size: 40,
+            learning_rate: 5e-3,
+            decoder_hidden: 16,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -381,7 +424,10 @@ mod tests {
     fn trained_model_beats_untrained_on_ap() {
         let graph = generate(&tiny(37));
         let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
-        let trainer = Trainer::new(TrainConfig { epochs: 3, ..tiny_train_config() });
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            ..tiny_train_config()
+        });
 
         // Untrained reference.
         let mut rng = TensorRng::new(9);
@@ -398,7 +444,10 @@ mod tests {
             trained_ap > untrained_ap - 0.02,
             "training made AP collapse: {untrained_ap} -> {trained_ap}"
         );
-        assert!(trained_ap > 0.5, "trained AP should beat random ranking: {trained_ap}");
+        assert!(
+            trained_ap > 0.5,
+            "trained AP should beat random ranking: {trained_ap}"
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
         let mean = deltas.iter().sum::<Float>() / deltas.len() as Float;
         // Most of the mass sits below the mean — the defining feature of the
         // right-skewed distribution in Fig. 1.
-        assert!(mass_below(&deltas, mean) > 0.6, "Δt distribution not right-skewed");
+        assert!(
+            mass_below(&deltas, mean) > 0.6,
+            "Δt distribution not right-skewed"
+        );
     }
 
     #[test]

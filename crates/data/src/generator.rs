@@ -80,7 +80,9 @@ impl DatasetConfig {
 /// # Panics
 /// Panics if the configuration is invalid.
 pub fn generate(config: &DatasetConfig) -> TemporalGraph {
-    config.validate().unwrap_or_else(|e| panic!("invalid DatasetConfig: {e}"));
+    config
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid DatasetConfig: {e}"));
 
     let mut rng = TensorRng::new(config.seed);
     let mut feat_rng = rng.fork("features");
@@ -89,15 +91,18 @@ pub fn generate(config: &DatasetConfig) -> TemporalGraph {
     let duration = config.duration_days * SECONDS_PER_DAY;
 
     // Per-user activity weights and per-item popularity weights (Pareto).
-    let user_weights: Vec<Float> =
-        (0..config.num_users).map(|_| proc_rng.pareto(1.0, config.user_activity_alpha)).collect();
-    let item_weights: Vec<Float> =
-        (0..config.num_items).map(|_| proc_rng.pareto(1.0, config.item_popularity_alpha)).collect();
+    let user_weights: Vec<Float> = (0..config.num_users)
+        .map(|_| proc_rng.pareto(1.0, config.user_activity_alpha))
+        .collect();
+    let item_weights: Vec<Float> = (0..config.num_items)
+        .map(|_| proc_rng.pareto(1.0, config.item_popularity_alpha))
+        .collect();
 
     // Event timestamps: a homogeneous-in-aggregate process over the duration,
     // sorted.  Each event is then attributed to a user by activity weight.
-    let mut timestamps: Vec<f64> =
-        (0..config.num_events).map(|_| proc_rng.uniform(0.0, 1.0) as f64 * duration).collect();
+    let mut timestamps: Vec<f64> = (0..config.num_events)
+        .map(|_| proc_rng.uniform(0.0, 1.0) as f64 * duration)
+        .collect();
     timestamps.sort_by(|a, b| a.partial_cmp(b).unwrap());
 
     let mut recent_items: Vec<Vec<u32>> = vec![Vec::new(); config.num_users];
@@ -105,14 +110,13 @@ pub fn generate(config: &DatasetConfig) -> TemporalGraph {
 
     for (i, &t) in timestamps.iter().enumerate() {
         let user = proc_rng.weighted_index(&user_weights);
-        let item = if !recent_items[user].is_empty()
-            && proc_rng.bernoulli(config.revisit_probability)
-        {
-            let w = recent_items[user].len();
-            recent_items[user][proc_rng.index(w)]
-        } else {
-            proc_rng.weighted_index(&item_weights) as u32
-        };
+        let item =
+            if !recent_items[user].is_empty() && proc_rng.bernoulli(config.revisit_probability) {
+                let w = recent_items[user].len();
+                recent_items[user][proc_rng.index(w)]
+            } else {
+                proc_rng.weighted_index(&item_weights) as u32
+            };
         let recent = &mut recent_items[user];
         if recent.len() >= config.revisit_window {
             recent.remove(0);
@@ -137,7 +141,13 @@ pub fn generate(config: &DatasetConfig) -> TemporalGraph {
         Matrix::zeros(config.num_events, 0)
     };
 
-    TemporalGraph::new(config.name.clone(), num_nodes, node_features, edge_features, events)
+    TemporalGraph::new(
+        config.name.clone(),
+        num_nodes,
+        node_features,
+        edge_features,
+        events,
+    )
 }
 
 #[cfg(test)]

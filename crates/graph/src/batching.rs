@@ -15,7 +15,10 @@ use crate::{EventBatch, InteractionEvent, Timestamp};
 /// # Panics
 /// Panics if `batch_size == 0`.
 pub fn fixed_size_batches(events: &[InteractionEvent], batch_size: usize) -> Vec<EventBatch> {
-    assert!(batch_size > 0, "fixed_size_batches: batch_size must be positive");
+    assert!(
+        batch_size > 0,
+        "fixed_size_batches: batch_size must be positive"
+    );
     events
         .chunks(batch_size)
         .map(|chunk| EventBatch::new(chunk.to_vec()))
@@ -70,7 +73,11 @@ pub fn batch_stats(batches: &[EventBatch]) -> BatchStats {
         total_events: total,
         min_batch: sizes.iter().copied().min().unwrap_or(0),
         max_batch: sizes.iter().copied().max().unwrap_or(0),
-        mean_batch: if batches.is_empty() { 0.0 } else { total as f64 / batches.len() as f64 },
+        mean_batch: if batches.is_empty() {
+            0.0
+        } else {
+            total as f64 / batches.len() as f64
+        },
         empty_batches: sizes.iter().filter(|&&s| s == 0).count(),
     }
 }
@@ -81,7 +88,9 @@ mod tests {
 
     fn stream(n: usize) -> Vec<InteractionEvent> {
         (0..n)
-            .map(|i| InteractionEvent::new((i % 5) as u32, ((i + 1) % 5) as u32, i as u32, i as f64))
+            .map(|i| {
+                InteractionEvent::new((i % 5) as u32, ((i + 1) % 5) as u32, i as u32, i as f64)
+            })
             .collect()
     }
 

@@ -20,7 +20,12 @@ pub struct InteractionEvent {
 impl InteractionEvent {
     /// Convenience constructor.
     pub fn new(src: NodeId, dst: NodeId, edge_id: EdgeId, timestamp: Timestamp) -> Self {
-        Self { src, dst, edge_id, timestamp }
+        Self {
+            src,
+            dst,
+            edge_id,
+            timestamp,
+        }
     }
 
     /// The two endpoints in `(src, dst)` order.

@@ -208,13 +208,7 @@ mod tests {
             InteractionEvent::new(2, 1, 8, 9.0),
             InteractionEvent::new(3, 0, 9, 10.0),
         ];
-        TemporalGraph::new(
-            "tiny",
-            4,
-            Matrix::zeros(4, 2),
-            Matrix::zeros(10, 3),
-            events,
-        )
+        TemporalGraph::new("tiny", 4, Matrix::zeros(4, 2), Matrix::zeros(10, 3), events)
     }
 
     #[test]

@@ -65,8 +65,22 @@ impl NeighborTable {
         edge_id: EdgeId,
         timestamp: Timestamp,
     ) {
-        self.push(src, NeighborEntry { neighbor: dst, edge_id, timestamp });
-        self.push(dst, NeighborEntry { neighbor: src, edge_id, timestamp });
+        self.push(
+            src,
+            NeighborEntry {
+                neighbor: dst,
+                edge_id,
+                timestamp,
+            },
+        );
+        self.push(
+            dst,
+            NeighborEntry {
+                neighbor: src,
+                edge_id,
+                timestamp,
+            },
+        );
     }
 
     /// Appends one entry to a single vertex's FIFO, evicting the oldest if
@@ -87,7 +101,12 @@ impl NeighborTable {
 
     /// The `k` most recent neighbors of `v`, most recent first.
     pub fn most_recent(&self, v: NodeId, k: usize) -> Vec<NeighborEntry> {
-        self.entries[v as usize].iter().rev().take(k).copied().collect()
+        self.entries[v as usize]
+            .iter()
+            .rev()
+            .take(k)
+            .copied()
+            .collect()
     }
 
     /// Current number of stored neighbors for `v`.
@@ -142,7 +161,14 @@ mod tests {
     fn push_evicts_oldest_when_full() {
         let mut t = NeighborTable::new(2, 3);
         for i in 0..5u32 {
-            t.push(0, NeighborEntry { neighbor: i, edge_id: i, timestamp: i as f64 });
+            t.push(
+                0,
+                NeighborEntry {
+                    neighbor: i,
+                    edge_id: i,
+                    timestamp: i as f64,
+                },
+            );
         }
         let n = t.neighbors(0);
         assert_eq!(n.len(), 3);
@@ -167,7 +193,14 @@ mod tests {
     fn most_recent_returns_reverse_chronological() {
         let mut t = NeighborTable::new(1, 10);
         for i in 0..6u32 {
-            t.push(0, NeighborEntry { neighbor: i, edge_id: i, timestamp: i as f64 });
+            t.push(
+                0,
+                NeighborEntry {
+                    neighbor: i,
+                    edge_id: i,
+                    timestamp: i as f64,
+                },
+            );
         }
         let recent = t.most_recent(0, 3);
         let ids: Vec<u32> = recent.iter().map(|e| e.neighbor).collect();

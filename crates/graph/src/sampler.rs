@@ -35,7 +35,9 @@ pub struct ScanSampler {
 impl ScanSampler {
     /// Creates an empty sampler for `num_nodes` vertices.
     pub fn new(num_nodes: usize) -> Self {
-        Self { history: vec![Vec::new(); num_nodes] }
+        Self {
+            history: vec![Vec::new(); num_nodes],
+        }
     }
 
     /// Builds a sampler pre-populated with a chronological event prefix.
@@ -53,7 +55,7 @@ impl ScanSampler {
         debug_assert!(
             self.history[e.src as usize]
                 .last()
-                .map_or(true, |prev| prev.timestamp <= e.timestamp),
+                .is_none_or(|prev| prev.timestamp <= e.timestamp),
             "ScanSampler: out-of-order event"
         );
         self.history[e.src as usize].push(NeighborEntry {
@@ -97,7 +99,9 @@ pub struct FifoSampler {
 impl FifoSampler {
     /// Creates a FIFO sampler with per-vertex capacity `mr`.
     pub fn new(num_nodes: usize, mr: usize) -> Self {
-        Self { table: NeighborTable::new(num_nodes, mr) }
+        Self {
+            table: NeighborTable::new(num_nodes, mr),
+        }
     }
 
     /// Builds a sampler pre-populated with a chronological event prefix.
@@ -111,7 +115,8 @@ impl FifoSampler {
 
     /// Ingests one new interaction.
     pub fn observe(&mut self, e: &InteractionEvent) {
-        self.table.record_interaction(e.src, e.dst, e.edge_id, e.timestamp);
+        self.table
+            .record_interaction(e.src, e.dst, e.edge_id, e.timestamp);
     }
 
     /// Read access to the underlying neighbor table.
@@ -164,7 +169,7 @@ mod tests {
         let sample = s.sample(0, 2.5, 10);
         let ids: Vec<u32> = sample.iter().map(|e| e.neighbor).collect();
         assert_eq!(ids, vec![2, 1]); // event at t=3.0 excluded (>= query time)
-        // strictly-before semantics: an event exactly at the query time is excluded
+                                     // strictly-before semantics: an event exactly at the query time is excluded
         let sample_at_2 = s.sample(0, 2.0, 10);
         assert_eq!(sample_at_2.len(), 1);
         assert_eq!(sample_at_2[0].neighbor, 1);

@@ -77,12 +77,24 @@ impl AcceleratorSim {
     ///
     /// # Panics
     /// Panics if the design configuration is invalid.
-    pub fn new(model: TgnModel, num_nodes: usize, device: FpgaDevice, design: DesignConfig) -> Self {
-        design.validate().unwrap_or_else(|e| panic!("invalid DesignConfig: {e}"));
+    pub fn new(
+        model: TgnModel,
+        num_nodes: usize,
+        device: FpgaDevice,
+        design: DesignConfig,
+    ) -> Self {
+        design
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid DesignConfig: {e}"));
         let ddr = DdrModel::new_gbps(device.ddr_bandwidth_gbps);
         let pipeline = PipelineModel::new(design.clone(), model.config.clone(), ddr);
         let engine = InferenceEngine::new(model, num_nodes);
-        Self { engine, pipeline, device, design }
+        Self {
+            engine,
+            pipeline,
+            device,
+            design,
+        }
     }
 
     /// Access to the wrapped functional engine (e.g. to inspect embeddings or
@@ -100,7 +112,12 @@ impl AcceleratorSim {
     /// reference engine, timing from the pipeline + Updater models.
     pub fn process_batch(&mut self, batch: &EventBatch, graph: &TemporalGraph) -> SimulatedBatch {
         if batch.is_empty() {
-            return SimulatedBatch { edges: 0, embeddings: 0, latency: 0.0, redundant_writes_eliminated: 0 };
+            return SimulatedBatch {
+                edges: 0,
+                embeddings: 0,
+                latency: 0.0,
+                redundant_writes_eliminated: 0,
+            };
         }
         let ops_before = self.engine.ops();
         let out = self.engine.process_batch(batch, graph);
@@ -112,8 +129,9 @@ impl AcceleratorSim {
         let gnn_mem_delta = ops_after.gnn.mems - ops_before.gnn.mems;
         let per_neighbor_words = (cfg.memory_dim + cfg.edge_feature_dim).max(1) as u64;
         let neighbors_fetched = (gnn_mem_delta / per_neighbor_words) as usize;
-        let memory_updates =
-            ((ops_after.memory.mems - ops_before.memory.mems) / (cfg.message_dim() + cfg.memory_dim).max(1) as u64) as usize;
+        let memory_updates = ((ops_after.memory.mems - ops_before.memory.mems)
+            / (cfg.message_dim() + cfg.memory_dim).max(1) as u64)
+            as usize;
         let workload = BatchWorkload {
             edges: batch.len(),
             memory_updates,
@@ -200,16 +218,24 @@ mod tests {
     use tgnn_data::{generate, tiny};
     use tgnn_tensor::TensorRng;
 
-    fn build(variant: OptimizationVariant, design: DesignConfig, device: FpgaDevice) -> (AcceleratorSim, TemporalGraph) {
+    fn build(
+        variant: OptimizationVariant,
+        design: DesignConfig,
+        device: FpgaDevice,
+    ) -> (AcceleratorSim, TemporalGraph) {
         let graph = generate(&tiny(91));
-        let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim()).with_variant(variant);
+        let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim())
+            .with_variant(variant);
         let mut rng = TensorRng::new(1);
         let mut model = TgnModel::new(cfg, &mut rng);
         if model.config.time_encoder == tgnn_core::TimeEncoderKind::Lut {
             let deltas = tgnn_data::delta_t::memory_delta_t(graph.events(), graph.num_nodes());
             model.calibrate_lut(&deltas);
         }
-        (AcceleratorSim::new(model, graph.num_nodes(), device, design), graph)
+        (
+            AcceleratorSim::new(model, graph.num_nodes(), device, design),
+            graph,
+        )
     }
 
     #[test]
@@ -220,7 +246,12 @@ mod tests {
         let model = TgnModel::new(cfg, &mut rng);
 
         let mut reference = InferenceEngine::new(model.clone(), graph.num_nodes());
-        let mut sim = AcceleratorSim::new(model, graph.num_nodes(), FpgaDevice::alveo_u200(), DesignConfig::u200());
+        let mut sim = AcceleratorSim::new(
+            model,
+            graph.num_nodes(),
+            FpgaDevice::alveo_u200(),
+            DesignConfig::u200(),
+        );
 
         let batch = EventBatch::new(graph.events()[..40].to_vec());
         let ref_out = reference.process_batch(&batch, &graph);
@@ -234,13 +265,24 @@ mod tests {
                 "memory diverged for vertex {v}"
             );
         }
-        assert_eq!(ref_out.embeddings.len(), sim.engine().embeddings_generated());
+        assert_eq!(
+            ref_out.embeddings.len(),
+            sim.engine().embeddings_generated()
+        );
     }
 
     #[test]
     fn u200_is_faster_than_zcu104_in_simulation() {
-        let (mut u200, graph) = build(OptimizationVariant::NpMedium, DesignConfig::u200(), FpgaDevice::alveo_u200());
-        let (mut zcu, _) = build(OptimizationVariant::NpMedium, DesignConfig::zcu104(), FpgaDevice::zcu104());
+        let (mut u200, graph) = build(
+            OptimizationVariant::NpMedium,
+            DesignConfig::u200(),
+            FpgaDevice::alveo_u200(),
+        );
+        let (mut zcu, _) = build(
+            OptimizationVariant::NpMedium,
+            DesignConfig::zcu104(),
+            FpgaDevice::zcu104(),
+        );
         let events = &graph.events()[..400];
         let rep_u = u200.simulate_stream(events, &graph, 100);
         let rep_z = zcu.simulate_stream(events, &graph, 100);
@@ -252,8 +294,16 @@ mod tests {
 
     #[test]
     fn pruned_models_are_faster_on_the_same_hardware() {
-        let (mut full, graph) = build(OptimizationVariant::SatLut, DesignConfig::u200(), FpgaDevice::alveo_u200());
-        let (mut pruned, _) = build(OptimizationVariant::NpSmall, DesignConfig::u200(), FpgaDevice::alveo_u200());
+        let (mut full, graph) = build(
+            OptimizationVariant::SatLut,
+            DesignConfig::u200(),
+            FpgaDevice::alveo_u200(),
+        );
+        let (mut pruned, _) = build(
+            OptimizationVariant::NpSmall,
+            DesignConfig::u200(),
+            FpgaDevice::alveo_u200(),
+        );
         let events = &graph.events()[..400];
         let rep_full = full.simulate_stream(events, &graph, 100);
         let rep_pruned = pruned.simulate_stream(events, &graph, 100);
@@ -262,7 +312,11 @@ mod tests {
 
     #[test]
     fn updater_eliminates_redundant_writes_for_repeated_vertices() {
-        let (mut sim, graph) = build(OptimizationVariant::NpMedium, DesignConfig::u200(), FpgaDevice::alveo_u200());
+        let (mut sim, graph) = build(
+            OptimizationVariant::NpMedium,
+            DesignConfig::u200(),
+            FpgaDevice::alveo_u200(),
+        );
         // Large batch on a small graph → many repeated vertices per batch.
         let batch = EventBatch::new(graph.events()[..200].to_vec());
         let out = sim.process_batch(&batch, &graph);
@@ -272,7 +326,11 @@ mod tests {
 
     #[test]
     fn empty_batch_costs_nothing() {
-        let (mut sim, graph) = build(OptimizationVariant::Sat, DesignConfig::zcu104(), FpgaDevice::zcu104());
+        let (mut sim, graph) = build(
+            OptimizationVariant::Sat,
+            DesignConfig::zcu104(),
+            FpgaDevice::zcu104(),
+        );
         let out = sim.process_batch(&EventBatch::empty(), &graph);
         assert_eq!(out.latency, 0.0);
         assert_eq!(out.edges, 0);

@@ -129,7 +129,11 @@ impl BaselineSimulator {
         let latency = self.platform.per_batch_overhead() + embeddings * per_embedding_s;
         BaselineEstimate {
             latency,
-            throughput_eps: if latency > 0.0 { batch_size as f64 / latency } else { 0.0 },
+            throughput_eps: if latency > 0.0 {
+                batch_size as f64 / latency
+            } else {
+                0.0
+            },
             stage_micros,
         }
     }
@@ -142,7 +146,11 @@ impl BaselineSimulator {
         let batches = num_edges.div_ceil(batch_size);
         let total: f64 = (0..batches)
             .map(|i| {
-                let edges = if i + 1 == batches { num_edges - batch_size * (batches - 1) } else { batch_size };
+                let edges = if i + 1 == batches {
+                    num_edges - batch_size * (batches - 1)
+                } else {
+                    batch_size
+                };
                 self.estimate(edges).latency
             })
             .sum();
@@ -160,7 +168,10 @@ mod tests {
 
     #[test]
     fn gpu_beats_cpu_at_large_batches_but_not_tiny_ones() {
-        let cpu = BaselineSimulator::new(BaselinePlatform::CpuMultiThread, cfg(OptimizationVariant::Baseline));
+        let cpu = BaselineSimulator::new(
+            BaselinePlatform::CpuMultiThread,
+            cfg(OptimizationVariant::Baseline),
+        );
         let gpu = BaselineSimulator::new(BaselinePlatform::Gpu, cfg(OptimizationVariant::Baseline));
         assert!(gpu.estimate(4000).latency < cpu.estimate(4000).latency);
         // At very small batches the GPU's fixed overhead dominates.
@@ -169,7 +180,10 @@ mod tests {
 
     #[test]
     fn single_thread_matches_table_i_magnitudes() {
-        let sim = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Baseline));
+        let sim = BaselineSimulator::new(
+            BaselinePlatform::CpuSingleThread,
+            cfg(OptimizationVariant::Baseline),
+        );
         let stage = sim.stage_micros();
         // ~600 µs per embedding on one thread (≈0.85 kE/s as in Table II),
         // with the GNN stage the largest part as in Table I.
@@ -180,8 +194,14 @@ mod tests {
 
     #[test]
     fn optimized_models_speed_up_single_thread_as_in_table_ii() {
-        let base = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Baseline));
-        let np_s = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::NpSmall));
+        let base = BaselineSimulator::new(
+            BaselinePlatform::CpuSingleThread,
+            cfg(OptimizationVariant::Baseline),
+        );
+        let np_s = BaselineSimulator::new(
+            BaselinePlatform::CpuSingleThread,
+            cfg(OptimizationVariant::NpSmall),
+        );
         let base_tp = base.stream_throughput(10_000, 200);
         let np_tp = np_s.stream_throughput(10_000, 200);
         let speedup = np_tp / base_tp;
@@ -200,7 +220,10 @@ mod tests {
 
     #[test]
     fn stream_throughput_handles_edge_cases() {
-        let sim = BaselineSimulator::new(BaselinePlatform::CpuSingleThread, cfg(OptimizationVariant::Sat));
+        let sim = BaselineSimulator::new(
+            BaselinePlatform::CpuSingleThread,
+            cfg(OptimizationVariant::Sat),
+        );
         assert_eq!(sim.stream_throughput(0, 100), 0.0);
         assert!(sim.stream_throughput(1000, 128) > 0.0);
     }

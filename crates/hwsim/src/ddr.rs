@@ -27,7 +27,11 @@ impl DdrModel {
     /// latency.
     pub fn new_gbps(peak_gbps: f64) -> Self {
         assert!(peak_gbps > 0.0, "DdrModel: bandwidth must be positive");
-        Self { peak_bandwidth: peak_gbps * 1e9, knee_bytes: 256.0, transaction_latency: 60e-9 }
+        Self {
+            peak_bandwidth: peak_gbps * 1e9,
+            knee_bytes: 256.0,
+            transaction_latency: 60e-9,
+        }
     }
 
     /// Effective-bandwidth factor `α(l)` for a burst of `burst_bytes`.
@@ -81,7 +85,10 @@ mod tests {
         let bytes = 100e6;
         let t_long = ddr.transfer_time(bytes, 64.0 * 1024.0);
         let ideal = bytes / 10e9;
-        assert!(t_long < ideal * 1.3, "long bursts should be near peak: {t_long} vs {ideal}");
+        assert!(
+            t_long < ideal * 1.3,
+            "long bursts should be near peak: {t_long} vs {ideal}"
+        );
     }
 
     #[test]
@@ -90,7 +97,10 @@ mod tests {
         let bytes = 1e6;
         let t_short = ddr.transfer_time(bytes, 16.0);
         let t_long = ddr.transfer_time(bytes, 4096.0);
-        assert!(t_short > 3.0 * t_long, "short bursts must be penalised: {t_short} vs {t_long}");
+        assert!(
+            t_short > 3.0 * t_long,
+            "short bursts must be penalised: {t_short} vs {t_long}"
+        );
     }
 
     #[test]

@@ -136,7 +136,8 @@ pub fn estimate_resources(design: &DesignConfig, model: &ModelConfig) -> Resourc
     // count; scale with the number of CUs and the datapath widths.
     let luts = 60_000
         + design.num_cu as u64
-            * (30_000 + 64 * (design.sg * design.sg + design.s_ftm * design.s_ftm + design.s_fam) as u64);
+            * (30_000
+                + 64 * (design.sg * design.sg + design.s_ftm * design.s_ftm + design.s_fam) as u64);
 
     // BRAM: inter-module FIFOs (~2 per stage per CU), the Updater cache, and
     // double-buffered per-batch staging of messages and neighbor features.
@@ -160,7 +161,12 @@ pub fn estimate_resources(design: &DesignConfig, model: &ModelConfig) -> Resourc
         0
     };
 
-    ResourceUsage { luts, dsps, brams, urams }
+    ResourceUsage {
+        luts,
+        dsps,
+        brams,
+        urams,
+    }
 }
 
 /// Assignment of hardware modules to dies (Super Logic Regions), as in the
@@ -183,13 +189,20 @@ pub fn map_to_dies(design: &DesignConfig, device: &FpgaDevice) -> MultiDieMappin
     placement[0].push("Updater".into());
     let mut links = 0;
     for cu in 0..design.num_cu {
-        let die = if device.num_dies == 1 { 0 } else { 1 + cu % (device.num_dies - 1) };
+        let die = if device.num_dies == 1 {
+            0
+        } else {
+            1 + cu % (device.num_dies - 1)
+        };
         placement[die].push(format!("CU{cu}"));
         if die != 0 {
             links += 2; // loader→CU and CU→updater crossings
         }
     }
-    MultiDieMapping { placement, inter_die_links: links }
+    MultiDieMapping {
+        placement,
+        inter_die_links: links,
+    }
 }
 
 #[cfg(test)]
@@ -204,7 +217,10 @@ mod tests {
     #[test]
     fn table_iv_design_points() {
         let u200 = DesignConfig::u200();
-        assert_eq!((u200.num_cu, u200.sg, u200.s_fam, u200.s_ftm), (2, 8, 16, 8));
+        assert_eq!(
+            (u200.num_cu, u200.sg, u200.s_fam, u200.s_ftm),
+            (2, 8, 16, 8)
+        );
         assert!((u200.frequency_mhz - 250.0).abs() < 1e-9);
         assert!(u200.validate().is_ok());
 

@@ -209,6 +209,10 @@ mod tests {
         let pm = u200_model(OptimizationVariant::NpMedium);
         let p = pm.predict(200);
         assert!(p.latency < 0.1, "latency {} s too large", p.latency);
-        assert!(p.latency > 1e-6, "latency {} s implausibly small", p.latency);
+        assert!(
+            p.latency > 1e-6,
+            "latency {} s implausibly small",
+            p.latency
+        );
     }
 }

@@ -118,7 +118,8 @@ impl PipelineModel {
         let edge_bytes = w.edges as f64 * (2.0 + 1.0 + efeat) * word;
         let vertex_state_bytes =
             w.embeddings as f64 * (msg + mem + m.sampled_neighbors as f64 * 3.0) * word;
-        let neighbor_bytes = w.neighbors_fetched as f64 * (mem + efeat) * word + w.embeddings as f64 * nfeat * word;
+        let neighbor_bytes =
+            w.neighbors_fetched as f64 * (mem + efeat) * word + w.embeddings as f64 * nfeat * word;
         let write_bytes = w.memory_updates as f64 * mem * word
             + w.edges as f64 * 2.0 * msg * word
             + w.embeddings as f64 * emb * word;
@@ -135,8 +136,7 @@ impl PipelineModel {
             TimeEncoderKind::Lut => w.memory_updates as f64 * clk / cu,
             TimeEncoderKind::Cos => w.memory_updates as f64 * time * clk / cu,
         };
-        let muu_gates =
-            w.memory_updates as f64 * 3.0 * msg * mem / (d.sg * d.sg) as f64 * clk / cu;
+        let muu_gates = w.memory_updates as f64 * 3.0 * msg * mem / (d.sg * d.sg) as f64 * clk / cu;
 
         let eu_attention = match m.attention {
             AttentionKind::Vanilla => {
@@ -158,11 +158,10 @@ impl PipelineModel {
             TimeEncoderKind::Lut => w.neighbors_fetched as f64 * clk / cu,
             TimeEncoderKind::Cos => w.neighbors_fetched as f64 * time * clk / cu,
         };
-        let eu_aggregation = w.neighbors_fetched as f64 * m.neighbor_input_dim() as f64 * mem
-            / d.s_fam as f64
-            / 8.0
-            * clk
-            / cu;
+        let eu_aggregation =
+            w.neighbors_fetched as f64 * m.neighbor_input_dim() as f64 * mem / d.s_fam as f64 / 8.0
+                * clk
+                / cu;
         let eu_transformation =
             w.embeddings as f64 * 2.0 * mem * emb / (d.s_ftm * d.s_ftm) as f64 * clk / cu;
 
@@ -216,7 +215,11 @@ impl PipelineModel {
         let chunks = total.edges.div_ceil(nb);
         (0..chunks)
             .map(|i| {
-                let edges = if i + 1 == chunks { total.edges - nb * (chunks - 1) } else { nb };
+                let edges = if i + 1 == chunks {
+                    total.edges - nb * (chunks - 1)
+                } else {
+                    nb
+                };
                 let scale = edges as f64 / total.edges as f64;
                 BatchWorkload {
                     edges,
@@ -286,8 +289,12 @@ mod tests {
         let lut = pipeline(OptimizationVariant::SatLut, DesignConfig::u200(), 77.0);
         let wc = workload(8, &cos.model);
         let wl = workload(8, &lut.model);
-        assert!(lut.stage_breakdown(&wl).eu_time_encoding < cos.stage_breakdown(&wc).eu_time_encoding);
-        assert!(lut.stage_breakdown(&wl).muu_time_encoding < cos.stage_breakdown(&wc).muu_time_encoding);
+        assert!(
+            lut.stage_breakdown(&wl).eu_time_encoding < cos.stage_breakdown(&wc).eu_time_encoding
+        );
+        assert!(
+            lut.stage_breakdown(&wl).muu_time_encoding < cos.stage_breakdown(&wc).muu_time_encoding
+        );
     }
 
     #[test]
@@ -310,7 +317,10 @@ mod tests {
         assert!(workloads.len() > 1);
         let pipelined = p.batch_latency(&workloads);
         let sequential: f64 = workloads.iter().map(|w| p.stage_breakdown(w).total()).sum();
-        assert!(pipelined < sequential, "pipelining must help: {pipelined} vs {sequential}");
+        assert!(
+            pipelined < sequential,
+            "pipelining must help: {pipelined} vs {sequential}"
+        );
     }
 
     #[test]
@@ -326,8 +336,16 @@ mod tests {
 
     #[test]
     fn zcu104_is_slower_than_u200() {
-        let u200 = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), FpgaDevice::alveo_u200().ddr_bandwidth_gbps);
-        let zcu = pipeline(OptimizationVariant::NpMedium, DesignConfig::zcu104(), FpgaDevice::zcu104().ddr_bandwidth_gbps);
+        let u200 = pipeline(
+            OptimizationVariant::NpMedium,
+            DesignConfig::u200(),
+            FpgaDevice::alveo_u200().ddr_bandwidth_gbps,
+        );
+        let zcu = pipeline(
+            OptimizationVariant::NpMedium,
+            DesignConfig::zcu104(),
+            FpgaDevice::zcu104().ddr_bandwidth_gbps,
+        );
         let total_u = workload(200, &u200.model);
         let total_z = workload(200, &zcu.model);
         let lat_u = u200.batch_latency(&u200.split_workload(&total_u));

@@ -60,12 +60,25 @@ impl Updater {
     ///
     /// # Panics
     /// Panics if the capacity is smaller than the number of CUs or zero.
-    pub fn new(capacity: usize, num_cu: usize, scan_width: usize, redundant_write_elimination: bool) -> Self {
-        assert!(num_cu > 0 && capacity >= num_cu, "Updater: capacity must cover all CUs");
+    pub fn new(
+        capacity: usize,
+        num_cu: usize,
+        scan_width: usize,
+        redundant_write_elimination: bool,
+    ) -> Self {
+        assert!(
+            num_cu > 0 && capacity >= num_cu,
+            "Updater: capacity must cover all CUs"
+        );
         assert!(scan_width > 0, "Updater: scan width must be positive");
         Self {
             lines: vec![
-                CacheLine { valid: false, vertex: 0, timestamp: 0.0, words: 0 };
+                CacheLine {
+                    valid: false,
+                    vertex: 0,
+                    timestamp: 0.0,
+                    words: 0
+                };
                 capacity
             ],
             // Write pointers start staggered so concurrent CU writes land on
@@ -120,7 +133,12 @@ impl Updater {
         if self.lines[pos].valid {
             self.commit_line(pos);
         }
-        self.lines[pos] = CacheLine { valid: true, vertex, timestamp, words };
+        self.lines[pos] = CacheLine {
+            valid: true,
+            vertex,
+            timestamp,
+            words,
+        };
         self.write_pointers[cu] += self.write_pointers.len();
     }
 

@@ -21,9 +21,9 @@
 use crate::linear::Linear;
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use tgnn_tensor::gemm::matvec;
+use tgnn_tensor::gemm::{matvec, matvec_into};
 use tgnn_tensor::ops::{softmax, top_k_indices, weighted_row_sum};
-use tgnn_tensor::{Float, Matrix, TensorRng};
+use tgnn_tensor::{Float, Matrix, TensorRng, Workspace};
 
 /// Output of an attention forward pass, including what is needed for
 /// backward and for the pruning/complexity analysis.
@@ -125,8 +125,16 @@ impl VanillaAttention {
         query_input: &Matrix,
         neighbor_input: &Matrix,
     ) -> (PrunedAttentionOutput, VanillaCache) {
-        assert_eq!(query_input.rows(), 1, "VanillaAttention: one query row per call");
-        assert_eq!(query_input.cols(), self.query_in_dim, "VanillaAttention: query dim mismatch");
+        assert_eq!(
+            query_input.rows(),
+            1,
+            "VanillaAttention: one query row per call"
+        );
+        assert_eq!(
+            query_input.cols(),
+            self.query_in_dim,
+            "VanillaAttention: query dim mismatch"
+        );
         let n = neighbor_input.rows();
         if n > 0 {
             assert_eq!(
@@ -181,10 +189,68 @@ impl VanillaAttention {
         (out, cache)
     }
 
+    /// Allocation-light inference forward pass: all projection matrices come
+    /// from the workspace and run on the packed GEMM (bit-identical to
+    /// [`Self::forward`]); only the returned output/weight/logit vectors are
+    /// freshly allocated, since they leave the call.
+    pub fn forward_ws(
+        &self,
+        query_input: &Matrix,
+        neighbor_input: &Matrix,
+        ws: &mut Workspace,
+    ) -> PrunedAttentionOutput {
+        assert_eq!(
+            query_input.rows(),
+            1,
+            "VanillaAttention: one query row per call"
+        );
+        assert_eq!(
+            query_input.cols(),
+            self.query_in_dim,
+            "VanillaAttention: query dim mismatch"
+        );
+        let n = neighbor_input.rows();
+        if n == 0 {
+            return PrunedAttentionOutput {
+                output: vec![0.0; self.value_dim],
+                weights: Vec::new(),
+                selected: Vec::new(),
+                logits: Vec::new(),
+            };
+        }
+        assert_eq!(
+            neighbor_input.cols(),
+            self.neighbor_in_dim,
+            "VanillaAttention: neighbor dim mismatch"
+        );
+        let q = self.w_q.forward_ws(query_input, ws);
+        let k = self.w_k.forward_ws(neighbor_input, ws);
+        let v = self.w_v.forward_ws(neighbor_input, ws);
+        let scale = 1.0 / (n as Float).sqrt();
+        let logits: Vec<Float> = (0..n)
+            .map(|j| tgnn_tensor::gemm::dot(q.row(0), k.row(j)) * scale)
+            .collect();
+        let weights = softmax(&logits);
+        let output = weighted_row_sum(&v, &weights);
+        ws.recycle_matrix(q);
+        ws.recycle_matrix(k);
+        ws.recycle_matrix(v);
+        PrunedAttentionOutput {
+            output,
+            weights,
+            selected: (0..n).collect(),
+            logits,
+        }
+    }
+
     /// Backward pass for one target vertex.  Accumulates all weight
     /// gradients and returns `(grad_query_input, grad_neighbor_input)`.
     pub fn backward(&mut self, cache: &VanillaCache, grad_output: &[Float]) -> (Matrix, Matrix) {
-        assert_eq!(grad_output.len(), self.value_dim, "VanillaAttention: grad dim mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.value_dim,
+            "VanillaAttention: grad dim mismatch"
+        );
         let n = cache.neighbor_input.rows();
         if n == 0 {
             return (
@@ -208,13 +274,15 @@ impl VanillaAttention {
             .collect();
         // softmax backward: dlogit_j = w_j * (dw_j - Σ_k w_k dw_k)
         let dot_sum: Float = cache.weights.iter().zip(&dw).map(|(&w, &d)| w * d).sum();
-        let dlogits: Vec<Float> = (0..n).map(|j| cache.weights[j] * (dw[j] - dot_sum)).collect();
+        let dlogits: Vec<Float> = (0..n)
+            .map(|j| cache.weights[j] * (dw[j] - dot_sum))
+            .collect();
 
         // logit_j = scale * q·k_j
         let mut grad_q = vec![0.0; self.head_dim];
         let mut grad_k = Matrix::zeros(n, self.head_dim);
-        for j in 0..n {
-            let dl = dlogits[j] * scale;
+        for (j, &dlogit) in dlogits.iter().enumerate() {
+            let dl = dlogit * scale;
             for (gq, &kj) in grad_q.iter_mut().zip(cache.k.row(j)) {
                 *gq += dl * kj;
             }
@@ -223,8 +291,10 @@ impl VanillaAttention {
             }
         }
 
-        let grad_query_input =
-            self.w_q.backward(&cache.query_input, &Matrix::from_vec(1, self.head_dim, grad_q));
+        let grad_query_input = self.w_q.backward(
+            &cache.query_input,
+            &Matrix::from_vec(1, self.head_dim, grad_q),
+        );
         let grad_from_k = self.w_k.backward(&cache.neighbor_input, &grad_k);
         let grad_from_v = self.w_v.backward(&cache.neighbor_input, &grad_v);
         let grad_neighbor_input = tgnn_tensor::ops::add(&grad_from_k, &grad_from_v);
@@ -312,7 +382,10 @@ impl SimplifiedAttention {
         rng: &mut TensorRng,
     ) -> Self {
         assert!(slots > 0, "SimplifiedAttention: need at least one slot");
-        assert!(time_scale > 0.0, "SimplifiedAttention: time scale must be positive");
+        assert!(
+            time_scale > 0.0,
+            "SimplifiedAttention: time scale must be positive"
+        );
         Self {
             a: Param::new(format!("{name}.a"), rng.uniform_matrix(1, slots, -0.1, 0.1)),
             w_t: Param::new(format!("{name}.w_t"), rng.xavier_matrix(slots, slots)),
@@ -327,6 +400,11 @@ impl SimplifiedAttention {
     /// Number of candidate slots.
     pub fn slots(&self) -> usize {
         self.slots
+    }
+
+    /// Δt normalisation constant (seconds) applied before the logit map.
+    pub fn time_scale(&self) -> Float {
+        self.time_scale
     }
 
     /// Output dimensionality.
@@ -344,7 +422,10 @@ impl SimplifiedAttention {
     /// (missing slots — vertices with fewer temporal neighbors — are treated
     /// as absent and receive a logit of `-inf` so they never get selected).
     pub fn logits(&self, delta_t: &[Float]) -> Vec<Float> {
-        assert!(delta_t.len() <= self.slots, "SimplifiedAttention: too many neighbors");
+        assert!(
+            delta_t.len() <= self.slots,
+            "SimplifiedAttention: too many neighbors"
+        );
         let scaled: Vec<Float> = self.padded_scaled_dt(delta_t);
         let offsets = matvec(&self.w_t.value, &scaled);
         (0..self.slots)
@@ -400,7 +481,7 @@ impl SimplifiedAttention {
         let present_logits: Vec<Float> = logits[..delta_t.len()].to_vec();
 
         // Top-k pruning on the logits of the present neighbors.
-        let selected = top_k_indices(&present_logits, budget.min(delta_t.len()).max(0));
+        let selected = top_k_indices(&present_logits, budget.min(delta_t.len()));
         if selected.is_empty() {
             let out = PrunedAttentionOutput {
                 output: vec![0.0; self.value_dim],
@@ -442,12 +523,89 @@ impl SimplifiedAttention {
         (out, cache)
     }
 
+    /// Allocation-light inference forward pass mirroring
+    /// [`Self::forward`] bit-for-bit: scratch (scaled Δt, logit offsets, the
+    /// gathered selected-neighbor inputs and their value projections) lives
+    /// in the workspace; only the returned vectors are freshly allocated.
+    pub fn forward_ws(
+        &self,
+        delta_t: &[Float],
+        neighbor_input: &Matrix,
+        budget: usize,
+        ws: &mut Workspace,
+    ) -> PrunedAttentionOutput {
+        assert_eq!(
+            delta_t.len(),
+            neighbor_input.rows(),
+            "SimplifiedAttention: Δt / neighbor count mismatch"
+        );
+        assert!(
+            delta_t.len() <= self.slots,
+            "SimplifiedAttention: too many neighbors"
+        );
+        if !delta_t.is_empty() {
+            assert_eq!(
+                neighbor_input.cols(),
+                self.neighbor_in_dim,
+                "SimplifiedAttention: neighbor dim mismatch"
+            );
+        }
+        // Logits `a + W_t·Δt` on workspace scratch.
+        let mut scaled = ws.take(self.slots);
+        for (slot, &dt) in scaled.iter_mut().zip(delta_t) {
+            *slot = dt / self.time_scale;
+        }
+        let mut offsets = ws.take(self.slots);
+        matvec_into(&self.w_t.value, &scaled, &mut offsets);
+        let logits: Vec<Float> = (0..delta_t.len())
+            .map(|j| self.a.value[(0, j)] + offsets[j])
+            .collect();
+        ws.recycle(offsets);
+        ws.recycle(scaled);
+
+        let selected = top_k_indices(&logits, budget.min(delta_t.len()));
+        if selected.is_empty() {
+            return PrunedAttentionOutput {
+                output: vec![0.0; self.value_dim],
+                weights: Vec::new(),
+                selected: Vec::new(),
+                logits,
+            };
+        }
+
+        let selected_logits: Vec<Float> = selected.iter().map(|&j| logits[j]).collect();
+        let weights = softmax(&selected_logits);
+
+        // Only the selected neighbors' values are computed/fetched.
+        let mut selected_input = ws.take_matrix(selected.len(), self.neighbor_in_dim);
+        for (dst, &src) in selected.iter().enumerate() {
+            selected_input
+                .row_mut(dst)
+                .copy_from_slice(neighbor_input.row(src));
+        }
+        let v_selected = self.w_v.forward_ws(&selected_input, ws);
+        let output = weighted_row_sum(&v_selected, &weights);
+        ws.recycle_matrix(v_selected);
+        ws.recycle_matrix(selected_input);
+
+        PrunedAttentionOutput {
+            output,
+            weights,
+            selected,
+            logits,
+        }
+    }
+
     /// Backward pass.  Accumulates gradients for `a`, `W_t`, `W_v` and
     /// returns the gradient with respect to the neighbor inputs (rows not
     /// selected by pruning receive zero gradient, mirroring the fact that
     /// they were never fetched).
     pub fn backward(&mut self, cache: &SimplifiedCache, grad_output: &[Float]) -> Matrix {
-        assert_eq!(grad_output.len(), self.value_dim, "SimplifiedAttention: grad dim mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.value_dim,
+            "SimplifiedAttention: grad dim mismatch"
+        );
         let total_neighbors = cache.neighbor_input.rows();
         let mut grad_neighbor_input = Matrix::zeros(total_neighbors, self.neighbor_in_dim);
         if cache.selected.is_empty() {
@@ -466,8 +624,9 @@ impl SimplifiedAttention {
             .map(|j| tgnn_tensor::gemm::dot(grad_output, cache.v_selected.row(j)))
             .collect();
         let dot_sum: Float = cache.weights.iter().zip(&dw).map(|(&w, &d)| w * d).sum();
-        let dlogits_selected: Vec<Float> =
-            (0..k).map(|j| cache.weights[j] * (dw[j] - dot_sum)).collect();
+        let dlogits_selected: Vec<Float> = (0..k)
+            .map(|j| cache.weights[j] * (dw[j] - dot_sum))
+            .collect();
 
         // Value projection backward (only selected rows).
         let selected_input = cache.neighbor_input.gather_rows(&cache.selected);
@@ -755,6 +914,40 @@ mod tests {
     }
 
     #[test]
+    fn vanilla_forward_ws_is_bitwise_identical() {
+        let (att, q, nbrs, _) = setup_vanilla();
+        let mut ws = Workspace::new();
+        let reference = att.forward(&q, &nbrs);
+        let out = att.forward_ws(&q, &nbrs, &mut ws);
+        assert_eq!(out.output, reference.output);
+        assert_eq!(out.weights, reference.weights);
+        assert_eq!(out.logits, reference.logits);
+        assert_eq!(out.selected, reference.selected);
+        // No neighbors: zero output, no allocs panic.
+        let empty = att.forward_ws(&q, &Matrix::zeros(0, 9), &mut ws);
+        assert_eq!(empty.output, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn simplified_forward_ws_is_bitwise_identical() {
+        let mut rng = TensorRng::new(36);
+        let att = SimplifiedAttention::new("sat", 6, 8, 4, 2.0, &mut rng);
+        let mut ws = Workspace::new();
+        for n in [0usize, 2, 5, 6] {
+            let dts: Vec<Float> = (0..n).map(|i| 0.4 * (i as Float + 1.0)).collect();
+            let nbrs = rng.uniform_matrix(n, 8, -1.0, 1.0);
+            for budget in [1usize, 3, 6] {
+                let reference = att.forward(&dts, &nbrs, budget);
+                let out = att.forward_ws(&dts, &nbrs, budget, &mut ws);
+                assert_eq!(out.output, reference.output, "n={n} budget={budget}");
+                assert_eq!(out.weights, reference.weights);
+                assert_eq!(out.logits, reference.logits);
+                assert_eq!(out.selected, reference.selected);
+            }
+        }
+    }
+
+    #[test]
     fn pruned_neighbors_receive_zero_gradient() {
         let mut rng = TensorRng::new(35);
         let mut att = SimplifiedAttention::new("sat", 4, 5, 3, 1.0, &mut rng);
@@ -766,9 +959,15 @@ mod tests {
         for j in 0..4 {
             let row_norm: Float = grad_n.row(j).iter().map(|x| x.abs()).sum();
             if selected.contains(&j) {
-                assert!(row_norm > 0.0, "selected neighbor {j} should receive gradient");
+                assert!(
+                    row_norm > 0.0,
+                    "selected neighbor {j} should receive gradient"
+                );
             } else {
-                assert_eq!(row_norm, 0.0, "pruned neighbor {j} must not receive gradient");
+                assert_eq!(
+                    row_norm, 0.0,
+                    "pruned neighbor {j} must not receive gradient"
+                );
             }
         }
     }

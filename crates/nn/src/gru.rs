@@ -17,7 +17,7 @@ use crate::linear::Linear;
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
 use tgnn_tensor::ops::{sigmoid, tanh};
-use tgnn_tensor::{Matrix, TensorRng};
+use tgnn_tensor::{Matrix, TensorRng, Workspace};
 
 /// GRU cell operating on batches (each row = one vertex).
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -82,6 +82,66 @@ impl GruCell {
         self.forward_cached(input, hidden).0
     }
 
+    /// Allocation-free inference forward pass on workspace buffers and the
+    /// packed GEMM.  Elementwise operations run in the same order as
+    /// [`Self::forward`], so the result is bit-identical; no backward cache
+    /// is produced.  The returned matrix comes from the workspace — recycle
+    /// it when done.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatches.
+    pub fn forward_ws(&self, input: &Matrix, hidden: &Matrix, ws: &mut Workspace) -> Matrix {
+        assert_eq!(input.cols(), self.input_dim, "GruCell: input dim mismatch");
+        assert_eq!(
+            hidden.cols(),
+            self.hidden_dim,
+            "GruCell: hidden dim mismatch"
+        );
+        assert_eq!(input.rows(), hidden.rows(), "GruCell: batch mismatch");
+
+        // r = σ(W_ir·m + b_ir + W_hr·s + b_hr)
+        let mut r = self.w_ir.forward_ws(input, ws);
+        let hr = self.w_hr.forward_ws(hidden, ws);
+        for (a, &b) in r.as_mut_slice().iter_mut().zip(hr.as_slice()) {
+            *a = sigmoid(*a + b);
+        }
+        ws.recycle_matrix(hr);
+
+        // z = σ(W_iz·m + b_iz + W_hz·s + b_hz)
+        let mut z = self.w_iz.forward_ws(input, ws);
+        let hz = self.w_hz.forward_ws(hidden, ws);
+        for (a, &b) in z.as_mut_slice().iter_mut().zip(hz.as_slice()) {
+            *a = sigmoid(*a + b);
+        }
+        ws.recycle_matrix(hz);
+
+        // n = tanh(W_in·m + b_in + r ⊙ (W_hn·s + b_hn))
+        let mut n = self.w_in.forward_ws(input, ws);
+        let hn_lin = self.w_hn.forward_ws(hidden, ws);
+        for ((a, &ri), &h) in n
+            .as_mut_slice()
+            .iter_mut()
+            .zip(r.as_slice())
+            .zip(hn_lin.as_slice())
+        {
+            *a = tanh(*a + ri * h);
+        }
+        ws.recycle_matrix(hn_lin);
+        ws.recycle_matrix(r);
+
+        // s' = (1 − z) ⊙ n + z ⊙ s, written over n.
+        for ((a, &zi), &si) in n
+            .as_mut_slice()
+            .iter_mut()
+            .zip(z.as_slice())
+            .zip(hidden.as_slice())
+        {
+            *a = (1.0 - zi) * *a + zi * si;
+        }
+        ws.recycle_matrix(z);
+        n
+    }
+
     /// Forward pass returning the new hidden state and the cache needed for
     /// the backward pass.
     ///
@@ -89,7 +149,11 @@ impl GruCell {
     /// Panics on dimension mismatches.
     pub fn forward_cached(&self, input: &Matrix, hidden: &Matrix) -> (Matrix, GruCache) {
         assert_eq!(input.cols(), self.input_dim, "GruCell: input dim mismatch");
-        assert_eq!(hidden.cols(), self.hidden_dim, "GruCell: hidden dim mismatch");
+        assert_eq!(
+            hidden.cols(),
+            self.hidden_dim,
+            "GruCell: hidden dim mismatch"
+        );
         assert_eq!(input.rows(), hidden.rows(), "GruCell: batch mismatch");
 
         let r_pre = tgnn_tensor::ops::add(&self.w_ir.forward(input), &self.w_hr.forward(hidden));
@@ -122,12 +186,18 @@ impl GruCell {
     /// Backward pass.  Given `grad_new_hidden = ∂L/∂s'`, accumulates all
     /// weight gradients and returns `(∂L/∂m, ∂L/∂s)`.
     pub fn backward(&mut self, cache: &GruCache, grad_new_hidden: &Matrix) -> (Matrix, Matrix) {
-        let GruCache { input, hidden, r, z, n, hn_lin } = cache;
+        let GruCache {
+            input,
+            hidden,
+            r,
+            z,
+            n,
+            hn_lin,
+        } = cache;
 
         // s' = (1 - z) ⊙ n + z ⊙ s
         let dn = grad_new_hidden.zip(z, |g, zi| g * (1.0 - zi));
-        let dz = grad_new_hidden
-            .zip(&tgnn_tensor::ops::sub(hidden, n), |g, diff| g * diff);
+        let dz = grad_new_hidden.zip(&tgnn_tensor::ops::sub(hidden, n), |g, diff| g * diff);
         let ds_direct = tgnn_tensor::ops::hadamard(grad_new_hidden, z);
 
         // n = tanh(n_pre)
@@ -195,6 +265,7 @@ mod tests {
     use tgnn_tensor::approx_eq;
 
     /// Scalar reference implementation of one GRU element for cross-checking.
+    #[allow(clippy::too_many_arguments)]
     fn scalar_gru(
         m: f32,
         s: f32,
@@ -342,6 +413,40 @@ mod tests {
             },
             3e-2,
         );
+    }
+
+    #[test]
+    fn forward_ws_is_bitwise_identical_to_forward() {
+        let mut rng = TensorRng::new(8);
+        let mut ws = Workspace::new();
+        let cell = GruCell::new("g", 12, 7, &mut rng);
+        for batch in [1usize, 3, 17] {
+            let m = rng.uniform_matrix(batch, 12, -1.0, 1.0);
+            let s = rng.uniform_matrix(batch, 7, -1.0, 1.0);
+            let reference = cell.forward(&m, &s);
+            let out = cell.forward_ws(&m, &s, &mut ws);
+            assert_eq!(out.as_slice(), reference.as_slice(), "batch {batch}");
+            ws.recycle_matrix(out);
+        }
+    }
+
+    #[test]
+    fn forward_ws_steady_state_does_not_allocate() {
+        let mut rng = TensorRng::new(9);
+        let mut ws = Workspace::new();
+        let cell = GruCell::new("g", 20, 10, &mut rng);
+        let m = rng.uniform_matrix(8, 20, -1.0, 1.0);
+        let s = rng.uniform_matrix(8, 10, -1.0, 1.0);
+        for _ in 0..3 {
+            let out = cell.forward_ws(&m, &s, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        let warm = ws.heap_allocs();
+        for _ in 0..50 {
+            let out = cell.forward_ws(&m, &s, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        assert_eq!(ws.heap_allocs(), warm, "steady-state GRU must not allocate");
     }
 
     #[test]

@@ -2,9 +2,9 @@
 
 use crate::param::Param;
 use serde::{Deserialize, Serialize};
-use tgnn_tensor::gemm::matmul;
+use tgnn_tensor::gemm::{matmul, matmul_packed_transb_into};
 use tgnn_tensor::ops::add_row_broadcast;
-use tgnn_tensor::{Matrix, TensorRng};
+use tgnn_tensor::{Matrix, TensorRng, Workspace};
 
 /// `y = x · Wᵀ + b`, operating on batches where each row of `x` is one
 /// sample.
@@ -36,7 +36,11 @@ impl Linear {
     pub fn from_parts(name: &str, weight: Matrix, bias: Vec<f32>) -> Self {
         let in_dim = weight.cols();
         let out_dim = weight.rows();
-        assert_eq!(bias.len(), out_dim, "Linear::from_parts: bias length mismatch");
+        assert_eq!(
+            bias.len(),
+            out_dim,
+            "Linear::from_parts: bias length mismatch"
+        );
         Self {
             weight: Param::new(format!("{name}.weight"), weight),
             bias: Param::new(format!("{name}.bias"), Matrix::from_vec(1, out_dim, bias)),
@@ -65,15 +69,62 @@ impl Linear {
         add_row_broadcast(&y, self.bias.value.row(0))
     }
 
+    /// Allocation-free forward pass writing into a pre-sized output: the
+    /// `x·Wᵀ` product runs on the packed kernel straight from the stored
+    /// `out_dim × in_dim` weight layout (no transpose materialised) and the
+    /// bias is added in place.  Bit-identical to [`Self::forward`].
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) {
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "Linear::forward_into: input dim mismatch"
+        );
+        assert_eq!(
+            out.shape(),
+            (x.rows(), self.out_dim),
+            "Linear::forward_into: output shape mismatch"
+        );
+        matmul_packed_transb_into(x, &self.weight.value, out, ws);
+        let bias = self.bias.value.row(0);
+        for i in 0..out.rows() {
+            for (v, &b) in out.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// [`Self::forward_into`] with the output taken from the workspace
+    /// (recycle it back when done).
+    pub fn forward_ws(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut out = ws.take_matrix(x.rows(), self.out_dim);
+        self.forward_into(x, &mut out, ws);
+        out
+    }
+
     /// Backward pass.  Accumulates `dW = grad_outᵀ · x` and
     /// `db = Σ_rows grad_out`, and returns `grad_x = grad_out · W`.
     ///
     /// # Panics
     /// Panics on shape mismatches.
     pub fn backward(&mut self, x: &Matrix, grad_out: &Matrix) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim, "Linear::backward: input dim mismatch");
-        assert_eq!(grad_out.cols(), self.out_dim, "Linear::backward: grad dim mismatch");
-        assert_eq!(x.rows(), grad_out.rows(), "Linear::backward: batch mismatch");
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "Linear::backward: input dim mismatch"
+        );
+        assert_eq!(
+            grad_out.cols(),
+            self.out_dim,
+            "Linear::backward: grad dim mismatch"
+        );
+        assert_eq!(
+            x.rows(),
+            grad_out.rows(),
+            "Linear::backward: batch mismatch"
+        );
 
         let dw = matmul(&grad_out.transpose(), x);
         self.weight.accumulate(&dw);
@@ -188,5 +239,41 @@ mod tests {
         let mut rng = TensorRng::new(2);
         let layer = Linear::new("t", 3, 2, &mut rng);
         let _ = layer.forward(&Matrix::zeros(1, 4));
+    }
+
+    #[test]
+    fn forward_ws_is_bitwise_identical_to_forward() {
+        let mut rng = TensorRng::new(3);
+        let mut ws = Workspace::new();
+        for &(batch, in_dim, out_dim) in &[(1usize, 7usize, 5usize), (9, 33, 12), (64, 100, 100)] {
+            let layer = Linear::new("t", in_dim, out_dim, &mut rng);
+            let x = rng.uniform_matrix(batch, in_dim, -1.0, 1.0);
+            let reference = layer.forward(&x);
+            let out = layer.forward_ws(&x, &mut ws);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "{batch}x{in_dim}x{out_dim}"
+            );
+            ws.recycle_matrix(out);
+        }
+    }
+
+    #[test]
+    fn forward_ws_steady_state_does_not_allocate() {
+        let mut rng = TensorRng::new(4);
+        let mut ws = Workspace::new();
+        let layer = Linear::new("t", 24, 16, &mut rng);
+        let x = rng.uniform_matrix(10, 24, -1.0, 1.0);
+        for _ in 0..2 {
+            let out = layer.forward_ws(&x, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        let warm = ws.heap_allocs();
+        for _ in 0..50 {
+            let out = layer.forward_ws(&x, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        assert_eq!(ws.heap_allocs(), warm);
     }
 }

@@ -19,7 +19,11 @@ use tgnn_tensor::Float;
 /// # Panics
 /// Panics if lengths differ or the batch is empty.
 pub fn bce_with_logits(logits: &[Float], targets: &[Float]) -> (Float, Vec<Float>) {
-    assert_eq!(logits.len(), targets.len(), "bce_with_logits: length mismatch");
+    assert_eq!(
+        logits.len(),
+        targets.len(),
+        "bce_with_logits: length mismatch"
+    );
     assert!(!logits.is_empty(), "bce_with_logits: empty batch");
     let n = logits.len() as Float;
     let mut loss = 0.0;
@@ -34,7 +38,11 @@ pub fn bce_with_logits(logits: &[Float], targets: &[Float]) -> (Float, Vec<Float
 
 /// Accuracy of thresholded logits against binary targets.
 pub fn binary_accuracy(logits: &[Float], targets: &[Float]) -> Float {
-    assert_eq!(logits.len(), targets.len(), "binary_accuracy: length mismatch");
+    assert_eq!(
+        logits.len(),
+        targets.len(),
+        "binary_accuracy: length mismatch"
+    );
     if logits.is_empty() {
         return 0.0;
     }
@@ -52,13 +60,21 @@ pub fn binary_accuracy(logits: &[Float], targets: &[Float]) -> Float {
 ///
 /// `scores` are arbitrary real-valued rankings, `labels` are 0/1.
 pub fn average_precision(scores: &[Float], labels: &[Float]) -> Float {
-    assert_eq!(scores.len(), labels.len(), "average_precision: length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "average_precision: length mismatch"
+    );
     let total_pos = labels.iter().filter(|&&l| l > 0.5).count();
     if total_pos == 0 {
         return 0.0;
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut hits = 0usize;
     let mut sum_precision = 0.0;
     for (rank, &idx) in order.iter().enumerate() {
@@ -88,8 +104,14 @@ pub fn distillation_loss(
         teacher_logits.len(),
         "distillation_loss: length mismatch"
     );
-    assert!(!student_logits.is_empty(), "distillation_loss: empty logits");
-    assert!(temperature > 0.0, "distillation_loss: temperature must be positive");
+    assert!(
+        !student_logits.is_empty(),
+        "distillation_loss: empty logits"
+    );
+    assert!(
+        temperature > 0.0,
+        "distillation_loss: temperature must be positive"
+    );
 
     let t_scaled: Vec<Float> = teacher_logits.iter().map(|&x| x / temperature).collect();
     let s_scaled: Vec<Float> = student_logits.iter().map(|&x| x / temperature).collect();
@@ -151,10 +173,15 @@ mod tests {
             plus[i] += eps;
             let mut minus = logits.clone();
             minus[i] -= eps;
-            let numeric =
-                (bce_with_logits(&plus, &targets).0 - bce_with_logits(&minus, &targets).0)
-                    / (2.0 * eps);
-            assert!(approx_eq(grad[i], numeric, 1e-2), "grad {} vs {}", grad[i], numeric);
+            let numeric = (bce_with_logits(&plus, &targets).0
+                - bce_with_logits(&minus, &targets).0)
+                / (2.0 * eps);
+            assert!(
+                approx_eq(grad[i], numeric, 1e-2),
+                "grad {} vs {}",
+                grad[i],
+                numeric
+            );
         }
     }
 

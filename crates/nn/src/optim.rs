@@ -17,7 +17,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer.
     pub fn new(learning_rate: Float) -> Self {
-        Self { learning_rate, clip_norm: None }
+        Self {
+            learning_rate,
+            clip_norm: None,
+        }
     }
 
     /// Enables per-tensor gradient-norm clipping.
@@ -91,7 +94,12 @@ impl Adam {
                 .second_moment
                 .entry(p.name.clone())
                 .or_insert_with(|| Matrix::zeros(p.value.rows(), p.value.cols()));
-            assert_eq!(m.shape(), p.value.shape(), "Adam: parameter {} changed shape", p.name);
+            assert_eq!(
+                m.shape(),
+                p.value.shape(),
+                "Adam: parameter {} changed shape",
+                p.name
+            );
 
             let values = p.value.as_mut_slice();
             let grads = p.grad.as_slice();

@@ -22,7 +22,11 @@ impl Param {
     /// Creates a parameter from an initial value with a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        Self { value, grad, name: name.into() }
+        Self {
+            value,
+            grad,
+            name: name.into(),
+        }
     }
 
     /// Creates a zero-initialised parameter (used for biases).
@@ -50,7 +54,12 @@ impl Param {
     /// # Panics
     /// Panics if the shape does not match.
     pub fn accumulate(&mut self, g: &Matrix) {
-        assert_eq!(self.grad.shape(), g.shape(), "Param::accumulate: shape mismatch for {}", self.name);
+        assert_eq!(
+            self.grad.shape(),
+            g.shape(),
+            "Param::accumulate: shape mismatch for {}",
+            self.name
+        );
         for (a, &b) in self.grad.as_mut_slice().iter_mut().zip(g.as_slice()) {
             *a += b;
         }

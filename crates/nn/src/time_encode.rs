@@ -41,7 +41,10 @@ impl CosTimeEncoder {
         }
         Self {
             omega: Param::new(format!("{name}.omega"), omega),
-            phi: Param::new(format!("{name}.phi"), rng.uniform_matrix(1, dim, 0.0, std::f32::consts::PI)),
+            phi: Param::new(
+                format!("{name}.phi"),
+                rng.uniform_matrix(1, dim, 0.0, std::f32::consts::PI),
+            ),
             dim,
         }
     }
@@ -54,19 +57,39 @@ impl CosTimeEncoder {
     /// Encodes a batch of time deltas: `Δt (B) -> Φ (B×dim)`.
     pub fn forward(&self, delta_t: &[Float]) -> Matrix {
         let mut out = Matrix::zeros(delta_t.len(), self.dim);
+        self.forward_into(delta_t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::forward`] writing into a pre-sized
+    /// `B×dim` output (workspace-threaded hot path).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `delta_t.len() × dim`.
+    pub fn forward_into(&self, delta_t: &[Float], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (delta_t.len(), self.dim),
+            "CosTimeEncoder::forward_into: output shape mismatch"
+        );
+        let omega = self.omega.value.row(0);
+        let phi = self.phi.value.row(0);
         for (i, &dt) in delta_t.iter().enumerate() {
             let row = out.row_mut(i);
             for j in 0..self.dim {
-                row[j] = (self.omega.value[(0, j)] * dt + self.phi.value[(0, j)]).cos();
+                row[j] = (omega[j] * dt + phi[j]).cos();
             }
         }
-        out
     }
 
     /// Backward pass: accumulates gradients for ω and φ given the upstream
     /// gradient `grad_out (B×dim)` and the original inputs.
     pub fn backward(&mut self, delta_t: &[Float], grad_out: &Matrix) {
-        assert_eq!(grad_out.rows(), delta_t.len(), "CosTimeEncoder: batch mismatch");
+        assert_eq!(
+            grad_out.rows(),
+            delta_t.len(),
+            "CosTimeEncoder: batch mismatch"
+        );
         assert_eq!(grad_out.cols(), self.dim, "CosTimeEncoder: dim mismatch");
         let mut d_omega = Matrix::zeros(1, self.dim);
         let mut d_phi = Matrix::zeros(1, self.dim);
@@ -127,7 +150,10 @@ impl LutTimeEncoder {
         bins: usize,
         reference: &CosTimeEncoder,
     ) -> Self {
-        assert!(!delta_samples.is_empty(), "LutTimeEncoder: empty calibration sample");
+        assert!(
+            !delta_samples.is_empty(),
+            "LutTimeEncoder: empty calibration sample"
+        );
         let edges = equal_frequency_edges(delta_samples, bins);
         let nbins = edges.len() - 1;
         let mut table = Matrix::zeros(nbins, reference.dim());
@@ -136,16 +162,27 @@ impl LutTimeEncoder {
             let enc = reference.forward(&[representative]);
             table.row_mut(b).copy_from_slice(enc.row(0));
         }
-        Self { edges, table: Param::new(format!("{name}.table"), table), dim: reference.dim() }
+        Self {
+            edges,
+            table: Param::new(format!("{name}.table"), table),
+            dim: reference.dim(),
+        }
     }
 
     /// Creates an encoder with explicit edges and a zero table (used when the
     /// table is to be learned from scratch).
     pub fn with_edges(name: &str, edges: Vec<Float>, dim: usize) -> Self {
         assert!(edges.len() >= 2, "LutTimeEncoder: need at least two edges");
-        assert!(edges.windows(2).all(|w| w[1] > w[0]), "LutTimeEncoder: edges must increase");
+        assert!(
+            edges.windows(2).all(|w| w[1] > w[0]),
+            "LutTimeEncoder: edges must increase"
+        );
         let nbins = edges.len() - 1;
-        Self { edges, table: Param::zeros(format!("{name}.table"), nbins, dim), dim }
+        Self {
+            edges,
+            table: Param::zeros(format!("{name}.table"), nbins, dim),
+            dim,
+        }
     }
 
     /// Output dimensionality.
@@ -166,16 +203,34 @@ impl LutTimeEncoder {
     /// Encodes a batch of time deltas by table lookup.
     pub fn forward(&self, delta_t: &[Float]) -> Matrix {
         let mut out = Matrix::zeros(delta_t.len(), self.dim);
+        self.forward_into(delta_t, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`Self::forward`] writing into a pre-sized
+    /// `B×dim` output (workspace-threaded hot path).
+    ///
+    /// # Panics
+    /// Panics if `out` is not `delta_t.len() × dim`.
+    pub fn forward_into(&self, delta_t: &[Float], out: &mut Matrix) {
+        assert_eq!(
+            out.shape(),
+            (delta_t.len(), self.dim),
+            "LutTimeEncoder::forward_into: output shape mismatch"
+        );
         for (i, &dt) in delta_t.iter().enumerate() {
             let b = self.lookup_bin(dt);
             out.row_mut(i).copy_from_slice(self.table.value.row(b));
         }
-        out
     }
 
     /// Backward pass: routes each row's gradient into its bin's table row.
     pub fn backward(&mut self, delta_t: &[Float], grad_out: &Matrix) {
-        assert_eq!(grad_out.rows(), delta_t.len(), "LutTimeEncoder: batch mismatch");
+        assert_eq!(
+            grad_out.rows(),
+            delta_t.len(),
+            "LutTimeEncoder: batch mismatch"
+        );
         assert_eq!(grad_out.cols(), self.dim, "LutTimeEncoder: dim mismatch");
         let mut grad = Matrix::zeros(self.bins(), self.dim);
         for (i, &dt) in delta_t.iter().enumerate() {
@@ -192,7 +247,11 @@ impl LutTimeEncoder {
     /// LUT stored in on-chip memory, so that at inference the time encoding
     /// *and* its vector–matrix multiplication cost a single table read.
     pub fn fuse_with(&self, weight: &Matrix) -> Matrix {
-        assert_eq!(weight.cols(), self.dim, "fuse_with: weight inner dim mismatch");
+        assert_eq!(
+            weight.cols(),
+            self.dim,
+            "fuse_with: weight inner dim mismatch"
+        );
         matmul(&self.table.value, &weight.transpose())
     }
 

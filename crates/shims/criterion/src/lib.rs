@@ -1,0 +1,306 @@
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `criterion_group!`/`criterion_main!`) as a simple
+//! wall-clock harness: per benchmark it warms up for a fixed budget, then
+//! runs timed iterations and reports min / mean / p50 to stdout in a
+//! grep-friendly one-line format:
+//!
+//! ```text
+//! bench group/name ... mean 12.345 us  (min 11.902 us, 57 iters)
+//! ```
+//!
+//! Timings are wall-clock only — good enough to compare kernels on the same
+//! machine in the same run, which is exactly how the repo's perf acceptance
+//! checks use it.  Environment knobs: `BENCH_WARMUP_MS` (default 200) and
+//! `BENCH_MEASURE_MS` (default 700) bound each benchmark's runtime.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+fn env_ms(var: &str, default_ms: u64) -> Duration {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+/// How batched setup inputs are sized; accepted and ignored (every batch is
+/// one routine call in this shim, as with criterion's `PerIteration`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("kernel", 128)` → `kernel/128`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(128)` → `128`.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Passed to the benchmark closure; collects timed iterations.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(warmup: Duration, measure: Duration) -> Self {
+        Self {
+            warmup,
+            measure,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+        let measure_until = Instant::now() + self.measure;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_until = Instant::now() + self.warmup;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let measure_until = Instant::now() + self.measure;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            if Instant::now() >= measure_until {
+                break;
+            }
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} us", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(full_name: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("bench {full_name} ... no samples");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    println!(
+        "bench {full_name} ... mean {}  (min {}, {} iters)",
+        format_duration(mean),
+        format_duration(*min),
+        samples.len()
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Criterion API compatibility; the shim sizes runs by time, not count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion API compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.criterion.warmup, self.criterion.measure);
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.id), &bencher.samples);
+        self
+    }
+
+    /// Ends the group (printing is immediate in this shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warmup: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            warmup: env_ms("BENCH_WARMUP_MS", 200),
+            measure: env_ms("BENCH_MEASURE_MS", 700),
+        }
+    }
+}
+
+impl Criterion {
+    /// Criterion API compatibility (`configure_from_args` in real criterion
+    /// parses CLI flags; the shim takes everything from the environment).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.warmup, self.measure);
+        f(&mut bencher);
+        report(name, &bencher.samples);
+        self
+    }
+}
+
+/// Declares the benchmark entry list, as real criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running every declared group (ignores harness CLI args
+/// such as `--bench` that cargo passes).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("serial", 128).id, "serial/128");
+        assert_eq!(BenchmarkId::from_parameter("Baseline").id, "Baseline");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            counter
+        });
+        assert!(!b.samples.is_empty());
+        let mut b2 = Bencher::new(Duration::from_millis(1), Duration::from_millis(5));
+        b2.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput);
+        assert!(!b2.samples.is_empty());
+    }
+
+    #[test]
+    fn durations_format_with_sensible_units() {
+        assert_eq!(format_duration(Duration::from_nanos(500)), "500 ns");
+        assert!(format_duration(Duration::from_micros(1500)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

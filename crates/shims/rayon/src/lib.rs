@@ -1,0 +1,359 @@
+//! Minimal offline stand-in for `rayon`, implementing the subset of the
+//! parallel-iterator API this workspace uses on top of `std::thread::scope`.
+//!
+//! Work is split into **contiguous** per-thread ranges (not work-stolen
+//! tasks): every operation here is a flat data-parallel sweep over a slice or
+//! vector with roughly uniform cost per item, which contiguous splitting
+//! handles well while keeping results in deterministic order.  `map`/
+//! `collect` preserves input order exactly, so a parallel run is
+//! bit-identical to a serial one for independent items.
+//!
+//! Thread count comes from `RAYON_NUM_THREADS` (like real rayon) or
+//! `std::thread::available_parallelism`.
+
+use std::sync::OnceLock;
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads used by all parallel operations.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Splits `n` items into at most `threads` contiguous ranges of near-equal
+/// length (first `n % threads` ranges get one extra item).
+fn split_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.max(1).min(n.max(1));
+    let base = n / threads;
+    let extra = n % threads;
+    let mut out = Vec::with_capacity(threads);
+    let mut start = 0;
+    for t in 0..threads {
+        let len = base + usize::from(t < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over every item of `items`, consuming them, across the worker
+/// threads.  Falls back to a serial loop for tiny inputs or one thread.
+pub fn for_each_parallel<I, F>(items: Vec<I>, f: F)
+where
+    I: Send,
+    F: Fn(I) + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        for item in items {
+            f(item);
+        }
+        return;
+    }
+    let mut groups: Vec<Vec<I>> = Vec::new();
+    {
+        let mut items = items;
+        let ranges = split_ranges(items.len(), threads);
+        // Split from the back so indices stay valid.
+        for range in ranges.iter().rev() {
+            let tail = items.split_off(range.start);
+            groups.push(tail);
+        }
+        groups.reverse();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for group in groups {
+            scope.spawn(move || {
+                for item in group {
+                    f(item);
+                }
+            });
+        }
+    });
+}
+
+/// Maps `f` over `items`, preserving order, across the worker threads.
+pub fn map_parallel<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let ranges = split_ranges(items.len(), threads);
+    let mut parts: Vec<Vec<R>> = Vec::new();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|range| scope.spawn(move || items[range].iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            parts.push(h.join().expect("rayon shim worker panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-iterator facade
+// ---------------------------------------------------------------------------
+
+/// Owned-value parallel iterator (`vec.into_par_iter()`).
+pub struct IntoParIter<I> {
+    items: Vec<I>,
+}
+
+/// Borrowing parallel iterator (`slice.par_iter()`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Result of [`ParIter::map`].
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// `into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<I: Send> IntoParallelIterator for Vec<I> {
+    type Item = I;
+    type Iter = IntoParIter<I>;
+    fn into_par_iter(self) -> IntoParIter<I> {
+        IntoParIter { items: self }
+    }
+}
+
+/// `par_iter()` entry point.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The operations the workspace uses on parallel iterators.
+pub trait ParallelIterator: Sized {
+    type Item;
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync;
+}
+
+impl<I: Send> ParallelIterator for IntoParIter<I> {
+    type Item = I;
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        for_each_parallel(self.items, f);
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a T) + Sync,
+    {
+        let threads = current_num_threads();
+        if threads <= 1 || self.items.len() <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let ranges = split_ranges(self.items.len(), threads);
+        let items = self.items;
+        std::thread::scope(|scope| {
+            let f = &f;
+            for range in ranges {
+                scope.spawn(move || {
+                    for item in &items[range] {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Order-preserving parallel map.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Executes the map and collects in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        map_parallel(self.items, &self.f).into_iter().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// par_chunks_mut
+// ---------------------------------------------------------------------------
+
+/// Parallel mutable chunk iterator (from [`ParallelSliceMut::par_chunks_mut`]).
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+/// Enumerated variant of [`ParChunksMut`].
+pub struct ParChunksMutEnumerate<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+/// `par_chunks_mut()` entry point.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk size must be positive"
+        );
+        ParChunksMut {
+            chunks: self.chunks_mut(chunk_size).collect(),
+        }
+    }
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index, as `rayon`'s
+    /// `IndexedParallelIterator::enumerate` does.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            chunks: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Runs `f` over every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut [T]) + Sync,
+    {
+        for_each_parallel(self.chunks, f);
+    }
+}
+
+impl<'a, T: Send> ParChunksMutEnumerate<'a, T> {
+    /// Runs `f` over every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        for_each_parallel(self.chunks, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn split_ranges_cover_everything_contiguously() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for threads in [1usize, 2, 7, 64] {
+                let ranges = split_ranges(n, threads);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data = vec![0u64; 1003];
+        data.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            let bump = (i + 1) / (i + 1); // always 1, but depends on the index
+            for x in chunk.iter_mut() {
+                *x += bump as u64;
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..500).collect();
+        let doubled: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_for_each_consumes_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let sum = AtomicUsize::new(0);
+        (0..100usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .for_each(|x| {
+                sum.fetch_add(x, Ordering::Relaxed);
+            });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}

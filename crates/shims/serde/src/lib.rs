@@ -1,0 +1,15 @@
+//! Minimal offline stand-in for the `serde` facade.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so they
+//! are ready for real serde once the build environment has registry access,
+//! but nothing currently serializes through the trait machinery.  This shim
+//! provides the two trait names plus no-op derives (from the sibling
+//! `serde_derive` shim) so the annotations compile unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,18 +1,29 @@
 //! Matrix multiplication kernels.
 //!
-//! Two variants are provided:
+//! Four variants are provided:
 //!
-//! * [`matmul`] — cache-blocked serial kernel used for small per-vertex
-//!   products (the common case at inference: batch rows in the tens).
+//! * [`matmul`] — cache-blocked serial kernel, kept as the simple reference
+//!   implementation the others are validated against.
+//! * [`matmul_packed`] / [`matmul_packed_into`] — the inference hot-path
+//!   kernel: B is packed into contiguous `NR`-column panels (through a
+//!   [`Workspace`] so the hot path never allocates) and the inner loop is a
+//!   register-tiled `MR×NR` microkernel.  [`matmul_packed_transb_into`]
+//!   computes `A·Bᵀ` directly from a row-major B (the layout `Linear` stores
+//!   its weights in) without materialising the transpose.
 //! * [`par_matmul`] — rayon-parallel kernel splitting over output rows, used
 //!   for large batched products during training and for the 32-thread CPU
 //!   baseline measurements.
 //!
-//! Both produce bit-identical results because each output element is
-//! accumulated in the same order (k-inner loop), which keeps the software
-//! reference deterministic — a property the integration tests rely on when
-//! comparing the reference model with the accelerator simulator.
+//! All variants produce bit-identical results for the same inputs because
+//! each output element is accumulated in strictly ascending-`k` order with a
+//! single accumulator, which keeps the software reference deterministic — a
+//! property the integration tests rely on when comparing the reference model
+//! with the accelerator simulator, and which lets the optimized engine swap
+//! kernels without perturbing embeddings.  (The sole caveat: kernels that
+//! skip zero `A` elements can differ in the *sign* of an exactly-zero output;
+//! the packed kernels never skip, matching the naive triple loop exactly.)
 
+use crate::workspace::Workspace;
 use crate::{Float, Matrix};
 use rayon::prelude::*;
 
@@ -112,6 +123,211 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     c
 }
 
+/// Microkernel tile height (rows of A per register tile).
+pub const MR: usize = 4;
+/// Microkernel tile width (columns of B per packed panel); 8 `f32` lanes fill
+/// one 256-bit vector register.
+pub const NR: usize = 8;
+
+/// Packs `B` (`k×n`, row-major) into `⌈n/NR⌉` contiguous column panels laid
+/// out `panel-major → k → lane`, zero-padding the last panel's missing lanes.
+/// When `TRANS` is true the source is interpreted as `Bᵀ` stored row-major
+/// (`n×k`), i.e. element `(kk, j)` is read from `b[j*k + kk]`.
+fn pack_b_panels<const TRANS: bool>(b: &[Float], k: usize, n: usize, packed: &mut [Float]) {
+    let panels = n.div_ceil(NR);
+    debug_assert!(packed.len() >= panels * k * NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let width = NR.min(n - j0);
+        let dst_panel = &mut packed[p * k * NR..(p + 1) * k * NR];
+        for kk in 0..k {
+            let dst = &mut dst_panel[kk * NR..kk * NR + NR];
+            if TRANS {
+                for j in 0..width {
+                    dst[j] = b[(j0 + j) * k + kk];
+                }
+            } else {
+                dst[..width].copy_from_slice(&b[kk * n + j0..kk * n + j0 + width]);
+            }
+            dst[width..].fill(0.0);
+        }
+    }
+}
+
+/// `TILE_M×NR` register-tiled microkernel: accumulates
+/// `C[i0..i0+TILE_M, j0..j0+width] = A[i0..i0+TILE_M, :] · panel` with one
+/// accumulator per output element and `k` strictly ascending — bit-identical
+/// to the naive triple loop, but with the whole tile held in registers and
+/// the `NR` lanes vectorised.  `TILE_M` is a const generic so every tile
+/// height gets a fully unrolled register allocation.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn micro_kernel<const TILE_M: usize>(
+    a: &[Float],
+    k: usize,
+    i0: usize,
+    panel: &[Float],
+    c: &mut [Float],
+    n: usize,
+    j0: usize,
+    width: usize,
+) {
+    let mut a_rows: [&[Float]; TILE_M] = [&[]; TILE_M];
+    for (i, row) in a_rows.iter_mut().enumerate() {
+        *row = &a[(i0 + i) * k..(i0 + i) * k + k];
+    }
+    let mut acc = [[0.0 as Float; NR]; TILE_M];
+    for kk in 0..k {
+        let b_lane: &[Float; NR] = panel[kk * NR..kk * NR + NR].try_into().unwrap();
+        for i in 0..TILE_M {
+            let aik = a_rows[i][kk];
+            for j in 0..NR {
+                acc[i][j] += aik * b_lane[j];
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        let c_row = &mut c[(i0 + i) * n + j0..(i0 + i) * n + j0 + width];
+        c_row.copy_from_slice(&acc_row[..width]);
+    }
+}
+
+/// Runs the packed microkernel over all row/panel tiles of `C = A·panels`,
+/// dispatching to an AVX2-compiled copy of the loop when the CPU supports it.
+///
+/// The AVX2 path is the same Rust code compiled with 256-bit vectors enabled:
+/// per lane it still performs a scalar multiply followed by a scalar add (no
+/// FMA contraction), so its results are bit-identical to the portable path
+/// and to the naive triple loop.
+fn packed_gemm_loop(a: &[Float], m: usize, k: usize, n: usize, packed: &[Float], c: &mut [Float]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: feature presence checked at runtime just above.
+            unsafe { packed_gemm_loop_avx2(a, m, k, n, packed, c) };
+            return;
+        }
+    }
+    packed_gemm_loop_portable(a, m, k, n, packed, c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn packed_gemm_loop_avx2(
+    a: &[Float],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &[Float],
+    c: &mut [Float],
+) {
+    packed_gemm_loop_portable(a, m, k, n, packed, c);
+}
+
+#[inline(always)]
+fn packed_gemm_loop_portable(
+    a: &[Float],
+    m: usize,
+    k: usize,
+    n: usize,
+    packed: &[Float],
+    c: &mut [Float],
+) {
+    let panels = n.div_ceil(NR);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let width = NR.min(n - j0);
+        let panel = &packed[p * k * NR..(p + 1) * k * NR];
+        let mut i0 = 0;
+        while i0 + MR <= m {
+            micro_kernel::<MR>(a, k, i0, panel, c, n, j0, width);
+            i0 += MR;
+        }
+        match m - i0 {
+            1 => micro_kernel::<1>(a, k, i0, panel, c, n, j0, width),
+            2 => micro_kernel::<2>(a, k, i0, panel, c, n, j0, width),
+            3 => micro_kernel::<3>(a, k, i0, panel, c, n, j0, width),
+            _ => {}
+        }
+    }
+}
+
+/// Packed register-tiled matrix product `A (m×k) · B (k×n) -> C (m×n)`,
+/// allocating only through the workspace (allocation-free once warm).
+///
+/// Prefer this over [`matmul`] on the inference hot path; see the crate docs
+/// for kernel-selection guidance.
+pub fn matmul_packed(a: &Matrix, b: &Matrix, ws: &mut Workspace) -> Matrix {
+    let mut c = ws.take_matrix(a.rows(), b.cols());
+    matmul_packed_into(a, b, &mut c, ws);
+    c
+}
+
+/// [`matmul_packed`] writing into a pre-allocated output.
+///
+/// # Panics
+/// Panics if shapes disagree.
+pub fn matmul_packed_into(a: &Matrix, b: &Matrix, c: &mut Matrix, ws: &mut Workspace) {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "matmul_packed_into: inner dimension mismatch");
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "matmul_packed_into: output shape mismatch"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.as_mut_slice().fill(0.0);
+        return;
+    }
+    let packed_len = n.div_ceil(NR) * k * NR;
+    let packed = ws.pack_buffer(packed_len);
+    pack_b_panels::<false>(b.as_slice(), k, n, packed);
+    packed_gemm_loop(a.as_slice(), m, k, n, packed, c.as_mut_slice());
+}
+
+/// Packed product `A (m×k) · Bᵀ -> C (m×n)` where `bt` is B transposed,
+/// stored row-major as `n×k` — the layout [`crate::Matrix`] weights use in
+/// `Linear` (`out_dim × in_dim`).  Equivalent to
+/// `matmul(a, &bt.transpose())` (bit-identical) without materialising the
+/// transpose.
+pub fn matmul_packed_transb_into(a: &Matrix, bt: &Matrix, c: &mut Matrix, ws: &mut Workspace) {
+    let (m, k) = a.shape();
+    let n = bt.rows();
+    assert_eq!(
+        k,
+        bt.cols(),
+        "matmul_packed_transb_into: inner dimension mismatch"
+    );
+    assert_eq!(
+        c.shape(),
+        (m, n),
+        "matmul_packed_transb_into: output shape mismatch"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        c.as_mut_slice().fill(0.0);
+        return;
+    }
+    let packed_len = n.div_ceil(NR) * k * NR;
+    let packed = ws.pack_buffer(packed_len);
+    pack_b_panels::<true>(bt.as_slice(), k, n, packed);
+    packed_gemm_loop(a.as_slice(), m, k, n, packed, c.as_mut_slice());
+}
+
+/// Convenience wrapper for [`matmul_packed_transb_into`] taking the output
+/// from the workspace.
+pub fn matmul_packed_transb(a: &Matrix, bt: &Matrix, ws: &mut Workspace) -> Matrix {
+    let mut c = ws.take_matrix(a.rows(), bt.rows());
+    matmul_packed_transb_into(a, bt, &mut c, ws);
+    c
+}
+
 /// Matrix–vector product `A (m×k) · x (k) -> y (m)`.
 ///
 /// # Panics
@@ -119,6 +335,18 @@ pub fn par_matmul(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matvec(a: &Matrix, x: &[Float]) -> Vec<Float> {
     assert_eq!(a.cols(), x.len(), "matvec: dimension mismatch");
     (0..a.rows()).map(|i| dot(a.row(i), x)).collect()
+}
+
+/// Allocation-free [`matvec`] writing into a pre-sized output slice.
+///
+/// # Panics
+/// Panics if `x.len() != a.cols()` or `y.len() != a.rows()`.
+pub fn matvec_into(a: &Matrix, x: &[Float], y: &mut [Float]) {
+    assert_eq!(a.cols(), x.len(), "matvec_into: dimension mismatch");
+    assert_eq!(a.rows(), y.len(), "matvec_into: output length mismatch");
+    for (i, out) in y.iter_mut().enumerate() {
+        *out = dot(a.row(i), x);
+    }
 }
 
 /// Vector–matrix product `x (m) · A (m×n) -> y (n)`; equivalent to
@@ -277,5 +505,132 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(4, 2);
         let _ = matmul(&a, &b);
+    }
+
+    /// Shapes deliberately off every tile boundary: single elements, primes,
+    /// exact multiples of MR/NR, one-over and one-under.
+    const ODD_SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (1, 128, 1),
+        (1, 5, 1),
+        (2, 3, 2),
+        (3, 7, 5),
+        (4, 8, 8),
+        (5, 9, 7),
+        (7, 1, 13),
+        (8, 16, 24),
+        (9, 17, 25),
+        (13, 64, 1),
+        (17, 33, 9),
+        (31, 47, 61),
+        (64, 64, 64),
+        (65, 63, 66),
+    ];
+
+    #[test]
+    fn matmul_packed_is_bitwise_equal_to_naive_across_odd_shapes() {
+        let mut rng = TensorRng::new(77);
+        let mut ws = Workspace::new();
+        for &(m, k, n) in ODD_SHAPES {
+            let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+            let b = rng.uniform_matrix(k, n, -1.0, 1.0);
+            let reference = naive_matmul(&a, &b);
+            let packed = matmul_packed(&a, &b, &mut ws);
+            assert_eq!(
+                packed.as_slice(),
+                reference.as_slice(),
+                "packed kernel diverged from naive at {m}x{k}x{n}"
+            );
+            ws.recycle_matrix(packed);
+
+            let mut c = Matrix::full(m, n, 42.0); // stale contents must be overwritten
+            matmul_packed_into(&a, &b, &mut c, &mut ws);
+            assert_eq!(
+                c.as_slice(),
+                reference.as_slice(),
+                "into variant at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_packed_transb_matches_explicit_transpose() {
+        let mut rng = TensorRng::new(78);
+        let mut ws = Workspace::new();
+        for &(m, k, n) in ODD_SHAPES {
+            let a = rng.uniform_matrix(m, k, -1.0, 1.0);
+            let bt = rng.uniform_matrix(n, k, -1.0, 1.0); // B transposed, row-major
+            let reference = naive_matmul(&a, &bt.transpose());
+            let mut c = ws.take_matrix(m, n);
+            matmul_packed_transb_into(&a, &bt, &mut c, &mut ws);
+            assert_eq!(
+                c.as_slice(),
+                reference.as_slice(),
+                "transb kernel at {m}x{k}x{n}"
+            );
+            ws.recycle_matrix(c);
+        }
+    }
+
+    #[test]
+    fn matmul_packed_handles_degenerate_dimensions() {
+        let mut ws = Workspace::new();
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(5, 3);
+        assert_eq!(matmul_packed(&a, &b, &mut ws).shape(), (0, 3));
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 4);
+        let c = matmul_packed(&a, &b, &mut ws);
+        assert_eq!(c.shape(), (3, 4));
+        assert!(c.as_slice().iter().all(|&x| x == 0.0));
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(5, 0);
+        assert_eq!(matmul_packed(&a, &b, &mut ws).shape(), (2, 0));
+    }
+
+    #[test]
+    fn workspace_reuse_never_leaks_state_between_calls() {
+        let mut rng = TensorRng::new(79);
+        let mut ws = Workspace::new();
+        // Interleave two different problem shapes through one workspace many
+        // times; every result must equal a fresh-workspace computation, i.e.
+        // nothing of a previous call's packing or output may bleed through.
+        let a1 = rng.uniform_matrix(11, 23, -1.0, 1.0);
+        let b1 = rng.uniform_matrix(23, 17, -1.0, 1.0);
+        let a2 = rng.uniform_matrix(5, 40, -1.0, 1.0);
+        let b2 = rng.uniform_matrix(40, 9, -1.0, 1.0);
+        let expect1 = naive_matmul(&a1, &b1);
+        let expect2 = naive_matmul(&a2, &b2);
+        for round in 0..10 {
+            let c1 = matmul_packed(&a1, &b1, &mut ws);
+            assert_eq!(c1.as_slice(), expect1.as_slice(), "round {round} shape 1");
+            ws.recycle_matrix(c1);
+            let c2 = matmul_packed(&a2, &b2, &mut ws);
+            assert_eq!(c2.as_slice(), expect2.as_slice(), "round {round} shape 2");
+            ws.recycle_matrix(c2);
+        }
+    }
+
+    #[test]
+    fn packed_gemm_steady_state_does_not_allocate() {
+        let mut rng = TensorRng::new(80);
+        let mut ws = Workspace::new();
+        let a = rng.uniform_matrix(48, 96, -1.0, 1.0);
+        let b = rng.uniform_matrix(96, 32, -1.0, 1.0);
+        // Warm-up grows the pool and pack buffer.
+        for _ in 0..2 {
+            let c = matmul_packed(&a, &b, &mut ws);
+            ws.recycle_matrix(c);
+        }
+        let warm = ws.heap_allocs();
+        for _ in 0..50 {
+            let c = matmul_packed(&a, &b, &mut ws);
+            ws.recycle_matrix(c);
+        }
+        assert_eq!(
+            ws.heap_allocs(),
+            warm,
+            "steady-state GEMM must not allocate"
+        );
     }
 }

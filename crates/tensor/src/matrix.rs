@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: Float) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -67,12 +75,20 @@ impl Matrix {
             assert_eq!(r.len(), cols, "Matrix::from_rows: ragged rows");
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a single-row matrix (a row vector) from a slice.
     pub fn row_vector(values: &[Float]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` for every element.
@@ -136,14 +152,24 @@ impl Matrix {
     /// Immutable view of row `i`.
     #[inline]
     pub fn row(&self, i: usize) -> &[Float] {
-        debug_assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row {} out of bounds ({} rows)",
+            i,
+            self.rows
+        );
         &self.data[i * self.cols..(i + 1) * self.cols]
     }
 
     /// Mutable view of row `i`.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [Float] {
-        debug_assert!(i < self.rows, "row {} out of bounds ({} rows)", i, self.rows);
+        debug_assert!(
+            i < self.rows,
+            "row {} out of bounds ({} rows)",
+            i,
+            self.rows
+        );
         &mut self.data[i * self.cols..(i + 1) * self.cols]
     }
 
@@ -154,7 +180,12 @@ impl Matrix {
 
     /// Copies column `j` into a new `Vec`.
     pub fn col_to_vec(&self, j: usize) -> Vec<Float> {
-        assert!(j < self.cols, "col {} out of bounds ({} cols)", j, self.cols);
+        assert!(
+            j < self.cols,
+            "col {} out of bounds ({} cols)",
+            j,
+            self.cols
+        );
         (0..self.rows).map(|i| self[(i, j)]).collect()
     }
 
@@ -260,12 +291,21 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Returns the column slice `[start, end)` as a new matrix.
     pub fn columns(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.cols, "columns: bad range {}..{}", start, end);
+        assert!(
+            start <= end && end <= self.cols,
+            "columns: bad range {}..{}",
+            start,
+            end
+        );
         let mut out = Matrix::zeros(self.rows, end - start);
         for i in 0..self.rows {
             out.row_mut(i).copy_from_slice(&self.row(i)[start..end]);
@@ -308,7 +348,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 
     #[inline]
     fn index(&self, (i, j): (usize, usize)) -> &Float {
-        debug_assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({}, {}) out of bounds",
+            i,
+            j
+        );
         &self.data[i * self.cols + j]
     }
 }
@@ -316,7 +361,12 @@ impl std::ops::Index<(usize, usize)> for Matrix {
 impl std::ops::IndexMut<(usize, usize)> for Matrix {
     #[inline]
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Float {
-        debug_assert!(i < self.rows && j < self.cols, "index ({}, {}) out of bounds", i, j);
+        debug_assert!(
+            i < self.rows && j < self.cols,
+            "index ({}, {}) out of bounds",
+            i,
+            j
+        );
         &mut self.data[i * self.cols + j]
     }
 }

@@ -275,9 +275,21 @@ mod tests {
 
     #[test]
     fn similarity_measures() {
-        assert!(approx_eq(cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]), 1.0, 1e-6));
-        assert!(approx_eq(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0, 1e-6));
+        assert!(approx_eq(
+            cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]),
+            1.0,
+            1e-6
+        ));
+        assert!(approx_eq(
+            cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]),
+            0.0,
+            1e-6
+        ));
         assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
-        assert!(approx_eq(squared_distance(&[1.0, 2.0], &[3.0, 0.0]), 8.0, 1e-6));
+        assert!(approx_eq(
+            squared_distance(&[1.0, 2.0], &[3.0, 0.0]),
+            8.0,
+            1e-6
+        ));
     }
 }

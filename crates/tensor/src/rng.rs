@@ -1,25 +1,144 @@
 //! Deterministic random number generation and weight initialisation.
 //!
 //! Every experiment in the repository is seeded so tables and figures are
-//! reproducible run-to-run; [`TensorRng`] wraps a ChaCha8 generator which is
-//! portable across platforms (unlike `StdRng`, whose algorithm is allowed to
-//! change between `rand` releases).
+//! reproducible run-to-run; [`TensorRng`] wraps a self-contained ChaCha8
+//! keystream generator which is portable across platforms and toolchains
+//! (the build environment has no registry access, so the cipher core is
+//! implemented here rather than pulled from `rand_chacha` — the stream is
+//! deterministic per seed, which is the property the experiments rely on).
 
 use crate::{Float, Matrix};
-use rand::distributions::{Distribution, Uniform};
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+
+/// ChaCha8 keystream generator (RFC 8439 block function, 8 rounds).
+///
+/// Only used as a statistical bit source: we do not need the cipher's
+/// security properties, just its excellent equidistribution and its
+/// platform-independent, seed-deterministic output.
+#[derive(Clone, Debug)]
+struct ChaCha8 {
+    /// Cipher state template: constants, key, counter, nonce.
+    state: [u32; 16],
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into the 256-bit key.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8 {
+    fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..4 {
+            let word = splitmix64(&mut sm);
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // counter (words 12–13) and nonce (14–15) start at zero.
+        Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // Column rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for ((out, &w), &base) in self.block.iter_mut().zip(&working).zip(&self.state) {
+            *out = w.wrapping_add(base);
+        }
+        // 64-bit block counter in words 12–13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+/// The largest float strictly below `x` (sign-aware; used to keep rounded
+/// draws inside a half-open range).
+fn next_down(x: Float) -> Float {
+    if x.is_nan() || x == Float::NEG_INFINITY {
+        return x;
+    }
+    if x == 0.0 {
+        return -Float::from_bits(1); // largest negative subnormal
+    }
+    let bits = x.to_bits();
+    if x > 0.0 {
+        Float::from_bits(bits - 1)
+    } else {
+        Float::from_bits(bits + 1)
+    }
+}
 
 /// Seeded random generator used across the workspace.
 #[derive(Clone, Debug)]
 pub struct TensorRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
-        Self { inner: ChaCha8Rng::seed_from_u64(seed) }
+        Self {
+            inner: ChaCha8::from_seed(seed),
+        }
     }
 
     /// Splits off an independent generator for a named sub-stream; the
@@ -31,16 +150,32 @@ impl TensorRng {
             h ^= b as u64;
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
-        let extra: u64 = self.inner.gen();
+        let extra: u64 = self.inner.next_u64();
         TensorRng::new(h ^ extra)
     }
 
+    /// Uniform float in `[0, 1)` with 24 bits of mantissa entropy.
+    #[inline]
+    fn unit(&mut self) -> Float {
+        (self.inner.next_u32() >> 8) as Float * (1.0 / (1u32 << 24) as Float)
+    }
+
     /// Uniform float in `[low, high)`.
+    ///
+    /// # Panics
+    /// Panics if `low > high` (mirroring `rand`'s `gen_range`).
     pub fn uniform(&mut self, low: Float, high: Float) -> Float {
         if low == high {
             return low;
         }
-        self.inner.gen_range(low..high)
+        assert!(low < high, "uniform: empty range {low}..{high}");
+        let v = low + self.unit() * (high - low);
+        // Guard against the open upper bound being hit by rounding.
+        if v >= high {
+            next_down(high)
+        } else {
+            v
+        }
     }
 
     /// Uniform integer in `[0, n)`.
@@ -49,18 +184,18 @@ impl TensorRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index: empty range");
-        self.inner.gen_range(0..n)
+        (self.inner.next_u64() % n as u64) as usize
     }
 
     /// Bernoulli draw with probability `p` of `true`.
     pub fn bernoulli(&mut self, p: Float) -> bool {
-        self.inner.gen::<Float>() < p
+        self.unit() < p
     }
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> Float {
-        let u1: Float = self.inner.gen_range(Float::EPSILON..1.0);
-        let u2: Float = self.inner.gen_range(0.0..1.0);
+        let u1: Float = self.uniform(Float::EPSILON, 1.0).max(Float::EPSILON);
+        let u2: Float = self.uniform(0.0, 1.0);
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
     }
 
@@ -70,14 +205,17 @@ impl TensorRng {
     /// distributions of Fig. 1 (as a mixture of exponentials).
     pub fn exponential(&mut self, lambda: Float) -> Float {
         assert!(lambda > 0.0, "exponential: rate must be positive");
-        let u: Float = self.inner.gen_range(Float::EPSILON..1.0);
+        let u: Float = self.uniform(Float::EPSILON, 1.0).max(Float::EPSILON);
         -u.ln() / lambda
     }
 
     /// Pareto (power-law) sample with scale `x_min` and shape `alpha`.
     pub fn pareto(&mut self, x_min: Float, alpha: Float) -> Float {
-        assert!(x_min > 0.0 && alpha > 0.0, "pareto: parameters must be positive");
-        let u: Float = self.inner.gen_range(Float::EPSILON..1.0);
+        assert!(
+            x_min > 0.0 && alpha > 0.0,
+            "pareto: parameters must be positive"
+        );
+        let u: Float = self.uniform(Float::EPSILON, 1.0).max(Float::EPSILON);
         x_min / u.powf(1.0 / alpha)
     }
 
@@ -89,7 +227,7 @@ impl TensorRng {
         assert!(!weights.is_empty(), "weighted_index: empty weights");
         let total: Float = weights.iter().sum();
         assert!(total > 0.0, "weighted_index: weights sum to zero");
-        let mut target = self.inner.gen_range(0.0..total);
+        let mut target = self.uniform(0.0, total);
         for (i, &w) in weights.iter().enumerate() {
             if target < w {
                 return i;
@@ -101,8 +239,7 @@ impl TensorRng {
 
     /// Matrix with i.i.d. uniform entries in `[low, high)`.
     pub fn uniform_matrix(&mut self, rows: usize, cols: usize, low: Float, high: Float) -> Matrix {
-        let dist = Uniform::new(low, high);
-        let data = (0..rows * cols).map(|_| dist.sample(&mut self.inner)).collect();
+        let data = (0..rows * cols).map(|_| self.uniform(low, high)).collect();
         Matrix::from_vec(rows, cols, data)
     }
 
@@ -127,7 +264,7 @@ impl TensorRng {
     /// Fisher–Yates shuffle of a slice.
     pub fn shuffle<T>(&mut self, items: &mut [T]) {
         for i in (1..items.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.index(i + 1);
             items.swap(i, j);
         }
     }
@@ -171,7 +308,11 @@ mod tests {
         let n = 20_000;
         let samples: Vec<Float> = (0..n).map(|_| rng.normal()).collect();
         let mean: Float = samples.iter().sum::<Float>() / n as Float;
-        let var: Float = samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<Float>() / n as Float;
+        let var: Float = samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<Float>()
+            / n as Float;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }
@@ -218,5 +359,51 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_stays_inside_tight_and_negative_ranges() {
+        let mut rng = TensorRng::new(101);
+        // Negative range whose rounding guard must step away from zero.
+        for _ in 0..2000 {
+            let v = rng.uniform(-1.000_000_1, -1.0);
+            assert!((-1.000_000_1..-1.0).contains(&v), "out of range: {v}");
+        }
+        // Upper bound of exactly zero.
+        for _ in 0..2000 {
+            let v = rng.uniform(-1.0, 0.0);
+            assert!((-1.0..0.0).contains(&v), "out of range: {v}");
+        }
+        assert!(next_down(0.0) < 0.0);
+        assert!(next_down(1.0) < 1.0);
+        assert!(next_down(-1.0) < -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn uniform_rejects_inverted_range() {
+        let mut rng = TensorRng::new(102);
+        let _ = rng.uniform(1.0, -1.0);
+    }
+
+    #[test]
+    fn chacha_keystream_words_are_well_spread() {
+        // Cheap sanity check on the cipher core: byte histogram of the first
+        // 64 KiB of keystream should be close to uniform.
+        let mut rng = TensorRng::new(1234);
+        let mut counts = [0u32; 256];
+        for _ in 0..16_384 {
+            let w = rng.inner.next_u32();
+            for b in w.to_le_bytes() {
+                counts[b as usize] += 1;
+            }
+        }
+        let expected = (16_384u32 * 4) / 256;
+        for (value, &count) in counts.iter().enumerate() {
+            assert!(
+                (count as i64 - expected as i64).abs() < expected as i64 / 2,
+                "byte {value} count {count} far from {expected}"
+            );
+        }
     }
 }

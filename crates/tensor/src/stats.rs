@@ -31,7 +31,11 @@ pub fn summarize(values: &[Float]) -> Option<Summary> {
     }
     let count = values.len();
     let mean = values.iter().sum::<Float>() / count as Float;
-    let var = values.iter().map(|&x| (x - mean) * (x - mean)).sum::<Float>() / count as Float;
+    let var = values
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<Float>()
+        / count as Float;
     let mut sorted = values.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     Some(Summary {
@@ -87,7 +91,12 @@ impl Histogram {
     pub fn new(min: Float, max: Float, bins: usize) -> Self {
         assert!(bins > 0, "Histogram: need at least one bin");
         assert!(max > min, "Histogram: max must exceed min");
-        Self { min, max, counts: vec![0; bins], outliers: 0 }
+        Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            outliers: 0,
+        }
     }
 
     /// Number of bins.
@@ -139,7 +148,9 @@ impl Histogram {
 
     /// Returns `(bin_center, count)` pairs — the series plotted in Fig. 1.
     pub fn series(&self) -> Vec<(Float, u64)> {
-        (0..self.counts.len()).map(|i| (self.bin_center(i), self.counts[i])).collect()
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i]))
+            .collect()
     }
 }
 
@@ -168,7 +179,7 @@ pub fn equal_frequency_edges(values: &[Float], bins: usize) -> Vec<Float> {
     // Deduplicate while preserving order, keep strictly increasing edges.
     let mut unique = Vec::with_capacity(edges.len());
     for e in edges {
-        if unique.last().map_or(true, |&last| e > last) {
+        if unique.last().is_none_or(|&last| e > last) {
             unique.push(e);
         }
     }

@@ -14,7 +14,10 @@ fn main() {
     let ddr = DdrModel::new_gbps(device.ddr_bandwidth_gbps);
     let batch_size = 1000;
 
-    println!("design-space exploration on {} (batch size {batch_size})\n", device.name);
+    println!(
+        "design-space exploration on {} (batch size {batch_size})\n",
+        device.name
+    );
     println!(
         "{:<10} {:>5} {:>5} {:>8} {:>14} {:>14} {:>10} {:>6}",
         "variant", "Ncu", "Sg", "DSPs", "latency (ms)", "thpt (kE/s)", "DSP util", "fits"

@@ -13,7 +13,10 @@ fn main() {
     let graph = generate(&wikipedia_like(0.01, 5));
     let batch_size = 200;
 
-    println!("stream: {} edges, batch size {batch_size}\n", graph.num_events());
+    println!(
+        "stream: {} edges, batch size {batch_size}\n",
+        graph.num_events()
+    );
     println!(
         "{:<28} {:>14} {:>16}",
         "platform", "latency (ms)", "throughput (kE/s)"

@@ -31,17 +31,29 @@ fn main() {
     let mut rng = TensorRng::new(7);
     let mut model = TgnModel::new(config, &mut rng);
     model.calibrate_lut(&memory_delta_t(graph.events(), graph.num_nodes()));
-    println!("model: {} parameters, variant NP(M)", model.num_parameters());
+    println!(
+        "model: {} parameters, variant NP(M)",
+        model.num_parameters()
+    );
 
     // 3. Stream the edges through the inference engine in batches of 200,
     //    exactly as a deployed system would (Algorithm 1 of the paper).
     let mut engine = InferenceEngine::new(model, graph.num_nodes());
     let report = engine.run_stream(graph.events(), &graph, 200);
 
-    println!("\nprocessed {} edges in {} batches", report.num_events, report.num_batches);
-    println!("generated {} dynamic node embeddings", report.num_embeddings);
+    println!(
+        "\nprocessed {} edges in {} batches",
+        report.num_events, report.num_batches
+    );
+    println!(
+        "generated {} dynamic node embeddings",
+        report.num_embeddings
+    );
     println!("throughput: {:.1} kE/s", report.throughput_eps() / 1e3);
-    println!("mean batch latency: {:.3} ms", report.mean_latency().as_secs_f64() * 1e3);
+    println!(
+        "mean batch latency: {:.3} ms",
+        report.mean_latency().as_secs_f64() * 1e3
+    );
     println!(
         "per-embedding cost: {} kMAC, {} kMEM",
         report.ops_per_embedding().macs / 1000,

@@ -29,8 +29,7 @@ pub use tgnn_tensor as tensor;
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use tgnn_core::{
-        AttentionKind, InferenceEngine, ModelConfig, OptimizationVariant, TgnModel,
-        TimeEncoderKind,
+        AttentionKind, InferenceEngine, ModelConfig, OptimizationVariant, TgnModel, TimeEncoderKind,
     };
     pub use tgnn_data::{gdelt_like, generate, reddit_like, tiny, wikipedia_like};
     pub use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};

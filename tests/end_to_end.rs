@@ -42,15 +42,27 @@ fn full_ladder_runs_the_same_stream_and_orders_by_complexity() {
         let model = build(&graph, variant, 3);
         let mut engine = InferenceEngine::new(model, graph.num_nodes());
         let report = engine.run_stream(events, &graph, 100);
-        assert!(report.num_embeddings > 0, "{variant:?} produced no embeddings");
-        assert!(engine.commit_log().is_clean(), "{variant:?} violated chronological commits");
+        assert!(
+            report.num_embeddings > 0,
+            "{variant:?} produced no embeddings"
+        );
+        assert!(
+            engine.commit_log().is_clean(),
+            "{variant:?} violated chronological commits"
+        );
         per_variant_macs.push(report.ops.total().macs);
     }
     // Baseline > +SAT > +LUT >= NP(L) > NP(M) > NP(S) in executed MACs.
     for w in per_variant_macs.windows(2) {
-        assert!(w[0] >= w[1], "MACs must be non-increasing along the ladder: {per_variant_macs:?}");
+        assert!(
+            w[0] >= w[1],
+            "MACs must be non-increasing along the ladder: {per_variant_macs:?}"
+        );
     }
-    assert!(per_variant_macs[0] > per_variant_macs[5], "NP(S) must be cheaper than the baseline");
+    assert!(
+        per_variant_macs[0] > per_variant_macs[5],
+        "NP(S) must be cheaper than the baseline"
+    );
 }
 
 #[test]
@@ -92,8 +104,9 @@ fn headline_reduction_and_speedup_shapes_hold() {
     // 84% computation / 67% memory-access reduction claims (Table II) and
     // the FPGA-vs-CPU/GPU latency ordering (Fig. 5), checked as shapes.
     let baseline = per_embedding_ops(&ModelConfig::paper_default(0, 172));
-    let np_small =
-        per_embedding_ops(&ModelConfig::paper_default(0, 172).with_variant(OptimizationVariant::NpSmall));
+    let np_small = per_embedding_ops(
+        &ModelConfig::paper_default(0, 172).with_variant(OptimizationVariant::NpSmall),
+    );
     assert!(mac_reduction(&baseline, &np_small) > 0.7);
     assert!(mem_reduction(&baseline, &np_small) > 0.4);
 
@@ -104,7 +117,10 @@ fn headline_reduction_and_speedup_shapes_hold() {
         DdrModel::new_gbps(FpgaDevice::alveo_u200().ddr_bandwidth_gbps),
     );
     let fpga_latency = perf.predict(1000).latency;
-    let cpu = BaselineSimulator::new(BaselinePlatform::CpuMultiThread, ModelConfig::paper_default(0, 172));
+    let cpu = BaselineSimulator::new(
+        BaselinePlatform::CpuMultiThread,
+        ModelConfig::paper_default(0, 172),
+    );
     let gpu = BaselineSimulator::new(BaselinePlatform::Gpu, ModelConfig::paper_default(0, 172));
     assert!(
         cpu.estimate(1000).latency / fpga_latency > 2.0,
@@ -127,7 +143,11 @@ fn performance_model_tracks_simulation_within_reasonable_error() {
 
     let device = FpgaDevice::alveo_u200();
     let design = DesignConfig::u200();
-    let perf = PerformanceModel::new(design.clone(), cfg, DdrModel::new_gbps(device.ddr_bandwidth_gbps));
+    let perf = PerformanceModel::new(
+        design.clone(),
+        cfg,
+        DdrModel::new_gbps(device.ddr_bandwidth_gbps),
+    );
     let mut sim = AcceleratorSim::new(model, graph.num_nodes(), device, design);
 
     let batch_size = 200;

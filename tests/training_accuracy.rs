@@ -11,7 +11,13 @@ fn tiny_graph(seed: u64) -> TemporalGraph {
 }
 
 fn quick_train_config() -> TrainConfig {
-    TrainConfig { epochs: 2, batch_size: 50, learning_rate: 5e-3, decoder_hidden: 16, seed: 11 }
+    TrainConfig {
+        epochs: 2,
+        batch_size: 50,
+        learning_rate: 5e-3,
+        decoder_hidden: 16,
+        seed: 11,
+    }
 }
 
 #[test]
@@ -31,7 +37,10 @@ fn teacher_training_improves_over_random_initialisation() {
     let trained = trainer.train(&cfg, &graph);
     let trained_ap = trainer.evaluate(&trained, &graph, 50).average_precision;
 
-    assert!(trained_ap > 0.5, "trained AP {trained_ap} should beat a random ranking");
+    assert!(
+        trained_ap > 0.5,
+        "trained AP {trained_ap} should beat a random ranking"
+    );
     assert!(
         trained_ap >= untrained_ap - 0.05,
         "training must not collapse accuracy ({untrained_ap} -> {trained_ap})"
@@ -45,7 +54,11 @@ fn teacher_training_improves_over_random_initialisation() {
 fn distilled_students_stay_close_to_the_teacher_across_the_ladder() {
     let graph = tiny_graph(202);
     let teacher_cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
-    let kd = DistillationConfig { temperature: 1.0, kd_weight: 0.5, train: quick_train_config() };
+    let kd = DistillationConfig {
+        temperature: 1.0,
+        kd_weight: 0.5,
+        train: quick_train_config(),
+    };
     let trainer = Trainer::new(kd.train.clone());
     let teacher = trainer.train(&teacher_cfg, &graph);
     let teacher_ap = trainer.evaluate(&teacher, &graph, 50).average_precision;
@@ -72,7 +85,10 @@ fn apan_baseline_is_less_accurate_than_the_trained_teacher() {
     // asynchronous APAN baseline in accuracy.
     let graph = tiny_graph(303);
     let teacher_cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
-    let trainer = Trainer::new(TrainConfig { epochs: 3, ..quick_train_config() });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 3,
+        ..quick_train_config()
+    });
     let teacher = trainer.train(&teacher_cfg, &graph);
     let teacher_ap = trainer.evaluate(&teacher, &graph, 50).average_precision;
 
