@@ -1,0 +1,150 @@
+//! Streaming-pipeline throughput/latency benchmark and identity check.
+//!
+//! Streams the Wikipedia-like preset through the pipelined `StreamServer`,
+//! verifies the served embeddings are **bit-identical** to `ExecMode::Serial`
+//! replaying the exact micro-batch sequence the server used, and extends
+//! `BENCH_baseline.json` (written by `perf_baseline`) with a `"pipeline"`
+//! row: events/sec plus mean/p50/p95/p99 micro-batch latency.
+//!
+//! Run with: `cargo run --release -p tgnn-bench --bin serve_bench -- --scale 0.02`
+//!
+//! `--smoke` runs a tiny fixed-seed configuration and skips the JSON merge —
+//! the CI step after `perf_baseline`, failing (via the identity assertion)
+//! on any pipelined-vs-serial divergence.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
+use tgnn_graph::EventBatch;
+use tgnn_serve::{ServeConfig, ServeReport, ServedBatch, StreamServer};
+
+const MAX_BATCH: usize = 200;
+const NUM_SHARDS: usize = 4;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    let argv: Vec<String> = std::env::args().collect();
+    let smoke = argv.iter().any(|a| a == "--smoke");
+    if smoke {
+        args.scale = 0.005;
+    }
+    let out_path = argv
+        .windows(2)
+        .find(|w| w[0] == "--out")
+        .map(|w| w[1].clone())
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+
+    let graph = Arc::new(Dataset::Wikipedia.graph(args.scale, args.seed));
+    let variant = OptimizationVariant::NpMedium;
+    let cfg = harness_model_config(&graph, variant);
+    let model = build_model(&graph, &cfg, args.seed);
+    // Warm the vertex state on the train split, then measure on the events
+    // after it — the served stream must stay chronological past the warm-up.
+    let warm_events = graph.train_events().to_vec();
+    let measure_events = graph.events()[graph.train_end()..].to_vec();
+    println!(
+        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards{}",
+        args.scale,
+        graph.num_nodes(),
+        measure_events.len(),
+        variant.label(),
+        NUM_SHARDS,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // --- Pipelined serving run.
+    let serve_config = ServeConfig {
+        max_batch: MAX_BATCH,
+        // Size-only sealing keeps the micro-batch boundaries deterministic
+        // for the identity replay below.
+        batch_deadline: Duration::from_secs(3600),
+        num_shards: NUM_SHARDS,
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model.clone(), graph.clone(), serve_config);
+    server.warm_up(&warm_events);
+    let mut served: Vec<ServedBatch> = Vec::new();
+    for &e in &measure_events {
+        server.submit(e).expect("chronological stream");
+        while let Some(b) = server.poll() {
+            served.push(b);
+        }
+    }
+    let report = server.drain();
+    while let Some(b) = server.poll() {
+        served.push(b);
+    }
+    println!(
+        "pipeline: {:>10.0} edges/sec over {} micro-batches — latency mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
+        report.throughput_eps,
+        report.num_batches,
+        report.latency.mean_ms,
+        report.latency.p50_ms,
+        report.latency.p95_ms,
+        report.latency.p99_ms
+    );
+    assert!(report.commit_log_clean, "pipeline violated chronology");
+
+    // --- Identity check: serial reference over the served batch sequence.
+    let mut engine = InferenceEngine::new(model, graph.num_nodes()).with_mode(ExecMode::Serial);
+    engine.warm_up(&warm_events, &graph);
+    let mut checked_events = 0usize;
+    for batch in &served {
+        let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &graph);
+        assert_eq!(
+            reference.embeddings, batch.embeddings,
+            "pipeline embeddings diverged bitwise from the serial reference in epoch {}",
+            batch.epoch
+        );
+        checked_events += batch.events.len();
+    }
+    assert_eq!(
+        checked_events,
+        measure_events.len(),
+        "events lost in flight"
+    );
+    println!(
+        "identity: {} embeddings across {} micro-batches bit-identical to ExecMode::Serial",
+        report.num_embeddings,
+        served.len()
+    );
+
+    if smoke {
+        println!("smoke mode: skipping {out_path} update");
+        return;
+    }
+    merge_pipeline_row(&out_path, &report);
+    println!("wrote pipeline row to {out_path}");
+}
+
+/// Inserts (or replaces) a top-level `"pipeline"` object in the hand-rolled
+/// JSON baseline file, creating the file if `perf_baseline` has not run.
+fn merge_pipeline_row(path: &str, report: &ServeReport) {
+    let row = format!(
+        "  \"pipeline\": {{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"embeddings_bitwise_identical_to_serial\": true\n  }}",
+        report.throughput_eps,
+        report.num_batches,
+        MAX_BATCH,
+        report.num_shards,
+        report.latency.mean_ms,
+        report.latency.p50_ms,
+        report.latency.p95_ms,
+        report.latency.p99_ms,
+        report.backpressure_blocks,
+    );
+    let base = std::fs::read_to_string(path).unwrap_or_default();
+    let mut body = base;
+    // Drop any previous pipeline row (idempotent re-runs).
+    if let Some(idx) = body.find(",\n  \"pipeline\"") {
+        body.truncate(idx);
+        body.push_str("\n}\n");
+    }
+    let json = match body.trim_end().strip_suffix('}') {
+        Some(prefix) if !prefix.trim().is_empty() => {
+            format!("{},\n{row}\n}}\n", prefix.trim_end())
+        }
+        _ => format!("{{\n{row}\n}}\n"),
+    };
+    std::fs::write(path, json).expect("failed to write pipeline baseline row");
+}

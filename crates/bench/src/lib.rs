@@ -75,17 +75,33 @@ impl Default for HarnessArgs {
 impl HarnessArgs {
     /// Parses `--scale`, `--epochs`, and `--seed` from `std::env::args`.
     pub fn parse() -> Self {
-        let mut out = Self::default();
         let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i + 1 < args.len() {
+        Self::parse_from(&args[1..])
+    }
+
+    /// Parses the known flags from an argument slice.  Unknown arguments
+    /// (e.g. a binary's own valueless flags like `--smoke`) are skipped one
+    /// at a time, so they cannot shift a following `--flag value` pair out
+    /// of alignment.
+    pub fn parse_from(args: &[String]) -> Self {
+        let mut out = Self::default();
+        let mut i = 0;
+        while i < args.len() {
             match args[i].as_str() {
-                "--scale" => out.scale = args[i + 1].parse().unwrap_or(out.scale),
-                "--epochs" => out.epochs = args[i + 1].parse().unwrap_or(out.epochs),
-                "--seed" => out.seed = args[i + 1].parse().unwrap_or(out.seed),
-                _ => {}
+                "--scale" if i + 1 < args.len() => {
+                    out.scale = args[i + 1].parse().unwrap_or(out.scale);
+                    i += 2;
+                }
+                "--epochs" if i + 1 < args.len() => {
+                    out.epochs = args[i + 1].parse().unwrap_or(out.epochs);
+                    i += 2;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    out.seed = args[i + 1].parse().unwrap_or(out.seed);
+                    i += 2;
+                }
+                _ => i += 1,
             }
-            i += 2;
         }
         out
     }
@@ -196,5 +212,18 @@ mod tests {
         assert!(args.scale > 0.0 && args.scale <= 1.0);
         assert_eq!(format_ms(Duration::from_millis(5)), "5.000");
         assert_eq!(secs_to_ms(0.001), "1.000");
+    }
+
+    #[test]
+    fn valueless_flags_do_not_shift_flag_value_pairs() {
+        let argv = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let args = HarnessArgs::parse_from(&argv("--smoke --seed 9 --scale 0.5"));
+        assert_eq!(args.seed, 9);
+        assert_eq!(args.scale, 0.5);
+        let args = HarnessArgs::parse_from(&argv("--seed 3 --smoke"));
+        assert_eq!(args.seed, 3);
+        // A trailing flag with no value falls back to the default.
+        let args = HarnessArgs::parse_from(&argv("--seed"));
+        assert_eq!(args.seed, HarnessArgs::default().seed);
     }
 }

@@ -20,6 +20,7 @@ use crate::config::{AttentionKind, TimeEncoderKind};
 use crate::memory::NodeMemory;
 use crate::model::{EmbeddingJob, EmbeddingOutput, NeighborContext, NeighborRef, TgnModel};
 use crate::profiling::{Stage, StageTimer, StageTimings};
+use crate::stages::{self, SampledBatch};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -231,34 +232,61 @@ impl InferenceEngine {
     }
 
     /// Processes one batch of new edges and returns the embeddings of every
-    /// touched vertex (Algorithm 1).
+    /// touched vertex (Algorithm 1) — the synchronous composition of the four
+    /// stage entry points ([`Self::stage_sample`], [`Self::stage_memory`],
+    /// [`Self::stage_gnn`], [`Self::stage_update`]).
     pub fn process_batch(&mut self, batch: &EventBatch, graph: &TemporalGraph) -> BatchOutput {
         if batch.is_empty() {
             return BatchOutput::default();
         }
         let wall_start = std::time::Instant::now();
         let mut timer = StageTimer::new();
-        let touched = batch.touched_vertices();
-        let query_times = latest_event_times(batch);
 
-        // --- Stage 1: sample neighbors from the FIFO table.
         timer.start(Stage::Sample);
-        let mut sampled: HashMap<NodeId, Vec<tgnn_graph::NeighborEntry>> = HashMap::new();
-        for &v in &touched {
-            let t = query_times[&v];
-            let neighbors = self
-                .sampler
-                .sample(v, t, self.model.config.sampled_neighbors);
-            self.ops.sample.mems += 3 * neighbors.len() as u64;
-            sampled.insert(v, neighbors);
-        }
+        let sampled = self.stage_sample(batch);
 
-        // --- Stage 2: memory update from cached messages.
         timer.start(Stage::Memory);
-        let updated_memory = self.update_memories(&touched);
-        // Cache the messages generated by the current batch (Eq. 4–5), using
-        // the just-updated memory snapshots, in chronological order.
-        for e in batch.events() {
+        let updated_memory = self.stage_memory(&sampled, graph);
+
+        timer.start(Stage::Gnn);
+        let embeddings = self.stage_gnn(&sampled, &updated_memory, graph);
+
+        timer.start(Stage::Update);
+        self.stage_update(&sampled, &updated_memory);
+        timer.stop();
+
+        self.timings.merge(&timer.finish());
+        self.events_processed += batch.len();
+        BatchOutput {
+            embeddings,
+            latency: wall_start.elapsed(),
+        }
+    }
+
+    /// Stage 1: samples the supporting temporal neighbors of every touched
+    /// vertex from the FIFO neighbor table into one flat arena.
+    pub fn stage_sample(&mut self, batch: &EventBatch) -> SampledBatch {
+        let k = self.model.config.sampled_neighbors;
+        let sampler = &self.sampler;
+        let sampled = SampledBatch::assemble(batch.clone(), k, |v, t, k, out| {
+            sampler.sample_into(v, t, k, out)
+        });
+        self.ops.sample.mems += 3 * sampled.total_sampled() as u64;
+        sampled
+    }
+
+    /// Stage 2: consumes the pending mailbox messages of the touched vertices
+    /// and runs the GRU on them, then caches the raw messages generated by
+    /// the current batch (Eq. 4–5, information-leak-safe ordering).  Returns
+    /// the new memory per vertex — not yet written back; that is
+    /// [`Self::stage_update`]'s job.
+    pub fn stage_memory(
+        &mut self,
+        sampled: &SampledBatch,
+        graph: &TemporalGraph,
+    ) -> HashMap<NodeId, Vec<Float>> {
+        let updated_memory = self.update_memories(&sampled.touched);
+        for e in sampled.batch.events() {
             self.memory.cache_interaction_messages(
                 e.src,
                 e.dst,
@@ -267,15 +295,26 @@ impl InferenceEngine {
             );
             self.ops.update.mems += 2 * self.model.config.message_dim() as u64;
         }
+        updated_memory
+    }
 
-        // --- Stage 3: GNN embeddings.
-        timer.start(Stage::Gnn);
-        let mut embeddings = Vec::with_capacity(touched.len());
+    /// Stage 3: computes the output embedding of every touched vertex with
+    /// the configured attention aggregator, in `touched` order.  Reads the
+    /// pre-write-back memory table for neighbor rows, exactly like the serial
+    /// reference.
+    pub fn stage_gnn(
+        &mut self,
+        sampled: &SampledBatch,
+        updated_memory: &HashMap<NodeId, Vec<Float>>,
+        graph: &TemporalGraph,
+    ) -> Vec<(NodeId, Vec<Float>)> {
+        let mut embeddings = Vec::with_capacity(sampled.len());
         match self.mode {
             ExecMode::Serial => {
-                for &v in &touched {
-                    let query_time = query_times[&v];
-                    let contexts = self.neighbor_contexts(&sampled[&v], query_time, graph);
+                for (i, &v) in sampled.touched.iter().enumerate() {
+                    let query_time = sampled.query_times[i];
+                    let contexts =
+                        self.neighbor_contexts(sampled.neighbors_of(i), query_time, graph);
                     let node_feature = if self.model.config.node_feature_dim > 0 {
                         Some(graph.node_feature(v))
                     } else {
@@ -293,35 +332,34 @@ impl InferenceEngine {
                 }
             }
             ExecMode::Batched | ExecMode::Parallel => {
-                let outputs =
-                    self.gnn_stage_fast(&touched, &sampled, &query_times, &updated_memory, graph);
-                for (&v, out) in touched.iter().zip(outputs) {
-                    self.count_gnn_ops(sampled[&v].len(), out.used_neighbors.len());
+                let outputs = self.gnn_stage_fast(sampled, updated_memory, graph);
+                for (i, (&v, out)) in sampled.touched.iter().zip(outputs).enumerate() {
+                    self.count_gnn_ops(sampled.neighbors_of(i).len(), out.used_neighbors.len());
                     embeddings.push((v, out.embedding));
                 }
             }
         }
         self.embeddings_generated += embeddings.len();
+        embeddings
+    }
 
-        // --- Stage 4: write back state.
-        timer.start(Stage::Update);
-        for (&v, new_mem) in &updated_memory {
-            let t = query_times[&v];
+    /// Stage 4: writes the updated memory back, records the batch's
+    /// interactions in the neighbor table, and logs the chronological
+    /// commits.
+    pub fn stage_update(
+        &mut self,
+        sampled: &SampledBatch,
+        updated_memory: &HashMap<NodeId, Vec<Float>>,
+    ) {
+        for (&v, new_mem) in updated_memory {
+            let t = sampled.query_time_of(v);
             self.memory.set_memory(v, new_mem, t);
             self.commit_log.commit(v, t);
             self.ops.update.mems += self.model.config.memory_dim as u64;
         }
-        for e in batch.events() {
+        for e in sampled.batch.events() {
             self.sampler.observe(e);
             self.ops.update.mems += 6; // two neighbor-table appends of (id, edge, t)
-        }
-        timer.stop();
-
-        self.timings.merge(&timer.finish());
-        self.events_processed += batch.len();
-        BatchOutput {
-            embeddings,
-            latency: wall_start.elapsed(),
         }
     }
 
@@ -441,43 +479,20 @@ impl InferenceEngine {
                 .collect();
         }
 
-        // Hot path: workspace buffers, message rows assembled in place.
-        let ws = &mut self.ws;
-        let mut dts = ws.take(rows);
-        for (dt, (v, msg)) in dts.iter_mut().zip(&with_messages) {
-            *dt = (msg.event_time - self.memory.last_update(*v)).max(0.0) as Float;
-        }
-        let mut encodings = ws.take_matrix(rows, cfg.time_dim);
-        self.model.encode_time_into(&dts, &mut encodings);
-
-        let mut messages = ws.take_matrix(rows, cfg.message_dim());
-        let mut memories = ws.take_matrix(rows, cfg.memory_dim);
-        let mem_dim = cfg.memory_dim;
-        let efeat = cfg.edge_feature_dim;
-        for (i, (v, msg)) in with_messages.iter().enumerate() {
-            let row = messages.row_mut(i);
-            row[..mem_dim].copy_from_slice(&msg.self_memory);
-            row[mem_dim..2 * mem_dim].copy_from_slice(&msg.other_memory);
-            row[2 * mem_dim..2 * mem_dim + efeat].copy_from_slice(&msg.edge_feature);
-            row[2 * mem_dim + efeat..].copy_from_slice(encodings.row(i));
-            memories
-                .row_mut(i)
-                .copy_from_slice(self.memory.memory_of(*v));
-            self.ops.memory.mems += (cfg.message_dim() + cfg.memory_dim) as u64;
-            self.ops.memory.macs += time_macs + self.model.gru.macs(1);
-        }
-
-        let updated = self.model.update_memory_ws(&messages, &memories, ws);
-        let out = with_messages
-            .iter()
-            .enumerate()
-            .map(|(i, (v, _))| (*v, updated.row_to_vec(i)))
-            .collect();
-        ws.recycle_matrix(updated);
-        ws.recycle_matrix(memories);
-        ws.recycle_matrix(messages);
-        ws.recycle_matrix(encodings);
-        ws.recycle(dts);
+        // Hot path: the shared allocation-free memory stage (also used by the
+        // streaming pipeline) on this engine's workspace.
+        let memory = &self.memory;
+        let out: HashMap<NodeId, Vec<Float>> = stages::run_memory_stage(
+            &self.model,
+            &with_messages,
+            |v| memory.last_update(v),
+            |v, dst| dst.copy_from_slice(memory.memory_of(v)),
+            &mut self.ws,
+        )
+        .into_iter()
+        .collect();
+        self.ops.memory.mems += (rows * (cfg.message_dim() + cfg.memory_dim)) as u64;
+        self.ops.memory.macs += rows as u64 * (time_macs + self.model.gru.macs(1));
         out
     }
 
@@ -489,24 +504,23 @@ impl InferenceEngine {
     /// `touched`.
     fn gnn_stage_fast(
         &mut self,
-        touched: &[NodeId],
-        sampled: &HashMap<NodeId, Vec<tgnn_graph::NeighborEntry>>,
-        query_times: &HashMap<NodeId, Timestamp>,
+        sampled: &SampledBatch,
         updated_memory: &HashMap<NodeId, Vec<Float>>,
         graph: &TemporalGraph,
     ) -> Vec<EmbeddingOutput> {
         let model = &self.model;
         let memory = &self.memory;
         let cfg = &model.config;
+        let touched = &sampled.touched;
 
         // Flat neighbor-reference arena + per-vertex ranges (one Vec for the
         // whole batch instead of per-vertex context clones).
-        let total: usize = touched.iter().map(|v| sampled[v].len()).sum();
+        let total = sampled.total_sampled();
         let mut nbr_refs: Vec<NeighborRef<'_>> = Vec::with_capacity(total);
         let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(touched.len());
-        for &v in touched {
-            let query_time = query_times[&v];
-            let entries = &sampled[&v];
+        for (i, _) in touched.iter().enumerate() {
+            let query_time = sampled.query_times[i];
+            let entries = sampled.neighbors_of(i);
             let start = nbr_refs.len();
             for e in entries {
                 nbr_refs.push(NeighborRef {
@@ -810,6 +824,26 @@ mod tests {
             }
             assert!(commits.windows(2).all(|w| w[0] == w[1]));
         }
+    }
+
+    #[test]
+    fn manual_stage_composition_matches_process_batch() {
+        let (model, graph) = tiny_setup(OptimizationVariant::Sat);
+        let mut whole =
+            InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Batched);
+        let mut staged =
+            InferenceEngine::new(model, graph.num_nodes()).with_mode(ExecMode::Batched);
+        for chunk in graph.events()[..180].chunks(40) {
+            let batch = EventBatch::new(chunk.to_vec());
+            let out = whole.process_batch(&batch, &graph);
+            let sampled = staged.stage_sample(&batch);
+            let updated = staged.stage_memory(&sampled, &graph);
+            let embeddings = staged.stage_gnn(&sampled, &updated, &graph);
+            staged.stage_update(&sampled, &updated);
+            assert_eq!(out.embeddings, embeddings);
+        }
+        assert!(staged.commit_log().is_clean());
+        assert_eq!(whole.embeddings_generated(), staged.embeddings_generated());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   + feature transformation) with forward and backward passes.
 //! * [`inference`] — the batch inference engine (Algorithm 1) with per-stage
 //!   profiling and operation counting.
+//! * [`stages`] — the stage-level building blocks (sampled batch, memory
+//!   stage, owned GNN jobs) shared by the engine and the `tgnn-serve`
+//!   streaming pipeline.
+//! * [`sharded`] — the vertex-partitioned node memory with per-shard locks
+//!   and epoch-barrier commits.
 //! * [`complexity`] — MAC / memory-access accounting (Tables I and II).
 //! * [`profiling`] — wall-clock stage breakdown (Table I).
 //! * [`link_prediction`] — the self-supervised temporal link-prediction task,
@@ -40,6 +45,8 @@ pub mod link_prediction;
 pub mod memory;
 pub mod model;
 pub mod profiling;
+pub mod sharded;
+pub mod stages;
 pub mod training;
 
 pub use complexity::{OpCounts, StageOps};
@@ -49,4 +56,6 @@ pub use link_prediction::LinkDecoder;
 pub use memory::{Message, NodeMemory};
 pub use model::TgnModel;
 pub use profiling::{Stage, StageTimings};
+pub use sharded::ShardedMemory;
+pub use stages::{GnnJobBatch, SampledBatch};
 pub use training::{TrainConfig, Trainer};

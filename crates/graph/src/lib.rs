@@ -21,6 +21,8 @@
 //!   deployment modes discussed in Section II-A.
 //! * [`chronology`] — validation utilities for chronological-order
 //!   invariants.
+//! * [`sharded`] — the vertex-partitioned neighbor table and the
+//!   epoch-barrier commit gate used by the streaming pipeline (`tgnn-serve`).
 
 pub mod batching;
 pub mod chronology;
@@ -28,11 +30,13 @@ pub mod event;
 pub mod graph;
 pub mod neighbor_table;
 pub mod sampler;
+pub mod sharded;
 
 pub use event::{EventBatch, InteractionEvent};
 pub use graph::TemporalGraph;
 pub use neighbor_table::{NeighborEntry, NeighborTable};
 pub use sampler::{FifoSampler, ScanSampler, TemporalSampler};
+pub use sharded::{EpochGate, ShardedNeighborTable};
 
 /// Node identifier.  `u32` keeps the vertex tables compact (the paper's
 /// datasets have at most a few hundred thousand vertices).

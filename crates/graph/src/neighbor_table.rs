@@ -96,17 +96,35 @@ impl NeighborTable {
     /// The stored neighbors of `v`, oldest first.  At most `capacity`
     /// entries.
     pub fn neighbors(&self, v: NodeId) -> Vec<NeighborEntry> {
-        self.entries[v as usize].iter().copied().collect()
+        let mut out = Vec::with_capacity(self.degree(v));
+        self.neighbors_into(v, &mut out);
+        out
+    }
+
+    /// Appends the stored neighbors of `v` (oldest first) to `out` without
+    /// allocating — the hot-path variant of [`Self::neighbors`].
+    pub fn neighbors_into(&self, v: NodeId, out: &mut Vec<NeighborEntry>) {
+        out.extend(self.entries[v as usize].iter().copied());
     }
 
     /// The `k` most recent neighbors of `v`, most recent first.
     pub fn most_recent(&self, v: NodeId, k: usize) -> Vec<NeighborEntry> {
-        self.entries[v as usize]
-            .iter()
-            .rev()
-            .take(k)
-            .copied()
-            .collect()
+        let mut out = Vec::with_capacity(k.min(self.degree(v)));
+        self.most_recent_into(v, k, &mut out);
+        out
+    }
+
+    /// Appends the `k` most recent neighbors of `v` (most recent first) to
+    /// `out` without allocating — the hot-path variant of
+    /// [`Self::most_recent`].
+    pub fn most_recent_into(&self, v: NodeId, k: usize, out: &mut Vec<NeighborEntry>) {
+        out.extend(self.iter_recent(v).take(k).copied());
+    }
+
+    /// Iterates the stored neighbors of `v`, most recent first, borrowing the
+    /// FIFO storage directly (no per-call `Vec`).
+    pub fn iter_recent(&self, v: NodeId) -> impl Iterator<Item = &NeighborEntry> {
+        self.entries[v as usize].iter().rev()
     }
 
     /// Current number of stored neighbors for `v`.
@@ -207,6 +225,27 @@ mod tests {
         assert_eq!(ids, vec![5, 4, 3]);
         // Asking for more than stored returns everything.
         assert_eq!(t.most_recent(0, 100).len(), 6);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_reads() {
+        let mut t = NeighborTable::new(3, 4);
+        for i in 0..9u32 {
+            t.record_interaction(i % 3, (i + 1) % 3, i, i as f64);
+        }
+        let mut buf = Vec::new();
+        for v in 0..3u32 {
+            buf.clear();
+            t.neighbors_into(v, &mut buf);
+            assert_eq!(buf, t.neighbors(v));
+            buf.clear();
+            t.most_recent_into(v, 2, &mut buf);
+            assert_eq!(buf, t.most_recent(v, 2));
+            let recent: Vec<NeighborEntry> = t.iter_recent(v).copied().collect();
+            let mut oldest_first = t.neighbors(v);
+            oldest_first.reverse();
+            assert_eq!(recent, oldest_first);
+        }
     }
 
     #[test]

@@ -20,8 +20,18 @@ use crate::{InteractionEvent, NodeId, Timestamp};
 /// A temporal neighbor sampler: returns up to `k` supporting neighbors of
 /// vertex `v` with interaction time strictly before `t`, most recent first.
 pub trait TemporalSampler {
-    /// Samples the supporting temporal neighbors of `v` at query time `t`.
-    fn sample(&self, v: NodeId, t: Timestamp, k: usize) -> Vec<NeighborEntry>;
+    /// Appends the supporting temporal neighbors of `v` at query time `t` to
+    /// `out` — the allocation-free primitive the batch hot path uses (the
+    /// engine samples a whole batch into one flat arena).
+    fn sample_into(&self, v: NodeId, t: Timestamp, k: usize, out: &mut Vec<NeighborEntry>);
+
+    /// Samples the supporting temporal neighbors of `v` at query time `t`
+    /// into a fresh `Vec` (convenience wrapper over [`Self::sample_into`]).
+    fn sample(&self, v: NodeId, t: Timestamp, k: usize) -> Vec<NeighborEntry> {
+        let mut out = Vec::with_capacity(k);
+        self.sample_into(v, t, k, &mut out);
+        out
+    }
 }
 
 /// Reference sampler that keeps the full interaction history per vertex and
@@ -77,12 +87,12 @@ impl ScanSampler {
 }
 
 impl TemporalSampler for ScanSampler {
-    fn sample(&self, v: NodeId, t: Timestamp, k: usize) -> Vec<NeighborEntry> {
+    fn sample_into(&self, v: NodeId, t: Timestamp, k: usize, out: &mut Vec<NeighborEntry>) {
         let hist = &self.history[v as usize];
         // Binary search for the first entry with timestamp >= t, then take
         // the k entries before it (most recent first).
         let cut = hist.partition_point(|e| e.timestamp < t);
-        hist[..cut].iter().rev().take(k).copied().collect()
+        out.extend(hist[..cut].iter().rev().take(k).copied());
     }
 }
 
@@ -126,14 +136,14 @@ impl FifoSampler {
 }
 
 impl TemporalSampler for FifoSampler {
-    fn sample(&self, v: NodeId, t: Timestamp, k: usize) -> Vec<NeighborEntry> {
-        self.table
-            .neighbors(v)
-            .into_iter()
-            .rev()
-            .filter(|e| e.timestamp < t)
-            .take(k)
-            .collect()
+    fn sample_into(&self, v: NodeId, t: Timestamp, k: usize, out: &mut Vec<NeighborEntry>) {
+        out.extend(
+            self.table
+                .iter_recent(v)
+                .filter(|e| e.timestamp < t)
+                .take(k)
+                .copied(),
+        );
     }
 }
 
@@ -223,6 +233,29 @@ mod tests {
         let sample = fifo.sample(0, 3.0, 10);
         assert_eq!(sample.len(), 1);
         assert_eq!(sample[0].neighbor, 1);
+    }
+
+    #[test]
+    fn sample_into_appends_and_matches_sample() {
+        let events = random_events(300, 9, 29);
+        let scan = ScanSampler::from_events(9, &events);
+        let fifo = FifoSampler::from_events(9, 10, &events);
+        let t = events[200].timestamp;
+        let mut arena: Vec<NeighborEntry> = Vec::new();
+        for v in 0..9u32 {
+            let start = arena.len();
+            fifo.sample_into(v, t, 5, &mut arena);
+            assert_eq!(&arena[start..], &fifo.sample(v, t, 5)[..]);
+            let mut scan_buf = vec![NeighborEntry {
+                neighbor: 0,
+                edge_id: 0,
+                timestamp: -1.0,
+            }];
+            scan.sample_into(v, t, 5, &mut scan_buf);
+            // `_into` appends without clobbering existing contents.
+            assert_eq!(scan_buf[0].timestamp, -1.0);
+            assert_eq!(&scan_buf[1..], &scan.sample(v, t, 5)[..]);
+        }
     }
 
     #[test]

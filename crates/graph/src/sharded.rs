@@ -1,0 +1,397 @@
+//! Vertex-partitioned (sharded) state with an epoch-barrier commit protocol.
+//!
+//! The streaming pipeline (`tgnn-serve`) runs neighbor sampling, memory
+//! update, GNN compute, and state write-back as separate workers, so the
+//! shared vertex state must be safely readable by stage *k+1* while stage
+//! *k*'s writes are still being committed.  Following the multi-queue
+//! dataflow designs the paper's FPGA pipeline and FlowGNN use in hardware,
+//! the state is partitioned into `N` shards by `node_id % N`:
+//!
+//! * every shard is protected by its own lock, so the sampler can read shard
+//!   `a` while the updater writes shard `b`;
+//! * an [`EpochGate`] tracks, per shard, the highest batch (epoch) whose
+//!   writes have been fully committed.  A reader that needs batch-`k`
+//!   semantics waits until the shards it touches have committed epoch `k`,
+//!   which reproduces the serial engine's chronological ordering exactly —
+//!   this is the software analogue of the hardware Updater's guarantee.
+//!
+//! This module provides the gate and the sharded Vertex Neighbor Table; the
+//! sharded vertex memory lives in `tgnn-core` next to [`NodeMemory`]
+//! (`tgnn_core::memory`).
+
+use crate::neighbor_table::{NeighborEntry, NeighborTable};
+use crate::{InteractionEvent, NodeId, Timestamp};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Per-shard committed-epoch watermarks with blocking waits.
+///
+/// Epochs are the 1-based batch sequence numbers of the stream; a fresh gate
+/// reports epoch 0 ("nothing committed") for every shard.  Writers bump a
+/// shard's watermark with [`EpochGate::commit`] after releasing the shard's
+/// data lock; readers block in [`EpochGate::wait_for`] until the watermark
+/// reaches the epoch whose state they need.
+#[derive(Debug)]
+pub struct EpochGate {
+    committed: Vec<AtomicU64>,
+    poisoned: std::sync::atomic::AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl EpochGate {
+    /// Creates a gate for `num_shards` shards, all at epoch 0.
+    pub fn new(num_shards: usize) -> Self {
+        Self {
+            committed: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            poisoned: std::sync::atomic::AtomicBool::new(false),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Number of shards tracked.
+    pub fn num_shards(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// The highest fully committed epoch of a shard.
+    pub fn committed(&self, shard: usize) -> u64 {
+        self.committed[shard].load(Ordering::Acquire)
+    }
+
+    /// Marks `epoch` committed for `shard` and wakes waiting readers.
+    ///
+    /// # Panics
+    /// Panics if the watermark would move backwards — epochs must be
+    /// committed in order.
+    pub fn commit(&self, shard: usize, epoch: u64) {
+        let guard = self.lock.lock().unwrap();
+        let prev = self.committed[shard].swap(epoch, Ordering::Release);
+        assert!(
+            prev <= epoch,
+            "EpochGate: shard {shard} committed epoch {epoch} after {prev}"
+        );
+        drop(guard);
+        self.cv.notify_all();
+    }
+
+    /// Marks the gate dead and wakes every waiter: the committing side is
+    /// gone, so pending epochs will never arrive.  Subsequent or woken
+    /// [`Self::wait_for`] calls panic instead of blocking forever — this is
+    /// what lets a pipeline unwind cleanly when one of its workers dies.
+    pub fn poison(&self) {
+        let _guard = self.lock.lock().unwrap();
+        self.poisoned
+            .store(true, std::sync::atomic::Ordering::Release);
+        self.cv.notify_all();
+    }
+
+    /// True once [`Self::poison`] has been called.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// Blocks until `shard` has committed at least `epoch`.
+    ///
+    /// # Panics
+    /// Panics if the gate is (or becomes) poisoned before the epoch commits.
+    pub fn wait_for(&self, shard: usize, epoch: u64) {
+        if self.committed[shard].load(Ordering::Acquire) >= epoch {
+            return;
+        }
+        let mut guard = self.lock.lock().unwrap();
+        while self.committed[shard].load(Ordering::Acquire) < epoch {
+            assert!(
+                !self.is_poisoned(),
+                "EpochGate: poisoned while waiting for shard {shard} epoch {epoch} — \
+                 the committing worker died"
+            );
+            guard = self.cv.wait(guard).unwrap();
+        }
+    }
+
+    /// Blocks until every shard whose bit is set in `mask` has committed at
+    /// least `epoch` (`mask[s]` corresponds to shard `s`).
+    pub fn wait_for_mask(&self, mask: &[bool], epoch: u64) {
+        for (shard, &needed) in mask.iter().enumerate() {
+            if needed {
+                self.wait_for(shard, epoch);
+            }
+        }
+    }
+}
+
+/// Maps a vertex to its shard under the `node_id % N` partition.
+#[inline]
+pub fn shard_of(v: NodeId, num_shards: usize) -> usize {
+    (v as usize) % num_shards
+}
+
+/// Local row index of a vertex inside its shard.
+#[inline]
+pub fn local_index(v: NodeId, num_shards: usize) -> usize {
+    (v as usize) / num_shards
+}
+
+/// Number of vertices a shard owns under the modulo partition.
+pub fn shard_len(num_nodes: usize, num_shards: usize, shard: usize) -> usize {
+    if shard >= num_nodes {
+        0
+    } else {
+        (num_nodes - shard).div_ceil(num_shards)
+    }
+}
+
+/// The Vertex Neighbor Table partitioned into `N` independently locked
+/// shards, with an [`EpochGate`] tracking which batch's interactions each
+/// shard has absorbed.
+///
+/// Invariants (asserted by `check_invariants` and the serve-crate property
+/// tests):
+/// * vertex `v` lives in shard `v % N` at local row `v / N` — shards never
+///   share a vertex;
+/// * within a shard, every per-vertex FIFO is chronologically ordered and
+///   within capacity (inherited from [`NeighborTable`]);
+/// * shard `s` at gate epoch `k` contains exactly the interactions of batches
+///   `1..=k` whose endpoint lies in shard `s` — so a sampler that waits for
+///   epoch `k` observes the same table state the serial engine would have
+///   after processing batch `k`.
+#[derive(Debug)]
+pub struct ShardedNeighborTable {
+    shards: Vec<Mutex<NeighborTable>>,
+    gate: EpochGate,
+    num_shards: usize,
+    num_nodes: usize,
+}
+
+impl ShardedNeighborTable {
+    /// Creates an empty sharded table for `num_nodes` vertices with
+    /// per-vertex capacity `mr` and `num_shards` shards.
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or `capacity == 0`.
+    pub fn new(num_nodes: usize, capacity: usize, num_shards: usize) -> Self {
+        assert!(
+            num_shards > 0,
+            "ShardedNeighborTable: need at least 1 shard"
+        );
+        let shards = (0..num_shards)
+            .map(|s| {
+                Mutex::new(NeighborTable::new(
+                    shard_len(num_nodes, num_shards, s),
+                    capacity,
+                ))
+            })
+            .collect();
+        Self {
+            shards,
+            gate: EpochGate::new(num_shards),
+            num_shards,
+            num_nodes,
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of vertices tracked across all shards.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The epoch gate readers synchronise on.
+    pub fn gate(&self) -> &EpochGate {
+        &self.gate
+    }
+
+    /// Samples up to `k` neighbors of `v` with timestamp strictly before `t`,
+    /// most recent first, appending to `out`.  Bit-identical to
+    /// `FifoSampler::sample_into` on an unsharded table maintained over the
+    /// same event prefix.  The caller must have waited for `v`'s shard to
+    /// reach the epoch whose table state it needs.
+    pub fn sample_into(&self, v: NodeId, t: Timestamp, k: usize, out: &mut Vec<NeighborEntry>) {
+        let shard = self.shards[shard_of(v, self.num_shards)].lock().unwrap();
+        out.extend(
+            shard
+                .iter_recent(local_index(v, self.num_shards) as NodeId)
+                .filter(|e| e.timestamp < t)
+                .take(k)
+                .copied(),
+        );
+    }
+
+    /// Commits one batch (epoch) of interactions: every shard absorbs the
+    /// endpoints it owns, in event order (src endpoint before dst, as
+    /// [`NeighborTable::record_interaction`] does), then the shard's epoch
+    /// watermark is bumped — including shards the batch does not touch, so
+    /// waiters never stall on idle shards.
+    ///
+    /// Epochs must be committed in increasing order (enforced by the gate).
+    pub fn commit_epoch(&self, epoch: u64, events: &[InteractionEvent]) {
+        for s in 0..self.num_shards {
+            {
+                let mut shard = self.shards[s].lock().unwrap();
+                for e in events {
+                    if shard_of(e.src, self.num_shards) == s {
+                        shard.push(
+                            local_index(e.src, self.num_shards) as NodeId,
+                            NeighborEntry {
+                                neighbor: e.dst,
+                                edge_id: e.edge_id,
+                                timestamp: e.timestamp,
+                            },
+                        );
+                    }
+                    if shard_of(e.dst, self.num_shards) == s {
+                        shard.push(
+                            local_index(e.dst, self.num_shards) as NodeId,
+                            NeighborEntry {
+                                neighbor: e.src,
+                                edge_id: e.edge_id,
+                                timestamp: e.timestamp,
+                            },
+                        );
+                    }
+                }
+            }
+            self.gate.commit(s, epoch);
+        }
+    }
+
+    /// Current number of stored neighbors for `v`.
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.shards[shard_of(v, self.num_shards)]
+            .lock()
+            .unwrap()
+            .degree(local_index(v, self.num_shards) as NodeId)
+    }
+
+    /// Checks every shard's FIFO invariants.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard
+                .lock()
+                .unwrap()
+                .check_invariants()
+                .map_err(|e| format!("shard {s}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::{FifoSampler, TemporalSampler};
+    use std::sync::Arc;
+
+    fn events(n: usize, nodes: u32) -> Vec<InteractionEvent> {
+        (0..n)
+            .map(|i| {
+                let src = (i as u32 * 7 + 1) % nodes;
+                let mut dst = (i as u32 * 13 + 3) % nodes;
+                if dst == src {
+                    dst = (dst + 1) % nodes;
+                }
+                InteractionEvent::new(src, dst, i as u32, i as f64 * 0.25)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partition_helpers_cover_all_vertices_once() {
+        let num_nodes = 23;
+        for num_shards in [1, 2, 4, 7] {
+            let mut seen = vec![0usize; num_shards];
+            for v in 0..num_nodes as u32 {
+                let s = shard_of(v, num_shards);
+                assert!(local_index(v, num_shards) < shard_len(num_nodes, num_shards, s));
+                seen[s] += 1;
+            }
+            let total: usize = (0..num_shards)
+                .map(|s| shard_len(num_nodes, num_shards, s))
+                .sum();
+            assert_eq!(total, num_nodes);
+            for (s, &count) in seen.iter().enumerate() {
+                assert_eq!(count, shard_len(num_nodes, num_shards, s));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_sampling_matches_fifo_sampler_at_every_epoch() {
+        let nodes = 17u32;
+        let evs = events(240, nodes);
+        for num_shards in [1usize, 2, 4, 5] {
+            let sharded = ShardedNeighborTable::new(nodes as usize, 6, num_shards);
+            let mut fifo = FifoSampler::new(nodes as usize, 6);
+            for (epoch, chunk) in evs.chunks(30).enumerate() {
+                sharded.commit_epoch(epoch as u64 + 1, chunk);
+                for e in chunk {
+                    fifo.observe(e);
+                }
+                let t = chunk.last().unwrap().timestamp + 0.1;
+                let mut got = Vec::new();
+                for v in 0..nodes {
+                    got.clear();
+                    sharded.sample_into(v, t, 4, &mut got);
+                    assert_eq!(got, fifo.sample(v, t, 4), "shards={num_shards} vertex {v}");
+                }
+            }
+            assert!(sharded.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn gate_waits_until_commit() {
+        let gate = EpochGate::new(2);
+        assert_eq!(gate.committed(0), 0);
+        gate.wait_for(0, 0); // trivially satisfied
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| {
+                gate.wait_for(1, 3);
+                gate.committed(1)
+            });
+            for epoch in 1..=3 {
+                gate.commit(1, epoch);
+            }
+            assert!(waiter.join().unwrap() >= 3);
+        });
+        gate.wait_for_mask(&[false, true], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "committed epoch")]
+    fn gate_rejects_backwards_commits() {
+        let gate = EpochGate::new(1);
+        gate.commit(0, 2);
+        gate.commit(0, 1);
+    }
+
+    #[test]
+    fn poisoned_gate_wakes_and_fails_waiters() {
+        let gate = Arc::new(EpochGate::new(1));
+        assert!(!gate.is_poisoned());
+        let waiter = {
+            let gate = gate.clone();
+            std::thread::spawn(move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    gate.wait_for(0, 5);
+                }))
+                .is_err()
+            })
+        };
+        // Give the waiter time to actually block, then kill the gate.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        gate.poison();
+        assert!(waiter.join().unwrap(), "poison must unblock + panic waiter");
+        // Already-satisfied waits stay fine; blocking ones fail fast.
+        gate.wait_for(0, 0);
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| gate.wait_for(0, 1))).is_err()
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! `tgnn-serve` — a sharded, multi-queue streaming pipeline for continuous
+//! TGN inference.
+//!
+//! The batch engine (`tgnn_core::InferenceEngine`) made the GNN compute stage
+//! fast, but it is driven one synchronous batch at a time: sampling, memory
+//! update, compute, and write-back run strictly sequentially.  The source
+//! paper's FPGA design hides exactly this latency by overlapping the stages
+//! in a hardware pipeline; this crate is the software-schedulable rendition
+//! of that idea (cf. FlowGNN's multi-queue dataflow and GraphAGILE's
+//! partitioned overlay):
+//!
+//! * [`StreamServer`] accepts a continuous chronological feed of
+//!   [`InteractionEvent`](tgnn_graph::InteractionEvent)s, micro-batches them
+//!   by size/deadline in an admission queue, and executes them through a
+//!   pipeline whose stages run as separate workers connected by bounded SPSC
+//!   queues — batch *k+1* samples while batch *k* computes.
+//! * The vertex state is partitioned (`node_id % N`) behind
+//!   [`tgnn_graph::ShardedNeighborTable`] and
+//!   [`tgnn_core::ShardedMemory`]: per-shard locks plus an epoch-barrier
+//!   commit protocol keep concurrent stage access safe *and* chronological,
+//!   so the pipelined output is **bit-identical** to `ExecMode::Serial` on
+//!   the same batch sequence (asserted by this crate's property tests and by
+//!   `serve_bench`).
+//! * [`ServeReport`] exposes the backpressure picture: throughput, queue
+//!   depths, and p50/p95/p99 batch latency.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use tgnn_serve::{ServeConfig, StreamServer};
+//! # let graph = tgnn_data::generate(&tgnn_data::tiny(1));
+//! # let cfg = tgnn_core::ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+//! # let model = tgnn_core::TgnModel::new(cfg, &mut tgnn_tensor::TensorRng::new(1));
+//! let graph = Arc::new(graph);
+//! let mut server = StreamServer::new(model, graph.clone(), ServeConfig::default());
+//! for &event in graph.events() {
+//!     server.submit(event).unwrap();
+//!     while let Some(batch) = server.poll() {
+//!         // embeddings of batch.events' touched vertices
+//!         let _ = batch.embeddings;
+//!     }
+//! }
+//! let report = server.drain();
+//! println!("{:.0} edges/sec, p99 {:.2} ms", report.throughput_eps, report.latency.p99_ms);
+//! ```
+
+pub mod pipeline;
+pub mod queue;
+pub mod server;
+
+pub use pipeline::ServedBatch;
+pub use queue::QueueStats;
+pub use server::{LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError};

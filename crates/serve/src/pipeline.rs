@@ -1,0 +1,415 @@
+//! The pipeline worker loops and the job types flowing between them.
+//!
+//! ```text
+//!                    admission (events)
+//!                         │  seal by size / deadline
+//!                   [batcher worker]
+//!                         │  SealedBatch
+//!                   [sampler worker] ──── waits: neighbor-table shards @ epoch k-1
+//!                         │  SampledJob
+//!                   [memory worker]  ──── waits: memory shards @ epoch k-1
+//!                   │            │
+//!          UpdateJob│            │GnnJob (owned, self-contained)
+//!                   ▼            ▼
+//!            [update worker]  [gnn worker]
+//!             commits epoch k     │  ServedBatch
+//!             (releases k+1)      ▼
+//!                              results
+//! ```
+//!
+//! The memory worker emits the update job *before* the GNN job, so batch
+//! *k*'s write-back (cheap) runs concurrently with batch *k*'s GNN compute
+//! (dominant) — and, once the epoch gates open, with batch *k+1*'s sampling
+//! and memory stages.  That overlap is the software rendition of the paper's
+//! hardware pipeline; the epoch gates are what keep it bit-identical to the
+//! serial engine.
+//!
+//! Ordering argument, stage by stage (epochs are 1-based batch numbers):
+//! * **sample(k)** reads only neighbor-table shards at epoch `k-1` — the gate
+//!   blocks until the update worker committed batch `k-1`'s interactions.
+//! * **memory(k)** reads memory rows / clocks / mailbox at epoch `k-1`
+//!   (gated), consumes mailbox messages and caches new ones (fields no other
+//!   in-flight stage touches), and gathers every value the GNN needs into an
+//!   owned job *before* the update job is emitted — so update(k) can never
+//!   race the gather.
+//! * **gnn(k)** is pure compute over the owned job.
+//! * **update(k)** is the only writer of memory rows and the neighbor table,
+//!   and processes epochs in queue order.
+
+use crate::queue::{Receiver, Sender};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tgnn_core::memory::Message;
+use tgnn_core::stages::{run_memory_stage, GnnJobBatch, SampledBatch};
+use tgnn_core::{ShardedMemory, TgnModel};
+use tgnn_graph::chronology::CommitLog;
+use tgnn_graph::sharded::shard_of;
+use tgnn_graph::{
+    EventBatch, InteractionEvent, NodeId, ShardedNeighborTable, TemporalGraph, Timestamp,
+};
+use tgnn_tensor::{Float, Workspace};
+
+/// A micro-batch sealed by the admission batcher.
+#[derive(Debug)]
+pub(crate) struct SealedBatch {
+    pub epoch: u64,
+    pub batch: EventBatch,
+    pub sealed_at: Instant,
+}
+
+/// A sealed batch with its neighbor samples.
+#[derive(Debug)]
+pub(crate) struct SampledJob {
+    pub epoch: u64,
+    pub sampled: SampledBatch,
+    pub sealed_at: Instant,
+}
+
+/// Owned GNN-stage input plus the batch's events (returned to the client).
+#[derive(Debug)]
+pub(crate) struct GnnJob {
+    pub epoch: u64,
+    pub job: GnnJobBatch,
+    pub events: Vec<InteractionEvent>,
+    pub sealed_at: Instant,
+}
+
+/// The state write-back of one batch.
+#[derive(Debug)]
+pub(crate) struct UpdateJob {
+    pub epoch: u64,
+    pub writes: Vec<(NodeId, Vec<Float>, Timestamp)>,
+    pub events: Vec<InteractionEvent>,
+}
+
+/// One completed micro-batch, as returned by `StreamServer::poll`.
+#[derive(Clone, Debug)]
+pub struct ServedBatch {
+    /// 1-based batch sequence number (the pipeline epoch).
+    pub epoch: u64,
+    /// The events the batch contained, in submission order.
+    pub events: Vec<InteractionEvent>,
+    /// Embeddings of every touched vertex, in order of first appearance —
+    /// bit-identical to `ExecMode::Serial` on the same batch sequence.
+    pub embeddings: Vec<(NodeId, Vec<Float>)>,
+    /// Seal-to-embeddings pipeline latency.
+    pub latency: Duration,
+}
+
+/// Aggregate counters the GNN (terminal compute) worker feeds.
+#[derive(Debug, Default)]
+pub(crate) struct Collector {
+    pub latencies: Mutex<Vec<Duration>>,
+    pub events: AtomicUsize,
+    pub embeddings: AtomicUsize,
+    pub batches: AtomicUsize,
+    pub first_submit: Mutex<Option<Instant>>,
+    pub last_complete: Mutex<Option<Instant>>,
+}
+
+impl Collector {
+    pub fn record_batch(&self, events: usize, embeddings: usize, latency: Duration) {
+        self.latencies.lock().unwrap().push(latency);
+        self.events.fetch_add(events, Ordering::Relaxed);
+        self.embeddings.fetch_add(embeddings, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        *self.last_complete.lock().unwrap() = Some(Instant::now());
+    }
+}
+
+/// Admission batcher: accumulates submitted events and seals a micro-batch
+/// when `max_batch` events are pending or the oldest pending event is
+/// `deadline` old, whichever comes first.
+pub(crate) fn batcher_loop(
+    rx: Receiver<InteractionEvent>,
+    tx: Sender<SealedBatch>,
+    max_batch: usize,
+    deadline: Duration,
+    next_epoch: Arc<std::sync::atomic::AtomicU64>,
+) {
+    let mut pending: Vec<InteractionEvent> = Vec::new();
+    let mut first_at: Option<Instant> = None;
+    let seal = |pending: &mut Vec<InteractionEvent>, first_at: &mut Option<Instant>| {
+        if pending.is_empty() {
+            return true;
+        }
+        let epoch = next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        *first_at = None;
+        tx.send(SealedBatch {
+            epoch,
+            batch: EventBatch::new(std::mem::take(pending)),
+            sealed_at: Instant::now(),
+        })
+        .is_ok()
+    };
+    loop {
+        let received = match first_at {
+            None => match rx.recv() {
+                Some(e) => crate::queue::RecvResult::Item(e),
+                None => crate::queue::RecvResult::Closed,
+            },
+            Some(t0) => {
+                let remaining = deadline.saturating_sub(t0.elapsed());
+                if remaining.is_zero() {
+                    if !seal(&mut pending, &mut first_at) {
+                        return;
+                    }
+                    continue;
+                }
+                rx.recv_timeout(remaining)
+            }
+        };
+        match received {
+            crate::queue::RecvResult::Item(e) => {
+                if first_at.is_none() {
+                    first_at = Some(Instant::now());
+                }
+                pending.push(e);
+                if pending.len() >= max_batch && !seal(&mut pending, &mut first_at) {
+                    return;
+                }
+            }
+            crate::queue::RecvResult::Timeout => {
+                if !seal(&mut pending, &mut first_at) {
+                    return;
+                }
+            }
+            crate::queue::RecvResult::Closed => {
+                let _ = seal(&mut pending, &mut first_at);
+                return;
+            }
+        }
+    }
+}
+
+/// Sampling worker: waits for the neighbor-table shards it reads to reach
+/// epoch `k-1`, then samples every touched vertex into a flat arena.
+pub(crate) fn sampler_loop(
+    rx: Receiver<SealedBatch>,
+    tx: Sender<SampledJob>,
+    table: Arc<ShardedNeighborTable>,
+    sampled_neighbors: usize,
+) {
+    let num_shards = table.num_shards();
+    while let Some(SealedBatch {
+        epoch,
+        batch,
+        sealed_at,
+    }) = rx.recv()
+    {
+        let sampled = SampledBatch::assemble(batch, sampled_neighbors, |v, t, k, out| {
+            // Fine-grained epoch barrier: only the shard owning `v` must have
+            // absorbed the previous batch; other shards may still be
+            // committing while we read this one.
+            table.gate().wait_for(shard_of(v, num_shards), epoch - 1);
+            table.sample_into(v, t, k, out);
+        });
+        if tx
+            .send(SampledJob {
+                epoch,
+                sampled,
+                sealed_at,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Memory worker: consumes mailbox messages, runs the GRU, caches the
+/// batch's new raw messages, gathers the owned GNN job, and emits the
+/// write-back job (before the GNN job, so the updater can release epoch `k`
+/// while the GNN stage computes).
+pub(crate) fn memory_loop(
+    rx: Receiver<SampledJob>,
+    tx_update: Sender<UpdateJob>,
+    tx_gnn: Sender<GnnJob>,
+    memory: Arc<ShardedMemory>,
+    model: Arc<TgnModel>,
+    graph: Arc<TemporalGraph>,
+) {
+    let mut ws = Workspace::new();
+    let num_shards = memory.num_shards();
+    let mut mask = vec![false; num_shards];
+    while let Some(SampledJob {
+        epoch,
+        sampled,
+        sealed_at,
+    }) = rx.recv()
+    {
+        // Wait-set: every shard this stage reads — the touched vertices
+        // (mailbox, clocks, own memory) and their sampled neighbors (memory
+        // rows gathered for the GNN).
+        memory.shard_mask(&sampled.touched, &mut mask);
+        for i in 0..sampled.len() {
+            for e in sampled.neighbors_of(i) {
+                mask[shard_of(e.neighbor, num_shards)] = true;
+            }
+        }
+        memory.gate().wait_for_mask(&mask, epoch - 1);
+
+        let updated = run_sharded_memory_stage(&sampled, &memory, &model, &graph, &mut ws);
+        // Gather everything the GNN reads BEFORE the update job is emitted:
+        // once the updater receives it, it may overwrite this epoch's rows.
+        let job = GnnJobBatch::gather(&sampled, &updated, &graph, &model.config, |v, dst| {
+            memory.copy_memory_into(v, dst)
+        });
+        let writes = writes_from(updated, &sampled);
+        let events = sampled.batch.events().to_vec();
+        if tx_update
+            .send(UpdateJob {
+                epoch,
+                writes,
+                events: events.clone(),
+            })
+            .is_err()
+        {
+            return;
+        }
+        if tx_gnn
+            .send(GnnJob {
+                epoch,
+                job,
+                events,
+                sealed_at,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// The memory-stage computation shared by the pipeline's memory worker and
+/// `StreamServer::warm_up`: consume the touched vertices' mailbox messages,
+/// run the GRU on them, and cache the batch's new raw messages (Eq. 4–5) in
+/// event order from the pre-write-back snapshots — the same
+/// information-leak-safe ordering as the serial engine.  Sharing one body is
+/// what keeps both paths bit-identical by construction.
+pub(crate) fn run_sharded_memory_stage(
+    sampled: &SampledBatch,
+    memory: &ShardedMemory,
+    model: &TgnModel,
+    graph: &TemporalGraph,
+    ws: &mut Workspace,
+) -> HashMap<NodeId, Vec<Float>> {
+    let with_messages: Vec<(NodeId, Message)> = sampled
+        .touched
+        .iter()
+        .filter_map(|&v| memory.take_message(v).map(|m| (v, m)))
+        .collect();
+    let updated: HashMap<NodeId, Vec<Float>> = run_memory_stage(
+        model,
+        &with_messages,
+        |v| memory.last_update(v),
+        |v, dst| memory.copy_memory_into(v, dst),
+        ws,
+    )
+    .into_iter()
+    .collect();
+    for e in sampled.batch.events() {
+        memory.cache_interaction_messages(e.src, e.dst, graph.edge_feature(e.edge_id), e.timestamp);
+    }
+    updated
+}
+
+/// Converts the memory stage's output into the update worker's write list,
+/// stamping each vertex with its query time.
+pub(crate) fn writes_from(
+    updated: HashMap<NodeId, Vec<Float>>,
+    sampled: &SampledBatch,
+) -> Vec<(NodeId, Vec<Float>, Timestamp)> {
+    updated
+        .into_iter()
+        .map(|(v, m)| {
+            let t = sampled.query_time_of(v);
+            (v, m, t)
+        })
+        .collect()
+}
+
+/// Poisons both epoch gates when the update worker exits — by return *or*
+/// panic.  The updater is the only committer, so once it is gone any stage
+/// still waiting on a watermark would wait forever; poisoning turns that
+/// hang into a clean panic that unwinds the rest of the pipeline.  On an
+/// orderly shutdown this is harmless: the sampler and memory workers have
+/// already exited by the time the update queue closes (shutdown ripples
+/// front to back), so no waiter remains to observe the poison.
+struct PoisonGatesOnExit {
+    memory: Arc<ShardedMemory>,
+    table: Arc<ShardedNeighborTable>,
+}
+
+impl Drop for PoisonGatesOnExit {
+    fn drop(&mut self) {
+        self.memory.gate().poison();
+        self.table.gate().poison();
+    }
+}
+
+/// Update worker: the only writer of the sharded state.  Applies write-backs
+/// and neighbor-table appends shard by shard, bumping each shard's epoch
+/// watermark as it goes — which is what releases the next batch's sampling
+/// and memory stages.
+pub(crate) fn update_loop(
+    rx: Receiver<UpdateJob>,
+    memory: Arc<ShardedMemory>,
+    table: Arc<ShardedNeighborTable>,
+    commit_log: Arc<Mutex<CommitLog>>,
+) {
+    let _poison_on_exit = PoisonGatesOnExit {
+        memory: memory.clone(),
+        table: table.clone(),
+    };
+    while let Some(UpdateJob {
+        epoch,
+        writes,
+        events,
+    }) = rx.recv()
+    {
+        {
+            let mut log = commit_log.lock().unwrap();
+            for (v, _, t) in &writes {
+                log.commit(*v, *t);
+            }
+        }
+        memory.commit_epoch(epoch, &writes);
+        table.commit_epoch(epoch, &events);
+    }
+}
+
+/// GNN worker: pure batched compute over the owned job on a persistent
+/// per-worker workspace.
+pub(crate) fn gnn_loop(
+    rx: Receiver<GnnJob>,
+    tx: Sender<ServedBatch>,
+    model: Arc<TgnModel>,
+    collector: Arc<Collector>,
+) {
+    let mut ws = Workspace::new();
+    while let Some(GnnJob {
+        epoch,
+        job,
+        events,
+        sealed_at,
+    }) = rx.recv()
+    {
+        let embeddings = job.run(&model, &mut ws);
+        let latency = sealed_at.elapsed();
+        collector.record_batch(events.len(), embeddings.len(), latency);
+        if tx
+            .send(ServedBatch {
+                epoch,
+                events,
+                embeddings,
+                latency,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Bounded SPSC queues with occupancy statistics.
+//!
+//! Each pipeline stage pair is connected by one of these: a fixed-capacity
+//! FIFO whose `send` blocks when the downstream stage falls behind — that
+//! blocking *is* the backpressure mechanism, propagating from the slowest
+//! stage back to `StreamServer::submit`.  Closing happens by dropping the
+//! [`Sender`]; the receiver then drains the remaining items and observes end
+//! of stream, which is how shutdown ripples down the pipeline.
+//!
+//! The queues are single-producer single-consumer by construction of the
+//! pipeline (each stage owns exactly one end), but the implementation is a
+//! plain mutex + condvars — at micro-batch granularity (hundreds of events
+//! per item) lock overhead is noise, and a mutex keeps the close/backpressure
+//! semantics obvious.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Occupancy statistics of one queue, for the backpressure report.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueueStats {
+    /// Static name of the queue (which stage pair it connects).
+    pub name: &'static str,
+    /// Capacity bound.
+    pub capacity: usize,
+    /// Total items pushed over the queue's lifetime.
+    pub pushes: u64,
+    /// Highest depth observed right after a push.
+    pub max_depth: usize,
+    /// Mean depth observed right after each push.
+    pub mean_depth: f64,
+    /// Number of `send` calls that had to block because the queue was full.
+    pub blocked_sends: u64,
+}
+
+#[derive(Debug)]
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    closed: AtomicBool,
+    receiver_gone: AtomicBool,
+    capacity: usize,
+    name: &'static str,
+    pushes: AtomicU64,
+    depth_sum: AtomicU64,
+    max_depth: AtomicUsize,
+    blocked_sends: AtomicU64,
+}
+
+impl<T> Inner<T> {
+    fn stats(&self) -> QueueStats {
+        let pushes = self.pushes.load(Ordering::Relaxed);
+        QueueStats {
+            name: self.name,
+            capacity: self.capacity,
+            pushes,
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+            mean_depth: if pushes == 0 {
+                0.0
+            } else {
+                self.depth_sum.load(Ordering::Relaxed) as f64 / pushes as f64
+            },
+            blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result of a timed receive.
+#[derive(Debug, PartialEq)]
+pub enum RecvResult<T> {
+    /// An item arrived within the timeout.
+    Item(T),
+    /// The queue stayed empty for the full timeout but is still open.
+    Timeout,
+    /// The sender is gone and the queue is drained.
+    Closed,
+}
+
+/// Producer end.  Dropping it closes the queue.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Consumer end.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Read-only observer of a queue's live depth and statistics, held by the
+/// server for reporting while the ends live inside worker threads.
+#[derive(Debug, Clone)]
+pub struct QueueMonitor<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Creates a bounded SPSC channel.
+///
+/// # Panics
+/// Panics if `capacity == 0`.
+pub fn channel<T>(name: &'static str, capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity > 0, "spsc channel: capacity must be positive");
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::with_capacity(capacity)),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        closed: AtomicBool::new(false),
+        receiver_gone: AtomicBool::new(false),
+        capacity,
+        name,
+        pushes: AtomicU64::new(0),
+        depth_sum: AtomicU64::new(0),
+        max_depth: AtomicUsize::new(0),
+        blocked_sends: AtomicU64::new(0),
+    });
+    (
+        Sender {
+            inner: inner.clone(),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Pushes an item, blocking while the queue is full (backpressure).
+    /// Returns the item back if the receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        if inner.receiver_gone.load(Ordering::Acquire) {
+            return Err(item);
+        }
+        let mut q = inner.queue.lock().unwrap();
+        if q.len() >= inner.capacity {
+            inner.blocked_sends.fetch_add(1, Ordering::Relaxed);
+            while q.len() >= inner.capacity {
+                if inner.receiver_gone.load(Ordering::Acquire) {
+                    return Err(item);
+                }
+                q = inner.not_full.wait(q).unwrap();
+            }
+        }
+        q.push_back(item);
+        let depth = q.len();
+        drop(q);
+        inner.pushes.fetch_add(1, Ordering::Relaxed);
+        inner.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
+        inner.max_depth.fetch_max(depth, Ordering::Relaxed);
+        inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// A monitoring handle for this queue.
+    pub fn monitor(&self) -> QueueMonitor<T> {
+        QueueMonitor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // The flag store and the notify must happen under the queue mutex:
+        // a receiver checks `closed` and then waits while holding that mutex,
+        // so notifying lock-free could land between its check and its wait —
+        // a lost wakeup that would park the receiver forever.
+        let _guard = self.inner.queue.lock().unwrap();
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.not_empty.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Pops the next item, blocking until one arrives.  Returns `None` once
+    /// the queue is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock().unwrap();
+        loop {
+            if let Some(item) = q.pop_front() {
+                drop(q);
+                inner.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            q = inner.not_empty.wait(q).unwrap();
+        }
+    }
+
+    /// Pops the next item, blocking at most `timeout`.  Distinguishes an
+    /// empty-but-open queue (Timeout) from a closed-and-drained one (Closed),
+    /// which the deadline-driven batcher needs.
+    pub fn recv_timeout(&self, timeout: Duration) -> RecvResult<T> {
+        let inner = &*self.inner;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = inner.queue.lock().unwrap();
+        loop {
+            if let Some(item) = q.pop_front() {
+                drop(q);
+                inner.not_full.notify_one();
+                return RecvResult::Item(item);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                return RecvResult::Closed;
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return RecvResult::Timeout;
+            }
+            let (guard, _) = inner.not_empty.wait_timeout(q, deadline - now).unwrap();
+            q = guard;
+        }
+    }
+
+    /// Non-blocking pop.
+    pub fn try_recv(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let mut q = inner.queue.lock().unwrap();
+        let item = q.pop_front();
+        drop(q);
+        if item.is_some() {
+            inner.not_full.notify_one();
+        }
+        item
+    }
+
+    /// A monitoring handle for this queue.
+    pub fn monitor(&self) -> QueueMonitor<T> {
+        QueueMonitor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        // Same lost-wakeup discipline as Sender::drop: a sender checks
+        // `receiver_gone` and waits under the queue mutex.
+        let _guard = self.inner.queue.lock().unwrap();
+        self.inner.receiver_gone.store(true, Ordering::Release);
+        self.inner.not_full.notify_all();
+    }
+}
+
+impl<T> QueueMonitor<T> {
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.queue.lock().unwrap().len()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn fifo_order_and_close_semantics() {
+        let (tx, rx) = channel::<u32>("test", 4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None); // closed and drained
+    }
+
+    #[test]
+    fn send_blocks_on_full_queue_until_consumer_drains() {
+        let (tx, rx) = channel::<u32>("test", 2);
+        let producer = thread::spawn(move || {
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            tx.monitor().stats()
+        });
+        let mut got = Vec::new();
+        while let Some(x) = rx.recv() {
+            got.push(x);
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        let stats = producer.join().unwrap();
+        assert_eq!(stats.pushes, 10);
+        assert!(stats.max_depth <= 2);
+        assert!(stats.blocked_sends > 0, "slow consumer must cause blocking");
+    }
+
+    #[test]
+    fn try_recv_is_non_blocking() {
+        let (tx, rx) = channel::<u32>("test", 1);
+        assert_eq!(rx.try_recv(), None);
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Some(7));
+    }
+
+    #[test]
+    fn send_fails_when_receiver_dropped_and_queue_full() {
+        let (tx, rx) = channel::<u32>("test", 1);
+        tx.send(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.send(2), Err(2));
+    }
+}

@@ -1,0 +1,457 @@
+//! The streaming inference server: admission, worker lifecycle, and the
+//! backpressure-aware serve report.
+
+use crate::pipeline::{
+    batcher_loop, gnn_loop, memory_loop, sampler_loop, update_loop, Collector, GnnJob, SampledJob,
+    SealedBatch, ServedBatch, UpdateJob,
+};
+use crate::queue::{channel, QueueStats, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tgnn_core::stages::SampledBatch;
+use tgnn_core::{ShardedMemory, TgnModel};
+use tgnn_graph::chronology::CommitLog;
+use tgnn_graph::{EventBatch, InteractionEvent, ShardedNeighborTable, TemporalGraph, Timestamp};
+use tgnn_tensor::Workspace;
+
+/// Tuning knobs of the streaming pipeline.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Seal a micro-batch once this many events are pending.
+    pub max_batch: usize,
+    /// …or once the oldest pending event is this old.
+    pub batch_deadline: Duration,
+    /// Capacity of the admission queue (events).  Backpressure starts here:
+    /// `submit` blocks once this many events are waiting to be batched.
+    pub admission_capacity: usize,
+    /// Capacity of each inter-stage queue (micro-batches in flight).
+    pub stage_capacity: usize,
+    /// Capacity of the results queue (completed batches awaiting `poll`).
+    pub results_capacity: usize,
+    /// Number of vertex shards for the neighbor table and the memory table.
+    pub num_shards: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 200,
+            batch_deadline: Duration::from_millis(50),
+            admission_capacity: 1024,
+            stage_capacity: 4,
+            results_capacity: 256,
+            num_shards: 4,
+        }
+    }
+}
+
+/// Latency percentiles over the served micro-batches, in milliseconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    pub mean_ms: f64,
+    pub p50_ms: f64,
+    pub p95_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_latencies(latencies: &[Duration]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut ms: Vec<f64> = latencies.iter().map(|l| l.as_secs_f64() * 1e3).collect();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = ms.len();
+        // Nearest-rank percentile.
+        let pick = |q: f64| ms[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+        Self {
+            mean_ms: ms.iter().sum::<f64>() / n as f64,
+            p50_ms: pick(0.50),
+            p95_ms: pick(0.95),
+            p99_ms: pick(0.99),
+            max_ms: ms[n - 1],
+        }
+    }
+}
+
+/// Aggregate report of a serve session — throughput, tail latency, queue
+/// occupancy (the backpressure picture), and state-consistency counters.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Events pushed through the pipeline.
+    pub num_events: usize,
+    /// Micro-batches served.
+    pub num_batches: usize,
+    /// Dynamic node embeddings produced.
+    pub num_embeddings: usize,
+    /// First submit → last completed batch.
+    pub total_time: Duration,
+    /// Events per second over `total_time`.
+    pub throughput_eps: f64,
+    /// Seal-to-embeddings latency distribution.
+    pub latency: LatencySummary,
+    /// Per-queue occupancy statistics, admission first.
+    pub queues: Vec<QueueStats>,
+    /// `send` calls that blocked on a full queue anywhere in the pipeline
+    /// (admission blocking = client-visible backpressure).
+    pub backpressure_blocks: u64,
+    /// Vertex-state commits recorded.
+    pub commits: usize,
+    /// True when no chronological-order violation was observed — the
+    /// pipeline analogue of `InferenceEngine::commit_log().is_clean()`.
+    pub commit_log_clean: bool,
+    /// Shard count the session ran with.
+    pub num_shards: usize,
+}
+
+/// Why a `submit` was rejected.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SubmitError {
+    /// The event's timestamp precedes an already submitted event.
+    OutOfOrder {
+        previous: Timestamp,
+        submitted: Timestamp,
+    },
+    /// The server has been drained (or a worker died).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::OutOfOrder {
+                previous,
+                submitted,
+            } => write!(
+                f,
+                "event at t={submitted} submitted after t={previous}: the stream must be chronological"
+            ),
+            SubmitError::Closed => write!(f, "server is drained or its pipeline has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A continuously running, pipelined TGN inference server.
+///
+/// Feed chronological [`InteractionEvent`]s with [`Self::submit`]; the
+/// admission batcher seals micro-batches by size or deadline and the stage
+/// workers stream them through sample → memory → {update, GNN}.  Completed
+/// batches come back via [`Self::poll`]; [`Self::drain`] flushes everything
+/// and returns the [`ServeReport`].
+pub struct StreamServer {
+    submit_tx: Option<Sender<InteractionEvent>>,
+    results_rx: Receiver<ServedBatch>,
+    completed: VecDeque<ServedBatch>,
+    workers: Vec<JoinHandle<()>>,
+    memory: Arc<ShardedMemory>,
+    table: Arc<ShardedNeighborTable>,
+    model: Arc<TgnModel>,
+    graph: Arc<TemporalGraph>,
+    commit_log: Arc<Mutex<CommitLog>>,
+    collector: Arc<Collector>,
+    next_epoch: Arc<AtomicU64>,
+    queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>>,
+    last_timestamp: Timestamp,
+    submitted: usize,
+    num_shards: usize,
+}
+
+impl StreamServer {
+    /// Builds the sharded state and spawns the five pipeline workers
+    /// (batcher, sampler, memory, update, GNN).
+    pub fn new(model: TgnModel, graph: Arc<TemporalGraph>, config: ServeConfig) -> Self {
+        let num_nodes = graph.num_nodes();
+        let num_shards = config.num_shards;
+        let model = Arc::new(model);
+        let memory = Arc::new(ShardedMemory::for_config(
+            num_nodes,
+            &model.config,
+            num_shards,
+        ));
+        let table = Arc::new(ShardedNeighborTable::new(
+            num_nodes,
+            model.config.sampled_neighbors,
+            num_shards,
+        ));
+        let commit_log = Arc::new(Mutex::new(CommitLog::new()));
+        let collector = Arc::new(Collector::default());
+        let next_epoch = Arc::new(AtomicU64::new(0));
+
+        let (submit_tx, submit_rx) =
+            channel::<InteractionEvent>("admission", config.admission_capacity);
+        let (sealed_tx, sealed_rx) =
+            channel::<SealedBatch>("batcher→sampler", config.stage_capacity);
+        let (sampled_tx, sampled_rx) =
+            channel::<SampledJob>("sampler→memory", config.stage_capacity);
+        let (update_tx, update_rx) = channel::<UpdateJob>("memory→update", config.stage_capacity);
+        let (gnn_tx, gnn_rx) = channel::<GnnJob>("memory→gnn", config.stage_capacity);
+        let (results_tx, results_rx) =
+            channel::<ServedBatch>("gnn→results", config.results_capacity);
+
+        let queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>> = vec![
+            {
+                let m = submit_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = sealed_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = sampled_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = update_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = gnn_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = results_tx.monitor();
+                Box::new(move || m.stats())
+            },
+        ];
+
+        let mut workers = Vec::with_capacity(5);
+        {
+            let next_epoch = next_epoch.clone();
+            let (max_batch, deadline) = (config.max_batch, config.batch_deadline);
+            workers.push(spawn("tgnn-serve-batcher", move || {
+                batcher_loop(submit_rx, sealed_tx, max_batch, deadline, next_epoch)
+            }));
+        }
+        {
+            let table = table.clone();
+            let k = model.config.sampled_neighbors;
+            workers.push(spawn("tgnn-serve-sampler", move || {
+                sampler_loop(sealed_rx, sampled_tx, table, k)
+            }));
+        }
+        {
+            let (memory, model, graph) = (memory.clone(), model.clone(), graph.clone());
+            workers.push(spawn("tgnn-serve-memory", move || {
+                memory_loop(sampled_rx, update_tx, gnn_tx, memory, model, graph)
+            }));
+        }
+        {
+            let (memory, table, log) = (memory.clone(), table.clone(), commit_log.clone());
+            workers.push(spawn("tgnn-serve-update", move || {
+                update_loop(update_rx, memory, table, log)
+            }));
+        }
+        {
+            let (model, collector) = (model.clone(), collector.clone());
+            workers.push(spawn("tgnn-serve-gnn", move || {
+                gnn_loop(gnn_rx, results_tx, model, collector)
+            }));
+        }
+
+        Self {
+            submit_tx: Some(submit_tx),
+            results_rx,
+            completed: VecDeque::new(),
+            workers,
+            memory,
+            table,
+            model,
+            graph,
+            commit_log,
+            collector,
+            next_epoch,
+            queue_stats,
+            last_timestamp: Timestamp::NEG_INFINITY,
+            submitted: 0,
+            num_shards,
+        }
+    }
+
+    /// Replays a chronological event prefix through the sharded state
+    /// (memory via the GRU, mailbox, neighbor table) without computing
+    /// embeddings — the pipeline analogue of `InferenceEngine::warm_up`,
+    /// bit-identical to it.
+    ///
+    /// # Panics
+    /// Panics if events have already been submitted.
+    pub fn warm_up(&mut self, events: &[InteractionEvent]) {
+        assert_eq!(self.submitted, 0, "warm_up must run before any submissions");
+        let mut ws = Workspace::new();
+        for chunk in events.chunks(256) {
+            let epoch = self.next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            let batch = EventBatch::new(chunk.to_vec());
+            // k = 0: we only need touched vertices and query times.
+            let sampled = SampledBatch::assemble(batch, 0, |_, _, _, _| {});
+            let updated = crate::pipeline::run_sharded_memory_stage(
+                &sampled,
+                &self.memory,
+                &self.model,
+                &self.graph,
+                &mut ws,
+            );
+            let writes = crate::pipeline::writes_from(updated, &sampled);
+            {
+                let mut log = self.commit_log.lock().unwrap();
+                for (v, _, t) in &writes {
+                    log.commit(*v, *t);
+                }
+            }
+            self.memory.commit_epoch(epoch, &writes);
+            self.table.commit_epoch(epoch, chunk);
+            if let Some(t) = sampled.batch.end_time() {
+                self.last_timestamp = t;
+            }
+        }
+    }
+
+    /// Feeds one event into the admission queue.  Blocks while the pipeline
+    /// is backpressured (admission queue full); the block count is visible in
+    /// the report's queue statistics.
+    pub fn submit(&mut self, event: InteractionEvent) -> Result<(), SubmitError> {
+        let tx = self.submit_tx.as_ref().ok_or(SubmitError::Closed)?;
+        if event.timestamp < self.last_timestamp {
+            return Err(SubmitError::OutOfOrder {
+                previous: self.last_timestamp,
+                submitted: event.timestamp,
+            });
+        }
+        if self.submitted == 0 {
+            *self.collector.first_submit.lock().unwrap() = Some(Instant::now());
+        }
+        tx.send(event).map_err(|_| SubmitError::Closed)?;
+        self.last_timestamp = event.timestamp;
+        self.submitted += 1;
+        Ok(())
+    }
+
+    /// Pops the next completed micro-batch, if any (non-blocking).  Batches
+    /// come back in submission (epoch) order.
+    pub fn poll(&mut self) -> Option<ServedBatch> {
+        if let Some(b) = self.completed.pop_front() {
+            return Some(b);
+        }
+        self.results_rx.try_recv()
+    }
+
+    /// Closes admission, flushes every in-flight batch through the pipeline,
+    /// joins the workers, and returns the aggregate report.  Completed
+    /// batches (including those that finish during the flush) remain
+    /// available via [`Self::poll`].
+    ///
+    /// # Panics
+    /// Propagates a worker panic (e.g. an epoch-order violation).
+    pub fn drain(&mut self) -> ServeReport {
+        self.submit_tx.take(); // close admission; shutdown ripples down
+        loop {
+            while let Some(b) = self.results_rx.try_recv() {
+                self.completed.push_back(b);
+            }
+            if self.workers.iter().all(|w| w.is_finished()) {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        while let Some(b) = self.results_rx.try_recv() {
+            self.completed.push_back(b);
+        }
+        for w in self.workers.drain(..) {
+            if let Err(panic) = w.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+        self.report()
+    }
+
+    /// The aggregate report so far (cheap; callable live or after `drain`).
+    pub fn report(&self) -> ServeReport {
+        let latencies = self.collector.latencies.lock().unwrap().clone();
+        let first = *self.collector.first_submit.lock().unwrap();
+        let last = *self.collector.last_complete.lock().unwrap();
+        let total_time = match (first, last) {
+            (Some(a), Some(b)) => b.saturating_duration_since(a),
+            _ => Duration::ZERO,
+        };
+        let num_events = self.collector.events.load(Ordering::Relaxed);
+        let queues: Vec<QueueStats> = self.queue_stats.iter().map(|s| s()).collect();
+        let backpressure_blocks = queues.iter().map(|q| q.blocked_sends).sum();
+        let log = self.commit_log.lock().unwrap();
+        ServeReport {
+            num_events,
+            num_batches: self.collector.batches.load(Ordering::Relaxed),
+            num_embeddings: self.collector.embeddings.load(Ordering::Relaxed),
+            total_time,
+            throughput_eps: if total_time.is_zero() {
+                0.0
+            } else {
+                num_events as f64 / total_time.as_secs_f64()
+            },
+            latency: LatencySummary::from_latencies(&latencies),
+            queues,
+            backpressure_blocks,
+            commits: log.commits(),
+            commit_log_clean: log.is_clean(),
+            num_shards: self.num_shards,
+        }
+    }
+
+    /// Read access to the sharded memory (diagnostics, tests).
+    pub fn memory(&self) -> &ShardedMemory {
+        &self.memory
+    }
+
+    /// Read access to the sharded neighbor table (diagnostics, tests).
+    pub fn neighbor_table(&self) -> &ShardedNeighborTable {
+        &self.table
+    }
+
+    /// Number of events submitted so far.
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+}
+
+impl Drop for StreamServer {
+    fn drop(&mut self) {
+        self.submit_tx.take();
+        // Detach rather than join: receivers close as queue senders drop, so
+        // the workers exit on their own; joining here could block a panicking
+        // caller.  `drain` is the orderly shutdown path.
+        for w in self.workers.drain(..) {
+            drop(w);
+        }
+    }
+}
+
+fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(name.to_string())
+        .spawn(f)
+        .expect("failed to spawn pipeline worker")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles_nearest_rank() {
+        let lats: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        let s = LatencySummary::from_latencies(&lats);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert_eq!(
+            LatencySummary::from_latencies(&[]),
+            LatencySummary::default()
+        );
+    }
+}

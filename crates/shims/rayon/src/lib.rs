@@ -1,5 +1,6 @@
 //! Minimal offline stand-in for `rayon`, implementing the subset of the
-//! parallel-iterator API this workspace uses on top of `std::thread::scope`.
+//! parallel-iterator API this workspace uses on a **persistent worker pool**
+//! (like real rayon's global pool — no per-call thread spawning).
 //!
 //! Work is split into **contiguous** per-thread ranges (not work-stolen
 //! tasks): every operation here is a flat data-parallel sweep over a slice or
@@ -9,9 +10,15 @@
 //! bit-identical to a serial one for independent items.
 //!
 //! Thread count comes from `RAYON_NUM_THREADS` (like real rayon) or
-//! `std::thread::available_parallelism`.
+//! `std::thread::available_parallelism`.  The pool spawns lazily on the
+//! first parallel call and keeps `threads - 1` parked workers alive for the
+//! process lifetime; the calling thread participates in every scope, so
+//! small batches don't pay a wake-up round-trip for work the caller could do
+//! itself.
 
 use std::sync::OnceLock;
+
+mod pool;
 
 pub mod prelude {
     pub use crate::{
@@ -52,8 +59,9 @@ fn split_ranges(n: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
     out
 }
 
-/// Runs `f` over every item of `items`, consuming them, across the worker
-/// threads.  Falls back to a serial loop for tiny inputs or one thread.
+/// Runs `f` over every item of `items`, consuming them, across the
+/// persistent pool workers.  Falls back to a serial loop for tiny inputs or
+/// one thread.
 pub fn for_each_parallel<I, F>(items: Vec<I>, f: F)
 where
     I: Send,
@@ -77,19 +85,22 @@ where
         }
         groups.reverse();
     }
-    std::thread::scope(|scope| {
-        let f = &f;
-        for group in groups {
-            scope.spawn(move || {
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = groups
+        .into_iter()
+        .map(|group| {
+            Box::new(move || {
                 for item in group {
                     f(item);
                 }
-            });
-        }
-    });
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::global().run_scoped(tasks);
 }
 
-/// Maps `f` over `items`, preserving order, across the worker threads.
+/// Maps `f` over `items`, preserving order, across the persistent pool
+/// workers.
 pub fn map_parallel<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -101,20 +112,23 @@ where
         return items.iter().map(f).collect();
     }
     let ranges = split_ranges(items.len(), threads);
-    let mut parts: Vec<Vec<R>> = Vec::new();
-    std::thread::scope(|scope| {
+    let mut parts: Vec<Option<Vec<R>>> = ranges.iter().map(|_| None).collect();
+    {
         let f = &f;
-        let handles: Vec<_> = ranges
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
             .into_iter()
-            .map(|range| scope.spawn(move || items[range].iter().map(f).collect::<Vec<R>>()))
+            .zip(parts.iter_mut())
+            .map(|(range, slot)| {
+                Box::new(move || {
+                    *slot = Some(items[range].iter().map(f).collect::<Vec<R>>());
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
             .collect();
-        for h in handles {
-            parts.push(h.join().expect("rayon shim worker panicked"));
-        }
-    });
+        pool::global().run_scoped(tasks);
+    }
     let mut out = Vec::with_capacity(items.len());
     for part in parts {
-        out.extend(part);
+        out.extend(part.expect("rayon shim: range task did not run"));
     }
     out
 }
@@ -207,16 +221,18 @@ impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
         }
         let ranges = split_ranges(self.items.len(), threads);
         let items = self.items;
-        std::thread::scope(|scope| {
-            let f = &f;
-            for range in ranges {
-                scope.spawn(move || {
+        let f = &f;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = ranges
+            .into_iter()
+            .map(|range| {
+                Box::new(move || {
                     for item in &items[range] {
                         f(item);
                     }
-                });
-            }
-        });
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool::global().run_scoped(tasks);
     }
 }
 

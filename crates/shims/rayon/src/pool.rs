@@ -1,0 +1,243 @@
+//! The persistent worker pool behind the parallel operations.
+//!
+//! Workers are spawned once (lazily) and park on a condvar between scopes —
+//! the per-call cost of a parallel region is an enqueue + wake, not a thread
+//! spawn.  [`Pool::run_scoped`] executes a set of borrowing closures and
+//! **blocks until every one of them has finished**, which is what makes the
+//! lifetime erasure below sound: no task can outlive the borrows it
+//! captures, because `run_scoped` doesn't return while any task is live.
+//!
+//! The calling thread participates: after enqueueing, it pops and runs tasks
+//! from the shared injector itself until the queue is empty, then waits for
+//! stragglers.  This also makes nested scopes deadlock-free — a caller can
+//! always execute its own tasks even if every pool worker is busy.
+//!
+//! Panics inside a task are caught, the scope still waits for the remaining
+//! tasks, and the panic flag is re-raised on the calling thread (mirroring
+//! the old `scope.spawn`/`join` behaviour).
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Injector {
+    queue: Mutex<VecDeque<Task>>,
+    work_available: Condvar,
+}
+
+/// Book-keeping of one `run_scoped` call.
+struct ScopeSync {
+    remaining: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+/// A persistent pool of parked worker threads sharing one task injector.
+pub(crate) struct Pool {
+    injector: Arc<Injector>,
+    /// Lifetime spawn counter, asserted constant by the persistence tests.
+    #[allow(dead_code)]
+    started: AtomicUsize,
+}
+
+impl Pool {
+    /// Creates a pool and spawns `workers` detached worker threads.
+    pub(crate) fn with_workers(workers: usize) -> Self {
+        let injector = Arc::new(Injector::default());
+        let pool = Self {
+            injector: injector.clone(),
+            started: AtomicUsize::new(0),
+        };
+        for i in 0..workers {
+            let injector = injector.clone();
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || worker_loop(injector))
+                .expect("rayon shim: failed to spawn pool worker");
+            pool.started.fetch_add(1, Ordering::Relaxed);
+        }
+        pool
+    }
+
+    /// Total worker threads ever spawned — constant after construction,
+    /// which is exactly what the persistence tests assert.
+    #[cfg(test)]
+    pub(crate) fn threads_spawned(&self) -> usize {
+        self.started.load(Ordering::Relaxed)
+    }
+
+    /// Runs all `tasks` to completion across the pool workers and the
+    /// calling thread, then returns.  Re-raises a panic if any task
+    /// panicked.
+    pub(crate) fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let sync = Arc::new(ScopeSync {
+            remaining: Mutex::new(tasks.len()),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        {
+            let mut queue = self.injector.queue.lock().unwrap();
+            for task in tasks {
+                // SAFETY: `run_scoped` blocks below until `remaining == 0`,
+                // i.e. until every wrapped task has run to completion (the
+                // count is decremented even when a task panics, via
+                // `catch_unwind`).  No task can therefore outlive `'scope`,
+                // so erasing the lifetime to `'static` for storage in the
+                // shared queue is sound.
+                let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
+                let sync = sync.clone();
+                queue.push_back(Box::new(move || {
+                    if std::panic::catch_unwind(AssertUnwindSafe(task)).is_err() {
+                        sync.panicked.store(true, Ordering::Release);
+                    }
+                    let mut remaining = sync.remaining.lock().unwrap();
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        sync.all_done.notify_all();
+                    }
+                }));
+            }
+        }
+        self.injector.work_available.notify_all();
+
+        // Participate: drain the injector on this thread too.  We may run
+        // tasks of an unrelated concurrent scope — that's fine, it's all
+        // finite work, and it guarantees progress even with zero workers.
+        loop {
+            let task = self.injector.queue.lock().unwrap().pop_front();
+            match task {
+                Some(task) => task(),
+                None => break,
+            }
+        }
+        let mut remaining = sync.remaining.lock().unwrap();
+        while *remaining > 0 {
+            remaining = sync.all_done.wait(remaining).unwrap();
+        }
+        drop(remaining);
+        if sync.panicked.load(Ordering::Acquire) {
+            panic!("rayon shim worker panicked");
+        }
+    }
+}
+
+fn worker_loop(injector: Arc<Injector>) {
+    loop {
+        let task = {
+            let mut queue = injector.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pop_front() {
+                    break task;
+                }
+                queue = injector.work_available.wait(queue).unwrap();
+            }
+        };
+        task();
+    }
+}
+
+/// The process-wide pool: `current_num_threads() - 1` workers (the caller is
+/// the remaining thread), spawned on first use.
+pub(crate) fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| Pool::with_workers(crate::current_num_threads().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scoped_tasks_see_borrowed_data_and_all_run() {
+        let pool = Pool::with_workers(3);
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicU64::new(0);
+        for _ in 0..50 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = data
+                .chunks(7)
+                .map(|chunk| {
+                    let sum = &sum;
+                    Box::new(move || {
+                        sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 50 * 4950);
+        // Persistence: the 50 scopes reused the same 3 workers.
+        assert_eq!(pool.threads_spawned(), 3);
+    }
+
+    #[test]
+    fn zero_worker_pool_still_makes_progress_via_caller() {
+        let pool = Pool::with_workers(0);
+        let hits = AtomicU64::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..16)
+            .map(|_| {
+                let hits = &hits;
+                Box::new(move || {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn panicking_task_propagates_after_scope_completes() {
+        let pool = Pool::with_workers(2);
+        let survivors = Arc::new(AtomicU64::new(0));
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|i| {
+                    let survivors = survivors.clone();
+                    Box::new(move || {
+                        if i == 3 {
+                            panic!("boom");
+                        }
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // Every non-panicking task still ran before the re-raise.
+        assert_eq!(survivors.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn nested_scopes_do_not_deadlock() {
+        let pool = Arc::new(Pool::with_workers(1));
+        let total = Arc::new(AtomicU64::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|_| {
+                let pool = pool.clone();
+                let total = total.clone();
+                Box::new(move || {
+                    let inner: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+                        .map(|_| {
+                            let total = total.clone();
+                            Box::new(move || {
+                                total.fetch_add(1, Ordering::Relaxed);
+                            }) as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run_scoped(inner);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(total.load(Ordering::Relaxed), 16);
+    }
+}

@@ -15,6 +15,8 @@
 //!   and knowledge distillation.
 //! * [`hwsim`] — the FPGA accelerator simulator, analytical performance
 //!   model, and CPU/GPU baseline cost models.
+//! * [`serve`] — the sharded multi-queue streaming pipeline for continuous
+//!   inference (`StreamServer`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the reproduction methodology and results.
@@ -24,6 +26,7 @@ pub use tgnn_data as data;
 pub use tgnn_graph as graph;
 pub use tgnn_hwsim as hwsim;
 pub use tgnn_nn as nn;
+pub use tgnn_serve as serve;
 pub use tgnn_tensor as tensor;
 
 /// Convenience prelude with the types most programs need.
@@ -34,5 +37,6 @@ pub mod prelude {
     pub use tgnn_data::{gdelt_like, generate, reddit_like, tiny, wikipedia_like};
     pub use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
     pub use tgnn_hwsim::{AcceleratorSim, DesignConfig, FpgaDevice, PerformanceModel};
+    pub use tgnn_serve::{ServeConfig, StreamServer};
     pub use tgnn_tensor::{Matrix, TensorRng};
 }
