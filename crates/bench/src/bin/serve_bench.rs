@@ -8,9 +8,11 @@
 //!
 //! Run with: `cargo run --release -p tgnn-bench --bin serve_bench -- --scale 0.02`
 //!
-//! `--smoke` runs a tiny fixed-seed configuration and skips the JSON merge —
-//! the CI step after `perf_baseline`, failing (via the identity assertion)
-//! on any pipelined-vs-serial divergence.
+//! `--gnn-workers <n>` sizes the data-parallel GNN compute pool (default 1);
+//! the identity check holds for every pool size, and the count is recorded
+//! in the `"pipeline"` row.  `--smoke` runs a tiny fixed-seed configuration
+//! and skips the JSON merge — the CI step after `perf_baseline`, failing
+//! (via the identity assertion) on any pipelined-vs-serial divergence.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -34,6 +36,21 @@ fn main() {
         .find(|w| w[0] == "--out")
         .map(|w| w[1].clone())
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    // Unlike the HarnessArgs flags, a missing or malformed value here is a
+    // hard error: CI's 2-worker identity check must not silently degrade to
+    // a 1-worker run.
+    let gnn_workers: usize = match argv.iter().position(|a| a == "--gnn-workers") {
+        None => 1,
+        Some(i) => argv
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                panic!(
+                    "--gnn-workers: expected a worker count, got {:?}",
+                    argv.get(i + 1)
+                )
+            }),
+    };
 
     let graph = Arc::new(Dataset::Wikipedia.graph(args.scale, args.seed));
     let variant = OptimizationVariant::NpMedium;
@@ -44,12 +61,13 @@ fn main() {
     let warm_events = graph.train_events().to_vec();
     let measure_events = graph.events()[graph.train_end()..].to_vec();
     println!(
-        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards{}",
+        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards, {} gnn worker(s){}",
         args.scale,
         graph.num_nodes(),
         measure_events.len(),
         variant.label(),
         NUM_SHARDS,
+        gnn_workers,
         if smoke { " (smoke)" } else { "" }
     );
 
@@ -60,6 +78,7 @@ fn main() {
         // for the identity replay below.
         batch_deadline: Duration::from_secs(3600),
         num_shards: NUM_SHARDS,
+        gnn_workers,
         ..ServeConfig::default()
     };
     let mut server = StreamServer::new(model.clone(), graph.clone(), serve_config);
@@ -122,11 +141,12 @@ fn main() {
 /// JSON baseline file, creating the file if `perf_baseline` has not run.
 fn merge_pipeline_row(path: &str, report: &ServeReport) {
     let row = format!(
-        "  \"pipeline\": {{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"embeddings_bitwise_identical_to_serial\": true\n  }}",
+        "  \"pipeline\": {{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"embeddings_bitwise_identical_to_serial\": true\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
         report.num_shards,
+        report.gnn_workers,
         report.latency.mean_ms,
         report.latency.p50_ms,
         report.latency.p95_ms,

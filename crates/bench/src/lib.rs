@@ -82,21 +82,24 @@ impl HarnessArgs {
     /// Parses the known flags from an argument slice.  Unknown arguments
     /// (e.g. a binary's own valueless flags like `--smoke`) are skipped one
     /// at a time, so they cannot shift a following `--flag value` pair out
-    /// of alignment.
+    /// of alignment; a known flag followed by another `--flag` instead of a
+    /// value keeps its default and leaves the following flag to be parsed
+    /// normally.
     pub fn parse_from(args: &[String]) -> Self {
         let mut out = Self::default();
+        let has_value = |i: usize| i + 1 < args.len() && !args[i + 1].starts_with("--");
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--scale" if i + 1 < args.len() => {
+                "--scale" if has_value(i) => {
                     out.scale = args[i + 1].parse().unwrap_or(out.scale);
                     i += 2;
                 }
-                "--epochs" if i + 1 < args.len() => {
+                "--epochs" if has_value(i) => {
                     out.epochs = args[i + 1].parse().unwrap_or(out.epochs);
                     i += 2;
                 }
-                "--seed" if i + 1 < args.len() => {
+                "--seed" if has_value(i) => {
                     out.seed = args[i + 1].parse().unwrap_or(out.seed);
                     i += 2;
                 }
@@ -225,5 +228,57 @@ mod tests {
         // A trailing flag with no value falls back to the default.
         let args = HarnessArgs::parse_from(&argv("--seed"));
         assert_eq!(args.seed, HarnessArgs::default().seed);
+    }
+
+    /// Dedicated regression test for the valueless-flag alignment fix in
+    /// `HarnessArgs::parse_from`: unknown arguments are skipped one at a
+    /// time, so a binary's own flags — valueless (`--smoke`) or valued
+    /// (`--out x.json`, `--gnn-workers 2`) — can appear anywhere without
+    /// shifting a known `--flag value` pair out of alignment.
+    #[test]
+    fn unknown_flags_never_misalign_known_pairs() {
+        let argv = |s: &str| -> Vec<String> { s.split(' ').map(String::from).collect() };
+        let defaults = HarnessArgs::default();
+
+        // Unknown valueless flag in every position around known pairs.
+        for cmdline in [
+            "--smoke --scale 0.4 --epochs 5 --seed 11",
+            "--scale 0.4 --smoke --epochs 5 --seed 11",
+            "--scale 0.4 --epochs 5 --smoke --seed 11",
+            "--scale 0.4 --epochs 5 --seed 11 --smoke",
+        ] {
+            let args = HarnessArgs::parse_from(&argv(cmdline));
+            assert_eq!(args.scale, 0.4, "{cmdline}");
+            assert_eq!(args.epochs, 5, "{cmdline}");
+            assert_eq!(args.seed, 11, "{cmdline}");
+        }
+
+        // Unknown *valued* flags interleaved with known pairs: both the
+        // unknown flag and its value are skipped without consuming a known
+        // flag's value.
+        let args = HarnessArgs::parse_from(&argv(
+            "--out BENCH.json --seed 21 --gnn-workers 2 --scale 0.25",
+        ));
+        assert_eq!(args.seed, 21);
+        assert_eq!(args.scale, 0.25);
+        assert_eq!(args.epochs, defaults.epochs);
+
+        // A known flag whose "value" is the next flag: the parse must not
+        // treat `--seed` as a number, and the following pair still applies.
+        let args = HarnessArgs::parse_from(&argv("--scale --seed 13"));
+        assert_eq!(args.scale, defaults.scale, "non-numeric value falls back");
+        assert_eq!(args.seed, 13);
+
+        // Unparseable values fall back to defaults without derailing later
+        // pairs.
+        let args = HarnessArgs::parse_from(&argv("--seed banana --epochs 9"));
+        assert_eq!(args.seed, defaults.seed);
+        assert_eq!(args.epochs, 9);
+
+        // Empty argv is the defaults.
+        let args = HarnessArgs::parse_from(&[]);
+        assert_eq!(args.seed, defaults.seed);
+        assert_eq!(args.scale, defaults.scale);
+        assert_eq!(args.epochs, defaults.epochs);
     }
 }

@@ -262,6 +262,66 @@ impl GnnJobBatch {
         &self.touched
     }
 
+    /// Splits the job into at most `parts` contiguous sub-jobs over the
+    /// touched vertices, each self-contained and independently computable.
+    ///
+    /// Because [`Self::run`] is row-independent (each embedding depends only
+    /// on its own vertex's gathered inputs — the property that already makes
+    /// the batched path bit-identical to the serial engine), running the
+    /// sub-jobs in any order and concatenating their outputs **in part
+    /// order** reproduces the unsplit job's output bitwise, for every
+    /// `parts`.  This is what lets a pool of GNN workers share one batch.
+    ///
+    /// Chunks are balanced (sizes differ by at most one); fewer than `parts`
+    /// sub-jobs are returned when the job has fewer vertices.  An empty job
+    /// returns itself as a single part.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split(self, parts: usize) -> Vec<GnnJobBatch> {
+        assert!(parts > 0, "GnnJobBatch::split: need at least one part");
+        let t = self.touched.len();
+        if parts == 1 || t <= 1 {
+            return vec![self];
+        }
+        let parts = parts.min(t);
+        let base = t / parts;
+        let extra = t % parts; // first `extra` chunks get one more vertex
+                               // Row ranges are contiguous, so each sub-matrix is one slice copy.
+        let rows = |m: &Matrix, a: usize, b: usize| {
+            Matrix::from_vec(
+                b - a,
+                m.cols(),
+                m.as_slice()[a * m.cols()..b * m.cols()].to_vec(),
+            )
+        };
+        let mut out = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for p in 0..parts {
+            let len = base + usize::from(p < extra);
+            let end = start + len;
+            // Neighbor-arena span of this vertex chunk: ranges are contiguous
+            // in vertex order, so the span is [first chunk start, last end).
+            let nbr_start = self.ranges[start].0;
+            let (last_start, last_len) = self.ranges[end - 1];
+            let nbr_end = last_start + last_len;
+            out.push(GnnJobBatch {
+                touched: self.touched[start..end].to_vec(),
+                self_memory: rows(&self.self_memory, start, end),
+                node_features: self.node_features.as_ref().map(|f| rows(f, start, end)),
+                nbr_memory: rows(&self.nbr_memory, nbr_start, nbr_end),
+                nbr_edge: rows(&self.nbr_edge, nbr_start, nbr_end),
+                nbr_dt: self.nbr_dt[nbr_start..nbr_end].to_vec(),
+                ranges: self.ranges[start..end]
+                    .iter()
+                    .map(|&(s, l)| (s - nbr_start, l))
+                    .collect(),
+            });
+            start = end;
+        }
+        out
+    }
+
     /// Number of embeddings the job will produce.
     pub fn len(&self) -> usize {
         self.touched.len()
@@ -303,5 +363,102 @@ impl GnnJobBatch {
             .zip(outputs)
             .map(|(&v, out)| (v, out.embedding))
             .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgnn_tensor::TensorRng;
+
+    /// A synthetic gathered job with `t` vertices, vertex `i` having `i % 4`
+    /// neighbors, every value drawn from the RNG so misaligned splits show.
+    fn synthetic_job(cfg: &ModelConfig, t: usize, rng: &mut TensorRng) -> GnnJobBatch {
+        let mut ranges = Vec::with_capacity(t);
+        let mut total = 0usize;
+        for i in 0..t {
+            let k = i % 4;
+            ranges.push((total, k));
+            total += k;
+        }
+        GnnJobBatch {
+            touched: (0..t as NodeId).collect(),
+            self_memory: rng.uniform_matrix(t, cfg.memory_dim, -1.0, 1.0),
+            node_features: (cfg.node_feature_dim > 0)
+                .then(|| rng.uniform_matrix(t, cfg.node_feature_dim, -1.0, 1.0)),
+            nbr_memory: rng.uniform_matrix(total, cfg.memory_dim, -1.0, 1.0),
+            nbr_edge: rng.uniform_matrix(total, cfg.edge_feature_dim, -1.0, 1.0),
+            nbr_dt: (0..total).map(|_| rng.uniform(0.0, 10.0)).collect(),
+            ranges,
+        }
+    }
+
+    #[test]
+    fn split_partitions_vertices_and_rebases_neighbor_ranges() {
+        let cfg = ModelConfig::tiny(3, 2);
+        let mut rng = TensorRng::new(11);
+        let job = synthetic_job(&cfg, 10, &mut rng);
+        for parts in [1usize, 2, 3, 7, 10, 25] {
+            let subs = job.clone().split(parts);
+            assert_eq!(subs.len(), parts.min(10), "parts={parts}");
+            let sizes: Vec<usize> = subs.iter().map(|s| s.len()).collect();
+            assert_eq!(sizes.iter().sum::<usize>(), 10);
+            assert!(sizes.iter().all(|&s| s > 0));
+            assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+            // Concatenating sub-jobs in part order reproduces the original
+            // vertex order and per-vertex neighbor data exactly.
+            let mut vi = 0usize;
+            for sub in &subs {
+                for i in 0..sub.len() {
+                    assert_eq!(sub.touched[i], job.touched[vi]);
+                    assert_eq!(sub.self_memory.row(i), job.self_memory.row(vi));
+                    let (os, ol) = job.ranges[vi];
+                    let (ss, sl) = sub.ranges[i];
+                    assert_eq!(sl, ol);
+                    for r in 0..ol {
+                        assert_eq!(sub.nbr_memory.row(ss + r), job.nbr_memory.row(os + r));
+                        assert_eq!(sub.nbr_edge.row(ss + r), job.nbr_edge.row(os + r));
+                        assert_eq!(sub.nbr_dt[ss + r], job.nbr_dt[os + r]);
+                    }
+                    vi += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_run_concat_is_bitwise_identical_to_unsplit_run() {
+        let cfg = ModelConfig::tiny(3, 2);
+        let mut rng = TensorRng::new(42);
+        let model = TgnModel::new(cfg.clone(), &mut rng);
+        let job = synthetic_job(&cfg, 13, &mut rng);
+        let mut ws = Workspace::new();
+        let reference = job.run(&model, &mut ws);
+        for parts in [1usize, 2, 4, 5, 13, 64] {
+            let merged: Vec<(NodeId, Vec<Float>)> = job
+                .clone()
+                .split(parts)
+                .into_iter()
+                .flat_map(|sub| {
+                    let mut ws = Workspace::new();
+                    sub.run(&model, &mut ws)
+                })
+                .collect();
+            assert_eq!(merged, reference, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn split_handles_empty_and_single_vertex_jobs() {
+        let cfg = ModelConfig::tiny(0, 2);
+        let mut rng = TensorRng::new(3);
+        let empty = synthetic_job(&cfg, 0, &mut rng);
+        let parts = empty.split(4);
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_empty());
+        let single = synthetic_job(&cfg, 1, &mut rng);
+        let parts = single.split(4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 1);
     }
 }

@@ -60,13 +60,23 @@ impl EpochGate {
         self.committed[shard].load(Ordering::Acquire)
     }
 
+    /// Locks the coordination mutex, recovering from std mutex poisoning: a
+    /// waiter panics *while holding the guard* when the gate is poisoned
+    /// (that is the designed unwind path), and the gate's own `poisoned`
+    /// flag — not the std mutex state — carries the liveness information.
+    /// Recovering keeps `poison()` callable from destructors during that
+    /// unwind, where a second panic would abort the process.
+    fn lock_recovered(&self) -> std::sync::MutexGuard<'_, ()> {
+        self.lock.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Marks `epoch` committed for `shard` and wakes waiting readers.
     ///
     /// # Panics
     /// Panics if the watermark would move backwards — epochs must be
     /// committed in order.
     pub fn commit(&self, shard: usize, epoch: u64) {
-        let guard = self.lock.lock().unwrap();
+        let guard = self.lock_recovered();
         let prev = self.committed[shard].swap(epoch, Ordering::Release);
         assert!(
             prev <= epoch,
@@ -80,8 +90,9 @@ impl EpochGate {
     /// gone, so pending epochs will never arrive.  Subsequent or woken
     /// [`Self::wait_for`] calls panic instead of blocking forever — this is
     /// what lets a pipeline unwind cleanly when one of its workers dies.
+    /// Idempotent and safe to call from destructors mid-unwind.
     pub fn poison(&self) {
-        let _guard = self.lock.lock().unwrap();
+        let _guard = self.lock_recovered();
         self.poisoned
             .store(true, std::sync::atomic::Ordering::Release);
         self.cv.notify_all();
@@ -100,14 +111,14 @@ impl EpochGate {
         if self.committed[shard].load(Ordering::Acquire) >= epoch {
             return;
         }
-        let mut guard = self.lock.lock().unwrap();
+        let mut guard = self.lock_recovered();
         while self.committed[shard].load(Ordering::Acquire) < epoch {
             assert!(
                 !self.is_poisoned(),
                 "EpochGate: poisoned while waiting for shard {shard} epoch {epoch} — \
                  the committing worker died"
             );
-            guard = self.cv.wait(guard).unwrap();
+            guard = self.cv.wait(guard).unwrap_or_else(|e| e.into_inner());
         }
     }
 

@@ -12,8 +12,13 @@
 //! * [`StreamServer`] accepts a continuous chronological feed of
 //!   [`InteractionEvent`](tgnn_graph::InteractionEvent)s, micro-batches them
 //!   by size/deadline in an admission queue, and executes them through a
-//!   pipeline whose stages run as separate workers connected by bounded SPSC
-//!   queues — batch *k+1* samples while batch *k* computes.
+//!   pipeline whose stages run as separate workers connected by bounded
+//!   queues — batch *k+1* samples while batch *k* computes.  The dominant
+//!   GNN compute stage is data-parallel (`ServeConfig::gnn_workers`): each
+//!   batch is split into independently computable sub-jobs served from a
+//!   shared MPMC dispatch queue by a pool of workers, and a reorder stage
+//!   merges the parts and restores epoch order, so the output stream is the
+//!   same for every worker count.
 //! * The vertex state is partitioned (`node_id % N`) behind
 //!   [`tgnn_graph::ShardedNeighborTable`] and
 //!   [`tgnn_core::ShardedMemory`]: per-shard locks plus an epoch-barrier
@@ -47,6 +52,6 @@ pub mod pipeline;
 pub mod queue;
 pub mod server;
 
-pub use pipeline::ServedBatch;
+pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
 pub use server::{LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError};

@@ -8,21 +8,38 @@
 //!                   [sampler worker] ──── waits: neighbor-table shards @ epoch k-1
 //!                         │  SampledJob
 //!                   [memory worker]  ──── waits: memory shards @ epoch k-1
-//!                   │            │
-//!          UpdateJob│            │GnnJob (owned, self-contained)
-//!                   ▼            ▼
-//!            [update worker]  [gnn worker]
-//!             commits epoch k     │  ServedBatch
-//!             (releases k+1)      ▼
-//!                              results
+//!               │         │              │
+//!      UpdateJob│         │GnnBatchHeader│GnnSubJob × P   (owned, self-contained)
+//!               ▼         │              ▼  (MPMC dispatch)
+//!        [update worker]  │     [gnn worker 0..N-1]
+//!         commits epoch k │              │  GnnSubResult (MPMC)
+//!         (releases k+1)  ▼              ▼
+//!                      [reorder worker] ── merges parts, restores epoch order
+//!                         │  ServedBatch
+//!                         ▼
+//!                      results
 //! ```
 //!
-//! The memory worker emits the update job *before* the GNN job, so batch
+//! The memory worker emits the update job *before* the GNN work, so batch
 //! *k*'s write-back (cheap) runs concurrently with batch *k*'s GNN compute
 //! (dominant) — and, once the epoch gates open, with batch *k+1*'s sampling
 //! and memory stages.  That overlap is the software rendition of the paper's
 //! hardware pipeline; the epoch gates are what keep it bit-identical to the
 //! serial engine.
+//!
+//! The GNN stage — the dominant cost per the paper's co-design analysis — is
+//! data-parallel: the memory worker splits each batch's owned
+//! [`GnnJobBatch`] into `P ≤ gnn_workers` contiguous sub-jobs and pushes
+//! them onto one shared MPMC dispatch queue that `N` identical workers
+//! consume (work-sharing: an idle worker takes the next sub-job, whatever
+//! its epoch).  Because [`GnnJobBatch::run`] is row-independent, computing
+//! the parts on any workers in any order and concatenating the results in
+//! part order is bitwise-equal to the unsplit run.  The reorder worker —
+//! single consumer of the sub-result queue — holds each epoch's parts until
+//! complete and emits [`ServedBatch`]es strictly in epoch order (headers
+//! arrive on an SPSC queue from the memory worker, which is already
+//! chronological), so the client-visible stream is identical for every
+//! worker count, including `N = 1`.
 //!
 //! Ordering argument, stage by stage (epochs are 1-based batch numbers):
 //! * **sample(k)** reads only neighbor-table shards at epoch `k-1` — the gate
@@ -32,11 +49,12 @@
 //!   in-flight stage touches), and gathers every value the GNN needs into an
 //!   owned job *before* the update job is emitted — so update(k) can never
 //!   race the gather.
-//! * **gnn(k)** is pure compute over the owned job.
+//! * **gnn(k, p)** is pure compute over the owned sub-job, on any worker.
+//! * **reorder** commits completed batches downstream in epoch order.
 //! * **update(k)** is the only writer of memory rows and the neighbor table,
 //!   and processes epochs in queue order.
 
-use crate::queue::{Receiver, Sender};
+use crate::queue::{MpmcReceiver, MpmcSender, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -67,14 +85,44 @@ pub(crate) struct SampledJob {
     pub sealed_at: Instant,
 }
 
-/// Owned GNN-stage input plus the batch's events (returned to the client).
+/// Per-batch metadata sent to the reorder worker ahead of the batch's
+/// sub-jobs; headers arrive in epoch order on an SPSC queue, which is what
+/// fixes the output order regardless of how the sub-jobs race.
 #[derive(Debug)]
-pub(crate) struct GnnJob {
+pub(crate) struct GnnBatchHeader {
     pub epoch: u64,
-    pub job: GnnJobBatch,
+    pub num_parts: usize,
     pub events: Vec<InteractionEvent>,
     pub sealed_at: Instant,
 }
+
+/// One independently computable slice of a batch's GNN work, dispatched to
+/// whichever worker is free.
+#[derive(Debug)]
+pub(crate) struct GnnSubJob {
+    pub epoch: u64,
+    pub part: usize,
+    pub job: GnnJobBatch,
+}
+
+/// One sub-job's output: `(vertex, embedding)` pairs in the sub-job's
+/// vertex order.
+pub(crate) type PartEmbeddings = Vec<(NodeId, Vec<Float>)>;
+
+/// A computed sub-job, routed back to the reorder worker.
+#[derive(Debug)]
+pub(crate) struct GnnSubResult {
+    pub epoch: u64,
+    pub part: usize,
+    pub embeddings: PartEmbeddings,
+}
+
+/// Test-only fault-injection hook: every GNN worker calls it with
+/// `(epoch, part)` before computing a sub-job and panics when it returns
+/// `true`.  The concurrency hardening tests use this to verify that a dying
+/// worker poisons the epoch gates and unwinds `submit`/`poll`/`drain`
+/// instead of hanging the pipeline.
+pub type GnnFaultHook = Arc<dyn Fn(u64, usize) -> bool + Send + Sync>;
 
 /// The state write-back of one batch.
 #[derive(Debug)]
@@ -221,12 +269,17 @@ pub(crate) fn sampler_loop(
 
 /// Memory worker: consumes mailbox messages, runs the GRU, caches the
 /// batch's new raw messages, gathers the owned GNN job, and emits the
-/// write-back job (before the GNN job, so the updater can release epoch `k`
-/// while the GNN stage computes).
+/// write-back job (before the GNN work, so the updater can release epoch `k`
+/// while the GNN stage computes).  The gathered job is split into at most
+/// `gnn_workers` sub-jobs: the batch header goes to the reorder worker (in
+/// epoch order), the sub-jobs onto the shared dispatch queue.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn memory_loop(
     rx: Receiver<SampledJob>,
     tx_update: Sender<UpdateJob>,
-    tx_gnn: Sender<GnnJob>,
+    tx_header: Sender<GnnBatchHeader>,
+    tx_gnn: MpmcSender<GnnSubJob>,
+    gnn_workers: usize,
     memory: Arc<ShardedMemory>,
     model: Arc<TgnModel>,
     graph: Arc<TemporalGraph>,
@@ -269,16 +322,22 @@ pub(crate) fn memory_loop(
         {
             return;
         }
-        if tx_gnn
-            .send(GnnJob {
+        let parts = job.split(gnn_workers);
+        if tx_header
+            .send(GnnBatchHeader {
                 epoch,
-                job,
+                num_parts: parts.len(),
                 events,
                 sealed_at,
             })
             .is_err()
         {
             return;
+        }
+        for (part, job) in parts.into_iter().enumerate() {
+            if tx_gnn.send(GnnSubJob { epoch, part, job }).is_err() {
+                return;
+            }
         }
     }
 }
@@ -331,13 +390,16 @@ pub(crate) fn writes_from(
         .collect()
 }
 
-/// Poisons both epoch gates when the update worker exits — by return *or*
-/// panic.  The updater is the only committer, so once it is gone any stage
-/// still waiting on a watermark would wait forever; poisoning turns that
-/// hang into a clean panic that unwinds the rest of the pipeline.  On an
-/// orderly shutdown this is harmless: the sampler and memory workers have
-/// already exited by the time the update queue closes (shutdown ripples
-/// front to back), so no waiter remains to observe the poison.
+/// Poisons both epoch gates when the owning worker exits — by return *or*
+/// panic.  Held by the update worker (the only committer: once it is gone
+/// any stage still waiting on a watermark would wait forever) and by every
+/// GNN worker (a worker that dies mid-batch leaves the reorder stage short a
+/// part, so the pipeline behind it must unwind, not stall); poisoning turns
+/// the hang into a clean panic that unwinds the rest of the pipeline.  On an
+/// orderly shutdown this is harmless: shutdown ripples front to back, so the
+/// sampler and memory workers have already exited by the time the update
+/// queue or the GNN dispatch queue closes, and no waiter remains to observe
+/// the poison.
 struct PoisonGatesOnExit {
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
@@ -381,23 +443,126 @@ pub(crate) fn update_loop(
     }
 }
 
-/// GNN worker: pure batched compute over the owned job on a persistent
-/// per-worker workspace.
-pub(crate) fn gnn_loop(
-    rx: Receiver<GnnJob>,
-    tx: Sender<ServedBatch>,
+/// Unwinds the whole GNN pool when one worker dies mid-batch.  A panicking
+/// worker leaves the reorder stage short a part forever, and — unlike the
+/// single-committer update worker — its surviving peers would happily keep
+/// the pipeline flowing around the hole.  So on a *panicking* exit the guard
+/// closes both MPMC channels (failing the memory worker's dispatch sends and
+/// ending the reorder worker's part stream), which ripples the shutdown
+/// through every stage; the epoch gates are poisoned unconditionally, same
+/// as the updater's guard (harmless on an orderly exit, where no waiter
+/// remains).
+struct UnwindPoolOnPanic {
+    rx: MpmcReceiver<GnnSubJob>,
+    tx: MpmcSender<GnnSubResult>,
+    /// Held only for its drop side effect (poisons both epoch gates).
+    _gates: PoisonGatesOnExit,
+}
+
+impl Drop for UnwindPoolOnPanic {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.rx.close();
+            self.tx.close();
+        }
+        // `_gates` drops after: poisons both epoch gates.
+    }
+}
+
+/// GNN worker: pure batched compute over owned sub-jobs from the shared
+/// dispatch queue, on a persistent per-worker workspace.  One of `N`
+/// identical workers; work-sharing order does not matter because the reorder
+/// worker restores epoch/part order downstream.
+pub(crate) fn gnn_worker_loop(
+    rx: MpmcReceiver<GnnSubJob>,
+    tx: MpmcSender<GnnSubResult>,
     model: Arc<TgnModel>,
+    fault: Option<GnnFaultHook>,
+    memory: Arc<ShardedMemory>,
+    table: Arc<ShardedNeighborTable>,
+) {
+    let _unwind_on_panic = UnwindPoolOnPanic {
+        rx: rx.clone(),
+        tx: tx.clone(),
+        _gates: PoisonGatesOnExit { memory, table },
+    };
+    let mut ws = Workspace::new();
+    while let Some(GnnSubJob { epoch, part, job }) = rx.recv() {
+        if let Some(hook) = &fault {
+            assert!(
+                !hook(epoch, part),
+                "injected GNN worker fault at epoch {epoch} part {part}"
+            );
+        }
+        let embeddings = job.run(&model, &mut ws);
+        if tx
+            .send(GnnSubResult {
+                epoch,
+                part,
+                embeddings,
+            })
+            .is_err()
+        {
+            return;
+        }
+    }
+}
+
+/// Reorder worker: the commit point of the data-parallel GNN stage.  Batch
+/// headers arrive in epoch order (SPSC from the memory worker); sub-results
+/// arrive in arbitrary order from the worker pool.  For each header it
+/// collects the batch's parts — stashing parts of *later* epochs until their
+/// header is current — concatenates them in part order (bitwise-equal to the
+/// unsplit run), and emits the [`ServedBatch`].  The stash is bounded by the
+/// header/dispatch queue capacities: only in-flight epochs can have parts
+/// outstanding.
+pub(crate) fn reorder_loop(
+    rx_header: Receiver<GnnBatchHeader>,
+    rx_parts: MpmcReceiver<GnnSubResult>,
+    tx: Sender<ServedBatch>,
     collector: Arc<Collector>,
 ) {
-    let mut ws = Workspace::new();
-    while let Some(GnnJob {
+    let mut stash: HashMap<(u64, usize), PartEmbeddings> = HashMap::new();
+    while let Some(GnnBatchHeader {
         epoch,
-        job,
+        num_parts,
         events,
         sealed_at,
-    }) = rx.recv()
+    }) = rx_header.recv()
     {
-        let embeddings = job.run(&model, &mut ws);
+        let mut parts: Vec<Option<PartEmbeddings>> = vec![None; num_parts];
+        let mut have = 0usize;
+        for (p, slot) in parts.iter_mut().enumerate() {
+            if let Some(r) = stash.remove(&(epoch, p)) {
+                *slot = Some(r);
+                have += 1;
+            }
+        }
+        while have < num_parts {
+            match rx_parts.recv() {
+                Some(GnnSubResult {
+                    epoch: e,
+                    part,
+                    embeddings,
+                }) => {
+                    if e == epoch {
+                        debug_assert!(parts[part].is_none(), "duplicate sub-result");
+                        parts[part] = Some(embeddings);
+                        have += 1;
+                    } else {
+                        stash.insert((e, part), embeddings);
+                    }
+                }
+                // The worker pool is gone with this batch incomplete — a
+                // worker died; unwind (the pool's poison guard handles the
+                // stages behind us).
+                None => return,
+            }
+        }
+        let mut embeddings = Vec::new();
+        for part in parts {
+            embeddings.extend(part.expect("all parts collected"));
+        }
         let latency = sealed_at.elapsed();
         collector.record_batch(events.len(), embeddings.len(), latency);
         if tx

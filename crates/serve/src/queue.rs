@@ -1,4 +1,4 @@
-//! Bounded SPSC queues with occupancy statistics.
+//! Bounded SPSC and MPMC queues with occupancy statistics.
 //!
 //! Each pipeline stage pair is connected by one of these: a fixed-capacity
 //! FIFO whose `send` blocks when the downstream stage falls behind — that
@@ -7,11 +7,18 @@
 //! [`Sender`]; the receiver then drains the remaining items and observes end
 //! of stream, which is how shutdown ripples down the pipeline.
 //!
-//! The queues are single-producer single-consumer by construction of the
-//! pipeline (each stage owns exactly one end), but the implementation is a
-//! plain mutex + condvars — at micro-batch granularity (hundreds of events
-//! per item) lock overhead is noise, and a mutex keeps the close/backpressure
-//! semantics obvious.
+//! Two flavours share the semantics:
+//! * [`channel`] — single-producer single-consumer, one end per stage;
+//! * [`mpmc_channel`] — multi-producer multi-consumer with clonable ends,
+//!   used as the dispatch/result queues of the data-parallel GNN worker
+//!   pool.  The channel closes when the last [`MpmcSender`] drops (or
+//!   [`MpmcSender::close`]/[`MpmcReceiver::close`] is called explicitly), and
+//!   `send` fails once every receiver is gone — so a dying worker pool can
+//!   never strand a blocked producer or consumer.
+//!
+//! Both are a plain mutex + condvars — at micro-batch granularity (hundreds
+//! of events per item) lock overhead is noise, and a mutex keeps the
+//! close/backpressure semantics obvious.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -259,6 +266,249 @@ impl<T> QueueMonitor<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// MPMC variant
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct MpmcState<T> {
+    queue: VecDeque<T>,
+    /// Live `MpmcSender` clones; the channel closes when this reaches 0.
+    senders: usize,
+    /// Live `MpmcReceiver` clones; `send` fails when this reaches 0.
+    receivers: usize,
+    /// Set by the last sender dropping or an explicit `close()` from either
+    /// end: no further sends succeed, receivers drain then observe Closed.
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct MpmcInner<T> {
+    state: Mutex<MpmcState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    name: &'static str,
+    pushes: AtomicU64,
+    depth_sum: AtomicU64,
+    max_depth: AtomicUsize,
+    blocked_sends: AtomicU64,
+}
+
+impl<T> MpmcInner<T> {
+    fn stats(&self) -> QueueStats {
+        let pushes = self.pushes.load(Ordering::Relaxed);
+        QueueStats {
+            name: self.name,
+            capacity: self.capacity,
+            pushes,
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+            mean_depth: if pushes == 0 {
+                0.0
+            } else {
+                self.depth_sum.load(Ordering::Relaxed) as f64 / pushes as f64
+            },
+            blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Marks the channel closed and wakes every blocked sender and receiver.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Clonable producer end of an MPMC channel.
+#[derive(Debug)]
+pub struct MpmcSender<T> {
+    inner: Arc<MpmcInner<T>>,
+}
+
+/// Clonable consumer end of an MPMC channel.
+#[derive(Debug)]
+pub struct MpmcReceiver<T> {
+    inner: Arc<MpmcInner<T>>,
+}
+
+/// Read-only observer of an MPMC queue's depth and statistics.
+#[derive(Debug, Clone)]
+pub struct MpmcMonitor<T> {
+    inner: Arc<MpmcInner<T>>,
+}
+
+/// Creates a bounded MPMC channel.  Both ends are clonable; the channel
+/// closes when the last sender drops (or either end calls `close()`).
+///
+/// # Panics
+/// Panics if `capacity == 0`.
+pub fn mpmc_channel<T>(name: &'static str, capacity: usize) -> (MpmcSender<T>, MpmcReceiver<T>) {
+    assert!(capacity > 0, "mpmc channel: capacity must be positive");
+    let inner = Arc::new(MpmcInner {
+        state: Mutex::new(MpmcState {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            receivers: 1,
+            closed: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+        name,
+        pushes: AtomicU64::new(0),
+        depth_sum: AtomicU64::new(0),
+        max_depth: AtomicUsize::new(0),
+        blocked_sends: AtomicU64::new(0),
+    });
+    (
+        MpmcSender {
+            inner: inner.clone(),
+        },
+        MpmcReceiver { inner },
+    )
+}
+
+impl<T> MpmcSender<T> {
+    /// Pushes an item, blocking while the queue is full (backpressure).
+    /// Returns the item back if the channel is closed or every receiver is
+    /// gone — including when either happens *while* blocked.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().unwrap();
+        let mut counted_block = false;
+        loop {
+            if state.closed || state.receivers == 0 {
+                return Err(item);
+            }
+            if state.queue.len() < inner.capacity {
+                state.queue.push_back(item);
+                let depth = state.queue.len();
+                drop(state);
+                inner.pushes.fetch_add(1, Ordering::Relaxed);
+                inner.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
+                inner.max_depth.fetch_max(depth, Ordering::Relaxed);
+                inner.not_empty.notify_one();
+                return Ok(());
+            }
+            if !counted_block {
+                inner.blocked_sends.fetch_add(1, Ordering::Relaxed);
+                counted_block = true;
+            }
+            state = inner.not_full.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the channel: blocked and future `send`s fail, receivers drain
+    /// the remaining items and then observe end of stream.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    /// A monitoring handle for this queue.
+    pub fn monitor(&self) -> MpmcMonitor<T> {
+        MpmcMonitor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for MpmcSender<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().senders += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for MpmcSender<T> {
+    fn drop(&mut self) {
+        // Count decrement, close flag, and wakeup all happen under the state
+        // mutex — same lost-wakeup discipline as the SPSC ends.
+        let mut state = self.inner.state.lock().unwrap();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        if last {
+            state.closed = true;
+        }
+        drop(state);
+        if last {
+            self.inner.not_empty.notify_all();
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> MpmcReceiver<T> {
+    /// Pops the next item, blocking until one arrives.  Returns `None` once
+    /// the channel is closed *and* drained.
+    pub fn recv(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let mut state = inner.state.lock().unwrap();
+        loop {
+            if let Some(item) = state.queue.pop_front() {
+                drop(state);
+                inner.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = inner.not_empty.wait(state).unwrap();
+        }
+    }
+
+    /// Closes the channel from the consumer side: blocked and future `send`s
+    /// fail, remaining items stay poppable.
+    pub fn close(&self) {
+        self.inner.close();
+    }
+
+    /// A monitoring handle for this queue.
+    pub fn monitor(&self) -> MpmcMonitor<T> {
+        MpmcMonitor {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Clone for MpmcReceiver<T> {
+    fn clone(&self) -> Self {
+        self.inner.state.lock().unwrap().receivers += 1;
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Drop for MpmcReceiver<T> {
+    fn drop(&mut self) {
+        let mut state = self.inner.state.lock().unwrap();
+        state.receivers -= 1;
+        let last = state.receivers == 0;
+        drop(state);
+        if last {
+            // Senders blocked on a full queue must fail, not wait forever.
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+impl<T> MpmcMonitor<T> {
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.inner.state.lock().unwrap().queue.len()
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> QueueStats {
+        self.inner.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,5 +560,89 @@ mod tests {
         tx.send(1).unwrap();
         drop(rx);
         assert_eq!(tx.send(2), Err(2));
+    }
+
+    #[test]
+    fn mpmc_fifo_and_close_on_last_sender_drop() {
+        let (tx, rx) = mpmc_channel::<u32>("test", 4);
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Some(1)); // still open: tx2 alive
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None); // closed and drained
+    }
+
+    #[test]
+    fn mpmc_many_producers_many_consumers_deliver_every_item() {
+        let (tx, rx) = mpmc_channel::<u32>("test", 3);
+        let mut producers = Vec::new();
+        for p in 0..4u32 {
+            let tx = tx.clone();
+            producers.push(thread::spawn(move || {
+                for i in 0..50 {
+                    tx.send(p * 1000 + i).unwrap();
+                }
+            }));
+        }
+        drop(tx);
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            consumers.push(thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(x) = rx.recv() {
+                    got.push(x);
+                }
+                got
+            }));
+        }
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u32> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let mut want: Vec<u32> = (0..4u32)
+            .flat_map(|p| (0..50).map(move |i| p * 1000 + i))
+            .collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn mpmc_explicit_close_fails_blocked_sender_and_drains_receiver() {
+        let (tx, rx) = mpmc_channel::<u32>("test", 1);
+        tx.send(7).unwrap();
+        let blocked = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(8))
+        };
+        thread::sleep(Duration::from_millis(10));
+        rx.close();
+        assert_eq!(blocked.join().unwrap(), Err(8));
+        assert_eq!(rx.recv(), Some(7)); // remaining item stays poppable
+        assert_eq!(rx.recv(), None);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn mpmc_send_fails_once_every_receiver_is_gone() {
+        let (tx, rx) = mpmc_channel::<u32>("test", 1);
+        let rx2 = rx.clone();
+        tx.send(1).unwrap();
+        drop(rx);
+        let blocked = {
+            let tx = tx.clone();
+            thread::spawn(move || tx.send(2))
+        };
+        thread::sleep(Duration::from_millis(10));
+        drop(rx2); // last receiver: blocked send must fail, not hang
+        assert_eq!(blocked.join().unwrap(), Err(2));
     }
 }

@@ -2,10 +2,11 @@
 //! backpressure-aware serve report.
 
 use crate::pipeline::{
-    batcher_loop, gnn_loop, memory_loop, sampler_loop, update_loop, Collector, GnnJob, SampledJob,
-    SealedBatch, ServedBatch, UpdateJob,
+    batcher_loop, gnn_worker_loop, memory_loop, reorder_loop, sampler_loop, update_loop, Collector,
+    GnnBatchHeader, GnnFaultHook, GnnSubJob, GnnSubResult, SampledJob, SealedBatch, ServedBatch,
+    UpdateJob,
 };
-use crate::queue::{channel, QueueStats, Receiver, Sender};
+use crate::queue::{channel, mpmc_channel, QueueStats, Receiver, Sender};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -18,7 +19,7 @@ use tgnn_graph::{EventBatch, InteractionEvent, ShardedNeighborTable, TemporalGra
 use tgnn_tensor::Workspace;
 
 /// Tuning knobs of the streaming pipeline.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Seal a micro-batch once this many events are pending.
     pub max_batch: usize,
@@ -33,6 +34,14 @@ pub struct ServeConfig {
     pub results_capacity: usize,
     /// Number of vertex shards for the neighbor table and the memory table.
     pub num_shards: usize,
+    /// Number of data-parallel GNN compute workers.  Each batch's GNN job is
+    /// split into up to this many sub-jobs served from one shared dispatch
+    /// queue; the reorder stage keeps the output stream in epoch order and
+    /// bit-identical to `ExecMode::Serial` for every worker count.
+    pub gnn_workers: usize,
+    /// Test-only fault-injection hook passed to every GNN worker; `None` in
+    /// production.  See [`GnnFaultHook`].
+    pub gnn_fault: Option<GnnFaultHook>,
 }
 
 impl Default for ServeConfig {
@@ -44,7 +53,24 @@ impl Default for ServeConfig {
             stage_capacity: 4,
             results_capacity: 256,
             num_shards: 4,
+            gnn_workers: 1,
+            gnn_fault: None,
         }
+    }
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeConfig")
+            .field("max_batch", &self.max_batch)
+            .field("batch_deadline", &self.batch_deadline)
+            .field("admission_capacity", &self.admission_capacity)
+            .field("stage_capacity", &self.stage_capacity)
+            .field("results_capacity", &self.results_capacity)
+            .field("num_shards", &self.num_shards)
+            .field("gnn_workers", &self.gnn_workers)
+            .field("gnn_fault", &self.gnn_fault.as_ref().map(|_| "<hook>"))
+            .finish()
     }
 }
 
@@ -106,6 +132,8 @@ pub struct ServeReport {
     pub commit_log_clean: bool,
     /// Shard count the session ran with.
     pub num_shards: usize,
+    /// Data-parallel GNN worker count the session ran with.
+    pub gnn_workers: usize,
 }
 
 /// Why a `submit` was rejected.
@@ -160,14 +188,24 @@ pub struct StreamServer {
     last_timestamp: Timestamp,
     submitted: usize,
     num_shards: usize,
+    gnn_workers: usize,
 }
 
 impl StreamServer {
-    /// Builds the sharded state and spawns the five pipeline workers
-    /// (batcher, sampler, memory, update, GNN).
+    /// Builds the sharded state and spawns the pipeline workers: batcher,
+    /// sampler, memory, update, `gnn_workers` GNN compute workers sharing
+    /// one dispatch queue, and the reorder worker that restores epoch order.
+    ///
+    /// # Panics
+    /// Panics if `config.gnn_workers == 0`.
     pub fn new(model: TgnModel, graph: Arc<TemporalGraph>, config: ServeConfig) -> Self {
+        assert!(
+            config.gnn_workers > 0,
+            "StreamServer: need at least one GNN worker"
+        );
         let num_nodes = graph.num_nodes();
         let num_shards = config.num_shards;
+        let gnn_workers = config.gnn_workers;
         let model = Arc::new(model);
         let memory = Arc::new(ShardedMemory::for_config(
             num_nodes,
@@ -190,9 +228,17 @@ impl StreamServer {
         let (sampled_tx, sampled_rx) =
             channel::<SampledJob>("sampler→memory", config.stage_capacity);
         let (update_tx, update_rx) = channel::<UpdateJob>("memory→update", config.stage_capacity);
-        let (gnn_tx, gnn_rx) = channel::<GnnJob>("memory→gnn", config.stage_capacity);
+        let (header_tx, header_rx) =
+            channel::<GnnBatchHeader>("memory→reorder", config.stage_capacity);
+        // The dispatch/result queues carry per-part items (up to gnn_workers
+        // per batch), so they scale with the pool size to keep the same
+        // number of batches in flight as the other stage queues.
+        let (gnn_tx, gnn_rx) =
+            mpmc_channel::<GnnSubJob>("memory→gnn", config.stage_capacity * gnn_workers);
+        let (parts_tx, parts_rx) =
+            mpmc_channel::<GnnSubResult>("gnn→reorder", config.stage_capacity * gnn_workers);
         let (results_tx, results_rx) =
-            channel::<ServedBatch>("gnn→results", config.results_capacity);
+            channel::<ServedBatch>("reorder→results", config.results_capacity);
 
         let queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>> = vec![
             {
@@ -212,7 +258,15 @@ impl StreamServer {
                 Box::new(move || m.stats())
             },
             {
+                let m = header_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
                 let m = gnn_tx.monitor();
+                Box::new(move || m.stats())
+            },
+            {
+                let m = parts_tx.monitor();
                 Box::new(move || m.stats())
             },
             {
@@ -221,7 +275,7 @@ impl StreamServer {
             },
         ];
 
-        let mut workers = Vec::with_capacity(5);
+        let mut workers = Vec::with_capacity(5 + gnn_workers);
         {
             let next_epoch = next_epoch.clone();
             let (max_batch, deadline) = (config.max_batch, config.batch_deadline);
@@ -239,7 +293,16 @@ impl StreamServer {
         {
             let (memory, model, graph) = (memory.clone(), model.clone(), graph.clone());
             workers.push(spawn("tgnn-serve-memory", move || {
-                memory_loop(sampled_rx, update_tx, gnn_tx, memory, model, graph)
+                memory_loop(
+                    sampled_rx,
+                    update_tx,
+                    header_tx,
+                    gnn_tx,
+                    gnn_workers,
+                    memory,
+                    model,
+                    graph,
+                )
             }));
         }
         {
@@ -248,10 +311,23 @@ impl StreamServer {
                 update_loop(update_rx, memory, table, log)
             }));
         }
+        for i in 0..gnn_workers {
+            let rx = gnn_rx.clone();
+            let tx = parts_tx.clone();
+            let (model, memory, table) = (model.clone(), memory.clone(), table.clone());
+            let fault = config.gnn_fault.clone();
+            workers.push(spawn(&format!("tgnn-serve-gnn-{i}"), move || {
+                gnn_worker_loop(rx, tx, model, fault, memory, table)
+            }));
+        }
+        // The originals were cloned into the pool; drop them so the dispatch
+        // and result channels close exactly when the last worker exits.
+        drop(gnn_rx);
+        drop(parts_tx);
         {
-            let (model, collector) = (model.clone(), collector.clone());
-            workers.push(spawn("tgnn-serve-gnn", move || {
-                gnn_loop(gnn_rx, results_tx, model, collector)
+            let collector = collector.clone();
+            workers.push(spawn("tgnn-serve-reorder", move || {
+                reorder_loop(header_rx, parts_rx, results_tx, collector)
             }));
         }
 
@@ -271,6 +347,7 @@ impl StreamServer {
             last_timestamp: Timestamp::NEG_INFINITY,
             submitted: 0,
             num_shards,
+            gnn_workers,
         }
     }
 
@@ -398,6 +475,7 @@ impl StreamServer {
             commits: log.commits(),
             commit_log_clean: log.is_clean(),
             num_shards: self.num_shards,
+            gnn_workers: self.gnn_workers,
         }
     }
 

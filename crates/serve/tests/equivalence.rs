@@ -37,6 +37,7 @@ fn serve_stream(
     warm: &[tgnn_graph::InteractionEvent],
     num_shards: usize,
     max_batch: usize,
+    gnn_workers: usize,
 ) -> (Vec<ServedBatch>, tgnn_serve::ServeReport) {
     let config = ServeConfig {
         max_batch,
@@ -44,6 +45,7 @@ fn serve_stream(
         // deterministic (size-only) for the replay comparison.
         batch_deadline: Duration::from_secs(3600),
         num_shards,
+        gnn_workers,
         ..ServeConfig::default()
     };
     let mut server = StreamServer::new(model, graph.clone(), config);
@@ -107,22 +109,35 @@ fn pipelined_output_is_bit_identical_across_shards_and_batch_sizes() {
         let (model, graph) = setup(seed, OptimizationVariant::NpMedium);
         let graph = Arc::new(graph);
         let events = &graph.events()[..240.min(graph.num_events())];
-        for num_shards in [1usize, 2, 4, 7] {
-            for max_batch in [17usize, 64] {
-                let label = format!("seed={seed} shards={num_shards} batch={max_batch}");
-                let (served, report) =
-                    serve_stream(model.clone(), &graph, events, &[], num_shards, max_batch);
-                let total: usize = served.iter().map(|b| b.events.len()).sum();
-                assert_eq!(total, events.len(), "{label}: events lost or duplicated");
-                assert!(report.commit_log_clean, "{label}");
-                assert_eq!(report.num_batches, served.len(), "{label}");
-                assert_eq!(report.num_shards, num_shards, "{label}");
-                // Epochs arrive in order.
-                assert!(
-                    served.windows(2).all(|w| w[0].epoch < w[1].epoch),
-                    "{label}: epochs out of order"
-                );
-                assert_matches_serial(model.clone(), &graph, &[], &served, &label);
+        for gnn_workers in [1usize, 2, 4] {
+            for num_shards in [1usize, 2, 4, 7] {
+                for max_batch in [17usize, 64] {
+                    let label = format!(
+                        "seed={seed} shards={num_shards} batch={max_batch} gnn={gnn_workers}"
+                    );
+                    let (served, report) = serve_stream(
+                        model.clone(),
+                        &graph,
+                        events,
+                        &[],
+                        num_shards,
+                        max_batch,
+                        gnn_workers,
+                    );
+                    let total: usize = served.iter().map(|b| b.events.len()).sum();
+                    assert_eq!(total, events.len(), "{label}: events lost or duplicated");
+                    assert!(report.commit_log_clean, "{label}");
+                    assert_eq!(report.num_batches, served.len(), "{label}");
+                    assert_eq!(report.num_shards, num_shards, "{label}");
+                    assert_eq!(report.gnn_workers, gnn_workers, "{label}");
+                    // Epochs arrive in order — for every worker count, the
+                    // reorder stage must undo the pool's racing.
+                    assert!(
+                        served.windows(2).all(|w| w[0].epoch < w[1].epoch),
+                        "{label}: epochs out of order"
+                    );
+                    assert_matches_serial(model.clone(), &graph, &[], &served, &label);
+                }
             }
         }
     }
@@ -134,10 +149,14 @@ fn warmed_up_server_matches_warmed_up_serial_engine() {
     let graph = Arc::new(graph);
     let warm = graph.train_events().to_vec();
     let measure: Vec<_> = graph.events()[graph.train_end()..].to_vec();
-    let (served, report) = serve_stream(model.clone(), &graph, &measure, &warm, 4, 50);
-    assert!(report.commit_log_clean);
-    assert!(report.num_embeddings > 0);
-    assert_matches_serial(model.clone(), &graph, &warm, &served, "warmed");
+    for gnn_workers in [1usize, 3] {
+        let (served, report) =
+            serve_stream(model.clone(), &graph, &measure, &warm, 4, 50, gnn_workers);
+        assert!(report.commit_log_clean);
+        assert!(report.num_embeddings > 0);
+        let label = format!("warmed gnn={gnn_workers}");
+        assert_matches_serial(model.clone(), &graph, &warm, &served, &label);
+    }
 }
 
 #[test]
@@ -145,7 +164,8 @@ fn single_event_batches_preserve_chronology() {
     let (model, graph) = setup(13, OptimizationVariant::Baseline);
     let graph = Arc::new(graph);
     let events = &graph.events()[..60];
-    let (served, report) = serve_stream(model.clone(), &graph, events, &[], 3, 1);
+    // Workers exceed batch vertices: every batch degenerates to one sub-job.
+    let (served, report) = serve_stream(model.clone(), &graph, events, &[], 3, 1, 4);
     assert_eq!(served.len(), 60, "one micro-batch per event");
     assert!(report.commit_log_clean);
     assert_matches_serial(model.clone(), &graph, &[], &served, "batch=1");

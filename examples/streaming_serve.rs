@@ -37,11 +37,15 @@ fn main() {
     model.calibrate_lut(&memory_delta_t(graph.events(), graph.num_nodes()));
 
     // 3. A streaming server: 4 vertex shards, micro-batches of up to 200
-    //    events sealed after at most 20 ms.
+    //    events sealed after at most 20 ms, and the dominant GNN compute
+    //    stage data-parallel over 2 workers (the reorder stage keeps the
+    //    output stream in epoch order and bit-identical to the serial
+    //    engine for any worker count).
     let serve_config = ServeConfig {
         max_batch: 200,
         batch_deadline: Duration::from_millis(20),
         num_shards: 4,
+        gnn_workers: 2,
         ..ServeConfig::default()
     };
     let mut server = StreamServer::new(model, graph.clone(), serve_config);
@@ -64,8 +68,8 @@ fn main() {
         embeddings += batch.embeddings.len();
     }
     println!(
-        "served {} events in {} micro-batches → {} embeddings",
-        report.num_events, report.num_batches, embeddings
+        "served {} events in {} micro-batches → {} embeddings ({} gnn workers)",
+        report.num_events, report.num_batches, embeddings, report.gnn_workers
     );
     println!(
         "throughput: {:.0} edges/sec — latency mean {:.3} ms, p50 {:.3} ms, p95 {:.3} ms, p99 {:.3} ms",
