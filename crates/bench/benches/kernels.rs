@@ -28,6 +28,32 @@ fn bench_gemm(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rayon", n), &n, |bench, _| {
             bench.iter(|| black_box(par_matmul(&a, &b)))
         });
+        group.bench_with_input(BenchmarkId::new("int8", n), &n, |bench, _| {
+            // Weights pre-quantized + pre-packed (the QuantizedLinear setup
+            // cost); per-iteration work = activation quantization + i8 GEMM
+            // + fused dequant, i.e. what the engine pays per batch.
+            use tgnn_tensor::gemm_i8::{
+                matmul_i8_dequant_into, pack_rhs_i8, packed_rhs_len, padded_k, quantize_slice_into,
+            };
+            let bt = b.transpose();
+            let mut bt_q = vec![0i8; n * n];
+            for i in 0..n {
+                quantize_slice_into(bt.row(i), 1.0 / 127.0, &mut bt_q[i * n..(i + 1) * n]);
+            }
+            let mut packed = vec![0i8; packed_rhs_len(n, n)];
+            pack_rhs_i8(&bt_q, n, n, &mut packed);
+            let scales = vec![1.0f32; n];
+            let kp = padded_k(n);
+            let mut a_q = vec![0i8; n * kp];
+            let mut c_out = Matrix::zeros(n, n);
+            bench.iter(|| {
+                for i in 0..n {
+                    quantize_slice_into(a.row(i), 1.0 / 127.0, &mut a_q[i * kp..(i + 1) * kp]);
+                }
+                matmul_i8_dequant_into(&a_q, n, n, &packed, n, &scales, None, &mut c_out);
+                black_box(c_out.as_slice()[0])
+            })
+        });
     }
     group.finish();
 }

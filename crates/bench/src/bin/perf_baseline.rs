@@ -2,16 +2,25 @@
 //!
 //! Streams the Wikipedia-like preset through the inference engine in every
 //! execution mode and reports edges/sec and mean batch latency, verifying on
-//! the way that the optimized modes reproduce the serial reference
-//! embeddings bit-for-bit.  Writes `BENCH_baseline.json` (override with
-//! `--out <path>`) so future PRs can track the throughput trajectory.
+//! the way that the optimized f32 modes reproduce the serial reference
+//! embeddings bit-for-bit.  The int8 path (`ExecMode::Quantized`) is then
+//! calibrated on the warm-up split and measured on the same stream; its
+//! embedding error against the serial reference (cosine similarity, max-abs)
+//! is reported alongside the throughput, together with an int8-vs-f32 packed
+//! GEMM microbenchmark at square attention-sized shapes.  Writes
+//! `BENCH_baseline.json` (override with `--out <path>`) so future PRs can
+//! track the throughput trajectory.
 //!
 //! Run with: `cargo run --release -p tgnn-bench --bin perf_baseline -- --scale 0.02`
 
+use std::sync::Arc;
 use std::time::Instant;
-use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_bench::{build_model, harness_model_config, merge_baseline_row, Dataset, HarnessArgs};
+use tgnn_core::quantized::quantize_model;
 use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
 use tgnn_graph::batching::fixed_size_batches;
+use tgnn_quant::QuantConfig;
+use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 
 const BATCH_SIZE: usize = 200;
 
@@ -50,25 +59,10 @@ fn main() {
     let mut results: Vec<ModeResult> = Vec::new();
     for mode in [ExecMode::Serial, ExecMode::Batched, ExecMode::Parallel] {
         let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(mode);
-        engine.warm_up(warm_events, &graph);
-        let batches = fixed_size_batches(measure_events, BATCH_SIZE);
-
-        let start = Instant::now();
-        let mut embeddings: Vec<(u32, Vec<f32>)> = Vec::new();
-        let mut latencies = Vec::with_capacity(batches.len());
-        for batch in &batches {
-            let out = engine.process_batch(batch, &graph);
-            latencies.push(out.latency);
-            embeddings.extend(out.embeddings);
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-
-        let eps = measure_events.len() as f64 / elapsed;
-        let mean_ms = latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>()
-            / latencies.len().max(1) as f64
-            * 1e3;
+        let (eps, mean_ms, embeddings) =
+            run_stream(&mut engine, warm_events, measure_events, &graph);
         println!(
-            "mode {:>8?}: {:>10.0} edges/sec, mean batch latency {:.3} ms",
+            "mode {:>9?}: {:>10.0} edges/sec, mean batch latency {:.3} ms",
             mode, eps, mean_ms
         );
 
@@ -85,6 +79,53 @@ fn main() {
             events_per_sec: eps,
             mean_latency_ms: mean_ms,
         });
+    }
+
+    // --- Quantized run: calibrate on the warm split, serve int8, measure
+    // accuracy against the serial reference.
+    let quant_config = QuantConfig::default();
+    let q = Arc::new(quantize_model(
+        &model,
+        &graph,
+        &[],
+        warm_events,
+        BATCH_SIZE,
+        quant_config,
+    ));
+    let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes()).with_quantized(q);
+    let (q_eps, q_mean_ms, q_embeddings) =
+        run_stream(&mut engine, warm_events, measure_events, &graph);
+
+    assert_eq!(reference_embeddings.len(), q_embeddings.len());
+    let mut cos_min: f32 = 1.0;
+    let mut cos_sum = 0.0f64;
+    let mut max_err: f32 = 0.0;
+    for ((v_a, e_a), (v_b, e_b)) in reference_embeddings.iter().zip(&q_embeddings) {
+        assert_eq!(v_a, v_b, "quantized vertex order diverged");
+        let cos = cosine_agreement(e_a, e_b);
+        cos_min = cos_min.min(cos);
+        cos_sum += cos as f64;
+        max_err = max_err.max(max_abs_diff(e_a, e_b));
+    }
+    let cos_mean = cos_sum / reference_embeddings.len().max(1) as f64;
+    let batched_eps = results[1].events_per_sec;
+    println!(
+        "mode Quantized: {:>10.0} edges/sec, mean batch latency {:.3} ms ({:+.1}% vs Batched)",
+        q_eps,
+        q_mean_ms,
+        100.0 * (q_eps / batched_eps - 1.0)
+    );
+    println!(
+        "     accuracy : embedding cosine vs serial — min {cos_min:.6}, mean {cos_mean:.6}, max abs err {max_err:.5}"
+    );
+
+    // --- int8 vs f32 packed GEMM microbenchmark at square shapes.
+    let gemm = gemm_i8_microbench(&[64, 128, 256]);
+    for &(n, f32_us, i8_us) in &gemm {
+        println!(
+            "gemm {n:>4}²: f32 packed {f32_us:>8.1} µs, int8 {i8_us:>8.1} µs ({:.2}x)",
+            f32_us / i8_us
+        );
     }
 
     let serial = results[0].events_per_sec;
@@ -127,5 +168,102 @@ fn main() {
     ));
     json.push_str("  \"embeddings_bitwise_identical\": true\n}\n");
     std::fs::write(&out_path, json).expect("failed to write throughput baseline");
+
+    // The int8 row rides in via the shared merge helper so `serve_bench` and
+    // `quant_gate` can later extend the same file.
+    let gemm_rows: Vec<String> = gemm
+        .iter()
+        .map(|&(n, f32_us, i8_us)| format!("\"{n}\": {:.3}", f32_us / i8_us))
+        .collect();
+    let quant_row = format!(
+        "{{\n    \"exec_mode\": \"Quantized\",\n    \"events_per_sec\": {:.1},\n    \"mean_batch_latency_ms\": {:.4},\n    \"speedup_vs_batched\": {:.3},\n    \"embedding_cosine_min\": {:.6},\n    \"embedding_cosine_mean\": {:.6},\n    \"embedding_max_abs_err\": {:.6},\n    \"clip_percentile\": {},\n    \"quantize_gru\": {},\n    \"gemm_i8_speedup\": {{ {} }}\n  }}",
+        q_eps,
+        q_mean_ms,
+        q_eps / batched_eps,
+        cos_min,
+        cos_mean,
+        max_err,
+        quant_config.clip_percentile,
+        quant_config.quantize_gru,
+        gemm_rows.join(", "),
+    );
+    merge_baseline_row(&out_path, "quant", &quant_row);
     println!("wrote {out_path}");
+}
+
+/// Warm up, stream the measurement events in fixed-size batches, and return
+/// `(events/sec, mean latency ms, embeddings)`.
+fn run_stream(
+    engine: &mut InferenceEngine,
+    warm_events: &[tgnn_graph::InteractionEvent],
+    measure_events: &[tgnn_graph::InteractionEvent],
+    graph: &tgnn_graph::TemporalGraph,
+) -> (f64, f64, Vec<(u32, Vec<f32>)>) {
+    engine.warm_up(warm_events, graph);
+    let batches = fixed_size_batches(measure_events, BATCH_SIZE);
+    let start = Instant::now();
+    let mut embeddings: Vec<(u32, Vec<f32>)> = Vec::new();
+    let mut latencies = Vec::with_capacity(batches.len());
+    for batch in &batches {
+        let out = engine.process_batch(batch, graph);
+        latencies.push(out.latency);
+        embeddings.extend(out.embeddings);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let eps = measure_events.len() as f64 / elapsed;
+    let mean_ms = latencies.iter().map(|l| l.as_secs_f64()).sum::<f64>()
+        / latencies.len().max(1) as f64
+        * 1e3;
+    (eps, mean_ms, embeddings)
+}
+
+/// Times the f32 packed kernel against the int8 kernel (activation
+/// quantization included — the cost the engine actually pays) at square
+/// shapes.  Returns `(n, f32 µs, int8 µs)` per shape.
+fn gemm_i8_microbench(sizes: &[usize]) -> Vec<(usize, f64, f64)> {
+    use tgnn_tensor::gemm::matmul_packed_into;
+    use tgnn_tensor::gemm_i8::{
+        matmul_i8_dequant_into, pack_rhs_i8, packed_rhs_len, padded_k, quantize_slice_into,
+    };
+    use tgnn_tensor::{Matrix, TensorRng, Workspace};
+
+    let mut rng = TensorRng::new(11);
+    let mut out = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let a = rng.uniform_matrix(n, n, -1.0, 1.0);
+        let b = rng.uniform_matrix(n, n, -1.0, 1.0);
+        let mut ws = Workspace::new();
+        let mut c = Matrix::zeros(n, n);
+        let iters = (100_000_000 / (n * n * n)).max(5);
+
+        matmul_packed_into(&a, &b, &mut c, &mut ws); // warm the pack buffer
+        let start = Instant::now();
+        for _ in 0..iters {
+            matmul_packed_into(&a, &b, &mut c, &mut ws);
+        }
+        let f32_us = start.elapsed().as_secs_f64() / iters as f64 * 1e6;
+
+        // Weights pre-quantized and pre-packed (as QuantizedLinear does);
+        // activations quantized per call.
+        let bt = b.transpose();
+        let mut bt_q = vec![0i8; n * n];
+        for i in 0..n {
+            quantize_slice_into(bt.row(i), 1.0 / 127.0, &mut bt_q[i * n..(i + 1) * n]);
+        }
+        let mut packed = vec![0i8; packed_rhs_len(n, n)];
+        pack_rhs_i8(&bt_q, n, n, &mut packed);
+        let scales = vec![1.0f32; n];
+        let kp = padded_k(n);
+        let mut a_q = vec![0i8; n * kp];
+        let start = Instant::now();
+        for _ in 0..iters {
+            for i in 0..n {
+                quantize_slice_into(a.row(i), 1.0 / 127.0, &mut a_q[i * kp..(i + 1) * kp]);
+            }
+            matmul_i8_dequant_into(&a_q, n, n, &packed, n, &scales, None, &mut c);
+        }
+        let i8_us = start.elapsed().as_secs_f64() / iters as f64 * 1e6;
+        out.push((n, f32_us, i8_us));
+    }
+    out
 }

@@ -1,0 +1,178 @@
+//! The int8 accuracy gate — CI fails this binary when quantization costs
+//! more accuracy than the documented budget.
+//!
+//! On a fixed seed the gate trains a small TGN bundle (self-supervised, the
+//! paper's protocol at harness scale), calibrates + quantizes it, and
+//! compares the int8 path against f32 on two axes:
+//!
+//! 1. **Embedding fidelity** — streaming the test split through
+//!    `ExecMode::Batched` and `ExecMode::Quantized`, the worst per-vertex
+//!    embedding cosine must stay ≥ [`COSINE_FLOOR`].
+//! 2. **Task accuracy** — temporal link-prediction Average Precision with
+//!    the same decoder and the same negative samples: the int8 AP may drop
+//!    at most [`AP_DELTA_MAX`] below f32.
+//!
+//! Both thresholds are the documented accuracy budget of the int8 backend
+//! (see README "Numerics & quantization").  Unless `--smoke`, the measured
+//! numbers are merged into `BENCH_baseline.json` under `"quant_gate"`.
+//!
+//! Run with:
+//! `cargo run --release -p tgnn-bench --bin quant_gate -- --scale 0.02 --seed 7 --epochs 2`
+
+use std::sync::Arc;
+use tgnn_bench::{harness_model_config, merge_baseline_row, Dataset, HarnessArgs};
+use tgnn_core::link_prediction::evaluate_link_prediction;
+use tgnn_core::quantized::quantize_model;
+use tgnn_core::training::{TrainConfig, Trainer};
+use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant, TimeEncoderKind};
+use tgnn_graph::EventBatch;
+use tgnn_quant::QuantConfig;
+use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
+use tgnn_tensor::TensorRng;
+
+/// Worst-pair embedding cosine the int8 path must maintain vs f32.
+const COSINE_FLOOR: f32 = 0.999;
+/// Maximum tolerated link-prediction AP drop (absolute) vs f32.
+const AP_DELTA_MAX: f32 = 0.02;
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        args.scale = 0.005;
+        args.epochs = 1;
+    }
+    let out_path = {
+        let argv: Vec<String> = std::env::args().collect();
+        argv.windows(2)
+            .find(|w| w[0] == "--out")
+            .map(|w| w[1].clone())
+            .unwrap_or_else(|| "BENCH_baseline.json".to_string())
+    };
+
+    let graph = Dataset::Wikipedia.graph(args.scale, args.seed);
+    let variant = OptimizationVariant::NpMedium;
+    let cfg = harness_model_config(&graph, variant);
+    println!(
+        "quant gate: Wikipedia-like @ scale {} seed {} — {} events, variant {}, {} epochs{}",
+        args.scale,
+        args.seed,
+        graph.num_events(),
+        variant.label(),
+        args.epochs,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // --- Train the f32 bundle (model + decoder) and mirror deployment by
+    // calibrating the LUT time encoder afterwards.
+    let train_cfg = TrainConfig {
+        epochs: args.epochs,
+        batch_size: 100,
+        learning_rate: 1e-3,
+        decoder_hidden: 32,
+        seed: args.seed,
+    };
+    let trainer = Trainer::new(train_cfg.clone());
+    let mut bundle = trainer.train(&cfg, &graph);
+    if bundle.model.config.time_encoder == TimeEncoderKind::Lut {
+        let deltas = tgnn_data::delta_t::memory_delta_t(graph.events(), graph.num_nodes());
+        bundle.model.calibrate_lut(&deltas);
+    }
+
+    // --- f32 reference AP (the trainer's own protocol: warm on train+val,
+    // evaluate the test split).
+    let f32_eval = trainer.evaluate(&bundle, &graph, 200);
+
+    // --- Calibrate + quantize on the train split, then evaluate the int8
+    // path with the *same* decoder and the *same* negative-sample RNG.
+    let q = Arc::new(quantize_model(
+        &bundle.model,
+        &graph,
+        &[],
+        graph.train_events(),
+        200,
+        QuantConfig::default(),
+    ));
+    let mut rng = TensorRng::new(train_cfg.seed ^ 0xea1);
+    let mut q_engine =
+        InferenceEngine::new(bundle.model.clone(), graph.num_nodes()).with_quantized(q.clone());
+    q_engine.warm_up(graph.train_events(), &graph);
+    q_engine.warm_up(graph.val_events(), &graph);
+    let int8_eval = evaluate_link_prediction(
+        &mut q_engine,
+        &bundle.decoder,
+        graph.test_events(),
+        &graph,
+        200,
+        &mut rng,
+    );
+
+    // --- Embedding fidelity over the test split: Batched (f32) vs Quantized
+    // engines on identical batch boundaries.
+    let mut f32_engine =
+        InferenceEngine::new(bundle.model.clone(), graph.num_nodes()).with_mode(ExecMode::Batched);
+    let mut q_engine =
+        InferenceEngine::new(bundle.model.clone(), graph.num_nodes()).with_quantized(q);
+    for engine in [&mut f32_engine, &mut q_engine] {
+        engine.warm_up(graph.train_events(), &graph);
+        engine.warm_up(graph.val_events(), &graph);
+    }
+    let mut cos_min: f32 = 1.0;
+    let mut cos_sum = 0.0f64;
+    let mut count = 0usize;
+    let mut max_err: f32 = 0.0;
+    for chunk in graph.test_events().chunks(200) {
+        let batch = EventBatch::new(chunk.to_vec());
+        let reference = f32_engine.process_batch(&batch, &graph);
+        let quantized = q_engine.process_batch(&batch, &graph);
+        for ((v_a, e_a), (v_b, e_b)) in reference.embeddings.iter().zip(&quantized.embeddings) {
+            assert_eq!(v_a, v_b, "vertex order diverged between f32 and int8");
+            let cos = cosine_agreement(e_a, e_b);
+            cos_min = cos_min.min(cos);
+            cos_sum += cos as f64;
+            count += 1;
+            max_err = max_err.max(max_abs_diff(e_a, e_b));
+        }
+    }
+    let cos_mean = cos_sum / count.max(1) as f64;
+
+    let ap_delta = f32_eval.average_precision - int8_eval.average_precision;
+    println!(
+        "link prediction AP: f32 {:.4} vs int8 {:.4} (delta {:+.4}, budget {AP_DELTA_MAX})",
+        f32_eval.average_precision, int8_eval.average_precision, -ap_delta
+    );
+    println!(
+        "embedding fidelity: cosine min {cos_min:.6} (floor {COSINE_FLOOR}), mean {cos_mean:.6}, max abs err {max_err:.5} over {count} embeddings"
+    );
+
+    assert_eq!(
+        f32_eval.num_positives, int8_eval.num_positives,
+        "evaluation protocols diverged"
+    );
+    assert!(
+        cos_min >= COSINE_FLOOR,
+        "ACCURACY GATE FAILED: embedding cosine {cos_min} below the {COSINE_FLOOR} floor"
+    );
+    assert!(
+        ap_delta <= AP_DELTA_MAX,
+        "ACCURACY GATE FAILED: int8 AP dropped {ap_delta:.4} (> {AP_DELTA_MAX}) below f32"
+    );
+    println!("accuracy gate passed");
+
+    if smoke {
+        println!("smoke mode: skipping {out_path} update");
+        return;
+    }
+    let row = format!(
+        "{{\n    \"ap_f32\": {:.5},\n    \"ap_int8\": {:.5},\n    \"ap_delta\": {:.5},\n    \"ap_delta_budget\": {AP_DELTA_MAX},\n    \"embedding_cosine_min\": {:.6},\n    \"embedding_cosine_floor\": {COSINE_FLOOR},\n    \"embedding_cosine_mean\": {:.6},\n    \"embedding_max_abs_err\": {:.6},\n    \"train_epochs\": {}\n  }}",
+        f32_eval.average_precision,
+        int8_eval.average_precision,
+        ap_delta,
+        cos_min,
+        cos_mean,
+        max_err,
+        args.epochs,
+    );
+    merge_baseline_row(&out_path, "quant_gate", &row);
+    println!("wrote quant_gate row to {out_path}");
+}

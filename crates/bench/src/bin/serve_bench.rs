@@ -1,28 +1,47 @@
 //! Streaming-pipeline throughput/latency benchmark and identity check.
 //!
 //! Streams the Wikipedia-like preset through the pipelined `StreamServer`,
-//! verifies the served embeddings are **bit-identical** to `ExecMode::Serial`
-//! replaying the exact micro-batch sequence the server used, and extends
+//! verifies the served embeddings against a reference engine replaying the
+//! exact micro-batch sequence the server used, and extends
 //! `BENCH_baseline.json` (written by `perf_baseline`) with a `"pipeline"`
 //! row: events/sec plus mean/p50/p95/p99 micro-batch latency.
 //!
 //! Run with: `cargo run --release -p tgnn-bench --bin serve_bench -- --scale 0.02`
 //!
+//! `--exec-mode {batched,quantized}` selects the numeric path:
+//!
+//! * `batched` (default) — f32 serving; the served embeddings must be
+//!   **bit-identical** to `ExecMode::Serial`.
+//! * `quantized` — int8 serving: the model is calibrated on the warm-up
+//!   split and quantized (`tgnn_core::quantized`), and the pipeline runs the
+//!   packed int8 kernels.  The served embeddings must be bit-identical to
+//!   `ExecMode::Quantized` replaying the same batches (the pipeline adds no
+//!   numeric drift of its own), and their accuracy against the f32 serial
+//!   reference (cosine / max-abs error) is measured and recorded.
+//!
 //! `--gnn-workers <n>` sizes the data-parallel GNN compute pool (default 1);
-//! the identity check holds for every pool size, and the count is recorded
-//! in the `"pipeline"` row.  `--smoke` runs a tiny fixed-seed configuration
-//! and skips the JSON merge — the CI step after `perf_baseline`, failing
-//! (via the identity assertion) on any pipelined-vs-serial divergence.
+//! the identity check holds for every pool size and both exec modes, and
+//! both are recorded in the `"pipeline"` row.  `--smoke` runs a tiny
+//! fixed-seed configuration and skips the JSON merge — the CI step after
+//! `perf_baseline`, failing (via the identity assertion) on any
+//! pipelined-vs-engine divergence.
 
 use std::sync::Arc;
 use std::time::Duration;
-use tgnn_bench::{build_model, harness_model_config, Dataset, HarnessArgs};
+use tgnn_bench::{build_model, harness_model_config, merge_baseline_row, Dataset, HarnessArgs};
+use tgnn_core::quantized::quantize_model;
 use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
 use tgnn_graph::EventBatch;
+use tgnn_quant::QuantConfig;
 use tgnn_serve::{ServeConfig, ServeReport, ServedBatch, StreamServer};
+use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 
 const MAX_BATCH: usize = 200;
 const NUM_SHARDS: usize = 4;
+
+/// Embedding-accuracy floor of the quantized serve path vs the f32 serial
+/// reference (worst pair over the whole stream).
+const QUANT_COSINE_FLOOR: f32 = 0.999;
 
 fn main() {
     let mut args = HarnessArgs::parse();
@@ -31,45 +50,69 @@ fn main() {
     if smoke {
         args.scale = 0.005;
     }
-    let out_path = argv
-        .windows(2)
-        .find(|w| w[0] == "--out")
-        .map(|w| w[1].clone())
+    let flag_value = |name: &'static str| {
+        argv.iter()
+            .position(|a| a == name)
+            .map(|i| argv.get(i + 1).cloned())
+    };
+    let out_path = flag_value("--out")
+        .flatten()
         .unwrap_or_else(|| "BENCH_baseline.json".to_string());
     // Unlike the HarnessArgs flags, a missing or malformed value here is a
-    // hard error: CI's 2-worker identity check must not silently degrade to
-    // a 1-worker run.
-    let gnn_workers: usize = match argv.iter().position(|a| a == "--gnn-workers") {
+    // hard error: CI's identity checks must not silently degrade to the
+    // default configuration.
+    let gnn_workers: usize = match flag_value("--gnn-workers") {
         None => 1,
-        Some(i) => argv
-            .get(i + 1)
+        Some(v) => v
+            .as_deref()
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                panic!(
-                    "--gnn-workers: expected a worker count, got {:?}",
-                    argv.get(i + 1)
-                )
-            }),
+            .unwrap_or_else(|| panic!("--gnn-workers: expected a worker count, got {v:?}")),
+    };
+    let quantized: bool = match flag_value("--exec-mode") {
+        None => false,
+        Some(v) => match v.as_deref() {
+            Some("batched") => false,
+            Some("quantized") => true,
+            other => panic!("--exec-mode: expected batched|quantized, got {other:?}"),
+        },
     };
 
     let graph = Arc::new(Dataset::Wikipedia.graph(args.scale, args.seed));
     let variant = OptimizationVariant::NpMedium;
     let cfg = harness_model_config(&graph, variant);
-    let model = build_model(&graph, &cfg, args.seed);
+    let mut model = build_model(&graph, &cfg, args.seed);
     // Warm the vertex state on the train split, then measure on the events
     // after it — the served stream must stay chronological past the warm-up.
     let warm_events = graph.train_events().to_vec();
     let measure_events = graph.events()[graph.train_end()..].to_vec();
+    let exec_mode = if quantized { "quantized" } else { "batched" };
     println!(
-        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards, {} gnn worker(s){}",
+        "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards, {} gnn worker(s), exec-mode {}{}",
         args.scale,
         graph.num_nodes(),
         measure_events.len(),
         variant.label(),
         NUM_SHARDS,
         gnn_workers,
+        exec_mode,
         if smoke { " (smoke)" } else { "" }
     );
+
+    // Quantized mode: calibrate on the warm-up split (replayed from cold
+    // state by the calibration engine) and attach the int8 weight set —
+    // the pipeline itself runs unchanged.
+    let quant = quantized.then(|| {
+        let q = Arc::new(quantize_model(
+            &model,
+            &graph,
+            &[],
+            &warm_events,
+            MAX_BATCH,
+            QuantConfig::default(),
+        ));
+        model.attach_quantized(q.clone());
+        q
+    });
 
     // --- Pipelined serving run.
     let serve_config = ServeConfig {
@@ -105,15 +148,24 @@ fn main() {
     );
     assert!(report.commit_log_clean, "pipeline violated chronology");
 
-    // --- Identity check: serial reference over the served batch sequence.
-    let mut engine = InferenceEngine::new(model, graph.num_nodes()).with_mode(ExecMode::Serial);
+    // --- Identity check: the engine running the same numeric path must
+    // reproduce the served embeddings bitwise over the served batch
+    // sequence (batched → Serial f32; quantized → ExecMode::Quantized).
+    let mut engine = match &quant {
+        None => InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Serial),
+        Some(q) => {
+            let mut f32_model = model.clone();
+            f32_model.detach_quantized();
+            InferenceEngine::new(f32_model, graph.num_nodes()).with_quantized(q.clone())
+        }
+    };
     engine.warm_up(&warm_events, &graph);
     let mut checked_events = 0usize;
     for batch in &served {
         let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &graph);
         assert_eq!(
             reference.embeddings, batch.embeddings,
-            "pipeline embeddings diverged bitwise from the serial reference in epoch {}",
+            "pipeline embeddings diverged bitwise from the {exec_mode} engine in epoch {}",
             batch.epoch
         );
         checked_events += batch.events.len();
@@ -124,47 +176,85 @@ fn main() {
         "events lost in flight"
     );
     println!(
-        "identity: {} embeddings across {} micro-batches bit-identical to ExecMode::Serial",
+        "identity: {} embeddings across {} micro-batches bit-identical to the {} engine",
         report.num_embeddings,
-        served.len()
+        served.len(),
+        if quantized {
+            "ExecMode::Quantized"
+        } else {
+            "ExecMode::Serial"
+        }
     );
+
+    // --- Quantized accuracy: served int8 embeddings vs the f32 serial
+    // reference over the same micro-batch sequence.
+    let accuracy = quantized.then(|| {
+        let mut f32_model = model.clone();
+        f32_model.detach_quantized();
+        let mut serial =
+            InferenceEngine::new(f32_model, graph.num_nodes()).with_mode(ExecMode::Serial);
+        serial.warm_up(&warm_events, &graph);
+        let mut worst_cos: f32 = 1.0;
+        let mut cos_sum = 0.0f64;
+        let mut count = 0usize;
+        let mut max_err: f32 = 0.0;
+        for batch in &served {
+            let reference = serial.process_batch(&EventBatch::new(batch.events.clone()), &graph);
+            for ((v_a, e_a), (v_b, e_b)) in reference.embeddings.iter().zip(&batch.embeddings) {
+                assert_eq!(v_a, v_b, "vertex order diverged in accuracy replay");
+                let cos = cosine_agreement(e_a, e_b);
+                worst_cos = worst_cos.min(cos);
+                cos_sum += cos as f64;
+                count += 1;
+                max_err = max_err.max(max_abs_diff(e_a, e_b));
+            }
+        }
+        let mean_cos = cos_sum / count.max(1) as f64;
+        println!(
+            "accuracy: embedding cosine vs f32 serial — min {worst_cos:.6}, mean {mean_cos:.6}, max abs err {max_err:.5}"
+        );
+        assert!(
+            worst_cos >= QUANT_COSINE_FLOOR,
+            "quantized serve accuracy below the floor: cosine {worst_cos} < {QUANT_COSINE_FLOOR}"
+        );
+        (worst_cos, mean_cos, max_err)
+    });
 
     if smoke {
         println!("smoke mode: skipping {out_path} update");
         return;
     }
-    merge_pipeline_row(&out_path, &report);
+    merge_pipeline_row(&out_path, &report, exec_mode, accuracy);
     println!("wrote pipeline row to {out_path}");
 }
 
-/// Inserts (or replaces) a top-level `"pipeline"` object in the hand-rolled
-/// JSON baseline file, creating the file if `perf_baseline` has not run.
-fn merge_pipeline_row(path: &str, report: &ServeReport) {
+/// Formats and merges the top-level `"pipeline"` row.
+fn merge_pipeline_row(
+    path: &str,
+    report: &ServeReport,
+    exec_mode: &str,
+    accuracy: Option<(f32, f64, f32)>,
+) {
+    let identity = match accuracy {
+        None => "    \"embeddings_bitwise_identical_to_serial\": true".to_string(),
+        Some((min_cos, mean_cos, max_err)) => format!(
+            "    \"embeddings_bitwise_identical_to_quantized_engine\": true,\n    \"embedding_cosine_min\": {min_cos:.6},\n    \"embedding_cosine_mean\": {mean_cos:.6},\n    \"embedding_max_abs_err\": {max_err:.6}"
+        ),
+    };
     let row = format!(
-        "  \"pipeline\": {{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"embeddings_bitwise_identical_to_serial\": true\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
         report.num_shards,
         report.gnn_workers,
+        exec_mode,
         report.latency.mean_ms,
         report.latency.p50_ms,
         report.latency.p95_ms,
         report.latency.p99_ms,
         report.backpressure_blocks,
+        identity,
     );
-    let base = std::fs::read_to_string(path).unwrap_or_default();
-    let mut body = base;
-    // Drop any previous pipeline row (idempotent re-runs).
-    if let Some(idx) = body.find(",\n  \"pipeline\"") {
-        body.truncate(idx);
-        body.push_str("\n}\n");
-    }
-    let json = match body.trim_end().strip_suffix('}') {
-        Some(prefix) if !prefix.trim().is_empty() => {
-            format!("{},\n{row}\n}}\n", prefix.trim_end())
-        }
-        _ => format!("{{\n{row}\n}}\n"),
-    };
-    std::fs::write(path, json).expect("failed to write pipeline baseline row");
+    merge_baseline_row(path, "pipeline", &row);
 }

@@ -154,6 +154,90 @@ pub fn secs_to_ms(s: f64) -> String {
     format!("{:.3}", s * 1e3)
 }
 
+/// Inserts (or replaces) a top-level `"key": { ... }` object in the
+/// hand-rolled JSON baseline file (`BENCH_baseline.json`), creating the file
+/// if it does not exist.  `row` is the already-formatted object body
+/// including its braces; re-running with the same key is idempotent and
+/// leaves every *other* row untouched, regardless of row order.
+pub fn merge_baseline_row(path: &str, key: &str, row: &str) {
+    let entry = format!("  \"{key}\": {row}");
+    let mut body = std::fs::read_to_string(path).unwrap_or_default();
+    // Splice out any previous row with this key (value span found by brace
+    // balancing, so rows after it survive the replacement).
+    if let Some(start) = body.find(&format!("\"{key}\":")) {
+        if let Some(end) = json_value_end(&body, start) {
+            // Absorb the separating comma: the preceding one if this is not
+            // the first row, else the trailing one.
+            let before = body[..start].trim_end();
+            let (cut_start, cut_end) = if before.ends_with(',') {
+                (before.len() - 1, end)
+            } else {
+                let after = end + body[end..].len() - body[end..].trim_start().len();
+                if body[after..].starts_with(',') {
+                    (body[..start].trim_end().len(), after + 1)
+                } else {
+                    (body[..start].trim_end().len(), end)
+                }
+            };
+            body.replace_range(cut_start..cut_end, "");
+        }
+    }
+    let json = match body.trim_end().strip_suffix('}') {
+        Some(prefix) if !prefix.trim().is_empty() => {
+            format!("{},\n{entry}\n}}\n", prefix.trim_end())
+        }
+        _ => format!("{{\n{entry}\n}}\n"),
+    };
+    std::fs::write(path, json)
+        .unwrap_or_else(|e| panic!("failed to write baseline row {key:?} to {path}: {e}"));
+}
+
+/// Byte index just past the JSON value whose `"key":` starts at `key_start`
+/// — brace/bracket-balanced and string-aware, so object rows end at their
+/// own closing brace, not at the next occurrence of `}` in the file.
+/// Returns `None` on malformed input (unbalanced braces / missing colon).
+fn json_value_end(body: &str, key_start: usize) -> Option<usize> {
+    let colon = key_start + body[key_start..].find(':')?;
+    let bytes = body.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut i = colon + 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if in_string {
+            match c {
+                b'\\' => i += 1, // skip the escaped byte
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else {
+            match c {
+                b'"' => in_string = true,
+                b'{' | b'[' => depth += 1,
+                b'}' | b']' => {
+                    if depth == 0 {
+                        // The enclosing object's closing brace ends a scalar
+                        // value (no trailing comma / newline before it).
+                        return (!body[colon + 1..i].trim().is_empty()).then_some(i);
+                    }
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(i + 1);
+                    }
+                }
+                // A scalar value ends at the next comma or closing brace at
+                // depth 0.
+                b',' | b'\n' if depth == 0 && !body[colon + 1..i].trim().is_empty() => {
+                    return Some(i);
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
 /// Prints a markdown-style table row.
 pub fn print_row(cells: &[String]) {
     println!("| {} |", cells.join(" | "));
@@ -215,6 +299,61 @@ mod tests {
         assert!(args.scale > 0.0 && args.scale <= 1.0);
         assert_eq!(format_ms(Duration::from_millis(5)), "5.000");
         assert_eq!(secs_to_ms(0.001), "1.000");
+    }
+
+    #[test]
+    fn merge_baseline_row_creates_appends_and_replaces() {
+        let path =
+            std::env::temp_dir().join(format!("tgnn_merge_test_{}.json", std::process::id()));
+        let path = path.to_str().unwrap();
+        let _ = std::fs::remove_file(path);
+
+        // Creates the file when missing.
+        merge_baseline_row(path, "alpha", "{ \"x\": 1 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"alpha\": { \"x\": 1 }"), "{body}");
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+
+        // Appends a second key without touching the first.
+        merge_baseline_row(path, "beta", "{ \"y\": 2 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"alpha\""), "{body}");
+        assert!(body.contains("\"beta\""), "{body}");
+
+        // Re-merging an existing key replaces it (idempotent re-runs).
+        merge_baseline_row(path, "beta", "{ \"y\": 3 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert_eq!(body.matches("\"beta\"").count(), 1, "{body}");
+        assert!(body.contains("\"y\": 3"), "{body}");
+        assert!(!body.contains("\"y\": 2"), "{body}");
+
+        // Replacing a row that is NOT last must leave the rows after it
+        // intact — the perf_baseline → serve_bench → quant_gate sequence
+        // re-runs `pipeline` with `quant_gate` already behind it.
+        merge_baseline_row(
+            path,
+            "gamma",
+            "{\n    \"nested\": { \"z\": \"s{t}r\" }\n  }",
+        );
+        merge_baseline_row(path, "beta", "{ \"y\": 4 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"alpha\""), "{body}");
+        assert!(body.contains("\"y\": 4"), "{body}");
+        assert!(
+            body.contains("\"gamma\"") && body.contains("s{t}r"),
+            "replacing a middle row must not destroy later rows: {body}"
+        );
+        // Replacing the FIRST row keeps everything else too.
+        merge_baseline_row(path, "alpha", "{ \"x\": 9 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(body.contains("\"x\": 9"), "{body}");
+        assert!(
+            body.contains("\"gamma\"") && body.contains("\"beta\""),
+            "{body}"
+        );
+        assert_eq!(body.matches("\"alpha\"").count(), 1, "{body}");
+
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

@@ -49,6 +49,13 @@ use tgnn_tensor::{Float, Matrix, Workspace};
 ///   and update stages stay sequential, preserving the chronological commit
 ///   order.  Falls back to `Batched` when only one thread is available or
 ///   the batch is too small to shard.
+/// * [`ExecMode::Quantized`] — the batched pipeline with an int8 weight set
+///   attached (see [`crate::quantized`]): the large projections run on the
+///   packed int8 GEMM with calibrated activation scales.  The **one mode
+///   that is not bit-identical** to the serial reference — its embedding
+///   error is measured (cosine similarity / max-abs), not zero, which is why
+///   attaching the weights is an explicit step
+///   ([`Self::with_quantized`](InferenceEngine::with_quantized)).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecMode {
     /// Reference per-vertex loop (seed behaviour).
@@ -58,6 +65,8 @@ pub enum ExecMode {
     /// Batched GEMMs sharded across rayon workers.
     #[default]
     Parallel,
+    /// Batched int8 GEMMs with calibrated static activation scales.
+    Quantized,
 }
 
 /// Result of processing one batch: the embedding of every touched vertex.
@@ -149,6 +158,9 @@ pub struct InferenceEngine {
     /// Per-worker scratch for [`ExecMode::Parallel`]; persists across batches
     /// so the steady state stays allocation-free.
     par_workspaces: Vec<Workspace>,
+    /// Activation recorder attached during an int8 calibration pass
+    /// ([`crate::quantized::calibrate_activations`]); `None` in production.
+    observer: Option<Box<tgnn_quant::ActivationRecorder>>,
 }
 
 impl InferenceEngine {
@@ -168,17 +180,54 @@ impl InferenceEngine {
             mode: ExecMode::default(),
             ws: Workspace::new(),
             par_workspaces: Vec::new(),
+            observer: None,
         }
     }
 
     /// Builder-style execution-mode override.
+    ///
+    /// # Panics
+    /// Panics when asked for [`ExecMode::Quantized`] without an attached
+    /// int8 weight set (see [`Self::with_quantized`]) — running f32 while
+    /// reporting `Quantized` would silently misattribute every measurement.
     pub fn with_mode(mut self, mode: ExecMode) -> Self {
-        self.mode = mode;
+        self.set_mode(mode);
         self
     }
 
+    /// Attaches an int8 weight set to the model and switches the engine to
+    /// [`ExecMode::Quantized`] — the serving entry point of the quantized
+    /// path (see [`crate::quantized`]).
+    pub fn with_quantized(mut self, q: std::sync::Arc<crate::quantized::QuantizedTgn>) -> Self {
+        self.model.attach_quantized(q);
+        self.mode = ExecMode::Quantized;
+        self
+    }
+
+    /// Attaches an activation recorder to the batched forward paths (used by
+    /// the int8 calibration pass; negligible overhead, one call per batch
+    /// per hook).
+    pub fn set_observer(&mut self, observer: Box<tgnn_quant::ActivationRecorder>) {
+        self.observer = Some(observer);
+    }
+
+    /// Detaches and returns the activation recorder, if one was attached.
+    pub fn take_observer(&mut self) -> Option<Box<tgnn_quant::ActivationRecorder>> {
+        self.observer.take()
+    }
+
     /// Switches the execution mode (takes effect from the next batch).
+    ///
+    /// # Panics
+    /// Panics when asked for [`ExecMode::Quantized`] without an attached
+    /// int8 weight set — attach one first ([`Self::with_quantized`] does
+    /// both in order).
     pub fn set_mode(&mut self, mode: ExecMode) {
+        assert!(
+            mode != ExecMode::Quantized || self.model.is_quantized(),
+            "ExecMode::Quantized requires an attached int8 weight set \
+             (InferenceEngine::with_quantized / TgnModel::attach_quantized)"
+        );
         self.mode = mode;
     }
 
@@ -331,7 +380,7 @@ impl InferenceEngine {
                     embeddings.push((v, out.embedding));
                 }
             }
-            ExecMode::Batched | ExecMode::Parallel => {
+            ExecMode::Batched | ExecMode::Parallel | ExecMode::Quantized => {
                 let outputs = self.gnn_stage_fast(sampled, updated_memory, graph);
                 for (i, (&v, out)) in sampled.touched.iter().zip(outputs).enumerate() {
                     self.count_gnn_ops(sampled.neighbors_of(i).len(), out.used_neighbors.len());
@@ -482,12 +531,17 @@ impl InferenceEngine {
         // Hot path: the shared allocation-free memory stage (also used by the
         // streaming pipeline) on this engine's workspace.
         let memory = &self.memory;
-        let out: HashMap<NodeId, Vec<Float>> = stages::run_memory_stage(
+        let obs = self
+            .observer
+            .as_deref_mut()
+            .map(|o| o as &mut dyn tgnn_quant::ActivationObserver);
+        let out: HashMap<NodeId, Vec<Float>> = stages::run_memory_stage_obs(
             &self.model,
             &with_messages,
             |v| memory.last_update(v),
             |v, dst| dst.copy_from_slice(memory.memory_of(v)),
             &mut self.ws,
+            obs,
         )
         .into_iter()
         .collect();
@@ -548,8 +602,16 @@ impl InferenceEngine {
             })
             .collect();
 
+        // A calibration observer must see every batch, so its presence
+        // forces the single-thread path even in ExecMode::Parallel —
+        // otherwise large batches would shard across rayon workers and
+        // their activations would silently go unrecorded, biasing the
+        // calibrated ranges.
+        if let Some(o) = self.observer.as_deref_mut() {
+            return model.compute_embeddings_batch_obs(&jobs, &mut self.ws, Some(o));
+        }
         let threads = rayon::current_num_threads();
-        if self.mode == ExecMode::Batched || threads <= 1 || jobs.len() < 2 * threads {
+        if self.mode != ExecMode::Parallel || threads <= 1 || jobs.len() < 2 * threads {
             return model.compute_embeddings_batch(&jobs, &mut self.ws);
         }
 

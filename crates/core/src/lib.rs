@@ -28,6 +28,9 @@
 //!   and epoch-barrier commits.
 //! * [`complexity`] — MAC / memory-access accounting (Tables I and II).
 //! * [`profiling`] — wall-clock stage breakdown (Table I).
+//! * [`quantized`] — the int8 fixed-point execution path: activation-range
+//!   calibration against the f32 engine, quantized weight sets
+//!   ([`QuantizedTgn`]), and `ExecMode::Quantized`.
 //! * [`link_prediction`] — the self-supervised temporal link-prediction task,
 //!   decoder and Average Precision metric.
 //! * [`training`] — self-supervised training loop.
@@ -45,6 +48,7 @@ pub mod link_prediction;
 pub mod memory;
 pub mod model;
 pub mod profiling;
+pub mod quantized;
 pub mod sharded;
 pub mod stages;
 pub mod training;
@@ -56,6 +60,7 @@ pub use link_prediction::LinkDecoder;
 pub use memory::{Message, NodeMemory};
 pub use model::TgnModel;
 pub use profiling::{Stage, StageTimings};
+pub use quantized::{calibrate_activations, quantize_model, QuantizedTgn};
 pub use sharded::ShardedMemory;
 pub use stages::{GnnJobBatch, SampledBatch};
 pub use training::{TrainConfig, Trainer};

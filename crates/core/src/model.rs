@@ -9,11 +9,14 @@
 //! Algorithm 1.
 
 use crate::config::{AttentionKind, ModelConfig, TimeEncoderKind};
+use crate::quantized::{layers, QuantizedTgn};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use tgnn_nn::attention::{SimplifiedCache, VanillaCache};
 use tgnn_nn::{
     CosTimeEncoder, GruCell, Linear, LutTimeEncoder, Param, SimplifiedAttention, VanillaAttention,
 };
+use tgnn_quant::ActivationObserver;
 use tgnn_tensor::ops::{softmax, top_k_indices};
 use tgnn_tensor::{Float, Matrix, TensorRng, Workspace};
 
@@ -80,8 +83,14 @@ pub struct EmbeddingCache {
 /// Accumulates `Σ_j weights[j] · m.row(first_row + j)` into `out`,
 /// replicating `tgnn_tensor::ops::weighted_row_sum`'s accumulation order
 /// (including its zero-weight skip) over a contiguous row range so batched
-/// and per-vertex aggregation are bit-identical.
-fn weighted_rows_into(m: &Matrix, first_row: usize, weights: &[Float], out: &mut [Float]) {
+/// and per-vertex aggregation are bit-identical.  Shared with the quantized
+/// batch path in [`crate::quantized`].
+pub(crate) fn weighted_rows_into(
+    m: &Matrix,
+    first_row: usize,
+    weights: &[Float],
+    out: &mut [Float],
+) {
     out.fill(0.0);
     for (j, &w) in weights.iter().enumerate() {
         if w == 0.0 {
@@ -116,6 +125,12 @@ pub struct TgnModel {
     pub lut_encoder: Option<LutTimeEncoder>,
     /// Output feature transformation (FTM): `[h_agg || f'_i] -> embedding`.
     pub output: Linear,
+    /// Attached int8 weight set.  When present, the *batched* entry points
+    /// ([`Self::compute_embeddings_batch`], [`Self::update_memory_ws`]) run
+    /// on the quantized kernels — which is how both `ExecMode::Quantized`
+    /// and the `tgnn-serve` pipeline execute the int8 path without any
+    /// caller changes.  The per-vertex reference paths always stay f32.
+    pub quantized: Option<Arc<QuantizedTgn>>,
 }
 
 impl TgnModel {
@@ -171,7 +186,24 @@ impl TgnModel {
             cos_encoder,
             lut_encoder: None,
             output,
+            quantized: None,
         }
+    }
+
+    /// Attaches an int8 weight set (see [`crate::quantized`]): from the next
+    /// batch on, every batched forward runs on the quantized kernels.
+    pub fn attach_quantized(&mut self, q: Arc<QuantizedTgn>) {
+        self.quantized = Some(q);
+    }
+
+    /// Detaches the int8 weight set, returning the model to pure f32.
+    pub fn detach_quantized(&mut self) {
+        self.quantized = None;
+    }
+
+    /// True when an int8 weight set is attached.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
     }
 
     /// Calibrates the LUT time encoder from a sample of Δt values (only
@@ -372,13 +404,19 @@ impl TgnModel {
     }
 
     /// Allocation-free [`Self::update_memory`] on workspace buffers and the
-    /// packed GEMM (bit-identical results; recycle the returned matrix).
+    /// packed GEMM (bit-identical results to [`Self::update_memory`] while
+    /// f32; recycle the returned matrix).  With a quantized weight set
+    /// attached whose configuration quantizes the GRU, the gate projections
+    /// run on the int8 kernels instead.
     pub fn update_memory_ws(
         &self,
         messages: &Matrix,
         memories: &Matrix,
         ws: &mut Workspace,
     ) -> Matrix {
+        if let Some(qgru) = self.quantized.as_ref().and_then(|q| q.gru()) {
+            return qgru.forward_ws(messages, memories, ws);
+        }
         self.gru.forward_ws(messages, memories, ws)
     }
 
@@ -413,6 +451,23 @@ impl TgnModel {
         jobs: &[EmbeddingJob<'_>],
         ws: &mut Workspace,
     ) -> Vec<EmbeddingOutput> {
+        if let Some(q) = &self.quantized {
+            return q.compute_embeddings_batch(self, jobs, ws);
+        }
+        self.compute_embeddings_batch_obs(jobs, ws, None)
+    }
+
+    /// The f32 batched GNN stage with an optional activation observer — the
+    /// calibration pass of [`crate::quantized`] attaches a recorder here to
+    /// capture the input range of every projection that will be quantized.
+    /// With `obs = None` this *is* [`Self::compute_embeddings_batch`]'s f32
+    /// body (the quantized dispatch never reaches it).
+    pub fn compute_embeddings_batch_obs(
+        &self,
+        jobs: &[EmbeddingJob<'_>],
+        ws: &mut Workspace,
+        mut obs: Option<&mut dyn ActivationObserver>,
+    ) -> Vec<EmbeddingOutput> {
         let t = jobs.len();
         if t == 0 {
             return Vec::new();
@@ -438,6 +493,9 @@ impl TgnModel {
                     .node_feature
                     .expect("model expects node features but none were supplied");
                 features.row_mut(i).copy_from_slice(feat);
+            }
+            if let Some(o) = obs.as_deref_mut() {
+                o.record(layers::NODE_PROJ_INPUT, features.as_slice());
             }
             let projected = proj.forward_ws(&features, ws);
             for (a, &b) in f_prime.as_mut_slice().iter_mut().zip(projected.as_slice()) {
@@ -481,6 +539,9 @@ impl TgnModel {
             }
             ws.recycle_matrix(enc);
         }
+        if let Some(o) = obs.as_deref_mut() {
+            o.record(layers::ATTN_NEIGHBOR, nbr_input.as_slice());
+        }
 
         // --- Aggregate per attention kind into `agg` (T×mem).
         let mut agg = ws.take_matrix(t, mem_dim);
@@ -497,6 +558,9 @@ impl TgnModel {
                     let dst = query_input.row_mut(i);
                     dst[..mem_dim].copy_from_slice(f_prime.row(i));
                     dst[mem_dim..].copy_from_slice(zero_enc.row(0));
+                }
+                if let Some(o) = obs.as_deref_mut() {
+                    o.record(layers::ATTN_QUERY, query_input.as_slice());
                 }
                 let q_all = att.w_q.forward_ws(&query_input, ws);
                 // One W_k / W_v GEMM over all targets' neighbors.
@@ -588,6 +652,9 @@ impl TgnModel {
             let dst = concat.row_mut(i);
             dst[..mem_dim].copy_from_slice(agg.row(i));
             dst[mem_dim..].copy_from_slice(f_prime.row(i));
+        }
+        if let Some(o) = obs {
+            o.record(layers::FTM_INPUT, concat.as_slice());
         }
         let out_mat = self.output.forward_ws(&concat, ws);
 

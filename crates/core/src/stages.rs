@@ -136,9 +136,23 @@ impl SampledBatch {
 pub fn run_memory_stage(
     model: &TgnModel,
     with_messages: &[(NodeId, Message)],
+    last_update: impl FnMut(NodeId) -> Timestamp,
+    read_memory: impl FnMut(NodeId, &mut [Float]),
+    ws: &mut Workspace,
+) -> Vec<(NodeId, Vec<Float>)> {
+    run_memory_stage_obs(model, with_messages, last_update, read_memory, ws, None)
+}
+
+/// [`run_memory_stage`] with an optional activation observer recording the
+/// assembled GRU inputs (message rows and memory rows) — the hook the int8
+/// calibration pass uses to derive the GRU's static activation scales.
+pub fn run_memory_stage_obs(
+    model: &TgnModel,
+    with_messages: &[(NodeId, Message)],
     mut last_update: impl FnMut(NodeId) -> Timestamp,
     mut read_memory: impl FnMut(NodeId, &mut [Float]),
     ws: &mut Workspace,
+    obs: Option<&mut dyn tgnn_quant::ActivationObserver>,
 ) -> Vec<(NodeId, Vec<Float>)> {
     let rows = with_messages.len();
     if rows == 0 {
@@ -163,6 +177,10 @@ pub fn run_memory_stage(
         row[2 * mem_dim..2 * mem_dim + efeat].copy_from_slice(&msg.edge_feature);
         row[2 * mem_dim + efeat..].copy_from_slice(encodings.row(i));
         read_memory(*v, memories.row_mut(i));
+    }
+    if let Some(o) = obs {
+        o.record(crate::quantized::layers::GRU_INPUT, messages.as_slice());
+        o.record(crate::quantized::layers::GRU_HIDDEN, memories.as_slice());
     }
 
     let updated = model.update_memory_ws(&messages, &memories, ws);

@@ -5,6 +5,53 @@ use crate::device::FpgaDevice;
 use serde::{Deserialize, Serialize};
 use tgnn_core::ModelConfig;
 
+/// Byte widths of the accelerator's numeric formats — the datapath half of
+/// the model-architecture co-design.  The paper's implementation streams
+/// IEEE fp32 (4-byte weights and activations); a fixed-point int8 datapath
+/// quarters every DDR transfer the performance model accounts for, which is
+/// what the `tgnn-quant` CPU backend mirrors in software.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatapathPrecision {
+    /// Bytes per stored weight (on-chip weight staging / loads).
+    pub weight_bytes: f64,
+    /// Bytes per activation / state word (memory rows, features, messages,
+    /// embeddings — everything that crosses DDR per batch).
+    pub activation_bytes: f64,
+}
+
+impl DatapathPrecision {
+    /// IEEE fp32 everywhere — the paper's implementation.
+    pub fn fp32() -> Self {
+        Self {
+            weight_bytes: 4.0,
+            activation_bytes: 4.0,
+        }
+    }
+
+    /// Symmetric int8 weights and activations (scales are amortised over
+    /// whole tensors and do not affect per-word traffic).
+    pub fn int8() -> Self {
+        Self {
+            weight_bytes: 1.0,
+            activation_bytes: 1.0,
+        }
+    }
+
+    /// Validates the widths.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.weight_bytes <= 0.0 || self.activation_bytes <= 0.0 {
+            return Err("datapath byte widths must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for DatapathPrecision {
+    fn default() -> Self {
+        Self::fp32()
+    }
+}
+
 /// A design configuration of the accelerator (the left half of Table IV).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct DesignConfig {
@@ -29,6 +76,8 @@ pub struct DesignConfig {
     pub prefetch: bool,
     /// Whether the Updater eliminates redundant writes to the same vertex.
     pub redundant_write_elimination: bool,
+    /// Numeric format of the datapath (bytes per weight / activation).
+    pub precision: DatapathPrecision,
 }
 
 impl DesignConfig {
@@ -45,6 +94,7 @@ impl DesignConfig {
             frequency_mhz: 250.0,
             prefetch: true,
             redundant_write_elimination: true,
+            precision: DatapathPrecision::fp32(),
         }
     }
 
@@ -61,7 +111,15 @@ impl DesignConfig {
             frequency_mhz: 125.0,
             prefetch: true,
             redundant_write_elimination: true,
+            precision: DatapathPrecision::fp32(),
         }
+    }
+
+    /// Builder-style precision override: the same design point with an int8
+    /// (or custom) datapath.
+    pub fn with_precision(mut self, precision: DatapathPrecision) -> Self {
+        self.precision = precision;
+        self
     }
 
     /// Clock period in seconds.
@@ -77,7 +135,7 @@ impl DesignConfig {
         if self.frequency_mhz <= 0.0 {
             return Err("frequency must be positive".into());
         }
-        Ok(())
+        self.precision.validate()
     }
 }
 
@@ -141,7 +199,9 @@ pub fn estimate_resources(design: &DesignConfig, model: &ModelConfig) -> Resourc
 
     // BRAM: inter-module FIFOs (~2 per stage per CU), the Updater cache, and
     // double-buffered per-batch staging of messages and neighbor features.
-    let bytes_per_word = 4u64;
+    // Staged words are activations, so the datapath precision sets their
+    // width (int8 quarters the staging footprint).
+    let bytes_per_word = (design.precision.activation_bytes.ceil() as u64).max(1);
     let staging_bytes = (design.nb
         * (model.message_dim() + model.sampled_neighbors * model.neighbor_input_dim()))
         as u64
@@ -294,5 +354,28 @@ mod tests {
         let mut bad = DesignConfig::u200();
         bad.frequency_mhz = 0.0;
         assert!(bad.validate().is_err());
+        let mut bad = DesignConfig::u200();
+        bad.precision.activation_bytes = 0.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn int8_precision_shrinks_activation_staging_bram() {
+        let model = paper_model();
+        let fp32 = estimate_resources(&DesignConfig::u200(), &model);
+        let int8 = estimate_resources(
+            &DesignConfig::u200().with_precision(DatapathPrecision::int8()),
+            &model,
+        );
+        assert!(
+            int8.brams < fp32.brams,
+            "int8 staging must use fewer BRAMs: {} vs {}",
+            int8.brams,
+            fp32.brams
+        );
+        // Compute-array DSPs are sized by parallelism, not word width, in
+        // this estimate.
+        assert_eq!(int8.dsps, fp32.dsps);
+        assert!(DatapathPrecision::default() == DatapathPrecision::fp32());
     }
 }

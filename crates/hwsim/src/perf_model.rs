@@ -12,7 +12,10 @@ use crate::pipeline::{BatchWorkload, PipelineModel, StageBreakdown};
 use serde::{Deserialize, Serialize};
 use tgnn_core::ModelConfig;
 
-/// Bytes per data word (IEEE fp32, as in the implementation).
+/// Bytes per data word of the paper's fp32 implementation.  The byte width
+/// actually used by the model comes from
+/// [`DesignConfig::precision`](crate::design::DatapathPrecision) — this
+/// constant remains as the fp32 reference value.
 pub const BYTES_PER_WORD: f64 = 4.0;
 
 /// Number of pipeline stages β in the task schedule of Fig. 4.
@@ -199,6 +202,22 @@ mod tests {
             DdrModel::new_gbps(19.2),
         );
         assert!(bigger.t_comp() < base.t_comp());
+    }
+
+    #[test]
+    fn int8_datapath_reduces_t_ls_and_never_reduces_throughput() {
+        use crate::design::DatapathPrecision;
+        let fp32 = u200_model(OptimizationVariant::NpMedium);
+        let int8 = PerformanceModel::new(
+            DesignConfig::u200().with_precision(DatapathPrecision::int8()),
+            model_cfg(OptimizationVariant::NpMedium),
+            DdrModel::new_gbps(FpgaDevice::alveo_u200().ddr_bandwidth_gbps),
+        );
+        assert!(int8.t_ls() < fp32.t_ls(), "int8 must cut DDR time");
+        let pf = fp32.predict(1000);
+        let pi = int8.predict(1000);
+        assert!(pi.throughput_eps >= pf.throughput_eps);
+        assert!(pi.latency <= pf.latency);
     }
 
     #[test]

@@ -105,7 +105,11 @@ impl PipelineModel {
         let d = &self.design;
         let m = &self.model;
         let clk = d.clock_period();
-        let word = 4.0;
+        // Everything the pipeline moves over DDR per batch (memory rows,
+        // features, messages, embeddings) is activation-width data; the
+        // datapath precision sets the bytes per word, so an int8 design
+        // quarters every transfer below relative to fp32.
+        let word = d.precision.activation_bytes;
 
         let msg = m.message_dim() as f64;
         let mem = m.memory_dim as f64;
@@ -332,6 +336,31 @@ mod tests {
         assert_eq!(edges, 103);
         assert!(parts.iter().all(|w| w.edges <= p.design.nb));
         assert!(p.split_workload(&BatchWorkload::default()).is_empty());
+    }
+
+    #[test]
+    fn int8_datapath_shrinks_every_memory_stage() {
+        use crate::design::DatapathPrecision;
+        let fp32 = pipeline(OptimizationVariant::NpMedium, DesignConfig::u200(), 77.0);
+        let int8 = pipeline(
+            OptimizationVariant::NpMedium,
+            DesignConfig::u200().with_precision(DatapathPrecision::int8()),
+            77.0,
+        );
+        let w = workload(64, &fp32.model);
+        let bf = fp32.stage_breakdown(&w);
+        let bi = int8.stage_breakdown(&w);
+        assert!(bi.load_edges < bf.load_edges);
+        assert!(bi.load_vertex_state < bf.load_vertex_state);
+        assert!(bi.write_back < bf.write_back);
+        assert!(bi.prefetch_neighbors <= bf.prefetch_neighbors);
+        // Compute stages are cycle-count driven and unchanged.
+        assert_eq!(bi.muu_gates, bf.muu_gates);
+        assert_eq!(bi.eu_transformation, bf.eu_transformation);
+        // The end-to-end batch cannot get slower.
+        let lat_f = fp32.batch_latency(&fp32.split_workload(&w));
+        let lat_i = int8.batch_latency(&int8.split_workload(&w));
+        assert!(lat_i <= lat_f, "int8 latency {lat_i} vs fp32 {lat_f}");
     }
 
     #[test]

@@ -1,0 +1,30 @@
+//! Symmetric int8 fixed-point quantization for the TGNN inference stack —
+//! the software counterpart of the paper's low-precision FPGA datapath.
+//!
+//! The FPGA co-design assumes fixed-point arithmetic throughout; on CPUs the
+//! same numeric choice quadruples the values per SIMD lane and quarters the
+//! weight-panel memory traffic that bounds the f32 packed GEMM.  This crate
+//! provides the model-independent pieces:
+//!
+//! * [`QTensor`] — symmetric per-tensor / per-row int8 quantization with
+//!   saturating round-to-nearest and a NaN-free guarantee.
+//! * [`ActivationRecorder`] / [`ActivationRanges`] — the calibration pass:
+//!   run the f32 engine over a sample stream, record per-layer activation
+//!   ranges, derive static scales with percentile clipping.
+//! * [`QuantizedLinear`] — an affine layer on the packed int8 GEMM
+//!   (`tgnn_tensor::gemm_i8`) with pre-packed weights and a dequant-fused
+//!   f32 epilogue.
+//!
+//! The model-aware assembly (quantized GRU / attention / FTM, the
+//! `ExecMode::Quantized` engine path, and the calibration driver) lives in
+//! `tgnn-core::quantized`, which builds on these types.
+
+pub mod calibrate;
+pub mod qlinear;
+pub mod qtensor;
+
+pub use calibrate::{
+    ActivationObserver, ActivationRanges, ActivationRecorder, LayerRange, QuantConfig,
+};
+pub use qlinear::QuantizedLinear;
+pub use qtensor::{QTensor, ScaleGranularity};

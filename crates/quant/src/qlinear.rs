@@ -1,0 +1,226 @@
+//! [`QuantizedLinear`] — an affine layer running on the packed int8 GEMM.
+//!
+//! Built from an f32 [`tgnn_nn::Linear`] plus a calibrated input-activation
+//! scale: weights are quantized per row (one scale per output feature) and
+//! pre-packed into the `maddubs` panel layout once at construction; the
+//! forward pass quantizes the incoming activations with the static scale
+//! (saturating at the calibrated clip), runs the i8×i8→i32 kernel, and
+//! dequantizes + adds the f32 bias in the fused epilogue.  The only
+//! per-call temporaries (the quantized activation rows) come from the
+//! workspace's i8 pool, so the hot path stays allocation-free.
+
+use crate::qtensor::QTensor;
+use serde::{Deserialize, Serialize};
+use tgnn_nn::Linear;
+use tgnn_tensor::gemm_i8::{
+    matmul_i8_dequant_into, pack_rhs_i8, packed_rhs_len, padded_k, quantize_slice_into,
+};
+use tgnn_tensor::{Float, Matrix, Workspace};
+
+/// `y = dequant(quant(x) · W_qᵀ) + b` on the int8 kernel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuantizedLinear {
+    /// Per-row quantized weights (kept for inspection / round-trip tests).
+    weight: QTensor,
+    /// Weights re-packed into the int8 GEMM panel layout.
+    packed: Vec<i8>,
+    /// `act_scale · w_scale[j]` per output feature — the fused dequant
+    /// factors of the epilogue.
+    combined_scales: Vec<Float>,
+    /// f32 bias, added in the epilogue.
+    bias: Vec<Float>,
+    /// Static input-activation scale from calibration.
+    act_scale: Float,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an f32 layer given the calibrated scale of its input
+    /// activations.
+    ///
+    /// # Panics
+    /// Panics if `act_scale` is not positive and finite.
+    pub fn from_linear(layer: &Linear, act_scale: Float) -> Self {
+        assert!(
+            act_scale > 0.0 && act_scale.is_finite(),
+            "QuantizedLinear: activation scale must be positive and finite"
+        );
+        let w = &layer.weight.value;
+        let weight = QTensor::quantize_per_row(w);
+        let (out_dim, in_dim) = w.shape();
+        let mut packed = vec![0i8; packed_rhs_len(out_dim, in_dim)];
+        pack_rhs_i8(weight.as_slice(), out_dim, in_dim, &mut packed);
+        let combined_scales: Vec<Float> = (0..out_dim)
+            .map(|j| act_scale * weight.row_scale(j))
+            .collect();
+        Self {
+            weight,
+            packed,
+            combined_scales,
+            bias: layer.bias.value.row(0).to_vec(),
+            act_scale,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// The calibrated input-activation scale.
+    pub fn act_scale(&self) -> Float {
+        self.act_scale
+    }
+
+    /// The quantized weights.
+    pub fn weight(&self) -> &QTensor {
+        &self.weight
+    }
+
+    /// Forward pass writing into a pre-sized output: quantize activations →
+    /// int8 GEMM → fused dequant + bias.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix, ws: &mut Workspace) {
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "QuantizedLinear::forward_into: input dim mismatch"
+        );
+        assert_eq!(
+            out.shape(),
+            (x.rows(), self.out_dim),
+            "QuantizedLinear::forward_into: output shape mismatch"
+        );
+        let m = x.rows();
+        if m == 0 {
+            return;
+        }
+        let kp = padded_k(self.in_dim);
+        let mut a_q = ws.take_i8(m * kp);
+        for i in 0..m {
+            quantize_slice_into(x.row(i), self.act_scale, &mut a_q[i * kp..(i + 1) * kp]);
+        }
+        matmul_i8_dequant_into(
+            &a_q,
+            m,
+            self.in_dim,
+            &self.packed,
+            self.out_dim,
+            &self.combined_scales,
+            Some(&self.bias),
+            out,
+        );
+        ws.recycle_i8(a_q);
+    }
+
+    /// [`Self::forward_into`] with the output taken from the workspace
+    /// (recycle it back when done).
+    pub fn forward_ws(&self, x: &Matrix, ws: &mut Workspace) -> Matrix {
+        let mut out = ws.take_matrix(x.rows(), self.out_dim);
+        self.forward_into(x, &mut out, ws);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgnn_tensor::stats::{cosine_similarity, max_abs_diff};
+    use tgnn_tensor::TensorRng;
+
+    #[test]
+    fn quantized_forward_tracks_f32_within_tolerance_across_shapes_and_seeds() {
+        for seed in [3u64, 17, 88] {
+            let mut rng = TensorRng::new(seed);
+            for &(batch, in_dim, out_dim) in &[(1usize, 7usize, 5usize), (9, 33, 12), (40, 96, 64)]
+            {
+                let layer = Linear::new("t", in_dim, out_dim, &mut rng);
+                let x = rng.uniform_matrix(batch, in_dim, -1.0, 1.0);
+                let reference = layer.forward(&x);
+                let q = QuantizedLinear::from_linear(&layer, 1.0 / 127.0);
+                let mut ws = Workspace::new();
+                let out = q.forward_ws(&x, &mut ws);
+
+                // Per-element error bound: each of the `in_dim` products
+                // carries at most half a step of activation error times the
+                // weight magnitude and vice versa.  A loose analytical bound
+                // (1.5 quantization steps per accumulated term) must hold.
+                let w_amax = layer.weight.value.max_abs();
+                let bound =
+                    in_dim as Float * 1.5 * (q.act_scale() * w_amax + (w_amax / 127.0) * 1.0);
+                let err = max_abs_diff(reference.as_slice(), out.as_slice());
+                assert!(
+                    err <= bound,
+                    "{batch}x{in_dim}x{out_dim} seed {seed}: err {err} > bound {bound}"
+                );
+                for i in 0..batch {
+                    let cos = cosine_similarity(reference.row(i), out.row(i));
+                    assert!(
+                        cos > 0.995,
+                        "{batch}x{in_dim}x{out_dim} seed {seed} row {i}: cosine {cos}"
+                    );
+                }
+                ws.recycle_matrix(out);
+            }
+        }
+    }
+
+    #[test]
+    fn saturating_inputs_stay_finite_and_bounded() {
+        let mut rng = TensorRng::new(5);
+        let layer = Linear::new("t", 8, 4, &mut rng);
+        let q = QuantizedLinear::from_linear(&layer, 1.0 / 127.0); // clip at |x| = 1
+        let mut x = Matrix::full(2, 8, 1e6); // far beyond the calibrated range
+        x[(1, 0)] = Float::NAN;
+        let mut ws = Workspace::new();
+        let out = q.forward_ws(&x, &mut ws);
+        assert!(out.all_finite(), "saturated forward must stay finite");
+        // Saturated activations behave like a clamped input of ±1.
+        let clamped = layer.forward(&Matrix::full(1, 8, 1.0));
+        let cos = cosine_similarity(out.row(0), clamped.row(0));
+        assert!(cos > 0.99, "saturation should clamp, got cosine {cos}");
+    }
+
+    #[test]
+    fn steady_state_forward_does_not_allocate() {
+        let mut rng = TensorRng::new(6);
+        let layer = Linear::new("t", 24, 16, &mut rng);
+        let q = QuantizedLinear::from_linear(&layer, 1.0 / 64.0);
+        let x = rng.uniform_matrix(10, 24, -1.0, 1.0);
+        let mut ws = Workspace::new();
+        for _ in 0..2 {
+            let out = q.forward_ws(&x, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        let warm = ws.heap_allocs();
+        for _ in 0..50 {
+            let out = q.forward_ws(&x, &mut ws);
+            ws.recycle_matrix(out);
+        }
+        assert_eq!(
+            ws.heap_allocs(),
+            warm,
+            "quantized forward must not allocate"
+        );
+    }
+
+    #[test]
+    fn weight_round_trip_is_close() {
+        let mut rng = TensorRng::new(7);
+        let layer = Linear::new("t", 16, 8, &mut rng);
+        let q = QuantizedLinear::from_linear(&layer, 1.0);
+        let back = q.weight().dequantize();
+        let err = max_abs_diff(layer.weight.value.as_slice(), back.as_slice());
+        assert!(err <= q.weight().step_bound() + 1e-7);
+    }
+}

@@ -1,0 +1,261 @@
+//! [`QTensor`] — a symmetric int8 quantized matrix with per-tensor or
+//! per-row scales.
+//!
+//! Quantization is symmetric (`x ≈ q · scale`, zero-point 0) with saturating
+//! round-to-nearest into `[-127, 127]`; −128 is never produced so the AVX2
+//! `maddubs` kernel's intermediate bounds hold (see `tgnn_tensor::gemm_i8`).
+//! Non-finite inputs are made safe at the boundary: NaN quantizes to 0,
+//! ±∞ saturates — a `QTensor` never contains garbage and dequantizes to
+//! finite values.
+
+use serde::{Deserialize, Serialize};
+use tgnn_tensor::gemm_i8::{quantize_value, Q_MAX};
+use tgnn_tensor::{Float, Matrix};
+
+/// How scales are attached to a [`QTensor`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleGranularity {
+    /// One scale for the whole tensor (activations).
+    PerTensor,
+    /// One scale per row (weight matrices in `out_dim × in_dim` layout, so a
+    /// row = one output feature).
+    PerRow,
+}
+
+/// A symmetric int8 quantized `rows × cols` matrix.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QTensor {
+    data: Vec<i8>,
+    rows: usize,
+    cols: usize,
+    /// One entry ([`ScaleGranularity::PerTensor`]) or `rows` entries
+    /// ([`ScaleGranularity::PerRow`]).
+    scales: Vec<Float>,
+    granularity: ScaleGranularity,
+}
+
+/// Smallest scale used when a tensor (or row) is all zeros — keeps
+/// dequantization exact (`0 · scale = 0`) while avoiding division by zero
+/// during quantization.
+const MIN_SCALE: Float = 1e-10;
+
+/// Scale mapping an absolute maximum onto the int8 grid.
+#[inline]
+pub fn scale_for_amax(amax: Float) -> Float {
+    let amax = if amax.is_finite() { amax.abs() } else { 0.0 };
+    (amax / Q_MAX as Float).max(MIN_SCALE)
+}
+
+impl QTensor {
+    /// Quantizes a matrix with one scale for the whole tensor, derived from
+    /// its absolute maximum (non-finite entries are ignored for the range and
+    /// saturate individually).
+    pub fn quantize_per_tensor(m: &Matrix) -> Self {
+        let amax = m
+            .as_slice()
+            .iter()
+            .filter(|x| x.is_finite())
+            .fold(0.0 as Float, |a, &x| a.max(x.abs()));
+        Self::quantize_with_scales(m, &[scale_for_amax(amax)], ScaleGranularity::PerTensor)
+    }
+
+    /// Quantizes a matrix with one scale per row — the granularity used for
+    /// weight matrices, where a row is one output feature and rows never mix
+    /// in an accumulation.
+    pub fn quantize_per_row(m: &Matrix) -> Self {
+        let scales: Vec<Float> = (0..m.rows())
+            .map(|i| {
+                let amax = m
+                    .row(i)
+                    .iter()
+                    .filter(|x| x.is_finite())
+                    .fold(0.0 as Float, |a, &x| a.max(x.abs()));
+                scale_for_amax(amax)
+            })
+            .collect();
+        Self::quantize_with_scales(m, &scales, ScaleGranularity::PerRow)
+    }
+
+    /// Quantizes with externally supplied scales (e.g. calibrated activation
+    /// ranges with percentile clipping — values beyond the clip saturate).
+    ///
+    /// # Panics
+    /// Panics if the scale count does not match the granularity or a scale is
+    /// not positive.
+    pub fn quantize_with_scales(
+        m: &Matrix,
+        scales: &[Float],
+        granularity: ScaleGranularity,
+    ) -> Self {
+        let expected = match granularity {
+            ScaleGranularity::PerTensor => 1,
+            ScaleGranularity::PerRow => m.rows(),
+        };
+        assert_eq!(scales.len(), expected, "QTensor: scale count mismatch");
+        assert!(
+            scales.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "QTensor: scales must be positive and finite"
+        );
+        let mut data = vec![0i8; m.rows() * m.cols()];
+        for i in 0..m.rows() {
+            let inv = 1.0
+                / match granularity {
+                    ScaleGranularity::PerTensor => scales[0],
+                    ScaleGranularity::PerRow => scales[i],
+                };
+            for (d, &x) in data[i * m.cols()..(i + 1) * m.cols()]
+                .iter_mut()
+                .zip(m.row(i))
+            {
+                *d = quantize_value(x, inv);
+            }
+        }
+        Self {
+            data,
+            rows: m.rows(),
+            cols: m.cols(),
+            scales: scales.to_vec(),
+            granularity,
+        }
+    }
+
+    /// Dequantizes back to f32.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let s = self.row_scale(i);
+            for (o, &q) in out.row_mut(i).iter_mut().zip(self.row(i)) {
+                *o = q as Float * s;
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantized values of row `i`.
+    pub fn row(&self, i: usize) -> &[i8] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The raw quantized storage, row-major.
+    pub fn as_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// The scale of row `i` (the tensor scale under
+    /// [`ScaleGranularity::PerTensor`]).
+    pub fn row_scale(&self, i: usize) -> Float {
+        match self.granularity {
+            ScaleGranularity::PerTensor => self.scales[0],
+            ScaleGranularity::PerRow => self.scales[i],
+        }
+    }
+
+    /// All scales (length 1 or `rows`).
+    pub fn scales(&self) -> &[Float] {
+        &self.scales
+    }
+
+    /// The scale granularity.
+    pub fn granularity(&self) -> ScaleGranularity {
+        self.granularity
+    }
+
+    /// Worst-case absolute round-trip error bound per element: half a
+    /// quantization step for in-range values.
+    pub fn step_bound(&self) -> Float {
+        0.5 * self.scales.iter().fold(0.0 as Float, |a, &s| a.max(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgnn_tensor::stats::max_abs_diff;
+    use tgnn_tensor::TensorRng;
+
+    #[test]
+    fn round_trip_error_is_within_half_a_step_across_sizes_and_seeds() {
+        for seed in [1u64, 7, 42] {
+            let mut rng = TensorRng::new(seed);
+            for &(r, c) in &[(1usize, 1usize), (3, 5), (17, 33), (64, 64)] {
+                let m = rng.uniform_matrix(r, c, -3.0, 3.0);
+                for q in [
+                    QTensor::quantize_per_tensor(&m),
+                    QTensor::quantize_per_row(&m),
+                ] {
+                    let back = q.dequantize();
+                    let err = max_abs_diff(m.as_slice(), back.as_slice());
+                    assert!(
+                        err <= q.step_bound() + 1e-7,
+                        "round-trip error {err} exceeds bound {} ({r}x{c}, seed {seed}, {:?})",
+                        q.step_bound(),
+                        q.granularity()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_row_is_at_least_as_tight_as_per_tensor() {
+        let mut rng = TensorRng::new(9);
+        // Rows with wildly different magnitudes: per-row scales must adapt.
+        let mut m = rng.uniform_matrix(4, 16, -1.0, 1.0);
+        for j in 0..16 {
+            m[(0, j)] *= 100.0;
+            m[(3, j)] *= 0.01;
+        }
+        let pt = QTensor::quantize_per_tensor(&m).dequantize();
+        let pr = QTensor::quantize_per_row(&m).dequantize();
+        let err_pt = max_abs_diff(m.row(3), pt.row(3));
+        let err_pr = max_abs_diff(m.row(3), pr.row(3));
+        assert!(
+            err_pr < err_pt,
+            "per-row must be tighter on the small row: {err_pr} vs {err_pt}"
+        );
+    }
+
+    #[test]
+    fn saturation_hits_exactly_plus_minus_qmax() {
+        let m = Matrix::from_rows(&[vec![10.0, -10.0, 5.0, 0.0]]);
+        // Clip scale chosen so ±10 saturates.
+        let q = QTensor::quantize_with_scales(&m, &[5.0 / 127.0], ScaleGranularity::PerTensor);
+        assert_eq!(q.row(0)[0], 127);
+        assert_eq!(q.row(0)[1], -127);
+        assert_eq!(q.row(0)[2], 127);
+        assert_eq!(q.row(0)[3], 0);
+    }
+
+    #[test]
+    fn non_finite_inputs_quantize_nan_free() {
+        let m = Matrix::from_rows(&[vec![Float::NAN, Float::INFINITY, Float::NEG_INFINITY, 1.0]]);
+        for q in [
+            QTensor::quantize_per_tensor(&m),
+            QTensor::quantize_per_row(&m),
+        ] {
+            assert_eq!(q.row(0)[0], 0, "NaN must quantize to 0");
+            assert_eq!(q.row(0)[1], 127);
+            assert_eq!(q.row(0)[2], -127);
+            let back = q.dequantize();
+            assert!(back.all_finite(), "dequantized tensor must be finite");
+        }
+    }
+
+    #[test]
+    fn all_zero_tensor_round_trips_exactly() {
+        let m = Matrix::zeros(3, 4);
+        let q = QTensor::quantize_per_row(&m);
+        assert!(q.as_slice().iter().all(|&x| x == 0));
+        assert_eq!(q.dequantize().as_slice(), m.as_slice());
+    }
+}

@@ -143,6 +143,82 @@ fn pipelined_output_is_bit_identical_across_shards_and_batch_sizes() {
     }
 }
 
+/// The int8 serve path: with a quantized weight set attached, the pipeline
+/// runs the packed int8 kernels — and because every quantized stage is
+/// row-independent exact integer math, the served embeddings must still be
+/// **bit-identical** to `ExecMode::Quantized` replaying the same batches,
+/// across shard counts and GNN worker counts.  Accuracy against the f32
+/// serial reference is bounded separately (cosine agreement), mirroring the
+/// accuracy-gated deployment contract.
+#[test]
+fn quantized_pipeline_is_bit_identical_to_quantized_engine() {
+    use tgnn_core::quantized::quantize_model;
+    use tgnn_quant::QuantConfig;
+    use tgnn_tensor::stats::cosine_agreement;
+
+    let (mut model, graph) = setup(17, OptimizationVariant::NpMedium);
+    let graph = Arc::new(graph);
+    let events = &graph.events()[..240.min(graph.num_events())];
+    let calibration = &graph.events()[..400.min(graph.num_events())];
+    let q = Arc::new(quantize_model(
+        &model,
+        &graph,
+        &[],
+        calibration,
+        64,
+        QuantConfig::default(),
+    ));
+    model.attach_quantized(q);
+
+    for gnn_workers in [1usize, 2, 4] {
+        for num_shards in [1usize, 4] {
+            let label = format!("quantized shards={num_shards} gnn={gnn_workers}");
+            let (served, report) = serve_stream(
+                model.clone(),
+                &graph,
+                events,
+                &[],
+                num_shards,
+                32,
+                gnn_workers,
+            );
+            assert!(report.commit_log_clean, "{label}");
+            let total: usize = served.iter().map(|b| b.events.len()).sum();
+            assert_eq!(total, events.len(), "{label}: events lost or duplicated");
+
+            // Bitwise identity vs the quantized engine on the same batches.
+            let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes())
+                .with_mode(ExecMode::Quantized);
+            // f32 serial reference for the accuracy bound.
+            let mut f32_model = model.clone();
+            f32_model.detach_quantized();
+            let mut serial =
+                InferenceEngine::new(f32_model, graph.num_nodes()).with_mode(ExecMode::Serial);
+            for batch in &served {
+                let events = EventBatch::new(batch.events.clone());
+                let reference = engine.process_batch(&events, &graph);
+                assert_eq!(
+                    reference.embeddings, batch.embeddings,
+                    "{label}: served embeddings diverged bitwise from the quantized engine in epoch {}",
+                    batch.epoch
+                );
+                let f32_out = serial.process_batch(&events, &graph);
+                for ((v_a, e_a), (v_b, e_b)) in f32_out.embeddings.iter().zip(&batch.embeddings) {
+                    assert_eq!(v_a, v_b, "{label}: vertex order diverged");
+                    // Sanity bound only — the tiny random test model has
+                    // far coarser activations than the calibrated harness
+                    // config the accuracy gate (quant_gate) measures.
+                    let cos = cosine_agreement(e_a, e_b);
+                    assert!(
+                        cos >= 0.98,
+                        "{label}: served int8 embedding of vertex {v_a} strayed from f32 (cosine {cos})"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn warmed_up_server_matches_warmed_up_serial_engine() {
     let (model, graph) = setup(7, OptimizationVariant::Sat);

@@ -17,6 +17,7 @@
 //! | [`gemm::matmul_packed`] / [`gemm::matmul_packed_into`] | the hot path | packs B into `NR`-column panels (via [`Workspace`], allocation-free when warm) and runs a register-tiled `MR×NR` microkernel; ≥2× faster than `matmul` at attention-sized shapes (64–256) |
 //! | [`gemm::matmul_packed_transb_into`] | `A·Bᵀ` with row-major B | what `Linear` layers need (`x·Wᵀ`); avoids materialising the transpose |
 //! | [`gemm::par_matmul`] | single large products (≥64³) with no outer parallelism | rayon split over output rows; don't nest it inside per-vertex parallelism |
+//! | [`gemm_i8::matmul_i8_dequant_into`] | the int8 inference path | i8×i8→i32 accumulate on packed weight panels with a dequant-fused f32 epilogue; AVX2 `maddubs` dispatch, exact scalar fallback |
 //!
 //! All kernels accumulate every output element in strictly ascending-`k`
 //! order with a single accumulator, so they are interchangeable without
@@ -29,6 +30,7 @@
 //! actually runs.
 
 pub mod gemm;
+pub mod gemm_i8;
 pub mod matrix;
 pub mod ops;
 pub mod rng;

@@ -150,17 +150,8 @@ pub fn squared_distance(a: &[Float], b: &[Float]) -> Float {
 }
 
 /// Cosine similarity between two slices (0 if either is the zero vector).
-pub fn cosine_similarity(a: &[Float], b: &[Float]) -> Float {
-    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
-    let dot: Float = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
-    let na: Float = a.iter().map(|&x| x * x).sum::<Float>().sqrt();
-    let nb: Float = b.iter().map(|&x| x * x).sum::<Float>().sqrt();
-    if na == 0.0 || nb == 0.0 {
-        0.0
-    } else {
-        dot / (na * nb)
-    }
-}
+/// Re-exported from [`crate::stats`], where the comparison statistics live.
+pub use crate::stats::cosine_similarity;
 
 /// Returns the indices of the `k` largest values, in descending value order.
 /// Ties are broken by the lower index.  Used by the temporal-neighbor pruning

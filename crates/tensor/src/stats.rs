@@ -72,6 +72,60 @@ pub fn percentile(values: &[Float], p: Float) -> Float {
     percentile_sorted(&sorted, p)
 }
 
+/// Cosine similarity between two equally-sized slices (0 if either is the
+/// zero vector).  The canonical implementation behind
+/// [`crate::ops::cosine_similarity`]; lives here with the other comparison
+/// statistics used by the quantization accuracy harness and the equivalence
+/// tests.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn cosine_similarity(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "cosine_similarity: length mismatch");
+    let dot: Float = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    let na: Float = a.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    let nb: Float = b.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// [`cosine_similarity`] with the degenerate cases resolved for *agreement*
+/// checks: two near-zero vectors agree perfectly (1.0), a near-zero vector
+/// against a non-zero one disagrees maximally (0.0).  Use this when scoring
+/// how well an approximation (e.g. the int8 path) tracks a reference —
+/// cold-start embeddings are exactly zero on both sides and must not read
+/// as disagreement.
+pub fn cosine_agreement(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "cosine_agreement: length mismatch");
+    let na: Float = a.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    let nb: Float = b.iter().map(|&x| x * x).sum::<Float>().sqrt();
+    const EPS: Float = 1e-12;
+    if na <= EPS && nb <= EPS {
+        return 1.0;
+    }
+    if na <= EPS || nb <= EPS {
+        return 0.0;
+    }
+    let dot: Float = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+    dot / (na * nb)
+}
+
+/// Largest absolute elementwise difference between two equally-sized slices
+/// (0 for empty slices).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[Float], b: &[Float]) -> Float {
+    assert_eq!(a.len(), b.len(), "max_abs_diff: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, Float::max)
+}
+
 /// Fixed-width histogram over `[min, max]`.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Histogram {

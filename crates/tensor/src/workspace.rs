@@ -25,6 +25,9 @@ pub struct Workspace {
     /// in use for the whole duration of a GEMM while `pool` buffers may be
     /// taken concurrently for the output).
     pack: Vec<Float>,
+    /// Recycled `i8` buffers for the quantized hot path (activation
+    /// quantization scratch of the int8 GEMM).
+    pool_i8: Vec<Vec<i8>>,
     /// Number of times a request could not be served from pooled capacity.
     heap_allocs: u64,
 }
@@ -41,7 +44,7 @@ impl Workspace {
     /// Prefers the pooled buffer with the largest capacity so one warm
     /// large-shape call can serve all smaller subsequent requests.
     pub fn take(&mut self, len: usize) -> Vec<Float> {
-        let mut buf = match self.best_fit(len) {
+        let mut buf = match best_fit(&self.pool, len) {
             Some(idx) => self.pool.swap_remove(idx),
             None => {
                 self.heap_allocs += 1;
@@ -73,6 +76,32 @@ impl Workspace {
         self.recycle(m.into_vec());
     }
 
+    /// Checks out a zero-filled `i8` buffer of exactly `len` elements (the
+    /// int8 analogue of [`Self::take`], used for quantized activations).
+    /// Same smallest-fit reuse policy as the f32 pool.
+    pub fn take_i8(&mut self, len: usize) -> Vec<i8> {
+        let mut buf = match best_fit(&self.pool_i8, len) {
+            Some(idx) => self.pool_i8.swap_remove(idx),
+            None => {
+                self.heap_allocs += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        if buf.capacity() < len {
+            self.heap_allocs += 1;
+        }
+        buf.clear();
+        buf.resize(len, 0);
+        buf
+    }
+
+    /// Returns an `i8` buffer to the pool for reuse.
+    pub fn recycle_i8(&mut self, buf: Vec<i8>) {
+        if buf.capacity() > 0 {
+            self.pool_i8.push(buf);
+        }
+    }
+
     /// Number of requests (including pack-buffer growth) that had to touch
     /// the heap since construction.  Steady-state hot-path code keeps this
     /// constant across calls — asserted by the workspace-reuse tests.
@@ -92,23 +121,25 @@ impl Workspace {
         }
         &mut self.pack[..len]
     }
+}
 
-    /// Index of the pooled buffer best suited for `len` elements: the
-    /// smallest capacity that fits, or the largest overall if none fits.
-    fn best_fit(&self, len: usize) -> Option<usize> {
-        let mut fitting: Option<(usize, usize)> = None;
-        let mut largest: Option<(usize, usize)> = None;
-        for (idx, buf) in self.pool.iter().enumerate() {
-            let cap = buf.capacity();
-            if cap >= len && fitting.is_none_or(|(_, best)| cap < best) {
-                fitting = Some((idx, cap));
-            }
-            if largest.is_none_or(|(_, best)| cap > best) {
-                largest = Some((idx, cap));
-            }
+/// Index of the pooled buffer best suited for `len` elements: the smallest
+/// capacity that fits, or the largest overall if none fits (it will grow
+/// once and then serve everything).  Shared by the f32 and i8 pools so
+/// their reuse policies cannot drift.
+fn best_fit<T>(pool: &[Vec<T>], len: usize) -> Option<usize> {
+    let mut fitting: Option<(usize, usize)> = None;
+    let mut largest: Option<(usize, usize)> = None;
+    for (idx, buf) in pool.iter().enumerate() {
+        let cap = buf.capacity();
+        if cap >= len && fitting.is_none_or(|(_, best)| cap < best) {
+            fitting = Some((idx, cap));
         }
-        fitting.or(largest).map(|(idx, _)| idx)
+        if largest.is_none_or(|(_, best)| cap > best) {
+            largest = Some((idx, cap));
+        }
     }
+    fitting.or(largest).map(|(idx, _)| idx)
 }
 
 #[cfg(test)]
@@ -169,6 +200,26 @@ mod tests {
         ws.recycle_matrix(m);
         let m2 = ws.take_matrix(5, 3);
         assert_eq!(m2.shape(), (5, 3));
+    }
+
+    #[test]
+    fn i8_pool_is_allocation_free_in_steady_state() {
+        let mut ws = Workspace::new();
+        for len in [64usize, 32, 256] {
+            let buf = ws.take_i8(len);
+            ws.recycle_i8(buf);
+        }
+        let warm = ws.heap_allocs();
+        for _ in 0..100 {
+            for len in [64usize, 32, 256] {
+                let mut buf = ws.take_i8(len);
+                assert_eq!(buf.len(), len);
+                assert!(buf.iter().all(|&x| x == 0), "reused i8 buffer not zeroed");
+                buf.iter_mut().for_each(|x| *x = -5);
+                ws.recycle_i8(buf);
+            }
+        }
+        assert_eq!(ws.heap_allocs(), warm);
     }
 
     #[test]

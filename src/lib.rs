@@ -11,8 +11,10 @@
 //! * [`data`] — synthetic Wikipedia/Reddit/GDELT-like dataset generators.
 //! * [`nn`] — neural-network kernels (GRU, attentions, time encoders) with
 //!   training support.
+//! * [`quant`] — symmetric int8 quantization: `QTensor`, activation-range
+//!   calibration, quantized linear layers on the packed int8 GEMM.
 //! * [`core`] — the TGN-attn model, Algorithm-1 inference engine, training
-//!   and knowledge distillation.
+//!   and knowledge distillation, plus the int8 quantized execution path.
 //! * [`hwsim`] — the FPGA accelerator simulator, analytical performance
 //!   model, and CPU/GPU baseline cost models.
 //! * [`serve`] — the sharded multi-queue streaming pipeline for continuous
@@ -26,13 +28,15 @@ pub use tgnn_data as data;
 pub use tgnn_graph as graph;
 pub use tgnn_hwsim as hwsim;
 pub use tgnn_nn as nn;
+pub use tgnn_quant as quant;
 pub use tgnn_serve as serve;
 pub use tgnn_tensor as tensor;
 
 /// Convenience prelude with the types most programs need.
 pub mod prelude {
     pub use tgnn_core::{
-        AttentionKind, InferenceEngine, ModelConfig, OptimizationVariant, TgnModel, TimeEncoderKind,
+        quantize_model, AttentionKind, ExecMode, InferenceEngine, ModelConfig, OptimizationVariant,
+        QuantizedTgn, TgnModel, TimeEncoderKind,
     };
     pub use tgnn_data::{gdelt_like, generate, reddit_like, tiny, wikipedia_like};
     pub use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
