@@ -15,7 +15,9 @@
 
 use std::sync::Arc;
 use std::time::Instant;
-use tgnn_bench::{build_model, harness_model_config, merge_baseline_row, Dataset, HarnessArgs};
+use tgnn_bench::{
+    build_model, harness_model_config, merge_baseline_row, Dataset, FlagHelp, HarnessArgs,
+};
 use tgnn_core::quantized::quantize_model;
 use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
 use tgnn_graph::batching::fixed_size_batches;
@@ -30,8 +32,20 @@ struct ModeResult {
     mean_latency_ms: f64,
 }
 
+/// Binary-specific flags, enumerated for `--help`.
+const BASELINE_FLAGS: &[FlagHelp] = &[(
+    "--out",
+    "<path>",
+    "baseline JSON file to (re)write (default BENCH_baseline.json)",
+)];
+
 fn main() {
-    let args = HarnessArgs::parse();
+    let args = HarnessArgs::parse_or_help(
+        "perf_baseline",
+        "End-to-end inference throughput across every ExecMode, f32-identity check, int8 \
+         accuracy + GEMM microbench; rewrites the BENCH_baseline.json trajectory file.",
+        BASELINE_FLAGS,
+    );
     let out_path = {
         let argv: Vec<String> = std::env::args().collect();
         argv.windows(2)

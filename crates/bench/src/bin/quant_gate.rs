@@ -35,8 +35,23 @@ const COSINE_FLOOR: f32 = 0.999;
 /// Maximum tolerated link-prediction AP drop (absolute) vs f32.
 const AP_DELTA_MAX: f32 = 0.02;
 
+/// Binary-specific flags, enumerated for `--help`.
+const GATE_FLAGS: &[tgnn_bench::FlagHelp] = &[
+    (
+        "--out",
+        "<path>",
+        "baseline JSON to merge the quant_gate row into (default BENCH_baseline.json)",
+    ),
+    ("--smoke", "", "tiny fixed configuration, 1 epoch"),
+];
+
 fn main() {
-    let mut args = HarnessArgs::parse();
+    let mut args = HarnessArgs::parse_or_help(
+        "quant_gate",
+        "int8 accuracy gate: train a fixed-seed bundle, calibrate + quantize, fail the \
+         build if embedding cosine or link-prediction AP regress past the budget.",
+        GATE_FLAGS,
+    );
     let smoke = std::env::args().any(|a| a == "--smoke");
     if smoke {
         args.scale = 0.005;

@@ -1,12 +1,15 @@
-//! Streaming-pipeline throughput/latency benchmark and identity check.
+//! Streaming-pipeline throughput/latency benchmark, identity check, and
+//! multi-tenant overload demonstration.
 //!
 //! Streams the Wikipedia-like preset through the pipelined `StreamServer`,
 //! verifies the served embeddings against a reference engine replaying the
 //! exact micro-batch sequence the server used, and extends
 //! `BENCH_baseline.json` (written by `perf_baseline`) with a `"pipeline"`
-//! row: events/sec plus mean/p50/p95/p99 micro-batch latency.
+//! row: events/sec, mean/p50/p95/p99 micro-batch latency, and per-tenant
+//! admission statistics.
 //!
 //! Run with: `cargo run --release -p tgnn-bench --bin serve_bench -- --scale 0.02`
+//! (see `--help` or `crates/bench/README.md` for every flag).
 //!
 //! `--exec-mode {batched,quantized}` selects the numeric path:
 //!
@@ -19,6 +22,17 @@
 //!   numeric drift of its own), and their accuracy against the f32 serial
 //!   reference (cosine / max-abs error) is measured and recorded.
 //!
+//! `--tenants N` (default 1) turns on the multi-tenant admission layer:
+//! the measurement feed is split round-robin across `N` tenants with
+//! skewed weights (`2^(N-1-i)`, so the last tenant has weight 1), each with
+//! a small bounded ingress queue and the `--overload-policy`.  With
+//! `--offered-load` above pipeline capacity this demonstrates the overload
+//! contract: `block` backpressures and serves everything bit-identically,
+//! the drop policies shed load while keeping per-tenant p99 bounded, and
+//! the weighted-fair scheduler keeps every tenant near its weight share.
+//! The per-tenant table (throughput, drop rate, late count, p99) is
+//! printed and recorded in the JSON row.
+//!
 //! `--gnn-workers <n>` sizes the data-parallel GNN compute pool (default 1);
 //! the identity check holds for every pool size and both exec modes, and
 //! both are recorded in the `"pipeline"` row.  `--smoke` runs a tiny
@@ -27,13 +41,15 @@
 //! pipelined-vs-engine divergence.
 
 use std::sync::Arc;
-use std::time::Duration;
-use tgnn_bench::{build_model, harness_model_config, merge_baseline_row, Dataset, HarnessArgs};
+use std::time::{Duration, Instant};
+use tgnn_bench::{
+    build_model, harness_model_config, merge_baseline_row, Dataset, FlagHelp, HarnessArgs,
+};
 use tgnn_core::quantized::quantize_model;
-use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant};
+use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant, OverloadPolicy, TenantId};
 use tgnn_graph::EventBatch;
 use tgnn_quant::QuantConfig;
-use tgnn_serve::{ServeConfig, ServeReport, ServedBatch, StreamServer};
+use tgnn_serve::{ServeConfig, ServeReport, ServedBatch, StreamServer, TenantSpec};
 use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 
 const MAX_BATCH: usize = 200;
@@ -43,8 +59,64 @@ const NUM_SHARDS: usize = 4;
 /// reference (worst pair over the whole stream).
 const QUANT_COSINE_FLOOR: f32 = 0.999;
 
+/// Binary-specific flags, enumerated for `--help` (keep in sync with the
+/// parsing below — `usage_text_enumerates_shared_and_extra_flags` guards
+/// the shared half).
+const SERVE_FLAGS: &[FlagHelp] = &[
+    (
+        "--exec-mode",
+        "<batched|quantized>",
+        "numeric path: f32 (default) or calibrated int8",
+    ),
+    (
+        "--gnn-workers",
+        "<n>",
+        "data-parallel GNN compute workers (default 1)",
+    ),
+    (
+        "--tenants",
+        "<n>",
+        "tenants sharing the server, round-robin feed, skewed weights (default 1)",
+    ),
+    (
+        "--overload-policy",
+        "<p>",
+        "block|drop-newest|drop-oldest|late at the ingress bound (default block)",
+    ),
+    (
+        "--offered-load",
+        "<eps>",
+        "pace submission at this many events/sec (default 0 = unpaced)",
+    ),
+    (
+        "--ingress-capacity",
+        "<n>",
+        "per-tenant ingress queue bound when --tenants > 1 (default 256)",
+    ),
+    (
+        "--deadline-ms",
+        "<ms>",
+        "per-event deadline for the late policy (default 50)",
+    ),
+    (
+        "--out",
+        "<path>",
+        "baseline JSON to merge the pipeline row into (default BENCH_baseline.json)",
+    ),
+    (
+        "--smoke",
+        "",
+        "tiny fixed configuration, no JSON merge (CI identity check)",
+    ),
+];
+
 fn main() {
-    let mut args = HarnessArgs::parse();
+    let mut args = HarnessArgs::parse_or_help(
+        "serve_bench",
+        "Streaming-pipeline benchmark: throughput/latency, pipelined-vs-engine identity, \
+         and multi-tenant overload behaviour.",
+        SERVE_FLAGS,
+    );
     let argv: Vec<String> = std::env::args().collect();
     let smoke = argv.iter().any(|a| a == "--smoke");
     if smoke {
@@ -61,12 +133,38 @@ fn main() {
     // Unlike the HarnessArgs flags, a missing or malformed value here is a
     // hard error: CI's identity checks must not silently degrade to the
     // default configuration.
-    let gnn_workers: usize = match flag_value("--gnn-workers") {
-        None => 1,
+    let parse_usize = |name: &'static str, default: usize| -> usize {
+        match flag_value(name) {
+            None => default,
+            Some(v) => v
+                .as_deref()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name}: expected a non-negative integer, got {v:?}")),
+        }
+    };
+    let parse_f64 = |name: &'static str, default: f64| -> f64 {
+        match flag_value(name) {
+            None => default,
+            Some(v) => v
+                .as_deref()
+                .and_then(|v| v.parse().ok())
+                .filter(|x: &f64| x.is_finite() && *x >= 0.0)
+                .unwrap_or_else(|| panic!("{name}: expected a non-negative number, got {v:?}")),
+        }
+    };
+    let gnn_workers = parse_usize("--gnn-workers", 1);
+    let num_tenants = parse_usize("--tenants", 1);
+    let offered_load = parse_f64("--offered-load", 0.0);
+    let ingress_capacity = parse_usize("--ingress-capacity", 256);
+    let deadline_ms = parse_f64("--deadline-ms", 50.0);
+    let policy: OverloadPolicy = match flag_value("--overload-policy") {
+        None => OverloadPolicy::Block,
         Some(v) => v
             .as_deref()
             .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| panic!("--gnn-workers: expected a worker count, got {v:?}")),
+            .unwrap_or_else(|| {
+                panic!("--overload-policy: expected block|drop-newest|drop-oldest|late")
+            }),
     };
     let quantized: bool = match flag_value("--exec-mode") {
         None => false,
@@ -76,6 +174,19 @@ fn main() {
             other => panic!("--exec-mode: expected batched|quantized, got {other:?}"),
         },
     };
+    assert!(num_tenants >= 1, "--tenants: need at least one tenant");
+    // The tenancy flags configure the multi-tenant admission layer; with
+    // the default single tenant they would be silently ignored, and a
+    // baseline row recording a policy the run never used is worse than an
+    // error.
+    if num_tenants == 1 {
+        for flag in ["--overload-policy", "--ingress-capacity", "--deadline-ms"] {
+            assert!(
+                flag_value(flag).is_none(),
+                "{flag} requires --tenants > 1 (a single-tenant run always uses the Block policy)"
+            );
+        }
+    }
 
     let graph = Arc::new(Dataset::Wikipedia.graph(args.scale, args.seed));
     let variant = OptimizationVariant::NpMedium;
@@ -97,6 +208,17 @@ fn main() {
         exec_mode,
         if smoke { " (smoke)" } else { "" }
     );
+    if num_tenants > 1 {
+        println!(
+            "admission: {num_tenants} tenants (weights 2^(N-1-i)), policy {}, ingress bound {ingress_capacity}, offered load {}",
+            policy.label(),
+            if offered_load > 0.0 {
+                format!("{offered_load:.0} eps")
+            } else {
+                "unpaced".to_string()
+            }
+        );
+    }
 
     // Quantized mode: calibrate on the warm-up split (replayed from cold
     // state by the calibration engine) and attach the int8 weight set —
@@ -115,6 +237,15 @@ fn main() {
     });
 
     // --- Pipelined serving run.
+    let tenants: Vec<TenantSpec> = (0..num_tenants)
+        .map(|i| {
+            TenantSpec::new(format!("tenant{i}"))
+                .with_weight(1 << (num_tenants - 1 - i).min(16))
+                .with_capacity(ingress_capacity)
+                .with_policy(policy)
+                .with_deadline(Duration::from_secs_f64(deadline_ms / 1e3))
+        })
+        .collect();
     let serve_config = ServeConfig {
         max_batch: MAX_BATCH,
         // Size-only sealing keeps the micro-batch boundaries deterministic
@@ -122,15 +253,66 @@ fn main() {
         batch_deadline: Duration::from_secs(3600),
         num_shards: NUM_SHARDS,
         gnn_workers,
+        // In multi-tenant mode the scheduler→batcher queue is a small
+        // handoff buffer, NOT a reservoir: weighted-fair draining only
+        // disciplines *admission* while the scheduler is blocked downstream
+        // with tenant queues still full.  A queue deep enough to absorb the
+        // combined ingress backlog would forward every queued event each
+        // burst and flatten the service shares to uniform.
+        admission_capacity: if num_tenants > 1 {
+            8
+        } else {
+            ServeConfig::default().admission_capacity
+        },
+        tenants: if num_tenants > 1 { tenants } else { Vec::new() },
         ..ServeConfig::default()
+    };
+    // A paced multi-tenant run needs *sustained* pressure to demonstrate
+    // fairness: replay the measurement feed for enough laps (timestamps
+    // shifted by the feed's span each lap) to offer about one second of
+    // load, so the scheduler arbitrates across many rounds instead of one
+    // burst-then-drain.
+    let laps: usize = if num_tenants > 1 && offered_load > 0.0 {
+        ((offered_load / measure_events.len() as f64).ceil() as usize).clamp(1, 50)
+    } else {
+        1
+    };
+    if laps > 1 {
+        println!(
+            "admission: replaying the {}-event feed for {laps} laps of offered load",
+            measure_events.len()
+        );
+    }
+    let span = match (measure_events.first(), measure_events.last()) {
+        (Some(a), Some(b)) => 1.0 + b.timestamp - a.timestamp,
+        _ => 1.0,
     };
     let mut server = StreamServer::new(model.clone(), graph.clone(), serve_config);
     server.warm_up(&warm_events);
     let mut served: Vec<ServedBatch> = Vec::new();
-    for &e in &measure_events {
-        server.submit(e).expect("chronological stream");
-        while let Some(b) = server.poll() {
-            served.push(b);
+    let mut submitted = 0u64;
+    let mut dropped_at_submit = 0u64;
+    let pace_start = Instant::now();
+    for lap in 0..laps {
+        for (i, &e) in measure_events.iter().enumerate() {
+            if offered_load > 0.0 {
+                // Pace the offered load: event k is due at k / offered_load.
+                let due = pace_start + Duration::from_secs_f64(submitted as f64 / offered_load);
+                if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+            }
+            let mut e = e;
+            e.timestamp += lap as f64 * span;
+            let tenant = TenantId(i as u32 % num_tenants as u32);
+            let outcome = server.submit_for(tenant, e).expect("chronological stream");
+            submitted += 1;
+            if !outcome.is_admitted() {
+                dropped_at_submit += 1;
+            }
+            while let Some(b) = server.poll() {
+                served.push(b);
+            }
         }
     }
     let report = server.drain();
@@ -146,11 +328,36 @@ fn main() {
         report.latency.p95_ms,
         report.latency.p99_ms
     );
-    assert!(report.commit_log_clean, "pipeline violated chronology");
+    if num_tenants > 1 {
+        print_tenant_table(&report);
+        check_overload_contract(
+            &report,
+            policy,
+            submitted,
+            dropped_at_submit,
+            offered_load > 0.0,
+        );
+        // Cross-tenant scheduling reorders the merged stream, so the
+        // shared-state chronology metric is reported, not asserted — it is
+        // clean exactly when tenants touch disjoint vertex sets.
+        println!(
+            "chronology: commit log {} ({} commits)",
+            if report.commit_log_clean {
+                "clean"
+            } else {
+                "cross-tenant reordering observed"
+            },
+            report.commits
+        );
+    } else {
+        assert!(report.commit_log_clean, "pipeline violated chronology");
+    }
 
     // --- Identity check: the engine running the same numeric path must
     // reproduce the served embeddings bitwise over the served batch
     // sequence (batched → Serial f32; quantized → ExecMode::Quantized).
+    // With drop policies the engine replays exactly the *served* events —
+    // what was dropped at admission never entered the semantics.
     let mut engine = match &quant {
         None => InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Serial),
         Some(q) => {
@@ -170,19 +377,25 @@ fn main() {
         );
         checked_events += batch.events.len();
     }
+    let total_dropped: u64 = report.tenants.iter().map(|t| t.dropped()).sum();
     assert_eq!(
-        checked_events,
-        measure_events.len(),
-        "events lost in flight"
+        checked_events as u64 + total_dropped,
+        submitted,
+        "events lost in flight (served {checked_events} + dropped {total_dropped})"
     );
     println!(
-        "identity: {} embeddings across {} micro-batches bit-identical to the {} engine",
+        "identity: {} embeddings across {} micro-batches bit-identical to the {} engine{}",
         report.num_embeddings,
         served.len(),
         if quantized {
             "ExecMode::Quantized"
         } else {
             "ExecMode::Serial"
+        },
+        if total_dropped > 0 {
+            format!(" ({total_dropped} events shed at admission, accounted)")
+        } else {
+            String::new()
         }
     );
 
@@ -224,8 +437,90 @@ fn main() {
         println!("smoke mode: skipping {out_path} update");
         return;
     }
-    merge_pipeline_row(&out_path, &report, exec_mode, accuracy);
+    // Record the policy the run *actually* used (the report's, not the
+    // flag's) so the row can never contradict its own tenant_stats.
+    let effective_policy = report.tenants[0].policy;
+    merge_pipeline_row(
+        &out_path,
+        &report,
+        exec_mode,
+        effective_policy,
+        offered_load,
+        accuracy,
+    );
     println!("wrote pipeline row to {out_path}");
+}
+
+/// Prints the per-tenant serving table (the overload picture).
+fn print_tenant_table(report: &ServeReport) {
+    println!("tenant      weight  submitted  served   dropped  drop%   late    p99 ms    eps");
+    for t in &report.tenants {
+        println!(
+            "{:<10} {:>6} {:>10} {:>7} {:>9} {:>6.1} {:>6} {:>9.2} {:>8.0}",
+            t.name,
+            t.weight,
+            t.counters.submitted,
+            t.served,
+            t.dropped(),
+            t.drop_rate() * 100.0,
+            t.late,
+            t.latency.p99_ms,
+            t.throughput_eps,
+        );
+    }
+}
+
+/// Asserts the multi-tenant overload contract the run demonstrates: every
+/// event accounted, policy-consistent drop counters, and — when the run
+/// was actually overloaded — weighted-fair service within 2× of each
+/// tenant's weight share.
+fn check_overload_contract(
+    report: &ServeReport,
+    policy: OverloadPolicy,
+    submitted: u64,
+    dropped_at_submit: u64,
+    paced: bool,
+) {
+    let total_served: u64 = report.tenants.iter().map(|t| t.served).sum();
+    let total_dropped: u64 = report.tenants.iter().map(|t| t.dropped()).sum();
+    assert_eq!(
+        total_served + total_dropped,
+        submitted,
+        "per-tenant accounting must cover every submitted event"
+    );
+    match policy {
+        OverloadPolicy::Block | OverloadPolicy::Late => {
+            assert_eq!(total_dropped, 0, "{} must never drop", policy.label());
+        }
+        OverloadPolicy::DropNewest => {
+            assert_eq!(
+                total_dropped, dropped_at_submit,
+                "DropNewest drops are exactly the rejected submits"
+            );
+        }
+        OverloadPolicy::DropOldest => {
+            assert_eq!(dropped_at_submit, 0, "DropOldest always admits");
+        }
+    }
+    // Fairness is only observable while the scheduler actually arbitrates:
+    // the run must be paced (an unpaced burst is admitted almost entirely
+    // before the pipeline serves its first batch, so service degenerates to
+    // drain order) and heavily shedding.
+    if paced && total_dropped > submitted / 10 {
+        let total_weight: u64 = report.tenants.iter().map(|t| u64::from(t.weight)).sum();
+        for t in &report.tenants {
+            let fair = total_served as f64 * t.weight as f64 / total_weight as f64;
+            assert!(
+                (t.served as f64) >= fair / 2.0 && (t.served as f64) <= fair * 2.0,
+                "tenant {} (weight {}): served {} vs fair share {:.1} — outside 2×",
+                t.name,
+                t.weight,
+                t.served,
+                fair
+            );
+        }
+        println!("fairness: every tenant within 2x of its weight share (asserted)");
+    }
 }
 
 /// Formats and merges the top-level `"pipeline"` row.
@@ -233,6 +528,8 @@ fn merge_pipeline_row(
     path: &str,
     report: &ServeReport,
     exec_mode: &str,
+    policy: OverloadPolicy,
+    offered_load: f64,
     accuracy: Option<(f32, f64, f32)>,
 ) {
     let identity = match accuracy {
@@ -241,8 +538,27 @@ fn merge_pipeline_row(
             "    \"embeddings_bitwise_identical_to_quantized_engine\": true,\n    \"embedding_cosine_min\": {min_cos:.6},\n    \"embedding_cosine_mean\": {mean_cos:.6},\n    \"embedding_max_abs_err\": {max_err:.6}"
         ),
     };
+    let tenant_rows: Vec<String> = report
+        .tenants
+        .iter()
+        .map(|t| {
+            format!(
+                "      {{ \"name\": \"{}\", \"weight\": {}, \"policy\": \"{}\", \"submitted\": {}, \"served\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"late\": {}, \"p99_ms\": {:.4}, \"events_per_sec\": {:.1} }}",
+                t.name,
+                t.weight,
+                t.policy.label(),
+                t.counters.submitted,
+                t.served,
+                t.dropped(),
+                t.drop_rate(),
+                t.late,
+                t.latency.p99_ms,
+                t.throughput_eps,
+            )
+        })
+        .collect();
     let row = format!(
-        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n{}\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
@@ -254,6 +570,11 @@ fn merge_pipeline_row(
         report.latency.p95_ms,
         report.latency.p99_ms,
         report.backpressure_blocks,
+        report.tenants.len(),
+        policy.label(),
+        offered_load,
+        report.commit_log_clean,
+        tenant_rows.join(",\n"),
         identity,
     );
     merge_baseline_row(path, "pipeline", &row);

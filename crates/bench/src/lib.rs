@@ -72,11 +72,63 @@ impl Default for HarnessArgs {
     }
 }
 
+/// A command-line flag description for the generated `--help` output:
+/// `(flag, value placeholder, description)`.
+pub type FlagHelp = (&'static str, &'static str, &'static str);
+
+/// The flags every harness binary shares (parsed by [`HarnessArgs`]).
+pub const SHARED_FLAGS: &[FlagHelp] = &[
+    ("--scale", "<f64>", "dataset scale in (0, 1] (default 0.02)"),
+    (
+        "--epochs",
+        "<n>",
+        "training epochs for the accuracy experiments (default 2)",
+    ),
+    ("--seed", "<u64>", "random seed (default 7)"),
+];
+
 impl HarnessArgs {
     /// Parses `--scale`, `--epochs`, and `--seed` from `std::env::args`.
     pub fn parse() -> Self {
         let args: Vec<String> = std::env::args().collect();
         Self::parse_from(&args[1..])
+    }
+
+    /// Like [`Self::parse`], but first handles `--help`/`-h`: prints a usage
+    /// message enumerating the shared flags *and* the binary's own
+    /// `extra_flags`, then exits.  Every harness binary with non-shared
+    /// flags routes through this so `--help` can never silently omit a
+    /// flag the binary actually parses.
+    pub fn parse_or_help(binary: &str, about: &str, extra_flags: &[FlagHelp]) -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", Self::usage(binary, about, extra_flags));
+            std::process::exit(0);
+        }
+        Self::parse_from(&args[1..])
+    }
+
+    /// The `--help` text: one line per flag, shared flags first.
+    pub fn usage(binary: &str, about: &str, extra_flags: &[FlagHelp]) -> String {
+        let mut out = format!(
+            "{about}\n\nUsage: cargo run --release -p tgnn-bench --bin {binary} -- [flags]\n\nFlags:\n"
+        );
+        let width = SHARED_FLAGS
+            .iter()
+            .chain(extra_flags)
+            .map(|(f, v, _)| f.len() + v.len() + 1)
+            .max()
+            .unwrap_or(0);
+        for (flag, value, desc) in SHARED_FLAGS.iter().chain(extra_flags) {
+            let head = if value.is_empty() {
+                flag.to_string()
+            } else {
+                format!("{flag} {value}")
+            };
+            out.push_str(&format!("  {head:<width$}  {desc}\n"));
+        }
+        out.push_str(&format!("  {:<width$}  print this message\n", "--help, -h"));
+        out
     }
 
     /// Parses the known flags from an argument slice.  Unknown arguments
@@ -183,7 +235,10 @@ pub fn merge_baseline_row(path: &str, key: &str, row: &str) {
         }
     }
     let json = match body.trim_end().strip_suffix('}') {
-        Some(prefix) if !prefix.trim().is_empty() => {
+        // `prefix.trim() == "{"` is a file whose only row was just spliced
+        // out — fall through to the fresh-file shape (a comma after the
+        // bare brace would corrupt the JSON).
+        Some(prefix) if !prefix.trim().is_empty() && prefix.trim() != "{" => {
             format!("{},\n{entry}\n}}\n", prefix.trim_end())
         }
         _ => format!("{{\n{entry}\n}}\n"),
@@ -354,6 +409,16 @@ mod tests {
         assert_eq!(body.matches("\"alpha\"").count(), 1, "{body}");
 
         let _ = std::fs::remove_file(path);
+
+        // Replacing the only row of a single-row file must not leave a
+        // stray comma after the opening brace.
+        merge_baseline_row(path, "solo", "{ \"v\": 1 }");
+        merge_baseline_row(path, "solo", "{ \"v\": 2 }");
+        let body = std::fs::read_to_string(path).unwrap();
+        assert!(!body.contains("{,"), "{body}");
+        assert!(body.contains("\"v\": 2"), "{body}");
+        assert_eq!(body.matches("\"solo\"").count(), 1, "{body}");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
@@ -367,6 +432,25 @@ mod tests {
         // A trailing flag with no value falls back to the default.
         let args = HarnessArgs::parse_from(&argv("--seed"));
         assert_eq!(args.seed, HarnessArgs::default().seed);
+    }
+
+    /// The generated `--help` text must enumerate every shared flag and
+    /// every binary-specific flag it is given — a binary that parses a flag
+    /// but omits it from its `extra_flags` table is the regression this
+    /// guards against (keep the tables next to the parsing code).
+    #[test]
+    fn usage_text_enumerates_shared_and_extra_flags() {
+        let extra: &[FlagHelp] = &[
+            ("--tenants", "<n>", "number of tenants"),
+            ("--smoke", "", "tiny fixed-seed run"),
+        ];
+        let text = HarnessArgs::usage("serve_bench", "Streaming benchmark.", extra);
+        for (flag, _, desc) in SHARED_FLAGS.iter().chain(extra) {
+            assert!(text.contains(flag), "missing flag {flag}:\n{text}");
+            assert!(text.contains(desc), "missing description for {flag}");
+        }
+        assert!(text.contains("--help"));
+        assert!(text.contains("serve_bench"));
     }
 
     /// Dedicated regression test for the valueless-flag alignment fix in

@@ -56,6 +56,35 @@ use tgnn_tensor::{Float, Matrix, Workspace};
 ///   error is measured (cosine similarity / max-abs), not zero, which is why
 ///   attaching the weights is an explicit step
 ///   ([`Self::with_quantized`](InferenceEngine::with_quantized)).
+///
+/// # Selection guide
+///
+/// Debugging or validating numerics → `Serial`.  Latency-sensitive
+/// single-core serving → `Batched`.  Multi-core hosts → `Parallel` (the
+/// default; it degrades to `Batched` on one core).  Throughput-bound
+/// serving that can afford a measured, gated accuracy budget →
+/// calibrate + quantize, then `Quantized` (see [`crate::quantized`]):
+///
+/// ```
+/// use tgnn_core::{ExecMode, InferenceEngine, ModelConfig, TgnModel};
+/// # let graph = tgnn_data::generate(&tgnn_data::tiny(5));
+/// # let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+/// # let model = TgnModel::new(cfg, &mut tgnn_tensor::TensorRng::new(5));
+/// # let batches = tgnn_graph::batching::fixed_size_batches(graph.events(), 64);
+/// // The three f32 modes are interchangeable bit-for-bit; pick by host.
+/// let mut reference: Option<Vec<_>> = None;
+/// for mode in [ExecMode::Serial, ExecMode::Batched, ExecMode::Parallel] {
+///     let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(mode);
+///     let mut embeddings = Vec::new();
+///     for batch in &batches {
+///         embeddings.extend(engine.process_batch(batch, &graph).embeddings);
+///     }
+///     match &reference {
+///         None => reference = Some(embeddings),
+///         Some(r) => assert_eq!(r, &embeddings, "f32 modes are bit-identical"),
+///     }
+/// }
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ExecMode {
     /// Reference per-vertex loop (seed behaviour).

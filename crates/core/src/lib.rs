@@ -38,6 +38,9 @@
 //!   students against a vanilla-attention teacher (Eq. 17).
 //! * [`apan`] — an APAN-style asynchronous, mailbox-only baseline used for
 //!   the accuracy/latency comparison of Fig. 7.
+//! * [`tenancy`] — multi-tenant vocabulary shared with `tgnn-serve`:
+//!   [`TenantId`], [`OverloadPolicy`], and the per-result deadline
+//!   [`Disposition`] metadata.
 
 pub mod apan;
 pub mod complexity;
@@ -51,6 +54,7 @@ pub mod profiling;
 pub mod quantized;
 pub mod sharded;
 pub mod stages;
+pub mod tenancy;
 pub mod training;
 
 pub use complexity::{OpCounts, StageOps};
@@ -63,4 +67,5 @@ pub use profiling::{Stage, StageTimings};
 pub use quantized::{calibrate_activations, quantize_model, QuantizedTgn};
 pub use sharded::ShardedMemory;
 pub use stages::{GnnJobBatch, SampledBatch};
+pub use tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 pub use training::{TrainConfig, Trainer};

@@ -26,6 +26,40 @@
 //! gate nonlinearities, time encodings, per-neighbor logit arithmetic) stays
 //! in f32, matching the co-design's split between MAC arrays and the scalar
 //! epilogue logic.
+//!
+//! The whole calibrate → quantize → serve workflow, end to end:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tgnn_core::{quantize_model, ExecMode, InferenceEngine, ModelConfig, TgnModel};
+//! use tgnn_quant::QuantConfig;
+//! use tgnn_tensor::stats::cosine_agreement;
+//! # let graph = tgnn_data::generate(&tgnn_data::tiny(9));
+//! # let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+//! # let model = TgnModel::new(cfg, &mut tgnn_tensor::TensorRng::new(9));
+//! // 1 + 2. Calibrate activation ranges by replaying a sample stream
+//! //        through the f32 engine, then snapshot the int8 weight set.
+//! let calibration = &graph.events()[..128.min(graph.num_events())];
+//! let q = Arc::new(quantize_model(
+//!     &model, &graph, &[], calibration, 64, QuantConfig::default(),
+//! ));
+//! // 3. Serve int8: attach the weights; every batched entry point (and the
+//! //    tgnn-serve pipeline, unchanged) picks the packed int8 kernels up.
+//! let mut engine = InferenceEngine::new(model.clone(), graph.num_nodes())
+//!     .with_quantized(q);
+//! assert_eq!(engine.mode(), ExecMode::Quantized);
+//! // Accuracy is measured, never assumed: compare against the f32 serial
+//! // reference on the same batches (CI gates this at cosine ≥ 0.999 on the
+//! // calibrated harness config — see the quant_gate binary).
+//! let mut reference = InferenceEngine::new(model.clone(), graph.num_nodes())
+//!     .with_mode(ExecMode::Serial);
+//! let batch = tgnn_graph::EventBatch::new(graph.events()[..64].to_vec());
+//! let int8 = engine.process_batch(&batch, &graph);
+//! let f32_out = reference.process_batch(&batch, &graph);
+//! for ((v, a), (_, b)) in int8.embeddings.iter().zip(&f32_out.embeddings) {
+//!     assert!(cosine_agreement(a, b) > 0.9, "vertex {v} strayed");
+//! }
+//! ```
 
 use crate::config::AttentionKind;
 use crate::inference::{ExecMode, InferenceEngine};

@@ -1,0 +1,176 @@
+//! Multi-tenant vocabulary: tenant identity, overload policies, and the
+//! per-result disposition metadata.
+//!
+//! The serve-millions north star means one pipeline instance is shared by
+//! many independent event producers ("tenants": products, customers,
+//! per-region feeds).  The admission layer in `tgnn-serve` keys its bounded
+//! ingress queues and its weighted-fair scheduler by [`TenantId`]; the types
+//! live here in `tgnn-core` because *results* carry them — every served
+//! embedding batch is annotated with the tenant each event belongs to and
+//! whether it met its deadline ([`ResultMeta`]), and downstream consumers of
+//! engine output should not need to depend on the serving crate to interpret
+//! that metadata.
+//!
+//! The contract each [`OverloadPolicy`] provides under sustained overload
+//! (offered load exceeding pipeline capacity for long enough that a bounded
+//! tenant queue fills):
+//!
+//! | Policy | Full-queue behaviour | Caller sees | Results |
+//! |---|---|---|---|
+//! | [`Block`](OverloadPolicy::Block) | `submit` blocks until space | backpressure | every event served |
+//! | [`DropNewest`](OverloadPolicy::DropNewest) | incoming event dropped | `Dropped` outcome | admitted events served |
+//! | [`DropOldest`](OverloadPolicy::DropOldest) | queue head evicted, incoming admitted | `Admitted` (eviction counted) | freshest events served |
+//! | [`Late`](OverloadPolicy::Late) | `submit` blocks until space | backpressure | served, flagged [`Disposition::Late`] past deadline |
+//!
+//! Dropping happens **only** in the ingress queue: once the scheduler hands
+//! an event to the micro-batcher it is sealed into a batch and will be
+//! served exactly once (the admission property tests assert this).
+
+/// Identifies one tenant of a multi-tenant serving instance.
+///
+/// A `TenantId` is an index into the tenant table the server was configured
+/// with (`ServeConfig::tenants` in `tgnn-serve`); it is cheap, `Copy`, and
+/// stable for the lifetime of the server.  Single-tenant deployments use
+/// [`TenantId::DEFAULT`] implicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TenantId(pub u32);
+
+impl TenantId {
+    /// The implicit tenant of a single-tenant server (index 0).
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// The tenant-table index this id names.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// What a tenant's `submit` does once its bounded ingress queue is full.
+///
+/// See the [module table](self) for the full contract.  `Block` is the
+/// single-tenant default and preserves today's backpressure semantics
+/// bit-for-bit; the drop modes trade completeness for bounded queueing
+/// delay; `Late` admits everything (blocking at the bound like `Block`) but
+/// flags results whose admission-to-completion latency exceeded the
+/// tenant's deadline.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum OverloadPolicy {
+    /// Block the submitter until the queue has space (backpressure).
+    #[default]
+    Block,
+    /// Reject the incoming event; everything already queued is served.
+    DropNewest,
+    /// Evict the oldest queued event to admit the incoming one.
+    DropOldest,
+    /// Admit (blocking at the bound) and mark results that complete after
+    /// the tenant's deadline as [`Disposition::Late`].
+    Late,
+}
+
+impl OverloadPolicy {
+    /// Stable lower-case label, used in reports and the bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            OverloadPolicy::Block => "block",
+            OverloadPolicy::DropNewest => "drop-newest",
+            OverloadPolicy::DropOldest => "drop-oldest",
+            OverloadPolicy::Late => "late",
+        }
+    }
+}
+
+impl std::str::FromStr for OverloadPolicy {
+    type Err = String;
+
+    /// Parses the labels `label()` emits (hyphen/underscore-insensitive):
+    /// `block`, `drop-newest`, `drop-oldest`, `late`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "block" => Ok(OverloadPolicy::Block),
+            "drop-newest" | "dropnewest" => Ok(OverloadPolicy::DropNewest),
+            "drop-oldest" | "dropoldest" => Ok(OverloadPolicy::DropOldest),
+            "late" => Ok(OverloadPolicy::Late),
+            other => Err(format!(
+                "unknown overload policy {other:?} (expected block|drop-newest|drop-oldest|late)"
+            )),
+        }
+    }
+}
+
+/// Whether a served result met its tenant's latency deadline.
+///
+/// Dispositions are *metadata only*: a `Late` embedding is bitwise-identical
+/// to the embedding the same event would have produced on time — the flag
+/// records that the pipeline's queueing delay exceeded the deadline, not
+/// that the computation differed (asserted by the admission property tests).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Disposition {
+    /// Completed within the tenant's deadline (or the tenant has none).
+    #[default]
+    OnTime,
+    /// Completed after the tenant's deadline elapsed.  Graded whenever the
+    /// tenant configures a deadline — [`OverloadPolicy::Late`] is the
+    /// policy built around it (admit everything, flag the stragglers), but
+    /// drop-policy tenants with a deadline get the same observability.
+    Late,
+}
+
+impl Disposition {
+    /// True for [`Disposition::Late`].
+    pub fn is_late(self) -> bool {
+        matches!(self, Disposition::Late)
+    }
+}
+
+/// Per-event result annotation: which tenant the event belonged to and
+/// whether its result met the deadline.  Served batches carry one
+/// `ResultMeta` per event, aligned with the event order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ResultMeta {
+    /// The tenant whose ingress queue admitted the event.
+    pub tenant: TenantId,
+    /// Deadline disposition of the result.
+    pub disposition: Disposition,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_id_roundtrip_and_default() {
+        assert_eq!(TenantId::DEFAULT.index(), 0);
+        assert_eq!(TenantId(3).index(), 3);
+        assert_eq!(format!("{}", TenantId(7)), "tenant#7");
+    }
+
+    #[test]
+    fn overload_policy_labels_roundtrip_through_from_str() {
+        for p in [
+            OverloadPolicy::Block,
+            OverloadPolicy::DropNewest,
+            OverloadPolicy::DropOldest,
+            OverloadPolicy::Late,
+        ] {
+            assert_eq!(p.label().parse::<OverloadPolicy>().unwrap(), p);
+        }
+        assert_eq!(
+            "DROP_NEWEST".parse::<OverloadPolicy>().unwrap(),
+            OverloadPolicy::DropNewest
+        );
+        assert!("yolo".parse::<OverloadPolicy>().is_err());
+    }
+
+    #[test]
+    fn disposition_default_is_on_time() {
+        assert_eq!(Disposition::default(), Disposition::OnTime);
+        assert!(Disposition::Late.is_late());
+        assert!(!Disposition::OnTime.is_late());
+    }
+}

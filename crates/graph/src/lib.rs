@@ -8,7 +8,7 @@
 //!
 //! * [`event`] — timestamped interaction events (the "new edges" of
 //!   Algorithm 1) and batches of them.
-//! * [`graph`] — the [`TemporalGraph`](graph::TemporalGraph): node/edge
+//! * [`graph`] — the [`TemporalGraph`]: node/edge
 //!   features plus the full chronological event log with train/val/test
 //!   splits.
 //! * [`neighbor_table`] — the most-recent-`mr` Vertex Neighbor Table, a

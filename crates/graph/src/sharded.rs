@@ -16,8 +16,9 @@
 //!   this is the software analogue of the hardware Updater's guarantee.
 //!
 //! This module provides the gate and the sharded Vertex Neighbor Table; the
-//! sharded vertex memory lives in `tgnn-core` next to [`NodeMemory`]
-//! (`tgnn_core::memory`).
+//! sharded vertex memory lives in `tgnn-core` next to `NodeMemory`
+//! (`tgnn_core::memory` — not a dependency of this crate, so no intra-doc
+//! link).
 
 use crate::neighbor_table::{NeighborEntry, NeighborTable};
 use crate::{InteractionEvent, NodeId, Timestamp};

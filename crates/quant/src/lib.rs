@@ -19,6 +19,8 @@
 //! `ExecMode::Quantized` engine path, and the calibration driver) lives in
 //! `tgnn-core::quantized`, which builds on these types.
 
+#![warn(missing_docs)]
+
 pub mod calibrate;
 pub mod qlinear;
 pub mod qtensor;

@@ -1,0 +1,685 @@
+//! Multi-tenant admission control: bounded per-tenant ingress queues, a
+//! weighted-fair scheduler, and per-tenant overload policies.
+//!
+//! A single unbounded FIFO with one implicit tenant stops working the moment
+//! offered load exceeds pipeline capacity: either memory grows without bound
+//! or one aggressive producer starves everyone else.  This module is the
+//! front end that fixes both, sitting *before* the micro-batcher so the
+//! sample/memory/GNN/update stages are completely unchanged:
+//!
+//! ```text
+//!   submit_for(tenant, event)
+//!        │  per-tenant chronology check + OverloadPolicy at the bound
+//!        ▼
+//!   [tenant 0: bounded VecDeque]──┐
+//!   [tenant 1: bounded VecDeque]──┤   weighted round-robin
+//!   [tenant …: bounded VecDeque]──┼──► [scheduler worker] ──► batcher SPSC
+//!   [tenant N: bounded VecDeque]──┘    (drains ≤ weight events
+//!                                       per tenant per visit)
+//! ```
+//!
+//! * **Bounded ingress** — each tenant owns a FIFO of at most
+//!   `ingress_capacity` pending events.  What happens at the bound is the
+//!   tenant's [`OverloadPolicy`]: `Block`/`Late` exert backpressure on the
+//!   submitter, `DropNewest` rejects the incoming event, `DropOldest`
+//!   evicts the queue head.  Drops can happen **only** here — an event the
+//!   scheduler has handed to the batcher is sealed and will be served.
+//! * **Weighted-fair draining** — the scheduler worker visits non-empty
+//!   tenants round-robin and takes up to `weight` events per visit
+//!   (deficit round robin with unit event cost), so under sustained
+//!   overload each backlogged tenant's service rate converges to
+//!   `weight / Σ weights` of pipeline capacity regardless of how skewed
+//!   the offered load is.  An idle tenant costs nothing; its unused share
+//!   is redistributed to the backlogged ones by construction.
+//! * **Per-tenant chronology** — each tenant's stream must be
+//!   chronological; *across* tenants the scheduler may interleave freely
+//!   (that is what fairness means), so the merged stream is only
+//!   per-tenant ordered.  The shared temporal state observes cross-tenant
+//!   reordering through the commit log (`ServeReport::commit_log_clean`),
+//!   which stays clean when tenants touch disjoint vertex sets — the
+//!   natural deployment shape, one sub-graph per tenant.  See
+//!   `ARCHITECTURE.md` for the full ordering contract.
+//!
+//! The submit path and the scheduler communicate through one mutex +
+//! two condvars (`space` for blocked submitters, `ready` for the idle
+//! scheduler); the scheduler never blocks on the downstream SPSC queue
+//! while holding the lock, so drop policies keep making progress even
+//! when the pipeline is saturated.
+//!
+//! Configuring two tenants with different weights and policies:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//! use tgnn_serve::{OverloadPolicy, ServeConfig, StreamServer, TenantId, TenantSpec};
+//! # let graph = Arc::new(tgnn_data::generate(&tgnn_data::tiny(3)));
+//! # let cfg = tgnn_core::ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim());
+//! # let model = tgnn_core::TgnModel::new(cfg, &mut tgnn_tensor::TensorRng::new(3));
+//! let config = ServeConfig {
+//!     tenants: vec![
+//!         // A paying tenant: 4× the fair share, backpressure on overload.
+//!         TenantSpec::new("premium").with_weight(4).with_capacity(512),
+//!         // A best-effort feed: shed the newest events when its queue fills,
+//!         // and flag anything slower than 50 ms as late.
+//!         TenantSpec::new("best-effort")
+//!             .with_capacity(64)
+//!             .with_policy(OverloadPolicy::DropNewest)
+//!             .with_deadline(Duration::from_millis(50)),
+//!     ],
+//!     ..ServeConfig::default()
+//! };
+//! let mut server = StreamServer::new(model, graph.clone(), config);
+//! for (i, &event) in graph.events().iter().enumerate() {
+//!     let tenant = TenantId(i as u32 % 2);
+//!     let outcome = server.submit_for(tenant, event).unwrap();
+//!     // DropNewest may reject best-effort events under overload:
+//!     let _admitted = outcome.is_admitted();
+//!     while let Some(batch) = server.poll() {
+//!         for (event, meta) in batch.events.iter().zip(&batch.metas) {
+//!             // meta.tenant says who submitted it; meta.disposition
+//!             // whether it met its deadline.
+//!             let _ = (event, meta.tenant, meta.disposition.is_late());
+//!         }
+//!     }
+//! }
+//! let report = server.drain();
+//! assert_eq!(report.tenants.len(), 2);
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use tgnn_core::tenancy::{OverloadPolicy, TenantId};
+use tgnn_graph::{InteractionEvent, Timestamp};
+
+use crate::server::SubmitError;
+
+/// Configuration of one tenant's admission behaviour.
+#[derive(Clone, Debug)]
+pub struct TenantSpec {
+    /// Display name used in reports and the bench JSON.
+    pub name: String,
+    /// Weighted-fair share: the scheduler drains up to `weight` events from
+    /// this tenant per round-robin visit, so a backlogged tenant's service
+    /// rate is proportional to its weight.  Must be ≥ 1.
+    pub weight: u32,
+    /// Bound of this tenant's ingress queue (events).  The overload policy
+    /// decides what happens when it is full.  Must be ≥ 1.
+    pub ingress_capacity: usize,
+    /// Behaviour at the ingress bound; see [`OverloadPolicy`].
+    pub policy: OverloadPolicy,
+    /// Admission-to-completion latency budget used by
+    /// [`OverloadPolicy::Late`] to flag results as late.  `None` means no
+    /// deadline (nothing is ever flagged).
+    pub deadline: Option<Duration>,
+}
+
+impl TenantSpec {
+    /// A weight-1, `Block`-policy tenant with a 1024-event ingress bound and
+    /// no deadline — the same semantics the single-tenant server always had.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            weight: 1,
+            ingress_capacity: 1024,
+            policy: OverloadPolicy::Block,
+            deadline: None,
+        }
+    }
+
+    /// Sets the weighted-fair share (builder style).
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Sets the ingress queue bound (builder style).
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.ingress_capacity = capacity;
+        self
+    }
+
+    /// Sets the overload policy (builder style).
+    pub fn with_policy(mut self, policy: OverloadPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the `Late` deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// What `submit_for` did with the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The event is queued and will be served exactly once.
+    Admitted,
+    /// The tenant's queue was full under [`OverloadPolicy::DropNewest`]:
+    /// the event was rejected and will never produce a result.
+    Dropped,
+}
+
+impl SubmitOutcome {
+    /// True when the event entered the pipeline.
+    pub fn is_admitted(self) -> bool {
+        matches!(self, SubmitOutcome::Admitted)
+    }
+}
+
+/// An event the admission layer accepted, stamped with everything the
+/// pipeline needs to attribute and grade its result.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct AdmittedEvent {
+    pub event: InteractionEvent,
+    pub meta: EventMeta,
+}
+
+/// Per-event metadata carried through the pipeline alongside the event
+/// itself (the stages never look at it; the reorder worker turns it into
+/// the served batch's `ResultMeta`).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct EventMeta {
+    pub tenant: TenantId,
+    pub admitted_at: Instant,
+    pub deadline: Option<Duration>,
+}
+
+/// Monotonic counters of one tenant's admission activity, snapshotted into
+/// the serve report's `TenantStats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdmissionCounters {
+    /// `submit_for` calls that returned `Ok` (admitted + dropped-newest);
+    /// calls failing with an error are not part of the accounting.  After a
+    /// drain, `submitted == served + dropped()` holds for every policy.
+    pub submitted: u64,
+    /// Events that entered the ingress queue.
+    pub admitted: u64,
+    /// Incoming events rejected by [`OverloadPolicy::DropNewest`].
+    pub dropped_newest: u64,
+    /// Queued events evicted by [`OverloadPolicy::DropOldest`].
+    pub dropped_oldest: u64,
+    /// `submit_for` calls that had to block on a full queue
+    /// (`Block`/`Late` backpressure).
+    pub blocked_submits: u64,
+    /// Highest ingress queue depth observed.
+    pub max_depth: usize,
+}
+
+impl AdmissionCounters {
+    /// Total events this tenant lost to its drop policy.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_newest + self.dropped_oldest
+    }
+}
+
+struct TenantIngress {
+    spec: TenantSpec,
+    queue: VecDeque<AdmittedEvent>,
+    /// Deficit-round-robin credit carried across visits (unit event cost).
+    deficit: u64,
+    counters: AdmissionCounters,
+    last_timestamp: Timestamp,
+}
+
+struct AdmissionState {
+    tenants: Vec<TenantIngress>,
+    /// Round-robin cursor: index of the next tenant the scheduler visits.
+    cursor: usize,
+    closed: bool,
+}
+
+/// The shared admission front end: per-tenant bounded queues plus the
+/// weighted-fair drain the scheduler worker runs.  One instance per
+/// `StreamServer`, shared between the submitting thread and the scheduler.
+pub(crate) struct AdmissionControl {
+    state: Mutex<AdmissionState>,
+    /// Signalled when a queue gains space (wakes `Block`/`Late` submitters).
+    space: Condvar,
+    /// Signalled when work arrives or the layer closes (wakes the scheduler).
+    ready: Condvar,
+}
+
+impl AdmissionControl {
+    /// Builds the queues from the tenant table.
+    ///
+    /// # Panics
+    /// Panics if the table is empty or any spec has a zero weight or
+    /// capacity.
+    pub fn new(specs: Vec<TenantSpec>) -> Self {
+        assert!(!specs.is_empty(), "admission: need at least one tenant");
+        let tenants = specs
+            .into_iter()
+            .map(|spec| {
+                assert!(spec.weight >= 1, "admission: tenant weight must be >= 1");
+                assert!(
+                    spec.ingress_capacity >= 1,
+                    "admission: tenant ingress capacity must be >= 1"
+                );
+                TenantIngress {
+                    queue: VecDeque::with_capacity(spec.ingress_capacity),
+                    spec,
+                    deficit: 0,
+                    counters: AdmissionCounters::default(),
+                    last_timestamp: Timestamp::NEG_INFINITY,
+                }
+            })
+            .collect();
+        Self {
+            state: Mutex::new(AdmissionState {
+                tenants,
+                cursor: 0,
+                closed: false,
+            }),
+            space: Condvar::new(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Number of configured tenants.
+    pub fn num_tenants(&self) -> usize {
+        self.state.lock().unwrap().tenants.len()
+    }
+
+    /// Submits one event for a tenant, applying its overload policy at the
+    /// queue bound.  Blocks only under `Block`/`Late` backpressure.
+    ///
+    /// Counter invariant: `submitted` is bumped only on the `Ok` paths
+    /// (admitted or dropped-newest), so after a drain
+    /// `submitted == served + dropped()` holds exactly for every policy —
+    /// calls that fail with an error are not part of the accounting.
+    pub fn submit(
+        &self,
+        tenant: TenantId,
+        event: InteractionEvent,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let idx = tenant.index();
+        let mut state = self.state.lock().unwrap();
+        if idx >= state.tenants.len() {
+            return Err(SubmitError::UnknownTenant(tenant));
+        }
+        if state.closed {
+            return Err(SubmitError::Closed);
+        }
+        let needs_wait = {
+            let t = &mut state.tenants[idx];
+            if event.timestamp < t.last_timestamp {
+                return Err(SubmitError::OutOfOrder {
+                    previous: t.last_timestamp,
+                    submitted: event.timestamp,
+                });
+            }
+            t.last_timestamp = event.timestamp;
+            // Policy at the bound.
+            if t.queue.len() >= t.spec.ingress_capacity {
+                match t.spec.policy {
+                    OverloadPolicy::Block | OverloadPolicy::Late => {
+                        t.counters.blocked_submits += 1;
+                        true
+                    }
+                    OverloadPolicy::DropNewest => {
+                        t.counters.submitted += 1;
+                        t.counters.dropped_newest += 1;
+                        return Ok(SubmitOutcome::Dropped);
+                    }
+                    OverloadPolicy::DropOldest => {
+                        t.queue.pop_front();
+                        t.counters.dropped_oldest += 1;
+                        false
+                    }
+                }
+            } else {
+                false
+            }
+        };
+        if needs_wait {
+            // The wait releases the state lock, so the tenant borrow is
+            // re-taken on every wakeup.
+            while state.tenants[idx].queue.len() >= state.tenants[idx].spec.ingress_capacity {
+                if state.closed {
+                    return Err(SubmitError::Closed);
+                }
+                state = self.space.wait(state).unwrap();
+            }
+            // Space freed *and* closed can be observed together (e.g. the
+            // scheduler drained a burst and then died): admitting now would
+            // strand the event in a layer nothing will ever drain again, so
+            // the closed check must be repeated after the wait.
+            if state.closed {
+                return Err(SubmitError::Closed);
+            }
+        }
+        let t = &mut state.tenants[idx];
+        t.queue.push_back(AdmittedEvent {
+            event,
+            meta: EventMeta {
+                tenant,
+                admitted_at: Instant::now(),
+                deadline: t.spec.deadline,
+            },
+        });
+        t.counters.submitted += 1;
+        t.counters.admitted += 1;
+        t.counters.max_depth = t.counters.max_depth.max(t.queue.len());
+        drop(state);
+        self.ready.notify_one();
+        Ok(SubmitOutcome::Admitted)
+    }
+
+    /// Scheduler side: blocks until work is available, then fills `out`
+    /// with the next weighted-fair burst — up to `weight + carried deficit`
+    /// events from the next non-empty tenant in round-robin order.  Returns
+    /// `false` once the layer is closed *and* every queue is drained (the
+    /// no-drop drain guarantee: close never discards admitted events).
+    pub fn next_burst(&self, out: &mut Vec<AdmittedEvent>) -> bool {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.tenants.iter().any(|t| !t.queue.is_empty()) {
+                break;
+            }
+            if state.closed {
+                return false;
+            }
+            state = self.ready.wait(state).unwrap();
+        }
+        let n = state.tenants.len();
+        let cursor = state.cursor;
+        for step in 0..n {
+            let i = (cursor + step) % n;
+            let t = &mut state.tenants[i];
+            if t.queue.is_empty() {
+                // An idle tenant accumulates no credit: its share is
+                // redistributed, and it cannot burst later on stale credit.
+                t.deficit = 0;
+                continue;
+            }
+            t.deficit += u64::from(t.spec.weight);
+            let take = (t.deficit as usize).min(t.queue.len());
+            out.extend(t.queue.drain(..take));
+            t.deficit -= take as u64;
+            if t.queue.is_empty() {
+                t.deficit = 0;
+            }
+            state.cursor = (i + 1) % n;
+            drop(state);
+            // Wake every blocked submitter — possibly several tenants' worth.
+            self.space.notify_all();
+            return true;
+        }
+        unreachable!("a non-empty tenant queue disappeared under the lock");
+    }
+
+    /// Raises every tenant's chronology floor to `t` (used after a warm-up
+    /// replay: no tenant may submit events older than the absorbed prefix).
+    pub fn set_timestamp_floor(&self, t: Timestamp) {
+        let mut state = self.state.lock().unwrap();
+        for tenant in &mut state.tenants {
+            if tenant.last_timestamp < t {
+                tenant.last_timestamp = t;
+            }
+        }
+    }
+
+    /// Closes admission: future submits fail with `Closed`, blocked
+    /// submitters wake and fail, and the scheduler drains the remaining
+    /// queued events before `next_burst` returns `false`.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.closed = true;
+        drop(state);
+        self.space.notify_all();
+        self.ready.notify_all();
+    }
+
+    /// Snapshot of one tenant's spec and counters (for the serve report).
+    pub fn tenant_snapshot(&self, index: usize) -> (TenantSpec, AdmissionCounters) {
+        let state = self.state.lock().unwrap();
+        let t = &state.tenants[index];
+        (t.spec.clone(), t.counters)
+    }
+}
+
+/// The scheduler worker: weighted-fair bursts out of the tenant queues into
+/// the batcher's SPSC queue.  The downstream `send` blocks when the pipeline
+/// is saturated — that blocking happens *outside* the admission lock, so
+/// submitters (and their drop policies) keep running meanwhile.  If the
+/// batcher is gone (pipeline shutdown or worker death), admission is closed
+/// so submitters unblock with `Closed` instead of hanging.
+pub(crate) fn scheduler_loop(
+    admission: std::sync::Arc<AdmissionControl>,
+    tx: crate::queue::Sender<AdmittedEvent>,
+) {
+    let mut burst = Vec::new();
+    while admission.next_burst(&mut burst) {
+        for ev in burst.drain(..) {
+            if tx.send(ev).is_err() {
+                admission.close();
+                return;
+            }
+        }
+    }
+    // Closed and fully drained: dropping `tx` seals the batcher's tail.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn ev(t: f64) -> InteractionEvent {
+        InteractionEvent::new(0, 1, 0, t)
+    }
+
+    fn drain_order(ac: &AdmissionControl) -> Vec<TenantId> {
+        ac.close();
+        let mut order = Vec::new();
+        let mut burst = Vec::new();
+        while ac.next_burst(&mut burst) {
+            order.extend(burst.drain(..).map(|e| e.meta.tenant));
+        }
+        order
+    }
+
+    #[test]
+    fn weighted_round_robin_serves_in_weight_proportion() {
+        // Four backlogged tenants, weights 8:4:2:1, each with exactly
+        // `weight × 20` events queued — the drain order must interleave so
+        // that every window of Σw = 15 served events contains exactly w_i
+        // events of tenant i (exact DRR with unit cost), for all 20 rounds
+        // until the queues empty simultaneously.
+        let weights = [8u32, 4, 2, 1];
+        let rounds = 20usize;
+        let ac = AdmissionControl::new(
+            weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| {
+                    TenantSpec::new(format!("t{i}"))
+                        .with_weight(w)
+                        .with_capacity(512)
+                })
+                .collect(),
+        );
+        for (i, &w) in weights.iter().enumerate() {
+            for k in 0..(w as usize * rounds) {
+                ac.submit(TenantId(i as u32), ev(k as f64)).unwrap();
+            }
+        }
+        let order = drain_order(&ac);
+        let total_w: u32 = weights.iter().sum();
+        assert_eq!(order.len(), total_w as usize * rounds);
+        // Every round serves exactly the weight vector.
+        for (round, chunk) in order.chunks(total_w as usize).enumerate() {
+            for (i, &w) in weights.iter().enumerate() {
+                let got = chunk.iter().filter(|t| t.index() == i).count();
+                assert_eq!(
+                    got, w as usize,
+                    "round {round}: tenant {i} served {got}, weight {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_tenants_do_not_accumulate_credit() {
+        let ac = AdmissionControl::new(vec![
+            TenantSpec::new("busy").with_weight(1).with_capacity(64),
+            TenantSpec::new("idle").with_weight(100).with_capacity(64),
+        ]);
+        // The idle tenant submits nothing for many rounds, then bursts.
+        for k in 0..32 {
+            ac.submit(TenantId(0), ev(k as f64)).unwrap();
+        }
+        let mut burst = Vec::new();
+        for _ in 0..8 {
+            assert!(ac.next_burst(&mut burst));
+        }
+        burst.clear();
+        for k in 0..64 {
+            ac.submit(TenantId(1), ev(k as f64)).unwrap();
+        }
+        // The first burst for the idle tenant is bounded by its weight —
+        // no credit hoarded from the rounds it sat out.
+        let mut first_idle_burst = None;
+        let mut b = Vec::new();
+        while ac.next_burst(&mut b) {
+            if b.first().is_some_and(|e| e.meta.tenant == TenantId(1)) {
+                first_idle_burst = Some(b.len());
+                break;
+            }
+            b.clear();
+        }
+        assert!(first_idle_burst.is_some_and(|n| n <= 100));
+    }
+
+    #[test]
+    fn drop_newest_rejects_at_the_bound_and_preserves_queue() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(3)
+            .with_policy(OverloadPolicy::DropNewest)]);
+        for k in 0..3 {
+            assert_eq!(
+                ac.submit(TenantId::DEFAULT, ev(k as f64)).unwrap(),
+                SubmitOutcome::Admitted
+            );
+        }
+        for k in 3..8 {
+            assert_eq!(
+                ac.submit(TenantId::DEFAULT, ev(k as f64)).unwrap(),
+                SubmitOutcome::Dropped
+            );
+        }
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.submitted, 8);
+        assert_eq!(c.admitted, 3);
+        assert_eq!(c.dropped_newest, 5);
+        assert_eq!(c.max_depth, 3);
+        // The oldest (first-admitted) events survive.
+        ac.close();
+        let mut b = Vec::new();
+        assert!(ac.next_burst(&mut b));
+        let kept: Vec<f64> = b.iter().map(|e| e.event.timestamp).collect();
+        assert_eq!(kept, vec![0.0]); // weight 1: one event per burst
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_head_to_admit_the_newest() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(3)
+            .with_weight(16)
+            .with_policy(OverloadPolicy::DropOldest)]);
+        for k in 0..8 {
+            assert_eq!(
+                ac.submit(TenantId::DEFAULT, ev(k as f64)).unwrap(),
+                SubmitOutcome::Admitted
+            );
+        }
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.admitted, 8);
+        assert_eq!(c.dropped_oldest, 5);
+        ac.close();
+        let mut b = Vec::new();
+        assert!(ac.next_burst(&mut b));
+        let kept: Vec<f64> = b.iter().map(|e| e.event.timestamp).collect();
+        assert_eq!(kept, vec![5.0, 6.0, 7.0], "freshest events survive");
+    }
+
+    #[test]
+    fn per_tenant_chronology_is_independent() {
+        let ac = AdmissionControl::new(vec![
+            TenantSpec::new("a").with_capacity(8),
+            TenantSpec::new("b").with_capacity(8),
+        ]);
+        ac.submit(TenantId(0), ev(10.0)).unwrap();
+        // A different tenant may be behind in time...
+        ac.submit(TenantId(1), ev(1.0)).unwrap();
+        // ...but each tenant's own stream must be chronological.
+        let err = ac.submit(TenantId(0), ev(5.0)).unwrap_err();
+        assert!(matches!(err, SubmitError::OutOfOrder { .. }));
+        assert!(matches!(
+            ac.submit(TenantId(9), ev(0.0)).unwrap_err(),
+            SubmitError::UnknownTenant(TenantId(9))
+        ));
+    }
+
+    #[test]
+    fn close_drains_admitted_events_then_ends_and_rejects_submits() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("t").with_capacity(8)]);
+        for k in 0..5 {
+            ac.submit(TenantId::DEFAULT, ev(k as f64)).unwrap();
+        }
+        ac.close();
+        assert!(matches!(
+            ac.submit(TenantId::DEFAULT, ev(9.0)),
+            Err(SubmitError::Closed)
+        ));
+        let mut got = 0;
+        let mut b = Vec::new();
+        while ac.next_burst(&mut b) {
+            got += b.drain(..).count();
+        }
+        assert_eq!(got, 5, "close must drain, never discard, admitted events");
+    }
+
+    #[test]
+    fn blocked_submitter_unblocks_when_scheduler_drains() {
+        let ac = Arc::new(AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(1)
+            .with_policy(OverloadPolicy::Block)]));
+        ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap();
+        let submitter = {
+            let ac = ac.clone();
+            std::thread::spawn(move || ac.submit(TenantId::DEFAULT, ev(1.0)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        let mut b = Vec::new();
+        assert!(ac.next_burst(&mut b)); // frees the slot
+        assert_eq!(
+            submitter.join().unwrap().unwrap(),
+            SubmitOutcome::Admitted,
+            "blocked submit must complete once space frees"
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.blocked_submits, 1);
+    }
+
+    #[test]
+    fn blocked_submitter_fails_closed_when_admission_closes() {
+        let ac = Arc::new(AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(1)
+            .with_policy(OverloadPolicy::Late)]));
+        ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap();
+        let submitter = {
+            let ac = ac.clone();
+            std::thread::spawn(move || ac.submit(TenantId::DEFAULT, ev(1.0)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ac.close();
+        assert!(matches!(
+            submitter.join().unwrap(),
+            Err(SubmitError::Closed)
+        ));
+    }
+}

@@ -26,10 +26,27 @@
 //!   so the pipelined output is **bit-identical** to `ExecMode::Serial` on
 //!   the same batch sequence (asserted by this crate's property tests and by
 //!   `serve_bench`).
+//! * The admission front end is **multi-tenant** ([`admission`]): each
+//!   tenant owns a bounded ingress queue drained by a weighted-fair
+//!   scheduler, and a per-tenant [`OverloadPolicy`] — `Block`,
+//!   `DropNewest`, `DropOldest`, or `Late` — governs what happens when
+//!   sustained overload fills the queue.  Single-tenant configurations
+//!   (the default) serve bit-identical results with the same
+//!   never-drop `Block` semantics as before (see
+//!   [`ServeConfig::tenants`](server::ServeConfig) for the one buffering
+//!   nuance).
 //! * [`ServeReport`] exposes the backpressure picture: throughput, queue
-//!   depths, and p50/p95/p99 batch latency.
+//!   depths, p50/p95/p99 batch latency, and per-tenant [`TenantStats`]
+//!   (drop counts, late counts, admission-to-completion percentiles).
 //!
-//! ```no_run
+//! The end-to-end narrative of the system — admission through shards,
+//! stages, the quantized engine, and results — lives in the repository's
+//! `ARCHITECTURE.md`.
+//!
+//! The canonical submit/poll/drain loop (runs in seconds on the tiny
+//! preset — scale the dataset up for real measurements):
+//!
+//! ```
 //! use std::sync::Arc;
 //! use tgnn_serve::{ServeConfig, StreamServer};
 //! # let graph = tgnn_data::generate(&tgnn_data::tiny(1));
@@ -37,21 +54,34 @@
 //! # let model = tgnn_core::TgnModel::new(cfg, &mut tgnn_tensor::TensorRng::new(1));
 //! let graph = Arc::new(graph);
 //! let mut server = StreamServer::new(model, graph.clone(), ServeConfig::default());
+//! let mut embeddings = 0;
 //! for &event in graph.events() {
 //!     server.submit(event).unwrap();
 //!     while let Some(batch) = server.poll() {
 //!         // embeddings of batch.events' touched vertices
-//!         let _ = batch.embeddings;
+//!         embeddings += batch.embeddings.len();
 //!     }
 //! }
 //! let report = server.drain();
+//! while let Some(batch) = server.poll() {
+//!     embeddings += batch.embeddings.len();
+//! }
+//! assert_eq!(report.num_events, graph.num_events());
+//! assert!(report.commit_log_clean);
 //! println!("{:.0} edges/sec, p99 {:.2} ms", report.throughput_eps, report.latency.p99_ms);
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod admission;
 pub mod pipeline;
 pub mod queue;
 pub mod server;
 
+pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
-pub use server::{LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError};
+pub use server::{
+    LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError, TenantStats,
+};
+pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};

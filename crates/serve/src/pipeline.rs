@@ -1,8 +1,10 @@
 //! The pipeline worker loops and the job types flowing between them.
 //!
 //! ```text
-//!                    admission (events)
-//!                         │  seal by size / deadline
+//!       per-tenant bounded ingress queues (OverloadPolicy at the bound)
+//!                         │  weighted round-robin
+//!                  [scheduler worker]      — see `admission`
+//!                         │  AdmittedEvent (SPSC)
 //!                   [batcher worker]
 //!                         │  SealedBatch
 //!                   [sampler worker] ──── waits: neighbor-table shards @ epoch k-1
@@ -54,13 +56,15 @@
 //! * **update(k)** is the only writer of memory rows and the neighbor table,
 //!   and processes epochs in queue order.
 
+use crate::admission::{AdmittedEvent, EventMeta};
 use crate::queue::{MpmcReceiver, MpmcSender, Receiver, Sender};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use tgnn_core::memory::Message;
 use tgnn_core::stages::{run_memory_stage, GnnJobBatch, SampledBatch};
+use tgnn_core::tenancy::{Disposition, ResultMeta, TenantId};
 use tgnn_core::{ShardedMemory, TgnModel};
 use tgnn_graph::chronology::CommitLog;
 use tgnn_graph::sharded::shard_of;
@@ -69,11 +73,13 @@ use tgnn_graph::{
 };
 use tgnn_tensor::{Float, Workspace};
 
-/// A micro-batch sealed by the admission batcher.
+/// A micro-batch sealed by the admission batcher.  `metas` is aligned with
+/// the batch's events and carries each event's tenant/deadline stamp.
 #[derive(Debug)]
 pub(crate) struct SealedBatch {
     pub epoch: u64,
     pub batch: EventBatch,
+    pub metas: Vec<EventMeta>,
     pub sealed_at: Instant,
 }
 
@@ -82,6 +88,7 @@ pub(crate) struct SealedBatch {
 pub(crate) struct SampledJob {
     pub epoch: u64,
     pub sampled: SampledBatch,
+    pub metas: Vec<EventMeta>,
     pub sealed_at: Instant,
 }
 
@@ -93,6 +100,7 @@ pub(crate) struct GnnBatchHeader {
     pub epoch: u64,
     pub num_parts: usize,
     pub events: Vec<InteractionEvent>,
+    pub metas: Vec<EventMeta>,
     pub sealed_at: Instant,
 }
 
@@ -137,8 +145,13 @@ pub(crate) struct UpdateJob {
 pub struct ServedBatch {
     /// 1-based batch sequence number (the pipeline epoch).
     pub epoch: u64,
-    /// The events the batch contained, in submission order.
+    /// The events the batch contained, in admission order.
     pub events: Vec<InteractionEvent>,
+    /// Per-event result metadata aligned with `events`: the tenant each
+    /// event belongs to and whether its result met the tenant's deadline.
+    /// Dispositions never change the embedding values — a `Late` result is
+    /// bitwise-identical to the on-time result of the same batch sequence.
+    pub metas: Vec<ResultMeta>,
     /// Embeddings of every touched vertex, in order of first appearance —
     /// bit-identical to `ExecMode::Serial` on the same batch sequence.
     pub embeddings: Vec<(NodeId, Vec<Float>)>,
@@ -146,8 +159,18 @@ pub struct ServedBatch {
     pub latency: Duration,
 }
 
-/// Aggregate counters the GNN (terminal compute) worker feeds.
+/// Per-tenant completion-side counters fed by the reorder worker:
+/// served/late event counts and admission-to-completion latencies (the
+/// client-visible queueing + compute delay the overload policies bound).
 #[derive(Debug, Default)]
+pub(crate) struct TenantCollector {
+    pub served: AtomicU64,
+    pub late: AtomicU64,
+    pub latencies: Mutex<Vec<Duration>>,
+}
+
+/// Aggregate counters the reorder (terminal) worker feeds.
+#[derive(Debug)]
 pub(crate) struct Collector {
     pub latencies: Mutex<Vec<Duration>>,
     pub events: AtomicUsize,
@@ -155,9 +178,24 @@ pub(crate) struct Collector {
     pub batches: AtomicUsize,
     pub first_submit: Mutex<Option<Instant>>,
     pub last_complete: Mutex<Option<Instant>>,
+    pub tenants: Vec<TenantCollector>,
 }
 
 impl Collector {
+    pub fn new(num_tenants: usize) -> Self {
+        Self {
+            latencies: Mutex::new(Vec::new()),
+            events: AtomicUsize::new(0),
+            embeddings: AtomicUsize::new(0),
+            batches: AtomicUsize::new(0),
+            first_submit: Mutex::new(None),
+            last_complete: Mutex::new(None),
+            tenants: (0..num_tenants)
+                .map(|_| TenantCollector::default())
+                .collect(),
+        }
+    }
+
     pub fn record_batch(&self, events: usize, embeddings: usize, latency: Duration) {
         self.latencies.lock().unwrap().push(latency);
         self.events.fetch_add(events, Ordering::Relaxed);
@@ -165,21 +203,36 @@ impl Collector {
         self.batches.fetch_add(1, Ordering::Relaxed);
         *self.last_complete.lock().unwrap() = Some(Instant::now());
     }
+
+    /// Records one event's completion for its tenant.
+    pub fn record_event(&self, tenant: TenantId, late: bool, admit_latency: Duration) {
+        let t = &self.tenants[tenant.index()];
+        t.served.fetch_add(1, Ordering::Relaxed);
+        if late {
+            t.late.fetch_add(1, Ordering::Relaxed);
+        }
+        t.latencies.lock().unwrap().push(admit_latency);
+    }
 }
 
-/// Admission batcher: accumulates submitted events and seals a micro-batch
-/// when `max_batch` events are pending or the oldest pending event is
-/// `deadline` old, whichever comes first.
+/// Micro-batcher: accumulates admitted events and seals a micro-batch when
+/// `max_batch` events are pending or the oldest pending event is `deadline`
+/// old, whichever comes first.  Once an event reaches this worker it is
+/// guaranteed to be served — the overload drop policies act strictly
+/// upstream, in the tenant ingress queues.
 pub(crate) fn batcher_loop(
-    rx: Receiver<InteractionEvent>,
+    rx: Receiver<AdmittedEvent>,
     tx: Sender<SealedBatch>,
     max_batch: usize,
     deadline: Duration,
-    next_epoch: Arc<std::sync::atomic::AtomicU64>,
+    next_epoch: Arc<AtomicU64>,
 ) {
     let mut pending: Vec<InteractionEvent> = Vec::new();
+    let mut metas: Vec<EventMeta> = Vec::new();
     let mut first_at: Option<Instant> = None;
-    let seal = |pending: &mut Vec<InteractionEvent>, first_at: &mut Option<Instant>| {
+    let seal = |pending: &mut Vec<InteractionEvent>,
+                metas: &mut Vec<EventMeta>,
+                first_at: &mut Option<Instant>| {
         if pending.is_empty() {
             return true;
         }
@@ -188,6 +241,7 @@ pub(crate) fn batcher_loop(
         tx.send(SealedBatch {
             epoch,
             batch: EventBatch::new(std::mem::take(pending)),
+            metas: std::mem::take(metas),
             sealed_at: Instant::now(),
         })
         .is_ok()
@@ -201,7 +255,7 @@ pub(crate) fn batcher_loop(
             Some(t0) => {
                 let remaining = deadline.saturating_sub(t0.elapsed());
                 if remaining.is_zero() {
-                    if !seal(&mut pending, &mut first_at) {
+                    if !seal(&mut pending, &mut metas, &mut first_at) {
                         return;
                     }
                     continue;
@@ -214,18 +268,19 @@ pub(crate) fn batcher_loop(
                 if first_at.is_none() {
                     first_at = Some(Instant::now());
                 }
-                pending.push(e);
-                if pending.len() >= max_batch && !seal(&mut pending, &mut first_at) {
+                pending.push(e.event);
+                metas.push(e.meta);
+                if pending.len() >= max_batch && !seal(&mut pending, &mut metas, &mut first_at) {
                     return;
                 }
             }
             crate::queue::RecvResult::Timeout => {
-                if !seal(&mut pending, &mut first_at) {
+                if !seal(&mut pending, &mut metas, &mut first_at) {
                     return;
                 }
             }
             crate::queue::RecvResult::Closed => {
-                let _ = seal(&mut pending, &mut first_at);
+                let _ = seal(&mut pending, &mut metas, &mut first_at);
                 return;
             }
         }
@@ -244,6 +299,7 @@ pub(crate) fn sampler_loop(
     while let Some(SealedBatch {
         epoch,
         batch,
+        metas,
         sealed_at,
     }) = rx.recv()
     {
@@ -258,6 +314,7 @@ pub(crate) fn sampler_loop(
             .send(SampledJob {
                 epoch,
                 sampled,
+                metas,
                 sealed_at,
             })
             .is_err()
@@ -290,6 +347,7 @@ pub(crate) fn memory_loop(
     while let Some(SampledJob {
         epoch,
         sampled,
+        metas,
         sealed_at,
     }) = rx.recv()
     {
@@ -328,6 +386,7 @@ pub(crate) fn memory_loop(
                 epoch,
                 num_parts: parts.len(),
                 events,
+                metas,
                 sealed_at,
             })
             .is_err()
@@ -527,6 +586,7 @@ pub(crate) fn reorder_loop(
         epoch,
         num_parts,
         events,
+        metas,
         sealed_at,
     }) = rx_header.recv()
     {
@@ -565,10 +625,31 @@ pub(crate) fn reorder_loop(
         }
         let latency = sealed_at.elapsed();
         collector.record_batch(events.len(), embeddings.len(), latency);
+        // Grade each event's deadline disposition at the completion point:
+        // the admission-to-completion delay (queueing + batching + compute)
+        // is what the tenant's deadline budgets.  The disposition is pure
+        // metadata — it never feeds back into the computation.
+        let metas: Vec<ResultMeta> = metas
+            .into_iter()
+            .map(|m| {
+                let admit_latency = m.admitted_at.elapsed();
+                let late = m.deadline.is_some_and(|d| admit_latency > d);
+                collector.record_event(m.tenant, late, admit_latency);
+                ResultMeta {
+                    tenant: m.tenant,
+                    disposition: if late {
+                        Disposition::Late
+                    } else {
+                        Disposition::OnTime
+                    },
+                }
+            })
+            .collect();
         if tx
             .send(ServedBatch {
                 epoch,
                 events,
+                metas,
                 embeddings,
                 latency,
             })

@@ -1,18 +1,22 @@
 //! The streaming inference server: admission, worker lifecycle, and the
 //! backpressure-aware serve report.
 
+use crate::admission::{
+    scheduler_loop, AdmissionControl, AdmissionCounters, AdmittedEvent, SubmitOutcome, TenantSpec,
+};
 use crate::pipeline::{
     batcher_loop, gnn_worker_loop, memory_loop, reorder_loop, sampler_loop, update_loop, Collector,
     GnnBatchHeader, GnnFaultHook, GnnSubJob, GnnSubResult, SampledJob, SealedBatch, ServedBatch,
     UpdateJob,
 };
-use crate::queue::{channel, mpmc_channel, QueueStats, Receiver, Sender};
+use crate::queue::{channel, mpmc_channel, QueueStats, Receiver};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tgnn_core::stages::SampledBatch;
+use tgnn_core::tenancy::{OverloadPolicy, TenantId};
 use tgnn_core::{ShardedMemory, TgnModel};
 use tgnn_graph::chronology::CommitLog;
 use tgnn_graph::{EventBatch, InteractionEvent, ShardedNeighborTable, TemporalGraph, Timestamp};
@@ -25,8 +29,11 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// …or once the oldest pending event is this old.
     pub batch_deadline: Duration,
-    /// Capacity of the admission queue (events).  Backpressure starts here:
-    /// `submit` blocks once this many events are waiting to be batched.
+    /// Capacity of the scheduler→batcher handoff queue (events), and the
+    /// ingress bound of the implicit default tenant when `tenants` is
+    /// empty.  Backpressure starts here: with the default `Block` policy,
+    /// `submit` blocks once the ingress queue fills behind a full handoff
+    /// queue.
     pub admission_capacity: usize,
     /// Capacity of each inter-stage queue (micro-batches in flight).
     pub stage_capacity: usize,
@@ -39,6 +46,18 @@ pub struct ServeConfig {
     /// queue; the reorder stage keeps the output stream in epoch order and
     /// bit-identical to `ExecMode::Serial` for every worker count.
     pub gnn_workers: usize,
+    /// Tenant table of the admission layer.  Empty (the default) means a
+    /// single implicit [`TenantId::DEFAULT`] tenant with `Block` policy and
+    /// an `admission_capacity`-event ingress queue: served results are
+    /// bit-identical to the pre-admission-layer server, and `submit` still
+    /// blocks rather than drop — though the buffering ahead of the batcher
+    /// is now the ingress queue *plus* the scheduler→batcher queue (each
+    /// `admission_capacity` deep), so the blocking point sits up to one
+    /// queue later than it used to.  With more than one entry, `submit_for`
+    /// routes each event to its tenant's bounded ingress queue and the
+    /// weighted-fair scheduler drains them into the micro-batcher; see
+    /// [`TenantSpec`] and [`OverloadPolicy`].
+    pub tenants: Vec<TenantSpec>,
     /// Test-only fault-injection hook passed to every GNN worker; `None` in
     /// production.  See [`GnnFaultHook`].
     pub gnn_fault: Option<GnnFaultHook>,
@@ -54,6 +73,7 @@ impl Default for ServeConfig {
             results_capacity: 256,
             num_shards: 4,
             gnn_workers: 1,
+            tenants: Vec::new(),
             gnn_fault: None,
         }
     }
@@ -69,18 +89,26 @@ impl std::fmt::Debug for ServeConfig {
             .field("results_capacity", &self.results_capacity)
             .field("num_shards", &self.num_shards)
             .field("gnn_workers", &self.gnn_workers)
+            .field("tenants", &self.tenants)
             .field("gnn_fault", &self.gnn_fault.as_ref().map(|_| "<hook>"))
             .finish()
     }
 }
 
-/// Latency percentiles over the served micro-batches, in milliseconds.
+/// Latency percentiles over a set of measurements (micro-batch
+/// seal-to-embeddings, or per-tenant admission-to-completion), in
+/// milliseconds.  Percentiles use nearest-rank.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LatencySummary {
+    /// Arithmetic mean.
     pub mean_ms: f64,
+    /// 50th percentile (median).
     pub p50_ms: f64,
+    /// 95th percentile.
     pub p95_ms: f64,
+    /// 99th percentile.
     pub p99_ms: f64,
+    /// Largest observed value.
     pub max_ms: f64,
 }
 
@@ -104,8 +132,52 @@ impl LatencySummary {
     }
 }
 
+/// Per-tenant slice of the serve report: admission counters, completion
+/// counters, and the admission-to-completion latency distribution — the
+/// client-visible delay the tenant's overload policy bounds.
+#[derive(Clone, Debug)]
+pub struct TenantStats {
+    /// Display name from the tenant's [`TenantSpec`].
+    pub name: String,
+    /// Weighted-fair share the scheduler honoured.
+    pub weight: u32,
+    /// Overload policy the tenant ran with.
+    pub policy: OverloadPolicy,
+    /// Admission-side counters (submitted / admitted / drops by kind /
+    /// blocked submits / max ingress depth), snapshotted whole from the
+    /// admission layer — see [`AdmissionCounters`] for each field's
+    /// contract.
+    pub counters: AdmissionCounters,
+    /// Events whose results were delivered (admitted minus still in flight).
+    pub served: u64,
+    /// Served events graded [`Disposition::Late`](tgnn_core::tenancy::Disposition).
+    pub late: u64,
+    /// Admission-to-completion latency distribution of the served events.
+    pub latency: LatencySummary,
+    /// Served events per second over the session's `total_time`.
+    pub throughput_eps: f64,
+}
+
+impl TenantStats {
+    /// Total events this tenant lost to its drop policy.
+    pub fn dropped(&self) -> u64 {
+        self.counters.dropped()
+    }
+
+    /// Fraction of submitted events that were dropped (0 when nothing was
+    /// submitted).
+    pub fn drop_rate(&self) -> f64 {
+        if self.counters.submitted == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / self.counters.submitted as f64
+        }
+    }
+}
+
 /// Aggregate report of a serve session — throughput, tail latency, queue
-/// occupancy (the backpressure picture), and state-consistency counters.
+/// occupancy (the backpressure picture), per-tenant admission statistics,
+/// and state-consistency counters.
 #[derive(Clone, Debug)]
 pub struct ServeReport {
     /// Events pushed through the pipeline.
@@ -120,11 +192,15 @@ pub struct ServeReport {
     pub throughput_eps: f64,
     /// Seal-to-embeddings latency distribution.
     pub latency: LatencySummary,
-    /// Per-queue occupancy statistics, admission first.
+    /// Per-queue occupancy statistics, the scheduler→batcher queue first.
     pub queues: Vec<QueueStats>,
-    /// `send` calls that blocked on a full queue anywhere in the pipeline
-    /// (admission blocking = client-visible backpressure).
+    /// Blocked `send`s on the inter-stage queues plus blocked `submit_for`
+    /// calls on full tenant ingress queues — the client-visible
+    /// backpressure count.
     pub backpressure_blocks: u64,
+    /// Per-tenant admission/completion statistics, indexed by
+    /// [`TenantId::index`].  Single-tenant sessions have one "default" row.
+    pub tenants: Vec<TenantStats>,
     /// Vertex-state commits recorded.
     pub commits: usize,
     /// True when no chronological-order violation was observed — the
@@ -139,11 +215,17 @@ pub struct ServeReport {
 /// Why a `submit` was rejected.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum SubmitError {
-    /// The event's timestamp precedes an already submitted event.
+    /// The event's timestamp precedes an already submitted event of the
+    /// same tenant (each tenant's stream must be chronological; different
+    /// tenants' streams are ordered independently).
     OutOfOrder {
+        /// Latest timestamp the tenant has already submitted.
         previous: Timestamp,
+        /// The offending event's timestamp.
         submitted: Timestamp,
     },
+    /// The tenant id is not in the server's tenant table.
+    UnknownTenant(TenantId),
     /// The server has been drained (or a worker died).
     Closed,
 }
@@ -156,8 +238,11 @@ impl std::fmt::Display for SubmitError {
                 submitted,
             } => write!(
                 f,
-                "event at t={submitted} submitted after t={previous}: the stream must be chronological"
+                "event at t={submitted} submitted after t={previous}: each tenant's stream must be chronological"
             ),
+            SubmitError::UnknownTenant(t) => {
+                write!(f, "{t} is not in the server's tenant table")
+            }
             SubmitError::Closed => write!(f, "server is drained or its pipeline has shut down"),
         }
     }
@@ -167,13 +252,15 @@ impl std::error::Error for SubmitError {}
 
 /// A continuously running, pipelined TGN inference server.
 ///
-/// Feed chronological [`InteractionEvent`]s with [`Self::submit`]; the
-/// admission batcher seals micro-batches by size or deadline and the stage
-/// workers stream them through sample → memory → {update, GNN}.  Completed
-/// batches come back via [`Self::poll`]; [`Self::drain`] flushes everything
-/// and returns the [`ServeReport`].
+/// Feed chronological [`InteractionEvent`]s with [`Self::submit`] (or
+/// [`Self::submit_for`] on a multi-tenant configuration); the admission
+/// layer queues them per tenant, the weighted-fair scheduler drains tenants
+/// into the micro-batcher, and the stage workers stream sealed batches
+/// through sample → memory → {update, GNN}.  Completed batches come back
+/// via [`Self::poll`]; [`Self::drain`] flushes everything and returns the
+/// [`ServeReport`].
 pub struct StreamServer {
-    submit_tx: Option<Sender<InteractionEvent>>,
+    admission: Arc<AdmissionControl>,
     results_rx: Receiver<ServedBatch>,
     completed: VecDeque<ServedBatch>,
     workers: Vec<JoinHandle<()>>,
@@ -185,19 +272,23 @@ pub struct StreamServer {
     collector: Arc<Collector>,
     next_epoch: Arc<AtomicU64>,
     queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>>,
-    last_timestamp: Timestamp,
+    /// Latest timestamp absorbed by `warm_up` — the floor every tenant's
+    /// stream starts from.
+    warm_timestamp: Timestamp,
     submitted: usize,
     num_shards: usize,
     gnn_workers: usize,
 }
 
 impl StreamServer {
-    /// Builds the sharded state and spawns the pipeline workers: batcher,
-    /// sampler, memory, update, `gnn_workers` GNN compute workers sharing
-    /// one dispatch queue, and the reorder worker that restores epoch order.
+    /// Builds the sharded state and spawns the pipeline workers: the
+    /// admission scheduler, batcher, sampler, memory, update, `gnn_workers`
+    /// GNN compute workers sharing one dispatch queue, and the reorder
+    /// worker that restores epoch order.
     ///
     /// # Panics
-    /// Panics if `config.gnn_workers == 0`.
+    /// Panics if `config.gnn_workers == 0`, or if a configured tenant has a
+    /// zero weight or ingress capacity.
     pub fn new(model: TgnModel, graph: Arc<TemporalGraph>, config: ServeConfig) -> Self {
         assert!(
             config.gnn_workers > 0,
@@ -206,6 +297,13 @@ impl StreamServer {
         let num_nodes = graph.num_nodes();
         let num_shards = config.num_shards;
         let gnn_workers = config.gnn_workers;
+        let tenants = if config.tenants.is_empty() {
+            vec![TenantSpec::new("default").with_capacity(config.admission_capacity)]
+        } else {
+            config.tenants.clone()
+        };
+        let num_tenants = tenants.len();
+        let admission = Arc::new(AdmissionControl::new(tenants));
         let model = Arc::new(model);
         let memory = Arc::new(ShardedMemory::for_config(
             num_nodes,
@@ -218,11 +316,11 @@ impl StreamServer {
             num_shards,
         ));
         let commit_log = Arc::new(Mutex::new(CommitLog::new()));
-        let collector = Arc::new(Collector::default());
+        let collector = Arc::new(Collector::new(num_tenants));
         let next_epoch = Arc::new(AtomicU64::new(0));
 
         let (submit_tx, submit_rx) =
-            channel::<InteractionEvent>("admission", config.admission_capacity);
+            channel::<AdmittedEvent>("scheduler→batcher", config.admission_capacity);
         let (sealed_tx, sealed_rx) =
             channel::<SealedBatch>("batcher→sampler", config.stage_capacity);
         let (sampled_tx, sampled_rx) =
@@ -275,7 +373,13 @@ impl StreamServer {
             },
         ];
 
-        let mut workers = Vec::with_capacity(5 + gnn_workers);
+        let mut workers = Vec::with_capacity(6 + gnn_workers);
+        {
+            let admission = admission.clone();
+            workers.push(spawn("tgnn-serve-scheduler", move || {
+                scheduler_loop(admission, submit_tx)
+            }));
+        }
         {
             let next_epoch = next_epoch.clone();
             let (max_batch, deadline) = (config.max_batch, config.batch_deadline);
@@ -332,7 +436,7 @@ impl StreamServer {
         }
 
         Self {
-            submit_tx: Some(submit_tx),
+            admission,
             results_rx,
             completed: VecDeque::new(),
             workers,
@@ -344,7 +448,7 @@ impl StreamServer {
             collector,
             next_epoch,
             queue_stats,
-            last_timestamp: Timestamp::NEG_INFINITY,
+            warm_timestamp: Timestamp::NEG_INFINITY,
             submitted: 0,
             num_shards,
             gnn_workers,
@@ -383,29 +487,37 @@ impl StreamServer {
             self.memory.commit_epoch(epoch, &writes);
             self.table.commit_epoch(epoch, chunk);
             if let Some(t) = sampled.batch.end_time() {
-                self.last_timestamp = t;
+                self.warm_timestamp = t;
             }
         }
+        self.admission.set_timestamp_floor(self.warm_timestamp);
     }
 
-    /// Feeds one event into the admission queue.  Blocks while the pipeline
-    /// is backpressured (admission queue full); the block count is visible in
-    /// the report's queue statistics.
+    /// Feeds one event into the default tenant's ingress queue (the
+    /// single-tenant path).  Blocks while the pipeline is backpressured
+    /// (ingress queue full under the default `Block` policy); the block
+    /// count is visible in the report's tenant statistics.
     pub fn submit(&mut self, event: InteractionEvent) -> Result<(), SubmitError> {
-        let tx = self.submit_tx.as_ref().ok_or(SubmitError::Closed)?;
-        if event.timestamp < self.last_timestamp {
-            return Err(SubmitError::OutOfOrder {
-                previous: self.last_timestamp,
-                submitted: event.timestamp,
-            });
-        }
+        self.submit_for(TenantId::DEFAULT, event).map(|_| ())
+    }
+
+    /// Feeds one event into `tenant`'s ingress queue, applying the tenant's
+    /// [`OverloadPolicy`] if the queue is full: `Block`/`Late` block the
+    /// caller (backpressure), `DropNewest` returns
+    /// [`SubmitOutcome::Dropped`], `DropOldest` evicts the queue head and
+    /// admits this event.  Each tenant's stream must be chronological;
+    /// different tenants are ordered independently.
+    pub fn submit_for(
+        &mut self,
+        tenant: TenantId,
+        event: InteractionEvent,
+    ) -> Result<SubmitOutcome, SubmitError> {
         if self.submitted == 0 {
             *self.collector.first_submit.lock().unwrap() = Some(Instant::now());
         }
-        tx.send(event).map_err(|_| SubmitError::Closed)?;
-        self.last_timestamp = event.timestamp;
+        let outcome = self.admission.submit(tenant, event)?;
         self.submitted += 1;
-        Ok(())
+        Ok(outcome)
     }
 
     /// Pops the next completed micro-batch, if any (non-blocking).  Batches
@@ -417,15 +529,18 @@ impl StreamServer {
         self.results_rx.try_recv()
     }
 
-    /// Closes admission, flushes every in-flight batch through the pipeline,
-    /// joins the workers, and returns the aggregate report.  Completed
-    /// batches (including those that finish during the flush) remain
-    /// available via [`Self::poll`].
+    /// Closes admission, flushes every in-flight event through the pipeline
+    /// — including everything still queued in tenant ingress queues (drain
+    /// never drops an admitted event) — joins the workers, and returns the
+    /// aggregate report.  Completed batches (including those that finish
+    /// during the flush) remain available via [`Self::poll`].
     ///
     /// # Panics
     /// Propagates a worker panic (e.g. an epoch-order violation).
     pub fn drain(&mut self) -> ServeReport {
-        self.submit_tx.take(); // close admission; shutdown ripples down
+        // Close admission: the scheduler drains the remaining tenant queues
+        // and exits, and the shutdown ripples down the stages.
+        self.admission.close();
         loop {
             while let Some(b) = self.results_rx.try_recv() {
                 self.completed.push_back(b);
@@ -457,7 +572,33 @@ impl StreamServer {
         };
         let num_events = self.collector.events.load(Ordering::Relaxed);
         let queues: Vec<QueueStats> = self.queue_stats.iter().map(|s| s()).collect();
-        let backpressure_blocks = queues.iter().map(|q| q.blocked_sends).sum();
+        let tenants: Vec<TenantStats> = (0..self.admission.num_tenants())
+            .map(|i| {
+                let (spec, counters) = self.admission.tenant_snapshot(i);
+                let tc = &self.collector.tenants[i];
+                let latencies = tc.latencies.lock().unwrap();
+                let served = tc.served.load(Ordering::Relaxed);
+                TenantStats {
+                    name: spec.name,
+                    weight: spec.weight,
+                    policy: spec.policy,
+                    counters,
+                    served,
+                    late: tc.late.load(Ordering::Relaxed),
+                    latency: LatencySummary::from_latencies(&latencies),
+                    throughput_eps: if total_time.is_zero() {
+                        0.0
+                    } else {
+                        served as f64 / total_time.as_secs_f64()
+                    },
+                }
+            })
+            .collect();
+        let backpressure_blocks = queues.iter().map(|q| q.blocked_sends).sum::<u64>()
+            + tenants
+                .iter()
+                .map(|t| t.counters.blocked_submits)
+                .sum::<u64>();
         let log = self.commit_log.lock().unwrap();
         ServeReport {
             num_events,
@@ -472,6 +613,7 @@ impl StreamServer {
             latency: LatencySummary::from_latencies(&latencies),
             queues,
             backpressure_blocks,
+            tenants,
             commits: log.commits(),
             commit_log_clean: log.is_clean(),
             num_shards: self.num_shards,
@@ -497,7 +639,7 @@ impl StreamServer {
 
 impl Drop for StreamServer {
     fn drop(&mut self) {
-        self.submit_tx.take();
+        self.admission.close();
         // Detach rather than join: receivers close as queue senders drop, so
         // the workers exit on their own; joining here could block a panicking
         // caller.  `drain` is the orderly shutdown path.
