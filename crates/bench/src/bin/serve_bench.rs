@@ -39,7 +39,23 @@
 //! fixed-seed configuration and skips the JSON merge — the CI step after
 //! `perf_baseline`, failing (via the identity assertion) on any
 //! pipelined-vs-engine divergence.
+//!
+//! `--durability <dir>` turns on the WAL + snapshot subsystem
+//! (`crates/durable`): every admitted event and sealed batch is logged
+//! before it is served, sharded state is snapshotted every
+//! `--snapshot-every` committed epochs, and the `--fsync` policy picks the
+//! durability/throughput point.  If `<dir>` already holds a WAL the run
+//! *recovers* instead of starting fresh — latest usable snapshot, WAL
+//! replay, sealed-but-unacked epochs re-served — and resumes the feed from
+//! the durable submit index.  `--crash-at <n>` aborts the process (no
+//! flush, no unwinding — the in-process stand-in for `kill -9`) right
+//! before the n-th streamed seal; running the same command again without
+//! the flag is the CI crash-recovery drill.  Durable runs also measure the
+//! throughput overhead against a durability-off reference pass and record
+//! it, with the WAL/snapshot/recovery counters, in the row's
+//! `"durability"` section.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tgnn_bench::{
@@ -49,7 +65,10 @@ use tgnn_core::quantized::quantize_model;
 use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant, OverloadPolicy, TenantId};
 use tgnn_graph::EventBatch;
 use tgnn_quant::QuantConfig;
-use tgnn_serve::{ServeConfig, ServeReport, ServedBatch, StreamServer, TenantSpec};
+use tgnn_serve::{
+    wal_fault_hook, DurabilityConfig, FsyncPolicy, RecoveryReport, ServeConfig, ServeReport,
+    ServedBatch, StreamServer, TenantSpec,
+};
 use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 
 const MAX_BATCH: usize = 200;
@@ -97,6 +116,26 @@ const SERVE_FLAGS: &[FlagHelp] = &[
         "--deadline-ms",
         "<ms>",
         "per-event deadline for the late policy (default 50)",
+    ),
+    (
+        "--durability",
+        "<dir>",
+        "enable the WAL + snapshot subsystem rooted at <dir>; if <dir> already holds a WAL the run recovers and resumes it",
+    ),
+    (
+        "--snapshot-every",
+        "<n>",
+        "snapshot interval in committed epochs with --durability (default 256)",
+    ),
+    (
+        "--fsync",
+        "<always|onseal|never>",
+        "WAL fsync policy with --durability (default onseal)",
+    ),
+    (
+        "--crash-at",
+        "<n>",
+        "abort the process before the n-th streamed batch seal (crash-recovery drill; requires --durability)",
     ),
     (
         "--out",
@@ -174,7 +213,46 @@ fn main() {
             other => panic!("--exec-mode: expected batched|quantized, got {other:?}"),
         },
     };
+    let durability_dir = flag_value("--durability").flatten();
+    let snapshot_every = parse_usize("--snapshot-every", 256) as u64;
+    let fsync: FsyncPolicy = match flag_value("--fsync") {
+        None => FsyncPolicy::OnSeal,
+        Some(v) => v
+            .as_deref()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("--fsync: expected always|onseal|never, got {v:?}")),
+    };
+    let crash_at: Option<u64> = flag_value("--crash-at").map(|v| {
+        v.as_deref()
+            .and_then(|v| v.parse().ok())
+            .filter(|n| *n >= 1)
+            .unwrap_or_else(|| panic!("--crash-at: expected a positive seal number, got {v:?}"))
+    });
     assert!(num_tenants >= 1, "--tenants: need at least one tenant");
+    if durability_dir.is_none() {
+        for flag in ["--snapshot-every", "--fsync", "--crash-at"] {
+            assert!(
+                flag_value(flag).is_none(),
+                "{flag} requires --durability <dir>"
+            );
+        }
+    }
+    // Crash/recovery drills resume the measurement feed from the durable
+    // submit-outcome index, which only maps back onto the feed for the
+    // simple single-tenant unpaced run.
+    let recover_mode = durability_dir
+        .as_deref()
+        .is_some_and(|d| wal_present(std::path::Path::new(d)));
+    if crash_at.is_some() || recover_mode {
+        assert_eq!(
+            num_tenants, 1,
+            "--crash-at / recovery need a single tenant (feed resumption)"
+        );
+        assert_eq!(
+            offered_load, 0.0,
+            "--crash-at / recovery need an unpaced feed"
+        );
+    }
     // The tenancy flags configure the multi-tenant admission layer; with
     // the default single tenant they would be silently ignored, and a
     // baseline row recording a policy the run never used is worse than an
@@ -187,6 +265,11 @@ fn main() {
             );
         }
     }
+
+    // Smoke keeps the tiny feed but shrinks the micro-batch so the run still
+    // spans several epochs — the crash-recovery drill in CI needs durable
+    // seals *before* the crash point.
+    let max_batch = if smoke { 40 } else { MAX_BATCH };
 
     let graph = Arc::new(Dataset::Wikipedia.graph(args.scale, args.seed));
     let variant = OptimizationVariant::NpMedium;
@@ -229,7 +312,7 @@ fn main() {
             &graph,
             &[],
             &warm_events,
-            MAX_BATCH,
+            max_batch,
             QuantConfig::default(),
         ));
         model.attach_quantized(q.clone());
@@ -246,13 +329,66 @@ fn main() {
                 .with_deadline(Duration::from_secs_f64(deadline_ms / 1e3))
         })
         .collect();
+    // A paced multi-tenant run needs *sustained* pressure to demonstrate
+    // fairness: replay the measurement feed for enough laps (timestamps
+    // shifted by the feed's span each lap) to offer about one second of
+    // load, so the scheduler arbitrates across many rounds instead of one
+    // burst-then-drain.
+    let laps: usize = if num_tenants > 1 && offered_load > 0.0 {
+        ((offered_load / measure_events.len() as f64).ceil() as usize).clamp(1, 50)
+    } else if durability_dir.is_some()
+        && !smoke
+        && !recover_mode
+        && crash_at.is_none()
+        && num_tenants == 1
+        && offered_load == 0.0
+    {
+        // The durability-overhead comparison divides two wall-clock windows;
+        // at bench scale a single pass over the feed is ~10 ms, where
+        // scheduler jitter alone swamps a 15% budget.  Replay to ~20k
+        // events (the reference pass mirrors the laps) so the window
+        // measures the pipeline, not the host.
+        (20_000 / measure_events.len().max(1)).clamp(1, 50)
+    } else {
+        1
+    };
+    // The WAL + snapshot subsystem.  A crash drill counts *streamed* seals
+    // (warm-up epochs never reach the batcher) and aborts the process before
+    // the n-th one hits the log — the closest in-process stand-in for
+    // `kill -9`: no flush, no Drop, buffered WAL bytes genuinely lost.
+    let durability = durability_dir.as_ref().map(|dir| {
+        let mut c = DurabilityConfig::new(dir)
+            .with_snapshot_every(snapshot_every)
+            .with_fsync(fsync);
+        if let Some(at) = crash_at {
+            let seals = AtomicU64::new(0);
+            c = c.with_wal_fault(wal_fault_hook(move |_epoch| {
+                if seals.fetch_add(1, Ordering::SeqCst) + 1 == at {
+                    eprintln!("crash drill: aborting before streamed seal #{at}");
+                    std::process::abort();
+                }
+                false
+            }));
+        }
+        c
+    });
     let serve_config = ServeConfig {
-        max_batch: MAX_BATCH,
+        max_batch,
         // Size-only sealing keeps the micro-batch boundaries deterministic
         // for the identity replay below.
         batch_deadline: Duration::from_secs(3600),
         num_shards: NUM_SHARDS,
         gnn_workers,
+        durability,
+        // A crash drill must not poll (delivered results would be acked and
+        // skipped on recovery, leaving the identity replay without their
+        // state transitions), so the results queue has to hold the whole
+        // feed's batches.
+        results_capacity: if crash_at.is_some() {
+            (laps * measure_events.len() / max_batch + 8).max(256)
+        } else {
+            ServeConfig::default().results_capacity
+        },
         // In multi-tenant mode the scheduler→batcher queue is a small
         // handoff buffer, NOT a reservoir: weighted-fair draining only
         // disciplines *admission* while the scheduler is blocked downstream
@@ -267,34 +403,87 @@ fn main() {
         tenants: if num_tenants > 1 { tenants } else { Vec::new() },
         ..ServeConfig::default()
     };
-    // A paced multi-tenant run needs *sustained* pressure to demonstrate
-    // fairness: replay the measurement feed for enough laps (timestamps
-    // shifted by the feed's span each lap) to offer about one second of
-    // load, so the scheduler arbitrates across many rounds instead of one
-    // burst-then-drain.
-    let laps: usize = if num_tenants > 1 && offered_load > 0.0 {
-        ((offered_load / measure_events.len() as f64).ceil() as usize).clamp(1, 50)
-    } else {
-        1
-    };
     if laps > 1 {
         println!(
-            "admission: replaying the {}-event feed for {laps} laps of offered load",
-            measure_events.len()
+            "{}: replaying the {}-event feed for {laps} laps{}",
+            if num_tenants > 1 {
+                "admission"
+            } else {
+                "durability"
+            },
+            measure_events.len(),
+            if num_tenants > 1 {
+                " of offered load"
+            } else {
+                " (overhead measurement window)"
+            }
         );
     }
     let span = match (measure_events.first(), measure_events.last()) {
         (Some(a), Some(b)) => 1.0 + b.timestamp - a.timestamp,
         _ => 1.0,
     };
-    let mut server = StreamServer::new(model.clone(), graph.clone(), serve_config);
-    server.warm_up(&warm_events);
     let mut served: Vec<ServedBatch> = Vec::new();
+    let (mut server, recovery): (StreamServer, Option<RecoveryReport>) = if recover_mode {
+        let dir = durability_dir.as_deref().unwrap();
+        let (server, rep) = StreamServer::recover(model.clone(), graph.clone(), serve_config)
+            .unwrap_or_else(|e| panic!("recovery from {dir} failed: {e}"));
+        println!(
+            "recovery: snapshot epoch {}, {} sealed epoch(s) in the WAL, {} replayed ({} events), {} re-served, {} readmitted, torn tail {}, {:.2} ms",
+            rep.snapshot_epoch,
+            rep.sealed_epochs,
+            rep.replayed_epochs,
+            rep.replayed_events,
+            rep.re_served_epochs,
+            rep.readmitted_events,
+            if rep.torn_tail_repaired { "repaired" } else { "clean" },
+            rep.recovery_ms
+        );
+        (server, Some(rep))
+    } else {
+        let mut server = StreamServer::new(model.clone(), graph.clone(), serve_config);
+        server.warm_up(&warm_events);
+        (server, None)
+    };
+    // The durable submit-outcome index: the crashed run consumed the feed up
+    // to here, so this life resumes from it (the warm-up state and every
+    // durable epoch were restored above).
+    let resume = recovery.as_ref().map_or(0, |r| r.resume_from[0] as usize);
+    assert!(
+        resume <= measure_events.len(),
+        "durable resume index {resume} exceeds the measurement feed — was the \
+         directory produced by a different configuration?"
+    );
+    if recover_mode {
+        // Sealed-but-unacked epochs come back first.
+        while let Some(b) = server.poll() {
+            served.push(b);
+        }
+    }
+    // Events the recovery hands back through `served`: with a zero ack
+    // watermark (the crash drill — it never polls) *every* durable event
+    // returns, as re-served sealed epochs or the readmitted ingress tail;
+    // after a clean drain nothing does (all state, all delivered).  A
+    // partially-delivered source run would need the acked epochs' event
+    // count, which the report deliberately doesn't carry — the bench
+    // refuses rather than fudge its accounting.
+    let recovered_events: u64 = match recovery.as_ref() {
+        None => 0,
+        Some(r) if r.acked == 0 => r.resume_from[0],
+        Some(r) if r.re_served_epochs == 0 && r.readmitted_events == 0 => 0,
+        Some(r) => panic!(
+            "recovery source was partially delivered (acked epoch {}, {} re-served, {} \
+             readmitted) — the bench only drills crash (never-acked) and clean-drain \
+             directories",
+            r.acked, r.re_served_epochs, r.readmitted_events
+        ),
+    };
     let mut submitted = 0u64;
     let mut dropped_at_submit = 0u64;
     let pace_start = Instant::now();
     for lap in 0..laps {
-        for (i, &e) in measure_events.iter().enumerate() {
+        let skip = if lap == 0 { resume } else { 0 };
+        for (i, &e) in measure_events.iter().enumerate().skip(skip) {
             if offered_load > 0.0 {
                 // Pace the offered load: event k is due at k / offered_load.
                 let due = pace_start + Duration::from_secs_f64(submitted as f64 / offered_load);
@@ -310,8 +499,12 @@ fn main() {
             if !outcome.is_admitted() {
                 dropped_at_submit += 1;
             }
-            while let Some(b) = server.poll() {
-                served.push(b);
+            // See `results_capacity` above: a crash drill leaves everything
+            // unacked so recovery re-serves the full stream.
+            if crash_at.is_none() {
+                while let Some(b) = server.poll() {
+                    served.push(b);
+                }
             }
         }
     }
@@ -328,6 +521,20 @@ fn main() {
         report.latency.p95_ms,
         report.latency.p99_ms
     );
+    if let Some(d) = &report.durability {
+        println!(
+            "durability: {} WAL records / {} bytes / {} fsync(s) / {} rotation(s), {} snapshot(s) ({:.1} ms total, last epoch {}), fsync {}, acked epoch {}",
+            d.wal_records,
+            d.wal_bytes,
+            d.wal_fsyncs,
+            d.wal_rotations,
+            d.snapshots,
+            d.snapshot_ms_total,
+            d.last_snapshot_epoch,
+            fsync.label(),
+            d.acked_epoch
+        );
+    }
     if num_tenants > 1 {
         print_tenant_table(&report);
         check_overload_contract(
@@ -353,55 +560,71 @@ fn main() {
         assert!(report.commit_log_clean, "pipeline violated chronology");
     }
 
+    let checked_events: usize = served.iter().map(|b| b.events.len()).sum();
+    let total_dropped: u64 = report.tenants.iter().map(|t| t.dropped()).sum();
+    assert_eq!(
+        checked_events as u64 + total_dropped,
+        recovered_events + submitted,
+        "events lost in flight (served {checked_events} + dropped {total_dropped}, \
+         recovered {recovered_events})"
+    );
     // --- Identity check: the engine running the same numeric path must
     // reproduce the served embeddings bitwise over the served batch
     // sequence (batched → Serial f32; quantized → ExecMode::Quantized).
     // With drop policies the engine replays exactly the *served* events —
-    // what was dropped at admission never entered the semantics.
-    let mut engine = match &quant {
-        None => InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Serial),
-        Some(q) => {
-            let mut f32_model = model.clone();
-            f32_model.detach_quantized();
-            InferenceEngine::new(f32_model, graph.num_nodes()).with_quantized(q.clone())
+    // what was dropped at admission never entered the semantics.  The
+    // replay only reconstructs the reference when every post-warm-up state
+    // transition is in `served`: a recovery whose source run delivered (and
+    // acked) epochs carries their effect in the restored state alone, so
+    // the engine cannot follow (the crash drill never acks, so it always
+    // replays).
+    let replay_complete = recovered_events == resume as u64;
+    if replay_complete {
+        let mut engine = match &quant {
+            None => {
+                InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Serial)
+            }
+            Some(q) => {
+                let mut f32_model = model.clone();
+                f32_model.detach_quantized();
+                InferenceEngine::new(f32_model, graph.num_nodes()).with_quantized(q.clone())
+            }
+        };
+        engine.warm_up(&warm_events, &graph);
+        for batch in &served {
+            let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &graph);
+            assert_eq!(
+                reference.embeddings, batch.embeddings,
+                "pipeline embeddings diverged bitwise from the {exec_mode} engine in epoch {}",
+                batch.epoch
+            );
         }
-    };
-    engine.warm_up(&warm_events, &graph);
-    let mut checked_events = 0usize;
-    for batch in &served {
-        let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &graph);
-        assert_eq!(
-            reference.embeddings, batch.embeddings,
-            "pipeline embeddings diverged bitwise from the {exec_mode} engine in epoch {}",
-            batch.epoch
+        println!(
+            "identity: {} embeddings across {} micro-batches bit-identical to the {} engine{}",
+            report.num_embeddings,
+            served.len(),
+            if quantized {
+                "ExecMode::Quantized"
+            } else {
+                "ExecMode::Serial"
+            },
+            if total_dropped > 0 {
+                format!(" ({total_dropped} events shed at admission, accounted)")
+            } else {
+                String::new()
+            }
         );
-        checked_events += batch.events.len();
+    } else {
+        println!(
+            "identity: skipped — {} recovered event(s) were already delivered before the \
+             crash and live only in the restored state",
+            resume as u64 - recovered_events
+        );
     }
-    let total_dropped: u64 = report.tenants.iter().map(|t| t.dropped()).sum();
-    assert_eq!(
-        checked_events as u64 + total_dropped,
-        submitted,
-        "events lost in flight (served {checked_events} + dropped {total_dropped})"
-    );
-    println!(
-        "identity: {} embeddings across {} micro-batches bit-identical to the {} engine{}",
-        report.num_embeddings,
-        served.len(),
-        if quantized {
-            "ExecMode::Quantized"
-        } else {
-            "ExecMode::Serial"
-        },
-        if total_dropped > 0 {
-            format!(" ({total_dropped} events shed at admission, accounted)")
-        } else {
-            String::new()
-        }
-    );
 
     // --- Quantized accuracy: served int8 embeddings vs the f32 serial
     // reference over the same micro-batch sequence.
-    let accuracy = quantized.then(|| {
+    let accuracy = (quantized && replay_complete).then(|| {
         let mut f32_model = model.clone();
         f32_model.detach_quantized();
         let mut serial =
@@ -433,10 +656,85 @@ fn main() {
         (worst_cos, mean_cos, max_err)
     });
 
+    // --- Durability overhead: replay the identical single-tenant feed with
+    // durability off and compare throughput (the subsystem's budget at the
+    // default fsync policy is < 15%, recorded in the baseline row).  Both
+    // sides take the best of two windows — throughput noise on a shared
+    // host is one-sided (interference only ever slows a pass down), so
+    // best-of-K with the same K on each side is the fair low-variance
+    // estimator; single windows at this scale swing by ±15% on their own.
+    let overhead_pct = (report.durability.is_some()
+        && !recover_mode
+        && crash_at.is_none()
+        && num_tenants == 1
+        && offered_load == 0.0)
+        .then(|| {
+            let run_pass = |durability: Option<DurabilityConfig>| -> f64 {
+                let mut s = StreamServer::new(
+                    model.clone(),
+                    graph.clone(),
+                    ServeConfig {
+                        max_batch,
+                        batch_deadline: Duration::from_secs(3600),
+                        num_shards: NUM_SHARDS,
+                        gnn_workers,
+                        durability,
+                        ..ServeConfig::default()
+                    },
+                );
+                s.warm_up(&warm_events);
+                for lap in 0..laps {
+                    for &e in &measure_events {
+                        let mut e = e;
+                        e.timestamp += lap as f64 * span;
+                        s.submit(e).expect("chronological stream");
+                        while s.poll().is_some() {}
+                    }
+                }
+                let r = s.drain();
+                while s.poll().is_some() {}
+                r.throughput_eps
+            };
+            // The durable probe writes under the real directory but in its
+            // own subtree, invisible to WAL/snapshot discovery; removed
+            // after so the main directory stays exactly what the run wrote.
+            let probe_dir =
+                std::path::Path::new(durability_dir.as_deref().unwrap()).join("overhead-probe");
+            let _ = std::fs::remove_dir_all(&probe_dir);
+            let durable_eps = report
+                .throughput_eps
+                .max(run_pass(Some(DurabilityConfig::new(&probe_dir).with_fsync(fsync))));
+            let _ = std::fs::remove_dir_all(&probe_dir);
+            let reference_eps = run_pass(None).max(run_pass(None));
+            let pct = (1.0 - durable_eps / reference_eps) * 100.0;
+            println!(
+                "durability overhead: {pct:.1}% ({:.0} vs {:.0} edges/sec without durability, best of 2 windows each; budget 15%)",
+                durable_eps, reference_eps
+            );
+            pct
+        });
+
     if smoke {
         println!("smoke mode: skipping {out_path} update");
         return;
     }
+    let durability_json = report.durability.as_ref().map(|d| {
+        format!(
+            "    \"durability\": {{ \"fsync\": \"{}\", \"snapshot_every\": {}, \"wal_records\": {}, \"wal_bytes\": {}, \"wal_fsyncs\": {}, \"wal_rotations\": {}, \"snapshots\": {}, \"snapshot_ms_total\": {:.3}, \"recovery_ms\": {:.3}, \"replayed_events\": {}, \"re_served_epochs\": {}, \"overhead_pct\": {} }},",
+            fsync.label(),
+            snapshot_every,
+            d.wal_records,
+            d.wal_bytes,
+            d.wal_fsyncs,
+            d.wal_rotations,
+            d.snapshots,
+            d.snapshot_ms_total,
+            recovery.as_ref().map_or(0.0, |r| r.recovery_ms),
+            recovery.as_ref().map_or(0, |r| r.replayed_events),
+            recovery.as_ref().map_or(0, |r| r.re_served_epochs),
+            overhead_pct.map_or("null".to_string(), |p| format!("{p:.2}")),
+        )
+    });
     // Record the policy the run *actually* used (the report's, not the
     // flag's) so the row can never contradict its own tenant_stats.
     let effective_policy = report.tenants[0].policy;
@@ -447,8 +745,23 @@ fn main() {
         effective_policy,
         offered_load,
         accuracy,
+        durability_json.as_deref(),
     );
     println!("wrote pipeline row to {out_path}");
+}
+
+/// Whether `dir` already holds WAL segments — the signal that a durable run
+/// should recover rather than start fresh.
+fn wal_present(dir: &std::path::Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries.flatten().any(|e| {
+                let name = e.file_name();
+                let name = name.to_string_lossy();
+                name.starts_with("wal-") && name.ends_with(".seg")
+            })
+        })
+        .unwrap_or(false)
 }
 
 /// Prints the per-tenant serving table (the overload picture).
@@ -531,6 +844,7 @@ fn merge_pipeline_row(
     policy: OverloadPolicy,
     offered_load: f64,
     accuracy: Option<(f32, f64, f32)>,
+    durability_json: Option<&str>,
 ) {
     let identity = match accuracy {
         None => "    \"embeddings_bitwise_identical_to_serial\": true".to_string(),
@@ -557,8 +871,9 @@ fn merge_pipeline_row(
             )
         })
         .collect();
+    let durability_line = durability_json.map_or(String::new(), |d| format!("{d}\n"));
     let row = format!(
-        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
@@ -575,6 +890,7 @@ fn merge_pipeline_row(
         offered_load,
         report.commit_log_clean,
         tenant_rows.join(",\n"),
+        durability_line,
         identity,
     );
     merge_baseline_row(path, "pipeline", &row);

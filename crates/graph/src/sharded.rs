@@ -243,6 +243,21 @@ impl ShardedNeighborTable {
     ///
     /// Epochs must be committed in increasing order (enforced by the gate).
     pub fn commit_epoch(&self, epoch: u64, events: &[InteractionEvent]) {
+        self.commit_epoch_with(epoch, events, |_, _| {});
+    }
+
+    /// [`Self::commit_epoch`] with a per-shard observer: after shard `s`
+    /// absorbs its endpoints — still under its lock, *before* its epoch
+    /// watermark is bumped — `observe(s, &shard)` runs.  Readers wait on the
+    /// gate for this epoch before touching the shard, so the observer sees
+    /// exactly the post-epoch shard image; the durability layer captures
+    /// snapshot payloads here without pausing the pipeline.
+    pub fn commit_epoch_with(
+        &self,
+        epoch: u64,
+        events: &[InteractionEvent],
+        mut observe: impl FnMut(usize, &NeighborTable),
+    ) {
         for s in 0..self.num_shards {
             {
                 let mut shard = self.shards[s].lock().unwrap();
@@ -268,9 +283,30 @@ impl ShardedNeighborTable {
                         );
                     }
                 }
+                observe(s, &shard);
             }
             self.gate.commit(s, epoch);
         }
+    }
+
+    /// Replaces one shard's entire state (recovery restore path).
+    ///
+    /// # Panics
+    /// Panics if the replacement's node count or capacity does not match the
+    /// shard's.
+    pub fn restore_shard(&self, shard: usize, state: NeighborTable) {
+        let mut guard = self.shards[shard].lock().unwrap();
+        assert_eq!(
+            guard.num_nodes(),
+            state.num_nodes(),
+            "restore_shard: node count mismatch for shard {shard}"
+        );
+        assert_eq!(
+            guard.capacity(),
+            state.capacity(),
+            "restore_shard: capacity mismatch for shard {shard}"
+        );
+        *guard = state;
     }
 
     /// Current number of stored neighbors for `v`.

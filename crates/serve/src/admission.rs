@@ -87,9 +87,10 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tgnn_core::tenancy::{OverloadPolicy, TenantId};
+use tgnn_durable::{AdmitDisposition, Wal, WalRecord};
 use tgnn_graph::{InteractionEvent, Timestamp};
 
 use crate::server::SubmitError;
@@ -112,6 +113,18 @@ pub struct TenantSpec {
     /// [`OverloadPolicy::Late`] to flag results as late.  `None` means no
     /// deadline (nothing is ever flagged).
     pub deadline: Option<Duration>,
+    /// Token-bucket rate limit in events per second, applied at `submit_for`
+    /// *before* the queue-bound policy.  `None` means unlimited.  Unlike the
+    /// WRR `weight` — which divides pipeline capacity *proportionally* under
+    /// contention — a rate cap bounds a tenant *absolutely*, so capping the
+    /// best-effort tenants is how a premium tenant buys a throughput floor.
+    /// When the bucket is empty, `Block`/`Late` tenants wait for a token
+    /// (counted in [`AdmissionCounters::throttled`]); drop-policy tenants
+    /// lose the event ([`AdmissionCounters::dropped_throttled`]).
+    pub rate_eps: Option<f64>,
+    /// Token-bucket capacity (maximum burst, events).  `None` defaults to
+    /// one second's worth of tokens (`max(rate_eps, 1)`).
+    pub rate_burst: Option<f64>,
 }
 
 impl TenantSpec {
@@ -124,6 +137,8 @@ impl TenantSpec {
             ingress_capacity: 1024,
             policy: OverloadPolicy::Block,
             deadline: None,
+            rate_eps: None,
+            rate_burst: None,
         }
     }
 
@@ -149,6 +164,39 @@ impl TenantSpec {
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
         self
+    }
+
+    /// Sets the token-bucket rate limit in events/second (builder style).
+    ///
+    /// # Panics
+    /// Panics if `rate_eps` is not finite and positive.
+    pub fn with_rate_eps(mut self, rate_eps: f64) -> Self {
+        assert!(
+            rate_eps.is_finite() && rate_eps > 0.0,
+            "TenantSpec: rate_eps must be finite and positive"
+        );
+        self.rate_eps = Some(rate_eps);
+        self
+    }
+
+    /// Sets the token-bucket burst capacity in events (builder style).
+    ///
+    /// # Panics
+    /// Panics if `burst` is not finite and positive.
+    pub fn with_rate_burst(mut self, burst: f64) -> Self {
+        assert!(
+            burst.is_finite() && burst > 0.0,
+            "TenantSpec: rate_burst must be finite and positive"
+        );
+        self.rate_burst = Some(burst);
+        self
+    }
+
+    /// Effective bucket capacity: the explicit burst, or one second's worth
+    /// of tokens (at least 1).
+    pub(crate) fn effective_burst(&self) -> f64 {
+        self.rate_burst
+            .unwrap_or_else(|| self.rate_eps.unwrap_or(1.0).max(1.0))
     }
 }
 
@@ -201,17 +249,22 @@ pub struct AdmissionCounters {
     pub dropped_newest: u64,
     /// Queued events evicted by [`OverloadPolicy::DropOldest`].
     pub dropped_oldest: u64,
+    /// Incoming events rejected by an empty token bucket (drop policies).
+    pub dropped_throttled: u64,
     /// `submit_for` calls that had to block on a full queue
     /// (`Block`/`Late` backpressure).
     pub blocked_submits: u64,
+    /// `submit_for` calls that had to wait for a rate-limit token
+    /// (`Block`/`Late` policies).
+    pub throttled: u64,
     /// Highest ingress queue depth observed.
     pub max_depth: usize,
 }
 
 impl AdmissionCounters {
-    /// Total events this tenant lost to its drop policy.
+    /// Total events this tenant lost to its drop policy or rate limit.
     pub fn dropped(&self) -> u64 {
-        self.dropped_newest + self.dropped_oldest
+        self.dropped_newest + self.dropped_oldest + self.dropped_throttled
     }
 }
 
@@ -222,6 +275,23 @@ struct TenantIngress {
     deficit: u64,
     counters: AdmissionCounters,
     last_timestamp: Timestamp,
+    /// Token-bucket state (only meaningful when `spec.rate_eps` is set).
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TenantIngress {
+    /// Refills the bucket from elapsed wall time and returns whether a token
+    /// is available (always true for unlimited tenants).
+    fn refill_tokens(&mut self, now: Instant) -> bool {
+        let Some(rate) = self.spec.rate_eps else {
+            return true;
+        };
+        let elapsed = now.duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * rate).min(self.spec.effective_burst());
+        self.tokens >= 1.0
+    }
 }
 
 struct AdmissionState {
@@ -240,6 +310,12 @@ pub(crate) struct AdmissionControl {
     space: Condvar,
     /// Signalled when work arrives or the layer closes (wakes the scheduler).
     ready: Condvar,
+    /// Durability: every submit outcome (admit/drop/evict) is appended here
+    /// under the admission lock, *before* the event becomes visible to the
+    /// scheduler — so no event can be sealed without a durable admit
+    /// preceding it in the log.  Lock order: admission lock, then the WAL's
+    /// internal mutex (the batcher and poll take only the latter).
+    wal: Option<Arc<Wal>>,
 }
 
 impl AdmissionControl {
@@ -258,12 +334,15 @@ impl AdmissionControl {
                     spec.ingress_capacity >= 1,
                     "admission: tenant ingress capacity must be >= 1"
                 );
+                let tokens = spec.effective_burst();
                 TenantIngress {
                     queue: VecDeque::with_capacity(spec.ingress_capacity),
                     spec,
                     deficit: 0,
                     counters: AdmissionCounters::default(),
                     last_timestamp: Timestamp::NEG_INFINITY,
+                    tokens,
+                    last_refill: Instant::now(),
                 }
             })
             .collect();
@@ -275,6 +354,21 @@ impl AdmissionControl {
             }),
             space: Condvar::new(),
             ready: Condvar::new(),
+            wal: None,
+        }
+    }
+
+    /// Attaches the write-ahead log (builder style, before sharing).
+    pub fn with_wal(mut self, wal: Option<Arc<Wal>>) -> Self {
+        self.wal = wal;
+        self
+    }
+
+    /// Appends a WAL record for a submit outcome.  A WAL that cannot accept
+    /// writes voids the durability contract, so failure is fatal.
+    fn log(&self, rec: &WalRecord) {
+        if let Some(wal) = &self.wal {
+            wal.append(rec).expect("admission WAL append failed");
         }
     }
 
@@ -303,7 +397,7 @@ impl AdmissionControl {
         if state.closed {
             return Err(SubmitError::Closed);
         }
-        let needs_wait = {
+        {
             let t = &mut state.tenants[idx];
             if event.timestamp < t.last_timestamp {
                 return Err(SubmitError::OutOfOrder {
@@ -312,6 +406,44 @@ impl AdmissionControl {
                 });
             }
             t.last_timestamp = event.timestamp;
+        }
+        // Token bucket, before the queue-bound policy: blocking policies
+        // wait for a token, drop policies shed the event.
+        if !state.tenants[idx].refill_tokens(Instant::now()) {
+            match state.tenants[idx].spec.policy {
+                OverloadPolicy::Block | OverloadPolicy::Late => {
+                    state.tenants[idx].counters.throttled += 1;
+                    loop {
+                        if state.closed {
+                            return Err(SubmitError::Closed);
+                        }
+                        let t = &mut state.tenants[idx];
+                        if t.refill_tokens(Instant::now()) {
+                            break;
+                        }
+                        let rate = t.spec.rate_eps.expect("throttled without a rate limit");
+                        let wait = Duration::from_secs_f64(((1.0 - t.tokens) / rate).max(1e-4));
+                        state = self.space.wait_timeout(state, wait).unwrap().0;
+                    }
+                }
+                OverloadPolicy::DropNewest | OverloadPolicy::DropOldest => {
+                    let t = &mut state.tenants[idx];
+                    t.counters.submitted += 1;
+                    t.counters.dropped_throttled += 1;
+                    self.log(&WalRecord::Admit {
+                        tenant: tenant.0,
+                        event,
+                        disposition: AdmitDisposition::DroppedThrottled,
+                    });
+                    return Ok(SubmitOutcome::Dropped);
+                }
+            }
+        }
+        if state.tenants[idx].spec.rate_eps.is_some() {
+            state.tenants[idx].tokens -= 1.0;
+        }
+        let needs_wait = {
+            let t = &mut state.tenants[idx];
             // Policy at the bound.
             if t.queue.len() >= t.spec.ingress_capacity {
                 match t.spec.policy {
@@ -322,11 +454,21 @@ impl AdmissionControl {
                     OverloadPolicy::DropNewest => {
                         t.counters.submitted += 1;
                         t.counters.dropped_newest += 1;
+                        self.log(&WalRecord::Admit {
+                            tenant: tenant.0,
+                            event,
+                            disposition: AdmitDisposition::DroppedNewest,
+                        });
                         return Ok(SubmitOutcome::Dropped);
                     }
                     OverloadPolicy::DropOldest => {
-                        t.queue.pop_front();
-                        t.counters.dropped_oldest += 1;
+                        if let Some(evicted) = t.queue.pop_front() {
+                            t.counters.dropped_oldest += 1;
+                            self.log(&WalRecord::Evict {
+                                tenant: tenant.0,
+                                event: evicted.event,
+                            });
+                        }
                         false
                     }
                 }
@@ -351,6 +493,14 @@ impl AdmissionControl {
                 return Err(SubmitError::Closed);
             }
         }
+        // The admit is made durable *before* the event becomes visible to
+        // the scheduler (the state lock is still held), so a durable seal
+        // always has a durable admit before it in the log.
+        self.log(&WalRecord::Admit {
+            tenant: tenant.0,
+            event,
+            disposition: AdmitDisposition::Admitted,
+        });
         let t = &mut state.tenants[idx];
         t.queue.push_back(AdmittedEvent {
             event,
@@ -366,6 +516,37 @@ impl AdmissionControl {
         drop(state);
         self.ready.notify_one();
         Ok(SubmitOutcome::Admitted)
+    }
+
+    /// Recovery: puts a reconstructed ingress tail back into a tenant's
+    /// queue and reimposes the tenant's durable chronology floor.  Bypasses
+    /// the overload policy, rate limit, and chronology check — these events
+    /// were already admitted (durably) in a previous life, and for the same
+    /// reason they are *not* WAL-logged again.
+    pub fn restore(&self, tenant: TenantId, events: &[InteractionEvent], floor: Timestamp) {
+        let mut state = self.state.lock().unwrap();
+        let t = &mut state.tenants[tenant.index()];
+        if t.last_timestamp < floor {
+            t.last_timestamp = floor;
+        }
+        for &event in events {
+            t.queue.push_back(AdmittedEvent {
+                event,
+                meta: EventMeta {
+                    tenant,
+                    admitted_at: Instant::now(),
+                    deadline: t.spec.deadline,
+                },
+            });
+            t.counters.submitted += 1;
+            t.counters.admitted += 1;
+        }
+        t.counters.max_depth = t.counters.max_depth.max(t.queue.len());
+        let nonempty = !events.is_empty();
+        drop(state);
+        if nonempty {
+            self.ready.notify_one();
+        }
     }
 
     /// Scheduler side: blocks until work is available, then fills `out`
@@ -663,6 +844,132 @@ mod tests {
         );
         let (_, c) = ac.tenant_snapshot(0);
         assert_eq!(c.blocked_submits, 1);
+    }
+
+    #[test]
+    fn token_bucket_sheds_beyond_burst_and_readmits_after_refill() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("capped")
+            .with_capacity(64)
+            .with_policy(OverloadPolicy::DropNewest)
+            .with_rate_eps(500.0) // one token every 2 ms
+            .with_rate_burst(3.0)]);
+        // The initial bucket holds exactly the burst.
+        for k in 0..3 {
+            assert_eq!(
+                ac.submit(TenantId::DEFAULT, ev(k as f64)).unwrap(),
+                SubmitOutcome::Admitted,
+                "within burst"
+            );
+        }
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(3.0)).unwrap(),
+            SubmitOutcome::Dropped,
+            "bucket empty"
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.dropped_throttled, 1);
+        assert_eq!(c.dropped(), 1);
+        assert_eq!(c.admitted, 3);
+        // Refill restores admission.
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(4.0)).unwrap(),
+            SubmitOutcome::Admitted,
+            "refilled"
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.submitted, 5);
+        assert_eq!(c.admitted, 4);
+    }
+
+    #[test]
+    fn token_bucket_caps_accumulated_credit_at_burst() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("capped")
+            .with_capacity(64)
+            .with_policy(OverloadPolicy::DropOldest)
+            .with_rate_eps(1000.0)
+            .with_rate_burst(2.0)]);
+        // Idle long enough to earn ~30 tokens at the rate — the burst cap
+        // must clamp the bucket to 2.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
+        assert!(ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap().is_admitted());
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(2.0)).unwrap(),
+            SubmitOutcome::Dropped,
+            "credit beyond burst must not accumulate"
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.dropped_throttled, 1);
+        assert_eq!(c.dropped_oldest, 0, "rate drops are not queue evictions");
+    }
+
+    #[test]
+    fn blocking_tenant_waits_for_token_instead_of_dropping() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("blocked")
+            .with_capacity(64)
+            .with_policy(OverloadPolicy::Block)
+            .with_rate_eps(200.0) // 5 ms per token
+            .with_rate_burst(1.0)]);
+        assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
+        let start = Instant::now();
+        assert!(
+            ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap().is_admitted(),
+            "blocking policy must admit after the wait, never drop"
+        );
+        assert!(
+            start.elapsed() >= Duration::from_millis(2),
+            "second submit should have waited for a token"
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.throttled, 1);
+        assert_eq!(c.dropped(), 0);
+        assert_eq!(c.admitted, 2);
+    }
+
+    #[test]
+    fn throttled_blocked_submitter_fails_when_admission_closes() {
+        let ac = Arc::new(AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(8)
+            .with_policy(OverloadPolicy::Block)
+            .with_rate_eps(0.5) // 2 s per token: the test would time out if the close were missed
+            .with_rate_burst(1.0)]));
+        ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap();
+        let submitter = {
+            let ac = ac.clone();
+            std::thread::spawn(move || ac.submit(TenantId::DEFAULT, ev(1.0)))
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        ac.close();
+        assert!(matches!(
+            submitter.join().unwrap(),
+            Err(SubmitError::Closed)
+        ));
+    }
+
+    #[test]
+    fn restore_bypasses_policy_and_reimposes_floor() {
+        let ac = AdmissionControl::new(vec![TenantSpec::new("t")
+            .with_capacity(2) // smaller than the restored tail
+            .with_policy(OverloadPolicy::DropNewest)
+            .with_rate_eps(1e-3)]); // bucket effectively empty forever
+        let tail = vec![ev(1.0), ev(2.0), ev(3.0)];
+        ac.restore(TenantId::DEFAULT, &tail, 3.0);
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.admitted, 3, "restore ignores capacity and rate limits");
+        assert_eq!(c.dropped(), 0);
+        // The durable chronology floor holds.
+        assert!(matches!(
+            ac.submit(TenantId::DEFAULT, ev(2.5)).unwrap_err(),
+            SubmitError::OutOfOrder { .. }
+        ));
+        ac.close();
+        let mut got = Vec::new();
+        let mut b = Vec::new();
+        while ac.next_burst(&mut b) {
+            got.extend(b.drain(..).map(|e| e.event));
+        }
+        assert_eq!(got, tail, "restored tail drains in admit order");
     }
 
     #[test]

@@ -74,14 +74,17 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod durability;
 pub mod pipeline;
 pub mod queue;
 pub mod server;
 
 pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
+pub use durability::{DurabilityStats, RecoveryReport};
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
 pub use server::{
     LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError, TenantStats,
 };
 pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
+pub use tgnn_durable::{wal_fault_hook, DurabilityConfig, DurableError, FsyncPolicy, WalFaultHook};

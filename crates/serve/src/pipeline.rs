@@ -57,6 +57,7 @@
 //!   and processes epochs in queue order.
 
 use crate::admission::{AdmittedEvent, EventMeta};
+use crate::durability::Durability;
 use crate::queue::{MpmcReceiver, MpmcSender, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -220,12 +221,20 @@ impl Collector {
 /// old, whichever comes first.  Once an event reaches this worker it is
 /// guaranteed to be served — the overload drop policies act strictly
 /// upstream, in the tenant ingress queues.
+///
+/// With durability on, the batch's `Seal` record is appended *before* the
+/// batch is sent downstream and its fsync is requested from the group-commit
+/// syncer; `poll` holds the epoch's results until the seal is durable.  A
+/// batch can therefore only ever be *delivered* with a durable seal, which
+/// is what lets recovery re-serve sealed-but-unacked epochs bit-identically
+/// — while the batcher itself never waits on the disk.
 pub(crate) fn batcher_loop(
     rx: Receiver<AdmittedEvent>,
     tx: Sender<SealedBatch>,
     max_batch: usize,
     deadline: Duration,
     next_epoch: Arc<AtomicU64>,
+    durability: Option<Arc<Durability>>,
 ) {
     let mut pending: Vec<InteractionEvent> = Vec::new();
     let mut metas: Vec<EventMeta> = Vec::new();
@@ -238,6 +247,46 @@ pub(crate) fn batcher_loop(
         }
         let epoch = next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
         *first_at = None;
+        // The weighted-fair merge is only per-tenant chronological, but the
+        // engine consumes each batch as a chronological stream (Algorithm 1),
+        // so restore global order inside the sealed batch.  The sort is
+        // stable, so each tenant's own order survives, and the single-tenant
+        // feed — already sorted — is untouched.
+        if pending.windows(2).any(|w| w[0].timestamp > w[1].timestamp) {
+            let mut items: Vec<(InteractionEvent, EventMeta)> =
+                pending.drain(..).zip(metas.drain(..)).collect();
+            items.sort_by(|a, b| a.0.timestamp.total_cmp(&b.0.timestamp));
+            for (e, m) in items {
+                pending.push(e);
+                metas.push(m);
+            }
+        }
+        if let Some(d) = &durability {
+            if let Some(hook) = &d.wal_fault {
+                if hook(epoch) {
+                    // Crash injection: freeze the WAL first so records still
+                    // in its user-space buffer are lost exactly as a real
+                    // process death would lose them, then die.
+                    d.wal.freeze();
+                    panic!("injected WAL fault at epoch {epoch}");
+                }
+            }
+            d.wal
+                .append(&tgnn_durable::WalRecord::Seal {
+                    epoch,
+                    events: pending
+                        .iter()
+                        .zip(metas.iter())
+                        .map(|(e, m)| (m.tenant.0, *e))
+                        .collect(),
+                })
+                .expect("batcher: WAL seal append failed");
+            // Group commit: request (don't await) the seal fsync — the
+            // reorder worker holds the epoch until the synced watermark
+            // covers it, so sealing proceeds at compute speed while the
+            // durable-before-delivered contract still holds.
+            d.request_seal_sync(epoch);
+        }
         tx.send(SealedBatch {
             epoch,
             batch: EventBatch::new(std::mem::take(pending)),
@@ -475,11 +524,19 @@ impl Drop for PoisonGatesOnExit {
 /// and neighbor-table appends shard by shard, bumping each shard's epoch
 /// watermark as it goes — which is what releases the next batch's sampling
 /// and memory stages.
+///
+/// With durability on, snapshot-interval epochs capture each shard's
+/// payload through the `commit_epoch_with` observers — under the shard lock,
+/// after the epoch's writes, before the gate bump — so the snapshot is the
+/// exact epoch-barrier state with no global pause; the files are then
+/// written by a background thread, overlapping the pipeline instead of
+/// stalling the single committer on disk I/O.
 pub(crate) fn update_loop(
     rx: Receiver<UpdateJob>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
     commit_log: Arc<Mutex<CommitLog>>,
+    durability: Option<Arc<Durability>>,
 ) {
     let _poison_on_exit = PoisonGatesOnExit {
         memory: memory.clone(),
@@ -497,8 +554,29 @@ pub(crate) fn update_loop(
                 log.commit(*v, *t);
             }
         }
-        memory.commit_epoch(epoch, &writes);
-        table.commit_epoch(epoch, &events);
+        if let Some(d) = &durability {
+            d.note_absorbed(&events);
+        }
+        match durability.as_ref().filter(|d| d.wants_snapshot(epoch)) {
+            None => {
+                memory.commit_epoch(epoch, &writes);
+                table.commit_epoch(epoch, &events);
+            }
+            Some(d) => {
+                let num_shards = memory.num_shards();
+                let mut mem_bufs: Vec<Vec<u8>> = vec![Vec::new(); num_shards];
+                memory.commit_epoch_with(epoch, &writes, |s, m| {
+                    tgnn_durable::encode_memory_shard(m, &mut mem_bufs[s])
+                });
+                let mut nbr_bufs: Vec<Vec<u8>> = vec![Vec::new(); num_shards];
+                table.commit_epoch_with(epoch, &events, |s, t| {
+                    tgnn_durable::encode_neighbor_shard(t, &mut nbr_bufs[s])
+                });
+                // Hand the captured payloads to the background writer: the
+                // consistent cut is done, the disk I/O needs no lock.
+                d.spawn_snapshot_write(epoch, mem_bufs, nbr_bufs);
+            }
+        }
     }
 }
 

@@ -4,6 +4,7 @@
 use crate::admission::{
     scheduler_loop, AdmissionControl, AdmissionCounters, AdmittedEvent, SubmitOutcome, TenantSpec,
 };
+use crate::durability::{Durability, DurabilityStats, RecoveryReport};
 use crate::pipeline::{
     batcher_loop, gnn_worker_loop, memory_loop, reorder_loop, sampler_loop, update_loop, Collector,
     GnnBatchHeader, GnnFaultHook, GnnSubJob, GnnSubResult, SampledJob, SealedBatch, ServedBatch,
@@ -15,9 +16,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use tgnn_core::stages::SampledBatch;
-use tgnn_core::tenancy::{OverloadPolicy, TenantId};
+use tgnn_core::stages::{GnnJobBatch, SampledBatch};
+use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 use tgnn_core::{ShardedMemory, TgnModel};
+use tgnn_durable::{
+    list_snapshots, load_snapshot, plan_recovery, read_wal, repair_torn_tail, DurabilityConfig,
+    DurableError,
+};
 use tgnn_graph::chronology::CommitLog;
 use tgnn_graph::{EventBatch, InteractionEvent, ShardedNeighborTable, TemporalGraph, Timestamp};
 use tgnn_tensor::Workspace;
@@ -61,6 +66,12 @@ pub struct ServeConfig {
     /// Test-only fault-injection hook passed to every GNN worker; `None` in
     /// production.  See [`GnnFaultHook`].
     pub gnn_fault: Option<GnnFaultHook>,
+    /// Opt-in durability: write-ahead log of admission outcomes plus
+    /// checksummed snapshots at epoch barriers, enabling
+    /// [`StreamServer::recover`] to resume bit-identically after a crash.
+    /// `None` (the default) is the bit-for-bit legacy path — no logging, no
+    /// snapshots, no I/O on any hot path.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServeConfig {
@@ -75,6 +86,7 @@ impl Default for ServeConfig {
             gnn_workers: 1,
             tenants: Vec::new(),
             gnn_fault: None,
+            durability: None,
         }
     }
 }
@@ -91,6 +103,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("gnn_workers", &self.gnn_workers)
             .field("tenants", &self.tenants)
             .field("gnn_fault", &self.gnn_fault.as_ref().map(|_| "<hook>"))
+            .field("durability", &self.durability)
             .finish()
     }
 }
@@ -210,6 +223,9 @@ pub struct ServeReport {
     pub num_shards: usize,
     /// Data-parallel GNN worker count the session ran with.
     pub gnn_workers: usize,
+    /// WAL/snapshot counters when the session ran with
+    /// [`ServeConfig::durability`]; `None` on the legacy path.
+    pub durability: Option<DurabilityStats>,
 }
 
 /// Why a `submit` was rejected.
@@ -264,6 +280,10 @@ pub struct StreamServer {
     results_rx: Receiver<ServedBatch>,
     completed: VecDeque<ServedBatch>,
     workers: Vec<JoinHandle<()>>,
+    /// The seal group-commit syncer (`OnSeal` policy only).  Kept out of
+    /// `workers`: it exits on an explicit shutdown signal, not on queue
+    /// closure, so the drain loop must not wait for it with the pipeline.
+    wal_sync: Option<JoinHandle<()>>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
     model: Arc<TgnModel>,
@@ -278,6 +298,7 @@ pub struct StreamServer {
     submitted: usize,
     num_shards: usize,
     gnn_workers: usize,
+    durability: Option<Arc<Durability>>,
 }
 
 impl StreamServer {
@@ -287,9 +308,33 @@ impl StreamServer {
     /// worker that restores epoch order.
     ///
     /// # Panics
-    /// Panics if `config.gnn_workers == 0`, or if a configured tenant has a
-    /// zero weight or ingress capacity.
+    /// Panics if `config.gnn_workers == 0`, if a configured tenant has a
+    /// zero weight or ingress capacity, or if `config.durability` points at
+    /// a directory that already contains WAL segments — a prior durable
+    /// session ended there, and silently appending to its log would corrupt
+    /// the seal sequence; call [`Self::recover`] instead.
     pub fn new(model: TgnModel, graph: Arc<TemporalGraph>, config: ServeConfig) -> Self {
+        if let Some(dcfg) = &config.durability {
+            assert!(
+                !has_wal_segments(&dcfg.dir),
+                "StreamServer::new: durability dir {} holds an existing WAL — \
+                 use StreamServer::recover to resume it",
+                dcfg.dir.display()
+            );
+        }
+        Self::build(model, graph, config, 0)
+    }
+
+    /// [`Self::new`] with the WAL continuation point chosen by the caller
+    /// (`wal_last_seq = 0` for a fresh log; recovery passes the scanned
+    /// last segment so the new log never appends to a possibly-repaired
+    /// tail).
+    fn build(
+        model: TgnModel,
+        graph: Arc<TemporalGraph>,
+        config: ServeConfig,
+        wal_last_seq: u64,
+    ) -> Self {
         assert!(
             config.gnn_workers > 0,
             "StreamServer: need at least one GNN worker"
@@ -303,7 +348,14 @@ impl StreamServer {
             config.tenants.clone()
         };
         let num_tenants = tenants.len();
-        let admission = Arc::new(AdmissionControl::new(tenants));
+        let durability = config.durability.as_ref().map(|dcfg| {
+            Arc::new(
+                Durability::open(dcfg, wal_last_seq).expect("StreamServer: opening the WAL failed"),
+            )
+        });
+        let admission = Arc::new(
+            AdmissionControl::new(tenants).with_wal(durability.as_ref().map(|d| d.wal.clone())),
+        );
         let model = Arc::new(model);
         let memory = Arc::new(ShardedMemory::for_config(
             num_nodes,
@@ -383,8 +435,11 @@ impl StreamServer {
         {
             let next_epoch = next_epoch.clone();
             let (max_batch, deadline) = (config.max_batch, config.batch_deadline);
+            let durability = durability.clone();
             workers.push(spawn("tgnn-serve-batcher", move || {
-                batcher_loop(submit_rx, sealed_tx, max_batch, deadline, next_epoch)
+                batcher_loop(
+                    submit_rx, sealed_tx, max_batch, deadline, next_epoch, durability,
+                )
             }));
         }
         {
@@ -411,8 +466,9 @@ impl StreamServer {
         }
         {
             let (memory, table, log) = (memory.clone(), table.clone(), commit_log.clone());
+            let durability = durability.clone();
             workers.push(spawn("tgnn-serve-update", move || {
-                update_loop(update_rx, memory, table, log)
+                update_loop(update_rx, memory, table, log, durability)
             }));
         }
         for i in 0..gnn_workers {
@@ -434,12 +490,23 @@ impl StreamServer {
                 reorder_loop(header_rx, parts_rx, results_tx, collector)
             }));
         }
+        // Seal group commit (`OnSeal` only): one worker fsyncs all pending
+        // seals per call while the batcher runs ahead; `poll` gates delivery
+        // on the synced watermark.
+        let wal_sync = durability
+            .as_ref()
+            .filter(|d| d.wal.policy() == tgnn_durable::FsyncPolicy::OnSeal)
+            .map(|d| {
+                let d = d.clone();
+                spawn("tgnn-serve-wal-sync", move || d.syncer_loop())
+            });
 
         Self {
             admission,
             results_rx,
             completed: VecDeque::new(),
             workers,
+            wal_sync,
             memory,
             table,
             model,
@@ -452,7 +519,237 @@ impl StreamServer {
             submitted: 0,
             num_shards,
             gnn_workers,
+            durability,
         }
+    }
+
+    /// Rebuilds a durable server from its durability directory: loads the
+    /// latest valid snapshot, replays the durable WAL tail through the
+    /// normal stage entry points, and resumes exactly where the crashed
+    /// session's durable prefix ended:
+    ///
+    /// * epochs sealed but **not delivered** are recomputed and re-served —
+    ///   they come back through [`Self::poll`] first, in epoch order, with
+    ///   `Disposition::OnTime` and zero latency, and their embeddings are
+    ///   bit-identical to what the crashed server would have produced;
+    /// * epochs sealed **and delivered** (acked) are replayed for state
+    ///   only, never served twice;
+    /// * events admitted but never sealed are back in their tenants'
+    ///   ingress queues, ahead of any new submission;
+    /// * per-tenant chronology floors (warm-up plus each tenant's last
+    ///   durable submission) are re-imposed.
+    ///
+    /// A torn final WAL record — a crash mid-append — is truncated away and
+    /// flagged in the [`RecoveryReport`].  Anything else that fails
+    /// validation (a mid-log checksum error, a causal-order violation, an
+    /// eligible snapshot that fails verification) is an error: recovery
+    /// never serves from state it cannot prove consistent.
+    ///
+    /// `config` must describe the same model/graph/shard/tenant layout the
+    /// crashed session ran with.
+    pub fn recover(
+        model: TgnModel,
+        graph: Arc<TemporalGraph>,
+        config: ServeConfig,
+    ) -> Result<(Self, RecoveryReport), DurableError> {
+        let t0 = Instant::now();
+        let dcfg = config
+            .durability
+            .clone()
+            .expect("StreamServer::recover requires ServeConfig::durability");
+        let mut scan = read_wal(&dcfg.dir)?;
+        let torn = scan.torn.take();
+        if let Some(t) = &torn {
+            repair_torn_tail(t)?;
+        }
+        let num_tenants = config.tenants.len().max(1);
+        let plan = plan_recovery(&scan, num_tenants)?;
+
+        // Latest eligible snapshot: `floor` snapshots (warm-up / clean
+        // drain) are always usable; interval snapshots only when everything
+        // sealed past them was already delivered (`epoch <= acked`) —
+        // otherwise the undelivered epochs behind them could not be
+        // re-served.  An eligible snapshot that fails verification falls
+        // back to the next older one; if none survives, that is corruption,
+        // not a silent cold start.
+        let entries = list_snapshots(&dcfg.dir)?;
+        let mut loaded = None;
+        let mut eligible = 0usize;
+        for entry in entries.iter().rev() {
+            if !(entry.meta.floor || entry.meta.epoch <= plan.acked) {
+                continue;
+            }
+            eligible += 1;
+            if let Ok(s) = load_snapshot(entry) {
+                loaded = Some(s);
+                break;
+            }
+        }
+        if loaded.is_none() && eligible > 0 {
+            return Err(DurableError::corrupt(
+                "no eligible snapshot passed verification",
+            ));
+        }
+
+        let mut server = Self::build(model, graph, config, scan.last_seq);
+        let d = server
+            .durability
+            .clone()
+            .expect("build keeps the durability handle");
+        d.set_acked(plan.acked);
+        // Every sealed epoch read back from the log is durable by
+        // construction — re-served batches must pass poll's seal gate
+        // without waiting on this session's syncer.
+        d.seed_seal_synced(plan.max_sealed);
+
+        let snapshot_epoch = loaded.as_ref().map_or(0, |s| s.meta.epoch);
+        if let Some(s) = loaded {
+            if s.meta.num_shards as usize != server.num_shards {
+                return Err(DurableError::corrupt(format!(
+                    "snapshot has {} shards, server configured with {}",
+                    s.meta.num_shards, server.num_shards
+                )));
+            }
+            server.warm_timestamp = s.meta.warm_timestamp;
+            server.admission.set_timestamp_floor(s.meta.warm_timestamp);
+            d.seed_from_snapshot(&s.meta);
+            for (i, mem) in s.memory.into_iter().enumerate() {
+                server.memory.restore_shard(i, mem);
+            }
+            for (i, table) in s.tables.into_iter().enumerate() {
+                server.table.restore_shard(i, table);
+            }
+            for shard in 0..server.num_shards {
+                server.memory.gate().commit(shard, snapshot_epoch);
+                server.table.gate().commit(shard, snapshot_epoch);
+            }
+        }
+        server
+            .next_epoch
+            .store(snapshot_epoch.max(plan.max_sealed), Ordering::SeqCst);
+
+        // Replay sealed epochs newer than the snapshot through the same
+        // stage functions the pipeline runs — sampling the restored
+        // neighbor table, the shared memory stage, the same write-back —
+        // which is what makes the recovered state bit-identical to an
+        // uninterrupted run.
+        let k = server.model.config.sampled_neighbors;
+        let mut ws = Workspace::new();
+        let mut replayed_epochs = 0usize;
+        let mut re_served_epochs = 0usize;
+        let mut replayed_events = 0usize;
+        let mut expected = snapshot_epoch;
+        for sealed in &plan.sealed {
+            if sealed.epoch <= snapshot_epoch {
+                continue;
+            }
+            expected += 1;
+            if sealed.epoch != expected {
+                return Err(DurableError::corrupt(format!(
+                    "sealed epoch {} does not follow the snapshot (epoch {}) contiguously",
+                    sealed.epoch, snapshot_epoch
+                )));
+            }
+            let events: Vec<InteractionEvent> = sealed.events.iter().map(|(_, e)| *e).collect();
+            replayed_events += events.len();
+            let batch = EventBatch::new(events.clone());
+            let sampled = SampledBatch::assemble(batch, k, |v, t, kk, out| {
+                server.table.sample_into(v, t, kk, out)
+            });
+            let updated = crate::pipeline::run_sharded_memory_stage(
+                &sampled,
+                &server.memory,
+                &server.model,
+                &server.graph,
+                &mut ws,
+            );
+            // Gather before the write-back, exactly like the memory worker.
+            let job = (sealed.epoch > plan.acked).then(|| {
+                GnnJobBatch::gather(
+                    &sampled,
+                    &updated,
+                    &server.graph,
+                    &server.model.config,
+                    |v, dst| server.memory.copy_memory_into(v, dst),
+                )
+            });
+            let writes = crate::pipeline::writes_from(updated, &sampled);
+            {
+                let mut log = server.commit_log.lock().unwrap();
+                for (v, _, t) in &writes {
+                    log.commit(*v, *t);
+                }
+            }
+            d.note_absorbed(&events);
+            server.memory.commit_epoch(sealed.epoch, &writes);
+            server.table.commit_epoch(sealed.epoch, &events);
+            replayed_epochs += 1;
+            if let Some(job) = job {
+                // Sealed but never delivered: recompute the embeddings and
+                // queue the batch for `poll`, ahead of anything new.
+                let embeddings = job.run(&server.model, &mut ws);
+                let metas: Vec<ResultMeta> = sealed
+                    .events
+                    .iter()
+                    .map(|(t, _)| ResultMeta {
+                        tenant: TenantId(*t),
+                        disposition: Disposition::OnTime,
+                    })
+                    .collect();
+                server
+                    .collector
+                    .record_batch(events.len(), embeddings.len(), Duration::ZERO);
+                for (t, _) in &sealed.events {
+                    server
+                        .collector
+                        .record_event(TenantId(*t), false, Duration::ZERO);
+                }
+                server.completed.push_back(ServedBatch {
+                    epoch: sealed.epoch,
+                    events,
+                    metas,
+                    embeddings,
+                    latency: Duration::ZERO,
+                });
+                re_served_epochs += 1;
+            }
+        }
+
+        // Admitted-but-unsealed events go back into their ingress queues,
+        // bypassing overload/rate policies (they already passed them) and
+        // without re-logging (their admits are already durable); each
+        // tenant's chronology floor is raised to its last durable
+        // submission.
+        let mut readmitted_events = 0usize;
+        for (t, tail) in plan.tails.iter().enumerate() {
+            if tail.is_empty() && plan.max_timestamp[t] == f64::NEG_INFINITY {
+                continue;
+            }
+            server
+                .admission
+                .restore(TenantId(t as u32), tail, plan.max_timestamp[t]);
+            readmitted_events += tail.len();
+        }
+        server.submitted = plan.admits.iter().sum::<u64>() as usize;
+        if server.submitted > 0 {
+            // The per-life clock starts at recovery; `submit_for` only
+            // stamps it on the very first submission ever.
+            *server.collector.first_submit.lock().unwrap() = Some(Instant::now());
+        }
+
+        let report = RecoveryReport {
+            snapshot_epoch,
+            acked: plan.acked,
+            sealed_epochs: plan.sealed.len(),
+            replayed_epochs,
+            re_served_epochs,
+            replayed_events,
+            readmitted_events,
+            resume_from: plan.admits.clone(),
+            torn_tail_repaired: torn.is_some(),
+            recovery_ms: t0.elapsed().as_secs_f64() * 1e3,
+        };
+        Ok((server, report))
     }
 
     /// Replays a chronological event prefix through the sharded state
@@ -491,6 +788,18 @@ impl StreamServer {
             }
         }
         self.admission.set_timestamp_floor(self.warm_timestamp);
+        if let Some(d) = &self.durability {
+            // Warm events are not in the WAL (nothing was admitted), so the
+            // post-warm state must be snapshotted or recovery could never
+            // reconstruct it: a `floor` snapshot, exempt from the
+            // `epoch <= acked` eligibility rule.
+            d.set_warm_timestamp(self.warm_timestamp);
+            d.note_absorbed(events);
+            if !events.is_empty() {
+                let epoch = self.next_epoch.load(Ordering::SeqCst);
+                d.snapshot_quiesced(epoch, true, &self.memory, &self.table);
+            }
+        }
     }
 
     /// Feeds one event into the default tenant's ingress queue (the
@@ -522,11 +831,33 @@ impl StreamServer {
 
     /// Pops the next completed micro-batch, if any (non-blocking).  Batches
     /// come back in submission (epoch) order.
+    ///
+    /// With durability on, a batch is held back (`None`) until its `Seal` is
+    /// durable — the delivery gate of the seal group commit; the pipeline
+    /// keeps computing behind a slow fsync and the batch surfaces a poll or
+    /// two later.  Delivering a batch appends its `Ack` to the WAL (fsynced
+    /// under `FsyncPolicy::Always`): after a crash, acked epochs are
+    /// replayed for state only, never re-served — and because the ack gate
+    /// sits behind the seal fsync, an `Ack` can never outrun its `Seal` in
+    /// any durable prefix.
     pub fn poll(&mut self) -> Option<ServedBatch> {
-        if let Some(b) = self.completed.pop_front() {
-            return Some(b);
+        let Some(d) = self.durability.clone() else {
+            return self
+                .completed
+                .pop_front()
+                .or_else(|| self.results_rx.try_recv());
+        };
+        if self.completed.is_empty() {
+            if let Some(b) = self.results_rx.try_recv() {
+                self.completed.push_back(b);
+            }
         }
-        self.results_rx.try_recv()
+        if !d.seal_synced(self.completed.front()?.epoch) {
+            return None;
+        }
+        let b = self.completed.pop_front().expect("front exists");
+        d.ack(b.epoch);
+        Some(b)
     }
 
     /// Closes admission, flushes every in-flight event through the pipeline
@@ -534,6 +865,11 @@ impl StreamServer {
     /// never drops an admitted event) — joins the workers, and returns the
     /// aggregate report.  Completed batches (including those that finish
     /// during the flush) remain available via [`Self::poll`].
+    ///
+    /// With durability on, drain additionally flushes and fsyncs the WAL
+    /// tail — *before* propagating a worker panic, so even a poisoned
+    /// pipeline leaves the log recoverable — and, on an orderly shutdown,
+    /// writes a final clean snapshot of the drained state.
     ///
     /// # Panics
     /// Propagates a worker panic (e.g. an epoch-order violation).
@@ -553,10 +889,35 @@ impl StreamServer {
         while let Some(b) = self.results_rx.try_recv() {
             self.completed.push_back(b);
         }
-        for w in self.workers.drain(..) {
+        if let Some(d) = &self.durability {
+            // The pipeline workers are done appending and the reorder worker
+            // has released every delivery gate: stop the group-commit syncer
+            // (it flushes any still-pending seal requests on its way out)…
+            d.shutdown_seal_sync();
+            // …then make the whole tail durable before any panic can
+            // propagate.  (A frozen WAL — crash injection — no-ops this, as
+            // a real death would.)
+            d.wal.flush(true).expect("drain: WAL flush failed");
+        }
+        for w in self
+            .wal_sync
+            .take()
+            .into_iter()
+            .chain(self.workers.drain(..))
+        {
             if let Err(panic) = w.join() {
                 std::panic::resume_unwind(panic);
             }
+        }
+        if let Some(d) = &self.durability {
+            // Orderly shutdown: snapshot the fully drained state.  Sealed
+            // epochs not yet polled keep the snapshot `epoch > acked`, so it
+            // only becomes the recovery floor once they are delivered (the
+            // post-drain `poll` acks make it eligible); `floor` is stamped
+            // for the already-fully-delivered case.
+            let epoch = self.next_epoch.load(Ordering::SeqCst);
+            let floor = d.acked() >= epoch;
+            d.snapshot_quiesced(epoch, floor, &self.memory, &self.table);
         }
         self.report()
     }
@@ -618,6 +979,7 @@ impl StreamServer {
             commit_log_clean: log.is_clean(),
             num_shards: self.num_shards,
             gnn_workers: self.gnn_workers,
+            durability: self.durability.as_ref().map(|d| d.stats()),
         }
     }
 
@@ -643,10 +1005,31 @@ impl Drop for StreamServer {
         // Detach rather than join: receivers close as queue senders drop, so
         // the workers exit on their own; joining here could block a panicking
         // caller.  `drain` is the orderly shutdown path.
-        for w in self.workers.drain(..) {
+        for w in self.workers.drain(..).chain(self.wal_sync.take()) {
             drop(w);
         }
+        if let Some(d) = &self.durability {
+            // Release the syncer and any reorder worker waiting on it so the
+            // detached threads can exit.
+            d.shutdown_seal_sync();
+            // Best-effort: push any buffered tail (e.g. post-drain acks) to
+            // disk.  Workers may still be appending, which is fine — flush
+            // is atomic under the writer lock and they flush their own work.
+            let _ = d.wal.flush(true);
+        }
     }
+}
+
+/// Whether a durability directory already contains WAL segments.
+fn has_wal_segments(dir: &std::path::Path) -> bool {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return false;
+    };
+    entries.flatten().any(|e| {
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        name.starts_with("wal-") && name.ends_with(".seg")
+    })
 }
 
 fn spawn(name: &str, f: impl FnOnce() + Send + 'static) -> JoinHandle<()> {
