@@ -254,6 +254,13 @@ struct WalWriter {
     /// silent no-op, so buffered records are lost exactly as they would be
     /// if the process had died.
     frozen: bool,
+    /// Segments retired by rotation whose tails were `write`n but not yet
+    /// `fsync`ed.  The next sync point drains this list along with the
+    /// current segment — without it, a rotation would strand the old
+    /// segment's tail in the page cache forever while every later fsync
+    /// targets only the new file, and the synced watermark could mark seals
+    /// durable that a power loss would erase.
+    pending_sync: Vec<Arc<File>>,
 }
 
 /// Segment file name for a sequence number.
@@ -290,6 +297,21 @@ impl WalWriter {
             self.buf.clear();
         }
         Ok(Some(Arc::clone(&self.file)))
+    }
+
+    /// Flushes and collects *every* handle the caller must fsync to make all
+    /// flushed frames durable: segments retired since the last sync point
+    /// (their tails were written at rotation but not yet synced), then the
+    /// current segment.  Returns an empty list when frozen.
+    fn flush_for_sync(&mut self) -> std::io::Result<Vec<Arc<File>>> {
+        match self.flush_os()? {
+            Some(current) => {
+                let mut handles = std::mem::take(&mut self.pending_sync);
+                handles.push(current);
+                Ok(handles)
+            }
+            None => Ok(Vec::new()),
+        }
     }
 }
 
@@ -333,6 +355,7 @@ impl Wal {
                 file_bytes: 0,
                 buf: Vec::with_capacity(64 << 10),
                 frozen: false,
+                pending_sync: Vec::new(),
             }),
             policy,
             stats: WalStats::default(),
@@ -353,7 +376,7 @@ impl Wal {
     /// record is flushed and fsynced before returning; under the other
     /// policies it becomes durable at the next [`Self::flush`] point.
     pub fn append(&self, rec: &WalRecord) -> std::io::Result<()> {
-        let handle = {
+        let handles = {
             let mut w = self.inner.lock().unwrap();
             if w.frozen {
                 return Ok(());
@@ -373,21 +396,27 @@ impl Wal {
             self.stats.bytes.fetch_add(frame_bytes, Ordering::Relaxed);
             // Rotate once the segment (including what is buffered for it)
             // would exceed its budget.  The whole buffer still lands in the
-            // *current* segment — frames never split across files.
+            // *current* segment — frames never split across files.  The
+            // retiring segment's handle joins the pending-sync list: its
+            // just-written tail is only in the page cache, and the next sync
+            // point must fsync it too, or the synced watermark would cover
+            // bytes a power loss could erase.
             if w.file_bytes + w.buf.len() as u64 >= w.segment_bytes {
-                w.flush_os()?;
+                if let Some(retired) = w.flush_os()? {
+                    w.pending_sync.push(retired);
+                }
                 w.seq += 1;
                 w.file = WalWriter::open_segment(&w.dir, w.seq)?;
                 w.file_bytes = 0;
                 self.stats.rotations.fetch_add(1, Ordering::Relaxed);
             }
             if self.policy == FsyncPolicy::Always {
-                w.flush_os()?
+                w.flush_for_sync()?
             } else {
-                None
+                Vec::new()
             }
         };
-        self.sync_handle(handle)
+        self.sync_handles(handles)
     }
 
     /// Flushes buffered frames to the OS; with `sync` also fsyncs.  The
@@ -396,16 +425,19 @@ impl Wal {
     /// outside the writer lock (see `WalWriter::flush_os`), so appenders
     /// on other threads proceed while this call waits on the disk.
     pub fn flush(&self, sync: bool) -> std::io::Result<()> {
-        let handle = self.inner.lock().unwrap().flush_os()?;
         if sync {
-            self.sync_handle(handle)?;
+            let handles = self.inner.lock().unwrap().flush_for_sync()?;
+            self.sync_handles(handles)?;
+        } else {
+            self.inner.lock().unwrap().flush_os()?;
         }
         Ok(())
     }
 
-    /// `fsync`s a segment handle returned by `flush_os` (outside the lock).
-    fn sync_handle(&self, handle: Option<Arc<File>>) -> std::io::Result<()> {
-        if let Some(f) = handle {
+    /// `fsync`s segment handles collected by `flush_for_sync` (outside the
+    /// lock): rotation-retired segments first, then the current one.
+    fn sync_handles(&self, handles: Vec<Arc<File>>) -> std::io::Result<()> {
+        for f in handles {
             f.sync_data()?;
             self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
@@ -636,6 +668,65 @@ mod tests {
         assert!(rescanned.torn.is_none());
         assert_eq!(rescanned.records, sample_records());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_retired_segments_are_fsynced_at_the_next_sync_point() {
+        // Regression: rotation used to discard the retiring segment's handle
+        // after write(), so its tail was never fsynced — later syncs hit only
+        // the new segment and the group-commit watermark could mark seals
+        // durable whose bytes sat in a retired segment's page cache.  Every
+        // sync point must drain the retired handles too: after R rotations
+        // with no intervening sync, one flush(true) issues exactly R+1
+        // fsyncs (each retired segment, then the current one).
+        let dir = std::env::temp_dir().join(format!("tgnn-wal-rotsync-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Wal::open(&dir, 0, 4096, FsyncPolicy::OnSeal).unwrap();
+        for i in 0..400u64 {
+            wal.append(&WalRecord::Seal {
+                epoch: i,
+                events: vec![(0, ev(i as f64)); 4],
+            })
+            .unwrap();
+        }
+        let rotations = wal.stats().rotations.load(Ordering::Relaxed);
+        assert!(rotations > 1, "4 KiB segments must rotate");
+        assert_eq!(
+            wal.stats().fsyncs.load(Ordering::Relaxed),
+            0,
+            "OnSeal appends must not fsync on their own"
+        );
+        wal.flush(true).unwrap();
+        assert_eq!(
+            wal.stats().fsyncs.load(Ordering::Relaxed),
+            rotations + 1,
+            "one sync point must fsync every retired segment plus the current one"
+        );
+        // The pending list is drained, not re-synced: another sync touches
+        // only the current segment.
+        wal.flush(true).unwrap();
+        assert_eq!(wal.stats().fsyncs.load(Ordering::Relaxed), rotations + 2);
+
+        // Under Always, the rotating append itself syncs both files.
+        let dir2 = std::env::temp_dir().join(format!("tgnn-wal-rotsync-a-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let wal2 = Wal::open(&dir2, 0, 4096, FsyncPolicy::Always).unwrap();
+        let mut appends = 0u64;
+        while wal2.stats().rotations.load(Ordering::Relaxed) == 0 {
+            wal2.append(&WalRecord::Seal {
+                epoch: appends,
+                events: vec![(0, ev(appends as f64)); 4],
+            })
+            .unwrap();
+            appends += 1;
+        }
+        assert_eq!(
+            wal2.stats().fsyncs.load(Ordering::Relaxed),
+            appends + 1,
+            "the rotating append must fsync the retired segment and the new one"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
     }
 
     #[test]

@@ -123,7 +123,9 @@ pub struct TenantSpec {
     /// lose the event ([`AdmissionCounters::dropped_throttled`]).
     pub rate_eps: Option<f64>,
     /// Token-bucket capacity (maximum burst, events).  `None` defaults to
-    /// one second's worth of tokens (`max(rate_eps, 1)`).
+    /// one second's worth of tokens (`max(rate_eps, 1)`).  Clamped to at
+    /// least 1 — admission spends a whole token per event, so a smaller
+    /// bucket could never admit anything.
     pub rate_burst: Option<f64>,
 }
 
@@ -182,21 +184,28 @@ impl TenantSpec {
     /// Sets the token-bucket burst capacity in events (builder style).
     ///
     /// # Panics
-    /// Panics if `burst` is not finite and positive.
+    /// Panics if `burst` is not finite or is below 1.0: admission spends a
+    /// whole token per event, and `refill_tokens` caps the bucket at the
+    /// burst — a capacity under one token could never be spent, so the
+    /// tenant would block (or drop) forever.
     pub fn with_rate_burst(mut self, burst: f64) -> Self {
         assert!(
-            burst.is_finite() && burst > 0.0,
-            "TenantSpec: rate_burst must be finite and positive"
+            burst.is_finite() && burst >= 1.0,
+            "TenantSpec: rate_burst must be finite and >= 1 (admission needs a whole token per event)"
         );
         self.rate_burst = Some(burst);
         self
     }
 
     /// Effective bucket capacity: the explicit burst, or one second's worth
-    /// of tokens (at least 1).
+    /// of tokens — clamped to at least 1 either way, because a bucket that
+    /// can never hold a whole token can never admit anything (the clamp
+    /// covers a `rate_burst` field written directly, bypassing the
+    /// builder's assert).
     pub(crate) fn effective_burst(&self) -> f64 {
         self.rate_burst
-            .unwrap_or_else(|| self.rate_eps.unwrap_or(1.0).max(1.0))
+            .unwrap_or_else(|| self.rate_eps.unwrap_or(1.0))
+            .max(1.0)
     }
 }
 
@@ -902,6 +911,29 @@ mod tests {
         let (_, c) = ac.tenant_snapshot(0);
         assert_eq!(c.dropped_throttled, 1);
         assert_eq!(c.dropped_oldest, 0, "rate drops are not queue evictions");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate_burst must be finite and >= 1")]
+    fn sub_token_burst_is_rejected_by_the_builder() {
+        // A burst in (0, 1) clamps the bucket below one token forever:
+        // Block/Late tenants would wait at submit indefinitely and drop
+        // tenants would shed every event.
+        let _ = TenantSpec::new("t")
+            .with_rate_eps(10.0)
+            .with_rate_burst(0.5);
+    }
+
+    #[test]
+    fn effective_burst_clamps_direct_field_writes_to_one_token() {
+        // The pub field can bypass the builder's assert; the clamp keeps the
+        // tenant able to earn a whole token regardless.
+        let mut spec = TenantSpec::new("t").with_rate_eps(10.0);
+        spec.rate_burst = Some(0.25);
+        assert_eq!(spec.effective_burst(), 1.0);
+        // The rate_eps-derived default is clamped the same way.
+        let slow = TenantSpec::new("slow").with_rate_eps(0.01);
+        assert_eq!(slow.effective_burst(), 1.0);
     }
 
     #[test]

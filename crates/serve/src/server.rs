@@ -69,8 +69,14 @@ pub struct ServeConfig {
     /// Opt-in durability: write-ahead log of admission outcomes plus
     /// checksummed snapshots at epoch barriers, enabling
     /// [`StreamServer::recover`] to resume bit-identically after a crash.
-    /// `None` (the default) is the bit-for-bit legacy path — no logging, no
-    /// snapshots, no I/O on any hot path.
+    /// `None` (the default) performs no logging, no snapshots, and no I/O
+    /// on any hot path, and single-tenant served results are bit-for-bit
+    /// the pre-durability server's.  One behaviour is shared by both
+    /// settings: the batcher restores chronological order *inside* each
+    /// multi-tenant sealed batch (stable sort, so per-tenant order is
+    /// preserved), because the engine consumes every batch as a
+    /// chronological stream — the weighted-fair cross-tenant interleave
+    /// alone does not guarantee that, durable or not.
     pub durability: Option<DurabilityConfig>,
 }
 
