@@ -1,0 +1,393 @@
+//! Log-linear histogram with a fixed bucket layout.
+//!
+//! Layout (HdrHistogram-style, `SUB_BITS = 4`): values below 16 get exact
+//! unit buckets; above that, each power-of-two octave is split into 16
+//! linear sub-buckets, so a bucket's width is at most 1/16 of its lower
+//! bound and any recorded value is reproduced to within 6.25 % by its
+//! bucket's upper bound. The layout is a pure function of the value — no
+//! per-instance configuration — which makes snapshots from different
+//! histograms mergeable bucket-by-bucket and lets percentile queries run
+//! without allocating.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Sub-bucket resolution: each octave is split into `2^SUB_BITS` buckets.
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+/// Values at or above `2^MAX_EXP` clamp into the last bucket
+/// (`2^40` ns ≈ 18 minutes — far beyond any latency this crate records).
+const MAX_EXP: u32 = 40;
+
+/// Total number of buckets in the fixed layout.
+pub const NUM_BUCKETS: usize = SUB + (MAX_EXP as usize - SUB_BITS as usize) * SUB;
+
+/// Maps a value to its bucket index. Exact below 16; log-linear above.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    if msb >= MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let shift = msb - SUB_BITS;
+    // Top SUB_BITS+1 bits of v, minus the implicit leading 1 at position
+    // SUB_BITS, selects the linear sub-bucket inside the octave.
+    let sub = (v >> shift) as usize - SUB;
+    SUB + shift as usize * SUB + sub
+}
+
+/// Inclusive `[lo, hi]` value range covered by bucket `i`. The last bucket
+/// also absorbs every value above `hi` (the clamp bucket).
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < NUM_BUCKETS, "bucket index {i} out of range");
+    if i < SUB {
+        return (i as u64, i as u64);
+    }
+    let b = i - SUB;
+    let shift = (b / SUB) as u32;
+    let sub = (b % SUB) as u64;
+    let lo = (SUB as u64 + sub) << shift;
+    (lo, lo + (1u64 << shift) - 1)
+}
+
+/// A concurrent log-linear histogram. Cloning shares the buckets; recording
+/// is a single relaxed `fetch_add` on the value's bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Arc<[AtomicU64]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            buckets: buckets.into(),
+        }
+    }
+
+    /// Records one sample. One relaxed atomic op; never allocates.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples (sums the buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Nearest-rank percentile (`q` in `[0, 1]`), answered as the upper
+    /// bound of the bucket holding the rank — within 6.25 % of the exact
+    /// sample. Two relaxed passes over the fixed bucket array; no
+    /// allocation, so it is safe to call from a sampler on the hot path.
+    /// Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+
+    /// Copies the buckets into an owned, mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An owned copy of a histogram's buckets. Because every histogram shares
+/// the same fixed layout, snapshots merge by element-wise addition —
+/// an associative, commutative operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    counts: Vec<u64>,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Adds `other`'s buckets into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Nearest-rank percentile; same contract as [`Histogram::percentile`].
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bounds(i).1;
+            }
+        }
+        bucket_bounds(NUM_BUCKETS - 1).1
+    }
+
+    /// Approximate mean using bucket midpoints. Returns 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                let (lo, hi) = bucket_bounds(i);
+                sum += c as f64 * ((lo + hi) as f64 / 2.0);
+            }
+        }
+        sum / total as f64
+    }
+
+    /// Largest non-empty bucket's upper bound (an upper estimate of the
+    /// maximum recorded sample). Returns 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| bucket_bounds(i).1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic xorshift64* PRNG — the crate is dependency-free, so
+    /// property tests bring their own randomness.
+    struct Rng(u64);
+    impl Rng {
+        fn new(seed: u64) -> Self {
+            Rng(seed.max(1))
+        }
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+
+    #[test]
+    fn buckets_are_exact_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_contain_their_values() {
+        let mut rng = Rng::new(42);
+        for _ in 0..200_000 {
+            // Spread values across all magnitudes, including beyond the clamp.
+            let v = rng.next() >> (rng.next() % 64) as u32;
+            let i = bucket_index(v);
+            let (lo, hi) = bucket_bounds(i);
+            if i == NUM_BUCKETS - 1 {
+                assert!(v >= lo, "clamp bucket must still lower-bound {v}");
+            } else {
+                assert!(
+                    lo <= v && v <= hi,
+                    "value {v} outside bucket {i} [{lo}, {hi}]"
+                );
+                // Relative width bound: hi/lo ≤ 1 + 1/16 for log-linear buckets.
+                if lo >= 16 {
+                    assert!(hi - lo <= lo / 16, "bucket {i} too wide: [{lo}, {hi}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_tile_the_axis() {
+        // Consecutive buckets must tile [0, 2^40) with no gaps or overlaps.
+        for i in 0..NUM_BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo_next, _) = bucket_bounds(i + 1);
+            assert_eq!(
+                hi + 1,
+                lo_next,
+                "gap/overlap between buckets {i} and {}",
+                i + 1
+            );
+        }
+        // Spot-check monotonicity of the index function across boundaries.
+        let mut rng = Rng::new(7);
+        for _ in 0..100_000 {
+            let v = rng.next() >> (rng.next() % 40) as u32;
+            assert!(bucket_index(v) <= bucket_index(v + 1));
+        }
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut rng = Rng::new(11);
+        let h = Histogram::new();
+        for _ in 0..10_000 {
+            h.record(rng.next() % 1_000_000);
+        }
+        let mut prev = 0;
+        for k in 0..=100 {
+            let p = h.percentile(k as f64 / 100.0);
+            assert!(
+                p >= prev,
+                "percentile not monotone at q={}",
+                k as f64 / 100.0
+            );
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |seed: u64| {
+            let mut rng = Rng::new(seed);
+            let h = Histogram::new();
+            for _ in 0..5_000 {
+                h.record(rng.next() % 100_000);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(1), mk(2), mk(3));
+        // (a + b) + c
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        // a + (b + c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // b + a == a + b
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab, ba);
+        assert_eq!(ab_c.count(), a.count() + b.count() + c.count());
+    }
+
+    #[test]
+    fn percentile_error_bound_vs_exact_sort() {
+        // Across seeds × distributions, the histogram percentile (the
+        // bucket's upper bound) must sit in [exact, exact * (1 + 1/16)].
+        for seed in [3u64, 17, 99, 1234] {
+            for dist in 0..4 {
+                let mut rng = Rng::new(seed * 1000 + dist);
+                let samples: Vec<u64> = (0..8_192)
+                    .map(|_| match dist {
+                        0 => rng.next() % 10_000,           // uniform
+                        1 => 1 + rng.next() % 16,           // tiny (exact buckets)
+                        2 => (rng.next() % 64).pow(3),      // power-law-ish
+                        _ => 50_000 + (rng.next() % 1_000), // narrow offset band
+                    })
+                    .collect();
+                let h = Histogram::new();
+                for &s in &samples {
+                    h.record(s);
+                }
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+                    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+                    let exact = sorted[rank - 1];
+                    let got = h.percentile(q);
+                    assert!(
+                        got >= exact && got <= exact + exact / 16,
+                        "seed {seed} dist {dist} q {q}: exact {exact}, hist {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.percentile(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(0.99), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0);
+    }
+
+    #[test]
+    fn concurrent_hammer_from_eight_threads() {
+        let h = Histogram::new();
+        let per_thread = 100_000u64;
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    let mut rng = Rng::new(t + 1);
+                    for _ in 0..per_thread {
+                        h.record(rng.next() % 1_000_000);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        assert_eq!(h.count(), 8 * per_thread);
+        // The concurrent result must equal a single-threaded replay of the
+        // same eight streams — counters lose nothing under contention.
+        let reference = Histogram::new();
+        for t in 0..8u64 {
+            let mut rng = Rng::new(t + 1);
+            for _ in 0..per_thread {
+                reference.record(rng.next() % 1_000_000);
+            }
+        }
+        assert_eq!(h.snapshot(), reference.snapshot());
+    }
+}

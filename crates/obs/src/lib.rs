@@ -1,0 +1,30 @@
+//! `tgnn-obs`: dependency-free observability primitives for the serve pipeline.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`Counter`] / [`Gauge`] / [`Registry`] — lock-free scalar metrics with
+//!   static handle registration: a handle is grabbed once at pipeline spawn
+//!   and recording a sample afterwards is a single relaxed atomic op.
+//! * [`Histogram`] — a log-linear histogram with a *fixed* bucket layout
+//!   (16 sub-buckets per octave, ≤ 6.25 % relative error), so snapshots
+//!   taken on different threads or machines are mergeable bucket-by-bucket
+//!   and percentile queries never allocate.
+//! * [`FlightRecorder`] — a bounded seqlock ring buffer of
+//!   `(stage, worker, epoch, enter/exit, tick)` records. Writers never
+//!   block and never allocate; a reader can dump a consistent view of the
+//!   last N records at any time — including after a worker panicked — which
+//!   is what makes post-mortem per-stage timelines possible.
+//!
+//! The crate has no dependencies (not even on the rest of the workspace) so
+//! that instrumentation can be threaded through any layer without dragging
+//! the model stack along.
+
+#![warn(missing_docs)]
+
+mod flight;
+mod hist;
+mod registry;
+
+pub use flight::{FlightRecord, FlightRecorder, SpanKind};
+pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};

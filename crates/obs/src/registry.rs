@@ -1,0 +1,269 @@
+//! Lock-free scalar metrics (counters and gauges) and a named registry.
+//!
+//! Handles are cheap `Arc` clones registered once — at pipeline spawn — and
+//! recorded to with a single relaxed atomic op afterwards. The registry's
+//! mutex is touched only at registration and snapshot time, never on the
+//! record path.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::hist::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing counter. Cloning shares the underlying cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Creates a standalone counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one. One relaxed atomic op.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`. One relaxed atomic op.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways. Cloning shares the cell.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Creates a standalone gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics. Registration returns a handle that is
+/// recorded to without touching the registry again; `snapshot` walks the
+/// name table under a short lock and reads every cell relaxed.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-fetches) a counter under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut entries = self.entries.lock().unwrap();
+        for (n, m) in entries.iter() {
+            if n == name {
+                if let Metric::Counter(c) = m {
+                    return c.clone();
+                }
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
+        let c = Counter::new();
+        entries.push((name.to_string(), Metric::Counter(c.clone())));
+        c
+    }
+
+    /// Registers (or re-fetches) a gauge under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut entries = self.entries.lock().unwrap();
+        for (n, m) in entries.iter() {
+            if n == name {
+                if let Metric::Gauge(g) = m {
+                    return g.clone();
+                }
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
+        let g = Gauge::new();
+        entries.push((name.to_string(), Metric::Gauge(g.clone())));
+        g
+    }
+
+    /// Registers (or re-fetches) a histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut entries = self.entries.lock().unwrap();
+        for (n, m) in entries.iter() {
+            if n == name {
+                if let Metric::Histogram(h) = m {
+                    return h.clone();
+                }
+                panic!("metric {name:?} already registered with a different type");
+            }
+        }
+        let h = Histogram::new();
+        entries.push((name.to_string(), Metric::Histogram(h.clone())));
+        h
+    }
+
+    /// Reads every registered metric. Values from concurrent writers may be
+    /// slightly stale relative to each other; each individual value is exact.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries = self.entries.lock().unwrap();
+        let mut snap = RegistrySnapshot::default();
+        for (name, m) in entries.iter() {
+            match m {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snap
+    }
+}
+
+/// A point-in-time copy of a [`Registry`]. Snapshots with the same metric
+/// names merge element-wise (counters add, gauges take the latest, histograms
+/// merge bucket-by-bucket).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// Merges `other` into `self`: counters add, gauges are overwritten by
+    /// `other`, histograms merge bucket-wise. Metrics present only in one
+    /// side are kept as-is.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += v,
+                None => self.counters.push((name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine = *v,
+                None => self.gauges.push((name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(h),
+                None => self.histograms.push((name.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition. Histograms
+    /// are rendered summary-style (`{quantile="..."}` series plus `_count`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for q in [0.5, 0.9, 0.99] {
+                out.push_str(&format!("{name}{{quantile=\"{q}\"}} {}\n", h.percentile(q)));
+            }
+            out.push_str(&format!("{name}_count {}\n", h.count()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("events");
+        let g = r.gauge("depth");
+        c.add(3);
+        c.inc();
+        g.set(7);
+        g.add(-2);
+        // Re-fetching by name returns the same cell.
+        assert_eq!(r.counter("events").get(), 4);
+        assert_eq!(r.gauge("depth").get(), 5);
+        let snap = r.snapshot();
+        assert_eq!(snap.counters, vec![("events".to_string(), 4)]);
+        assert_eq!(snap.gauges, vec![("depth".to_string(), 5)]);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters() {
+        let r1 = Registry::new();
+        r1.counter("x").add(10);
+        let r2 = Registry::new();
+        r2.counter("x").add(5);
+        r2.counter("y").add(1);
+        let mut a = r1.snapshot();
+        a.merge(&r2.snapshot());
+        assert_eq!(
+            a.counters,
+            vec![("x".to_string(), 15), ("y".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_type_lines() {
+        let r = Registry::new();
+        r.counter("tgnn_events_total").add(2);
+        r.histogram("tgnn_latency_us").record(100);
+        let text = r.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE tgnn_events_total counter"));
+        assert!(text.contains("tgnn_events_total 2"));
+        assert!(text.contains("tgnn_latency_us_count 1"));
+        assert!(text.contains("quantile=\"0.99\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("m");
+        r.gauge("m");
+    }
+}

@@ -640,15 +640,26 @@ impl AdmissionControl {
 pub(crate) fn scheduler_loop(
     admission: std::sync::Arc<AdmissionControl>,
     tx: crate::queue::Sender<AdmittedEvent>,
+    obs: crate::metrics::StageObs,
 ) {
     let mut burst = Vec::new();
+    let mut bursts = 0u64;
     while admission.next_burst(&mut burst) {
+        // Scheduler spans are pre-epoch (no batch exists yet), so they
+        // carry epoch 0; one span covers forwarding one fair burst.  An
+        // unpaced feed degenerates to one-event bursts, so the timeline
+        // write is sampled (1 in 64) — busy time still counts every burst.
+        let record = bursts.is_multiple_of(64);
+        bursts += 1;
+        let span = obs.enter_sampled(0, record);
         for ev in burst.drain(..) {
             if tx.send(ev).is_err() {
                 admission.close();
+                obs.exit_sampled(0, span, record);
                 return;
             }
         }
+        obs.exit_sampled(0, span, record);
     }
     // Closed and fully drained: dropping `tx` seals the batcher's tail.
 }

@@ -23,9 +23,10 @@
 //!   `commit_epoch_with` observers and written *after* a full WAL
 //!   flush+fsync, so a snapshot never runs ahead of the durable log.
 
+use crate::metrics::DurabilityObs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 use tgnn_core::ShardedMemory;
 use tgnn_durable::{
@@ -118,6 +119,10 @@ pub(crate) struct Durability {
     /// The in-flight background snapshot write, if any (see
     /// [`Self::spawn_snapshot_write`]).  At most one at a time.
     pending_snapshot: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Span/latency recording handles of the syncer and snapshot workers,
+    /// attached by the server after the hub exists (the durability handle
+    /// is constructed first) and before any durability worker runs.
+    obs: OnceLock<DurabilityObs>,
 }
 
 /// Shared state of the `OnSeal` group-commit protocol.
@@ -156,7 +161,15 @@ impl Durability {
             seal_req: Condvar::new(),
             seal_done: Condvar::new(),
             pending_snapshot: Mutex::new(None),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Attaches the observability handles (idempotent; later calls lose).
+    /// Called by `StreamServer::build` between hub construction and worker
+    /// spawn; without it the durability workers simply record nothing.
+    pub fn set_obs(&self, obs: DurabilityObs) {
+        let _ = self.obs.set(obs);
     }
 
     /// Batcher-side half of seal group commit: make epoch `epoch`'s freshly
@@ -242,11 +255,20 @@ impl Durability {
                 }
                 s.requested
             };
+            // Span = one group commit, tagged with the highest epoch it
+            // covers; the fsync latency additionally feeds the histogram.
+            let span = self.obs.get().map(|o| (o, o.syncer.enter(target)));
             if let Err(e) = self.wal.flush(true) {
                 // Release waiters before unwinding so the reorder worker
                 // cannot hang on a dead syncer.
                 self.shutdown_seal_sync();
                 panic!("wal-sync: WAL flush failed: {e}");
+            }
+            if let Some((o, span)) = span {
+                if let Some(t0) = span {
+                    o.fsync_us.record(t0.elapsed().as_micros() as u64);
+                }
+                o.syncer.exit(target, span);
             }
             let mut s = self.seal_sync.lock().unwrap();
             s.synced = s.synced.max(target);
@@ -335,6 +357,7 @@ impl Durability {
         nbr: Vec<Vec<u8>>,
     ) {
         let t0 = Instant::now();
+        let span = self.obs.get().map(|o| (o, o.snap.enter(epoch)));
         self.wal
             .flush(true)
             .expect("durability: WAL flush before snapshot failed");
@@ -354,6 +377,9 @@ impl Durability {
         self.snapshots.fetch_add(1, Ordering::Relaxed);
         self.last_snapshot_epoch.store(epoch, Ordering::Relaxed);
         *self.snapshot_ms_total.lock().unwrap() += t0.elapsed().as_secs_f64() * 1e3;
+        if let Some((o, span)) = span {
+            o.snap.exit(epoch, span);
+        }
     }
 
     /// Writes an interval snapshot on a background thread.  The *capture* —

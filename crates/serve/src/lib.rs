@@ -75,12 +75,16 @@
 
 pub mod admission;
 pub mod durability;
+pub mod metrics;
 pub mod pipeline;
 pub mod queue;
 pub mod server;
 
 pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
 pub use durability::{DurabilityStats, RecoveryReport};
+pub use metrics::{
+    render_flight_timeline, MetricsHub, MetricsLogger, MetricsSnapshot, SpanRecord, StageId,
+};
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
 pub use server::{
@@ -88,3 +92,4 @@ pub use server::{
 };
 pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 pub use tgnn_durable::{wal_fault_hook, DurabilityConfig, DurableError, FsyncPolicy, WalFaultHook};
+pub use tgnn_obs::SpanKind;

@@ -1,0 +1,1077 @@
+//! Live observability of the serve pipeline: stage spans, queue depths,
+//! latency histograms, and the flight recorder.
+//!
+//! Everything here is *continuous* — unlike [`ServeReport`](crate::server::ServeReport),
+//! which is a drain-time artifact, [`StreamServer::metrics`](crate::StreamServer::metrics)
+//! can be called at any moment (under load, after a graceful drain, or while
+//! the pipeline is unwinding from a worker panic) and assembles a typed
+//! [`MetricsSnapshot`] from lock-free counters.  The recording side is built
+//! on `tgnn-obs`: every worker gets a `StageObs` handle at spawn, and each
+//! epoch's pass through a stage costs two `Instant` reads, two relaxed
+//! counter adds, and two flight-recorder ring writes — measured at ≤ 2 % of
+//! `serve_bench` throughput, and a handful of branch-predicted no-ops with
+//! [`ServeConfig::metrics`](crate::server::ServeConfig::metrics) off.
+//!
+//! The **flight recorder** is the post-mortem half: a bounded seqlock ring
+//! shared by `Arc`, so it survives `UnwindPoolOnPanic` and the epoch-gate
+//! poisons.  After a GNN worker dies mid-epoch, [`MetricsHub::flight_dump`]
+//! still returns the poisoned epoch's partial timeline — the `Enter` with no
+//! matching `Exit` pinpoints the stage that was holding the epoch.
+
+use crate::admission::AdmissionControl;
+use crate::durability::Durability;
+use crate::pipeline::Collector;
+use crate::queue::QueueStats;
+use crate::server::LatencySummary;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tgnn_core::profiling::{Stage, StageTimings};
+use tgnn_obs::{Counter, FlightRecorder, Histogram, SpanKind};
+
+pub use crate::admission::AdmissionCounters;
+
+/// The pipeline stages visible to the flight recorder and the stage table.
+///
+/// `Deliver` is a point event (the `poll` handoff to the caller), not a
+/// worker; every other variant names one worker loop (`Gnn` covers the whole
+/// data-parallel pool — records carry the worker index).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StageId {
+    /// Weighted-fair admission scheduler (pre-epoch: spans carry epoch 0).
+    Scheduler,
+    /// Micro-batcher (seals epochs; spans cover sort + WAL append + send).
+    Batcher,
+    /// Neighbor sampler.
+    Sampler,
+    /// Memory/GRU stage (also gathers and dispatches the GNN sub-jobs).
+    Memory,
+    /// Data-parallel GNN pool worker.
+    Gnn,
+    /// State write-back / epoch committer.
+    Update,
+    /// Part merge + epoch reorder.
+    Reorder,
+    /// WAL group-commit fsync worker.
+    WalSync,
+    /// Background snapshot writer.
+    SnapWriter,
+    /// Result handed to the caller by `poll` (a `Mark`, not a span).
+    Deliver,
+}
+
+/// Number of [`StageId`] variants (flight-recorder stage codes are indices).
+pub const NUM_STAGES: usize = 10;
+
+/// The worker stages (everything but `Deliver`), in pipeline order.
+pub(crate) const WORKER_STAGES: [StageId; 9] = [
+    StageId::Scheduler,
+    StageId::Batcher,
+    StageId::Sampler,
+    StageId::Memory,
+    StageId::Gnn,
+    StageId::Update,
+    StageId::Reorder,
+    StageId::WalSync,
+    StageId::SnapWriter,
+];
+
+impl StageId {
+    /// Stable human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            StageId::Scheduler => "scheduler",
+            StageId::Batcher => "batcher",
+            StageId::Sampler => "sampler",
+            StageId::Memory => "memory",
+            StageId::Gnn => "gnn",
+            StageId::Update => "update",
+            StageId::Reorder => "reorder",
+            StageId::WalSync => "wal-sync",
+            StageId::SnapWriter => "snap-writer",
+            StageId::Deliver => "deliver",
+        }
+    }
+
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            StageId::Scheduler => 0,
+            StageId::Batcher => 1,
+            StageId::Sampler => 2,
+            StageId::Memory => 3,
+            StageId::Gnn => 4,
+            StageId::Update => 5,
+            StageId::Reorder => 6,
+            StageId::WalSync => 7,
+            StageId::SnapWriter => 8,
+            StageId::Deliver => 9,
+        }
+    }
+
+    pub(crate) fn from_code(c: u8) -> Option<StageId> {
+        Some(match c {
+            0 => StageId::Scheduler,
+            1 => StageId::Batcher,
+            2 => StageId::Sampler,
+            3 => StageId::Memory,
+            4 => StageId::Gnn,
+            5 => StageId::Update,
+            6 => StageId::Reorder,
+            7 => StageId::WalSync,
+            8 => StageId::SnapWriter,
+            9 => StageId::Deliver,
+            _ => return None,
+        })
+    }
+}
+
+/// Per-worker recording handle, registered once at pipeline spawn.  With
+/// metrics off every method is a branch-predicted no-op; with metrics on,
+/// an `enter`/`exit` pair costs two ring writes plus two relaxed adds.
+#[derive(Clone)]
+pub(crate) struct StageObs {
+    enabled: bool,
+    stage: StageId,
+    worker: u16,
+    recorder: Arc<FlightRecorder>,
+    busy_ns: Counter,
+    batches: Counter,
+}
+
+impl StageObs {
+    /// Marks the start of this worker's work on `epoch` (0 = pre-epoch).
+    #[inline]
+    pub fn enter(&self, epoch: u64) -> Option<Instant> {
+        self.enter_sampled(epoch, true)
+    }
+
+    /// Marks the end of the span opened by [`Self::enter`] — including the
+    /// downstream handoff, so busy time counts backpressure blocking (idle
+    /// is strictly "waiting for input").
+    #[inline]
+    pub fn exit(&self, epoch: u64, span: Option<Instant>) {
+        self.exit_sampled(epoch, span, true);
+    }
+
+    /// [`Self::enter`] with the flight-ring write gated on `record`.  Busy
+    /// time and batch counts still accumulate on every call — only the
+    /// timeline event is skipped.  For stages whose unit of work is one
+    /// *event* rather than one epoch (the admission scheduler forwarding
+    /// per-event bursts), recording every span would both dominate the
+    /// stage's own cost and flood the bounded ring, evicting the per-epoch
+    /// timeline the recorder exists to keep.
+    #[inline]
+    pub fn enter_sampled(&self, epoch: u64, record: bool) -> Option<Instant> {
+        if !self.enabled {
+            return None;
+        }
+        if record {
+            self.recorder
+                .record(self.stage.code(), self.worker, epoch, SpanKind::Enter);
+        }
+        Some(Instant::now())
+    }
+
+    /// [`Self::exit`] with the flight-ring write gated on `record` (pair it
+    /// with the same `record` the matching [`Self::enter_sampled`] used, or
+    /// the dump shows unbalanced spans).
+    #[inline]
+    pub fn exit_sampled(&self, epoch: u64, span: Option<Instant>, record: bool) {
+        let Some(t0) = span else { return };
+        self.busy_ns.add(t0.elapsed().as_nanos() as u64);
+        self.batches.inc();
+        if record {
+            self.recorder
+                .record(self.stage.code(), self.worker, epoch, SpanKind::Exit);
+        }
+    }
+
+    /// Whether recording is compiled in *and* enabled for this session.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
+/// The durability workers' observability bundle, attached to the shared
+/// [`Durability`] handle after construction (it is created before the hub).
+pub(crate) struct DurabilityObs {
+    /// Span handle of the `tgnn-serve-wal-sync` worker.
+    pub syncer: StageObs,
+    /// Span handle of the `tgnn-serve-snap` writer.
+    pub snap: StageObs,
+    /// Latency of each group-commit `fsync`, in microseconds.
+    pub fsync_us: Histogram,
+}
+
+/// Construction parameters of [`MetricsHub`] (internal).
+pub(crate) struct HubConfig {
+    pub enabled: bool,
+    pub flight_capacity: usize,
+    pub queues: Vec<Box<dyn Fn() -> QueueStats + Send + Sync>>,
+    pub collector: Arc<Collector>,
+    pub admission: Arc<AdmissionControl>,
+    pub durability: Option<Arc<Durability>>,
+    pub next_epoch: Arc<AtomicU64>,
+    pub gnn_workers: usize,
+}
+
+struct HubInner {
+    enabled: bool,
+    started: Instant,
+    recorder: Arc<FlightRecorder>,
+    /// Busy-nanoseconds and completed-batch counters, indexed by
+    /// `StageId::code()`; the GNN pool's workers share one pair.
+    stage_busy_ns: Vec<Counter>,
+    stage_batches: Vec<Counter>,
+    stage_workers: Vec<u16>,
+    /// Seal-to-embeddings latency, recorded by the reorder worker (µs).
+    batch_latency_us: Histogram,
+    /// Group-commit fsync latency, recorded by the WAL syncer (µs).
+    wal_fsync_us: Histogram,
+    queues: Vec<Box<dyn Fn() -> QueueStats + Send + Sync>>,
+    collector: Arc<Collector>,
+    admission: Arc<AdmissionControl>,
+    durability: Option<Arc<Durability>>,
+    next_epoch: Arc<AtomicU64>,
+}
+
+/// Cloneable, `Send + Sync` handle to a server's live metrics.  Obtained
+/// from [`StreamServer::metrics_hub`](crate::StreamServer::metrics_hub); it
+/// does not borrow the server, so a sampler thread (or a panic handler) can
+/// keep snapshotting while the owning thread is busy — or gone.
+#[derive(Clone)]
+pub struct MetricsHub {
+    inner: Arc<HubInner>,
+}
+
+impl MetricsHub {
+    pub(crate) fn new(cfg: HubConfig) -> Self {
+        let mut stage_workers = vec![1u16; NUM_STAGES];
+        stage_workers[StageId::Gnn.code() as usize] = cfg.gnn_workers as u16;
+        MetricsHub {
+            inner: Arc::new(HubInner {
+                enabled: cfg.enabled,
+                started: Instant::now(),
+                recorder: Arc::new(FlightRecorder::new(cfg.flight_capacity)),
+                stage_busy_ns: (0..NUM_STAGES).map(|_| Counter::new()).collect(),
+                stage_batches: (0..NUM_STAGES).map(|_| Counter::new()).collect(),
+                stage_workers,
+                batch_latency_us: Histogram::new(),
+                wal_fsync_us: Histogram::new(),
+                queues: cfg.queues,
+                collector: cfg.collector,
+                admission: cfg.admission,
+                durability: cfg.durability,
+                next_epoch: cfg.next_epoch,
+            }),
+        }
+    }
+
+    /// The recording handle a worker loop carries.
+    pub(crate) fn stage_obs(&self, stage: StageId, worker: u16) -> StageObs {
+        let code = stage.code() as usize;
+        StageObs {
+            enabled: self.inner.enabled,
+            stage,
+            worker,
+            recorder: self.inner.recorder.clone(),
+            busy_ns: self.inner.stage_busy_ns[code].clone(),
+            batches: self.inner.stage_batches[code].clone(),
+        }
+    }
+
+    /// The observability bundle for the durability workers.
+    pub(crate) fn durability_obs(&self) -> DurabilityObs {
+        DurabilityObs {
+            syncer: self.stage_obs(StageId::WalSync, 0),
+            snap: self.stage_obs(StageId::SnapWriter, 0),
+            fsync_us: self.inner.wal_fsync_us.clone(),
+        }
+    }
+
+    /// The reorder worker's seal-to-embeddings latency histogram.
+    pub(crate) fn batch_latency_hist(&self) -> Histogram {
+        self.inner.batch_latency_us.clone()
+    }
+
+    /// Records delivery of an epoch's results to the caller (`poll`).
+    pub(crate) fn record_delivery(&self, epoch: u64) {
+        if self.inner.enabled {
+            self.inner
+                .recorder
+                .record(StageId::Deliver.code(), 0, epoch, SpanKind::Mark);
+        }
+    }
+
+    /// Live per-queue statistics, scheduler→batcher first.
+    pub(crate) fn queue_stats(&self) -> Vec<QueueStats> {
+        self.inner.queues.iter().map(|q| q()).collect()
+    }
+
+    /// Table-I-shaped busy-time breakdown from the worker span counters:
+    /// sampler → `sample`, memory → `memory`, GNN pool (summed) → `gnn`,
+    /// update → `update`.  The serve-path mirror of what
+    /// `InferenceEngine` reports through `core::profiling`.
+    pub(crate) fn stage_timings(&self) -> StageTimings {
+        let busy =
+            |s: StageId| Duration::from_nanos(self.inner.stage_busy_ns[s.code() as usize].get());
+        let mut t = StageTimings::default();
+        t.add(Stage::Sample, busy(StageId::Sampler));
+        t.add(Stage::Memory, busy(StageId::Memory));
+        t.add(Stage::Gnn, busy(StageId::Gnn));
+        t.add(Stage::Update, busy(StageId::Update));
+        t
+    }
+
+    /// Whether this session records metrics (`ServeConfig::metrics`).
+    pub fn enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// Assembles a point-in-time [`MetricsSnapshot`].  Lock-free on the hot
+    /// counters; the queue depths and tenant counters take their short
+    /// registration locks.  Callable at any moment — including while the
+    /// pipeline is poisoned.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = &self.inner;
+        let uptime = inner.started.elapsed();
+        let stages = WORKER_STAGES
+            .iter()
+            .map(|&s| {
+                let code = s.code() as usize;
+                let busy = Duration::from_nanos(inner.stage_busy_ns[code].get());
+                let workers = inner.stage_workers[code];
+                StageSnapshot {
+                    stage: s,
+                    workers,
+                    busy,
+                    batches: inner.stage_batches[code].get(),
+                    busy_frac: if uptime.is_zero() {
+                        0.0
+                    } else {
+                        busy.as_secs_f64() / (uptime.as_secs_f64() * workers as f64)
+                    },
+                }
+            })
+            .collect();
+        let lat = inner.batch_latency_us.snapshot();
+        let us = 1e3; // µs per ms
+        let batch_latency = LatencySummary {
+            mean_ms: lat.mean() / us,
+            p50_ms: lat.percentile(0.50) as f64 / us,
+            p95_ms: lat.percentile(0.95) as f64 / us,
+            p99_ms: lat.percentile(0.99) as f64 / us,
+            max_ms: lat.max() as f64 / us,
+        };
+        let mut admission = AdmissionTotals::default();
+        let mut tenants = Vec::with_capacity(inner.admission.num_tenants());
+        for i in 0..inner.admission.num_tenants() {
+            let (spec, counters) = inner.admission.tenant_snapshot(i);
+            admission.submitted += counters.submitted;
+            admission.admitted += counters.admitted;
+            admission.dropped_newest += counters.dropped_newest;
+            admission.dropped_oldest += counters.dropped_oldest;
+            admission.dropped_throttled += counters.dropped_throttled;
+            admission.blocked_submits += counters.blocked_submits;
+            admission.throttled += counters.throttled;
+            let tc = &inner.collector.tenants[i];
+            tenants.push(TenantMetrics {
+                name: spec.name,
+                counters,
+                served: tc.served.load(Ordering::Relaxed),
+                late: tc.late.load(Ordering::Relaxed),
+            });
+        }
+        let epochs = inner.next_epoch.load(Ordering::SeqCst);
+        let durability = inner.durability.as_ref().map(|d| {
+            let stats = d.stats();
+            let f = inner.wal_fsync_us.snapshot();
+            DurabilityMetrics {
+                snapshot_lag_epochs: epochs.saturating_sub(stats.last_snapshot_epoch),
+                fsync_p50_us: f.percentile(0.50),
+                fsync_p99_us: f.percentile(0.99),
+                fsync_mean_us: f.mean(),
+                stats,
+            }
+        });
+        MetricsSnapshot {
+            enabled: inner.enabled,
+            uptime,
+            epochs,
+            batches_served: inner.collector.batches.load(Ordering::Relaxed) as u64,
+            events_served: inner.collector.events.load(Ordering::Relaxed) as u64,
+            embeddings: inner.collector.embeddings.load(Ordering::Relaxed) as u64,
+            queues: self.queue_stats(),
+            stages,
+            stage_timings: self.stage_timings(),
+            batch_latency,
+            admission,
+            tenants,
+            durability,
+            flight: FlightStats {
+                capacity: inner.recorder.capacity(),
+                recorded: inner.recorder.recorded(),
+                dropped: inner.recorder.dropped(),
+            },
+        }
+    }
+
+    /// Dumps the flight recorder: the last N enter/exit/mark events across
+    /// every worker, in recording order.  Works concurrently with the
+    /// pipeline and after a panic/poison — the ring is shared by `Arc` and
+    /// written with seqlock stores, so no dying worker can corrupt or lock
+    /// it.  A poisoned epoch shows up as an `Enter` without a matching
+    /// `Exit` on the stage that was holding it.
+    pub fn flight_dump(&self) -> Vec<SpanRecord> {
+        self.inner
+            .recorder
+            .dump()
+            .into_iter()
+            .filter_map(|r| {
+                Some(SpanRecord {
+                    seq: r.seq,
+                    at: Duration::from_nanos(r.tick_ns),
+                    stage: StageId::from_code(r.stage)?,
+                    worker: r.worker,
+                    epoch: r.epoch,
+                    kind: r.kind,
+                })
+            })
+            .collect()
+    }
+
+    /// Spawns a sampler thread that appends one [`MetricsSnapshot`] JSON
+    /// line to `path` every `interval` (plus a final line at stop), for
+    /// offline timeline analysis.  The file is created (truncated) up
+    /// front so configuration errors surface here, not in the thread.
+    /// Dropping the returned [`MetricsLogger`] stops the thread and joins
+    /// it.
+    pub fn spawn_jsonl_sampler(
+        &self,
+        path: &Path,
+        interval: Duration,
+    ) -> std::io::Result<MetricsLogger> {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let stop = Arc::new(AtomicBool::new(false));
+        let hub = self.clone();
+        let flag = stop.clone();
+        let handle = std::thread::Builder::new()
+            .name("tgnn-metrics-sampler".into())
+            .spawn(move || loop {
+                let line = hub.snapshot().to_json_line();
+                let _ = writeln!(file, "{line}");
+                let _ = file.flush();
+                if flag.load(Ordering::Acquire) {
+                    return;
+                }
+                // Sleep in short slices so stop() returns promptly even with
+                // a long sampling interval.
+                let t0 = Instant::now();
+                while t0.elapsed() < interval {
+                    if flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(25).min(interval));
+                }
+            })
+            .expect("metrics: failed to spawn sampler thread");
+        Ok(MetricsLogger {
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+impl std::fmt::Debug for MetricsHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsHub")
+            .field("enabled", &self.inner.enabled)
+            .field("flight_capacity", &self.inner.recorder.capacity())
+            .finish()
+    }
+}
+
+/// Stops the JSONL sampler thread when dropped (writing one final line).
+#[derive(Debug)]
+pub struct MetricsLogger {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsLogger {
+    /// Stops the sampler and waits for its final line to be flushed.
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsLogger {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// One decoded flight-recorder event, with the stage resolved to a
+/// [`StageId`] and the tick converted to a [`Duration`] since pipeline
+/// spawn.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global sequence number (gaps mean ring overwrite).
+    pub seq: u64,
+    /// Time since the pipeline was spawned.
+    pub at: Duration,
+    /// Which stage recorded the event.
+    pub stage: StageId,
+    /// Worker index within the stage (GNN pool workers are 0..N-1).
+    pub worker: u16,
+    /// The epoch the event belongs to (0 = pre-epoch scheduler work).
+    pub epoch: u64,
+    /// Enter, exit, or mark.
+    pub kind: SpanKind,
+}
+
+/// Per-stage slice of a [`MetricsSnapshot`].
+#[derive(Clone, Copy, Debug)]
+pub struct StageSnapshot {
+    /// Which stage.
+    pub stage: StageId,
+    /// Number of workers the stage runs (1 except the GNN pool).
+    pub workers: u16,
+    /// Cumulative busy time across the stage's workers (includes downstream
+    /// backpressure blocking; excludes waiting for input).
+    pub busy: Duration,
+    /// Spans completed (≈ epochs processed; sub-jobs for the GNN pool).
+    pub batches: u64,
+    /// `busy / (uptime × workers)` — the stage's utilization; idle is
+    /// `1 - busy_frac`.
+    pub busy_frac: f64,
+}
+
+/// Admission counters summed over every tenant.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdmissionTotals {
+    /// `submit_for` calls that returned `Ok`.
+    pub submitted: u64,
+    /// Events that entered an ingress queue.
+    pub admitted: u64,
+    /// Drops by [`OverloadPolicy::DropNewest`](tgnn_core::tenancy::OverloadPolicy).
+    pub dropped_newest: u64,
+    /// Evictions by [`OverloadPolicy::DropOldest`](tgnn_core::tenancy::OverloadPolicy).
+    pub dropped_oldest: u64,
+    /// Rate-limit drops (empty token bucket, drop policies).
+    pub dropped_throttled: u64,
+    /// Blocked `submit_for` calls (Block/Late backpressure).
+    pub blocked_submits: u64,
+    /// Rate-limited `submit_for` waits (Block/Late policies).
+    pub throttled: u64,
+}
+
+/// Per-tenant slice of a [`MetricsSnapshot`].
+#[derive(Clone, Debug)]
+pub struct TenantMetrics {
+    /// Display name from the tenant's spec.
+    pub name: String,
+    /// Admission-side counters (see [`AdmissionCounters`]).
+    pub counters: AdmissionCounters,
+    /// Events whose results were delivered.
+    pub served: u64,
+    /// Served events graded late.
+    pub late: u64,
+}
+
+/// Durability slice of a [`MetricsSnapshot`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurabilityMetrics {
+    /// WAL/snapshot lifetime counters (same shape as the serve report's).
+    pub stats: crate::durability::DurabilityStats,
+    /// Epochs sealed since the last completed snapshot — how much WAL
+    /// replay a crash right now would cost.
+    pub snapshot_lag_epochs: u64,
+    /// Median group-commit fsync latency, µs.
+    pub fsync_p50_us: u64,
+    /// p99 group-commit fsync latency, µs.
+    pub fsync_p99_us: u64,
+    /// Mean group-commit fsync latency, µs.
+    pub fsync_mean_us: f64,
+}
+
+/// Flight-recorder occupancy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlightStats {
+    /// Ring capacity in events.
+    pub capacity: usize,
+    /// Events recorded over the session (including overwritten).
+    pub recorded: u64,
+    /// Events lost to ring wrap-around.
+    pub dropped: u64,
+}
+
+/// A typed point-in-time view of the serve pipeline, assembled by
+/// [`StreamServer::metrics`](crate::StreamServer::metrics) /
+/// [`MetricsHub::snapshot`].  Renderable as a human table
+/// ([`Self::render_table`]), Prometheus-style text ([`Self::to_prometheus`]),
+/// or a JSONL line ([`Self::to_json_line`]).
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    /// Whether the session records metrics (`false` ⇒ counters are zeros).
+    pub enabled: bool,
+    /// Time since the pipeline was spawned.
+    pub uptime: Duration,
+    /// Highest epoch assigned so far (warm-up chunks + sealed batches).
+    pub epochs: u64,
+    /// Micro-batches that completed the pipeline.
+    pub batches_served: u64,
+    /// Events in those batches.
+    pub events_served: u64,
+    /// Embeddings produced.
+    pub embeddings: u64,
+    /// Live per-queue statistics (depth is the instantaneous occupancy).
+    pub queues: Vec<QueueStats>,
+    /// Per-stage busy/idle and span counts, pipeline order.
+    pub stages: Vec<StageSnapshot>,
+    /// The Table-I-shaped sample/memory/GNN/update busy breakdown — the
+    /// serve-path counterpart of the engine's `core::profiling` report.
+    pub stage_timings: StageTimings,
+    /// Seal-to-embeddings latency percentiles from the log-linear histogram
+    /// (≤ 6.25 % relative error; `max_ms` is the top non-empty bucket).
+    pub batch_latency: LatencySummary,
+    /// Admission counters summed over tenants (drops broken out by policy).
+    pub admission: AdmissionTotals,
+    /// Per-tenant admission + completion counters.
+    pub tenants: Vec<TenantMetrics>,
+    /// WAL fsync count/latency and snapshot-writer lag; `None` without
+    /// durability.
+    pub durability: Option<DurabilityMetrics>,
+    /// Flight-recorder occupancy.
+    pub flight: FlightStats,
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a human-readable table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!(
+                "uptime {:8.2}s   epochs {}   batches {}   events {}   embeddings {}{}",
+                self.uptime.as_secs_f64(),
+                self.epochs,
+                self.batches_served,
+                self.events_served,
+                self.embeddings,
+                if self.enabled { "" } else { "   [metrics off]" }
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "batch latency  p50 {:.3} ms   p95 {:.3} ms   p99 {:.3} ms   max {:.3} ms",
+                self.batch_latency.p50_ms,
+                self.batch_latency.p95_ms,
+                self.batch_latency.p99_ms,
+                self.batch_latency.max_ms
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "{:<22} {:>5} {:>5} {:>9} {:>10} {:>8}",
+                "queue", "depth", "max", "mean", "pushes", "blocked"
+            ),
+        );
+        for q in &self.queues {
+            push(
+                &mut out,
+                format!(
+                    "{:<22} {:>5} {:>5} {:>9.2} {:>10} {:>8}",
+                    q.name, q.depth, q.max_depth, q.mean_depth, q.pushes, q.blocked_sends
+                ),
+            );
+        }
+        push(
+            &mut out,
+            format!(
+                "{:<22} {:>7} {:>12} {:>7} {:>10}",
+                "stage", "workers", "busy", "busy%", "spans"
+            ),
+        );
+        for s in &self.stages {
+            if s.batches == 0 && s.busy.is_zero() {
+                continue;
+            }
+            push(
+                &mut out,
+                format!(
+                    "{:<22} {:>7} {:>10.3}ms {:>6.1}% {:>10}",
+                    s.stage.label(),
+                    s.workers,
+                    s.busy.as_secs_f64() * 1e3,
+                    s.busy_frac * 100.0,
+                    s.batches
+                ),
+            );
+        }
+        for t in &self.tenants {
+            push(
+                &mut out,
+                format!(
+                    "tenant {:<15} submitted {:>8}  admitted {:>8}  dropped {:>6}  served {:>8}  late {:>6}",
+                    t.name,
+                    t.counters.submitted,
+                    t.counters.admitted,
+                    t.counters.dropped(),
+                    t.served,
+                    t.late
+                ),
+            );
+        }
+        if let Some(d) = &self.durability {
+            push(
+                &mut out,
+                format!(
+                    "wal  records {}  fsyncs {}  fsync p50/p99 {}/{} µs   snapshots {}  lag {} epochs",
+                    d.stats.wal_records,
+                    d.stats.wal_fsyncs,
+                    d.fsync_p50_us,
+                    d.fsync_p99_us,
+                    d.stats.snapshots,
+                    d.snapshot_lag_epochs
+                ),
+            );
+        }
+        push(
+            &mut out,
+            format!(
+                "flight recorder  {} / {} events ({} overwritten)",
+                self.flight.recorded.min(self.flight.capacity as u64),
+                self.flight.capacity,
+                self.flight.dropped
+            ),
+        );
+        out
+    }
+
+    /// Renders the snapshot as Prometheus-style text exposition.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut scalar = |name: &str, kind: &str, v: String| {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
+        };
+        scalar(
+            "tgnn_uptime_seconds",
+            "gauge",
+            format!("{:.3}", self.uptime.as_secs_f64()),
+        );
+        scalar("tgnn_epochs_total", "counter", self.epochs.to_string());
+        scalar(
+            "tgnn_batches_served_total",
+            "counter",
+            self.batches_served.to_string(),
+        );
+        scalar(
+            "tgnn_events_served_total",
+            "counter",
+            self.events_served.to_string(),
+        );
+        scalar(
+            "tgnn_embeddings_total",
+            "counter",
+            self.embeddings.to_string(),
+        );
+        out.push_str("# TYPE tgnn_queue_depth gauge\n");
+        for q in &self.queues {
+            out.push_str(&format!(
+                "tgnn_queue_depth{{queue=\"{}\"}} {}\n",
+                q.name, q.depth
+            ));
+        }
+        out.push_str("# TYPE tgnn_queue_pushes_total counter\n");
+        for q in &self.queues {
+            out.push_str(&format!(
+                "tgnn_queue_pushes_total{{queue=\"{}\"}} {}\n",
+                q.name, q.pushes
+            ));
+        }
+        out.push_str("# TYPE tgnn_queue_blocked_sends_total counter\n");
+        for q in &self.queues {
+            out.push_str(&format!(
+                "tgnn_queue_blocked_sends_total{{queue=\"{}\"}} {}\n",
+                q.name, q.blocked_sends
+            ));
+        }
+        out.push_str("# TYPE tgnn_stage_busy_seconds_total counter\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "tgnn_stage_busy_seconds_total{{stage=\"{}\"}} {:.6}\n",
+                s.stage.label(),
+                s.busy.as_secs_f64()
+            ));
+        }
+        out.push_str("# TYPE tgnn_stage_spans_total counter\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "tgnn_stage_spans_total{{stage=\"{}\"}} {}\n",
+                s.stage.label(),
+                s.batches
+            ));
+        }
+        out.push_str("# TYPE tgnn_batch_latency_ms summary\n");
+        for (q, v) in [
+            (0.5, self.batch_latency.p50_ms),
+            (0.95, self.batch_latency.p95_ms),
+            (0.99, self.batch_latency.p99_ms),
+        ] {
+            out.push_str(&format!(
+                "tgnn_batch_latency_ms{{quantile=\"{q}\"}} {v:.3}\n"
+            ));
+        }
+        out.push_str(&format!(
+            "tgnn_batch_latency_ms_count {}\n",
+            self.batches_served
+        ));
+        out.push_str("# TYPE tgnn_admission_dropped_total counter\n");
+        for (policy, v) in [
+            ("newest", self.admission.dropped_newest),
+            ("oldest", self.admission.dropped_oldest),
+            ("throttled", self.admission.dropped_throttled),
+        ] {
+            out.push_str(&format!(
+                "tgnn_admission_dropped_total{{policy=\"{policy}\"}} {v}\n"
+            ));
+        }
+        let mut scalar = |name: &str, kind: &str, v: String| {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
+        };
+        scalar(
+            "tgnn_admission_submitted_total",
+            "counter",
+            self.admission.submitted.to_string(),
+        );
+        scalar(
+            "tgnn_admission_blocked_submits_total",
+            "counter",
+            self.admission.blocked_submits.to_string(),
+        );
+        out.push_str("# TYPE tgnn_tenant_served_total counter\n");
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tgnn_tenant_served_total{{tenant=\"{}\"}} {}\n",
+                t.name, t.served
+            ));
+        }
+        out.push_str("# TYPE tgnn_tenant_late_total counter\n");
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tgnn_tenant_late_total{{tenant=\"{}\"}} {}\n",
+                t.name, t.late
+            ));
+        }
+        if let Some(d) = &self.durability {
+            let mut scalar = |name: &str, kind: &str, v: String| {
+                out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
+            };
+            scalar(
+                "tgnn_wal_fsyncs_total",
+                "counter",
+                d.stats.wal_fsyncs.to_string(),
+            );
+            scalar(
+                "tgnn_wal_records_total",
+                "counter",
+                d.stats.wal_records.to_string(),
+            );
+            scalar("tgnn_wal_fsync_p99_us", "gauge", d.fsync_p99_us.to_string());
+            scalar(
+                "tgnn_snapshot_lag_epochs",
+                "gauge",
+                d.snapshot_lag_epochs.to_string(),
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as one JSON line (the JSONL sampler format).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push('{');
+        s.push_str(&format!(
+            "\"uptime_s\":{:.3},\"enabled\":{},\"epochs\":{},\"batches\":{},\"events\":{},\"embeddings\":{}",
+            self.uptime.as_secs_f64(),
+            self.enabled,
+            self.epochs,
+            self.batches_served,
+            self.events_served,
+            self.embeddings
+        ));
+        s.push_str(&format!(
+            ",\"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"max\":{:.3}}}",
+            self.batch_latency.p50_ms,
+            self.batch_latency.p95_ms,
+            self.batch_latency.p99_ms,
+            self.batch_latency.max_ms
+        ));
+        s.push_str(",\"queues\":[");
+        for (i, q) in self.queues.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"depth\":{},\"max\":{},\"mean\":{:.3},\"pushes\":{},\"blocked\":{}}}",
+                q.name, q.depth, q.max_depth, q.mean_depth, q.pushes, q.blocked_sends
+            ));
+        }
+        s.push_str("],\"stages\":[");
+        let mut first = true;
+        for st in &self.stages {
+            if st.batches == 0 && st.busy.is_zero() {
+                continue;
+            }
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "{{\"stage\":\"{}\",\"busy_ms\":{:.3},\"busy_frac\":{:.4},\"spans\":{}}}",
+                st.stage.label(),
+                st.busy.as_secs_f64() * 1e3,
+                st.busy_frac,
+                st.batches
+            ));
+        }
+        s.push_str("],\"admission\":{");
+        s.push_str(&format!(
+            "\"submitted\":{},\"admitted\":{},\"dropped_newest\":{},\"dropped_oldest\":{},\"dropped_throttled\":{},\"blocked\":{}}}",
+            self.admission.submitted,
+            self.admission.admitted,
+            self.admission.dropped_newest,
+            self.admission.dropped_oldest,
+            self.admission.dropped_throttled,
+            self.admission.blocked_submits
+        ));
+        s.push_str(",\"tenants\":[");
+        for (i, t) in self.tenants.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"served\":{},\"late\":{},\"dropped\":{}}}",
+                json_escape(&t.name),
+                t.served,
+                t.late,
+                t.counters.dropped()
+            ));
+        }
+        s.push(']');
+        if let Some(d) = &self.durability {
+            s.push_str(&format!(
+                ",\"durability\":{{\"wal_records\":{},\"wal_fsyncs\":{},\"fsync_p50_us\":{},\"fsync_p99_us\":{},\"snapshots\":{},\"snapshot_lag_epochs\":{}}}",
+                d.stats.wal_records,
+                d.stats.wal_fsyncs,
+                d.fsync_p50_us,
+                d.fsync_p99_us,
+                d.stats.snapshots,
+                d.snapshot_lag_epochs
+            ));
+        }
+        s.push_str(&format!(
+            ",\"flight\":{{\"recorded\":{},\"dropped\":{}}}",
+            self.flight.recorded, self.flight.dropped
+        ));
+        s.push('}');
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Renders a flight-recorder dump as a per-epoch, per-stage timeline — the
+/// post-mortem view: each line is one epoch, each segment one stage span
+/// (`enter→exit` in ms since pipeline spawn).  An open segment (`…`) means
+/// the stage entered the epoch and never exited — after a panic, that is
+/// the poisoned stage.
+pub fn render_flight_timeline(records: &[SpanRecord]) -> String {
+    use std::collections::BTreeMap;
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    // epoch → (stage, worker) → (enter, exit) / marks, keeping stage order
+    // of first appearance within the epoch.
+    type Segment = ((StageId, u16), Option<Duration>, Option<Duration>);
+    #[derive(Default)]
+    struct EpochLine {
+        segments: Vec<Segment>,
+        marks: Vec<(StageId, Duration)>,
+    }
+    let mut epochs: BTreeMap<u64, EpochLine> = BTreeMap::new();
+    for r in records {
+        let line = epochs.entry(r.epoch).or_default();
+        match r.kind {
+            SpanKind::Mark => line.marks.push((r.stage, r.at)),
+            SpanKind::Enter => line.segments.push(((r.stage, r.worker), Some(r.at), None)),
+            SpanKind::Exit => {
+                // Close the open segment of this (stage, worker); an exit
+                // whose enter was overwritten by the ring starts a
+                // half-open segment.
+                match line
+                    .segments
+                    .iter_mut()
+                    .rev()
+                    .find(|(k, _, exit)| *k == (r.stage, r.worker) && exit.is_none())
+                {
+                    Some(seg) => seg.2 = Some(r.at),
+                    None => line.segments.push(((r.stage, r.worker), None, Some(r.at))),
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    for (epoch, line) in &epochs {
+        if *epoch == 0 {
+            out.push_str("pre-epoch   ");
+        } else {
+            out.push_str(&format!("epoch {epoch:>5} "));
+        }
+        for ((stage, worker), enter, exit) in &line.segments {
+            let name = if *stage == StageId::Gnn {
+                format!("{}[{}]", stage.label(), worker)
+            } else {
+                stage.label().to_string()
+            };
+            match (enter, exit) {
+                (Some(a), Some(b)) => {
+                    out.push_str(&format!("| {} {:.3}→{:.3} ", name, ms(*a), ms(*b)))
+                }
+                (Some(a), None) => out.push_str(&format!("| {} {:.3}→… ", name, ms(*a))),
+                (None, Some(b)) => out.push_str(&format!("| {} …→{:.3} ", name, ms(*b))),
+                (None, None) => {}
+            }
+        }
+        for (stage, at) in &line.marks {
+            out.push_str(&format!("| {} @{:.3} ", stage.label(), ms(*at)));
+        }
+        out.push('\n');
+    }
+    out
+}

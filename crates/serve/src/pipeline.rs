@@ -58,6 +58,7 @@
 
 use crate::admission::{AdmittedEvent, EventMeta};
 use crate::durability::Durability;
+use crate::metrics::StageObs;
 use crate::queue::{MpmcReceiver, MpmcSender, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -235,6 +236,7 @@ pub(crate) fn batcher_loop(
     deadline: Duration,
     next_epoch: Arc<AtomicU64>,
     durability: Option<Arc<Durability>>,
+    obs: StageObs,
 ) {
     let mut pending: Vec<InteractionEvent> = Vec::new();
     let mut metas: Vec<EventMeta> = Vec::new();
@@ -246,6 +248,10 @@ pub(crate) fn batcher_loop(
             return true;
         }
         let epoch = next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        // The batcher's span covers the seal work (sort + WAL append +
+        // downstream send), not the accumulation wait — idle time is
+        // "waiting for admitted events".
+        let span = obs.enter(epoch);
         *first_at = None;
         // The weighted-fair merge is only per-tenant chronological, but the
         // engine consumes each batch as a chronological stream (Algorithm 1),
@@ -287,13 +293,16 @@ pub(crate) fn batcher_loop(
             // durable-before-delivered contract still holds.
             d.request_seal_sync(epoch);
         }
-        tx.send(SealedBatch {
-            epoch,
-            batch: EventBatch::new(std::mem::take(pending)),
-            metas: std::mem::take(metas),
-            sealed_at: Instant::now(),
-        })
-        .is_ok()
+        let ok = tx
+            .send(SealedBatch {
+                epoch,
+                batch: EventBatch::new(std::mem::take(pending)),
+                metas: std::mem::take(metas),
+                sealed_at: Instant::now(),
+            })
+            .is_ok();
+        obs.exit(epoch, span);
+        ok
     };
     loop {
         let received = match first_at {
@@ -343,6 +352,7 @@ pub(crate) fn sampler_loop(
     tx: Sender<SampledJob>,
     table: Arc<ShardedNeighborTable>,
     sampled_neighbors: usize,
+    obs: StageObs,
 ) {
     let num_shards = table.num_shards();
     while let Some(SealedBatch {
@@ -352,6 +362,7 @@ pub(crate) fn sampler_loop(
         sealed_at,
     }) = rx.recv()
     {
+        let span = obs.enter(epoch);
         let sampled = SampledBatch::assemble(batch, sampled_neighbors, |v, t, k, out| {
             // Fine-grained epoch barrier: only the shard owning `v` must have
             // absorbed the previous batch; other shards may still be
@@ -359,15 +370,16 @@ pub(crate) fn sampler_loop(
             table.gate().wait_for(shard_of(v, num_shards), epoch - 1);
             table.sample_into(v, t, k, out);
         });
-        if tx
+        let ok = tx
             .send(SampledJob {
                 epoch,
                 sampled,
                 metas,
                 sealed_at,
             })
-            .is_err()
-        {
+            .is_ok();
+        obs.exit(epoch, span);
+        if !ok {
             return;
         }
     }
@@ -389,6 +401,7 @@ pub(crate) fn memory_loop(
     memory: Arc<ShardedMemory>,
     model: Arc<TgnModel>,
     graph: Arc<TemporalGraph>,
+    obs: StageObs,
 ) {
     let mut ws = Workspace::new();
     let num_shards = memory.num_shards();
@@ -400,6 +413,7 @@ pub(crate) fn memory_loop(
         sealed_at,
     }) = rx.recv()
     {
+        let span = obs.enter(epoch);
         // Wait-set: every shard this stage reads — the touched vertices
         // (mailbox, clocks, own memory) and their sampled neighbors (memory
         // rows gathered for the GNN).
@@ -427,6 +441,7 @@ pub(crate) fn memory_loop(
             })
             .is_err()
         {
+            obs.exit(epoch, span);
             return;
         }
         let parts = job.split(gnn_workers);
@@ -440,13 +455,16 @@ pub(crate) fn memory_loop(
             })
             .is_err()
         {
+            obs.exit(epoch, span);
             return;
         }
         for (part, job) in parts.into_iter().enumerate() {
             if tx_gnn.send(GnnSubJob { epoch, part, job }).is_err() {
+                obs.exit(epoch, span);
                 return;
             }
         }
+        obs.exit(epoch, span);
     }
 }
 
@@ -537,6 +555,7 @@ pub(crate) fn update_loop(
     table: Arc<ShardedNeighborTable>,
     commit_log: Arc<Mutex<CommitLog>>,
     durability: Option<Arc<Durability>>,
+    obs: StageObs,
 ) {
     let _poison_on_exit = PoisonGatesOnExit {
         memory: memory.clone(),
@@ -548,6 +567,7 @@ pub(crate) fn update_loop(
         events,
     }) = rx.recv()
     {
+        let span = obs.enter(epoch);
         {
             let mut log = commit_log.lock().unwrap();
             for (v, _, t) in &writes {
@@ -577,6 +597,7 @@ pub(crate) fn update_loop(
                 d.spawn_snapshot_write(epoch, mem_bufs, nbr_bufs);
             }
         }
+        obs.exit(epoch, span);
     }
 }
 
@@ -617,6 +638,7 @@ pub(crate) fn gnn_worker_loop(
     fault: Option<GnnFaultHook>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
+    obs: StageObs,
 ) {
     let _unwind_on_panic = UnwindPoolOnPanic {
         rx: rx.clone(),
@@ -625,6 +647,10 @@ pub(crate) fn gnn_worker_loop(
     };
     let mut ws = Workspace::new();
     while let Some(GnnSubJob { epoch, part, job }) = rx.recv() {
+        // Enter before the fault hook: an injected panic must leave this
+        // epoch's `Enter` without an `Exit` in the flight recorder — that
+        // dangling span is exactly what the post-mortem dump pinpoints.
+        let span = obs.enter(epoch);
         if let Some(hook) = &fault {
             assert!(
                 !hook(epoch, part),
@@ -632,14 +658,15 @@ pub(crate) fn gnn_worker_loop(
             );
         }
         let embeddings = job.run(&model, &mut ws);
-        if tx
+        let ok = tx
             .send(GnnSubResult {
                 epoch,
                 part,
                 embeddings,
             })
-            .is_err()
-        {
+            .is_ok();
+        obs.exit(epoch, span);
+        if !ok {
             return;
         }
     }
@@ -658,6 +685,8 @@ pub(crate) fn reorder_loop(
     rx_parts: MpmcReceiver<GnnSubResult>,
     tx: Sender<ServedBatch>,
     collector: Arc<Collector>,
+    obs: StageObs,
+    latency_us: tgnn_obs::Histogram,
 ) {
     let mut stash: HashMap<(u64, usize), PartEmbeddings> = HashMap::new();
     while let Some(GnnBatchHeader {
@@ -668,6 +697,7 @@ pub(crate) fn reorder_loop(
         sealed_at,
     }) = rx_header.recv()
     {
+        let span = obs.enter(epoch);
         let mut parts: Vec<Option<PartEmbeddings>> = vec![None; num_parts];
         let mut have = 0usize;
         for (p, slot) in parts.iter_mut().enumerate() {
@@ -703,6 +733,9 @@ pub(crate) fn reorder_loop(
         }
         let latency = sealed_at.elapsed();
         collector.record_batch(events.len(), embeddings.len(), latency);
+        if obs.enabled() {
+            latency_us.record(latency.as_micros() as u64);
+        }
         // Grade each event's deadline disposition at the completion point:
         // the admission-to-completion delay (queueing + batching + compute)
         // is what the tenant's deadline budgets.  The disposition is pure
@@ -723,7 +756,7 @@ pub(crate) fn reorder_loop(
                 }
             })
             .collect();
-        if tx
+        let ok = tx
             .send(ServedBatch {
                 epoch,
                 events,
@@ -731,8 +764,9 @@ pub(crate) fn reorder_loop(
                 embeddings,
                 latency,
             })
-            .is_err()
-        {
+            .is_ok();
+        obs.exit(epoch, span);
+        if !ok {
             return;
         }
     }

@@ -34,9 +34,16 @@ pub struct QueueStats {
     pub capacity: usize,
     /// Total items pushed over the queue's lifetime.
     pub pushes: u64,
+    /// Total items popped over the queue's lifetime.
+    pub pops: u64,
+    /// Depth at the moment this snapshot was taken.
+    pub depth: usize,
     /// Highest depth observed right after a push.
     pub max_depth: usize,
-    /// Mean depth observed right after each push.
+    /// Mean depth sampled after every push *and* every pop.  Sampling both
+    /// sides is what keeps the estimate unbiased: push-only sampling always
+    /// observes the post-push peak and never the post-pop trough, so a queue
+    /// that alternates between 1 and 0 would read 1.0 instead of ~0.5.
     pub mean_depth: f64,
     /// Number of `send` calls that had to block because the queue was full.
     pub blocked_sends: u64,
@@ -52,6 +59,7 @@ struct Inner<T> {
     capacity: usize,
     name: &'static str,
     pushes: AtomicU64,
+    pops: AtomicU64,
     depth_sum: AtomicU64,
     max_depth: AtomicUsize,
     blocked_sends: AtomicU64,
@@ -60,18 +68,28 @@ struct Inner<T> {
 impl<T> Inner<T> {
     fn stats(&self) -> QueueStats {
         let pushes = self.pushes.load(Ordering::Relaxed);
+        let pops = self.pops.load(Ordering::Relaxed);
+        let samples = pushes + pops;
         QueueStats {
             name: self.name,
             capacity: self.capacity,
             pushes,
+            pops,
+            depth: self.queue.lock().unwrap().len(),
             max_depth: self.max_depth.load(Ordering::Relaxed),
-            mean_depth: if pushes == 0 {
+            mean_depth: if samples == 0 {
                 0.0
             } else {
-                self.depth_sum.load(Ordering::Relaxed) as f64 / pushes as f64
+                self.depth_sum.load(Ordering::Relaxed) as f64 / samples as f64
             },
             blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records the post-pop depth so the mean sees troughs as well as peaks.
+    fn note_pop(&self, depth: usize) {
+        self.pops.fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
     }
 }
 
@@ -120,6 +138,7 @@ pub fn channel<T>(name: &'static str, capacity: usize) -> (Sender<T>, Receiver<T
         capacity,
         name,
         pushes: AtomicU64::new(0),
+        pops: AtomicU64::new(0),
         depth_sum: AtomicU64::new(0),
         max_depth: AtomicUsize::new(0),
         blocked_sends: AtomicU64::new(0),
@@ -188,7 +207,9 @@ impl<T> Receiver<T> {
         let mut q = inner.queue.lock().unwrap();
         loop {
             if let Some(item) = q.pop_front() {
+                let depth = q.len();
                 drop(q);
+                inner.note_pop(depth);
                 inner.not_full.notify_one();
                 return Some(item);
             }
@@ -208,7 +229,9 @@ impl<T> Receiver<T> {
         let mut q = inner.queue.lock().unwrap();
         loop {
             if let Some(item) = q.pop_front() {
+                let depth = q.len();
                 drop(q);
+                inner.note_pop(depth);
                 inner.not_full.notify_one();
                 return RecvResult::Item(item);
             }
@@ -229,8 +252,10 @@ impl<T> Receiver<T> {
         let inner = &*self.inner;
         let mut q = inner.queue.lock().unwrap();
         let item = q.pop_front();
+        let depth = q.len();
         drop(q);
         if item.is_some() {
+            inner.note_pop(depth);
             inner.not_full.notify_one();
         }
         item
@@ -290,6 +315,7 @@ struct MpmcInner<T> {
     capacity: usize,
     name: &'static str,
     pushes: AtomicU64,
+    pops: AtomicU64,
     depth_sum: AtomicU64,
     max_depth: AtomicUsize,
     blocked_sends: AtomicU64,
@@ -298,18 +324,28 @@ struct MpmcInner<T> {
 impl<T> MpmcInner<T> {
     fn stats(&self) -> QueueStats {
         let pushes = self.pushes.load(Ordering::Relaxed);
+        let pops = self.pops.load(Ordering::Relaxed);
+        let samples = pushes + pops;
         QueueStats {
             name: self.name,
             capacity: self.capacity,
             pushes,
+            pops,
+            depth: self.state.lock().unwrap().queue.len(),
             max_depth: self.max_depth.load(Ordering::Relaxed),
-            mean_depth: if pushes == 0 {
+            mean_depth: if samples == 0 {
                 0.0
             } else {
-                self.depth_sum.load(Ordering::Relaxed) as f64 / pushes as f64
+                self.depth_sum.load(Ordering::Relaxed) as f64 / samples as f64
             },
             blocked_sends: self.blocked_sends.load(Ordering::Relaxed),
         }
+    }
+
+    /// Records the post-pop depth so the mean sees troughs as well as peaks.
+    fn note_pop(&self, depth: usize) {
+        self.pops.fetch_add(1, Ordering::Relaxed);
+        self.depth_sum.fetch_add(depth as u64, Ordering::Relaxed);
     }
 
     /// Marks the channel closed and wakes every blocked sender and receiver.
@@ -359,6 +395,7 @@ pub fn mpmc_channel<T>(name: &'static str, capacity: usize) -> (MpmcSender<T>, M
         capacity,
         name,
         pushes: AtomicU64::new(0),
+        pops: AtomicU64::new(0),
         depth_sum: AtomicU64::new(0),
         max_depth: AtomicUsize::new(0),
         blocked_sends: AtomicU64::new(0),
@@ -450,7 +487,9 @@ impl<T> MpmcReceiver<T> {
         let mut state = inner.state.lock().unwrap();
         loop {
             if let Some(item) = state.queue.pop_front() {
+                let depth = state.queue.len();
                 drop(state);
+                inner.note_pop(depth);
                 inner.not_full.notify_one();
                 return Some(item);
             }
@@ -544,6 +583,56 @@ mod tests {
         assert_eq!(stats.pushes, 10);
         assert!(stats.max_depth <= 2);
         assert!(stats.blocked_sends > 0, "slow consumer must cause blocking");
+    }
+
+    #[test]
+    fn mean_depth_samples_pops_not_just_pushes() {
+        // Strict push → pop alternation: depth is 1 after every push and 0
+        // after every pop, so the unbiased mean is 0.5.  The old push-only
+        // sampling reported 1.0 — the regression this test pins down.
+        let (tx, rx) = channel::<u32>("test", 2);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+            assert_eq!(rx.recv(), Some(i));
+        }
+        let stats = tx.monitor().stats();
+        assert_eq!(stats.pushes, 1000);
+        assert_eq!(stats.pops, 1000);
+        assert!(
+            (stats.mean_depth - 0.5).abs() < 1e-9,
+            "push-only sampling bias: mean_depth = {}",
+            stats.mean_depth
+        );
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.max_depth, 1);
+    }
+
+    #[test]
+    fn mpmc_mean_depth_samples_pops_not_just_pushes() {
+        let (tx, rx) = mpmc_channel::<u32>("test", 2);
+        for i in 0..1000 {
+            tx.send(i).unwrap();
+            assert_eq!(rx.recv(), Some(i));
+        }
+        let stats = tx.monitor().stats();
+        assert_eq!(stats.pushes, 1000);
+        assert_eq!(stats.pops, 1000);
+        assert!(
+            (stats.mean_depth - 0.5).abs() < 1e-9,
+            "push-only sampling bias: mean_depth = {}",
+            stats.mean_depth
+        );
+    }
+
+    #[test]
+    fn stats_report_live_depth() {
+        let (tx, rx) = channel::<u32>("test", 8);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        tx.send(3).unwrap();
+        assert_eq!(tx.monitor().stats().depth, 3);
+        rx.recv().unwrap();
+        assert_eq!(rx.monitor().stats().depth, 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::admission::{
     scheduler_loop, AdmissionControl, AdmissionCounters, AdmittedEvent, SubmitOutcome, TenantSpec,
 };
 use crate::durability::{Durability, DurabilityStats, RecoveryReport};
+use crate::metrics::{HubConfig, MetricsHub, MetricsSnapshot, StageId};
 use crate::pipeline::{
     batcher_loop, gnn_worker_loop, memory_loop, reorder_loop, sampler_loop, update_loop, Collector,
     GnnBatchHeader, GnnFaultHook, GnnSubJob, GnnSubResult, SampledJob, SealedBatch, ServedBatch,
@@ -16,6 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tgnn_core::profiling::StageTimings;
 use tgnn_core::stages::{GnnJobBatch, SampledBatch};
 use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 use tgnn_core::{ShardedMemory, TgnModel};
@@ -78,6 +80,18 @@ pub struct ServeConfig {
     /// chronological stream — the weighted-fair cross-tenant interleave
     /// alone does not guarantee that, durable or not.
     pub durability: Option<DurabilityConfig>,
+    /// Whether the pipeline records live metrics and flight-recorder spans
+    /// (`true` by default — the recording cost is a couple of relaxed
+    /// atomics per stage per batch, ≤ 2 % of `serve_bench` throughput;
+    /// `serve_bench --no-metrics` measures the difference).  With `false`,
+    /// [`StreamServer::metrics`] still answers (queue depths and tenant
+    /// counters are maintained regardless) but stage spans, latency
+    /// histograms, and the flight recorder stay empty.
+    pub metrics: bool,
+    /// Capacity of the flight recorder ring, in events.  Each epoch
+    /// generates roughly `2 × (6 + gnn_workers)` events, so the default
+    /// 4096 keeps a few hundred epochs of timeline for post-mortems.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +107,8 @@ impl Default for ServeConfig {
             tenants: Vec::new(),
             gnn_fault: None,
             durability: None,
+            metrics: true,
+            flight_capacity: 4096,
         }
     }
 }
@@ -110,6 +126,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("tenants", &self.tenants)
             .field("gnn_fault", &self.gnn_fault.as_ref().map(|_| "<hook>"))
             .field("durability", &self.durability)
+            .field("metrics", &self.metrics)
+            .field("flight_capacity", &self.flight_capacity)
             .finish()
     }
 }
@@ -232,6 +250,11 @@ pub struct ServeReport {
     /// WAL/snapshot counters when the session ran with
     /// [`ServeConfig::durability`]; `None` on the legacy path.
     pub durability: Option<DurabilityStats>,
+    /// Per-stage busy-time breakdown (sample / memory / GNN / update) from
+    /// the worker span counters — the serve-path counterpart of the batch
+    /// engine's Table-I-shaped `core::profiling` report.  All zeros when
+    /// [`ServeConfig::metrics`] is off.
+    pub stage_timings: StageTimings,
 }
 
 /// Why a `submit` was rejected.
@@ -297,7 +320,7 @@ pub struct StreamServer {
     commit_log: Arc<Mutex<CommitLog>>,
     collector: Arc<Collector>,
     next_epoch: Arc<AtomicU64>,
-    queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>>,
+    hub: MetricsHub,
     /// Latest timestamp absorbed by `warm_up` — the floor every tenant's
     /// stream starts from.
     warm_timestamp: Timestamp,
@@ -396,7 +419,7 @@ impl StreamServer {
         let (results_tx, results_rx) =
             channel::<ServedBatch>("reorder→results", config.results_capacity);
 
-        let queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send>> = vec![
+        let queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send + Sync>> = vec![
             {
                 let m = submit_tx.monitor();
                 Box::new(move || m.stats())
@@ -431,32 +454,53 @@ impl StreamServer {
             },
         ];
 
+        // The metrics hub must exist before any worker spawns: every worker
+        // carries its `StageObs` handle from birth, and the durability
+        // workers resolve theirs through the handle's `OnceLock`.
+        let hub = MetricsHub::new(HubConfig {
+            enabled: config.metrics,
+            flight_capacity: config.flight_capacity,
+            queues: queue_stats,
+            collector: collector.clone(),
+            admission: admission.clone(),
+            durability: durability.clone(),
+            next_epoch: next_epoch.clone(),
+            gnn_workers,
+        });
+        if let Some(d) = &durability {
+            d.set_obs(hub.durability_obs());
+        }
+
         let mut workers = Vec::with_capacity(6 + gnn_workers);
         {
             let admission = admission.clone();
+            let obs = hub.stage_obs(StageId::Scheduler, 0);
             workers.push(spawn("tgnn-serve-scheduler", move || {
-                scheduler_loop(admission, submit_tx)
+                scheduler_loop(admission, submit_tx, obs)
             }));
         }
         {
             let next_epoch = next_epoch.clone();
             let (max_batch, deadline) = (config.max_batch, config.batch_deadline);
             let durability = durability.clone();
+            let obs = hub.stage_obs(StageId::Batcher, 0);
             workers.push(spawn("tgnn-serve-batcher", move || {
                 batcher_loop(
-                    submit_rx, sealed_tx, max_batch, deadline, next_epoch, durability,
+                    submit_rx, sealed_tx, max_batch, deadline, next_epoch, durability, obs,
                 )
             }));
         }
         {
             let table = table.clone();
             let k = model.config.sampled_neighbors;
+            let obs = hub.stage_obs(StageId::Sampler, 0);
             workers.push(spawn("tgnn-serve-sampler", move || {
-                sampler_loop(sealed_rx, sampled_tx, table, k)
+                sampler_loop(sealed_rx, sampled_tx, table, k, obs)
             }));
         }
         {
             let (memory, model, graph) = (memory.clone(), model.clone(), graph.clone());
+            let obs = hub.stage_obs(StageId::Memory, 0);
             workers.push(spawn("tgnn-serve-memory", move || {
                 memory_loop(
                     sampled_rx,
@@ -467,14 +511,16 @@ impl StreamServer {
                     memory,
                     model,
                     graph,
+                    obs,
                 )
             }));
         }
         {
             let (memory, table, log) = (memory.clone(), table.clone(), commit_log.clone());
             let durability = durability.clone();
+            let obs = hub.stage_obs(StageId::Update, 0);
             workers.push(spawn("tgnn-serve-update", move || {
-                update_loop(update_rx, memory, table, log, durability)
+                update_loop(update_rx, memory, table, log, durability, obs)
             }));
         }
         for i in 0..gnn_workers {
@@ -482,8 +528,9 @@ impl StreamServer {
             let tx = parts_tx.clone();
             let (model, memory, table) = (model.clone(), memory.clone(), table.clone());
             let fault = config.gnn_fault.clone();
+            let obs = hub.stage_obs(StageId::Gnn, i as u16);
             workers.push(spawn(&format!("tgnn-serve-gnn-{i}"), move || {
-                gnn_worker_loop(rx, tx, model, fault, memory, table)
+                gnn_worker_loop(rx, tx, model, fault, memory, table, obs)
             }));
         }
         // The originals were cloned into the pool; drop them so the dispatch
@@ -492,8 +539,10 @@ impl StreamServer {
         drop(parts_tx);
         {
             let collector = collector.clone();
+            let obs = hub.stage_obs(StageId::Reorder, 0);
+            let latency_us = hub.batch_latency_hist();
             workers.push(spawn("tgnn-serve-reorder", move || {
-                reorder_loop(header_rx, parts_rx, results_tx, collector)
+                reorder_loop(header_rx, parts_rx, results_tx, collector, obs, latency_us)
             }));
         }
         // Seal group commit (`OnSeal` only): one worker fsyncs all pending
@@ -520,7 +569,7 @@ impl StreamServer {
             commit_log,
             collector,
             next_epoch,
-            queue_stats,
+            hub,
             warm_timestamp: Timestamp::NEG_INFINITY,
             submitted: 0,
             num_shards,
@@ -847,6 +896,12 @@ impl StreamServer {
     /// sits behind the seal fsync, an `Ack` can never outrun its `Seal` in
     /// any durable prefix.
     pub fn poll(&mut self) -> Option<ServedBatch> {
+        let b = self.poll_inner()?;
+        self.hub.record_delivery(b.epoch);
+        Some(b)
+    }
+
+    fn poll_inner(&mut self) -> Option<ServedBatch> {
         let Some(d) = self.durability.clone() else {
             return self
                 .completed
@@ -938,7 +993,7 @@ impl StreamServer {
             _ => Duration::ZERO,
         };
         let num_events = self.collector.events.load(Ordering::Relaxed);
-        let queues: Vec<QueueStats> = self.queue_stats.iter().map(|s| s()).collect();
+        let queues: Vec<QueueStats> = self.hub.queue_stats();
         let tenants: Vec<TenantStats> = (0..self.admission.num_tenants())
             .map(|i| {
                 let (spec, counters) = self.admission.tenant_snapshot(i);
@@ -986,7 +1041,24 @@ impl StreamServer {
             num_shards: self.num_shards,
             gnn_workers: self.gnn_workers,
             durability: self.durability.as_ref().map(|d| d.stats()),
+            stage_timings: self.hub.stage_timings(),
         }
+    }
+
+    /// A typed point-in-time metrics snapshot — callable at any moment:
+    /// live under load, after a drain, or while the pipeline is unwinding
+    /// from a worker panic.  See [`MetricsSnapshot`] for the renderers
+    /// (human table, Prometheus text, JSONL).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.hub.snapshot()
+    }
+
+    /// The cloneable [`MetricsHub`] handle behind [`Self::metrics`]: hand it
+    /// to a sampler thread ([`MetricsHub::spawn_jsonl_sampler`]) or keep it
+    /// across a `catch_unwind` to dump the flight recorder
+    /// ([`MetricsHub::flight_dump`]) after a panic.
+    pub fn metrics_hub(&self) -> MetricsHub {
+        self.hub.clone()
     }
 
     /// Read access to the sharded memory (diagnostics, tests).

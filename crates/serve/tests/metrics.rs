@@ -1,0 +1,365 @@
+//! Observability tests for the serve pipeline: the live metrics snapshot
+//! (under load, after a drain, with durability on), the three renderers,
+//! the JSONL sampler, the metrics-off no-op path, and the flight-recorder
+//! drill — after an injected GNN panic the dump must still contain the
+//! poisoned epoch's partial timeline.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tgnn_core::{ModelConfig, OptimizationVariant, TgnModel};
+use tgnn_data::{generate, tiny};
+use tgnn_durable::{DurabilityConfig, FsyncPolicy};
+use tgnn_graph::TemporalGraph;
+use tgnn_serve::{render_flight_timeline, ServeConfig, SpanKind, StageId, StreamServer};
+use tgnn_tensor::TensorRng;
+
+fn setup(seed: u64) -> (TgnModel, Arc<TemporalGraph>) {
+    let graph = generate(&tiny(seed));
+    let cfg = ModelConfig::tiny(graph.node_feature_dim(), graph.edge_feature_dim())
+        .with_variant(OptimizationVariant::Baseline);
+    let model = TgnModel::new(cfg, &mut TensorRng::new(seed));
+    (model, Arc::new(graph))
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("tgnn-metrics-{}-{label}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&p);
+        std::fs::create_dir_all(&p).expect("create temp dir");
+        Self(p)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn metrics_snapshot_live_under_load_and_after_drain() {
+    let (model, graph) = setup(11);
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(1),
+        num_shards: 2,
+        gnn_workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model, graph.clone(), config);
+
+    let mut polled = 0usize;
+    let mut live_seen = false;
+    for (i, &e) in graph.events().iter().enumerate() {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {
+            polled += 1;
+        }
+        if i == graph.num_events() / 2 {
+            // Live snapshot mid-stream: epochs are flowing and the queue
+            // list is fully registered from spawn.  The pipeline threads
+            // run behind the submitter, so wait for the first seal rather
+            // than assert an instantaneous race.
+            let t0 = std::time::Instant::now();
+            let mut m = server.metrics();
+            while m.epochs == 0 && t0.elapsed() < Duration::from_secs(10) {
+                std::thread::sleep(Duration::from_millis(1));
+                m = server.metrics();
+            }
+            assert!(m.enabled);
+            assert!(m.epochs > 0, "epochs must be sealed mid-stream");
+            assert_eq!(m.queues.len(), 8);
+            assert_eq!(m.queues[0].name, "scheduler→batcher");
+            live_seen = true;
+        }
+    }
+    assert!(live_seen);
+    let report = server.drain();
+    while server.poll().is_some() {
+        polled += 1;
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.batches_served as usize, report.num_batches);
+    assert_eq!(m.events_served as usize, graph.num_events());
+    assert_eq!(m.embeddings as usize, report.num_embeddings);
+    assert!(polled > 0, "batches must have been delivered");
+
+    // Every worker stage saw work; the GNN pool reports both workers.
+    for stage in [
+        StageId::Scheduler,
+        StageId::Batcher,
+        StageId::Sampler,
+        StageId::Memory,
+        StageId::Gnn,
+        StageId::Update,
+        StageId::Reorder,
+    ] {
+        let s = m
+            .stages
+            .iter()
+            .find(|s| s.stage == stage)
+            .expect("stage present");
+        assert!(s.batches > 0, "{} recorded no spans", stage.label());
+        assert!(!s.busy.is_zero(), "{} recorded no busy time", stage.label());
+    }
+    let gnn = m.stages.iter().find(|s| s.stage == StageId::Gnn).unwrap();
+    assert_eq!(gnn.workers, 2);
+
+    // Satellite (b): the Table-I-shaped breakdown both in the snapshot and
+    // in the drain report, fed from the same span counters.
+    assert!(!report.stage_timings.total().is_zero());
+    assert_eq!(report.stage_timings, m.stage_timings);
+    for stage in tgnn_core::profiling::Stage::all() {
+        assert!(
+            !report.stage_timings.get(stage).is_zero(),
+            "stage {} has no busy time in the report",
+            stage.label()
+        );
+    }
+
+    // Latency histogram answered (and within the log-linear error of the
+    // exact report percentiles).
+    assert!(m.batch_latency.p50_ms > 0.0);
+    assert!(m.batch_latency.max_ms >= m.batch_latency.p50_ms);
+
+    // Per-tenant served counters flow through.
+    assert_eq!(m.tenants.len(), 1);
+    assert_eq!(m.tenants[0].served as usize, graph.num_events());
+    assert_eq!(m.admission.admitted as usize, graph.num_events());
+
+    // Flight recorder saw roughly 2 events per stage per epoch plus
+    // delivery marks.
+    assert!(m.flight.recorded > 0);
+    let dump = server.metrics_hub().flight_dump();
+    assert!(!dump.is_empty());
+    assert!(dump
+        .iter()
+        .any(|r| r.stage == StageId::Deliver && r.kind == SpanKind::Mark));
+    let timeline = render_flight_timeline(&dump);
+    assert!(timeline.contains("epoch"));
+    assert!(timeline.contains("gnn["));
+
+    // The renderers include their key markers.
+    let table = m.render_table();
+    assert!(table.contains("scheduler→batcher"));
+    assert!(table.contains("batch latency"));
+    let prom = m.to_prometheus();
+    assert!(prom.contains("# TYPE tgnn_queue_depth gauge"));
+    assert!(prom.contains("tgnn_stage_busy_seconds_total{stage=\"gnn\"}"));
+    assert!(prom.contains("tgnn_batch_latency_ms{quantile=\"0.99\"}"));
+    let json = m.to_json_line();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"stages\":["));
+}
+
+#[test]
+fn durable_session_reports_fsync_latency_and_snapshot_lag() {
+    let (model, graph) = setup(29);
+    let td = TempDir::new("durable");
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(1),
+        num_shards: 2,
+        durability: Some(
+            DurabilityConfig::new(td.path())
+                .with_fsync(FsyncPolicy::OnSeal)
+                .with_snapshot_every(4),
+        ),
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model, graph.clone(), config);
+    for &e in &graph.events()[..96] {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {}
+    }
+    server.drain();
+    while server.poll().is_some() {}
+
+    let m = server.metrics();
+    let d = m.durability.expect("durable session exposes durability");
+    assert!(d.stats.wal_fsyncs > 0);
+    assert!(
+        d.fsync_p99_us >= d.fsync_p50_us,
+        "p99 {} < p50 {}",
+        d.fsync_p99_us,
+        d.fsync_p50_us
+    );
+    assert!(d.stats.snapshots > 0, "interval snapshots must have run");
+    // Post-drain a final snapshot covers every sealed epoch.
+    assert_eq!(d.snapshot_lag_epochs, 0);
+    // The WAL syncer and snapshot writer left spans in the flight recorder.
+    let dump = server.metrics_hub().flight_dump();
+    assert!(dump.iter().any(|r| r.stage == StageId::WalSync));
+    assert!(dump.iter().any(|r| r.stage == StageId::SnapWriter));
+    let prom = m.to_prometheus();
+    assert!(prom.contains("tgnn_wal_fsyncs_total"));
+    assert!(prom.contains("tgnn_snapshot_lag_epochs"));
+}
+
+#[test]
+fn jsonl_sampler_appends_parseable_lines() {
+    let (model, graph) = setup(41);
+    let td = TempDir::new("jsonl");
+    let path = td.path().join("metrics.jsonl");
+    let mut server = StreamServer::new(
+        model,
+        graph.clone(),
+        ServeConfig {
+            max_batch: 8,
+            batch_deadline: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let logger = server
+        .metrics_hub()
+        .spawn_jsonl_sampler(&path, Duration::from_millis(5))
+        .expect("sampler starts");
+    for &e in graph.events() {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {}
+    }
+    server.drain();
+    while server.poll().is_some() {}
+    logger.stop();
+
+    let text = std::fs::read_to_string(&path).expect("sampler wrote the file");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(!lines.is_empty(), "sampler wrote no lines");
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad JSONL: {line}"
+        );
+        assert!(line.contains("\"epochs\":"));
+        assert!(line.contains("\"queues\":["));
+    }
+    // The final (stop-time) line reflects the drained totals.
+    assert!(lines
+        .last()
+        .unwrap()
+        .contains(&format!("\"events\":{}", graph.num_events())));
+}
+
+#[test]
+fn metrics_off_disables_spans_histograms_and_flight_recorder() {
+    let (model, graph) = setup(53);
+    let mut server = StreamServer::new(
+        model,
+        graph.clone(),
+        ServeConfig {
+            max_batch: 8,
+            batch_deadline: Duration::from_millis(1),
+            metrics: false,
+            ..ServeConfig::default()
+        },
+    );
+    for &e in graph.events() {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {}
+    }
+    let report = server.drain();
+    while server.poll().is_some() {}
+
+    let m = server.metrics();
+    assert!(!m.enabled);
+    // Queue stats and tenant counters are structural — they stay live.
+    assert_eq!(m.queues.len(), 8);
+    assert_eq!(m.tenants[0].served as usize, graph.num_events());
+    // Everything the recording path feeds stays empty.
+    assert_eq!(m.flight.recorded, 0);
+    assert!(server.metrics_hub().flight_dump().is_empty());
+    for s in &m.stages {
+        assert_eq!(
+            s.batches,
+            0,
+            "{} recorded with metrics off",
+            s.stage.label()
+        );
+        assert!(s.busy.is_zero());
+    }
+    assert_eq!(m.batch_latency.p50_ms, 0.0);
+    assert!(report.stage_timings.total().is_zero());
+    // The report itself is unaffected.
+    assert_eq!(report.num_events, graph.num_events());
+    assert!(report.commit_log_clean);
+}
+
+/// The flight-recorder drill: inject a GNN worker panic, let the pipeline
+/// poison itself, and assert the dump still yields the poisoned epoch's
+/// partial timeline — an `Enter` on the GNN stage with no matching `Exit`.
+#[test]
+fn flight_recorder_dump_survives_gnn_panic() {
+    let (model, graph) = setup(17);
+    let fired = Arc::new(AtomicBool::new(false));
+    let hook = {
+        let fired = fired.clone();
+        Arc::new(move |epoch: u64, _part: usize| epoch >= 2 && !fired.swap(true, Ordering::SeqCst))
+    };
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(1),
+        num_shards: 2,
+        gnn_workers: 2,
+        gnn_fault: Some(hook),
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model, graph.clone(), config);
+    // Keep the hub alive across the drain panic — exactly how a harness
+    // would hold it for a post-mortem.
+    let hub = server.metrics_hub();
+
+    let last = *graph.events().last().unwrap();
+    let mut stream = graph
+        .events()
+        .iter()
+        .copied()
+        .chain(std::iter::repeat(last));
+    loop {
+        if server.submit(stream.next().unwrap()).is_err() {
+            break;
+        }
+        while server.poll().is_some() {}
+    }
+    while server.poll().is_some() {}
+    assert!(
+        server.memory().gate().is_poisoned(),
+        "worker death must poison the gates"
+    );
+    let drained = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || server.drain()));
+    assert!(drained.is_err(), "drain must propagate the worker panic");
+
+    // The dump works after the panic, and some GNN worker entered an epoch
+    // it never exited — the poisoned epoch's partial timeline.
+    let dump = hub.flight_dump();
+    assert!(!dump.is_empty(), "flight dump empty after panic");
+    let poisoned = (0u16..2).any(|w| {
+        let enters = dump
+            .iter()
+            .filter(|r| r.stage == StageId::Gnn && r.worker == w && r.kind == SpanKind::Enter)
+            .count();
+        let exits = dump
+            .iter()
+            .filter(|r| r.stage == StageId::Gnn && r.worker == w && r.kind == SpanKind::Exit)
+            .count();
+        enters > exits
+    });
+    assert!(poisoned, "no GNN worker shows an Enter without an Exit");
+    // The rendered timeline marks the dangling span as open.
+    let timeline = render_flight_timeline(&dump);
+    assert!(
+        timeline.contains("→…"),
+        "timeline must show the open segment:\n{timeline}"
+    );
+    // The snapshot is also still answerable from the poisoned pipeline.
+    let m = hub.snapshot();
+    assert!(m.epochs >= 2);
+}
