@@ -55,6 +55,19 @@
 //! it, with the WAL/snapshot/recovery counters, in the row's
 //! `"durability"` section.
 //!
+//! `--scenario {uniform,powerlaw,flash-crowd,diurnal,fraud-burst}` switches
+//! to the traffic-scenario harness (`tgnn_bench::scenarios`): the
+//! measurement feed is resampled into the named popularity shape and driven
+//! through a single-tenant server with the bounded-staleness embedding
+//! cache enabled, in two phases — a polled warm phase that populates the
+//! cache, then an unpolled burst that deterministically fills every queue
+//! so the overload policy (default `serve-stale`) actually fires.  Every
+//! stale answer is verified bit-identical to the embedding originally
+//! served for its `(vertex, epoch)` and within the staleness bound; a
+//! DropNewest pass over the identical feed shows `serve-stale` strictly
+//! lowers the drop rate; and the `"pipeline"` row gains a `"scenario"`
+//! section with the per-scenario cache hit rate and stale-age percentiles.
+//!
 //! Observability (`crates/serve::metrics`, on by default): after the drain
 //! the bench prints the Table-I-shaped per-stage busy breakdown from the
 //! span instrumentation, and the row gains a `"metrics"` section.
@@ -64,22 +77,27 @@
 //! (best of two ~20k-event windows each, budget 2%); `--no-metrics` turns
 //! the whole subsystem off.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use tgnn_bench::scenarios::{self, Scenario};
 use tgnn_bench::{
     build_model, harness_model_config, merge_baseline_row, Dataset, FlagHelp, HarnessArgs,
 };
 use tgnn_core::profiling::Stage;
 use tgnn_core::quantized::quantize_model;
-use tgnn_core::{ExecMode, InferenceEngine, OptimizationVariant, OverloadPolicy, TenantId};
-use tgnn_graph::EventBatch;
+use tgnn_core::{
+    ExecMode, InferenceEngine, OptimizationVariant, OverloadPolicy, TenantId, TgnModel,
+};
+use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
 use tgnn_quant::QuantConfig;
 use tgnn_serve::{
-    wal_fault_hook, DurabilityConfig, FsyncPolicy, RecoveryReport, ServeConfig, ServeReport,
-    ServedBatch, StreamServer, TenantSpec,
+    wal_fault_hook, CacheConfig, Disposition, DurabilityConfig, FsyncPolicy, RecoveryReport,
+    ServeConfig, ServeReport, ServedBatch, StreamServer, SubmitOutcome, TenantSpec,
 };
 use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
+use tgnn_tensor::Float;
 
 const MAX_BATCH: usize = 200;
 const NUM_SHARDS: usize = 4;
@@ -110,7 +128,12 @@ const SERVE_FLAGS: &[FlagHelp] = &[
     (
         "--overload-policy",
         "<p>",
-        "block|drop-newest|drop-oldest|late at the ingress bound (default block)",
+        "block|drop-newest|drop-oldest|late|serve-stale at the ingress bound (default block; serve-stale with --scenario)",
+    ),
+    (
+        "--scenario",
+        "<shape>",
+        "traffic-scenario harness: uniform|powerlaw|flash-crowd|diurnal|fraud-burst (single tenant, cache on, warm+burst phases)",
     ),
     (
         "--offered-load",
@@ -232,9 +255,14 @@ fn main() {
             .as_deref()
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| {
-                panic!("--overload-policy: expected block|drop-newest|drop-oldest|late")
+                panic!("--overload-policy: expected block|drop-newest|drop-oldest|late|serve-stale")
             }),
     };
+    let scenario: Option<Scenario> = flag_value("--scenario").map(|v| {
+        v.as_deref().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            panic!("--scenario: expected uniform|powerlaw|flash-crowd|diurnal|fraud-burst, got {v:?}")
+        })
+    });
     let quantized: bool = match flag_value("--exec-mode") {
         None => false,
         Some(v) => match v.as_deref() {
@@ -300,12 +328,43 @@ fn main() {
     // The tenancy flags configure the multi-tenant admission layer; with
     // the default single tenant they would be silently ignored, and a
     // baseline row recording a policy the run never used is worse than an
-    // error.
-    if num_tenants == 1 {
+    // error.  The scenario harness is the exception: it runs one explicit
+    // tenant whose overload policy is the object of study.
+    if num_tenants == 1 && scenario.is_none() {
         for flag in ["--overload-policy", "--ingress-capacity", "--deadline-ms"] {
             assert!(
                 flag_value(flag).is_none(),
-                "{flag} requires --tenants > 1 (a single-tenant run always uses the Block policy)"
+                "{flag} requires --tenants > 1 or --scenario (a plain single-tenant run always uses the Block policy)"
+            );
+        }
+    }
+    // Scenario mode drives its own single-tenant warm/burst submission
+    // schedule; the burst phase never polls, so admit-always policies
+    // (block / late) would deadlock against a full results queue, and the
+    // feed-resumption / pacing / quantized machinery doesn't apply.
+    let policy = if scenario.is_some() && flag_value("--overload-policy").is_none() {
+        OverloadPolicy::ServeStale
+    } else {
+        policy
+    };
+    if scenario.is_some() {
+        assert_eq!(num_tenants, 1, "--scenario runs a single explicit tenant");
+        assert!(
+            !matches!(policy, OverloadPolicy::Block | OverloadPolicy::Late),
+            "--scenario needs a shedding policy (serve-stale, drop-newest, or drop-oldest): \
+             the unpolled burst phase would deadlock an admit-always policy"
+        );
+        assert!(!quantized, "--scenario measures the f32 cache path");
+        for flag in [
+            "--durability",
+            "--crash-at",
+            "--offered-load",
+            "--metrics-out",
+            "--metrics-overhead",
+        ] {
+            assert!(
+                flag_value(flag).is_none(),
+                "{flag} conflicts with --scenario"
             );
         }
     }
@@ -345,6 +404,26 @@ fn main() {
                 "unpaced".to_string()
             }
         );
+    }
+
+    if let Some(shape) = scenario {
+        run_scenario(ScenarioRun {
+            shape,
+            model,
+            graph,
+            warm_events: &warm_events,
+            measure_events: &measure_events,
+            policy,
+            ingress_capacity,
+            deadline_ms,
+            max_batch,
+            gnn_workers,
+            seed: args.seed,
+            smoke,
+            no_metrics,
+            out_path: &out_path,
+        });
+        return;
     }
 
     // Quantized mode: calibrate on the warm-up split (replayed from cold
@@ -537,6 +616,7 @@ fn main() {
     };
     let mut submitted = 0u64;
     let mut dropped_at_submit = 0u64;
+    let mut stale_at_submit = 0u64;
     let pace_start = Instant::now();
     for lap in 0..laps {
         let skip = if lap == 0 { resume } else { 0 };
@@ -553,8 +633,12 @@ fn main() {
             let tenant = TenantId(i as u32 % num_tenants as u32);
             let outcome = server.submit_for(tenant, e).expect("chronological stream");
             submitted += 1;
-            if !outcome.is_admitted() {
-                dropped_at_submit += 1;
+            match outcome {
+                SubmitOutcome::Admitted => {}
+                SubmitOutcome::Dropped => dropped_at_submit += 1,
+                // Answered from the embedding cache: not in the pipeline,
+                // but a stale result is already queued — served, not lost.
+                SubmitOutcome::ServedStale => stale_at_submit += 1,
             }
             // See `results_capacity` above: a crash drill leaves everything
             // unacked so recovery re-serves the full stream.
@@ -617,6 +701,22 @@ fn main() {
             d.acked_epoch
         );
     }
+    if let Some(c) = &report.cache {
+        println!(
+            "cache: hits {} / misses {} (hit rate {:.1}%), {} stale serve(s), stale age p50/p95/max {}/{}/{} (bound {} epochs), {} entr(ies), {} evicted, {} expired",
+            c.stats.hits,
+            c.stats.misses,
+            c.hit_rate * 100.0,
+            c.stats.served_stale,
+            c.stale_age.p50,
+            c.stale_age.p95,
+            c.stale_age.max,
+            c.staleness_bound_epochs,
+            c.stats.entries,
+            c.stats.evictions,
+            c.stats.expired,
+        );
+    }
     if num_tenants > 1 {
         print_tenant_table(&report);
         check_overload_contract(
@@ -624,6 +724,7 @@ fn main() {
             policy,
             submitted,
             dropped_at_submit,
+            stale_at_submit,
             offered_load > 0.0,
         );
         // Cross-tenant scheduling reorders the merged stream, so the
@@ -673,7 +774,12 @@ fn main() {
             }
         };
         engine.warm_up(&warm_events, &graph);
-        for batch in &served {
+        // Epoch 0 marks a cache-served stale answer: it never entered the
+        // pipeline, so the engine replay skips it (its bit-identity against
+        // the originally served embedding is the cache's own contract,
+        // asserted in the scenario harness and `serve/tests/cache.rs`).
+        let pipeline_batches = served.iter().filter(|b| b.epoch > 0);
+        for batch in pipeline_batches.clone() {
             let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &graph);
             assert_eq!(
                 reference.embeddings, batch.embeddings,
@@ -684,7 +790,7 @@ fn main() {
         println!(
             "identity: {} embeddings across {} micro-batches bit-identical to the {} engine{}",
             report.num_embeddings,
-            served.len(),
+            pipeline_batches.count(),
             if quantized {
                 "ExecMode::Quantized"
             } else {
@@ -716,7 +822,7 @@ fn main() {
         let mut cos_sum = 0.0f64;
         let mut count = 0usize;
         let mut max_err: f32 = 0.0;
-        for batch in &served {
+        for batch in served.iter().filter(|b| b.epoch > 0) {
             let reference = serial.process_batch(&EventBatch::new(batch.events.clone()), &graph);
             for ((v_a, e_a), (v_b, e_b)) in reference.embeddings.iter().zip(&batch.embeddings) {
                 assert_eq!(v_a, v_b, "vertex order diverged in accuracy replay");
@@ -911,6 +1017,7 @@ fn main() {
         accuracy,
         durability_json.as_deref(),
         metrics_json.as_deref(),
+        None,
     );
     println!("wrote pipeline row to {out_path}");
 }
@@ -931,14 +1038,17 @@ fn wal_present(dir: &std::path::Path) -> bool {
 
 /// Prints the per-tenant serving table (the overload picture).
 fn print_tenant_table(report: &ServeReport) {
-    println!("tenant      weight  submitted  served   dropped  drop%   late    p99 ms    eps");
+    println!(
+        "tenant      weight  submitted  served   stale   dropped  drop%   late    p99 ms    eps"
+    );
     for t in &report.tenants {
         println!(
-            "{:<10} {:>6} {:>10} {:>7} {:>9} {:>6.1} {:>6} {:>9.2} {:>8.0}",
+            "{:<10} {:>6} {:>10} {:>7} {:>7} {:>9} {:>6.1} {:>6} {:>9.2} {:>8.0}",
             t.name,
             t.weight,
             t.counters.submitted,
             t.served,
+            t.served_stale,
             t.dropped(),
             t.drop_rate() * 100.0,
             t.late,
@@ -957,10 +1067,12 @@ fn check_overload_contract(
     policy: OverloadPolicy,
     submitted: u64,
     dropped_at_submit: u64,
+    stale_at_submit: u64,
     paced: bool,
 ) {
     let total_served: u64 = report.tenants.iter().map(|t| t.served).sum();
     let total_dropped: u64 = report.tenants.iter().map(|t| t.dropped()).sum();
+    let total_stale: u64 = report.tenants.iter().map(|t| t.served_stale).sum();
     assert_eq!(
         total_served + total_dropped,
         submitted,
@@ -978,6 +1090,16 @@ fn check_overload_contract(
         }
         OverloadPolicy::DropOldest => {
             assert_eq!(dropped_at_submit, 0, "DropOldest always admits");
+        }
+        OverloadPolicy::ServeStale => {
+            assert_eq!(
+                total_dropped, dropped_at_submit,
+                "ServeStale drops are exactly the cache-miss rejects"
+            );
+            assert_eq!(
+                total_stale, stale_at_submit,
+                "every ServedStale outcome delivers exactly one stale answer"
+            );
         }
     }
     // Fairness is only observable while the scheduler actually arbitrates:
@@ -1012,6 +1134,7 @@ fn merge_pipeline_row(
     accuracy: Option<(f32, f64, f32)>,
     durability_json: Option<&str>,
     metrics_json: Option<&str>,
+    scenario_json: Option<&str>,
 ) {
     let identity = match accuracy {
         None => "    \"embeddings_bitwise_identical_to_serial\": true".to_string(),
@@ -1024,12 +1147,13 @@ fn merge_pipeline_row(
         .iter()
         .map(|t| {
             format!(
-                "      {{ \"name\": \"{}\", \"weight\": {}, \"policy\": \"{}\", \"submitted\": {}, \"served\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"late\": {}, \"p99_ms\": {:.4}, \"events_per_sec\": {:.1} }}",
+                "      {{ \"name\": \"{}\", \"weight\": {}, \"policy\": \"{}\", \"submitted\": {}, \"served\": {}, \"served_stale\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"late\": {}, \"p99_ms\": {:.4}, \"events_per_sec\": {:.1} }}",
                 t.name,
                 t.weight,
                 t.policy.label(),
                 t.counters.submitted,
                 t.served,
+                t.served_stale,
                 t.dropped(),
                 t.drop_rate(),
                 t.late,
@@ -1040,8 +1164,27 @@ fn merge_pipeline_row(
         .collect();
     let durability_line = durability_json.map_or(String::new(), |d| format!("{d}\n"));
     let metrics_line = metrics_json.map_or(String::new(), |m| format!("{m}\n"));
+    let cache_line = report.cache.as_ref().map_or(String::new(), |c| {
+        format!(
+            "    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"expired\": {}, \"served_stale\": {}, \"entries\": {}, \"staleness_bound_epochs\": {}, \"stale_age\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }} }},\n",
+            c.stats.hits,
+            c.stats.misses,
+            c.hit_rate,
+            c.stats.insertions,
+            c.stats.evictions,
+            c.stats.expired,
+            c.stats.served_stale,
+            c.stats.entries,
+            c.staleness_bound_epochs,
+            c.stale_age.p50,
+            c.stale_age.p95,
+            c.stale_age.p99,
+            c.stale_age.max,
+        )
+    });
+    let scenario_line = scenario_json.map_or(String::new(), |s| format!("{s}\n"));
     let row = format!(
-        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}{}{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
@@ -1060,7 +1203,370 @@ fn merge_pipeline_row(
         tenant_rows.join(",\n"),
         durability_line,
         metrics_line,
+        cache_line,
+        scenario_line,
         identity,
     );
     merge_baseline_row(path, "pipeline", &row);
+}
+
+/// Staleness bound (epochs) of the scenario harness cache — comfortably
+/// larger than the pipeline's in-flight epoch window, so a hot vertex
+/// refreshed during the warm phase is still servable through the whole
+/// burst, while cold entries still age out and get swept.
+const SCENARIO_STALENESS_BOUND: u64 = 32;
+
+/// Everything the scenario harness needs from `main`'s setup.
+struct ScenarioRun<'a> {
+    shape: Scenario,
+    model: TgnModel,
+    graph: Arc<TemporalGraph>,
+    warm_events: &'a [InteractionEvent],
+    measure_events: &'a [InteractionEvent],
+    policy: OverloadPolicy,
+    ingress_capacity: usize,
+    deadline_ms: f64,
+    max_batch: usize,
+    gnn_workers: usize,
+    seed: u64,
+    smoke: bool,
+    no_metrics: bool,
+    out_path: &'a str,
+}
+
+/// One full warm+burst pass over a scenario feed, with its submit-side
+/// outcome tally (each reconciled against the tenant's report counters).
+struct ScenarioPass {
+    report: ServeReport,
+    served: Vec<ServedBatch>,
+    admitted: u64,
+    stale: u64,
+    dropped: u64,
+}
+
+/// The `--scenario` harness: generate the shaped feed, run it warm+burst
+/// under the chosen shedding policy, verify every stale answer bit-identical
+/// and within the staleness bound, compare against DropNewest on the
+/// identical feed, and merge the `"scenario"` section into the pipeline row.
+fn run_scenario(run: ScenarioRun) {
+    // 80 micro-batches of traffic: the 60% warm phase seals enough epochs
+    // to populate the cache, and the unpolled 40% burst tail exceeds the
+    // pipeline's whole in-flight capacity (shallow queues, see
+    // `scenario_pass`), so the ingress queue fills deterministically —
+    // roughly 2x the load the admitted stream can hold in flight.
+    let n = run.max_batch * 80;
+    let warm_n = n * 3 / 5;
+    let t_floor = run.measure_events.last().map_or(0.0, |e| e.timestamp);
+    let feed = scenarios::generate(run.shape, run.measure_events, n, t_floor, run.seed);
+    println!(
+        "scenario: {} — {} events resampled from the {}-event measurement feed ({} warm + {} burst), policy {}, staleness bound {} epochs",
+        run.shape.label(),
+        n,
+        run.measure_events.len(),
+        warm_n,
+        n - warm_n,
+        run.policy.label(),
+        SCENARIO_STALENESS_BOUND,
+    );
+
+    let pass = scenario_pass(&run, &feed, warm_n, run.policy);
+    let (stale_checked, stale_beyond_bound) =
+        verify_scenario_stale(&pass.served, SCENARIO_STALENESS_BOUND);
+
+    // Identity: the pipeline-served batches must still be bit-identical to
+    // the serial engine replaying the same micro-batch sequence — the cache
+    // and the shedding policy must not perturb what *is* served fresh.
+    let mut engine =
+        InferenceEngine::new(run.model.clone(), run.graph.num_nodes()).with_mode(ExecMode::Serial);
+    engine.warm_up(run.warm_events, &run.graph);
+    for batch in pass.served.iter().filter(|b| b.epoch > 0) {
+        let reference = engine.process_batch(&EventBatch::new(batch.events.clone()), &run.graph);
+        assert_eq!(
+            reference.embeddings, batch.embeddings,
+            "pipeline embeddings diverged bitwise from the serial engine in epoch {}",
+            batch.epoch
+        );
+    }
+
+    let cache = pass
+        .report
+        .cache
+        .expect("the scenario harness always enables the cache");
+
+    // The greppable one-line summary (CI's smoke gate parses this),
+    // printed before the contract asserts so a failure comes with its
+    // diagnostics.
+    println!(
+        "scenario-summary: shape={} policy={} submitted={} served={} stale_served={} dropped={} \
+         cache_hits={} cache_misses={} cache_hit_rate={:.4} stale_age_p50={} stale_age_p95={} \
+         stale_age_max={} staleness_bound={} stale_checked={} stale_beyond_bound={}",
+        run.shape.label(),
+        run.policy.label(),
+        feed.len(),
+        pass.report.tenants[0].served,
+        pass.stale,
+        pass.dropped,
+        cache.stats.hits,
+        cache.stats.misses,
+        cache.hit_rate,
+        cache.stale_age.p50,
+        cache.stale_age.p95,
+        cache.stale_age.max,
+        cache.staleness_bound_epochs,
+        stale_checked,
+        stale_beyond_bound,
+    );
+    if run.policy == OverloadPolicy::ServeStale {
+        assert!(
+            pass.stale > 0,
+            "scenario {} produced no stale serves — the burst never overloaded the queue \
+             or the cache never hit",
+            run.shape.label()
+        );
+    }
+    assert_eq!(
+        stale_beyond_bound, 0,
+        "served a stale answer older than the {SCENARIO_STALENESS_BOUND}-epoch bound"
+    );
+
+    // Served quality under the same feed, cache off the table: ServeStale
+    // must shed strictly less than DropNewest, because every cache hit is
+    // an answer DropNewest would have thrown away.
+    let drop_newest_rate = (run.policy == OverloadPolicy::ServeStale).then(|| {
+        let dn = scenario_pass(&run, &feed, warm_n, OverloadPolicy::DropNewest);
+        let ss_rate = pass.dropped as f64 / feed.len() as f64;
+        let dn_rate = dn.dropped as f64 / feed.len() as f64;
+        println!(
+            "degraded-mode comparison: serve-stale dropped {} ({:.2}%) vs drop-newest {} ({:.2}%) on the identical feed",
+            pass.dropped,
+            ss_rate * 100.0,
+            dn.dropped,
+            dn_rate * 100.0,
+        );
+        assert!(
+            pass.dropped < dn.dropped,
+            "serve-stale must drop strictly less than drop-newest ({} vs {})",
+            pass.dropped,
+            dn.dropped
+        );
+        dn_rate
+    });
+
+    if run.smoke {
+        println!("smoke mode: skipping {} update", run.out_path);
+        return;
+    }
+    let scenario_json = format!(
+        "    \"scenario\": {{ \"shape\": \"{}\", \"events\": {}, \"warm_events\": {warm_n}, \"burst_events\": {}, \"admitted\": {}, \"served_stale\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"drop_rate_drop_newest\": {}, \"stale_checked\": {stale_checked}, \"stale_beyond_bound\": {stale_beyond_bound} }},",
+        run.shape.label(),
+        feed.len(),
+        feed.len() - warm_n,
+        pass.admitted,
+        pass.stale,
+        pass.dropped,
+        pass.dropped as f64 / feed.len() as f64,
+        drop_newest_rate.map_or("null".to_string(), |r| format!("{r:.4}")),
+    );
+    merge_pipeline_row(
+        run.out_path,
+        &pass.report,
+        "batched",
+        run.policy,
+        0.0,
+        None,
+        None,
+        None,
+        Some(&scenario_json),
+    );
+    println!("wrote pipeline row to {}", run.out_path);
+}
+
+/// Runs one warm+burst pass of `feed` under `policy` and reconciles the
+/// submit-side tally against the tenant's report counters.
+fn scenario_pass(
+    run: &ScenarioRun,
+    feed: &[InteractionEvent],
+    warm_n: usize,
+    policy: OverloadPolicy,
+) -> ScenarioPass {
+    let config = ServeConfig {
+        max_batch: run.max_batch,
+        // Size-only sealing, as in the main run.
+        batch_deadline: Duration::from_secs(3600),
+        num_shards: NUM_SHARDS,
+        gnn_workers: run.gnn_workers,
+        // The burst phase never polls, so in-flight *capacity* — not
+        // pipeline speed — decides when the ingress queue fills: shallow
+        // stage/results queues make the overload (and with it the cache
+        // lookups) deterministic on any host.
+        admission_capacity: 8,
+        stage_capacity: 1,
+        results_capacity: 2,
+        cache: Some(CacheConfig {
+            capacity: (2 * run.graph.num_nodes()).max(4096),
+            staleness_bound_epochs: SCENARIO_STALENESS_BOUND,
+        }),
+        tenants: vec![TenantSpec::new("scenario")
+            .with_capacity(run.ingress_capacity)
+            .with_policy(policy)
+            .with_deadline(Duration::from_secs_f64(run.deadline_ms / 1e3))],
+        metrics: !run.no_metrics,
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(run.model.clone(), run.graph.clone(), config);
+    server.warm_up(run.warm_events);
+    let mut served: Vec<ServedBatch> = Vec::new();
+    let (mut admitted, mut stale, mut dropped) = (0u64, 0u64, 0u64);
+    let mut submits = 0u64;
+    for (i, &e) in feed.iter().enumerate() {
+        if i < warm_n {
+            // Warm phase: the submit loop is orders of magnitude faster
+            // than the pipeline, so pace it by retrying each cache-miss
+            // rejection until the event is admitted (or answered stale) —
+            // that is what populates the cache the burst will lean on.
+            // Every outcome occurrence is tallied, so the accounting below
+            // stays balanced across retries.
+            let mut tries = 0u32;
+            loop {
+                submits += 1;
+                match server
+                    .submit_for(TenantId(0), e)
+                    .expect("chronological scenario feed")
+                {
+                    SubmitOutcome::Admitted => {
+                        admitted += 1;
+                        break;
+                    }
+                    SubmitOutcome::ServedStale => {
+                        stale += 1;
+                        break;
+                    }
+                    SubmitOutcome::Dropped => dropped += 1,
+                }
+                tries += 1;
+                assert!(tries < 100_000, "warm phase starved: pipeline stalled");
+                while let Some(b) = server.poll() {
+                    served.push(b);
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            while let Some(b) = server.poll() {
+                served.push(b);
+            }
+            // DropOldest admits unconditionally (evicting silently), so the
+            // retry loop above never paces it — throttle explicitly or the
+            // warm phase floods the queue and evicts its own cache feed.
+            if policy == OverloadPolicy::DropOldest {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        } else {
+            // Burst phase: one submit per event and no polling, so the
+            // pipeline's bounded in-flight capacity fills deterministically
+            // and the overload policy decides every remaining event.
+            submits += 1;
+            match server
+                .submit_for(TenantId(0), e)
+                .expect("chronological scenario feed")
+            {
+                SubmitOutcome::Admitted => admitted += 1,
+                SubmitOutcome::ServedStale => stale += 1,
+                SubmitOutcome::Dropped => dropped += 1,
+            }
+        }
+    }
+    let report = server.drain();
+    while let Some(b) = server.poll() {
+        served.push(b);
+    }
+    assert_eq!(
+        admitted + stale + dropped,
+        submits,
+        "every submit resolves to exactly one outcome"
+    );
+    let t = &report.tenants[0];
+    assert_eq!(t.counters.submitted, submits);
+    assert_eq!(
+        t.served_stale, stale,
+        "one stale delivery per ServedStale outcome"
+    );
+    if policy == OverloadPolicy::DropOldest {
+        // DropOldest admits at submit time and evicts an older *queued*
+        // event instead, so its drops are invisible to the outcome tally —
+        // only the conservation law is checkable from outside.
+        assert_eq!(t.served + t.dropped(), submits, "DropOldest conservation");
+    } else {
+        assert_eq!(
+            t.served,
+            admitted + stale,
+            "after the drain, served covers every admitted event plus every stale answer"
+        );
+        assert_eq!(
+            t.dropped(),
+            dropped,
+            "one recorded drop per Dropped outcome"
+        );
+    }
+    let delivered: usize = served.iter().map(|b| b.events.len()).sum();
+    assert_eq!(
+        delivered as u64, t.served,
+        "polled batches account for every served event"
+    );
+    // Report-side tallies (== the local ones for every policy but
+    // DropOldest, where eviction moves drops out of the submit loop's view).
+    let (served_stale, dropped) = (t.served_stale, t.dropped());
+    let admitted = t.counters.admitted;
+    ScenarioPass {
+        report,
+        served,
+        admitted,
+        stale: served_stale,
+        dropped,
+    }
+}
+
+/// Checks every cache-served (epoch 0) batch: flagged `Stale` within the
+/// bound, and bit-identical to the embedding the pipeline originally served
+/// for its `(vertex, source epoch)`.  Returns `(entries checked, answers
+/// beyond the bound)`.
+fn verify_scenario_stale(served: &[ServedBatch], bound: u64) -> (usize, u64) {
+    let mut history: HashMap<u64, HashMap<u32, &[Float]>> = HashMap::new();
+    for b in served.iter().filter(|b| b.epoch > 0) {
+        let per = history.entry(b.epoch).or_default();
+        for (v, emb) in &b.embeddings {
+            per.insert(*v, emb.as_slice());
+        }
+    }
+    let mut checked = 0usize;
+    let mut beyond = 0u64;
+    for b in served.iter().filter(|b| b.epoch == 0) {
+        assert_eq!(
+            b.embeddings.len(),
+            b.cache_epochs.len(),
+            "a stale batch records one source epoch per embedding"
+        );
+        let age = match b.metas.first().map(|m| m.disposition) {
+            Some(Disposition::Stale { age_epochs }) => age_epochs,
+            other => panic!("epoch-0 batch without a Stale disposition: {other:?}"),
+        };
+        if age > bound {
+            beyond += 1;
+        }
+        for ((v, emb), &src_epoch) in b.embeddings.iter().zip(&b.cache_epochs) {
+            let original = history
+                .get(&src_epoch)
+                .and_then(|m| m.get(v))
+                .unwrap_or_else(|| {
+                    panic!(
+                        "stale answer cites epoch {src_epoch} vertex {v}, never served by the pipeline"
+                    )
+                });
+            assert_eq!(
+                *original,
+                emb.as_slice(),
+                "stale answer for vertex {v} diverged bitwise from the embedding served in epoch {src_epoch}"
+            );
+            checked += 1;
+        }
+    }
+    (checked, beyond)
 }

@@ -7,6 +7,8 @@
 //! the defaults each binary finishes in seconds; pass `--scale 1.0` to run at
 //! the paper's dataset sizes.
 
+pub mod scenarios;
+
 use std::time::Duration;
 use tgnn_core::{ModelConfig, OptimizationVariant, TgnModel, TimeEncoderKind};
 use tgnn_data::{gdelt_like, generate, reddit_like, wikipedia_like, DatasetConfig};

@@ -1,0 +1,292 @@
+//! Seeded traffic-scenario generators for `serve_bench --scenario`.
+//!
+//! Each scenario resamples the dataset's own measurement feed — so every
+//! generated event carries a `(src, dst, edge_id)` triple that exists in the
+//! graph and has real edge features — but reshapes *which vertices the
+//! traffic concentrates on over time*.  That popularity structure is exactly
+//! what the `ServeStale` embedding cache is sensitive to: a power-law feed
+//! keeps its hot set permanently cached, a flash crowd makes a cold vertex
+//! suddenly hot, a diurnal feed swaps the working set wholesale, and a fraud
+//! burst hammers one vertex in a tight run.  Timestamps are synthesized on a
+//! strictly increasing grid starting above `t_floor`, so the generated feed
+//! is always chronologically submittable after warm-up.
+//!
+//! Generation is fully deterministic in `(scenario, base feed, n, seed)` —
+//! the generators draw only from [`TensorRng`] — so bench runs and the CI
+//! smoke gate are reproducible.
+
+use std::collections::HashMap;
+use tgnn_graph::InteractionEvent;
+use tgnn_tensor::TensorRng;
+
+/// A named traffic shape for `serve_bench --scenario`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scenario {
+    /// Every base event equally likely: no exploitable locality beyond what
+    /// the dataset already has — the cache's floor case.
+    Uniform,
+    /// Zipf-distributed source popularity (exponent ≈ 1.1): a small hot set
+    /// dominates, the cache's best case.
+    PowerLaw,
+    /// Uniform background, but the middle third of the feed concentrates
+    /// 90 % of traffic on a handful of crowd vertices.
+    FlashCrowd,
+    /// Two vertex communities alternating as the working set in day/night
+    /// phases — the cache is repeatedly invalidated by working-set turnover.
+    Diurnal,
+    /// Uniform background punctuated by short bursts in which one
+    /// "fraudster" source fires many interactions back-to-back.
+    FraudBurst,
+}
+
+impl Scenario {
+    /// All scenarios, in the order the bench README documents them.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::Uniform,
+            Scenario::PowerLaw,
+            Scenario::FlashCrowd,
+            Scenario::Diurnal,
+            Scenario::FraudBurst,
+        ]
+    }
+
+    /// The `--scenario` flag spelling.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::PowerLaw => "powerlaw",
+            Scenario::FlashCrowd => "flash-crowd",
+            Scenario::Diurnal => "diurnal",
+            Scenario::FraudBurst => "fraud-burst",
+        }
+    }
+}
+
+impl std::str::FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Scenario::all()
+            .into_iter()
+            .find(|k| k.label() == s)
+            .ok_or_else(|| {
+                format!(
+                    "unknown scenario {s:?} (expected one of: {})",
+                    Scenario::all().map(|k| k.label()).join(", ")
+                )
+            })
+    }
+}
+
+/// Base events bucketed by source vertex, hottest source first — the
+/// popularity axis every scenario samples along.
+struct Buckets {
+    /// `by_src[rank]` = indices into the base feed, one bucket per distinct
+    /// source, sorted by descending bucket size (rank 0 is the hottest
+    /// source in the *base* feed).
+    by_src: Vec<Vec<usize>>,
+}
+
+impl Buckets {
+    fn new(base: &[InteractionEvent]) -> Self {
+        let mut map: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, e) in base.iter().enumerate() {
+            map.entry(e.src).or_default().push(i);
+        }
+        let mut by_src: Vec<(u32, Vec<usize>)> = map.into_iter().collect();
+        // Size-descending, source id as the deterministic tiebreak.
+        by_src.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then(a.0.cmp(&b.0)));
+        Buckets {
+            by_src: by_src.into_iter().map(|(_, v)| v).collect(),
+        }
+    }
+
+    fn pick(&self, rank: usize, rng: &mut TensorRng) -> usize {
+        let bucket = &self.by_src[rank.min(self.by_src.len() - 1)];
+        bucket[rng.index(bucket.len())]
+    }
+}
+
+/// Zipf sampler over `n` ranks with exponent `alpha`: cumulative weights +
+/// binary search, the dependency-free standard construction.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, alpha: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(alpha);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut TensorRng) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let u = rng.uniform(0.0, 1.0) as f64 * total;
+        self.cumulative.partition_point(|&c| c < u)
+    }
+}
+
+/// Generates `n` scenario events by resampling `base`, with strictly
+/// increasing timestamps starting above `t_floor`.  Deterministic in every
+/// argument.  Panics if `base` is empty.
+pub fn generate(
+    scenario: Scenario,
+    base: &[InteractionEvent],
+    n: usize,
+    t_floor: f64,
+    seed: u64,
+) -> Vec<InteractionEvent> {
+    assert!(
+        !base.is_empty(),
+        "scenario generation needs a non-empty base feed"
+    );
+    let mut rng = TensorRng::new(seed ^ 0x5ce4a210);
+    let buckets = Buckets::new(base);
+    let ranks = buckets.by_src.len();
+    let zipf = Zipf::new(ranks, 1.1);
+    // Flash crowd: a handful of hot vertices; fraud burst: ~16-event runs.
+    let crowd = ranks.min(4);
+    let burst_len = 16usize;
+    let mut burst_left = 0usize;
+    let mut burst_rank = 0usize;
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let idx = match scenario {
+            Scenario::Uniform => rng.index(base.len()),
+            Scenario::PowerLaw => buckets.pick(zipf.sample(&mut rng), &mut rng),
+            Scenario::FlashCrowd => {
+                let in_crowd_window = i >= n / 3 && i < 2 * n / 3;
+                if in_crowd_window && rng.bernoulli(0.9) {
+                    buckets.pick(rng.index(crowd), &mut rng)
+                } else {
+                    rng.index(base.len())
+                }
+            }
+            Scenario::Diurnal => {
+                // Four day/night cycles over the feed; each phase draws 90 %
+                // of its traffic from its own half of the popularity ranks.
+                let phase = (i * 8 / n.max(1)) % 2;
+                let day = rng.bernoulli(0.9) == (phase == 0);
+                let half = ranks.div_ceil(2);
+                let rank = if day {
+                    rng.index(half)
+                } else {
+                    half + rng.index((ranks - half).max(1))
+                };
+                buckets.pick(rank.min(ranks - 1), &mut rng)
+            }
+            Scenario::FraudBurst => {
+                if burst_left > 0 {
+                    burst_left -= 1;
+                    buckets.pick(burst_rank, &mut rng)
+                } else if rng.bernoulli(1.0 / 64.0) {
+                    burst_rank = rng.index(ranks);
+                    burst_left = burst_len - 1;
+                    buckets.pick(burst_rank, &mut rng)
+                } else {
+                    rng.index(base.len())
+                }
+            }
+        };
+        let mut e = base[idx];
+        e.timestamp = t_floor + 1.0 + i as f64;
+        out.push(e);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_feed() -> Vec<InteractionEvent> {
+        // 8 sources with strongly skewed base frequencies.
+        let mut events = Vec::new();
+        let mut t = 0.0;
+        for round in 0..64u32 {
+            for src in 0..8u32 {
+                if round % (src + 1) == 0 {
+                    events.push(InteractionEvent::new(src, 100 + src, src, t));
+                    t += 1.0;
+                }
+            }
+        }
+        events
+    }
+
+    #[test]
+    fn every_scenario_is_chronological_valid_and_deterministic() {
+        let base = base_feed();
+        let floor = base.last().unwrap().timestamp;
+        for scenario in Scenario::all() {
+            let a = generate(scenario, &base, 500, floor, 42);
+            let b = generate(scenario, &base, 500, floor, 42);
+            assert_eq!(a.len(), 500);
+            assert_eq!(a, b, "{}: not deterministic", scenario.label());
+            let triples: std::collections::HashSet<(u32, u32, u32)> =
+                base.iter().map(|e| (e.src, e.dst, e.edge_id)).collect();
+            let mut prev = floor;
+            for e in &a {
+                assert!(
+                    e.timestamp > prev,
+                    "{}: timestamps must strictly increase",
+                    scenario.label()
+                );
+                prev = e.timestamp;
+                assert!(
+                    triples.contains(&(e.src, e.dst, e.edge_id)),
+                    "{}: generated an event absent from the base feed",
+                    scenario.label()
+                );
+            }
+            let c = generate(scenario, &base, 500, floor, 43);
+            assert_ne!(a, c, "{}: seed must matter", scenario.label());
+        }
+    }
+
+    #[test]
+    fn powerlaw_concentrates_on_the_hot_ranks() {
+        let base = base_feed();
+        let events = generate(Scenario::PowerLaw, &base, 4000, 0.0, 7);
+        let mut counts: HashMap<u32, usize> = HashMap::new();
+        for e in &events {
+            *counts.entry(e.src).or_default() += 1;
+        }
+        let hottest = *counts.values().max().unwrap();
+        let coldest = *counts.values().min().unwrap_or(&0);
+        assert!(
+            hottest > coldest * 3,
+            "zipf sampling must skew traffic (hottest {hottest}, coldest {coldest})"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_heats_the_middle_window() {
+        let base = base_feed();
+        let n = 3000;
+        let events = generate(Scenario::FlashCrowd, &base, n, 0.0, 9);
+        let crowd_srcs: std::collections::HashSet<u32> = {
+            let buckets = Buckets::new(&base);
+            buckets.by_src[..4].iter().map(|b| base[b[0]].src).collect()
+        };
+        let share = |range: std::ops::Range<usize>| {
+            let hits = events[range.clone()]
+                .iter()
+                .filter(|e| crowd_srcs.contains(&e.src))
+                .count();
+            hits as f64 / range.len() as f64
+        };
+        let before = share(0..n / 3);
+        let during = share(n / 3..2 * n / 3);
+        assert!(
+            during > before + 0.2,
+            "crowd window must concentrate traffic (before {before:.2}, during {during:.2})"
+        );
+    }
+}

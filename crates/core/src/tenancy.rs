@@ -21,10 +21,15 @@
 //! | [`DropNewest`](OverloadPolicy::DropNewest) | incoming event dropped | `Dropped` outcome | admitted events served |
 //! | [`DropOldest`](OverloadPolicy::DropOldest) | queue head evicted, incoming admitted | `Admitted` (eviction counted) | freshest events served |
 //! | [`Late`](OverloadPolicy::Late) | `submit` blocks until space | backpressure | served, flagged [`Disposition::Late`] past deadline |
+//! | [`ServeStale`](OverloadPolicy::ServeStale) | answered from the embedding cache | `ServedStale` outcome | flagged [`Disposition::Stale`] with its age |
 //!
 //! Dropping happens **only** in the ingress queue: once the scheduler hands
 //! an event to the micro-batcher it is sealed into a batch and will be
 //! served exactly once (the admission property tests assert this).
+//! `ServeStale` completes the block/drop/late spectrum with a *quality*
+//! axis: instead of delaying or discarding overload, it answers from the
+//! serving layer's bounded-staleness embedding cache and labels the result
+//! with how many epochs old it is.
 
 /// Identifies one tenant of a multi-tenant serving instance.
 ///
@@ -71,6 +76,14 @@ pub enum OverloadPolicy {
     /// Admit (blocking at the bound) and mark results that complete after
     /// the tenant's deadline as [`Disposition::Late`].
     Late,
+    /// Answer from the serving layer's bounded-staleness embedding cache
+    /// when the queue is full: the event is *not* admitted to the pipeline;
+    /// its result carries the last served embeddings of the touched
+    /// vertices, flagged [`Disposition::Stale`] with the age in epochs.  A
+    /// cache miss (no fresh-enough entry for every touched vertex) degrades
+    /// to a `DropNewest`-style shed — the cache never answers beyond its
+    /// staleness bound.
+    ServeStale,
 }
 
 impl OverloadPolicy {
@@ -81,6 +94,7 @@ impl OverloadPolicy {
             OverloadPolicy::DropNewest => "drop-newest",
             OverloadPolicy::DropOldest => "drop-oldest",
             OverloadPolicy::Late => "late",
+            OverloadPolicy::ServeStale => "serve-stale",
         }
     }
 }
@@ -89,26 +103,31 @@ impl std::str::FromStr for OverloadPolicy {
     type Err = String;
 
     /// Parses the labels `label()` emits (hyphen/underscore-insensitive):
-    /// `block`, `drop-newest`, `drop-oldest`, `late`.
+    /// `block`, `drop-newest`, `drop-oldest`, `late`, `serve-stale`.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s.to_ascii_lowercase().replace('_', "-").as_str() {
             "block" => Ok(OverloadPolicy::Block),
             "drop-newest" | "dropnewest" => Ok(OverloadPolicy::DropNewest),
             "drop-oldest" | "dropoldest" => Ok(OverloadPolicy::DropOldest),
             "late" => Ok(OverloadPolicy::Late),
+            "serve-stale" | "servestale" => Ok(OverloadPolicy::ServeStale),
             other => Err(format!(
-                "unknown overload policy {other:?} (expected block|drop-newest|drop-oldest|late)"
+                "unknown overload policy {other:?} (expected block|drop-newest|drop-oldest|late|serve-stale)"
             )),
         }
     }
 }
 
-/// Whether a served result met its tenant's latency deadline.
+/// Whether a served result met its tenant's latency deadline, or — under
+/// [`OverloadPolicy::ServeStale`] — was answered from the embedding cache.
 ///
 /// Dispositions are *metadata only*: a `Late` embedding is bitwise-identical
 /// to the embedding the same event would have produced on time — the flag
 /// records that the pipeline's queueing delay exceeded the deadline, not
 /// that the computation differed (asserted by the admission property tests).
+/// A `Stale` embedding is bitwise-identical to the embedding *served at the
+/// cached epoch*; `age_epochs` says how many epoch barriers have committed
+/// since.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Disposition {
     /// Completed within the tenant's deadline (or the tenant has none).
@@ -119,12 +138,33 @@ pub enum Disposition {
     /// policy built around it (admit everything, flag the stragglers), but
     /// drop-policy tenants with a deadline get the same observability.
     Late,
+    /// Answered from the bounded-staleness embedding cache without entering
+    /// the pipeline ([`OverloadPolicy::ServeStale`] under overload).
+    Stale {
+        /// Epoch barriers committed since the cached embedding was served
+        /// (0 = the cache entry is current).  Never exceeds the cache's
+        /// configured staleness bound.
+        age_epochs: u64,
+    },
 }
 
 impl Disposition {
     /// True for [`Disposition::Late`].
     pub fn is_late(self) -> bool {
         matches!(self, Disposition::Late)
+    }
+
+    /// True for [`Disposition::Stale`] (any age).
+    pub fn is_stale(self) -> bool {
+        matches!(self, Disposition::Stale { .. })
+    }
+
+    /// The stale age in epochs, or `None` for non-stale dispositions.
+    pub fn stale_age(self) -> Option<u64> {
+        match self {
+            Disposition::Stale { age_epochs } => Some(age_epochs),
+            _ => None,
+        }
     }
 }
 
@@ -157,6 +197,7 @@ mod tests {
             OverloadPolicy::DropNewest,
             OverloadPolicy::DropOldest,
             OverloadPolicy::Late,
+            OverloadPolicy::ServeStale,
         ] {
             assert_eq!(p.label().parse::<OverloadPolicy>().unwrap(), p);
         }
@@ -172,5 +213,18 @@ mod tests {
         assert_eq!(Disposition::default(), Disposition::OnTime);
         assert!(Disposition::Late.is_late());
         assert!(!Disposition::OnTime.is_late());
+    }
+
+    #[test]
+    fn stale_disposition_carries_its_age() {
+        let d = Disposition::Stale { age_epochs: 7 };
+        assert!(d.is_stale());
+        assert!(!d.is_late());
+        assert_eq!(d.stale_age(), Some(7));
+        assert_eq!(Disposition::OnTime.stale_age(), None);
+        assert_eq!(
+            "SERVE_STALE".parse::<OverloadPolicy>().unwrap(),
+            OverloadPolicy::ServeStale
+        );
     }
 }

@@ -65,6 +65,10 @@ pub struct RecoveryPlan {
     pub dropped_newest: Vec<u64>,
     /// Per-tenant drops by the token-bucket rate limit.
     pub dropped_throttled: Vec<u64>,
+    /// Per-tenant events answered from the embedding cache (`ServeStale`).
+    /// Counted like drops for tail purposes — the event never queued — but
+    /// reported separately because the client did receive a (stale) result.
+    pub served_stale: Vec<u64>,
     /// Per-tenant `DropOldest` evictions.
     pub evicted: Vec<u64>,
     /// Per-tenant largest durable submitted timestamp
@@ -100,6 +104,7 @@ pub fn plan_recovery(scan: &WalScan, num_tenants: usize) -> Result<RecoveryPlan,
         admits: vec![0; num_tenants],
         dropped_newest: vec![0; num_tenants],
         dropped_throttled: vec![0; num_tenants],
+        served_stale: vec![0; num_tenants],
         evicted: vec![0; num_tenants],
         max_timestamp: vec![f64::NEG_INFINITY; num_tenants],
         ..RecoveryPlan::default()
@@ -130,6 +135,7 @@ pub fn plan_recovery(scan: &WalScan, num_tenants: usize) -> Result<RecoveryPlan,
                     AdmitDisposition::Admitted => plan.tails[t].push(*event),
                     AdmitDisposition::DroppedNewest => plan.dropped_newest[t] += 1,
                     AdmitDisposition::DroppedThrottled => plan.dropped_throttled[t] += 1,
+                    AdmitDisposition::ServedStale => plan.served_stale[t] += 1,
                 }
             }
             WalRecord::Evict { tenant: t, event } => {
@@ -244,14 +250,21 @@ mod tests {
                     event: ev(1, 2.0),
                     disposition: AdmitDisposition::DroppedThrottled,
                 },
+                WalRecord::Admit {
+                    tenant: 0,
+                    event: ev(2, 3.0),
+                    disposition: AdmitDisposition::ServedStale,
+                },
             ]),
             1,
         )
         .unwrap();
         assert!(plan.tails[0].is_empty());
-        assert_eq!(plan.admits[0], 2);
+        assert_eq!(plan.admits[0], 3);
         assert_eq!(plan.dropped_newest[0], 1);
         assert_eq!(plan.dropped_throttled[0], 1);
+        assert_eq!(plan.served_stale[0], 1);
+        assert_eq!(plan.max_timestamp[0], 3.0);
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub enum AdmitDisposition {
     /// Rejected by the tenant's token-bucket rate limit (drop policies only;
     /// blocking policies wait for tokens instead).
     DroppedThrottled,
+    /// Answered from the embedding cache at the bound (`ServeStale` policy).
+    /// Drop-like for recovery: the event never entered an ingress queue, so
+    /// it contributes no tail entry — but it *was* a durable submit outcome,
+    /// so it counts toward the tenant's resume index.
+    ServedStale,
 }
 
 impl AdmitDisposition {
@@ -75,6 +80,7 @@ impl AdmitDisposition {
             AdmitDisposition::Admitted => 0,
             AdmitDisposition::DroppedNewest => 1,
             AdmitDisposition::DroppedThrottled => 2,
+            AdmitDisposition::ServedStale => 3,
         }
     }
 
@@ -83,6 +89,7 @@ impl AdmitDisposition {
             0 => Ok(AdmitDisposition::Admitted),
             1 => Ok(AdmitDisposition::DroppedNewest),
             2 => Ok(AdmitDisposition::DroppedThrottled),
+            3 => Ok(AdmitDisposition::ServedStale),
             other => Err(DurableError::corrupt(format!(
                 "unknown admit disposition byte {other}"
             ))),
@@ -593,6 +600,11 @@ mod tests {
                 tenant: 1,
                 event: ev(1.5),
                 disposition: AdmitDisposition::DroppedNewest,
+            },
+            WalRecord::Admit {
+                tenant: 0,
+                event: ev(1.75),
+                disposition: AdmitDisposition::ServedStale,
             },
             WalRecord::Evict {
                 tenant: 1,

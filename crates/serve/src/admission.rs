@@ -22,7 +22,12 @@
 //!   `ingress_capacity` pending events.  What happens at the bound is the
 //!   tenant's [`OverloadPolicy`]: `Block`/`Late` exert backpressure on the
 //!   submitter, `DropNewest` rejects the incoming event, `DropOldest`
-//!   evicts the queue head.  Drops can happen **only** here — an event the
+//!   evicts the queue head, and `ServeStale` answers from the serving
+//!   layer's bounded-staleness embedding cache (see [`crate::cache`]) —
+//!   the result comes back through `poll` flagged
+//!   [`Disposition`]`::Stale` with its
+//!   age in epochs, and a cache miss degrades to a `DropNewest`-style
+//!   shed.  Drops can happen **only** here — an event the
 //!   scheduler has handed to the batcher is sealed and will be served.
 //! * **Weighted-fair draining** — the scheduler worker visits non-empty
 //!   tenants round-robin and takes up to `weight` events per visit
@@ -89,10 +94,12 @@
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use tgnn_core::tenancy::{OverloadPolicy, TenantId};
+use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 use tgnn_durable::{AdmitDisposition, Wal, WalRecord};
 use tgnn_graph::{InteractionEvent, Timestamp};
 
+use crate::cache::EmbeddingCache;
+use crate::pipeline::{Collector, ServedBatch};
 use crate::server::SubmitError;
 
 /// Configuration of one tenant's admission behaviour.
@@ -217,10 +224,19 @@ pub enum SubmitOutcome {
     /// The tenant's queue was full under [`OverloadPolicy::DropNewest`]:
     /// the event was rejected and will never produce a result.
     Dropped,
+    /// The tenant ran [`OverloadPolicy::ServeStale`] at a full queue (or an
+    /// empty token bucket) and every touched vertex was in the embedding
+    /// cache within its staleness bound: the event did **not** enter the
+    /// pipeline, but a result flagged
+    /// [`Disposition::Stale`](tgnn_core::tenancy::Disposition) is already
+    /// queued and will come back through `poll`.
+    ServedStale,
 }
 
 impl SubmitOutcome {
-    /// True when the event entered the pipeline.
+    /// True when the event entered the pipeline (`ServedStale` answers
+    /// without entering it, so it is *not* "admitted" — but unlike
+    /// `Dropped` it does produce a result).
     pub fn is_admitted(self) -> bool {
         matches!(self, SubmitOutcome::Admitted)
     }
@@ -260,6 +276,11 @@ pub struct AdmissionCounters {
     pub dropped_oldest: u64,
     /// Incoming events rejected by an empty token bucket (drop policies).
     pub dropped_throttled: u64,
+    /// Events answered from the embedding cache by
+    /// [`OverloadPolicy::ServeStale`] — overflow that produced a (stale)
+    /// result instead of a drop.  Counted toward `served`, not `dropped()`:
+    /// after a drain `submitted == served + dropped()` still holds.
+    pub served_stale: u64,
     /// `submit_for` calls that had to block on a full queue
     /// (`Block`/`Late` backpressure).
     pub blocked_submits: u64,
@@ -310,6 +331,22 @@ struct AdmissionState {
     closed: bool,
 }
 
+/// Everything the submit path needs to answer an overload event from the
+/// embedding cache instead of shedding it ([`OverloadPolicy::ServeStale`]).
+/// The stale output queue is drained by `StreamServer::poll` *ahead of*
+/// pipeline results — stale batches never pass through the pipeline (and
+/// therefore need no durability seal gate).
+pub(crate) struct StaleServing {
+    /// The shared embedding cache (population and invalidation happen in
+    /// the pipeline; admission only reads).
+    pub cache: Arc<EmbeddingCache>,
+    /// Synthesized stale batches awaiting `poll`.
+    pub out: Arc<Mutex<VecDeque<ServedBatch>>>,
+    /// The pipeline's completion-side collector: stale answers count as
+    /// served events so `submitted == served + dropped()` keeps holding.
+    pub collector: Arc<Collector>,
+}
+
 /// The shared admission front end: per-tenant bounded queues plus the
 /// weighted-fair drain the scheduler worker runs.  One instance per
 /// `StreamServer`, shared between the submitting thread and the scheduler.
@@ -325,6 +362,15 @@ pub(crate) struct AdmissionControl {
     /// preceding it in the log.  Lock order: admission lock, then the WAL's
     /// internal mutex (the batcher and poll take only the latter).
     wal: Option<Arc<Wal>>,
+    /// `ServeStale` support; `None` when no tenant runs that policy.  The
+    /// cache shard locks and the stale output lock are leaf locks taken
+    /// under the admission lock (nothing is acquired while they are held).
+    stale: Option<StaleServing>,
+    /// Deterministic test clock: when set, `now()` returns this instant
+    /// instead of wall time, so the token-bucket and deadline tests advance
+    /// time explicitly rather than sleeping (no flaky timing asserts).
+    #[cfg(test)]
+    test_now: Mutex<Option<Instant>>,
 }
 
 impl AdmissionControl {
@@ -364,6 +410,9 @@ impl AdmissionControl {
             space: Condvar::new(),
             ready: Condvar::new(),
             wal: None,
+            stale: None,
+            #[cfg(test)]
+            test_now: Mutex::new(None),
         }
     }
 
@@ -371,6 +420,43 @@ impl AdmissionControl {
     pub fn with_wal(mut self, wal: Option<Arc<Wal>>) -> Self {
         self.wal = wal;
         self
+    }
+
+    /// Attaches the `ServeStale` machinery (builder style, before sharing).
+    pub fn with_stale(mut self, stale: Option<StaleServing>) -> Self {
+        self.stale = stale;
+        self
+    }
+
+    /// The admission clock: wall time in production, the frozen test clock
+    /// when a test installed one.  Every time read on the submit path —
+    /// token-bucket refills and the `admitted_at` deadline stamp — goes
+    /// through here so tests can advance time deterministically.
+    fn now(&self) -> Instant {
+        #[cfg(test)]
+        if let Some(t) = *self.test_now.lock().unwrap() {
+            return t;
+        }
+        Instant::now()
+    }
+
+    /// Freezes the admission clock at the current instant (tests only).
+    #[cfg(test)]
+    fn freeze_clock(&self) -> Instant {
+        let now = Instant::now();
+        *self.test_now.lock().unwrap() = Some(now);
+        now
+    }
+
+    /// Advances the frozen clock and wakes throttled waiters so they
+    /// re-check the bucket against the new time (tests only).
+    #[cfg(test)]
+    fn advance_clock(&self, by: Duration) {
+        let mut clock = self.test_now.lock().unwrap();
+        let t = clock.expect("advance_clock requires freeze_clock first");
+        *clock = Some(t + by);
+        drop(clock);
+        self.space.notify_all();
     }
 
     /// Appends a WAL record for a submit outcome.  A WAL that cannot accept
@@ -384,6 +470,47 @@ impl AdmissionControl {
     /// Number of configured tenants.
     pub fn num_tenants(&self) -> usize {
         self.state.lock().unwrap().tenants.len()
+    }
+
+    /// Attempts to answer an overload event from the embedding cache
+    /// ([`OverloadPolicy::ServeStale`]).  On a hit — every touched vertex
+    /// cached within the staleness bound — a [`ServedBatch`] flagged
+    /// [`Disposition::Stale`] is queued for `poll` and the answer's age (in
+    /// epochs) is returned; `None` on a miss, and the caller sheds the event
+    /// like a drop policy would.  The batch's embeddings are exactly the
+    /// cached (i.e. originally served) values; `cache_epochs` records the
+    /// serving epoch of each so clients and the bench can verify
+    /// bit-identity against history.
+    fn serve_stale(&self, tenant: TenantId, event: InteractionEvent) -> Option<u64> {
+        let stale = self.stale.as_ref()?;
+        let (entries, age) = stale.cache.get_event(event.src, event.dst)?;
+        stale.cache.record_stale_serve(age);
+        let mut embeddings = Vec::with_capacity(entries.len());
+        let mut cache_epochs = Vec::with_capacity(entries.len());
+        for (v, emb, epoch) in entries {
+            embeddings.push((v, emb));
+            cache_epochs.push(epoch);
+        }
+        // A stale answer is delivered, so it counts as a served event (the
+        // drain invariant `submitted == served + dropped()` depends on it),
+        // but it bypasses the pipeline: zero pipeline latency, and it is
+        // excluded from the tenant's admission-to-completion distribution.
+        stale
+            .collector
+            .record_batch(1, embeddings.len(), Duration::ZERO);
+        stale.collector.record_stale_event(tenant);
+        stale.out.lock().unwrap().push_back(ServedBatch {
+            epoch: 0,
+            events: vec![event],
+            metas: vec![ResultMeta {
+                tenant,
+                disposition: Disposition::Stale { age_epochs: age },
+            }],
+            embeddings,
+            cache_epochs,
+            latency: Duration::ZERO,
+        });
+        Some(age)
     }
 
     /// Submits one event for a tenant, applying its overload policy at the
@@ -417,8 +544,9 @@ impl AdmissionControl {
             t.last_timestamp = event.timestamp;
         }
         // Token bucket, before the queue-bound policy: blocking policies
-        // wait for a token, drop policies shed the event.
-        if !state.tenants[idx].refill_tokens(Instant::now()) {
+        // wait for a token, drop policies shed the event, `ServeStale`
+        // answers from the cache (or sheds on a miss).
+        if !state.tenants[idx].refill_tokens(self.now()) {
             match state.tenants[idx].spec.policy {
                 OverloadPolicy::Block | OverloadPolicy::Late => {
                     state.tenants[idx].counters.throttled += 1;
@@ -427,13 +555,38 @@ impl AdmissionControl {
                             return Err(SubmitError::Closed);
                         }
                         let t = &mut state.tenants[idx];
-                        if t.refill_tokens(Instant::now()) {
+                        if t.refill_tokens(self.now()) {
                             break;
                         }
                         let rate = t.spec.rate_eps.expect("throttled without a rate limit");
                         let wait = Duration::from_secs_f64(((1.0 - t.tokens) / rate).max(1e-4));
                         state = self.space.wait_timeout(state, wait).unwrap().0;
                     }
+                }
+                OverloadPolicy::ServeStale => {
+                    let served = self.serve_stale(tenant, event);
+                    let t = &mut state.tenants[idx];
+                    t.counters.submitted += 1;
+                    return match served {
+                        Some(_) => {
+                            t.counters.served_stale += 1;
+                            self.log(&WalRecord::Admit {
+                                tenant: tenant.0,
+                                event,
+                                disposition: AdmitDisposition::ServedStale,
+                            });
+                            Ok(SubmitOutcome::ServedStale)
+                        }
+                        None => {
+                            t.counters.dropped_throttled += 1;
+                            self.log(&WalRecord::Admit {
+                                tenant: tenant.0,
+                                event,
+                                disposition: AdmitDisposition::DroppedThrottled,
+                            });
+                            Ok(SubmitOutcome::Dropped)
+                        }
+                    };
                 }
                 OverloadPolicy::DropNewest | OverloadPolicy::DropOldest => {
                     let t = &mut state.tenants[idx];
@@ -469,6 +622,36 @@ impl AdmissionControl {
                             disposition: AdmitDisposition::DroppedNewest,
                         });
                         return Ok(SubmitOutcome::Dropped);
+                    }
+                    OverloadPolicy::ServeStale => {
+                        // `t` borrows `state`; release it for the helper and
+                        // re-take for the counters.
+                        let _ = t;
+                        let served = self.serve_stale(tenant, event);
+                        let t = &mut state.tenants[idx];
+                        t.counters.submitted += 1;
+                        return match served {
+                            Some(_) => {
+                                t.counters.served_stale += 1;
+                                self.log(&WalRecord::Admit {
+                                    tenant: tenant.0,
+                                    event,
+                                    disposition: AdmitDisposition::ServedStale,
+                                });
+                                Ok(SubmitOutcome::ServedStale)
+                            }
+                            // Miss: shed like DropNewest — the cache never
+                            // answers beyond its staleness bound.
+                            None => {
+                                t.counters.dropped_newest += 1;
+                                self.log(&WalRecord::Admit {
+                                    tenant: tenant.0,
+                                    event,
+                                    disposition: AdmitDisposition::DroppedNewest,
+                                });
+                                Ok(SubmitOutcome::Dropped)
+                            }
+                        };
                     }
                     OverloadPolicy::DropOldest => {
                         if let Some(evicted) = t.queue.pop_front() {
@@ -510,12 +693,19 @@ impl AdmissionControl {
             event,
             disposition: AdmitDisposition::Admitted,
         });
+        // `admitted_at` is stamped *here* — after any `Block`/`Late`
+        // backpressure or token wait — because the deadline contract budgets
+        // admission-to-completion latency: time an event spends parked in
+        // `submit_for` before admission is backpressure on the caller, not
+        // pipeline delay, and must not count toward `Disposition::Late`
+        // (pinned by `late_deadline_window_starts_at_admission_not_submit`).
+        let admitted_at = self.now();
         let t = &mut state.tenants[idx];
         t.queue.push_back(AdmittedEvent {
             event,
             meta: EventMeta {
                 tenant,
-                admitted_at: Instant::now(),
+                admitted_at,
                 deadline: t.spec.deadline,
             },
         });
@@ -873,6 +1063,9 @@ mod tests {
             .with_policy(OverloadPolicy::DropNewest)
             .with_rate_eps(500.0) // one token every 2 ms
             .with_rate_burst(3.0)]);
+        // Frozen clock: no refill can sneak in between submits however
+        // slowly the test machine runs.
+        ac.freeze_clock();
         // The initial bucket holds exactly the burst.
         for k in 0..3 {
             assert_eq!(
@@ -890,8 +1083,8 @@ mod tests {
         assert_eq!(c.dropped_throttled, 1);
         assert_eq!(c.dropped(), 1);
         assert_eq!(c.admitted, 3);
-        // Refill restores admission.
-        std::thread::sleep(Duration::from_millis(20));
+        // Refill restores admission: 20 ms at 500 eps earns 10 tokens.
+        ac.advance_clock(Duration::from_millis(20));
         assert_eq!(
             ac.submit(TenantId::DEFAULT, ev(4.0)).unwrap(),
             SubmitOutcome::Admitted,
@@ -909,9 +1102,10 @@ mod tests {
             .with_policy(OverloadPolicy::DropOldest)
             .with_rate_eps(1000.0)
             .with_rate_burst(2.0)]);
-        // Idle long enough to earn ~30 tokens at the rate — the burst cap
+        ac.freeze_clock();
+        // Idle long enough to earn 30 tokens at the rate — the burst cap
         // must clamp the bucket to 2.
-        std::thread::sleep(Duration::from_millis(30));
+        ac.advance_clock(Duration::from_millis(30));
         assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
         assert!(ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap().is_admitted());
         assert_eq!(
@@ -949,25 +1143,182 @@ mod tests {
 
     #[test]
     fn blocking_tenant_waits_for_token_instead_of_dropping() {
-        let ac = AdmissionControl::new(vec![TenantSpec::new("blocked")
+        let ac = Arc::new(AdmissionControl::new(vec![TenantSpec::new("blocked")
             .with_capacity(64)
             .with_policy(OverloadPolicy::Block)
             .with_rate_eps(200.0) // 5 ms per token
-            .with_rate_burst(1.0)]);
+            .with_rate_burst(1.0)]));
+        ac.freeze_clock();
         assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
-        let start = Instant::now();
+        // The bucket is empty and the clock is frozen: the second submit
+        // *must* park in the token wait — it can only complete once the test
+        // advances the clock, which replaces the old wall-clock elapsed
+        // assertion with a deterministic ordering proof.
+        let submitter = {
+            let ac = ac.clone();
+            std::thread::spawn(move || ac.submit(TenantId::DEFAULT, ev(1.0)))
+        };
+        while ac.tenant_snapshot(0).1.throttled == 0 {
+            std::thread::yield_now();
+        }
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.admitted, 1, "the waiter must not admit on a dry bucket");
+        // One token's worth of time ends the wait.
+        ac.advance_clock(Duration::from_millis(5));
         assert!(
-            ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap().is_admitted(),
+            submitter.join().unwrap().unwrap().is_admitted(),
             "blocking policy must admit after the wait, never drop"
-        );
-        assert!(
-            start.elapsed() >= Duration::from_millis(2),
-            "second submit should have waited for a token"
         );
         let (_, c) = ac.tenant_snapshot(0);
         assert_eq!(c.throttled, 1);
         assert_eq!(c.dropped(), 0);
         assert_eq!(c.admitted, 2);
+    }
+
+    #[test]
+    fn late_deadline_window_starts_at_admission_not_submit() {
+        // The rustdoc contract on `TenantSpec::deadline` budgets
+        // *admission-to-completion* latency: time a submitter spends parked
+        // in `submit_for` under `Block`/`Late` backpressure is the caller's
+        // backpressure, not pipeline delay, and must not eat the deadline.
+        // Park a submitter for 10× its deadline and assert the admit stamp
+        // post-dates the park, so grading at completion cannot flag it late.
+        let deadline = Duration::from_millis(50);
+        let ac = Arc::new(AdmissionControl::new(vec![TenantSpec::new("late")
+            .with_capacity(1)
+            .with_policy(OverloadPolicy::Late)
+            .with_deadline(deadline)]));
+        let t0 = ac.freeze_clock();
+        ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap();
+        let submitter = {
+            let ac = ac.clone();
+            std::thread::spawn(move || ac.submit(TenantId::DEFAULT, ev(1.0)))
+        };
+        while ac.tenant_snapshot(0).1.blocked_submits == 0 {
+            std::thread::yield_now();
+        }
+        // The event has now been parked "before admission" for 500 ms.
+        ac.advance_clock(Duration::from_millis(500));
+        let mut b = Vec::new();
+        assert!(ac.next_burst(&mut b)); // frees the slot → the waiter admits
+        assert!(submitter.join().unwrap().unwrap().is_admitted());
+        b.clear();
+        assert!(ac.next_burst(&mut b));
+        let admitted = &b[0];
+        assert_eq!(admitted.event.timestamp, 1.0);
+        assert_eq!(admitted.meta.deadline, Some(deadline));
+        assert!(
+            admitted.meta.admitted_at >= t0 + Duration::from_millis(500),
+            "admitted_at must be stamped after the backpressure wait ended"
+        );
+        // Grading "now" (= the admit instant on the frozen clock): the
+        // admit-to-complete window is empty, so the 500 ms park must not
+        // have made the event late.
+        let now = ac.now();
+        let in_window = now.saturating_duration_since(admitted.meta.admitted_at);
+        let late = admitted.meta.deadline.is_some_and(|d| in_window > d);
+        assert!(
+            !late,
+            "time parked in submit_for counted against the deadline (window {in_window:?})"
+        );
+    }
+
+    fn stale_fixture(
+        spec: TenantSpec,
+        bound: u64,
+    ) -> (
+        AdmissionControl,
+        Arc<EmbeddingCache>,
+        Arc<Mutex<VecDeque<ServedBatch>>>,
+    ) {
+        let cache = Arc::new(EmbeddingCache::new(
+            crate::cache::CacheConfig {
+                capacity: 64,
+                staleness_bound_epochs: bound,
+            },
+            2,
+        ));
+        let out = Arc::new(Mutex::new(VecDeque::new()));
+        let ac = AdmissionControl::new(vec![spec]).with_stale(Some(StaleServing {
+            cache: cache.clone(),
+            out: out.clone(),
+            collector: Arc::new(Collector::new(1)),
+        }));
+        (ac, cache, out)
+    }
+
+    #[test]
+    fn serve_stale_answers_from_cache_at_the_bound() {
+        let (ac, cache, out) = stale_fixture(
+            TenantSpec::new("stale")
+                .with_capacity(1)
+                .with_policy(OverloadPolicy::ServeStale),
+            4,
+        );
+        // The events touch src 0 / dst 1 (see `ev`); both are cached.
+        cache.insert(0, 3, &[0.5, -1.0]);
+        cache.insert(1, 5, &[2.0]);
+        cache.on_shard_committed(0, 6);
+        assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
+        // Queue full → answered stale, max age across the two vertices.
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap(),
+            SubmitOutcome::ServedStale
+        );
+        let b = out.lock().unwrap().pop_front().expect("stale batch queued");
+        assert_eq!(b.epoch, 0, "stale batches carry the epoch-0 marker");
+        assert_eq!(b.metas[0].disposition, Disposition::Stale { age_epochs: 3 });
+        assert_eq!(
+            b.embeddings,
+            vec![(0, vec![0.5, -1.0]), (1, vec![2.0])],
+            "stale answer must be exactly the cached (served) embeddings"
+        );
+        assert_eq!(b.cache_epochs, vec![3, 5]);
+        // Expire vertex 0 past the bound: the next overflow misses and is
+        // shed DropNewest-style.
+        cache.on_shard_committed(0, 8);
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(2.0)).unwrap(),
+            SubmitOutcome::Dropped
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.submitted, 3);
+        assert_eq!(c.admitted, 1);
+        assert_eq!(c.served_stale, 1);
+        assert_eq!(c.dropped_newest, 1);
+        assert_eq!(c.dropped(), 1, "stale serves are not drops");
+    }
+
+    #[test]
+    fn serve_stale_covers_the_throttle_path_too() {
+        let (ac, cache, out) = stale_fixture(
+            TenantSpec::new("stale")
+                .with_capacity(64)
+                .with_policy(OverloadPolicy::ServeStale)
+                .with_rate_eps(100.0)
+                .with_rate_burst(1.0),
+            8,
+        );
+        ac.freeze_clock();
+        cache.insert(0, 1, &[1.0]);
+        cache.insert(1, 1, &[2.0]);
+        assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
+        // Bucket dry: answered from cache instead of dropping.
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap(),
+            SubmitOutcome::ServedStale
+        );
+        assert_eq!(out.lock().unwrap().len(), 1);
+        // Bucket dry *and* cache expired: dropped-throttled.
+        cache.on_shard_committed(0, 100);
+        cache.on_shard_committed(1, 100);
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(2.0)).unwrap(),
+            SubmitOutcome::Dropped
+        );
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.served_stale, 1);
+        assert_eq!(c.dropped_throttled, 1);
     }
 
     #[test]

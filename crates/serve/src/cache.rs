@@ -1,0 +1,421 @@
+//! Bounded-staleness hot-vertex embedding cache — the quality axis of the
+//! overload-policy spectrum.
+//!
+//! Production temporal-graph traffic is power-law: a small hot set of
+//! vertices absorbs most reads.  Every other overload policy answers a full
+//! ingress queue by delaying (`Block`/`Late`) or discarding
+//! (`DropNewest`/`DropOldest`) work; [`OverloadPolicy::ServeStale`] instead
+//! answers from this cache — the last embedding *actually served* for each
+//! touched vertex, labelled with its age in epoch barriers.
+//!
+//! ## Placement and contracts
+//!
+//! * **Population** — the reorder worker (the pipeline's commit point for
+//!   results) inserts every `(vertex, embedding)` pair of a [`ServedBatch`]
+//!   under the batch's epoch, so a cache entry is by construction exactly
+//!   the embedding a client saw at that epoch.  Nothing else writes
+//!   embeddings into the cache; a hit is therefore bit-identical to the
+//!   originally-served value (property-tested in `tests/cache.rs`).
+//! * **Invalidation** — the update worker's epoch-barrier commit is the only
+//!   place vertex state changes.  The cache hooks the *existing*
+//!   `commit_epoch_with` observer (the same per-shard, under-the-shard-lock
+//!   hook the snapshot writer uses): each shard commit advances the global
+//!   committed-epoch watermark and sweeps that shard's expired entries.
+//!   Entry age is `committed_epoch − entry.epoch`; [`EmbeddingCache::get`]
+//!   re-checks the bound at lookup time, so even an entry the sweep has not
+//!   reached yet can never be answered beyond the bound.  The watermark may
+//!   run slightly ahead of a not-yet-committed shard's gate — that
+//!   direction only *over*-ages entries, which is conservative: the bound
+//!   cannot be violated, an answer can only be refused early.
+//! * **Bounded memory** — per-shard FIFO insertion logs cap the entry count
+//!   at the configured capacity; overflowing evicts oldest-inserted first.
+//!
+//! Recovery interplay: a recovered server cold-starts the cache (or seeds
+//! it from the bit-exact re-served epochs) and raises the watermark to the
+//! recovered epoch before serving, so a post-crash stale answer can never
+//! reference pre-crash state beyond the bound.
+//!
+//! [`ServedBatch`]: crate::pipeline::ServedBatch
+//! [`OverloadPolicy::ServeStale`]: tgnn_core::tenancy::OverloadPolicy::ServeStale
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use tgnn_graph::sharded::shard_of;
+use tgnn_graph::NodeId;
+use tgnn_tensor::Float;
+
+/// Configuration of the embedding cache (see [`ServeConfig::cache`]).
+///
+/// [`ServeConfig::cache`]: crate::server::ServeConfig::cache
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total entry budget across all shards (vertices).  Overflow evicts the
+    /// oldest-inserted entries first.
+    pub capacity: usize,
+    /// Maximum age, in committed epoch barriers, at which a cached
+    /// embedding may still be served.  A hit's `age_epochs` never exceeds
+    /// this; entries older than the bound are invisible to [`EmbeddingCache::get`]
+    /// and swept at the next epoch-barrier commit of their shard.
+    pub staleness_bound_epochs: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 4096,
+            staleness_bound_epochs: 64,
+        }
+    }
+}
+
+struct CacheEntry {
+    epoch: u64,
+    embedding: Vec<Float>,
+}
+
+#[derive(Default)]
+struct CacheShard {
+    map: HashMap<NodeId, CacheEntry>,
+    /// Insertion order, `(vertex, epoch)`.  Epochs are non-decreasing front
+    /// to back (inserters run in epoch order per shard), so expiry pops from
+    /// the front.  A vertex re-inserted at a newer epoch leaves its old log
+    /// entry behind; the sweep skips log entries whose epoch no longer
+    /// matches the map.
+    log: VecDeque<(NodeId, u64)>,
+}
+
+/// Point-in-time counters of the cache (see [`EmbeddingCache::stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered within the staleness bound.
+    pub hits: u64,
+    /// Lookups that found nothing fresh enough (absent or beyond the bound).
+    pub misses: u64,
+    /// Entries written by the reorder/delivery path (including recovery
+    /// seeding).
+    pub insertions: u64,
+    /// Entries displaced by the capacity bound.
+    pub evictions: u64,
+    /// Entries removed by the epoch-barrier expiry sweep.
+    pub expired: u64,
+    /// Overload events answered stale (each may cover several vertex hits).
+    pub served_stale: u64,
+    /// Current entry count across all shards.
+    pub entries: usize,
+    /// The epoch-barrier watermark invalidation has advanced to.
+    pub committed_epoch: u64,
+    /// The configured staleness bound, echoed for report plumbing.
+    pub staleness_bound: u64,
+}
+
+impl CacheStats {
+    /// `hits / (hits + misses)`, or 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A whole-event cache hit: the `(vertex, embedding, source_epoch)` rows in
+/// order of first appearance, plus the answer's age (max across vertices).
+pub(crate) type CachedEventHit = (Vec<(NodeId, Vec<Float>, u64)>, u64);
+
+/// The sharded, bounded, epoch-aware embedding cache.  One instance per
+/// [`StreamServer`](crate::StreamServer); shared by the reorder worker
+/// (population), the update worker (invalidation at the epoch barrier), and
+/// the admission layer (`ServeStale` lookups).  Cache shards are leaf locks:
+/// nothing is acquired while one is held.
+pub struct EmbeddingCache {
+    shards: Vec<Mutex<CacheShard>>,
+    per_shard_capacity: usize,
+    staleness_bound: u64,
+    /// Highest epoch any shard has committed at the barrier.
+    committed: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    expired: AtomicU64,
+    served_stale: AtomicU64,
+    /// Age (epochs) of every stale-served answer, for report percentiles.
+    stale_ages: Mutex<Vec<u64>>,
+}
+
+impl EmbeddingCache {
+    /// Builds an empty cache striped over `num_shards` shards (the
+    /// pipeline's vertex-shard count, so the epoch-barrier observer for
+    /// memory shard `s` sweeps exactly the vertices it owns).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or `config.capacity == 0`.
+    pub fn new(config: CacheConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "cache: need at least one shard");
+        assert!(config.capacity > 0, "cache: capacity must be >= 1");
+        Self {
+            shards: (0..num_shards).map(|_| Mutex::default()).collect(),
+            per_shard_capacity: config.capacity.div_ceil(num_shards).max(1),
+            staleness_bound: config.staleness_bound_epochs,
+            committed: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            served_stale: AtomicU64::new(0),
+            stale_ages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured staleness bound in epochs.
+    pub fn staleness_bound(&self) -> u64 {
+        self.staleness_bound
+    }
+
+    /// The epoch-barrier watermark invalidation has advanced to.
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
+    }
+
+    /// Epoch-barrier invalidation hook, called from the update worker's
+    /// `commit_epoch_with` observer for every shard of every epoch — under
+    /// the memory shard's lock, after the epoch's writes, before the gate
+    /// bump (the snapshot writer's exact hook point).  Advances the global
+    /// watermark and sweeps the shard's now-expired entries.
+    pub(crate) fn on_shard_committed(&self, shard: usize, epoch: u64) {
+        self.committed.fetch_max(epoch, Ordering::AcqRel);
+        let watermark = self.committed.load(Ordering::Acquire);
+        let mut s = self.shards[shard % self.shards.len()].lock().unwrap();
+        let mut expired = 0u64;
+        while let Some(&(v, e)) = s.log.front() {
+            if e + self.staleness_bound >= watermark {
+                break;
+            }
+            s.log.pop_front();
+            // Only remove if the vertex was not re-inserted at a newer epoch
+            // (the newer log entry still guards the newer map entry).
+            if s.map.get(&v).is_some_and(|entry| entry.epoch == e) {
+                s.map.remove(&v);
+                expired += 1;
+            }
+        }
+        if expired > 0 {
+            self.expired.fetch_add(expired, Ordering::Relaxed);
+        }
+    }
+
+    /// Recovery: raises the watermark to the recovered epoch so post-crash
+    /// lookups age entries against the recovered timeline, never a stale
+    /// pre-crash one.
+    pub(crate) fn set_committed_floor(&self, epoch: u64) {
+        self.committed.fetch_max(epoch, Ordering::AcqRel);
+    }
+
+    /// Records the embedding served for `v` at `epoch` (the reorder worker's
+    /// population path, and recovery's bit-exact re-served seeding).
+    pub(crate) fn insert(&self, v: NodeId, epoch: u64, embedding: &[Float]) {
+        let mut s = self.shards[shard_of(v, self.shards.len())].lock().unwrap();
+        s.map.insert(
+            v,
+            CacheEntry {
+                epoch,
+                embedding: embedding.to_vec(),
+            },
+        );
+        s.log.push_back((v, epoch));
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while s.log.len() > self.per_shard_capacity {
+            let (old_v, old_e) = s.log.pop_front().expect("log is non-empty");
+            if s.map.get(&old_v).is_some_and(|entry| entry.epoch == old_e) {
+                s.map.remove(&old_v);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Looks up `v`: `Some((embedding, epoch, age_epochs))` when an entry
+    /// exists whose age — watermark minus entry epoch — is within the
+    /// staleness bound, `None` otherwise.  The embedding is byte-for-byte
+    /// the one inserted (i.e. the one served) at `epoch`.
+    pub fn get(&self, v: NodeId) -> Option<(Vec<Float>, u64, u64)> {
+        let watermark = self.committed.load(Ordering::Acquire);
+        let s = self.shards[shard_of(v, self.shards.len())].lock().unwrap();
+        match s.map.get(&v) {
+            Some(entry) => {
+                let age = watermark.saturating_sub(entry.epoch);
+                if age > self.staleness_bound {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    None
+                } else {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some((entry.embedding.clone(), entry.epoch, age))
+                }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Looks up every vertex an event touches (`src`, and `dst` when
+    /// distinct).  All must hit for a stale answer to be possible; returns
+    /// the `(vertex, embedding, epoch)` list in order of first appearance
+    /// plus the answer's age — the *maximum* age across the vertices.
+    pub(crate) fn get_event(&self, src: NodeId, dst: NodeId) -> Option<CachedEventHit> {
+        let (emb_src, epoch_src, age_src) = self.get(src)?;
+        let mut out = vec![(src, emb_src, epoch_src)];
+        let mut age = age_src;
+        if dst != src {
+            let (emb_dst, epoch_dst, age_dst) = self.get(dst)?;
+            out.push((dst, emb_dst, epoch_dst));
+            age = age.max(age_dst);
+        }
+        Some((out, age))
+    }
+
+    /// Counts one overload event answered stale, at `age_epochs`.
+    pub(crate) fn record_stale_serve(&self, age_epochs: u64) {
+        self.served_stale.fetch_add(1, Ordering::Relaxed);
+        self.stale_ages.lock().unwrap().push(age_epochs);
+    }
+
+    /// Snapshot of the ages of every stale-served answer so far (epochs).
+    pub fn stale_ages(&self) -> Vec<u64> {
+        self.stale_ages.lock().unwrap().clone()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            served_stale: self.served_stale.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().unwrap().map.len())
+                .sum(),
+            committed_epoch: self.committed_epoch(),
+            staleness_bound: self.staleness_bound,
+        }
+    }
+}
+
+impl std::fmt::Debug for EmbeddingCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EmbeddingCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("staleness_bound", &self.staleness_bound)
+            .field("committed_epoch", &self.committed_epoch())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, bound: u64, shards: usize) -> EmbeddingCache {
+        EmbeddingCache::new(
+            CacheConfig {
+                capacity,
+                staleness_bound_epochs: bound,
+            },
+            shards,
+        )
+    }
+
+    #[test]
+    fn hit_returns_the_inserted_embedding_bit_for_bit() {
+        let c = cache(16, 4, 2);
+        let emb = vec![0.125f32, -3.5, 1e-7, f32::MIN_POSITIVE];
+        c.insert(7, 3, &emb);
+        c.on_shard_committed(0, 5);
+        let (got, epoch, age) = c.get(7).expect("within bound");
+        assert_eq!(got, emb, "hit must be bit-identical to the insert");
+        assert_eq!(epoch, 3);
+        assert_eq!(age, 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn entries_beyond_the_staleness_bound_are_never_served() {
+        let c = cache(16, 2, 1);
+        c.insert(1, 1, &[1.0]);
+        c.on_shard_committed(0, 3);
+        assert!(c.get(1).is_some(), "age 2 == bound: still servable");
+        c.on_shard_committed(0, 4);
+        assert!(c.get(1).is_none(), "age 3 > bound: refused");
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        // The barrier sweep removed it too (epoch 1 + bound 2 < watermark 4).
+        assert_eq!(s.expired, 1);
+        assert_eq!(s.entries, 0);
+    }
+
+    #[test]
+    fn reinsertion_refreshes_age_and_survives_the_sweep() {
+        let c = cache(16, 2, 1);
+        c.insert(1, 1, &[1.0]);
+        c.insert(1, 5, &[5.0]);
+        // Sweeping at watermark 6 pops the stale (1, epoch 1) log entry but
+        // must keep the fresher map entry.
+        c.on_shard_committed(0, 6);
+        let (emb, epoch, age) = c.get(1).expect("fresh entry survives");
+        assert_eq!((emb, epoch, age), (vec![5.0], 5, 1));
+        assert_eq!(c.stats().expired, 0);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_oldest_inserted_first() {
+        let c = cache(4, 100, 1);
+        for v in 0..6u32 {
+            c.insert(v, v as u64 + 1, &[v as Float]);
+        }
+        let s = c.stats();
+        assert_eq!(s.entries, 4);
+        assert_eq!(s.evictions, 2);
+        assert!(c.get(0).is_none() && c.get(1).is_none());
+        assert!(c.get(5).is_some());
+    }
+
+    #[test]
+    fn get_event_needs_every_touched_vertex_and_reports_max_age() {
+        let c = cache(16, 10, 2);
+        c.insert(1, 2, &[1.0]);
+        c.insert(2, 6, &[2.0]);
+        c.on_shard_committed(0, 8);
+        let (pairs, age) = c.get_event(1, 2).expect("both cached");
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(age, 6, "age is the max across touched vertices");
+        // Self-loop touches one vertex once.
+        let (pairs, _) = c.get_event(2, 2).expect("self-loop");
+        assert_eq!(pairs.len(), 1);
+        // A missing endpoint refuses the whole answer.
+        assert!(c.get_event(1, 3).is_none());
+    }
+
+    #[test]
+    fn stats_track_stale_serves_and_hit_rate() {
+        let c = cache(16, 4, 1);
+        c.insert(1, 1, &[1.0]);
+        c.on_shard_committed(0, 2);
+        assert!(c.get(1).is_some());
+        assert!(c.get(9).is_none());
+        c.record_stale_serve(1);
+        c.record_stale_serve(3);
+        let s = c.stats();
+        assert_eq!(s.served_stale, 2);
+        assert_eq!(c.stale_ages(), vec![1, 3]);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+}

@@ -85,6 +85,10 @@ pub struct RecoveryReport {
     /// Per-tenant durable submit-outcome count (admits *and* drops) — the
     /// event index from which each client should resume submission.
     pub resume_from: Vec<u64>,
+    /// Per-tenant events the crashed session answered from the embedding
+    /// cache (`ServeStale`) — already delivered, so never replayed; the
+    /// recovered cache cold-starts and cannot resurrect them.
+    pub served_stale: Vec<u64>,
     /// Whether a torn final WAL record was found and truncated away.
     pub torn_tail_repaired: bool,
     /// Wall-clock time of the whole recovery pass, in milliseconds.

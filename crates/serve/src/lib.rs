@@ -29,8 +29,12 @@
 //! * The admission front end is **multi-tenant** ([`admission`]): each
 //!   tenant owns a bounded ingress queue drained by a weighted-fair
 //!   scheduler, and a per-tenant [`OverloadPolicy`] — `Block`,
-//!   `DropNewest`, `DropOldest`, or `Late` — governs what happens when
-//!   sustained overload fills the queue.  Single-tenant configurations
+//!   `DropNewest`, `DropOldest`, `Late`, or `ServeStale` — governs what
+//!   happens when sustained overload fills the queue.  `ServeStale` answers
+//!   read-style overload from the [`cache`] — a bounded, sharded embedding
+//!   cache invalidated at the epoch barrier — returning the last *served*
+//!   embeddings flagged [`Disposition::Stale`] with their age in epochs
+//!   instead of dropping.  Single-tenant configurations
 //!   (the default) serve bit-identical results with the same
 //!   never-drop `Block` semantics as before (see
 //!   [`ServeConfig::tenants`](server::ServeConfig) for the one buffering
@@ -74,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod cache;
 pub mod durability;
 pub mod metrics;
 pub mod pipeline;
@@ -81,6 +86,7 @@ pub mod queue;
 pub mod server;
 
 pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
+pub use cache::{CacheConfig, CacheStats, EmbeddingCache};
 pub use durability::{DurabilityStats, RecoveryReport};
 pub use metrics::{
     render_flight_timeline, MetricsHub, MetricsLogger, MetricsSnapshot, SpanRecord, StageId,
@@ -88,7 +94,8 @@ pub use metrics::{
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
 pub use server::{
-    LatencySummary, ServeConfig, ServeReport, StreamServer, SubmitError, TenantStats,
+    CacheReport, LatencySummary, ServeConfig, ServeReport, StaleAgeSummary, StreamServer,
+    SubmitError, TenantStats,
 };
 pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 pub use tgnn_durable::{wal_fault_hook, DurabilityConfig, DurableError, FsyncPolicy, WalFaultHook};

@@ -19,6 +19,7 @@
 //! matching `Exit` pinpoints the stage that was holding the epoch.
 
 use crate::admission::AdmissionControl;
+use crate::cache::{CacheStats, EmbeddingCache};
 use crate::durability::Durability;
 use crate::pipeline::Collector;
 use crate::queue::QueueStats;
@@ -215,6 +216,7 @@ pub(crate) struct HubConfig {
     pub collector: Arc<Collector>,
     pub admission: Arc<AdmissionControl>,
     pub durability: Option<Arc<Durability>>,
+    pub cache: Option<Arc<EmbeddingCache>>,
     pub next_epoch: Arc<AtomicU64>,
     pub gnn_workers: usize,
 }
@@ -236,6 +238,7 @@ struct HubInner {
     collector: Arc<Collector>,
     admission: Arc<AdmissionControl>,
     durability: Option<Arc<Durability>>,
+    cache: Option<Arc<EmbeddingCache>>,
     next_epoch: Arc<AtomicU64>,
 }
 
@@ -266,6 +269,7 @@ impl MetricsHub {
                 collector: cfg.collector,
                 admission: cfg.admission,
                 durability: cfg.durability,
+                cache: cfg.cache,
                 next_epoch: cfg.next_epoch,
             }),
         }
@@ -378,11 +382,13 @@ impl MetricsHub {
             admission.dropped_throttled += counters.dropped_throttled;
             admission.blocked_submits += counters.blocked_submits;
             admission.throttled += counters.throttled;
+            admission.served_stale += counters.served_stale;
             let tc = &inner.collector.tenants[i];
             tenants.push(TenantMetrics {
                 name: spec.name,
                 counters,
                 served: tc.served.load(Ordering::Relaxed),
+                served_stale: tc.served_stale.load(Ordering::Relaxed),
                 late: tc.late.load(Ordering::Relaxed),
             });
         }
@@ -412,6 +418,7 @@ impl MetricsHub {
             admission,
             tenants,
             durability,
+            cache: inner.cache.as_ref().map(|c| c.stats()),
             flight: FlightStats {
                 capacity: inner.recorder.capacity(),
                 recorded: inner.recorder.recorded(),
@@ -575,6 +582,9 @@ pub struct AdmissionTotals {
     pub blocked_submits: u64,
     /// Rate-limited `submit_for` waits (Block/Late policies).
     pub throttled: u64,
+    /// Events answered from the embedding cache
+    /// ([`OverloadPolicy::ServeStale`](tgnn_core::tenancy::OverloadPolicy)).
+    pub served_stale: u64,
 }
 
 /// Per-tenant slice of a [`MetricsSnapshot`].
@@ -584,8 +594,11 @@ pub struct TenantMetrics {
     pub name: String,
     /// Admission-side counters (see [`AdmissionCounters`]).
     pub counters: AdmissionCounters,
-    /// Events whose results were delivered.
+    /// Events whose results were delivered (including stale cache answers).
     pub served: u64,
+    /// Events answered from the embedding cache under overload (subset of
+    /// `served`; excluded from the latency distribution).
+    pub served_stale: u64,
     /// Served events graded late.
     pub late: u64,
 }
@@ -653,6 +666,9 @@ pub struct MetricsSnapshot {
     /// WAL fsync count/latency and snapshot-writer lag; `None` without
     /// durability.
     pub durability: Option<DurabilityMetrics>,
+    /// Embedding-cache counters (hits, misses, stale serves, occupancy);
+    /// `None` when no cache is configured.
+    pub cache: Option<CacheStats>,
     /// Flight-recorder occupancy.
     pub flight: FlightStats,
 }
@@ -730,13 +746,30 @@ impl MetricsSnapshot {
             push(
                 &mut out,
                 format!(
-                    "tenant {:<15} submitted {:>8}  admitted {:>8}  dropped {:>6}  served {:>8}  late {:>6}",
+                    "tenant {:<15} submitted {:>8}  admitted {:>8}  dropped {:>6}  served {:>8}  stale {:>6}  late {:>6}",
                     t.name,
                     t.counters.submitted,
                     t.counters.admitted,
                     t.counters.dropped(),
                     t.served,
+                    t.served_stale,
                     t.late
+                ),
+            );
+        }
+        if let Some(c) = &self.cache {
+            push(
+                &mut out,
+                format!(
+                    "cache  hits {}  misses {}  hit-rate {:.1}%  served-stale {}  entries {}  evictions {}  expired {}  bound {} epochs",
+                    c.hits,
+                    c.misses,
+                    c.hit_rate() * 100.0,
+                    c.served_stale,
+                    c.entries,
+                    c.evictions,
+                    c.expired,
+                    c.staleness_bound
                 ),
             );
         }
@@ -874,12 +907,48 @@ impl MetricsSnapshot {
                 t.name, t.served
             ));
         }
+        out.push_str("# TYPE tgnn_tenant_served_stale_total counter\n");
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tgnn_tenant_served_stale_total{{tenant=\"{}\"}} {}\n",
+                t.name, t.served_stale
+            ));
+        }
         out.push_str("# TYPE tgnn_tenant_late_total counter\n");
         for t in &self.tenants {
             out.push_str(&format!(
                 "tgnn_tenant_late_total{{tenant=\"{}\"}} {}\n",
                 t.name, t.late
             ));
+        }
+        if let Some(c) = &self.cache {
+            let mut scalar = |name: &str, kind: &str, v: String| {
+                out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
+            };
+            scalar("tgnn_cache_hits_total", "counter", c.hits.to_string());
+            scalar("tgnn_cache_misses_total", "counter", c.misses.to_string());
+            scalar(
+                "tgnn_cache_insertions_total",
+                "counter",
+                c.insertions.to_string(),
+            );
+            scalar(
+                "tgnn_cache_evictions_total",
+                "counter",
+                c.evictions.to_string(),
+            );
+            scalar("tgnn_cache_expired_total", "counter", c.expired.to_string());
+            scalar(
+                "tgnn_cache_served_stale_total",
+                "counter",
+                c.served_stale.to_string(),
+            );
+            scalar("tgnn_cache_entries", "gauge", c.entries.to_string());
+            scalar(
+                "tgnn_cache_staleness_bound_epochs",
+                "gauge",
+                c.staleness_bound.to_string(),
+            );
         }
         if let Some(d) = &self.durability {
             let mut scalar = |name: &str, kind: &str, v: String| {
@@ -969,14 +1038,29 @@ impl MetricsSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"name\":\"{}\",\"served\":{},\"late\":{},\"dropped\":{}}}",
+                "{{\"name\":\"{}\",\"served\":{},\"served_stale\":{},\"late\":{},\"dropped\":{}}}",
                 json_escape(&t.name),
                 t.served,
+                t.served_stale,
                 t.late,
                 t.counters.dropped()
             ));
         }
         s.push(']');
+        if let Some(c) = &self.cache {
+            s.push_str(&format!(
+                ",\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"insertions\":{},\"evictions\":{},\"expired\":{},\"served_stale\":{},\"entries\":{},\"staleness_bound\":{}}}",
+                c.hits,
+                c.misses,
+                c.hit_rate(),
+                c.insertions,
+                c.evictions,
+                c.expired,
+                c.served_stale,
+                c.entries,
+                c.staleness_bound
+            ));
+        }
         if let Some(d) = &self.durability {
             s.push_str(&format!(
                 ",\"durability\":{{\"wal_records\":{},\"wal_fsyncs\":{},\"fsync_p50_us\":{},\"fsync_p99_us\":{},\"snapshots\":{},\"snapshot_lag_epochs\":{}}}",

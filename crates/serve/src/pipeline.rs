@@ -145,19 +145,29 @@ pub(crate) struct UpdateJob {
 /// One completed micro-batch, as returned by `StreamServer::poll`.
 #[derive(Clone, Debug)]
 pub struct ServedBatch {
-    /// 1-based batch sequence number (the pipeline epoch).
+    /// 1-based batch sequence number (the pipeline epoch) — or **0** for a
+    /// cache-served stale answer
+    /// ([`tgnn_core::tenancy::OverloadPolicy::ServeStale`]): stale batches never enter the
+    /// pipeline, carry `Disposition::Stale` metas, and fill `cache_epochs`.
     pub epoch: u64,
     /// The events the batch contained, in admission order.
     pub events: Vec<InteractionEvent>,
     /// Per-event result metadata aligned with `events`: the tenant each
     /// event belongs to and whether its result met the tenant's deadline.
     /// Dispositions never change the embedding values — a `Late` result is
-    /// bitwise-identical to the on-time result of the same batch sequence.
+    /// bitwise-identical to the on-time result of the same batch sequence,
+    /// and a `Stale` result is bitwise-identical to the embedding served at
+    /// its `cache_epochs` entry.
     pub metas: Vec<ResultMeta>,
     /// Embeddings of every touched vertex, in order of first appearance —
     /// bit-identical to `ExecMode::Serial` on the same batch sequence.
     pub embeddings: Vec<(NodeId, Vec<Float>)>,
-    /// Seal-to-embeddings pipeline latency.
+    /// For a stale batch (`epoch == 0`): the pipeline epoch each entry of
+    /// `embeddings` was originally served at, aligned index-for-index —
+    /// what lets a client (or the bench's identity check) verify a stale
+    /// answer against served history.  Empty for pipeline-served batches.
+    pub cache_epochs: Vec<u64>,
+    /// Seal-to-embeddings pipeline latency (zero for stale batches).
     pub latency: Duration,
 }
 
@@ -168,6 +178,11 @@ pub struct ServedBatch {
 pub(crate) struct TenantCollector {
     pub served: AtomicU64,
     pub late: AtomicU64,
+    /// Overload events answered from the embedding cache (`ServeStale`) —
+    /// included in `served`, excluded from `latencies` (they bypass the
+    /// pipeline, so their admission-to-completion delay is ~zero and would
+    /// skew the distribution the deadline budgets).
+    pub served_stale: AtomicU64,
     pub latencies: Mutex<Vec<Duration>>,
 }
 
@@ -214,6 +229,15 @@ impl Collector {
             t.late.fetch_add(1, Ordering::Relaxed);
         }
         t.latencies.lock().unwrap().push(admit_latency);
+    }
+
+    /// Records one overload event answered from the embedding cache: it is
+    /// served (the drain invariant counts it) but never late and never part
+    /// of the pipeline latency distribution.
+    pub fn record_stale_event(&self, tenant: TenantId) {
+        let t = &self.tenants[tenant.index()];
+        t.served.fetch_add(1, Ordering::Relaxed);
+        t.served_stale.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -555,6 +579,7 @@ pub(crate) fn update_loop(
     table: Arc<ShardedNeighborTable>,
     commit_log: Arc<Mutex<CommitLog>>,
     durability: Option<Arc<Durability>>,
+    cache: Option<Arc<crate::cache::EmbeddingCache>>,
     obs: StageObs,
 ) {
     let _poison_on_exit = PoisonGatesOnExit {
@@ -577,16 +602,27 @@ pub(crate) fn update_loop(
         if let Some(d) = &durability {
             d.note_absorbed(&events);
         }
+        // The embedding cache hooks the same per-shard commit observer the
+        // snapshot writer uses — under the shard lock, after the epoch's
+        // writes, before the gate bump — to advance its staleness watermark
+        // and sweep the shard's expired entries.
         match durability.as_ref().filter(|d| d.wants_snapshot(epoch)) {
             None => {
-                memory.commit_epoch(epoch, &writes);
+                match &cache {
+                    None => memory.commit_epoch(epoch, &writes),
+                    Some(c) => memory
+                        .commit_epoch_with(epoch, &writes, |s, _| c.on_shard_committed(s, epoch)),
+                }
                 table.commit_epoch(epoch, &events);
             }
             Some(d) => {
                 let num_shards = memory.num_shards();
                 let mut mem_bufs: Vec<Vec<u8>> = vec![Vec::new(); num_shards];
                 memory.commit_epoch_with(epoch, &writes, |s, m| {
-                    tgnn_durable::encode_memory_shard(m, &mut mem_bufs[s])
+                    tgnn_durable::encode_memory_shard(m, &mut mem_bufs[s]);
+                    if let Some(c) = &cache {
+                        c.on_shard_committed(s, epoch);
+                    }
                 });
                 let mut nbr_bufs: Vec<Vec<u8>> = vec![Vec::new(); num_shards];
                 table.commit_epoch_with(epoch, &events, |s, t| {
@@ -685,6 +721,7 @@ pub(crate) fn reorder_loop(
     rx_parts: MpmcReceiver<GnnSubResult>,
     tx: Sender<ServedBatch>,
     collector: Arc<Collector>,
+    cache: Option<Arc<crate::cache::EmbeddingCache>>,
     obs: StageObs,
     latency_us: tgnn_obs::Histogram,
 ) {
@@ -731,6 +768,15 @@ pub(crate) fn reorder_loop(
         for part in parts {
             embeddings.extend(part.expect("all parts collected"));
         }
+        // Populate the embedding cache at the delivery commit point: a
+        // cache entry is by construction exactly the embedding served for
+        // this (vertex, epoch), which is what makes `ServeStale` hits
+        // bit-identical to served history.
+        if let Some(c) = &cache {
+            for (v, emb) in &embeddings {
+                c.insert(*v, epoch, emb);
+            }
+        }
         let latency = sealed_at.elapsed();
         collector.record_batch(events.len(), embeddings.len(), latency);
         if obs.enabled() {
@@ -762,6 +808,7 @@ pub(crate) fn reorder_loop(
                 events,
                 metas,
                 embeddings,
+                cache_epochs: Vec::new(),
                 latency,
             })
             .is_ok();

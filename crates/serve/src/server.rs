@@ -2,8 +2,10 @@
 //! backpressure-aware serve report.
 
 use crate::admission::{
-    scheduler_loop, AdmissionControl, AdmissionCounters, AdmittedEvent, SubmitOutcome, TenantSpec,
+    scheduler_loop, AdmissionControl, AdmissionCounters, AdmittedEvent, StaleServing,
+    SubmitOutcome, TenantSpec,
 };
+use crate::cache::{CacheConfig, CacheStats, EmbeddingCache};
 use crate::durability::{Durability, DurabilityStats, RecoveryReport};
 use crate::metrics::{HubConfig, MetricsHub, MetricsSnapshot, StageId};
 use crate::pipeline::{
@@ -65,6 +67,15 @@ pub struct ServeConfig {
     /// weighted-fair scheduler drains them into the micro-batcher; see
     /// [`TenantSpec`] and [`OverloadPolicy`].
     pub tenants: Vec<TenantSpec>,
+    /// Bounded-staleness embedding cache keyed on `(vertex, epoch)`,
+    /// populated with every served embedding and invalidated at the epoch
+    /// barrier — the backing store of
+    /// [`OverloadPolicy::ServeStale`](tgnn_core::tenancy::OverloadPolicy).
+    /// `None` (the default) builds no cache *unless* some tenant runs
+    /// `ServeStale`, in which case [`CacheConfig::default`] is used; set it
+    /// explicitly to size the capacity/staleness bound, or to enable the
+    /// cache (and its hit/miss metrics) without the policy.
+    pub cache: Option<CacheConfig>,
     /// Test-only fault-injection hook passed to every GNN worker; `None` in
     /// production.  See [`GnnFaultHook`].
     pub gnn_fault: Option<GnnFaultHook>,
@@ -105,6 +116,7 @@ impl Default for ServeConfig {
             num_shards: 4,
             gnn_workers: 1,
             tenants: Vec::new(),
+            cache: None,
             gnn_fault: None,
             durability: None,
             metrics: true,
@@ -124,6 +136,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("num_shards", &self.num_shards)
             .field("gnn_workers", &self.gnn_workers)
             .field("tenants", &self.tenants)
+            .field("cache", &self.cache)
             .field("gnn_fault", &self.gnn_fault.as_ref().map(|_| "<hook>"))
             .field("durability", &self.durability)
             .field("metrics", &self.metrics)
@@ -185,11 +198,17 @@ pub struct TenantStats {
     /// admission layer — see [`AdmissionCounters`] for each field's
     /// contract.
     pub counters: AdmissionCounters,
-    /// Events whose results were delivered (admitted minus still in flight).
+    /// Events whose results were delivered (admitted minus still in flight,
+    /// plus cache-served stale answers).
     pub served: u64,
     /// Served events graded [`Disposition::Late`](tgnn_core::tenancy::Disposition).
     pub late: u64,
-    /// Admission-to-completion latency distribution of the served events.
+    /// Served events answered from the embedding cache
+    /// ([`Disposition::Stale`](tgnn_core::tenancy::Disposition)) — a subset
+    /// of `served`, excluded from `latency` (they bypass the pipeline).
+    pub served_stale: u64,
+    /// Admission-to-completion latency distribution of the pipeline-served
+    /// events (stale answers excluded).
     pub latency: LatencySummary,
     /// Served events per second over the session's `total_time`.
     pub throughput_eps: f64,
@@ -210,6 +229,58 @@ impl TenantStats {
             self.dropped() as f64 / self.counters.submitted as f64
         }
     }
+}
+
+/// Nearest-rank percentiles over the ages (in epoch barriers) of the
+/// session's cache-served stale answers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaleAgeSummary {
+    /// Number of stale answers the distribution covers.
+    pub count: u64,
+    /// Median age.
+    pub p50: u64,
+    /// 95th-percentile age.
+    pub p95: u64,
+    /// 99th-percentile age.
+    pub p99: u64,
+    /// Oldest answer served.  Never exceeds the configured staleness bound
+    /// (property-tested in `tests/cache.rs`).
+    pub max: u64,
+}
+
+impl StaleAgeSummary {
+    pub(crate) fn from_ages(ages: &[u64]) -> Self {
+        if ages.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = ages.to_vec();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let pick = |q: f64| sorted[(((q * n as f64).ceil() as usize).max(1) - 1).min(n - 1)];
+        Self {
+            count: n as u64,
+            p50: pick(0.50),
+            p95: pick(0.95),
+            p99: pick(0.99),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Embedding-cache slice of the serve report: raw counters, the derived hit
+/// rate, the staleness bound the session ran with, and the stale-age
+/// distribution of every cache-served answer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CacheReport {
+    /// Raw cache counters (hits, misses, insertions, evictions, expiry
+    /// sweeps, stale serves, entries, watermark).
+    pub stats: CacheStats,
+    /// `hits / (hits + misses)` over the session.
+    pub hit_rate: f64,
+    /// Configured staleness bound in epochs.
+    pub staleness_bound_epochs: u64,
+    /// Age distribution of the stale answers actually served.
+    pub stale_age: StaleAgeSummary,
 }
 
 /// Aggregate report of a serve session — throughput, tail latency, queue
@@ -250,6 +321,9 @@ pub struct ServeReport {
     /// WAL/snapshot counters when the session ran with
     /// [`ServeConfig::durability`]; `None` on the legacy path.
     pub durability: Option<DurabilityStats>,
+    /// Embedding-cache counters when the session ran with a cache
+    /// ([`ServeConfig::cache`] or any `ServeStale` tenant); `None` otherwise.
+    pub cache: Option<CacheReport>,
     /// Per-stage busy-time breakdown (sample / memory / GNN / update) from
     /// the worker span counters — the serve-path counterpart of the batch
     /// engine's Table-I-shaped `core::profiling` report.  All zeros when
@@ -313,6 +387,12 @@ pub struct StreamServer {
     /// `workers`: it exits on an explicit shutdown signal, not on queue
     /// closure, so the drain loop must not wait for it with the pipeline.
     wal_sync: Option<JoinHandle<()>>,
+    /// The bounded-staleness embedding cache, when configured (explicitly
+    /// or via a `ServeStale` tenant).
+    cache: Option<Arc<EmbeddingCache>>,
+    /// Stale batches the admission layer synthesized from the cache,
+    /// drained by `poll` ahead of pipeline results.
+    stale_out: Option<Arc<Mutex<VecDeque<ServedBatch>>>>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
     model: Arc<TgnModel>,
@@ -382,8 +462,29 @@ impl StreamServer {
                 Durability::open(dcfg, wal_last_seq).expect("StreamServer: opening the WAL failed"),
             )
         });
+        let collector = Arc::new(Collector::new(num_tenants));
+        // The cache exists when configured explicitly or when any tenant
+        // needs it for its overload policy.
+        let cache_config = config.cache.or_else(|| {
+            tenants
+                .iter()
+                .any(|t| t.policy == OverloadPolicy::ServeStale)
+                .then(CacheConfig::default)
+        });
+        let cache = cache_config.map(|c| Arc::new(EmbeddingCache::new(c, num_shards)));
+        let stale_out = cache
+            .is_some()
+            .then(|| Arc::new(Mutex::new(VecDeque::new())));
         let admission = Arc::new(
-            AdmissionControl::new(tenants).with_wal(durability.as_ref().map(|d| d.wal.clone())),
+            AdmissionControl::new(tenants)
+                .with_wal(durability.as_ref().map(|d| d.wal.clone()))
+                .with_stale(cache.as_ref().zip(stale_out.as_ref()).map(|(cache, out)| {
+                    StaleServing {
+                        cache: cache.clone(),
+                        out: out.clone(),
+                        collector: collector.clone(),
+                    }
+                })),
         );
         let model = Arc::new(model);
         let memory = Arc::new(ShardedMemory::for_config(
@@ -397,7 +498,6 @@ impl StreamServer {
             num_shards,
         ));
         let commit_log = Arc::new(Mutex::new(CommitLog::new()));
-        let collector = Arc::new(Collector::new(num_tenants));
         let next_epoch = Arc::new(AtomicU64::new(0));
 
         let (submit_tx, submit_rx) =
@@ -464,6 +564,7 @@ impl StreamServer {
             collector: collector.clone(),
             admission: admission.clone(),
             durability: durability.clone(),
+            cache: cache.clone(),
             next_epoch: next_epoch.clone(),
             gnn_workers,
         });
@@ -518,9 +619,10 @@ impl StreamServer {
         {
             let (memory, table, log) = (memory.clone(), table.clone(), commit_log.clone());
             let durability = durability.clone();
+            let cache = cache.clone();
             let obs = hub.stage_obs(StageId::Update, 0);
             workers.push(spawn("tgnn-serve-update", move || {
-                update_loop(update_rx, memory, table, log, durability, obs)
+                update_loop(update_rx, memory, table, log, durability, cache, obs)
             }));
         }
         for i in 0..gnn_workers {
@@ -539,10 +641,13 @@ impl StreamServer {
         drop(parts_tx);
         {
             let collector = collector.clone();
+            let cache = cache.clone();
             let obs = hub.stage_obs(StageId::Reorder, 0);
             let latency_us = hub.batch_latency_hist();
             workers.push(spawn("tgnn-serve-reorder", move || {
-                reorder_loop(header_rx, parts_rx, results_tx, collector, obs, latency_us)
+                reorder_loop(
+                    header_rx, parts_rx, results_tx, collector, cache, obs, latency_us,
+                )
             }));
         }
         // Seal group commit (`OnSeal` only): one worker fsyncs all pending
@@ -562,6 +667,8 @@ impl StreamServer {
             completed: VecDeque::new(),
             workers,
             wal_sync,
+            cache,
+            stale_out,
             memory,
             table,
             model,
@@ -682,6 +789,13 @@ impl StreamServer {
         server
             .next_epoch
             .store(snapshot_epoch.max(plan.max_sealed), Ordering::SeqCst);
+        // Cold-start the cache at the recovered epoch: raising the watermark
+        // first means any entry seeded below cannot be served beyond the
+        // staleness bound measured against the *recovered* timeline — a
+        // post-crash stale answer never references over-aged pre-crash state.
+        if let Some(c) = &server.cache {
+            c.set_committed_floor(snapshot_epoch.max(plan.max_sealed));
+        }
 
         // Replay sealed epochs newer than the snapshot through the same
         // stage functions the pipeline runs — sampling the restored
@@ -743,6 +857,15 @@ impl StreamServer {
                 // Sealed but never delivered: recompute the embeddings and
                 // queue the batch for `poll`, ahead of anything new.
                 let embeddings = job.run(&server.model, &mut ws);
+                // Seed the cache from the re-served epochs — these are
+                // bit-identical to what the crashed server computed, and the
+                // pre-raised watermark ages them correctly (entries already
+                // beyond the bound are simply never answered).
+                if let Some(c) = &server.cache {
+                    for (v, emb) in &embeddings {
+                        c.insert(*v, sealed.epoch, emb);
+                    }
+                }
                 let metas: Vec<ResultMeta> = sealed
                     .events
                     .iter()
@@ -764,6 +887,7 @@ impl StreamServer {
                     events,
                     metas,
                     embeddings,
+                    cache_epochs: Vec::new(),
                     latency: Duration::ZERO,
                 });
                 re_served_epochs += 1;
@@ -801,6 +925,7 @@ impl StreamServer {
             replayed_events,
             readmitted_events,
             resume_from: plan.admits.clone(),
+            served_stale: plan.served_stale.clone(),
             torn_tail_repaired: torn.is_some(),
             recovery_ms: t0.elapsed().as_secs_f64() * 1e3,
         };
@@ -902,6 +1027,15 @@ impl StreamServer {
     }
 
     fn poll_inner(&mut self) -> Option<ServedBatch> {
+        // Stale answers first: they were synthesized at submit time from
+        // already-served (and, with durability on, already-sealed-and-acked)
+        // history, so they owe no seal gate and no ack — holding them behind
+        // pipeline output would only age them further.
+        if let Some(stale) = &self.stale_out {
+            if let Some(b) = stale.lock().unwrap().pop_front() {
+                return Some(b);
+            }
+        }
         let Some(d) = self.durability.clone() else {
             return self
                 .completed
@@ -1007,6 +1141,7 @@ impl StreamServer {
                     counters,
                     served,
                     late: tc.late.load(Ordering::Relaxed),
+                    served_stale: tc.served_stale.load(Ordering::Relaxed),
                     latency: LatencySummary::from_latencies(&latencies),
                     throughput_eps: if total_time.is_zero() {
                         0.0
@@ -1041,6 +1176,15 @@ impl StreamServer {
             num_shards: self.num_shards,
             gnn_workers: self.gnn_workers,
             durability: self.durability.as_ref().map(|d| d.stats()),
+            cache: self.cache.as_ref().map(|c| {
+                let stats = c.stats();
+                CacheReport {
+                    stats,
+                    hit_rate: stats.hit_rate(),
+                    staleness_bound_epochs: c.staleness_bound(),
+                    stale_age: StaleAgeSummary::from_ages(&c.stale_ages()),
+                }
+            }),
             stage_timings: self.hub.stage_timings(),
         }
     }
@@ -1133,6 +1277,44 @@ mod tests {
         assert_eq!(
             LatencySummary::from_latencies(&[]),
             LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn latency_summary_small_n_nearest_rank() {
+        // Nearest-rank at the edges: rank(q) = ceil(q·n), clamped to [1, n].
+        // n = 1: every percentile is the single sample.
+        let one = LatencySummary::from_latencies(&[Duration::from_millis(7)]);
+        assert_eq!(
+            (one.p50_ms, one.p95_ms, one.p99_ms, one.max_ms),
+            (7.0, 7.0, 7.0, 7.0)
+        );
+        // n = 2: p50 → rank ceil(1.0) = 1 (the smaller), p95/p99 → rank 2.
+        let two =
+            LatencySummary::from_latencies(&[Duration::from_millis(1), Duration::from_millis(2)]);
+        assert_eq!((two.p50_ms, two.p95_ms, two.p99_ms), (1.0, 2.0, 2.0));
+        // n = 10: p50 → rank 5, p95 → rank ceil(9.5) = 10, p99 → rank 10.
+        // (0.95 × 10 = 9.500000000000002 in f64 — ceil still lands on 10.)
+        let lats: Vec<Duration> = (1..=10).map(Duration::from_millis).collect();
+        let ten = LatencySummary::from_latencies(&lats);
+        assert_eq!(
+            (ten.p50_ms, ten.p95_ms, ten.p99_ms, ten.max_ms),
+            (5.0, 10.0, 10.0, 10.0)
+        );
+        // Order-independence: the sort inside must make reversed input equal.
+        let rev: Vec<Duration> = (1..=10).rev().map(Duration::from_millis).collect();
+        assert_eq!(LatencySummary::from_latencies(&rev), ten);
+    }
+
+    #[test]
+    fn stale_age_summary_nearest_rank() {
+        assert_eq!(StaleAgeSummary::from_ages(&[]), StaleAgeSummary::default());
+        let s = StaleAgeSummary::from_ages(&[3]);
+        assert_eq!((s.count, s.p50, s.p99, s.max), (1, 3, 3, 3));
+        let s = StaleAgeSummary::from_ages(&(1..=100).collect::<Vec<u64>>());
+        assert_eq!(
+            (s.count, s.p50, s.p95, s.p99, s.max),
+            (100, 50, 95, 99, 100)
         );
     }
 }
