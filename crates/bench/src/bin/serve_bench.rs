@@ -93,8 +93,9 @@ use tgnn_core::{
 use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
 use tgnn_quant::QuantConfig;
 use tgnn_serve::{
-    wal_fault_hook, CacheConfig, Disposition, DurabilityConfig, FsyncPolicy, RecoveryReport,
-    ServeConfig, ServeReport, ServedBatch, StreamServer, SubmitOutcome, TenantSpec,
+    wal_fault_hook, BurnState, CacheConfig, CriticalPath, Disposition, DurabilityConfig,
+    FsyncPolicy, MetricsSnapshot, RecoveryReport, SegmentId, ServeConfig, ServeReport, ServedBatch,
+    SloConfig, StreamServer, SubmitOutcome, TenantSpec, TraceView,
 };
 use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 use tgnn_tensor::Float;
@@ -189,6 +190,11 @@ const SERVE_FLAGS: &[FlagHelp] = &[
         "--metrics-overhead",
         "",
         "measure metrics-on vs metrics-off throughput and print the overhead",
+    ),
+    (
+        "--trace-out",
+        "<path>",
+        "write the post-drain causal-trace dump as JSONL to <path>, print the critical-path blame table, and assert segment-sum conservation",
     ),
     (
         "--out",
@@ -290,14 +296,15 @@ fn main() {
     let metrics_overhead_wanted = flag_value("--metrics-overhead").is_some();
     let metrics_out = flag_value("--metrics-out").flatten();
     let metrics_interval_ms = parse_f64("--metrics-interval-ms", 250.0);
+    let trace_out = flag_value("--trace-out").flatten();
     assert!(
         metrics_out.is_some() || flag_value("--metrics-interval-ms").is_none(),
         "--metrics-interval-ms requires --metrics-out <path>"
     );
     if no_metrics {
         assert!(
-            metrics_out.is_none() && !metrics_overhead_wanted,
-            "--no-metrics conflicts with --metrics-out / --metrics-overhead"
+            metrics_out.is_none() && !metrics_overhead_wanted && trace_out.is_none(),
+            "--no-metrics conflicts with --metrics-out / --metrics-overhead / --trace-out"
         );
     }
     assert!(num_tenants >= 1, "--tenants: need at least one tenant");
@@ -361,6 +368,7 @@ fn main() {
             "--offered-load",
             "--metrics-out",
             "--metrics-overhead",
+            "--trace-out",
         ] {
             assert!(
                 flag_value(flag).is_none(),
@@ -525,6 +533,10 @@ fn main() {
         },
         tenants: if num_tenants > 1 { tenants } else { Vec::new() },
         metrics: !no_metrics,
+        // Declared objectives (status only — the pre-emptive ServeStale hook
+        // stays off outside the scenario harness) so the run records burn
+        // rates alongside its latency percentiles.
+        slo: (!no_metrics).then(SloConfig::default),
         ..ServeConfig::default()
     };
     if laps > 1 {
@@ -686,6 +698,30 @@ fn main() {
             })
             .collect();
         println!("stages: {}", cells.join(", "));
+    }
+    // The post-drain snapshot: SLO burn-rate verdicts and causal-trace
+    // counters, plus the optional --trace-out dump.
+    let snapshot = (!no_metrics).then(|| server.metrics());
+    if let Some(m) = &snapshot {
+        for s in &m.slo {
+            println!(
+                "slo: {} budget {:.3} burn fast {} / slow {} — {}",
+                s.name,
+                s.error_budget,
+                s.fast_burn
+                    .map_or("n/a".to_string(), |b| format!("{b:.2}x")),
+                s.slow_burn
+                    .map_or("n/a".to_string(), |b| format!("{b:.2}x")),
+                burn_state_label(s.state),
+            );
+        }
+    }
+    if let Some(path) = &trace_out {
+        let m = snapshot
+            .as_ref()
+            .expect("--no-metrics conflict is asserted");
+        let traces = server.metrics_hub().trace_dump();
+        report_traces(path, &traces, m, report.num_batches as u64);
     }
     if let Some(d) = &report.durability {
         println!(
@@ -1005,6 +1041,8 @@ fn main() {
             busy.join(", "),
         )
     });
+    let slo_json = snapshot.as_ref().and_then(slo_json_row);
+    let trace_json = snapshot.as_ref().map(trace_json_row);
     // Record the policy the run *actually* used (the report's, not the
     // flag's) so the row can never contradict its own tenant_stats.
     let effective_policy = report.tenants[0].policy;
@@ -1017,9 +1055,48 @@ fn main() {
         accuracy,
         durability_json.as_deref(),
         metrics_json.as_deref(),
+        slo_json.as_deref(),
+        trace_json.as_deref(),
         None,
     );
     println!("wrote pipeline row to {out_path}");
+}
+
+/// Formats the `"slo"` row: one entry per declared objective with its burn
+/// rates and verdict.  `None` when no objectives were declared.
+fn slo_json_row(m: &MetricsSnapshot) -> Option<String> {
+    if m.slo.is_empty() {
+        return None;
+    }
+    let burn = |b: Option<f64>| b.map_or("null".to_string(), |v| format!("{v:.4}"));
+    let rows: Vec<String> = m
+        .slo
+        .iter()
+        .map(|s| {
+            format!(
+                "{{ \"name\": \"{}\", \"error_budget\": {:.4}, \"fast_burn\": {}, \"slow_burn\": {}, \"state\": \"{}\" }}",
+                s.name,
+                s.error_budget,
+                burn(s.fast_burn),
+                burn(s.slow_burn),
+                burn_state_label(s.state),
+            )
+        })
+        .collect();
+    Some(format!("    \"slo\": [ {} ],", rows.join(", ")))
+}
+
+/// Formats the `"trace"` row from the snapshot's causal-trace counters.
+fn trace_json_row(m: &MetricsSnapshot) -> String {
+    format!(
+        "    \"trace\": {{ \"begun\": {}, \"conflicts\": {}, \"overflows\": {}, \"delivery_p99_ms\": {:.4}, \"exemplars\": {}, \"head_samples\": {} }},",
+        m.trace.begun,
+        m.trace.conflicts,
+        m.trace.overflows,
+        m.trace.delivery_p99_ms,
+        m.trace.exemplars.len(),
+        m.trace.head_samples.len(),
+    )
 }
 
 /// Whether `dir` already holds WAL segments — the signal that a durable run
@@ -1034,6 +1111,107 @@ fn wal_present(dir: &std::path::Path) -> bool {
             })
         })
         .unwrap_or(false)
+}
+
+/// Stable lower-case label of a [`BurnState`] for the bench's prints.
+fn burn_state_label(b: BurnState) -> &'static str {
+    match b {
+        BurnState::NoData => "no-data",
+        BurnState::Ok => "ok",
+        BurnState::Fired => "fired",
+    }
+}
+
+/// Sum of the additive segments of one decoded trace.
+fn additive_sum(v: &TraceView) -> Duration {
+    v.total_where(|c| SegmentId::from_code(c).is_some_and(|s| s.is_additive()))
+}
+
+/// The `--trace-out` reporter: writes the full trace dump as JSONL, prints
+/// the critical-path blame table, and asserts the conservation law — every
+/// complete trace's additive segments must sum to its measured admit→deliver
+/// latency within 5% (plus a 500 µs absolute slack for sub-millisecond
+/// epochs).  Ends with the greppable `trace-summary:` line CI parses.
+fn report_traces(path: &str, traces: &[TraceView], m: &MetricsSnapshot, delivered: u64) {
+    let mut jsonl = String::new();
+    let mut cp = CriticalPath::new();
+    let mut traced = 0u64;
+    let mut unreconciled = 0u64;
+    let mut max_err_pct = 0.0f64;
+    for v in traces {
+        let segs: Vec<String> = v
+            .segments
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"code\":{},\"label\":\"{}\",\"us\":{}}}",
+                    s.code,
+                    SegmentId::from_code(s.code).map_or("?", |id| id.label()),
+                    s.duration.as_micros()
+                )
+            })
+            .collect();
+        jsonl.push_str(&format!(
+            "{{\"epoch\":{},\"segments\":[{}]}}\n",
+            v.epoch,
+            segs.join(",")
+        ));
+        let total = v.total_where(|c| c == SegmentId::Total.code());
+        if total.is_zero() {
+            // Still in flight at drain (or only partially recorded): no
+            // reference to reconcile against.
+            continue;
+        }
+        traced += 1;
+        let sum = additive_sum(v);
+        let diff = sum.abs_diff(total);
+        let err_pct = diff.as_secs_f64() / total.as_secs_f64() * 100.0;
+        max_err_pct = max_err_pct.max(err_pct);
+        let budget =
+            Duration::from_secs_f64(total.as_secs_f64() * 0.05) + Duration::from_micros(500);
+        if diff > budget {
+            unreconciled += 1;
+            eprintln!(
+                "trace: epoch {} additive sum {:?} vs measured total {:?} (err {:.2}%)",
+                v.epoch, sum, total, err_pct
+            );
+        }
+        let additive: Vec<_> = v
+            .segments
+            .iter()
+            .filter(|s| SegmentId::from_code(s.code).is_some_and(|id| id.is_additive()))
+            .copied()
+            .collect();
+        cp.observe(&additive);
+    }
+    std::fs::write(path, jsonl).unwrap_or_else(|e| panic!("--trace-out {path}: {e}"));
+    println!("trace: {} trace(s) written to {path}", traces.len());
+    if cp.traces() > 0 {
+        println!("critical path: segment        latency     share  dominant-in");
+        for b in cp.blame() {
+            println!(
+                "critical path: {:<12} {:>9.3} ms {:>6.1}%  {:>5} epoch(s)",
+                SegmentId::from_code(b.code).map_or("?", |id| id.label()),
+                b.total.as_secs_f64() * 1e3,
+                b.fraction * 100.0,
+                b.dominant_in,
+            );
+        }
+    }
+    println!(
+        "trace-summary: traced={traced} delivered={delivered} unreconciled={unreconciled} \
+         max_err_pct={max_err_pct:.2} exemplars={} head_samples={}",
+        m.trace.exemplars.len(),
+        m.trace.head_samples.len(),
+    );
+    assert_eq!(
+        unreconciled, 0,
+        "causal-trace conservation violated: additive segments must tile the measured latency"
+    );
+    assert!(
+        !m.trace.exemplars.is_empty(),
+        "no tail exemplar captured — the first traced delivery always qualifies"
+    );
 }
 
 /// Prints the per-tenant serving table (the overload picture).
@@ -1134,6 +1312,8 @@ fn merge_pipeline_row(
     accuracy: Option<(f32, f64, f32)>,
     durability_json: Option<&str>,
     metrics_json: Option<&str>,
+    slo_json: Option<&str>,
+    trace_json: Option<&str>,
     scenario_json: Option<&str>,
 ) {
     let identity = match accuracy {
@@ -1164,6 +1344,8 @@ fn merge_pipeline_row(
         .collect();
     let durability_line = durability_json.map_or(String::new(), |d| format!("{d}\n"));
     let metrics_line = metrics_json.map_or(String::new(), |m| format!("{m}\n"));
+    let slo_line = slo_json.map_or(String::new(), |s| format!("{s}\n"));
+    let trace_line = trace_json.map_or(String::new(), |t| format!("{t}\n"));
     let cache_line = report.cache.as_ref().map_or(String::new(), |c| {
         format!(
             "    \"cache\": {{ \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}, \"insertions\": {}, \"evictions\": {}, \"expired\": {}, \"served_stale\": {}, \"entries\": {}, \"staleness_bound_epochs\": {}, \"stale_age\": {{ \"p50\": {}, \"p95\": {}, \"p99\": {}, \"max\": {} }} }},\n",
@@ -1184,7 +1366,7 @@ fn merge_pipeline_row(
     });
     let scenario_line = scenario_json.map_or(String::new(), |s| format!("{s}\n"));
     let row = format!(
-        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}{}{}\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}{}{}{}{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
@@ -1203,6 +1385,8 @@ fn merge_pipeline_row(
         tenant_rows.join(",\n"),
         durability_line,
         metrics_line,
+        slo_line,
+        trace_line,
         cache_line,
         scenario_line,
         identity,
@@ -1242,6 +1426,8 @@ struct ScenarioPass {
     admitted: u64,
     stale: u64,
     dropped: u64,
+    /// Tail exemplars retained by the causal-trace slab (0 with metrics off).
+    trace_exemplars: usize,
 }
 
 /// The `--scenario` harness: generate the shaped feed, run it warm+burst
@@ -1269,9 +1455,42 @@ fn run_scenario(run: ScenarioRun) {
         SCENARIO_STALENESS_BOUND,
     );
 
-    let pass = scenario_pass(&run, &feed, warm_n, run.policy);
+    let pass = scenario_pass(&run, &feed, warm_n, run.policy, false);
     let (stale_checked, stale_beyond_bound) =
         verify_scenario_stale(&pass.served, SCENARIO_STALENESS_BOUND);
+
+    // The SLO burn-rate hook, demonstrated against the pass above as its
+    // queue-full baseline: with `preempt_stale` armed, the drop objective
+    // fires under the same feed and the tenant starts answering cache hits
+    // stale while the ingress queue still has space — so shedding must not
+    // exceed the baseline, where stale answers require a hard-full queue.
+    let preempt = (run.policy == OverloadPolicy::ServeStale && !run.no_metrics).then(|| {
+        let pp = scenario_pass(&run, &feed, warm_n, OverloadPolicy::ServeStale, true);
+        let preempted = pp.report.tenants[0].counters.preempt_stale;
+        println!(
+            "slo preemption: {} pre-emptive stale serve(s) ({} stale total), dropped {} vs {} baseline",
+            preempted, pp.stale, pp.dropped, pass.dropped,
+        );
+        if run.shape == Scenario::PowerLaw {
+            // The hot-set shape is the one the gate is for: the cache hit
+            // rate is high enough that preemption must demonstrably engage,
+            // and shedding early must not cost more than shedding at the
+            // hard bound.  Low-locality shapes report the same numbers but
+            // without the asserts — with few cache hits to absorb load,
+            // run-to-run drop noise dominates the comparison.
+            assert!(
+                preempted > 0,
+                "power-law burst never tripped the burn-rate gate"
+            );
+            assert!(
+                pp.dropped <= pass.dropped,
+                "burn-rate preemption must not shed more than the queue-full baseline ({} vs {})",
+                pp.dropped,
+                pass.dropped
+            );
+        }
+        preempted
+    });
 
     // Identity: the pipeline-served batches must still be bit-identical to
     // the serial engine replaying the same micro-batch sequence — the cache
@@ -1299,7 +1518,8 @@ fn run_scenario(run: ScenarioRun) {
     println!(
         "scenario-summary: shape={} policy={} submitted={} served={} stale_served={} dropped={} \
          cache_hits={} cache_misses={} cache_hit_rate={:.4} stale_age_p50={} stale_age_p95={} \
-         stale_age_max={} staleness_bound={} stale_checked={} stale_beyond_bound={}",
+         stale_age_max={} staleness_bound={} stale_checked={} stale_beyond_bound={} \
+         slo_preempt_stale={} trace_exemplars={}",
         run.shape.label(),
         run.policy.label(),
         feed.len(),
@@ -1315,6 +1535,8 @@ fn run_scenario(run: ScenarioRun) {
         cache.staleness_bound_epochs,
         stale_checked,
         stale_beyond_bound,
+        preempt.unwrap_or(0),
+        pass.trace_exemplars,
     );
     if run.policy == OverloadPolicy::ServeStale {
         assert!(
@@ -1333,7 +1555,7 @@ fn run_scenario(run: ScenarioRun) {
     // must shed strictly less than DropNewest, because every cache hit is
     // an answer DropNewest would have thrown away.
     let drop_newest_rate = (run.policy == OverloadPolicy::ServeStale).then(|| {
-        let dn = scenario_pass(&run, &feed, warm_n, OverloadPolicy::DropNewest);
+        let dn = scenario_pass(&run, &feed, warm_n, OverloadPolicy::DropNewest, false);
         let ss_rate = pass.dropped as f64 / feed.len() as f64;
         let dn_rate = dn.dropped as f64 / feed.len() as f64;
         println!(
@@ -1357,7 +1579,7 @@ fn run_scenario(run: ScenarioRun) {
         return;
     }
     let scenario_json = format!(
-        "    \"scenario\": {{ \"shape\": \"{}\", \"events\": {}, \"warm_events\": {warm_n}, \"burst_events\": {}, \"admitted\": {}, \"served_stale\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"drop_rate_drop_newest\": {}, \"stale_checked\": {stale_checked}, \"stale_beyond_bound\": {stale_beyond_bound} }},",
+        "    \"scenario\": {{ \"shape\": \"{}\", \"events\": {}, \"warm_events\": {warm_n}, \"burst_events\": {}, \"admitted\": {}, \"served_stale\": {}, \"dropped\": {}, \"drop_rate\": {:.4}, \"drop_rate_drop_newest\": {}, \"stale_checked\": {stale_checked}, \"stale_beyond_bound\": {stale_beyond_bound}, \"slo_preempt_stale\": {}, \"trace_exemplars\": {} }},",
         run.shape.label(),
         feed.len(),
         feed.len() - warm_n,
@@ -1366,6 +1588,8 @@ fn run_scenario(run: ScenarioRun) {
         pass.dropped,
         pass.dropped as f64 / feed.len() as f64,
         drop_newest_rate.map_or("null".to_string(), |r| format!("{r:.4}")),
+        preempt.unwrap_or(0),
+        pass.trace_exemplars,
     );
     merge_pipeline_row(
         run.out_path,
@@ -1373,6 +1597,8 @@ fn run_scenario(run: ScenarioRun) {
         "batched",
         run.policy,
         0.0,
+        None,
+        None,
         None,
         None,
         None,
@@ -1388,6 +1614,7 @@ fn scenario_pass(
     feed: &[InteractionEvent],
     warm_n: usize,
     policy: OverloadPolicy,
+    preempt: bool,
 ) -> ScenarioPass {
     let config = ServeConfig {
         max_batch: run.max_batch,
@@ -1411,6 +1638,18 @@ fn scenario_pass(
             .with_policy(policy)
             .with_deadline(Duration::from_secs_f64(run.deadline_ms / 1e3))],
         metrics: !run.no_metrics,
+        // The pre-emptive pass traces every delivery (each one feeds the
+        // latency lane) and declares an objective the overloaded pipeline
+        // cannot meet — queue wait alone exceeds it once the burst builds
+        // up.  When the objective fires, a ServeStale tenant answers cache
+        // hits stale *before* its ingress queue is hard-full, preserving
+        // headroom for the events only the pipeline can serve.
+        metrics_sampling: if preempt { 1 } else { 64 },
+        slo: preempt.then(|| SloConfig {
+            preempt_stale: true,
+            latency_objective: Duration::from_millis(5),
+            ..SloConfig::default()
+        }),
         ..ServeConfig::default()
     };
     let mut server = StreamServer::new(run.model.clone(), run.graph.clone(), config);
@@ -1418,6 +1657,11 @@ fn scenario_pass(
     let mut served: Vec<ServedBatch> = Vec::new();
     let (mut admitted, mut stale, mut dropped) = (0u64, 0u64, 0u64);
     let mut submits = 0u64;
+    // Pre-emptive pass only: how deep into the burst the un-polled
+    // "incident" runs before the latency objective is given a chance to
+    // fire — enough submits to pin the ingress queue and every bounded
+    // stage queue behind it.
+    let burst_prime = run.ingress_capacity + 4 * run.max_batch;
     for (i, &e) in feed.iter().enumerate() {
         if i < warm_n {
             // Warm phase: the submit loop is orders of magnitude faster
@@ -1472,12 +1716,44 @@ fn scenario_pass(
                 SubmitOutcome::ServedStale => stale += 1,
                 SubmitOutcome::Dropped => dropped += 1,
             }
+            // The pre-emptive pass shares the un-polled incident for its
+            // first `burst_prime` submits: the pipeline wedges against the
+            // unread results queue, so every in-flight batch ages far past
+            // the 5 ms objective.  Draining then records those latencies
+            // into the burn-rate lanes; one gate tick later `fired()`
+            // observes the incident, and the rest of the burst behaves like
+            // a real serving loop — polling keeps the scheduler pulling, so
+            // the ingress queue dips below capacity, which is the only
+            // regime where preemption (as opposed to queue-full fallback)
+            // is observable.
+            if preempt {
+                match (i - warm_n).cmp(&burst_prime) {
+                    std::cmp::Ordering::Less => {}
+                    std::cmp::Ordering::Equal => {
+                        std::thread::sleep(Duration::from_millis(150));
+                        while let Some(b) = server.poll() {
+                            served.push(b);
+                        }
+                        std::thread::sleep(Duration::from_millis(150));
+                    }
+                    std::cmp::Ordering::Greater => {
+                        while let Some(b) = server.poll() {
+                            served.push(b);
+                        }
+                    }
+                }
+            }
         }
     }
     let report = server.drain();
     while let Some(b) = server.poll() {
         served.push(b);
     }
+    let trace_exemplars = if run.no_metrics {
+        0
+    } else {
+        server.metrics().trace.exemplars.len()
+    };
     assert_eq!(
         admitted + stale + dropped,
         submits,
@@ -1521,6 +1797,7 @@ fn scenario_pass(
         admitted,
         stale: served_stale,
         dropped,
+        trace_exemplars,
     }
 }
 

@@ -177,6 +177,12 @@ pub struct ResultMeta {
     pub tenant: TenantId,
     /// Deadline disposition of the result.
     pub disposition: Disposition,
+    /// Causal-trace identifier: the pipeline epoch whose trace decomposes
+    /// this result's admit→deliver latency into additive segments (see the
+    /// serving layer's trace slab).  `0` means untraced — results that never
+    /// entered the pipeline (stale cache answers, recovery re-serves) carry
+    /// no trace.
+    pub trace_id: u64,
 }
 
 #[cfg(test)]

@@ -350,6 +350,55 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_histogram_answers_its_bucket_at_every_quantile() {
+        // The SLO/latency path divides by percentiles; a one-sample
+        // histogram must answer that sample's bucket bound for every q,
+        // including the degenerate q = 0 (rank clamps to 1).
+        let h = Histogram::new();
+        h.record(1_000);
+        let expect = bucket_bounds(bucket_index(1_000)).1;
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.percentile(q), expect, "q={q}");
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 1);
+        assert_eq!(s.percentile(0.99), expect);
+        assert_eq!(s.max(), expect);
+        let (lo, hi) = bucket_bounds(bucket_index(1_000));
+        let mid = (lo + hi) as f64 / 2.0;
+        assert!((s.mean() - mid).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merging_disjoint_octaves_preserves_counts_and_orders_percentiles() {
+        // Snapshots whose samples live in entirely different octaves must
+        // merge without cross-talk: total count adds, the low octave owns
+        // the low quantiles and the high octave the high ones.
+        let lo = Histogram::new();
+        for _ in 0..1_000 {
+            lo.record(100); // octave [96, 103]
+        }
+        let hi = Histogram::new();
+        for _ in 0..1_000 {
+            hi.record(1_000_000); // six octaves up
+        }
+        let mut merged = lo.snapshot();
+        merged.merge(&hi.snapshot());
+        assert_eq!(merged.count(), 2_000);
+        let lo_bound = bucket_bounds(bucket_index(100)).1;
+        let hi_bound = bucket_bounds(bucket_index(1_000_000)).1;
+        assert_eq!(merged.percentile(0.25), lo_bound);
+        assert_eq!(merged.percentile(0.5), lo_bound);
+        assert_eq!(merged.percentile(0.75), hi_bound);
+        assert_eq!(merged.percentile(0.99), hi_bound);
+        assert_eq!(merged.max(), hi_bound);
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
     fn empty_histogram_answers_zero() {
         let h = Histogram::new();
         assert_eq!(h.count(), 0);

@@ -14,6 +14,13 @@
 //!   block and never allocate; a reader can dump a consistent view of the
 //!   last N records at any time — including after a worker panicked — which
 //!   is what makes post-mortem per-stage timelines possible.
+//! * [`TraceSlab`] / [`CriticalPath`] — epoch-scoped causal traces: a
+//!   lock-free ring of per-epoch segment lists that decompose a request's
+//!   admit→deliver latency into additive phases, plus an analyzer that
+//!   names the dominant segment and aggregates per-segment blame.
+//! * [`SloEngine`] — declared objectives (error budgets) evaluated over
+//!   fast/slow burn-rate windows, with a typed [`SloStatus`] verdict and a
+//!   cheap [`SloEngine::fired`] signal admission control can poll.
 //!
 //! The crate has no dependencies (not even on the rest of the workspace) so
 //! that instrumentation can be threaded through any layer without dragging
@@ -24,7 +31,14 @@
 mod flight;
 mod hist;
 mod registry;
+mod slo;
+mod trace;
 
 pub use flight::{FlightRecord, FlightRecorder, SpanKind};
 pub use hist::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
 pub use registry::{Counter, Gauge, Registry, RegistrySnapshot};
+pub use slo::{
+    BurnState, SloEngine, SloSpec, SloStatus, FAST_WINDOW_SECONDS, RING_SECONDS,
+    SLOW_WINDOW_SECONDS,
+};
+pub use trace::{Blame, CriticalPath, TraceSegment, TraceSlab, TraceView, MAX_TRACE_SEGMENTS};

@@ -1,0 +1,401 @@
+//! Service-level objectives evaluated over multi-window burn rates.
+//!
+//! An objective declares an *error budget*: the fraction of events allowed
+//! to be "bad" (a latency sample over its threshold, a dropped request).
+//! The [`SloEngine`] buckets good/bad counts into one-second rings and
+//! evaluates each objective over a fast (5 s) and a slow (60 s) window.
+//! The *burn rate* is `bad_fraction / error_budget` — 1.0 means the budget
+//! is being consumed exactly at the sustainable rate, higher means faster.
+//! An objective **fires** only when *both* windows burn at or above the
+//! objective's firing threshold: the slow window filters blips, the fast
+//! window makes recovery visible quickly.  Windows with zero traffic
+//! report [`BurnState::NoData`] and can never fire.
+//!
+//! Recording is lock-free (per-second atomic buckets); evaluation walks at
+//! most [`RING_SECONDS`] buckets and is cached per 100 ms tick, so callers
+//! such as admission control may consult [`SloEngine::fired`] on every
+//! request and still notice a freshly-fired objective within a tick.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Fast burn-rate window (seconds).
+pub const FAST_WINDOW_SECONDS: u64 = 5;
+/// Slow burn-rate window (seconds).
+pub const SLOW_WINDOW_SECONDS: u64 = 60;
+/// Ring size: one bucket per second, enough to cover the slow window plus
+/// slack for stragglers.
+pub const RING_SECONDS: u64 = 64;
+
+/// A declared objective: a name, the fraction of events allowed to be bad,
+/// and the burn rate at which the objective fires.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloSpec {
+    /// Human-readable objective name (e.g. `"latency_p99"`).
+    pub name: String,
+    /// Allowed bad fraction, in `(0, 1]` (clamped on construction).
+    pub error_budget: f64,
+    /// Burn rate at or above which the objective fires (≥ 0).
+    pub fire_burn_rate: f64,
+}
+
+impl SloSpec {
+    /// Builds a spec, clamping `error_budget` into `(0, 1]`.
+    pub fn new(name: impl Into<String>, error_budget: f64, fire_burn_rate: f64) -> Self {
+        SloSpec {
+            name: name.into(),
+            error_budget: error_budget.clamp(f64::MIN_POSITIVE, 1.0),
+            fire_burn_rate: fire_burn_rate.max(0.0),
+        }
+    }
+}
+
+/// Evaluated state of one objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurnState {
+    /// No traffic in at least one window — nothing to conclude, never a
+    /// fired alarm.
+    NoData,
+    /// Burning below the firing threshold in at least one window.
+    Ok,
+    /// Both windows burn at or above the firing threshold.
+    Fired,
+}
+
+/// Point-in-time evaluation of one objective.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloStatus {
+    /// The objective's name.
+    pub name: String,
+    /// The objective's error budget.
+    pub error_budget: f64,
+    /// Burn rate over the fast window, or `None` with zero traffic.
+    pub fast_burn: Option<f64>,
+    /// Burn rate over the slow window, or `None` with zero traffic.
+    pub slow_burn: Option<f64>,
+    /// The firing threshold this status was judged against.
+    pub fire_burn_rate: f64,
+    /// Combined verdict over both windows.
+    pub state: BurnState,
+}
+
+struct Bucket {
+    /// Wall-clock second this bucket currently represents (+1 so that 0
+    /// means "empty"; second 0 is a valid stamp).
+    stamp: AtomicU64,
+    good: AtomicU64,
+    bad: AtomicU64,
+}
+
+struct Lane {
+    buckets: Vec<Bucket>,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane {
+            buckets: (0..RING_SECONDS)
+                .map(|_| Bucket {
+                    stamp: AtomicU64::new(0),
+                    good: AtomicU64::new(0),
+                    bad: AtomicU64::new(0),
+                })
+                .collect(),
+        }
+    }
+
+    fn record(&self, good: u64, bad: u64, at_s: u64) {
+        let b = &self.buckets[(at_s % RING_SECONDS) as usize];
+        let stamp = at_s + 1;
+        let cur = b.stamp.load(Ordering::Acquire);
+        if cur != stamp {
+            // Rotate the bucket to the new second. The CAS winner wipes the
+            // stale counts; losers (and late writers for the evicted
+            // second) just add into the fresh bucket — a one-second-bucket
+            // misattribution at worst.
+            if b.stamp
+                .compare_exchange(cur, stamp, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                b.good.store(0, Ordering::Relaxed);
+                b.bad.store(0, Ordering::Relaxed);
+            }
+        }
+        if good > 0 {
+            b.good.fetch_add(good, Ordering::Relaxed);
+        }
+        if bad > 0 {
+            b.bad.fetch_add(bad, Ordering::Relaxed);
+        }
+    }
+
+    /// Sums (good, bad) over the `window_s` seconds ending at `now_s`
+    /// inclusive.
+    fn window(&self, now_s: u64, window_s: u64) -> (u64, u64) {
+        let lo = (now_s + 1).saturating_sub(window_s);
+        let (mut good, mut bad) = (0u64, 0u64);
+        for s in lo..=now_s {
+            let b = &self.buckets[(s % RING_SECONDS) as usize];
+            if b.stamp.load(Ordering::Acquire) == s + 1 {
+                good += b.good.load(Ordering::Relaxed);
+                bad += b.bad.load(Ordering::Relaxed);
+            }
+        }
+        (good, bad)
+    }
+}
+
+/// Multi-objective burn-rate engine.  Shared by `Arc`; all methods take
+/// `&self`.
+pub struct SloEngine {
+    start: Instant,
+    specs: Vec<SloSpec>,
+    lanes: Vec<Lane>,
+    cached_fired: AtomicBool,
+    cached_tick: AtomicU64,
+}
+
+impl std::fmt::Debug for SloEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SloEngine")
+            .field("specs", &self.specs)
+            .finish()
+    }
+}
+
+impl SloEngine {
+    /// Creates an engine for the given objectives.
+    pub fn new(specs: Vec<SloSpec>) -> Self {
+        let lanes = specs.iter().map(|_| Lane::new()).collect();
+        SloEngine {
+            start: Instant::now(),
+            specs,
+            lanes,
+            cached_fired: AtomicBool::new(false),
+            cached_tick: AtomicU64::new(u64::MAX),
+        }
+    }
+
+    /// The declared objectives.
+    pub fn specs(&self) -> &[SloSpec] {
+        &self.specs
+    }
+
+    fn now_s(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+
+    /// Records one event for objective `spec`.
+    #[inline]
+    pub fn record(&self, spec: usize, good: bool) {
+        self.record_many(spec, u64::from(good), u64::from(!good));
+    }
+
+    /// Records a batch of events for objective `spec`.
+    #[inline]
+    pub fn record_many(&self, spec: usize, good: u64, bad: u64) {
+        if good == 0 && bad == 0 {
+            return;
+        }
+        self.record_at(spec, good, bad, self.now_s());
+    }
+
+    /// Deterministic variant of [`record_many`](Self::record_many) with an
+    /// explicit second — for tests and replays.
+    pub fn record_at(&self, spec: usize, good: u64, bad: u64, at_s: u64) {
+        if let Some(lane) = self.lanes.get(spec) {
+            lane.record(good, bad, at_s);
+        }
+    }
+
+    /// Evaluates every objective at the current instant.
+    pub fn status(&self) -> Vec<SloStatus> {
+        self.status_at(self.now_s())
+    }
+
+    /// Deterministic variant of [`status`](Self::status) with an explicit
+    /// second — for tests and replays.
+    pub fn status_at(&self, now_s: u64) -> Vec<SloStatus> {
+        self.specs
+            .iter()
+            .zip(&self.lanes)
+            .map(|(spec, lane)| {
+                let burn = |window_s: u64| {
+                    let (good, bad) = lane.window(now_s, window_s);
+                    let total = good + bad;
+                    if total == 0 {
+                        None
+                    } else {
+                        Some((bad as f64 / total as f64) / spec.error_budget)
+                    }
+                };
+                let fast_burn = burn(FAST_WINDOW_SECONDS);
+                let slow_burn = burn(SLOW_WINDOW_SECONDS);
+                let state = match (fast_burn, slow_burn) {
+                    (Some(f), Some(s)) if f >= spec.fire_burn_rate && s >= spec.fire_burn_rate => {
+                        BurnState::Fired
+                    }
+                    (Some(_), Some(_)) => BurnState::Ok,
+                    // A silent fast window with slow-window traffic still
+                    // means "currently no load" — recovery, not an alarm.
+                    _ => BurnState::NoData,
+                };
+                SloStatus {
+                    name: spec.name.clone(),
+                    error_budget: spec.error_budget,
+                    fast_burn,
+                    slow_burn,
+                    fire_burn_rate: spec.fire_burn_rate,
+                    state,
+                }
+            })
+            .collect()
+    }
+
+    /// True when any objective currently fires.  Evaluation is cached per
+    /// 100 ms tick — cheap enough for per-request use, fine-grained enough
+    /// that admission notices a burning objective while a burst is still in
+    /// flight.
+    pub fn fired(&self) -> bool {
+        let tick = self.start.elapsed().as_millis() as u64 / 100;
+        if self.cached_tick.load(Ordering::Acquire) != tick {
+            let fired = self
+                .status_at(self.now_s())
+                .iter()
+                .any(|st| st.state == BurnState::Fired);
+            self.cached_fired.store(fired, Ordering::Release);
+            self.cached_tick.store(tick, Ordering::Release);
+        }
+        self.cached_fired.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SloEngine {
+        SloEngine::new(vec![
+            SloSpec::new("latency_p99", 0.01, 1.0),
+            SloSpec::new("drop_rate", 0.01, 1.0),
+        ])
+    }
+
+    #[test]
+    fn zero_traffic_reports_no_data_not_fired() {
+        let e = engine();
+        for st in e.status_at(100) {
+            assert_eq!(st.state, BurnState::NoData);
+            assert_eq!(st.fast_burn, None);
+            assert_eq!(st.slow_burn, None);
+        }
+    }
+
+    #[test]
+    fn healthy_traffic_is_ok() {
+        let e = engine();
+        for s in 0..=70u64 {
+            e.record_at(0, 995, 5, s); // 0.5% bad, budget 1% → burn 0.5
+        }
+        let st = &e.status_at(70)[0];
+        assert_eq!(st.state, BurnState::Ok);
+        assert!((st.fast_burn.unwrap() - 0.5).abs() < 1e-9);
+        assert!((st.slow_burn.unwrap() - 0.5).abs() < 1e-9);
+        // The untouched objective still has no data.
+        assert_eq!(e.status_at(70)[1].state, BurnState::NoData);
+    }
+
+    #[test]
+    fn fires_only_when_both_windows_burn() {
+        let e = engine();
+        // 55 healthy seconds then a 5-second incident at 50% bad.
+        for s in 0..55u64 {
+            e.record_at(0, 1000, 0, s);
+        }
+        for s in 55..60u64 {
+            e.record_at(0, 500, 500, s);
+        }
+        let st = &e.status_at(59)[0];
+        // Fast window: fully inside the incident → burn 50.
+        assert!(st.fast_burn.unwrap() > 10.0);
+        // Slow window: 2500 bad / 60000 ≈ 4.2% → burn ≈ 4.2; both ≥ 1.
+        assert_eq!(st.state, BurnState::Fired);
+
+        // Same incident against a 10× firing threshold: slow window stays
+        // below it, so no alarm.
+        let strict = SloEngine::new(vec![SloSpec::new("strict", 0.01, 10.0)]);
+        for s in 0..55u64 {
+            strict.record_at(0, 1000, 0, s);
+        }
+        for s in 55..60u64 {
+            strict.record_at(0, 500, 500, s);
+        }
+        assert_eq!(strict.status_at(59)[0].state, BurnState::Ok);
+    }
+
+    #[test]
+    fn recovery_clears_the_alarm_via_the_fast_window() {
+        let e = engine();
+        for s in 0..30u64 {
+            e.record_at(0, 500, 500, s); // sustained incident
+        }
+        assert_eq!(e.status_at(29)[0].state, BurnState::Fired);
+        for s in 30..40u64 {
+            e.record_at(0, 1000, 0, s); // recovered
+        }
+        let st = &e.status_at(39)[0];
+        assert_eq!(st.fast_burn, Some(0.0));
+        assert_eq!(st.state, BurnState::Ok);
+    }
+
+    #[test]
+    fn idle_fast_window_is_no_data_even_after_an_incident() {
+        let e = engine();
+        for s in 0..10u64 {
+            e.record_at(0, 0, 1000, s); // everything bad
+        }
+        // 20 seconds of silence: the slow window still holds the incident,
+        // but with no current traffic there is nothing to act on.
+        let st = &e.status_at(30)[0];
+        assert_eq!(st.fast_burn, None);
+        assert!(st.slow_burn.unwrap() > 1.0);
+        assert_eq!(st.state, BurnState::NoData);
+    }
+
+    #[test]
+    fn ring_evicts_buckets_older_than_the_slow_window() {
+        let e = engine();
+        e.record_at(0, 0, 1000, 5); // incident at second 5
+        assert_eq!(e.status_at(5)[0].state, BurnState::Fired);
+        // Re-use of the same ring slot RING_SECONDS later wipes it.
+        e.record_at(0, 1000, 0, 5 + RING_SECONDS);
+        let st = &e.status_at(5 + RING_SECONDS)[0];
+        assert_eq!(st.slow_burn, Some(0.0));
+        assert_eq!(st.state, BurnState::Ok);
+    }
+
+    #[test]
+    fn record_out_of_range_spec_is_ignored() {
+        let e = engine();
+        e.record_at(99, 1, 1, 0);
+        assert_eq!(e.status_at(0).len(), 2);
+    }
+
+    #[test]
+    fn live_clock_paths_are_consistent() {
+        let e = engine();
+        e.record(0, true);
+        e.record_many(0, 9, 1);
+        let st = &e.status()[0];
+        // 1 bad / 11 total ≈ 9.1% over a 1% budget → burn ≈ 9.1, fired.
+        assert!(st.fast_burn.unwrap() > 1.0);
+        assert!(e.fired());
+    }
+
+    #[test]
+    fn spec_clamps_degenerate_budgets() {
+        let s = SloSpec::new("x", 0.0, -1.0);
+        assert!(s.error_budget > 0.0);
+        assert_eq!(s.fire_burn_rate, 0.0);
+    }
+}

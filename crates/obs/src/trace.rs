@@ -1,0 +1,471 @@
+//! Epoch-scoped causal traces and critical-path attribution.
+//!
+//! A [`TraceSlab`] is a fixed-size ring of per-epoch trace slots.  Pipeline
+//! workers append timestamped *segments* — `(code, duration)` pairs whose
+//! codes the caller defines (the serve crate maps them to pipeline phases:
+//! ingress wait, seal wait, sample, memory, GNN, reorder barrier, WAL-sync
+//! wait, delivery).  Recording is lock-free and allocation-free: one relaxed
+//! `fetch_add` to claim a segment index plus one release store of a packed
+//! word, so the hot path cost is comparable to a counter bump.  Slots are
+//! keyed `epoch % capacity` and every write re-checks the slot's epoch
+//! stamp, so a straggling writer for a long-evicted epoch is counted as a
+//! conflict instead of corrupting a newer trace.
+//!
+//! [`CriticalPath`] aggregates finished traces into a *blame* breakdown:
+//! which segment dominated each trace, and what fraction of the total
+//! latency each segment code accounts for across the observed set — the
+//! "p99 blame" table when fed tail exemplars only.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// Maximum segments one trace slot can hold; later appends are dropped and
+/// counted in [`TraceSlab::overflows`].
+pub const MAX_TRACE_SEGMENTS: usize = 32;
+
+// Packed segment word: valid (1 bit) | code (8 bits) | duration ns (55
+// bits).  55 bits of nanoseconds is ~417 days, far beyond any latency the
+// slab will ever see; the valid bit distinguishes a written segment from a
+// never-written zero slot.
+const DUR_BITS: u64 = 55;
+const DUR_MASK: u64 = (1 << DUR_BITS) - 1;
+const VALID_BIT: u64 = 1 << 63;
+
+fn pack(code: u8, duration: Duration) -> u64 {
+    let ns = (duration.as_nanos() as u64).min(DUR_MASK);
+    VALID_BIT | ((code as u64) << DUR_BITS) | ns
+}
+
+fn unpack(word: u64) -> Option<TraceSegment> {
+    if word & VALID_BIT == 0 {
+        return None;
+    }
+    Some(TraceSegment {
+        code: ((word >> DUR_BITS) & 0xFF) as u8,
+        duration: Duration::from_nanos(word & DUR_MASK),
+    })
+}
+
+/// One recorded segment of a trace: a caller-defined code plus the wall
+/// time the traced epoch spent in that phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceSegment {
+    /// Caller-defined segment code (the serve crate's phase taxonomy).
+    pub code: u8,
+    /// Wall-clock duration attributed to this segment.
+    pub duration: Duration,
+}
+
+/// A decoded snapshot of one epoch's trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceView {
+    /// The epoch this trace belongs to.
+    pub epoch: u64,
+    /// Segments in recording order.
+    pub segments: Vec<TraceSegment>,
+}
+
+impl TraceView {
+    /// Sum of the durations of every segment matching `keep` — the
+    /// conservation check sums only the *additive* codes (phases that tile
+    /// the admit→deliver timeline without overlap).
+    pub fn total_where(&self, keep: impl Fn(u8) -> bool) -> Duration {
+        self.segments
+            .iter()
+            .filter(|s| keep(s.code))
+            .map(|s| s.duration)
+            .sum()
+    }
+
+    /// The longest segment matching `keep`, if any.
+    pub fn dominant_where(&self, keep: impl Fn(u8) -> bool) -> Option<TraceSegment> {
+        self.segments
+            .iter()
+            .filter(|s| keep(s.code))
+            .max_by_key(|s| s.duration)
+            .copied()
+    }
+}
+
+struct TraceSlot {
+    /// Epoch currently owning this slot; 0 = never claimed.
+    epoch: AtomicU64,
+    /// Segments appended so far (may exceed `MAX_TRACE_SEGMENTS`; reads
+    /// clamp).
+    len: AtomicUsize,
+    segments: [AtomicU64; MAX_TRACE_SEGMENTS],
+}
+
+/// Lock-free ring of per-epoch traces.  Shared by `Arc`; all methods take
+/// `&self`.
+pub struct TraceSlab {
+    slots: Box<[TraceSlot]>,
+    begun: AtomicU64,
+    conflicts: AtomicU64,
+    overflows: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceSlab {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSlab")
+            .field("capacity", &self.slots.len())
+            .field("begun", &self.begun())
+            .finish()
+    }
+}
+
+impl TraceSlab {
+    /// Creates a slab tracking the most recent `capacity` epochs (rounded
+    /// up to at least 2).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(2);
+        let slots: Vec<TraceSlot> = (0..capacity)
+            .map(|_| TraceSlot {
+                epoch: AtomicU64::new(0),
+                len: AtomicUsize::new(0),
+                segments: std::array::from_fn(|_| AtomicU64::new(0)),
+            })
+            .collect();
+        TraceSlab {
+            slots: slots.into_boxed_slice(),
+            begun: AtomicU64::new(0),
+            conflicts: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+        }
+    }
+
+    fn slot(&self, epoch: u64) -> &TraceSlot {
+        &self.slots[(epoch % self.slots.len() as u64) as usize]
+    }
+
+    /// Claims the slot for `epoch`, evicting whatever older epoch held it.
+    /// Epoch 0 is the "untraced" sentinel and is ignored.
+    pub fn begin(&self, epoch: u64) {
+        if epoch == 0 {
+            return;
+        }
+        let slot = self.slot(epoch);
+        // Invalidate, wipe, then publish the new epoch: a concurrent reader
+        // of the evicted epoch sees the stamp change and rejects the slot.
+        slot.epoch.store(0, Ordering::Release);
+        slot.len.store(0, Ordering::Release);
+        for s in &slot.segments {
+            s.store(0, Ordering::Relaxed);
+        }
+        slot.epoch.store(epoch, Ordering::Release);
+        self.begun.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Appends one segment to `epoch`'s trace.  A write for an epoch whose
+    /// slot has been reclaimed is dropped and counted in
+    /// [`conflicts`](Self::conflicts).
+    #[inline]
+    pub fn record(&self, epoch: u64, code: u8, duration: Duration) {
+        if epoch == 0 {
+            return;
+        }
+        let slot = self.slot(epoch);
+        if slot.epoch.load(Ordering::Acquire) != epoch {
+            self.conflicts.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let idx = slot.len.fetch_add(1, Ordering::AcqRel);
+        if idx >= MAX_TRACE_SEGMENTS {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.segments[idx].store(pack(code, duration), Ordering::Release);
+    }
+
+    /// Decodes `epoch`'s trace, or `None` if its slot has been reclaimed
+    /// (or never claimed).
+    pub fn snapshot(&self, epoch: u64) -> Option<TraceView> {
+        if epoch == 0 {
+            return None;
+        }
+        let slot = self.slot(epoch);
+        if slot.epoch.load(Ordering::Acquire) != epoch {
+            return None;
+        }
+        let n = slot.len.load(Ordering::Acquire).min(MAX_TRACE_SEGMENTS);
+        let segments: Vec<TraceSegment> = slot.segments[..n]
+            .iter()
+            .filter_map(|s| unpack(s.load(Ordering::Acquire)))
+            .collect();
+        // Re-validate: if the slot was reclaimed mid-read the segments may
+        // mix epochs.
+        if slot.epoch.load(Ordering::Acquire) != epoch {
+            return None;
+        }
+        Some(TraceView { epoch, segments })
+    }
+
+    /// Decodes every live trace, sorted by epoch.
+    pub fn dump(&self) -> Vec<TraceView> {
+        let mut out: Vec<TraceView> = (0..self.slots.len())
+            .filter_map(|i| {
+                let e = self.slots[i].epoch.load(Ordering::Acquire);
+                self.snapshot(e)
+            })
+            .collect();
+        out.sort_unstable_by_key(|t| t.epoch);
+        out
+    }
+
+    /// Ring capacity in epochs.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Traces ever begun (including evicted ones).
+    pub fn begun(&self) -> u64 {
+        self.begun.load(Ordering::Relaxed)
+    }
+
+    /// Segment writes dropped because their epoch's slot was reclaimed.
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Segment writes dropped because a trace exceeded
+    /// [`MAX_TRACE_SEGMENTS`].
+    pub fn overflows(&self) -> u64 {
+        self.overflows.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregated blame for one segment code across the traces a
+/// [`CriticalPath`] has observed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Blame {
+    /// The segment code.
+    pub code: u8,
+    /// Total latency attributed to this code across every observed trace.
+    pub total: Duration,
+    /// `total` as a fraction of the summed latency of all observed traces
+    /// (0 when nothing was observed).
+    pub fraction: f64,
+    /// Number of observed traces in which this code was the dominant
+    /// (longest) segment.
+    pub dominant_in: usize,
+}
+
+/// Critical-path analyzer: feed it one trace at a time (pre-filtered to the
+/// additive segment codes) and read back the per-code blame breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct CriticalPath {
+    totals: std::collections::BTreeMap<u8, (Duration, usize)>,
+    traces: usize,
+    grand_total: Duration,
+}
+
+impl CriticalPath {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one trace's segments into the aggregate.  Empty slices are
+    /// ignored.
+    pub fn observe(&mut self, segments: &[TraceSegment]) {
+        if segments.is_empty() {
+            return;
+        }
+        self.traces += 1;
+        let dominant = segments
+            .iter()
+            .max_by_key(|s| s.duration)
+            .map(|s| s.code)
+            .unwrap();
+        for s in segments {
+            let entry = self.totals.entry(s.code).or_insert((Duration::ZERO, 0));
+            entry.0 += s.duration;
+            self.grand_total += s.duration;
+        }
+        self.totals.entry(dominant).or_insert((Duration::ZERO, 0)).1 += 1;
+    }
+
+    /// Number of traces observed so far.
+    pub fn traces(&self) -> usize {
+        self.traces
+    }
+
+    /// The blame table, sorted by descending latency fraction.
+    pub fn blame(&self) -> Vec<Blame> {
+        let denom = self.grand_total.as_secs_f64();
+        let mut out: Vec<Blame> = self
+            .totals
+            .iter()
+            .map(|(&code, &(total, dominant_in))| Blame {
+                code,
+                total,
+                fraction: if denom > 0.0 {
+                    total.as_secs_f64() / denom
+                } else {
+                    0.0
+                },
+                dominant_in,
+            })
+            .collect();
+        out.sort_by_key(|b| std::cmp::Reverse(b.total));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const MS: Duration = Duration::from_millis(1);
+
+    #[test]
+    fn segments_roundtrip_in_recording_order() {
+        let slab = TraceSlab::new(8);
+        slab.begin(5);
+        slab.record(5, 1, 2 * MS);
+        slab.record(5, 2, 3 * MS);
+        let t = slab.snapshot(5).expect("trace live");
+        assert_eq!(t.epoch, 5);
+        assert_eq!(
+            t.segments,
+            vec![
+                TraceSegment {
+                    code: 1,
+                    duration: 2 * MS
+                },
+                TraceSegment {
+                    code: 2,
+                    duration: 3 * MS
+                },
+            ]
+        );
+        assert_eq!(t.total_where(|_| true), 5 * MS);
+        assert_eq!(t.dominant_where(|_| true).unwrap().code, 2);
+        assert_eq!(t.total_where(|c| c == 1), 2 * MS);
+    }
+
+    #[test]
+    fn ring_evicts_and_late_writers_are_conflicts() {
+        let slab = TraceSlab::new(4);
+        slab.begin(1);
+        slab.record(1, 0, MS);
+        // Epoch 5 maps to the same slot (5 % 4 == 1) and evicts epoch 1.
+        slab.begin(5);
+        assert!(slab.snapshot(1).is_none());
+        slab.record(1, 0, MS); // straggler
+        assert_eq!(slab.conflicts(), 1);
+        let t = slab.snapshot(5).expect("new epoch live");
+        assert!(t.segments.is_empty());
+        assert_eq!(slab.begun(), 2);
+    }
+
+    #[test]
+    fn epoch_zero_is_the_untraced_sentinel() {
+        let slab = TraceSlab::new(4);
+        slab.begin(0);
+        slab.record(0, 3, MS);
+        assert!(slab.snapshot(0).is_none());
+        assert_eq!(slab.begun(), 0);
+        assert_eq!(slab.conflicts(), 0);
+        assert!(slab.dump().is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_excess_segments_and_counts_them() {
+        let slab = TraceSlab::new(2);
+        slab.begin(3);
+        for i in 0..(MAX_TRACE_SEGMENTS + 4) {
+            slab.record(3, i as u8, MS);
+        }
+        assert_eq!(slab.overflows(), 4);
+        let t = slab.snapshot(3).unwrap();
+        assert_eq!(t.segments.len(), MAX_TRACE_SEGMENTS);
+    }
+
+    #[test]
+    fn dump_returns_live_traces_sorted_by_epoch() {
+        let slab = TraceSlab::new(8);
+        for e in [7u64, 3, 5] {
+            slab.begin(e);
+            slab.record(e, 0, MS * e as u32);
+        }
+        let epochs: Vec<u64> = slab.dump().iter().map(|t| t.epoch).collect();
+        assert_eq!(epochs, vec![3, 5, 7]);
+    }
+
+    #[test]
+    fn concurrent_writers_never_corrupt_a_snapshot() {
+        let slab = Arc::new(TraceSlab::new(64));
+        for e in 1..=32u64 {
+            slab.begin(e);
+        }
+        let writers: Vec<_> = (0..4u8)
+            .map(|w| {
+                let slab = slab.clone();
+                std::thread::spawn(move || {
+                    for round in 0..2_000u64 {
+                        let e = round % 32 + 1;
+                        slab.record(e, w, Duration::from_nanos(u64::from(w) + 1));
+                    }
+                })
+            })
+            .collect();
+        for _ in 0..500 {
+            for t in slab.dump() {
+                for s in &t.segments {
+                    // A torn record would decode a code outside the writer
+                    // set or a zero duration.
+                    assert!(s.code < 4, "torn segment {s:?}");
+                    assert_eq!(s.duration.as_nanos() as u64, u64::from(s.code) + 1);
+                }
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn critical_path_blames_the_dominant_segment() {
+        let mut cp = CriticalPath::new();
+        // Two traces: GNN (code 4) dominates both; code 2 shows up too.
+        cp.observe(&[
+            TraceSegment {
+                code: 4,
+                duration: 6 * MS,
+            },
+            TraceSegment {
+                code: 2,
+                duration: 2 * MS,
+            },
+        ]);
+        cp.observe(&[
+            TraceSegment {
+                code: 4,
+                duration: 9 * MS,
+            },
+            TraceSegment {
+                code: 2,
+                duration: 3 * MS,
+            },
+        ]);
+        cp.observe(&[]); // ignored
+        assert_eq!(cp.traces(), 2);
+        let blame = cp.blame();
+        assert_eq!(blame[0].code, 4);
+        assert_eq!(blame[0].dominant_in, 2);
+        assert!((blame[0].fraction - 0.75).abs() < 1e-9);
+        assert_eq!(blame[1].code, 2);
+        assert_eq!(blame[1].dominant_in, 0);
+        let total: f64 = blame.iter().map(|b| b.fraction).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_critical_path_answers_empty() {
+        let cp = CriticalPath::new();
+        assert!(cp.blame().is_empty());
+        assert_eq!(cp.traces(), 0);
+    }
+}

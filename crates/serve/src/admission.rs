@@ -99,8 +99,14 @@ use tgnn_durable::{AdmitDisposition, Wal, WalRecord};
 use tgnn_graph::{InteractionEvent, Timestamp};
 
 use crate::cache::EmbeddingCache;
+use crate::metrics::SloHandle;
 use crate::pipeline::{Collector, ServedBatch};
 use crate::server::SubmitError;
+
+/// Burn-rate gate consulted by the submit path: returns `true` while an SLO
+/// objective fires, flipping `ServeStale` tenants into cache serving before
+/// their queue is hard-full.  Injectable so tests can force it.
+pub(crate) type BurnGate = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Configuration of one tenant's admission behaviour.
 #[derive(Clone, Debug)]
@@ -257,6 +263,10 @@ pub(crate) struct AdmittedEvent {
 pub(crate) struct EventMeta {
     pub tenant: TenantId,
     pub admitted_at: Instant,
+    /// When the scheduler drained the event out of its ingress queue —
+    /// initialized to `admitted_at` and re-stamped per burst, so the causal
+    /// trace's ingress-wait segment measures real queue residency.
+    pub picked_up_at: Instant,
     pub deadline: Option<Duration>,
 }
 
@@ -287,6 +297,10 @@ pub struct AdmissionCounters {
     /// `submit_for` calls that had to wait for a rate-limit token
     /// (`Block`/`Late` policies).
     pub throttled: u64,
+    /// [`OverloadPolicy::ServeStale`] answers triggered by the SLO
+    /// burn-rate gate while the queue still had space (a subset of
+    /// `served_stale`) — overload pre-empted before the hard bound.
+    pub preempt_stale: u64,
     /// Highest ingress queue depth observed.
     pub max_depth: usize,
 }
@@ -366,6 +380,14 @@ pub(crate) struct AdmissionControl {
     /// cache shard locks and the stale output lock are leaf locks taken
     /// under the admission lock (nothing is acquired while they are held).
     stale: Option<StaleServing>,
+    /// SLO recording handle: every submit outcome feeds the drop-rate
+    /// objective (a no-op `Default` without configured objectives).
+    slo: SloHandle,
+    /// Burn-rate preemption gate (`ServeConfig::slo.preempt_stale`): while
+    /// it returns `true`, `ServeStale` tenants answer from the cache even
+    /// with queue space left.  Lock-free atomics only — it is consulted
+    /// under the admission lock.
+    burn_gate: Option<BurnGate>,
     /// Deterministic test clock: when set, `now()` returns this instant
     /// instead of wall time, so the token-bucket and deadline tests advance
     /// time explicitly rather than sleeping (no flaky timing asserts).
@@ -411,6 +433,8 @@ impl AdmissionControl {
             ready: Condvar::new(),
             wal: None,
             stale: None,
+            slo: SloHandle::default(),
+            burn_gate: None,
             #[cfg(test)]
             test_now: Mutex::new(None),
         }
@@ -425,6 +449,19 @@ impl AdmissionControl {
     /// Attaches the `ServeStale` machinery (builder style, before sharing).
     pub fn with_stale(mut self, stale: Option<StaleServing>) -> Self {
         self.stale = stale;
+        self
+    }
+
+    /// Attaches the SLO recording handle (builder style, before sharing).
+    pub fn with_slo(mut self, slo: SloHandle) -> Self {
+        self.slo = slo;
+        self
+    }
+
+    /// Attaches the burn-rate preemption gate (builder style, before
+    /// sharing).
+    pub fn with_burn_gate(mut self, gate: Option<BurnGate>) -> Self {
+        self.burn_gate = gate;
         self
     }
 
@@ -499,16 +536,20 @@ impl AdmissionControl {
             .collector
             .record_batch(1, embeddings.len(), Duration::ZERO);
         stale.collector.record_stale_event(tenant);
+        let now = Instant::now();
         stale.out.lock().unwrap().push_back(ServedBatch {
             epoch: 0,
             events: vec![event],
             metas: vec![ResultMeta {
                 tenant,
                 disposition: Disposition::Stale { age_epochs: age },
+                trace_id: 0,
             }],
             embeddings,
             cache_epochs,
             latency: Duration::ZERO,
+            admitted_at: now,
+            reordered_at: now,
         });
         Some(age)
     }
@@ -570,6 +611,7 @@ impl AdmissionControl {
                     return match served {
                         Some(_) => {
                             t.counters.served_stale += 1;
+                            self.slo.record_submit(false);
                             self.log(&WalRecord::Admit {
                                 tenant: tenant.0,
                                 event,
@@ -579,6 +621,7 @@ impl AdmissionControl {
                         }
                         None => {
                             t.counters.dropped_throttled += 1;
+                            self.slo.record_submit(true);
                             self.log(&WalRecord::Admit {
                                 tenant: tenant.0,
                                 event,
@@ -592,6 +635,7 @@ impl AdmissionControl {
                     let t = &mut state.tenants[idx];
                     t.counters.submitted += 1;
                     t.counters.dropped_throttled += 1;
+                    self.slo.record_submit(true);
                     self.log(&WalRecord::Admit {
                         tenant: tenant.0,
                         event,
@@ -604,6 +648,33 @@ impl AdmissionControl {
         if state.tenants[idx].spec.rate_eps.is_some() {
             state.tenants[idx].tokens -= 1.0;
         }
+        // SLO burn-rate preemption: while an objective fires, a `ServeStale`
+        // tenant answers from the cache even though its queue still has
+        // space — shedding load *before* the hard bound turns drops into
+        // stale answers.  A cache miss falls through to normal admission
+        // (the queue has space), so preemption never sheds an event the
+        // queue would have served.
+        if state.tenants[idx].spec.policy == OverloadPolicy::ServeStale
+            && state.tenants[idx].queue.len() < state.tenants[idx].spec.ingress_capacity
+            && self.burn_gate.as_ref().is_some_and(|g| g())
+            && self.serve_stale(tenant, event).is_some()
+        {
+            let t = &mut state.tenants[idx];
+            t.counters.submitted += 1;
+            t.counters.served_stale += 1;
+            t.counters.preempt_stale += 1;
+            self.slo.record_submit(false);
+            self.log(&WalRecord::Admit {
+                tenant: tenant.0,
+                event,
+                disposition: AdmitDisposition::ServedStale,
+            });
+            return Ok(SubmitOutcome::ServedStale);
+        }
+        // One drop-objective sample per submit: an admit that cost a
+        // `DropOldest` eviction counts as the eviction's loss, not as a
+        // clean admit.
+        let mut evicted_for_space = false;
         let needs_wait = {
             let t = &mut state.tenants[idx];
             // Policy at the bound.
@@ -616,6 +687,7 @@ impl AdmissionControl {
                     OverloadPolicy::DropNewest => {
                         t.counters.submitted += 1;
                         t.counters.dropped_newest += 1;
+                        self.slo.record_submit(true);
                         self.log(&WalRecord::Admit {
                             tenant: tenant.0,
                             event,
@@ -633,6 +705,7 @@ impl AdmissionControl {
                         return match served {
                             Some(_) => {
                                 t.counters.served_stale += 1;
+                                self.slo.record_submit(false);
                                 self.log(&WalRecord::Admit {
                                     tenant: tenant.0,
                                     event,
@@ -644,6 +717,7 @@ impl AdmissionControl {
                             // answers beyond its staleness bound.
                             None => {
                                 t.counters.dropped_newest += 1;
+                                self.slo.record_submit(true);
                                 self.log(&WalRecord::Admit {
                                     tenant: tenant.0,
                                     event,
@@ -656,6 +730,7 @@ impl AdmissionControl {
                     OverloadPolicy::DropOldest => {
                         if let Some(evicted) = t.queue.pop_front() {
                             t.counters.dropped_oldest += 1;
+                            evicted_for_space = true;
                             self.log(&WalRecord::Evict {
                                 tenant: tenant.0,
                                 event: evicted.event,
@@ -700,12 +775,14 @@ impl AdmissionControl {
         // pipeline delay, and must not count toward `Disposition::Late`
         // (pinned by `late_deadline_window_starts_at_admission_not_submit`).
         let admitted_at = self.now();
+        self.slo.record_submit(evicted_for_space);
         let t = &mut state.tenants[idx];
         t.queue.push_back(AdmittedEvent {
             event,
             meta: EventMeta {
                 tenant,
                 admitted_at,
+                picked_up_at: admitted_at,
                 deadline: t.spec.deadline,
             },
         });
@@ -729,11 +806,13 @@ impl AdmissionControl {
             t.last_timestamp = floor;
         }
         for &event in events {
+            let now = Instant::now();
             t.queue.push_back(AdmittedEvent {
                 event,
                 meta: EventMeta {
                     tenant,
-                    admitted_at: Instant::now(),
+                    admitted_at: now,
+                    picked_up_at: now,
                     deadline: t.spec.deadline,
                 },
             });
@@ -831,18 +910,26 @@ pub(crate) fn scheduler_loop(
     admission: std::sync::Arc<AdmissionControl>,
     tx: crate::queue::Sender<AdmittedEvent>,
     obs: crate::metrics::StageObs,
+    sampling: u64,
 ) {
+    let sampling = sampling.max(1);
     let mut burst = Vec::new();
     let mut bursts = 0u64;
     while admission.next_burst(&mut burst) {
         // Scheduler spans are pre-epoch (no batch exists yet), so they
         // carry epoch 0; one span covers forwarding one fair burst.  An
         // unpaced feed degenerates to one-event bursts, so the timeline
-        // write is sampled (1 in 64) — busy time still counts every burst.
-        let record = bursts.is_multiple_of(64);
+        // write is sampled 1-in-`sampling`
+        // (`ServeConfig::metrics_sampling`) — busy time still counts every
+        // burst.
+        let record = bursts.is_multiple_of(sampling);
         bursts += 1;
         let span = obs.enter_sampled(0, record);
-        for ev in burst.drain(..) {
+        // Stamp pickup once per burst: the causal trace's ingress-wait
+        // segment is the anchor event's admitted→picked-up residency.
+        let picked_up_at = Instant::now();
+        for mut ev in burst.drain(..) {
+            ev.meta.picked_up_at = picked_up_at;
             if tx.send(ev).is_err() {
                 admission.close();
                 obs.exit_sampled(0, span, record);
@@ -1287,6 +1374,42 @@ mod tests {
         assert_eq!(c.served_stale, 1);
         assert_eq!(c.dropped_newest, 1);
         assert_eq!(c.dropped(), 1, "stale serves are not drops");
+    }
+
+    #[test]
+    fn burn_gate_preempts_serve_stale_before_the_queue_is_full() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (ac, cache, out) = stale_fixture(
+            TenantSpec::new("stale")
+                .with_capacity(64)
+                .with_policy(OverloadPolicy::ServeStale),
+            8,
+        );
+        let fired = Arc::new(AtomicBool::new(false));
+        let gate = fired.clone();
+        let ac = ac.with_burn_gate(Some(Arc::new(move || gate.load(Ordering::Relaxed))));
+        cache.insert(0, 1, &[1.0]);
+        cache.insert(1, 1, &[2.0]);
+        // Gate quiet: normal admission even though the cache could answer.
+        assert!(ac.submit(TenantId::DEFAULT, ev(0.0)).unwrap().is_admitted());
+        // Gate fired: answered stale with 63 queue slots still free.
+        fired.store(true, Ordering::Relaxed);
+        assert_eq!(
+            ac.submit(TenantId::DEFAULT, ev(1.0)).unwrap(),
+            SubmitOutcome::ServedStale
+        );
+        assert_eq!(out.lock().unwrap().len(), 1);
+        // Gate fired but cache expired: falls through to normal admission —
+        // preemption never sheds what the queue would have served.
+        cache.on_shard_committed(0, 100);
+        cache.on_shard_committed(1, 100);
+        assert!(ac.submit(TenantId::DEFAULT, ev(2.0)).unwrap().is_admitted());
+        let (_, c) = ac.tenant_snapshot(0);
+        assert_eq!(c.submitted, 3);
+        assert_eq!(c.admitted, 2);
+        assert_eq!(c.served_stale, 1);
+        assert_eq!(c.preempt_stale, 1);
+        assert_eq!(c.dropped(), 0);
     }
 
     #[test]

@@ -115,6 +115,14 @@ pub(crate) struct Durability {
     snapshots: AtomicU64,
     snapshot_ms_total: Mutex<f64>,
     last_snapshot_epoch: AtomicU64,
+    /// When this handle was opened — the reference point of the wall-clock
+    /// snapshot-lag gauge before the first snapshot completes.
+    opened: Instant,
+    /// Nanoseconds after `opened` at which the last snapshot completed
+    /// (0 = none yet).  Time-based lag catches a stalled snapshot writer
+    /// even when epochs stop advancing (the epoch-based lag stays flat
+    /// then).
+    last_snapshot_ns: AtomicU64,
     /// Group-commit coordination between the batcher, the syncer worker,
     /// and the reorder worker (see [`Self::request_seal_sync`]).
     seal_sync: Mutex<SealSyncState>,
@@ -157,6 +165,8 @@ impl Durability {
             snapshots: AtomicU64::new(0),
             snapshot_ms_total: Mutex::new(0.0),
             last_snapshot_epoch: AtomicU64::new(0),
+            opened: Instant::now(),
+            last_snapshot_ns: AtomicU64::new(0),
             seal_sync: Mutex::new(SealSyncState {
                 requested: 0,
                 synced: 0,
@@ -380,6 +390,8 @@ impl Durability {
             .expect("durability: WAL snapshot mark failed");
         self.snapshots.fetch_add(1, Ordering::Relaxed);
         self.last_snapshot_epoch.store(epoch, Ordering::Relaxed);
+        self.last_snapshot_ns
+            .store(self.opened.elapsed().as_nanos() as u64, Ordering::Relaxed);
         *self.snapshot_ms_total.lock().unwrap() += t0.elapsed().as_secs_f64() * 1e3;
         if let Some((o, span)) = span {
             o.snap.exit(epoch, span);
@@ -440,6 +452,14 @@ impl Durability {
         let mut nbr = vec![Vec::new(); n];
         table.commit_epoch_with(epoch, &[], |s, t| encode_neighbor_shard(t, &mut nbr[s]));
         self.write_snapshot_payloads(epoch, floor, mem, nbr);
+    }
+
+    /// Wall-clock seconds since the last completed snapshot (since this
+    /// handle was opened when none has completed yet) — the time-based
+    /// snapshot-writer lag gauge.
+    pub fn snapshot_lag_seconds(&self) -> f64 {
+        let elapsed = self.opened.elapsed().as_nanos() as u64;
+        elapsed.saturating_sub(self.last_snapshot_ns.load(Ordering::Relaxed)) as f64 / 1e9
     }
 
     /// Point-in-time counters for the serve report.

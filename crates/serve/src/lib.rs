@@ -89,7 +89,8 @@ pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
 pub use cache::{CacheConfig, CacheStats, EmbeddingCache};
 pub use durability::{DurabilityStats, RecoveryReport};
 pub use metrics::{
-    render_flight_timeline, MetricsHub, MetricsLogger, MetricsSnapshot, SpanRecord, StageId,
+    render_flight_timeline, MetricsHub, MetricsLogger, MetricsSnapshot, SegmentId, SloConfig,
+    SpanRecord, StageId, TraceExemplar, TraceStats,
 };
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
@@ -99,4 +100,7 @@ pub use server::{
 };
 pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
 pub use tgnn_durable::{wal_fault_hook, DurabilityConfig, DurableError, FsyncPolicy, WalFaultHook};
-pub use tgnn_obs::SpanKind;
+pub use tgnn_obs::{
+    Blame, BurnState, CriticalPath, SloStatus, SpanKind, TraceSegment, TraceView,
+    MAX_TRACE_SEGMENTS,
+};

@@ -24,14 +24,18 @@ use crate::durability::Durability;
 use crate::pipeline::Collector;
 use crate::queue::QueueStats;
 use crate::server::LatencySummary;
+use std::collections::VecDeque;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tgnn_core::profiling::{Stage, StageTimings};
-use tgnn_obs::{Counter, FlightRecorder, Histogram, SpanKind};
+use tgnn_obs::{
+    bucket_index, BurnState, Counter, FlightRecorder, Histogram, SloEngine, SloSpec, SloStatus,
+    SpanKind, TraceSlab, TraceView,
+};
 
 pub use crate::admission::AdmissionCounters;
 
@@ -129,6 +133,220 @@ impl StageId {
     }
 }
 
+/// Epochs the causal-trace slab keeps live (ring-evicted beyond this).
+/// Tail exemplars are copied out of the slab at delivery, so eviction only
+/// bounds how far back [`MetricsHub::trace_dump`] can see.
+pub(crate) const TRACE_CAPACITY: usize = 1024;
+
+/// How many tail exemplars / head samples the hub retains.
+const EXEMPLAR_RING: usize = 8;
+
+/// How many of an epoch's GNN sub-jobs record their informational
+/// `GnnSubWait`/`GnnSubCompute` trace segments.  Wide pools would otherwise
+/// exhaust the per-trace segment cap
+/// ([`MAX_TRACE_SEGMENTS`](tgnn_obs::MAX_TRACE_SEGMENTS)) and evict the
+/// additive delivery-side segments the conservation check depends on.
+pub(crate) const GNN_SUB_TRACE_PARTS: usize = 8;
+
+/// SLO lane index of the admit→deliver latency objective.
+pub(crate) const SLO_LANE_LATENCY: usize = 0;
+/// SLO lane index of the drop-rate objective.
+pub(crate) const SLO_LANE_DROPS: usize = 1;
+
+/// The serve pipeline's causal-trace segment taxonomy.
+///
+/// The **additive** segments tile a traced epoch's admit→deliver wall time
+/// without gaps or overlap, so their sum reconciles with the measured
+/// [`Total`](SegmentId::Total) (asserted within epsilon by the serve
+/// crate's trace-conservation tests).  The two `GnnSub*` codes are
+/// *informational*: one pair per data-parallel sub-job, overlapping the
+/// epoch-level [`Gnn`](SegmentId::Gnn) wall-time segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SegmentId {
+    /// First admit of the epoch → scheduler pickup (ingress queue wait).
+    IngressWait,
+    /// Scheduler pickup → epoch sealed by the batcher (size/deadline wait,
+    /// chronological sort, WAL `Seal` append).
+    SealWait,
+    /// Neighbor sampling.
+    Sample,
+    /// Memory/GRU stage, including the gather and GNN sub-job dispatch.
+    Memory,
+    /// GNN pool wall time: dispatch → the *last* sub-part finished (the
+    /// parts run in parallel; this is the epoch-level envelope).
+    Gnn,
+    /// Last part finished → epoch merged back into order by the reorder
+    /// worker (barrier wait on earlier epochs plus the merge itself).
+    ReorderBarrier,
+    /// Time delivery was observed blocked on the WAL group-commit
+    /// watermark (zero without durability or when the fsync won the race).
+    WalSyncWait,
+    /// Reorder completion → `poll` handoff, minus the WAL-sync wait.
+    Deliver,
+    /// One GNN sub-job's dispatch→start wait (informational, not additive).
+    GnnSubWait,
+    /// One GNN sub-job's compute time (informational, not additive).
+    GnnSubCompute,
+    /// The measured admit→deliver latency the additive segments reconcile
+    /// against (recorded once, at delivery).
+    Total,
+}
+
+impl SegmentId {
+    /// Every segment code, in code order.
+    pub const ALL: [SegmentId; 11] = [
+        SegmentId::IngressWait,
+        SegmentId::SealWait,
+        SegmentId::Sample,
+        SegmentId::Memory,
+        SegmentId::Gnn,
+        SegmentId::ReorderBarrier,
+        SegmentId::WalSyncWait,
+        SegmentId::Deliver,
+        SegmentId::GnnSubWait,
+        SegmentId::GnnSubCompute,
+        SegmentId::Total,
+    ];
+
+    /// The stable wire code stored in trace segments.
+    pub fn code(self) -> u8 {
+        match self {
+            SegmentId::IngressWait => 0,
+            SegmentId::SealWait => 1,
+            SegmentId::Sample => 2,
+            SegmentId::Memory => 3,
+            SegmentId::Gnn => 4,
+            SegmentId::ReorderBarrier => 5,
+            SegmentId::WalSyncWait => 6,
+            SegmentId::Deliver => 7,
+            SegmentId::GnnSubWait => 8,
+            SegmentId::GnnSubCompute => 9,
+            SegmentId::Total => 10,
+        }
+    }
+
+    /// Decodes a trace-segment code.
+    pub fn from_code(c: u8) -> Option<SegmentId> {
+        SegmentId::ALL.get(c as usize).copied()
+    }
+
+    /// Stable human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SegmentId::IngressWait => "ingress-wait",
+            SegmentId::SealWait => "seal-wait",
+            SegmentId::Sample => "sample",
+            SegmentId::Memory => "memory",
+            SegmentId::Gnn => "gnn",
+            SegmentId::ReorderBarrier => "reorder-barrier",
+            SegmentId::WalSyncWait => "wal-sync-wait",
+            SegmentId::Deliver => "deliver",
+            SegmentId::GnnSubWait => "gnn-sub-wait",
+            SegmentId::GnnSubCompute => "gnn-sub-compute",
+            SegmentId::Total => "total",
+        }
+    }
+
+    /// Whether this segment is part of the additive admit→deliver
+    /// decomposition (the conservation sum includes exactly these).
+    pub fn is_additive(self) -> bool {
+        self.code() <= SegmentId::Deliver.code()
+    }
+}
+
+/// Declared service-level objectives (`ServeConfig::slo`).
+///
+/// Two objectives are evaluated over fast (5 s) / slow (60 s) burn-rate
+/// windows (see [`tgnn_obs::SloEngine`]): **latency** — the fraction of
+/// delivered batches whose admit→deliver latency exceeds
+/// `latency_objective` must stay within `latency_budget` — and **drops** —
+/// the fraction of submit outcomes lost to drop policies must stay within
+/// `drop_budget`.  Their evaluated [`SloStatus`] rides every
+/// [`MetricsSnapshot`]; with `preempt_stale` set, a fired objective
+/// additionally flips `ServeStale` tenants into cache serving *before*
+/// their ingress queue is hard-full.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Admit→deliver latency threshold: a delivered batch slower than this
+    /// is "bad" for the latency objective.
+    pub latency_objective: Duration,
+    /// Error budget of the latency objective (allowed bad fraction).
+    pub latency_budget: f64,
+    /// Error budget of the drop-rate objective (allowed dropped fraction).
+    pub drop_budget: f64,
+    /// Burn rate at or above which an objective fires (both windows).
+    pub fire_burn_rate: f64,
+    /// Let a fired objective pre-emptively serve `ServeStale` tenants from
+    /// the cache while their queues still have space (counted in
+    /// [`AdmissionCounters::preempt_stale`]).
+    pub preempt_stale: bool,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_objective: Duration::from_millis(50),
+            latency_budget: 0.01,
+            drop_budget: 0.01,
+            fire_burn_rate: 1.0,
+            preempt_stale: false,
+        }
+    }
+}
+
+/// Builds the burn-rate engine for a declared [`SloConfig`]: lane
+/// [`SLO_LANE_LATENCY`] grades delivered batches, lane [`SLO_LANE_DROPS`]
+/// grades submit outcomes.
+pub(crate) fn new_slo_engine(c: &SloConfig) -> Arc<SloEngine> {
+    Arc::new(SloEngine::new(vec![
+        SloSpec::new("latency", c.latency_budget, c.fire_burn_rate),
+        SloSpec::new("drops", c.drop_budget, c.fire_burn_rate),
+    ]))
+}
+
+/// Cloneable recording handle onto the SLO engine; a no-op `Default` when
+/// no objectives are configured, so callers never branch on configuration.
+#[derive(Clone, Default)]
+pub(crate) struct SloHandle {
+    engine: Option<Arc<SloEngine>>,
+    latency_objective: Duration,
+}
+
+impl SloHandle {
+    pub fn new(engine: Option<Arc<SloEngine>>, cfg: Option<&SloConfig>) -> Self {
+        SloHandle {
+            engine,
+            latency_objective: cfg.map(|c| c.latency_objective).unwrap_or_default(),
+        }
+    }
+
+    /// Grades one delivered batch of `events` against the latency objective.
+    #[inline]
+    pub fn record_batch_latency(&self, latency: Duration, events: u64) {
+        if let Some(e) = &self.engine {
+            if latency <= self.latency_objective {
+                e.record_many(SLO_LANE_LATENCY, events, 0);
+            } else {
+                e.record_many(SLO_LANE_LATENCY, 0, events);
+            }
+        }
+    }
+
+    /// Feeds one submit outcome into the drop-rate objective.
+    #[inline]
+    pub fn record_submit(&self, dropped: bool) {
+        if let Some(e) = &self.engine {
+            e.record(SLO_LANE_DROPS, !dropped);
+        }
+    }
+
+    /// Whether any objective currently fires (cached per 100 ms tick).
+    #[inline]
+    pub fn fired(&self) -> bool {
+        self.engine.as_ref().is_some_and(|e| e.fired())
+    }
+}
+
 /// Per-worker recording handle, registered once at pipeline spawn.  With
 /// metrics off every method is a branch-predicted no-op; with metrics on,
 /// an `enter`/`exit` pair costs two ring writes plus two relaxed adds.
@@ -140,6 +358,8 @@ pub(crate) struct StageObs {
     recorder: Arc<FlightRecorder>,
     busy_ns: Counter,
     batches: Counter,
+    /// The shared causal-trace slab; `None` with metrics off.
+    trace: Option<Arc<TraceSlab>>,
 }
 
 impl StageObs {
@@ -195,6 +415,23 @@ impl StageObs {
     pub fn enabled(&self) -> bool {
         self.enabled
     }
+
+    /// Claims the trace slot for `epoch` (the batcher calls this once, at
+    /// seal time, before any stage records segments).
+    #[inline]
+    pub fn trace_begin(&self, epoch: u64) {
+        if let Some(t) = &self.trace {
+            t.begin(epoch);
+        }
+    }
+
+    /// Appends one causal-trace segment to `epoch`'s trace.
+    #[inline]
+    pub fn trace_record(&self, epoch: u64, seg: SegmentId, duration: Duration) {
+        if let Some(t) = &self.trace {
+            t.record(epoch, seg.code(), duration);
+        }
+    }
 }
 
 /// The durability workers' observability bundle, attached to the shared
@@ -219,6 +456,12 @@ pub(crate) struct HubConfig {
     pub cache: Option<Arc<EmbeddingCache>>,
     pub next_epoch: Arc<AtomicU64>,
     pub gnn_workers: usize,
+    /// `ServeConfig::metrics_sampling`: 1-in-N flight-ring sampling for
+    /// per-event stages, shared with trace head-sample retention.
+    pub metrics_sampling: u64,
+    /// The burn-rate engine (from [`new_slo_engine`]) — built by the server
+    /// before the hub so admission control shares the same lanes.
+    pub slo_engine: Option<Arc<SloEngine>>,
 }
 
 struct HubInner {
@@ -240,6 +483,21 @@ struct HubInner {
     durability: Option<Arc<Durability>>,
     cache: Option<Arc<EmbeddingCache>>,
     next_epoch: Arc<AtomicU64>,
+    /// The per-epoch causal-trace slab (allocated even with metrics off —
+    /// the worker handles just never write to it then).
+    trace: Arc<TraceSlab>,
+    /// The burn-rate engine, when objectives are declared.
+    slo: Option<Arc<SloEngine>>,
+    /// Admit→deliver latency of traced deliveries (µs) — the tail-exemplar
+    /// reference distribution, distinct from the seal-to-embeddings
+    /// `batch_latency_us`.
+    delivery_latency_us: Histogram,
+    /// Tail exemplars: full traces of deliveries that landed in the top
+    /// (p99) bucket of `delivery_latency_us`.
+    exemplars: Mutex<VecDeque<TraceExemplar>>,
+    /// Head samples: every `metrics_sampling`-th delivered epoch's trace.
+    head_samples: Mutex<VecDeque<TraceExemplar>>,
+    metrics_sampling: u64,
 }
 
 /// Cloneable, `Send + Sync` handle to a server's live metrics.  Obtained
@@ -255,6 +513,7 @@ impl MetricsHub {
     pub(crate) fn new(cfg: HubConfig) -> Self {
         let mut stage_workers = vec![1u16; NUM_STAGES];
         stage_workers[StageId::Gnn.code() as usize] = cfg.gnn_workers as u16;
+        let slo = cfg.slo_engine;
         MetricsHub {
             inner: Arc::new(HubInner {
                 enabled: cfg.enabled,
@@ -271,6 +530,12 @@ impl MetricsHub {
                 durability: cfg.durability,
                 cache: cfg.cache,
                 next_epoch: cfg.next_epoch,
+                trace: Arc::new(TraceSlab::new(TRACE_CAPACITY)),
+                slo,
+                delivery_latency_us: Histogram::new(),
+                exemplars: Mutex::new(VecDeque::new()),
+                head_samples: Mutex::new(VecDeque::new()),
+                metrics_sampling: cfg.metrics_sampling.max(1),
             }),
         }
     }
@@ -285,6 +550,7 @@ impl MetricsHub {
             recorder: self.inner.recorder.clone(),
             busy_ns: self.inner.stage_busy_ns[code].clone(),
             batches: self.inner.stage_batches[code].clone(),
+            trace: self.inner.enabled.then(|| self.inner.trace.clone()),
         }
     }
 
@@ -302,13 +568,86 @@ impl MetricsHub {
         self.inner.batch_latency_us.clone()
     }
 
-    /// Records delivery of an epoch's results to the caller (`poll`).
-    pub(crate) fn record_delivery(&self, epoch: u64) {
-        if self.inner.enabled {
-            self.inner
-                .recorder
-                .record(StageId::Deliver.code(), 0, epoch, SpanKind::Mark);
+    /// Records delivery of an epoch's results to the caller (`poll`) and —
+    /// for traced epochs — finalizes the epoch's causal trace with its
+    /// delivery-side segments:
+    ///
+    /// * `total` — the measured admit→deliver latency ([`SegmentId::Total`],
+    ///   the reconciliation reference);
+    /// * `wal_wait` — time delivery was observed blocked on the WAL
+    ///   group-commit watermark ([`SegmentId::WalSyncWait`]);
+    /// * `since_reorder` — reorder completion → this handoff; minus
+    ///   `wal_wait` it becomes [`SegmentId::Deliver`].
+    ///
+    /// `traced` is false for results that never ran the pipeline in this
+    /// session (stale cache answers, recovery re-serves) — their epochs own
+    /// no trace slot, and writing would only inflate the conflict counter.
+    ///
+    /// A traced delivery whose `total` lands in the top (p99) bucket of the
+    /// admit→deliver histogram has its full trace retained as a **tail
+    /// exemplar**; every `metrics_sampling`-th epoch is retained as a
+    /// **head sample**.  Both rings ride the [`MetricsSnapshot`].
+    pub(crate) fn record_delivery(
+        &self,
+        epoch: u64,
+        traced: bool,
+        total: Duration,
+        wal_wait: Duration,
+        since_reorder: Duration,
+    ) {
+        let inner = &self.inner;
+        if !inner.enabled {
+            return;
         }
+        inner
+            .recorder
+            .record(StageId::Deliver.code(), 0, epoch, SpanKind::Mark);
+        if !traced {
+            return;
+        }
+        inner
+            .trace
+            .record(epoch, SegmentId::WalSyncWait.code(), wal_wait);
+        inner.trace.record(
+            epoch,
+            SegmentId::Deliver.code(),
+            since_reorder.saturating_sub(wal_wait),
+        );
+        inner.trace.record(epoch, SegmentId::Total.code(), total);
+        let us = total.as_micros() as u64;
+        inner.delivery_latency_us.record(us);
+        // Tail test: the sample was just recorded, so on the very first
+        // delivery p99 is the sample's own bucket — at least one exemplar
+        // is always captured.
+        let tail = bucket_index(us) >= bucket_index(inner.delivery_latency_us.percentile(0.99));
+        let head = epoch.is_multiple_of(inner.metrics_sampling);
+        if !tail && !head {
+            return;
+        }
+        let Some(view) = inner.trace.snapshot(epoch) else {
+            return;
+        };
+        let push = |ring: &Mutex<VecDeque<TraceExemplar>>, ex: TraceExemplar| {
+            let mut ring = ring.lock().unwrap();
+            if ring.len() >= EXEMPLAR_RING {
+                ring.pop_front();
+            }
+            ring.push_back(ex);
+        };
+        let ex = TraceExemplar { epoch, total, view };
+        if tail {
+            push(&inner.exemplars, ex.clone());
+        }
+        if head {
+            push(&inner.head_samples, ex);
+        }
+    }
+
+    /// Decodes every trace still live in the slab (the most recent
+    /// [`TRACE_CAPACITY`](crate::metrics) epochs), sorted by epoch — the
+    /// post-drain feed of the bench's blame table and `--trace-out` dump.
+    pub fn trace_dump(&self) -> Vec<TraceView> {
+        self.inner.trace.dump()
     }
 
     /// Live per-queue statistics, scheduler→batcher first.
@@ -398,12 +737,24 @@ impl MetricsHub {
             let f = inner.wal_fsync_us.snapshot();
             DurabilityMetrics {
                 snapshot_lag_epochs: epochs.saturating_sub(stats.last_snapshot_epoch),
+                snapshot_lag_seconds: d.snapshot_lag_seconds(),
                 fsync_p50_us: f.percentile(0.50),
                 fsync_p99_us: f.percentile(0.99),
                 fsync_mean_us: f.mean(),
                 stats,
             }
         });
+        let dl = inner.delivery_latency_us.snapshot();
+        let trace = TraceStats {
+            capacity: inner.trace.capacity(),
+            begun: inner.trace.begun(),
+            conflicts: inner.trace.conflicts(),
+            overflows: inner.trace.overflows(),
+            delivery_p99_ms: dl.percentile(0.99) as f64 / 1e3,
+            exemplars: inner.exemplars.lock().unwrap().iter().cloned().collect(),
+            head_samples: inner.head_samples.lock().unwrap().iter().cloned().collect(),
+        };
+        let slo = inner.slo.as_ref().map(|e| e.status()).unwrap_or_default();
         MetricsSnapshot {
             enabled: inner.enabled,
             uptime,
@@ -424,6 +775,8 @@ impl MetricsHub {
                 recorded: inner.recorder.recorded(),
                 dropped: inner.recorder.dropped(),
             },
+            slo,
+            trace,
         }
     }
 
@@ -611,6 +964,10 @@ pub struct DurabilityMetrics {
     /// Epochs sealed since the last completed snapshot — how much WAL
     /// replay a crash right now would cost.
     pub snapshot_lag_epochs: u64,
+    /// Wall-clock seconds since the last completed snapshot (since the
+    /// durability handle was opened when none has completed yet) — makes a
+    /// stalled snapshot writer visible even when epochs stop advancing.
+    pub snapshot_lag_seconds: f64,
     /// Median group-commit fsync latency, µs.
     pub fsync_p50_us: u64,
     /// p99 group-commit fsync latency, µs.
@@ -628,6 +985,41 @@ pub struct FlightStats {
     pub recorded: u64,
     /// Events lost to ring wrap-around.
     pub dropped: u64,
+}
+
+/// One retained trace: a delivered epoch's full causal decomposition plus
+/// its measured admit→deliver latency.
+#[derive(Clone, Debug)]
+pub struct TraceExemplar {
+    /// The traced epoch.
+    pub epoch: u64,
+    /// Measured admit→deliver latency (anchored at the epoch's first
+    /// admitted event).
+    pub total: Duration,
+    /// The decoded trace; segment codes map to [`SegmentId`].
+    pub view: TraceView,
+}
+
+/// Causal-tracing slice of a [`MetricsSnapshot`].
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Trace-slab ring capacity (epochs kept live).
+    pub capacity: usize,
+    /// Traces begun (one per sealed epoch with metrics on).
+    pub begun: u64,
+    /// Segment writes dropped because their epoch's slot was ring-evicted.
+    pub conflicts: u64,
+    /// Segment writes dropped by the per-trace segment cap.
+    pub overflows: u64,
+    /// p99 of the admit→deliver latency distribution backing tail-exemplar
+    /// selection, in milliseconds.
+    pub delivery_p99_ms: f64,
+    /// Tail exemplars: traces whose admit→deliver latency landed in the top
+    /// (p99) histogram bucket, most recent last.
+    pub exemplars: Vec<TraceExemplar>,
+    /// Head samples: every `metrics_sampling`-th delivered epoch's trace,
+    /// most recent last.
+    pub head_samples: Vec<TraceExemplar>,
 }
 
 /// A typed point-in-time view of the serve pipeline, assembled by
@@ -671,6 +1063,10 @@ pub struct MetricsSnapshot {
     pub cache: Option<CacheStats>,
     /// Flight-recorder occupancy.
     pub flight: FlightStats,
+    /// Evaluated SLO burn-rate verdicts (empty without `ServeConfig::slo`).
+    pub slo: Vec<SloStatus>,
+    /// Causal-trace slab counters plus retained tail/head exemplars.
+    pub trace: TraceStats,
 }
 
 impl MetricsSnapshot {
@@ -777,13 +1173,45 @@ impl MetricsSnapshot {
             push(
                 &mut out,
                 format!(
-                    "wal  records {}  fsyncs {}  fsync p50/p99 {}/{} µs   snapshots {}  lag {} epochs",
+                    "wal  records {}  fsyncs {}  fsync p50/p99 {}/{} µs   snapshots {}  lag {} epochs / {:.1}s",
                     d.stats.wal_records,
                     d.stats.wal_fsyncs,
                     d.fsync_p50_us,
                     d.fsync_p99_us,
                     d.stats.snapshots,
-                    d.snapshot_lag_epochs
+                    d.snapshot_lag_epochs,
+                    d.snapshot_lag_seconds
+                ),
+            );
+        }
+        let burn = |b: Option<f64>| match b {
+            Some(v) => format!("{v:.2}"),
+            None => "-".to_string(),
+        };
+        for s in &self.slo {
+            push(
+                &mut out,
+                format!(
+                    "slo {:<10} budget {:.3}  burn fast {} / slow {}  [{}]",
+                    s.name,
+                    s.error_budget,
+                    burn(s.fast_burn),
+                    burn(s.slow_burn),
+                    burn_state_label(s.state)
+                ),
+            );
+        }
+        if self.trace.begun > 0 {
+            push(
+                &mut out,
+                format!(
+                    "traces  begun {}  conflicts {}  overflows {}  deliver p99 {:.3} ms  tail exemplars {}  head samples {}",
+                    self.trace.begun,
+                    self.trace.conflicts,
+                    self.trace.overflows,
+                    self.trace.delivery_p99_ms,
+                    self.trace.exemplars.len(),
+                    self.trace.head_samples.len()
                 ),
             );
         }
@@ -970,7 +1398,51 @@ impl MetricsSnapshot {
                 "gauge",
                 d.snapshot_lag_epochs.to_string(),
             );
+            scalar(
+                "tgnn_snapshot_lag_seconds",
+                "gauge",
+                format!("{:.3}", d.snapshot_lag_seconds),
+            );
         }
+        if !self.slo.is_empty() {
+            out.push_str("# TYPE tgnn_slo_burn_rate gauge\n");
+            for s in &self.slo {
+                for (window, v) in [("fast", s.fast_burn), ("slow", s.slow_burn)] {
+                    if let Some(v) = v {
+                        out.push_str(&format!(
+                            "tgnn_slo_burn_rate{{slo=\"{}\",window=\"{window}\"}} {v:.4}\n",
+                            s.name
+                        ));
+                    }
+                }
+            }
+            out.push_str("# TYPE tgnn_slo_fired gauge\n");
+            for s in &self.slo {
+                out.push_str(&format!(
+                    "tgnn_slo_fired{{slo=\"{}\"}} {}\n",
+                    s.name,
+                    u8::from(s.state == BurnState::Fired)
+                ));
+            }
+        }
+        let mut scalar = |name: &str, kind: &str, v: String| {
+            out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
+        };
+        scalar(
+            "tgnn_traces_begun_total",
+            "counter",
+            self.trace.begun.to_string(),
+        );
+        scalar(
+            "tgnn_trace_conflicts_total",
+            "counter",
+            self.trace.conflicts.to_string(),
+        );
+        scalar(
+            "tgnn_trace_delivery_p99_ms",
+            "gauge",
+            format!("{:.3}", self.trace.delivery_p99_ms),
+        );
         out
     }
 
@@ -1063,21 +1535,61 @@ impl MetricsSnapshot {
         }
         if let Some(d) = &self.durability {
             s.push_str(&format!(
-                ",\"durability\":{{\"wal_records\":{},\"wal_fsyncs\":{},\"fsync_p50_us\":{},\"fsync_p99_us\":{},\"snapshots\":{},\"snapshot_lag_epochs\":{}}}",
+                ",\"durability\":{{\"wal_records\":{},\"wal_fsyncs\":{},\"fsync_p50_us\":{},\"fsync_p99_us\":{},\"snapshots\":{},\"snapshot_lag_epochs\":{},\"snapshot_lag_seconds\":{:.3}}}",
                 d.stats.wal_records,
                 d.stats.wal_fsyncs,
                 d.fsync_p50_us,
                 d.fsync_p99_us,
                 d.stats.snapshots,
-                d.snapshot_lag_epochs
+                d.snapshot_lag_epochs,
+                d.snapshot_lag_seconds
             ));
         }
+        if !self.slo.is_empty() {
+            s.push_str(",\"slo\":[");
+            let json_burn = |b: Option<f64>| match b {
+                Some(v) => format!("{v:.4}"),
+                None => "null".to_string(),
+            };
+            for (i, o) in self.slo.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"name\":\"{}\",\"budget\":{},\"fast_burn\":{},\"slow_burn\":{},\"state\":\"{}\"}}",
+                    json_escape(&o.name),
+                    o.error_budget,
+                    json_burn(o.fast_burn),
+                    json_burn(o.slow_burn),
+                    burn_state_label(o.state)
+                ));
+            }
+            s.push(']');
+        }
+        s.push_str(&format!(
+            ",\"trace\":{{\"begun\":{},\"conflicts\":{},\"overflows\":{},\"delivery_p99_ms\":{:.3},\"exemplars\":{},\"head_samples\":{}}}",
+            self.trace.begun,
+            self.trace.conflicts,
+            self.trace.overflows,
+            self.trace.delivery_p99_ms,
+            self.trace.exemplars.len(),
+            self.trace.head_samples.len()
+        ));
         s.push_str(&format!(
             ",\"flight\":{{\"recorded\":{},\"dropped\":{}}}",
             self.flight.recorded, self.flight.dropped
         ));
         s.push('}');
         s
+    }
+}
+
+/// Stable lower-case label of a [`BurnState`] (reports and JSON).
+fn burn_state_label(b: BurnState) -> &'static str {
+    match b {
+        BurnState::NoData => "no-data",
+        BurnState::Ok => "ok",
+        BurnState::Fired => "fired",
     }
 }
 
@@ -1094,12 +1606,22 @@ fn json_escape(s: &str) -> String {
 
 /// Renders a flight-recorder dump as a per-epoch, per-stage timeline — the
 /// post-mortem view: each line is one epoch, each segment one stage span
-/// (`enter→exit` in ms since pipeline spawn).  An open segment (`…`) means
+/// (`enter→exit` in ms since pipeline spawn).  An open segment (`→…`) means
 /// the stage entered the epoch and never exited — after a panic, that is
-/// the poisoned stage.
+/// the poisoned stage; its duration-so-far (up to the dump's last tick) is
+/// printed so the reader can see how long the epoch has been held.
+///
+/// Records are sorted by `(tick, seq)` before pairing, so same-tick
+/// enter/exit races (coarse clocks, cross-worker ties) pair
+/// deterministically in recording order rather than ring order.
 pub fn render_flight_timeline(records: &[SpanRecord]) -> String {
     use std::collections::BTreeMap;
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let mut records: Vec<SpanRecord> = records.to_vec();
+    records.sort_by_key(|r| (r.at, r.seq));
+    // The dump's horizon: open spans report duration-so-far against the
+    // last tick any worker recorded.
+    let now = records.last().map(|r| r.at).unwrap_or_default();
     // epoch → (stage, worker) → (enter, exit) / marks, keeping stage order
     // of first appearance within the epoch.
     type Segment = ((StageId, u16), Option<Duration>, Option<Duration>);
@@ -1109,7 +1631,7 @@ pub fn render_flight_timeline(records: &[SpanRecord]) -> String {
         marks: Vec<(StageId, Duration)>,
     }
     let mut epochs: BTreeMap<u64, EpochLine> = BTreeMap::new();
-    for r in records {
+    for r in &records {
         let line = epochs.entry(r.epoch).or_default();
         match r.kind {
             SpanKind::Mark => line.marks.push((r.stage, r.at)),
@@ -1147,7 +1669,12 @@ pub fn render_flight_timeline(records: &[SpanRecord]) -> String {
                 (Some(a), Some(b)) => {
                     out.push_str(&format!("| {} {:.3}→{:.3} ", name, ms(*a), ms(*b)))
                 }
-                (Some(a), None) => out.push_str(&format!("| {} {:.3}→… ", name, ms(*a))),
+                (Some(a), None) => out.push_str(&format!(
+                    "| {} {:.3}→… {:.3}ms so far ",
+                    name,
+                    ms(*a),
+                    ms(now.saturating_sub(*a))
+                )),
                 (None, Some(b)) => out.push_str(&format!("| {} …→{:.3} ", name, ms(*b))),
                 (None, None) => {}
             }

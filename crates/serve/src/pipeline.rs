@@ -58,7 +58,7 @@
 
 use crate::admission::{AdmittedEvent, EventMeta};
 use crate::durability::Durability;
-use crate::metrics::StageObs;
+use crate::metrics::{SegmentId, StageObs};
 use crate::queue::{MpmcReceiver, MpmcSender, Receiver, Sender};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -92,6 +92,9 @@ pub(crate) struct SampledJob {
     pub sampled: SampledBatch,
     pub metas: Vec<EventMeta>,
     pub sealed_at: Instant,
+    /// When the sampler finished — the causal-trace anchor the memory
+    /// stage's segment starts from.
+    pub sampled_at: Instant,
 }
 
 /// Per-batch metadata sent to the reorder worker ahead of the batch's
@@ -104,6 +107,9 @@ pub(crate) struct GnnBatchHeader {
     pub events: Vec<InteractionEvent>,
     pub metas: Vec<EventMeta>,
     pub sealed_at: Instant,
+    /// When the memory stage finished its gather and dispatched the
+    /// sub-jobs — the anchor the epoch-level GNN trace segment starts from.
+    pub mem_done_at: Instant,
 }
 
 /// One independently computable slice of a batch's GNN work, dispatched to
@@ -113,6 +119,9 @@ pub(crate) struct GnnSubJob {
     pub epoch: u64,
     pub part: usize,
     pub job: GnnJobBatch,
+    /// When the memory worker pushed this part onto the dispatch queue —
+    /// what the worker's `GnnSubWait` trace segment measures from.
+    pub dispatched_at: Instant,
 }
 
 /// One sub-job's output: `(vertex, embedding)` pairs in the sub-job's
@@ -125,6 +134,9 @@ pub(crate) struct GnnSubResult {
     pub epoch: u64,
     pub part: usize,
     pub embeddings: PartEmbeddings,
+    /// When the worker finished this part; the reorder worker takes the max
+    /// over parts as the end of the epoch-level GNN trace segment.
+    pub completed_at: Instant,
 }
 
 /// Test-only fault-injection hook: every GNN worker calls it with
@@ -169,6 +181,15 @@ pub struct ServedBatch {
     pub cache_epochs: Vec<u64>,
     /// Seal-to-embeddings pipeline latency (zero for stale batches).
     pub latency: Duration,
+    /// Admission time of the batch's causal-trace anchor event (the first
+    /// event in sealed order) — what `poll` measures the admit→deliver
+    /// [`SegmentId::Total`](crate::SegmentId) against.  For batches that
+    /// never ran the pipeline this session (stale cache answers, recovery
+    /// re-serves) it is the batch's construction time.
+    pub admitted_at: Instant,
+    /// When the reorder worker committed the batch downstream — the anchor
+    /// the delivery-side trace segments start from.
+    pub reordered_at: Instant,
 }
 
 /// Per-tenant completion-side counters fed by the reorder worker:
@@ -291,6 +312,18 @@ pub(crate) fn batcher_loop(
                 metas.push(m);
             }
         }
+        // Claim the epoch's causal-trace slot and record the admission-side
+        // segments, anchored on the first event in sealed order (the same
+        // anchor `poll` measures `Total` against).  This runs after the
+        // chronological sort so the anchor is stable from here on.
+        obs.trace_begin(epoch);
+        if let Some(m) = metas.first() {
+            obs.trace_record(
+                epoch,
+                SegmentId::IngressWait,
+                m.picked_up_at.saturating_duration_since(m.admitted_at),
+            );
+        }
         if let Some(d) = &durability {
             if let Some(hook) = &d.wal_fault {
                 if hook(epoch) {
@@ -317,12 +350,20 @@ pub(crate) fn batcher_loop(
             // durable-before-delivered contract still holds.
             d.request_seal_sync(epoch);
         }
+        let sealed_at = Instant::now();
+        if let Some(m) = metas.first() {
+            obs.trace_record(
+                epoch,
+                SegmentId::SealWait,
+                sealed_at.saturating_duration_since(m.picked_up_at),
+            );
+        }
         let ok = tx
             .send(SealedBatch {
                 epoch,
                 batch: EventBatch::new(std::mem::take(pending)),
                 metas: std::mem::take(metas),
-                sealed_at: Instant::now(),
+                sealed_at,
             })
             .is_ok();
         obs.exit(epoch, span);
@@ -394,12 +435,22 @@ pub(crate) fn sampler_loop(
             table.gate().wait_for(shard_of(v, num_shards), epoch - 1);
             table.sample_into(v, t, k, out);
         });
+        // The trace's `Sample` segment spans seal → sampled, so it covers
+        // the sealed-batch queue wait and the shard-gate wait as well as the
+        // sampling itself — the additive segments tile wall time, no gaps.
+        let sampled_at = Instant::now();
+        obs.trace_record(
+            epoch,
+            SegmentId::Sample,
+            sampled_at.saturating_duration_since(sealed_at),
+        );
         let ok = tx
             .send(SampledJob {
                 epoch,
                 sampled,
                 metas,
                 sealed_at,
+                sampled_at,
             })
             .is_ok();
         obs.exit(epoch, span);
@@ -435,6 +486,7 @@ pub(crate) fn memory_loop(
         sampled,
         metas,
         sealed_at,
+        sampled_at,
     }) = rx.recv()
     {
         let span = obs.enter(epoch);
@@ -469,6 +521,14 @@ pub(crate) fn memory_loop(
             return;
         }
         let parts = job.split(gnn_workers);
+        // `Memory` spans sampled → dispatch, covering the memory-shard gate
+        // wait, the GRU + gather, and the update-job handoff.
+        let mem_done_at = Instant::now();
+        obs.trace_record(
+            epoch,
+            SegmentId::Memory,
+            mem_done_at.saturating_duration_since(sampled_at),
+        );
         if tx_header
             .send(GnnBatchHeader {
                 epoch,
@@ -476,6 +536,7 @@ pub(crate) fn memory_loop(
                 events,
                 metas,
                 sealed_at,
+                mem_done_at,
             })
             .is_err()
         {
@@ -483,7 +544,15 @@ pub(crate) fn memory_loop(
             return;
         }
         for (part, job) in parts.into_iter().enumerate() {
-            if tx_gnn.send(GnnSubJob { epoch, part, job }).is_err() {
+            if tx_gnn
+                .send(GnnSubJob {
+                    epoch,
+                    part,
+                    job,
+                    dispatched_at: mem_done_at,
+                })
+                .is_err()
+            {
                 obs.exit(epoch, span);
                 return;
             }
@@ -682,7 +751,13 @@ pub(crate) fn gnn_worker_loop(
         _gates: PoisonGatesOnExit { memory, table },
     };
     let mut ws = Workspace::new();
-    while let Some(GnnSubJob { epoch, part, job }) = rx.recv() {
+    while let Some(GnnSubJob {
+        epoch,
+        part,
+        job,
+        dispatched_at,
+    }) = rx.recv()
+    {
         // Enter before the fault hook: an injected panic must leave this
         // epoch's `Enter` without an `Exit` in the flight recorder — that
         // dangling span is exactly what the post-mortem dump pinpoints.
@@ -693,12 +768,33 @@ pub(crate) fn gnn_worker_loop(
                 "injected GNN worker fault at epoch {epoch} part {part}"
             );
         }
+        // Per-part informational trace segments (they overlap the epoch's
+        // additive `Gnn` envelope).  Capped to the first parts so a wide
+        // pool cannot overflow the trace slot and evict the additive
+        // delivery segments recorded later.
+        let started = Instant::now();
+        if part < crate::metrics::GNN_SUB_TRACE_PARTS {
+            obs.trace_record(
+                epoch,
+                SegmentId::GnnSubWait,
+                started.saturating_duration_since(dispatched_at),
+            );
+        }
         let embeddings = job.run(&model, &mut ws);
+        let completed_at = Instant::now();
+        if part < crate::metrics::GNN_SUB_TRACE_PARTS {
+            obs.trace_record(
+                epoch,
+                SegmentId::GnnSubCompute,
+                completed_at.saturating_duration_since(started),
+            );
+        }
         let ok = tx
             .send(GnnSubResult {
                 epoch,
                 part,
                 embeddings,
+                completed_at,
             })
             .is_ok();
         obs.exit(epoch, span);
@@ -725,21 +821,27 @@ pub(crate) fn reorder_loop(
     obs: StageObs,
     latency_us: tgnn_obs::Histogram,
 ) {
-    let mut stash: HashMap<(u64, usize), PartEmbeddings> = HashMap::new();
+    let mut stash: HashMap<(u64, usize), (PartEmbeddings, Instant)> = HashMap::new();
     while let Some(GnnBatchHeader {
         epoch,
         num_parts,
         events,
         metas,
         sealed_at,
+        mem_done_at,
     }) = rx_header.recv()
     {
         let span = obs.enter(epoch);
         let mut parts: Vec<Option<PartEmbeddings>> = vec![None; num_parts];
         let mut have = 0usize;
+        // The last part's completion closes the epoch-level `Gnn` trace
+        // segment; everything after it (until the batch is committed
+        // downstream) is the reorder barrier.
+        let mut last_done: Option<Instant> = None;
         for (p, slot) in parts.iter_mut().enumerate() {
-            if let Some(r) = stash.remove(&(epoch, p)) {
+            if let Some((r, done)) = stash.remove(&(epoch, p)) {
                 *slot = Some(r);
+                last_done = Some(last_done.map_or(done, |t| t.max(done)));
                 have += 1;
             }
         }
@@ -749,13 +851,15 @@ pub(crate) fn reorder_loop(
                     epoch: e,
                     part,
                     embeddings,
+                    completed_at,
                 }) => {
                     if e == epoch {
                         debug_assert!(parts[part].is_none(), "duplicate sub-result");
                         parts[part] = Some(embeddings);
+                        last_done = Some(last_done.map_or(completed_at, |t| t.max(completed_at)));
                         have += 1;
                     } else {
-                        stash.insert((e, part), embeddings);
+                        stash.insert((e, part), (embeddings, completed_at));
                     }
                 }
                 // The worker pool is gone with this batch incomplete — a
@@ -786,6 +890,7 @@ pub(crate) fn reorder_loop(
         // the admission-to-completion delay (queueing + batching + compute)
         // is what the tenant's deadline budgets.  The disposition is pure
         // metadata — it never feeds back into the computation.
+        let admitted_at = metas.first().map(|m| m.admitted_at);
         let metas: Vec<ResultMeta> = metas
             .into_iter()
             .map(|m| {
@@ -799,9 +904,22 @@ pub(crate) fn reorder_loop(
                     } else {
                         Disposition::OnTime
                     },
+                    trace_id: epoch,
                 }
             })
             .collect();
+        let reordered_at = Instant::now();
+        let last_done = last_done.unwrap_or(reordered_at);
+        obs.trace_record(
+            epoch,
+            SegmentId::Gnn,
+            last_done.saturating_duration_since(mem_done_at),
+        );
+        obs.trace_record(
+            epoch,
+            SegmentId::ReorderBarrier,
+            reordered_at.saturating_duration_since(last_done),
+        );
         let ok = tx
             .send(ServedBatch {
                 epoch,
@@ -810,6 +928,8 @@ pub(crate) fn reorder_loop(
                 embeddings,
                 cache_epochs: Vec::new(),
                 latency,
+                admitted_at: admitted_at.unwrap_or(reordered_at),
+                reordered_at,
             })
             .is_ok();
         obs.exit(epoch, span);

@@ -103,6 +103,19 @@ pub struct ServeConfig {
     /// generates roughly `2 × (6 + gnn_workers)` events, so the default
     /// 4096 keeps a few hundred epochs of timeline for post-mortems.
     pub flight_capacity: usize,
+    /// 1-in-N sampling for per-event observability: the admission
+    /// scheduler's flight-ring spans (its unit of work is one burst, not
+    /// one epoch) and the causal-trace head-sample retention both keep
+    /// every N-th item.  `1` records everything; clamped to at least 1.
+    /// The default 64 keeps the scheduler's ring traffic from evicting the
+    /// per-epoch timeline.
+    pub metrics_sampling: u64,
+    /// Declared service-level objectives evaluated over burn-rate windows
+    /// ([`SloConfig`](crate::SloConfig)); their status rides every
+    /// [`MetricsSnapshot`].  `None` (the default)
+    /// runs no SLO engine.  SLO accounting is independent of `metrics` —
+    /// the engine is a handful of relaxed atomics per submit/delivery.
+    pub slo: Option<crate::metrics::SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -121,6 +134,8 @@ impl Default for ServeConfig {
             durability: None,
             metrics: true,
             flight_capacity: 4096,
+            metrics_sampling: 64,
+            slo: None,
         }
     }
 }
@@ -141,6 +156,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("durability", &self.durability)
             .field("metrics", &self.metrics)
             .field("flight_capacity", &self.flight_capacity)
+            .field("metrics_sampling", &self.metrics_sampling)
+            .field("slo", &self.slo)
             .finish()
     }
 }
@@ -408,6 +425,13 @@ pub struct StreamServer {
     num_shards: usize,
     gnn_workers: usize,
     durability: Option<Arc<Durability>>,
+    /// SLO recording handle: `poll` grades every pipeline delivery against
+    /// the latency objective (a no-op without `ServeConfig::slo`).
+    slo: crate::metrics::SloHandle,
+    /// Set while `poll` is blocked on the WAL group-commit watermark:
+    /// `(epoch, first observed blocked)` — what the causal trace's
+    /// `WalSyncWait` segment measures at delivery.
+    wal_block_since: Option<(u64, Instant)>,
 }
 
 impl StreamServer {
@@ -475,6 +499,18 @@ impl StreamServer {
         let stale_out = cache
             .is_some()
             .then(|| Arc::new(Mutex::new(VecDeque::new())));
+        // The SLO engine is built before both the admission layer and the
+        // metrics hub so they share the same burn-rate lanes: admission
+        // feeds the drop objective (and consults the burn gate when
+        // `preempt_stale` is on), `poll` feeds the latency objective, and
+        // the hub snapshots the verdicts.
+        let slo_engine = config.slo.as_ref().map(crate::metrics::new_slo_engine);
+        let slo_handle = crate::metrics::SloHandle::new(slo_engine.clone(), config.slo.as_ref());
+        let burn_gate: Option<crate::admission::BurnGate> =
+            config.slo.as_ref().filter(|c| c.preempt_stale).map(|_| {
+                let h = slo_handle.clone();
+                Arc::new(move || h.fired()) as crate::admission::BurnGate
+            });
         let admission = Arc::new(
             AdmissionControl::new(tenants)
                 .with_wal(durability.as_ref().map(|d| d.wal.clone()))
@@ -484,7 +520,9 @@ impl StreamServer {
                         out: out.clone(),
                         collector: collector.clone(),
                     }
-                })),
+                }))
+                .with_slo(slo_handle.clone())
+                .with_burn_gate(burn_gate),
         );
         let model = Arc::new(model);
         let memory = Arc::new(ShardedMemory::for_config(
@@ -567,6 +605,8 @@ impl StreamServer {
             cache: cache.clone(),
             next_epoch: next_epoch.clone(),
             gnn_workers,
+            metrics_sampling: config.metrics_sampling,
+            slo_engine,
         });
         if let Some(d) = &durability {
             d.set_obs(hub.durability_obs());
@@ -576,8 +616,9 @@ impl StreamServer {
         {
             let admission = admission.clone();
             let obs = hub.stage_obs(StageId::Scheduler, 0);
+            let sampling = config.metrics_sampling;
             workers.push(spawn("tgnn-serve-scheduler", move || {
-                scheduler_loop(admission, submit_tx, obs)
+                scheduler_loop(admission, submit_tx, obs, sampling)
             }));
         }
         {
@@ -682,6 +723,8 @@ impl StreamServer {
             num_shards,
             gnn_workers,
             durability,
+            slo: slo_handle,
+            wal_block_since: None,
         }
     }
 
@@ -872,6 +915,9 @@ impl StreamServer {
                     .map(|(t, _)| ResultMeta {
                         tenant: TenantId(*t),
                         disposition: Disposition::OnTime,
+                        // Re-served epochs never ran this session's
+                        // pipeline: no trace.
+                        trace_id: 0,
                     })
                     .collect();
                 server
@@ -882,6 +928,7 @@ impl StreamServer {
                         .collector
                         .record_event(TenantId(*t), false, Duration::ZERO);
                 }
+                let now = Instant::now();
                 server.completed.push_back(ServedBatch {
                     epoch: sealed.epoch,
                     events,
@@ -889,6 +936,8 @@ impl StreamServer {
                     embeddings,
                     cache_epochs: Vec::new(),
                     latency: Duration::ZERO,
+                    admitted_at: now,
+                    reordered_at: now,
                 });
                 re_served_epochs += 1;
             }
@@ -1022,7 +1071,33 @@ impl StreamServer {
     /// any durable prefix.
     pub fn poll(&mut self) -> Option<ServedBatch> {
         let b = self.poll_inner()?;
-        self.hub.record_delivery(b.epoch);
+        // `trace_id == 0` marks results that never ran the pipeline this
+        // session (stale cache answers, recovery re-serves): they carry no
+        // trace and are excluded from the latency objective.
+        let traced = b.metas.first().is_some_and(|m| m.trace_id != 0);
+        let now = Instant::now();
+        let total = now.saturating_duration_since(b.admitted_at);
+        // Attribute the time delivery was observed blocked on the WAL
+        // group-commit watermark (tracked by `poll_inner`) to this epoch.
+        let wal_wait = match self.wal_block_since {
+            Some((e, since)) if e == b.epoch => {
+                // Consume only a matching entry: a stale batch delivered in
+                // between must not clear another epoch's wait clock.
+                self.wal_block_since = None;
+                now.saturating_duration_since(since)
+            }
+            _ => Duration::ZERO,
+        };
+        if traced {
+            self.slo.record_batch_latency(total, b.events.len() as u64);
+        }
+        self.hub.record_delivery(
+            b.epoch,
+            traced,
+            total,
+            wal_wait,
+            now.saturating_duration_since(b.reordered_at),
+        );
         Some(b)
     }
 
@@ -1047,7 +1122,14 @@ impl StreamServer {
                 self.completed.push_back(b);
             }
         }
-        if !d.seal_synced(self.completed.front()?.epoch) {
+        let front_epoch = self.completed.front()?.epoch;
+        if !d.seal_synced(front_epoch) {
+            // First blocked observation of this epoch starts its WAL-sync
+            // wait clock; repeat polls keep the original start.
+            match self.wal_block_since {
+                Some((e, _)) if e == front_epoch => {}
+                _ => self.wal_block_since = Some((front_epoch, Instant::now())),
+            }
             return None;
         }
         let b = self.completed.pop_front().expect("front exists");

@@ -363,3 +363,129 @@ fn flight_recorder_dump_survives_gnn_panic() {
     let m = hub.snapshot();
     assert!(m.epochs >= 2);
 }
+
+/// Satellite: `metrics_sampling: 1` must record *every* scheduler burst in
+/// the flight ring — the sampled-span count equals the stage's burst
+/// counter, which accumulates regardless of sampling.
+#[test]
+fn sampling_rate_one_records_every_scheduler_span() {
+    let (model, graph) = setup(61);
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(1),
+        metrics_sampling: 1,
+        // Large enough that nothing is evicted: the full-rate scheduler
+        // traffic plus the per-epoch stage spans must all survive.
+        flight_capacity: 1 << 17,
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model, graph.clone(), config);
+    for &e in graph.events() {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {}
+    }
+    server.drain();
+    while server.poll().is_some() {}
+
+    let m = server.metrics();
+    assert_eq!(m.flight.dropped, 0, "ring must not have wrapped");
+    let sched = m
+        .stages
+        .iter()
+        .find(|s| s.stage == StageId::Scheduler)
+        .unwrap();
+    let dump = server.metrics_hub().flight_dump();
+    let enters = dump
+        .iter()
+        .filter(|r| r.stage == StageId::Scheduler && r.kind == SpanKind::Enter)
+        .count() as u64;
+    assert!(sched.batches > 0);
+    assert_eq!(
+        enters, sched.batches,
+        "rate 1 must put every burst in the ring"
+    );
+}
+
+/// Satellite: the timeline renderer prints duration-so-far on open spans
+/// and breaks `at` ties by sequence number — checked on a synthetic,
+/// unbalanced ring rather than a live pipeline.
+#[test]
+fn timeline_renders_open_spans_and_sorts_ties_by_seq() {
+    let ms = Duration::from_millis;
+    let rec = |seq: u64, at: Duration, stage: StageId, kind: SpanKind| tgnn_serve::SpanRecord {
+        seq,
+        at,
+        stage,
+        worker: 0,
+        epoch: 7,
+        kind,
+    };
+    // Deliberately shuffled: two records share `at` (the exit must close
+    // the enter, not precede it), and the sampler span never exits.
+    let records = vec![
+        rec(3, ms(5), StageId::Batcher, SpanKind::Exit),
+        rec(2, ms(5), StageId::Batcher, SpanKind::Enter),
+        rec(4, ms(6), StageId::Sampler, SpanKind::Enter),
+        rec(5, ms(9), StageId::Deliver, SpanKind::Mark),
+    ];
+    let timeline = render_flight_timeline(&records);
+    assert!(timeline.contains("epoch     7"), "timeline:\n{timeline}");
+    // The tied enter/exit pair renders closed (5.000→5.000), not half-open.
+    assert!(
+        timeline.contains("batcher 5.000→5.000"),
+        "tie must sort by seq:\n{timeline}"
+    );
+    // The open sampler span reports duration-so-far against the horizon
+    // (the last tick in the dump, the 9 ms mark).
+    assert!(
+        timeline.contains("sampler 6.000→… 3.000ms so far"),
+        "open span must show elapsed time:\n{timeline}"
+    );
+    assert!(timeline.contains("deliver @9.000"));
+}
+
+/// Satellite: a durable session exposes a wall-clock snapshot-writer lag
+/// gauge alongside the epoch-based one.
+#[test]
+fn snapshot_lag_seconds_tracks_the_last_completed_snapshot() {
+    let (model, graph) = setup(67);
+    let td = TempDir::new("lag-seconds");
+    let config = ServeConfig {
+        max_batch: 8,
+        batch_deadline: Duration::from_millis(1),
+        durability: Some(
+            DurabilityConfig::new(td.path())
+                .with_fsync(FsyncPolicy::OnSeal)
+                .with_snapshot_every(4),
+        ),
+        ..ServeConfig::default()
+    };
+    let mut server = StreamServer::new(model, graph.clone(), config);
+    for &e in &graph.events()[..64] {
+        server.submit(e).unwrap();
+        while server.poll().is_some() {}
+    }
+    server.drain();
+    while server.poll().is_some() {}
+
+    let m = server.metrics();
+    let d = m.durability.expect("durable session exposes durability");
+    assert!(d.stats.snapshots > 0);
+    // The drain-time snapshot just completed: the lag is fresh wall-clock,
+    // not the session age.
+    assert!(d.snapshot_lag_seconds >= 0.0);
+    assert!(
+        d.snapshot_lag_seconds < 5.0,
+        "lag {}s after a drain-time snapshot",
+        d.snapshot_lag_seconds
+    );
+    // And it keeps growing while no snapshot runs.
+    std::thread::sleep(Duration::from_millis(20));
+    let again = server.metrics().durability.unwrap().snapshot_lag_seconds;
+    assert!(
+        again > d.snapshot_lag_seconds,
+        "lag must advance with wall time: {again} vs {}",
+        d.snapshot_lag_seconds
+    );
+    assert!(m.to_prometheus().contains("tgnn_snapshot_lag_seconds"));
+}
