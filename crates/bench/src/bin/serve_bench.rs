@@ -93,9 +93,9 @@ use tgnn_core::{
 use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
 use tgnn_quant::QuantConfig;
 use tgnn_serve::{
-    wal_fault_hook, BurnState, CacheConfig, CriticalPath, Disposition, DurabilityConfig,
-    FsyncPolicy, MetricsSnapshot, RecoveryReport, SegmentId, ServeConfig, ServeReport, ServedBatch,
-    SloConfig, StreamServer, SubmitOutcome, TenantSpec, TraceView,
+    wal_fault_hook, BackendKind, BurnState, CacheConfig, CriticalPath, Disposition,
+    DurabilityConfig, FsyncPolicy, MetricsSnapshot, RecoveryReport, SegmentId, ServeConfig,
+    ServeReport, ServedBatch, SloConfig, StreamServer, SubmitOutcome, TenantSpec, TraceView,
 };
 use tgnn_tensor::stats::{cosine_agreement, max_abs_diff};
 use tgnn_tensor::Float;
@@ -130,6 +130,11 @@ const SERVE_FLAGS: &[FlagHelp] = &[
         "--overload-policy",
         "<p>",
         "block|drop-newest|drop-oldest|late|serve-stale at the ingress bound (default block; serve-stale with --scenario)",
+    ),
+    (
+        "--backends",
+        "<k1,k2,..>",
+        "per-tenant compute backends (f32|int8|hwsim), one per tenant in order — heterogeneous routing with a per-backend identity check; conflicts with --exec-mode",
     ),
     (
         "--scenario",
@@ -277,6 +282,18 @@ fn main() {
             other => panic!("--exec-mode: expected batched|quantized, got {other:?}"),
         },
     };
+    let backends: Option<Vec<BackendKind>> = flag_value("--backends").map(|v| {
+        let v = v.unwrap_or_else(|| {
+            panic!("--backends: expected a comma-separated list of f32|int8|hwsim")
+        });
+        v.split(',')
+            .map(|k| {
+                k.trim().parse().unwrap_or_else(|_| {
+                    panic!("--backends: expected f32|int8|hwsim per tenant, got {k:?}")
+                })
+            })
+            .collect()
+    });
     let durability_dir = flag_value("--durability").flatten();
     let snapshot_every = parse_usize("--snapshot-every", 256) as u64;
     let fsync: FsyncPolicy = match flag_value("--fsync") {
@@ -308,6 +325,26 @@ fn main() {
         );
     }
     assert!(num_tenants >= 1, "--tenants: need at least one tenant");
+    if let Some(kinds) = &backends {
+        assert_eq!(
+            kinds.len(),
+            num_tenants,
+            "--backends: need exactly one backend per tenant (got {} for --tenants {num_tenants})",
+            kinds.len()
+        );
+        assert!(
+            flag_value("--exec-mode").is_none(),
+            "--backends selects the numeric path per tenant; drop --exec-mode"
+        );
+        assert!(
+            scenario.is_none(),
+            "--backends conflicts with --scenario (the scenario harness studies the f32 cache path)"
+        );
+        assert!(
+            durability_dir.is_none(),
+            "--backends conflicts with --durability (the bench's feed-resumption replay is single-backend)"
+        );
+    }
     if durability_dir.is_none() {
         for flag in ["--snapshot-every", "--fsync", "--crash-at"] {
             assert!(
@@ -390,7 +427,13 @@ fn main() {
     // after it — the served stream must stay chronological past the warm-up.
     let warm_events = graph.train_events().to_vec();
     let measure_events = graph.events()[graph.train_end()..].to_vec();
-    let exec_mode = if quantized { "quantized" } else { "batched" };
+    let exec_mode = if backends.is_some() {
+        "heterogeneous"
+    } else if quantized {
+        "quantized"
+    } else {
+        "batched"
+    };
     println!(
         "dataset: Wikipedia-like @ scale {} — {} nodes, {} events, variant {}, {} shards, {} gnn worker(s), exec-mode {}{}",
         args.scale,
@@ -411,6 +454,16 @@ fn main() {
             } else {
                 "unpaced".to_string()
             }
+        );
+    }
+    if let Some(kinds) = &backends {
+        println!(
+            "backends: per-tenant heterogeneous routing [{}]",
+            kinds
+                .iter()
+                .map(|k| k.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
         );
     }
 
@@ -436,15 +489,30 @@ fn main() {
 
     // Quantized mode: calibrate on the warm-up split (replayed from cold
     // state by the calibration engine) and attach the int8 weight set —
-    // the pipeline itself runs unchanged.
-    let quant = quantized.then(|| {
+    // the pipeline itself runs unchanged.  A heterogeneous run with an int8
+    // tenant also attaches one, but keeps the GRU in f32: the router's
+    // shared memory stage runs on the detached f32 stage model, so the
+    // per-backend identity replay is only bitwise when the reference
+    // engine's memory path is f32 too.
+    let needs_int8 = backends
+        .as_ref()
+        .is_some_and(|ks| ks.contains(&BackendKind::Int8));
+    let quant = (quantized || needs_int8).then(|| {
+        let quant_config = if needs_int8 {
+            QuantConfig {
+                quantize_gru: false,
+                ..QuantConfig::default()
+            }
+        } else {
+            QuantConfig::default()
+        };
         let q = Arc::new(quantize_model(
             &model,
             &graph,
             &[],
             &warm_events,
             max_batch,
-            QuantConfig::default(),
+            quant_config,
         ));
         model.attach_quantized(q.clone());
         q
@@ -453,11 +521,15 @@ fn main() {
     // --- Pipelined serving run.
     let tenants: Vec<TenantSpec> = (0..num_tenants)
         .map(|i| {
-            TenantSpec::new(format!("tenant{i}"))
+            let spec = TenantSpec::new(format!("tenant{i}"))
                 .with_weight(1 << (num_tenants - 1 - i).min(16))
                 .with_capacity(ingress_capacity)
                 .with_policy(policy)
-                .with_deadline(Duration::from_secs_f64(deadline_ms / 1e3))
+                .with_deadline(Duration::from_secs_f64(deadline_ms / 1e3));
+            match &backends {
+                Some(kinds) => spec.with_backend(kinds[i]),
+                None => spec,
+            }
         })
         .collect();
     // A paced multi-tenant run needs *sustained* pressure to demonstrate
@@ -531,7 +603,11 @@ fn main() {
         } else {
             ServeConfig::default().admission_capacity
         },
-        tenants: if num_tenants > 1 { tenants } else { Vec::new() },
+        tenants: if num_tenants > 1 || backends.is_some() {
+            tenants
+        } else {
+            Vec::new()
+        },
         metrics: !no_metrics,
         // Declared objectives (status only — the pre-emptive ServeStale hook
         // stays off outside the scenario harness) so the run records burn
@@ -681,6 +757,31 @@ fn main() {
         report.latency.p95_ms,
         report.latency.p99_ms
     );
+    // One greppable line per active backend (CI's heterogeneous smoke gate
+    // parses the served counts; the modeled tail appears for hwsim only).
+    for b in &report.backends {
+        println!(
+            "backend {}: served {} batches / {} events{}",
+            b.kind,
+            b.served_batches,
+            b.served_events,
+            b.modeled_latency.as_ref().map_or(String::new(), |m| {
+                format!(
+                    " — modeled latency p50 {:.3} ms, p99 {:.3} ms, max {:.3} ms",
+                    m.p50_ms, m.p99_ms, m.max_ms
+                )
+            })
+        );
+    }
+    if let Some(kinds) = &backends {
+        for kind in kinds {
+            let row = report.backends.iter().find(|b| b.kind == *kind);
+            assert!(
+                row.is_some_and(|b| b.served_events > 0),
+                "declared backend {kind} never served an event"
+            );
+        }
+    }
     // The Table-I-shaped breakdown: worker busy time per logical stage, as
     // accumulated by the span instrumentation (GNN is summed across pool
     // workers, so the fractions describe work, not wall-clock).
@@ -798,7 +899,59 @@ fn main() {
     // the engine cannot follow (the crash drill never acks, so it always
     // replays).
     let replay_complete = recovered_events == resume as u64;
-    if replay_complete {
+    if replay_complete && backends.is_some() {
+        // Heterogeneous identity: each served batch must be bit-identical
+        // to the standalone engine of *its* backend replaying the server's
+        // exact batch sequence.  Both reference engines replay every batch
+        // — their memory paths are the same f32 kernels (the int8 weight
+        // set leaves the GRU unquantized), so the shared state trajectory
+        // stays in lockstep — and the comparison selects per batch which
+        // engine is authoritative (hwsim computes with the f32 kernels and
+        // only models latency, so it verifies against the f32 engine).
+        let mut f32_model = model.clone();
+        f32_model.detach_quantized();
+        let mut f32_engine =
+            InferenceEngine::new(f32_model, graph.num_nodes()).with_mode(ExecMode::Batched);
+        f32_engine.warm_up(&warm_events, &graph);
+        let mut int8_engine = quant.as_ref().map(|_| {
+            let mut e = InferenceEngine::new(model.clone(), graph.num_nodes())
+                .with_mode(ExecMode::Quantized);
+            e.warm_up(&warm_events, &graph);
+            e
+        });
+        let mut compared = 0usize;
+        for batch in served.iter().filter(|b| b.epoch > 0) {
+            let events = EventBatch::new(batch.events.clone());
+            let f32_out = f32_engine.process_batch(&events, &graph);
+            let int8_out = int8_engine
+                .as_mut()
+                .map(|e| e.process_batch(&events, &graph));
+            let reference = if batch.backend == BackendKind::Int8 {
+                int8_out
+                    .expect("an int8-routed batch requires an int8 tenant")
+                    .embeddings
+            } else {
+                f32_out.embeddings
+            };
+            assert_eq!(
+                reference, batch.embeddings,
+                "pipeline embeddings diverged bitwise from the {} engine in epoch {}",
+                batch.backend, batch.epoch
+            );
+            assert_eq!(
+                batch.modeled_latency.is_some(),
+                batch.backend == BackendKind::HwSim,
+                "modeled latency must appear exactly on hwsim batches (epoch {})",
+                batch.epoch
+            );
+            compared += 1;
+        }
+        println!(
+            "identity: {} micro-batches bit-identical to their per-backend engines \
+             (f32→ExecMode::Batched, int8→ExecMode::Quantized, hwsim→f32 kernels + modeled latency)",
+            compared
+        );
+    } else if replay_complete {
         let mut engine = match &quant {
             None => {
                 InferenceEngine::new(model.clone(), graph.num_nodes()).with_mode(ExecMode::Serial)
@@ -1342,6 +1495,32 @@ fn merge_pipeline_row(
             )
         })
         .collect();
+    let backend_rows: Vec<String> = report
+        .backends
+        .iter()
+        .map(|b| {
+            format!(
+                "      {{ \"kind\": \"{}\", \"served_batches\": {}, \"served_events\": {}, \"modeled_latency_ms\": {} }}",
+                b.kind,
+                b.served_batches,
+                b.served_events,
+                b.modeled_latency.as_ref().map_or("null".to_string(), |m| {
+                    format!(
+                        "{{ \"p50\": {:.4}, \"p99\": {:.4}, \"max\": {:.4} }}",
+                        m.p50_ms, m.p99_ms, m.max_ms
+                    )
+                }),
+            )
+        })
+        .collect();
+    let backends_line = if backend_rows.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "    \"backends\": [\n{}\n    ],\n",
+            backend_rows.join(",\n")
+        )
+    };
     let durability_line = durability_json.map_or(String::new(), |d| format!("{d}\n"));
     let metrics_line = metrics_json.map_or(String::new(), |m| format!("{m}\n"));
     let slo_line = slo_json.map_or(String::new(), |s| format!("{s}\n"));
@@ -1366,7 +1545,7 @@ fn merge_pipeline_row(
     });
     let scenario_line = scenario_json.map_or(String::new(), |s| format!("{s}\n"));
     let row = format!(
-        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}{}{}{}{}\n  }}",
+        "{{\n    \"events_per_sec\": {:.1},\n    \"num_batches\": {},\n    \"max_batch\": {},\n    \"num_shards\": {},\n    \"gnn_workers\": {},\n    \"exec_mode\": \"{}\",\n    \"latency_ms\": {{ \"mean\": {:.4}, \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4} }},\n    \"backpressure_blocks\": {},\n    \"tenants\": {},\n    \"overload_policy\": \"{}\",\n    \"offered_load_eps\": {:.1},\n    \"commit_log_clean\": {},\n    \"tenant_stats\": [\n{}\n    ],\n{}{}{}{}{}{}{}{}\n  }}",
         report.throughput_eps,
         report.num_batches,
         MAX_BATCH,
@@ -1383,6 +1562,7 @@ fn merge_pipeline_row(
         offered_load,
         report.commit_log_clean,
         tenant_rows.join(",\n"),
+        backends_line,
         durability_line,
         metrics_line,
         slo_line,

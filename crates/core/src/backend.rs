@@ -1,0 +1,282 @@
+//! Pluggable compute backends over the stage entry points.
+//!
+//! The engine hard-wires one arithmetic path per
+//! [`ExecMode`](crate::ExecMode); the paper's co-design argument, however,
+//! is about *heterogeneous datapaths* — the same model served from an f32
+//! CPU path, an int8 fixed-point path, or an FPGA pipeline, chosen per
+//! workload.  [`ComputeBackend`] is the seam that makes the choice
+//! pluggable: a backend owns a *prepared* weight set and answers the stage
+//! entry points of [`crate::stages`], so a scheduler (the `tgnn-serve`
+//! streaming pipeline) can route different tenants' batches to different
+//! backends while sharing one temporal-state trajectory.
+//!
+//! The contract every backend honours:
+//!
+//! * **Sampling and memory are shared.**  The temporal state (vertex
+//!   memory, mailbox, neighbor table) is one trajectory regardless of who
+//!   computes embeddings; the default [`ComputeBackend::stage_sample`] and
+//!   [`ComputeBackend::run_memory`] delegate to the shared stage functions
+//!   and are not meant to be overridden with different arithmetic.
+//! * **GNN compute is the backend-specific stage.**
+//!   [`ComputeBackend::run_gnn`] runs the gathered [`GnnJobBatch`] on the
+//!   backend's prepared weights.  [`F32Backend`] and [`Int8Backend`]
+//!   execute the exact kernels of `ExecMode::Batched` and
+//!   `ExecMode::Quantized` respectively, so a stream routed through either
+//!   is bit-identical to the corresponding standalone engine (the
+//!   backend-equivalence matrix in `tgnn-serve/tests/backends.rs` pins
+//!   this).  A modeled backend (`tgnn-hwsim`'s `HwSimBackend`) computes
+//!   with the f32 kernels but additionally reports a *modeled* service
+//!   latency in [`GnnStageOutput::modeled_latency`].
+//! * **Update is a state write-back**, not model compute: it is performed
+//!   by the caller against the shared state and is identical for every
+//!   backend.
+
+use crate::memory::Message;
+use crate::model::TgnModel;
+use crate::stages::{run_memory_stage, GnnJobBatch, SampledBatch};
+use std::sync::Arc;
+use std::time::Duration;
+use tgnn_graph::{EventBatch, NeighborEntry, NodeId, Timestamp};
+use tgnn_tensor::{Float, Workspace};
+
+/// Which compute backend serves a batch — carried on every result's
+/// [`ResultMeta`](crate::tenancy::ResultMeta) so clients can audit the
+/// routing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BackendKind {
+    /// The f32 batched path (`ExecMode::Batched` kernels).
+    #[default]
+    F32,
+    /// The int8 fixed-point path (`ExecMode::Quantized` kernels; requires
+    /// an attached [`QuantizedTgn`](crate::QuantizedTgn) weight set).
+    Int8,
+    /// The hwsim-modeled FPGA datapath: f32 kernels for the values, a
+    /// cycle-approximate pipeline model for the latency — hardware in the
+    /// scheduling loop without hardware.
+    HwSim,
+}
+
+/// Number of backend kinds (the size of a `code()`-indexed table).
+pub const NUM_BACKEND_KINDS: usize = 3;
+
+impl BackendKind {
+    /// All kinds, in `code()` order.
+    pub const ALL: [BackendKind; NUM_BACKEND_KINDS] =
+        [BackendKind::F32, BackendKind::Int8, BackendKind::HwSim];
+
+    /// Stable lower-case label, used in reports and the bench JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::F32 => "f32",
+            BackendKind::Int8 => "int8",
+            BackendKind::HwSim => "hwsim",
+        }
+    }
+
+    /// Dense index for `code()`-indexed tables (0, 1, 2).
+    pub fn code(self) -> usize {
+        match self {
+            BackendKind::F32 => 0,
+            BackendKind::Int8 => 1,
+            BackendKind::HwSim => 2,
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    ///
+    /// # Panics
+    /// Panics if `code >= NUM_BACKEND_KINDS`.
+    pub fn from_code(code: usize) -> Self {
+        Self::ALL[code]
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for BackendKind {
+    type Err = String;
+
+    /// Parses the labels `label()` emits (case/underscore-insensitive):
+    /// `f32`, `int8`, `hwsim`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().replace('_', "-").as_str() {
+            "f32" | "fp32" => Ok(BackendKind::F32),
+            "int8" | "i8" | "quantized" => Ok(BackendKind::Int8),
+            "hwsim" | "hw-sim" | "fpga" => Ok(BackendKind::HwSim),
+            other => Err(format!(
+                "unknown compute backend {other:?} (expected f32|int8|hwsim)"
+            )),
+        }
+    }
+}
+
+/// Output of one GNN compute stage run on a backend.
+#[derive(Clone, Debug)]
+pub struct GnnStageOutput {
+    /// `(vertex, embedding)` in the job's touched order — for [`F32Backend`]
+    /// and [`Int8Backend`] exactly what `GnnJobBatch::run` produces on the
+    /// backend's prepared model.
+    pub embeddings: Vec<(NodeId, Vec<Float>)>,
+    /// Service latency a modeled backend (hwsim) predicts for this job on
+    /// its datapath; `None` for backends that really execute where they
+    /// are measured.
+    pub modeled_latency: Option<Duration>,
+}
+
+/// A prepared compute backend: owned weights plus the stage entry points.
+///
+/// Implementations must be cheap to share (`Send + Sync`) — the serving
+/// pipeline hands one `Arc<dyn ComputeBackend>` to every worker of the
+/// backend's GNN pool.
+pub trait ComputeBackend: Send + Sync {
+    /// Which datapath this backend implements.
+    fn kind(&self) -> BackendKind;
+
+    /// The prepared weight set the stage entry points run on.
+    fn model(&self) -> &Arc<TgnModel>;
+
+    /// The sampling stage — shared across backends (sampling touches no
+    /// model weights).  Provided so a backend is a complete set of stage
+    /// entry points; the default delegates to [`SampledBatch::assemble`].
+    #[allow(clippy::type_complexity)]
+    fn stage_sample(
+        &self,
+        batch: EventBatch,
+        k: usize,
+        sample: &mut dyn FnMut(NodeId, Timestamp, usize, &mut Vec<NeighborEntry>),
+    ) -> SampledBatch {
+        SampledBatch::assemble(batch, k, |v, t, kk, out| sample(v, t, kk, out))
+    }
+
+    /// The GRU memory stage on this backend's prepared model.  Note that a
+    /// *multi-backend* scheduler must run the memory stage once on one
+    /// shared model (a single state trajectory), not once per backend —
+    /// this entry point is for standalone single-backend use.
+    fn run_memory(
+        &self,
+        with_messages: &[(NodeId, Message)],
+        last_update: &mut dyn FnMut(NodeId) -> Timestamp,
+        read_memory: &mut dyn FnMut(NodeId, &mut [Float]),
+        ws: &mut Workspace,
+    ) -> Vec<(NodeId, Vec<Float>)> {
+        run_memory_stage(
+            self.model(),
+            with_messages,
+            last_update,
+            |v, dst| read_memory(v, dst),
+            ws,
+        )
+    }
+
+    /// The backend-specific GNN compute stage: runs the gathered job on the
+    /// prepared weights.  The default executes for real and models nothing.
+    fn run_gnn(&self, job: &GnnJobBatch, ws: &mut Workspace) -> GnnStageOutput {
+        GnnStageOutput {
+            embeddings: job.run(self.model(), ws),
+            modeled_latency: None,
+        }
+    }
+}
+
+/// Today's batched f32 path as a backend (`ExecMode::Batched` kernels).
+pub struct F32Backend {
+    model: Arc<TgnModel>,
+}
+
+impl F32Backend {
+    /// Prepares the backend from `model`, detaching any int8 weight set so
+    /// the batched entry points stay on the f32 kernels.
+    pub fn new(model: &TgnModel) -> Self {
+        let mut m = model.clone();
+        m.detach_quantized();
+        Self { model: Arc::new(m) }
+    }
+}
+
+impl ComputeBackend for F32Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::F32
+    }
+
+    fn model(&self) -> &Arc<TgnModel> {
+        &self.model
+    }
+}
+
+/// The int8 fixed-point path as a backend (`ExecMode::Quantized` kernels).
+pub struct Int8Backend {
+    model: Arc<TgnModel>,
+}
+
+impl Int8Backend {
+    /// Prepares the backend from `model`, which must carry an attached
+    /// [`QuantizedTgn`](crate::QuantizedTgn) weight set
+    /// (see [`quantize_model`](crate::quantize_model)).
+    ///
+    /// # Panics
+    /// Panics if no int8 weight set is attached.
+    pub fn new(model: &TgnModel) -> Self {
+        assert!(
+            model.is_quantized(),
+            "Int8Backend requires an attached int8 weight set \
+             (quantize_model + TgnModel::attach_quantized)"
+        );
+        Self {
+            model: Arc::new(model.clone()),
+        }
+    }
+}
+
+impl ComputeBackend for Int8Backend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::Int8
+    }
+
+    fn model(&self) -> &Arc<TgnModel> {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use tgnn_tensor::TensorRng;
+
+    #[test]
+    fn backend_kind_labels_roundtrip_through_from_str() {
+        for k in BackendKind::ALL {
+            assert_eq!(k.label().parse::<BackendKind>().unwrap(), k);
+            assert_eq!(BackendKind::from_code(k.code()), k);
+        }
+        assert_eq!("FP32".parse::<BackendKind>().unwrap(), BackendKind::F32);
+        assert_eq!(
+            "quantized".parse::<BackendKind>().unwrap(),
+            BackendKind::Int8
+        );
+        assert_eq!("HW_SIM".parse::<BackendKind>().unwrap(), BackendKind::HwSim);
+        assert!("tpu".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::default(), BackendKind::F32);
+    }
+
+    #[test]
+    fn f32_backend_detaches_quantized_weights() {
+        let cfg = ModelConfig::tiny(3, 2);
+        let model = TgnModel::new(cfg, &mut TensorRng::new(7));
+        let b = F32Backend::new(&model);
+        assert_eq!(b.kind(), BackendKind::F32);
+        assert!(!b.model().is_quantized());
+    }
+
+    #[test]
+    #[should_panic(expected = "Int8Backend requires an attached int8 weight set")]
+    fn int8_backend_rejects_unquantized_models() {
+        let cfg = ModelConfig::tiny(3, 2);
+        let model = TgnModel::new(cfg, &mut TensorRng::new(7));
+        let _ = Int8Backend::new(&model);
+    }
+}

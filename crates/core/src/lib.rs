@@ -41,8 +41,13 @@
 //! * [`tenancy`] — multi-tenant vocabulary shared with `tgnn-serve`:
 //!   [`TenantId`], [`OverloadPolicy`], and the per-result deadline
 //!   [`Disposition`] metadata.
+//! * [`backend`] — pluggable compute backends over the stage entry points:
+//!   [`BackendKind`], the [`ComputeBackend`] trait, and the [`F32Backend`] /
+//!   [`Int8Backend`] implementations (the modeled `HwSimBackend` lives in
+//!   `tgnn-hwsim`).
 
 pub mod apan;
+pub mod backend;
 pub mod complexity;
 pub mod config;
 pub mod distillation;
@@ -57,6 +62,9 @@ pub mod stages;
 pub mod tenancy;
 pub mod training;
 
+pub use backend::{
+    BackendKind, ComputeBackend, F32Backend, GnnStageOutput, Int8Backend, NUM_BACKEND_KINDS,
+};
 pub use complexity::{OpCounts, StageOps};
 pub use config::{AttentionKind, ModelConfig, OptimizationVariant, TimeEncoderKind};
 pub use inference::{ExecMode, InferenceEngine, InferenceReport};

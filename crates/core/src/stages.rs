@@ -345,6 +345,12 @@ impl GnnJobBatch {
         self.touched.len()
     }
 
+    /// Total number of gathered neighbor rows across the job — the
+    /// neighbor-fetch workload a modeled backend feeds its datapath model.
+    pub fn total_neighbors(&self) -> usize {
+        self.nbr_dt.len()
+    }
+
     /// True when the job holds no vertices.
     pub fn is_empty(&self) -> bool {
         self.touched.is_empty()

@@ -177,6 +177,16 @@ pub struct ResultMeta {
     pub tenant: TenantId,
     /// Deadline disposition of the result.
     pub disposition: Disposition,
+    /// Which compute backend served this result (see
+    /// [`BackendKind`](crate::backend::BackendKind)).  Single-backend
+    /// servers stamp their one backend; heterogeneously routed servers
+    /// stamp the backend the tenant was declared on — the routing
+    /// conservation tests in `tgnn-serve` check it for every result.
+    /// Stale cache answers carry the declared backend of the tenant they
+    /// answer for (the cached values were served earlier, possibly by
+    /// another tenant's backend; the cache stores served history, not
+    /// provenance).
+    pub backend: crate::backend::BackendKind,
     /// Causal-trace identifier: the pipeline epoch whose trace decomposes
     /// this result's admit→deliver latency into additive segments (see the
     /// serving layer's trace slab).  `0` means untraced — results that never

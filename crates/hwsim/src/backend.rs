@@ -1,0 +1,160 @@
+//! The hwsim-modeled FPGA datapath as a pluggable [`ComputeBackend`] —
+//! hardware in the scheduling loop without hardware.
+//!
+//! [`HwSimBackend`] computes embeddings with the exact f32 kernels (so its
+//! values are bit-identical to [`F32Backend`](tgnn_core::F32Backend) on the
+//! same job), but answers every GNN job with a *modeled* service latency
+//! from the 9-stage pipeline model ([`crate::pipeline::PipelineModel`]):
+//! the job's workload (edges, memory updates, embeddings, neighbor fetches)
+//! is split into `N_b`-edge processing batches and timed on the configured
+//! [`DesignConfig`] — including its
+//! [`DatapathPrecision`](crate::design::DatapathPrecision), so an int8
+//! accelerator design reports proportionally smaller memory-stage times.
+//!
+//! Because the pipeline model is a pure function of the workload, the
+//! modeled latency is deterministic: the same event stream produces the
+//! same sealed batches, the same gathered jobs, and therefore the same
+//! modeled latencies, run after run (pinned by the serving layer's
+//! determinism test).  That is what makes the backend usable as a
+//! scheduler testbed — a serving experiment can route a tenant onto a
+//! simulated accelerator and observe honest, reproducible timing.
+
+use crate::ddr::DdrModel;
+use crate::design::DesignConfig;
+use crate::pipeline::{BatchWorkload, PipelineModel};
+use std::sync::Arc;
+use std::time::Duration;
+use tgnn_core::{BackendKind, ComputeBackend, GnnJobBatch, GnnStageOutput, TgnModel};
+use tgnn_tensor::Workspace;
+
+/// An hwsim-modeled FPGA compute backend: f32 kernels for the values, the
+/// cycle-approximate pipeline model for the latency.
+pub struct HwSimBackend {
+    model: Arc<TgnModel>,
+    pipeline: PipelineModel,
+}
+
+impl HwSimBackend {
+    /// Prepares the backend from `model` (any attached int8 weight set is
+    /// detached — the simulated datapath's *values* are the f32 reference;
+    /// its precision only affects the timing model), timed on `design` over
+    /// `ddr`.
+    pub fn new(model: &TgnModel, design: DesignConfig, ddr: DdrModel) -> Self {
+        let mut m = model.clone();
+        m.detach_quantized();
+        let pipeline = PipelineModel::new(design, m.config.clone(), ddr);
+        Self {
+            model: Arc::new(m),
+            pipeline,
+        }
+    }
+
+    /// [`Self::new`] on the paper's Alveo U200 design point with its
+    /// measured DDR bandwidth — the default accelerator a serving
+    /// configuration gets when it asks for `hwsim` without a design.
+    pub fn u200(model: &TgnModel) -> Self {
+        Self::new(model, DesignConfig::u200(), DdrModel::new_gbps(77.0))
+    }
+
+    /// The design configuration the latency model runs on.
+    pub fn design(&self) -> &DesignConfig {
+        &self.pipeline.design
+    }
+
+    /// Models the service latency of one gathered GNN job on the configured
+    /// datapath (seconds), without computing anything.
+    pub fn modeled_latency(&self, job: &GnnJobBatch) -> f64 {
+        let total = BatchWorkload {
+            // The gathered job no longer knows its event count; embeddings
+            // (touched vertices) bound it within 2× and keep the model a
+            // pure function of the job.
+            edges: job.len(),
+            memory_updates: job.len(),
+            embeddings: job.len(),
+            neighbors_fetched: job.total_neighbors(),
+            neighbors_scored: job.total_neighbors(),
+        };
+        self.pipeline
+            .batch_latency(&self.pipeline.split_workload(&total))
+    }
+}
+
+impl ComputeBackend for HwSimBackend {
+    fn kind(&self) -> BackendKind {
+        BackendKind::HwSim
+    }
+
+    fn model(&self) -> &Arc<TgnModel> {
+        &self.model
+    }
+
+    fn run_gnn(&self, job: &GnnJobBatch, ws: &mut Workspace) -> GnnStageOutput {
+        let embeddings = job.run(&self.model, ws);
+        let modeled = self.modeled_latency(job);
+        GnnStageOutput {
+            embeddings,
+            modeled_latency: Some(Duration::from_secs_f64(modeled)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::DatapathPrecision;
+    use tgnn_core::{F32Backend, ModelConfig, SampledBatch};
+    use tgnn_graph::{EventBatch, InteractionEvent, TemporalGraph};
+    use tgnn_tensor::{Matrix, TensorRng};
+
+    fn gathered_job(seed: u64) -> (TgnModel, GnnJobBatch) {
+        let cfg = ModelConfig::tiny(0, 2);
+        let model = TgnModel::new(cfg.clone(), &mut TensorRng::new(seed));
+        let events: Vec<InteractionEvent> = (0..12u32)
+            .map(|i| InteractionEvent::new(i % 5, (i + 1) % 5, i, i as f64))
+            .collect();
+        let graph = TemporalGraph::new(
+            "backend-test",
+            5,
+            Matrix::zeros(5, 0),
+            Matrix::zeros(12, 2),
+            events.clone(),
+        );
+        let sampled = SampledBatch::assemble(EventBatch::new(events), 0, |_, _, _, _| {});
+        let updated = std::collections::HashMap::new();
+        let job = GnnJobBatch::gather(&sampled, &updated, &graph, &cfg, |_, dst| dst.fill(0.25));
+        (model, job)
+    }
+
+    #[test]
+    fn hwsim_values_match_f32_and_latency_is_modeled_and_deterministic() {
+        let (model, job) = gathered_job(3);
+        let hw = HwSimBackend::u200(&model);
+        let f32b = F32Backend::new(&model);
+        let mut ws = Workspace::new();
+        let a = hw.run_gnn(&job, &mut ws);
+        let b = f32b.run_gnn(&job, &mut ws);
+        assert_eq!(
+            a.embeddings, b.embeddings,
+            "hwsim must compute with the f32 kernels"
+        );
+        assert!(b.modeled_latency.is_none());
+        let lat = a.modeled_latency.expect("hwsim models a latency");
+        assert!(lat > Duration::ZERO);
+        // Pure in the job: the same job models the same latency.
+        let again = hw.run_gnn(&job, &mut ws);
+        assert_eq!(again.modeled_latency, Some(lat));
+    }
+
+    #[test]
+    fn int8_design_models_a_faster_datapath_than_fp32() {
+        let (model, job) = gathered_job(9);
+        let fp32 = HwSimBackend::u200(&model);
+        let int8 = HwSimBackend::new(
+            &model,
+            DesignConfig::u200().with_precision(DatapathPrecision::int8()),
+            DdrModel::new_gbps(77.0),
+        );
+        assert!(int8.modeled_latency(&job) <= fp32.modeled_latency(&job));
+        assert_eq!(int8.kind(), BackendKind::HwSim);
+    }
+}

@@ -28,8 +28,12 @@
 //! * [`baseline`] — CPU (1 and 32 threads) and GPU cost models calibrated on
 //!   the paper's Table I measurements, used for the cross-platform
 //!   comparisons of Fig. 5–7.
+//! * [`backend`] — [`HwSimBackend`]: the modeled datapath as a pluggable
+//!   `tgnn_core::ComputeBackend` (f32 values, modeled latency), so the
+//!   serving scheduler can route tenants onto a simulated accelerator.
 
 pub mod accelerator;
+pub mod backend;
 pub mod baseline;
 pub mod ddr;
 pub mod design;
@@ -39,6 +43,7 @@ pub mod pipeline;
 pub mod updater;
 
 pub use accelerator::{AcceleratorSim, SimulatedBatch, SimulatedStreamReport};
+pub use backend::HwSimBackend;
 pub use baseline::{BaselinePlatform, BaselineSimulator};
 pub use ddr::DdrModel;
 pub use design::{DesignConfig, ResourceUsage};

@@ -95,6 +95,7 @@ use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
+use tgnn_core::BackendKind;
 use tgnn_durable::{AdmitDisposition, Wal, WalRecord};
 use tgnn_graph::{InteractionEvent, Timestamp};
 
@@ -140,6 +141,22 @@ pub struct TenantSpec {
     /// least 1 — admission spends a whole token per event, so a smaller
     /// bucket could never admit anything.
     pub rate_burst: Option<f64>,
+    /// Which compute backend serves this tenant's sealed batches.  `None`
+    /// means the server default: the one backend a homogeneous server runs
+    /// (f32, or int8 when the model carries an attached quantized weight
+    /// set).  Declaring a backend on *any* tenant switches the server into
+    /// heterogeneous routing — per-backend GNN dispatch queues and worker
+    /// pools over one shared temporal-state trajectory.  The server
+    /// resolves `None` to the concrete default at build time, so every
+    /// admitted event is stamped with a concrete kind.
+    pub backend: Option<BackendKind>,
+    /// Per-tenant staleness bound (epochs) for
+    /// [`OverloadPolicy::ServeStale`] answers, overriding the shared
+    /// cache's global bound for this tenant's lookups.  The effective bound
+    /// is `min(tenant, global)` — the cache sweeps entries past the global
+    /// bound, so a tenant cannot see *older* answers than the cache keeps;
+    /// it can only demand fresher ones.  `None` means the global bound.
+    pub staleness_bound_epochs: Option<u64>,
 }
 
 impl TenantSpec {
@@ -154,6 +171,8 @@ impl TenantSpec {
             deadline: None,
             rate_eps: None,
             rate_burst: None,
+            backend: None,
+            staleness_bound_epochs: None,
         }
     }
 
@@ -207,6 +226,20 @@ impl TenantSpec {
             "TenantSpec: rate_burst must be finite and >= 1 (admission needs a whole token per event)"
         );
         self.rate_burst = Some(burst);
+        self
+    }
+
+    /// Declares the compute backend this tenant is served on (builder
+    /// style); see the `backend` field for the routing contract.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Sets the per-tenant `ServeStale` staleness bound in epochs (builder
+    /// style); see the `staleness_bound_epochs` field.
+    pub fn with_staleness_bound(mut self, epochs: u64) -> Self {
+        self.staleness_bound_epochs = Some(epochs);
         self
     }
 
@@ -268,6 +301,10 @@ pub(crate) struct EventMeta {
     /// trace's ingress-wait segment measures real queue residency.
     pub picked_up_at: Instant,
     pub deadline: Option<Duration>,
+    /// The concrete backend this event's tenant is routed to — stamped at
+    /// admission (from the resolved `TenantSpec::backend`) so the batcher
+    /// can seal per-backend batches without consulting the tenant table.
+    pub backend: BackendKind,
 }
 
 /// Monotonic counters of one tenant's admission activity, snapshotted into
@@ -518,9 +555,20 @@ impl AdmissionControl {
     /// cached (i.e. originally served) values; `cache_epochs` records the
     /// serving epoch of each so clients and the bench can verify
     /// bit-identity against history.
-    fn serve_stale(&self, tenant: TenantId, event: InteractionEvent) -> Option<u64> {
+    ///
+    /// `bound` is the tenant's staleness override
+    /// ([`TenantSpec::staleness_bound_epochs`], `None` = the cache's global
+    /// bound); `backend` is the tenant's declared backend, stamped on the
+    /// stale result's metadata.
+    fn serve_stale(
+        &self,
+        tenant: TenantId,
+        event: InteractionEvent,
+        bound: Option<u64>,
+        backend: BackendKind,
+    ) -> Option<u64> {
         let stale = self.stale.as_ref()?;
-        let (entries, age) = stale.cache.get_event(event.src, event.dst)?;
+        let (entries, age) = stale.cache.get_event_bounded(event.src, event.dst, bound)?;
         stale.cache.record_stale_serve(age);
         let mut embeddings = Vec::with_capacity(entries.len());
         let mut cache_epochs = Vec::with_capacity(entries.len());
@@ -543,10 +591,13 @@ impl AdmissionControl {
             metas: vec![ResultMeta {
                 tenant,
                 disposition: Disposition::Stale { age_epochs: age },
+                backend,
                 trace_id: 0,
             }],
             embeddings,
             cache_epochs,
+            backend,
+            modeled_latency: None,
             latency: Duration::ZERO,
             admitted_at: now,
             reordered_at: now,
@@ -605,7 +656,12 @@ impl AdmissionControl {
                     }
                 }
                 OverloadPolicy::ServeStale => {
-                    let served = self.serve_stale(tenant, event);
+                    let spec = &state.tenants[idx].spec;
+                    let (bound, backend) = (
+                        spec.staleness_bound_epochs,
+                        spec.backend.unwrap_or_default(),
+                    );
+                    let served = self.serve_stale(tenant, event, bound, backend);
                     let t = &mut state.tenants[idx];
                     t.counters.submitted += 1;
                     return match served {
@@ -657,7 +713,14 @@ impl AdmissionControl {
         if state.tenants[idx].spec.policy == OverloadPolicy::ServeStale
             && state.tenants[idx].queue.len() < state.tenants[idx].spec.ingress_capacity
             && self.burn_gate.as_ref().is_some_and(|g| g())
-            && self.serve_stale(tenant, event).is_some()
+            && self
+                .serve_stale(
+                    tenant,
+                    event,
+                    state.tenants[idx].spec.staleness_bound_epochs,
+                    state.tenants[idx].spec.backend.unwrap_or_default(),
+                )
+                .is_some()
         {
             let t = &mut state.tenants[idx];
             t.counters.submitted += 1;
@@ -696,10 +759,12 @@ impl AdmissionControl {
                         return Ok(SubmitOutcome::Dropped);
                     }
                     OverloadPolicy::ServeStale => {
+                        let bound = t.spec.staleness_bound_epochs;
+                        let backend = t.spec.backend.unwrap_or_default();
                         // `t` borrows `state`; release it for the helper and
                         // re-take for the counters.
                         let _ = t;
-                        let served = self.serve_stale(tenant, event);
+                        let served = self.serve_stale(tenant, event, bound, backend);
                         let t = &mut state.tenants[idx];
                         t.counters.submitted += 1;
                         return match served {
@@ -784,6 +849,7 @@ impl AdmissionControl {
                 admitted_at,
                 picked_up_at: admitted_at,
                 deadline: t.spec.deadline,
+                backend: t.spec.backend.unwrap_or_default(),
             },
         });
         t.counters.submitted += 1;
@@ -814,6 +880,7 @@ impl AdmissionControl {
                     admitted_at: now,
                     picked_up_at: now,
                     deadline: t.spec.deadline,
+                    backend: t.spec.backend.unwrap_or_default(),
                 },
             });
             t.counters.submitted += 1;

@@ -242,12 +242,22 @@ impl EmbeddingCache {
     /// staleness bound, `None` otherwise.  The embedding is byte-for-byte
     /// the one inserted (i.e. the one served) at `epoch`.
     pub fn get(&self, v: NodeId) -> Option<(Vec<Float>, u64, u64)> {
+        self.get_bounded(v, None)
+    }
+
+    /// [`Self::get`] under a per-lookup staleness override.  The effective
+    /// bound is `min(bound, global)`: the barrier sweep removes entries past
+    /// the global bound regardless, so an override can only demand *fresher*
+    /// answers, never extend visibility (this is what makes per-tenant
+    /// bounds safe on one shared cache).
+    pub fn get_bounded(&self, v: NodeId, bound: Option<u64>) -> Option<(Vec<Float>, u64, u64)> {
+        let effective = bound.map_or(self.staleness_bound, |b| b.min(self.staleness_bound));
         let watermark = self.committed.load(Ordering::Acquire);
         let s = self.shards[shard_of(v, self.shards.len())].lock().unwrap();
         match s.map.get(&v) {
             Some(entry) => {
                 let age = watermark.saturating_sub(entry.epoch);
-                if age > self.staleness_bound {
+                if age > effective {
                     self.misses.fetch_add(1, Ordering::Relaxed);
                     None
                 } else {
@@ -266,12 +276,26 @@ impl EmbeddingCache {
     /// distinct).  All must hit for a stale answer to be possible; returns
     /// the `(vertex, embedding, epoch)` list in order of first appearance
     /// plus the answer's age — the *maximum* age across the vertices.
+    #[cfg(test)]
     pub(crate) fn get_event(&self, src: NodeId, dst: NodeId) -> Option<CachedEventHit> {
-        let (emb_src, epoch_src, age_src) = self.get(src)?;
+        self.get_event_bounded(src, dst, None)
+    }
+
+    /// Event lookup under a per-lookup staleness override (the per-tenant
+    /// `ServeStale` bound; see [`Self::get_bounded`] for the
+    /// `min(bound, global)` contract).  `None` applies the global bound
+    /// alone.
+    pub(crate) fn get_event_bounded(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        bound: Option<u64>,
+    ) -> Option<CachedEventHit> {
+        let (emb_src, epoch_src, age_src) = self.get_bounded(src, bound)?;
         let mut out = vec![(src, emb_src, epoch_src)];
         let mut age = age_src;
         if dst != src {
-            let (emb_dst, epoch_dst, age_dst) = self.get(dst)?;
+            let (emb_dst, epoch_dst, age_dst) = self.get_bounded(dst, bound)?;
             out.push((dst, emb_dst, epoch_dst));
             age = age.max(age_dst);
         }
@@ -402,6 +426,36 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         // A missing endpoint refuses the whole answer.
         assert!(c.get_event(1, 3).is_none());
+    }
+
+    #[test]
+    fn bounded_lookup_tightens_but_never_extends_the_global_bound() {
+        let c = cache(16, 4, 1);
+        c.insert(1, 1, &[1.0]);
+        c.on_shard_committed(0, 4); // age 3, global bound 4
+        assert!(c.get_bounded(1, None).is_some(), "within global bound");
+        assert!(
+            c.get_bounded(1, Some(2)).is_none(),
+            "tenant bound 2 refuses an age-3 entry"
+        );
+        assert!(
+            c.get_bounded(1, Some(100)).is_some(),
+            "a looser override still answers (clamped to the global bound)"
+        );
+        c.on_shard_committed(0, 6); // age 5 > global 4: swept/refused for all
+        assert!(
+            c.get_bounded(1, Some(100)).is_none(),
+            "override must not see past the global bound"
+        );
+        // get_event_bounded applies the same override to every endpoint.
+        c.insert(2, 6, &[2.0]);
+        c.insert(3, 4, &[3.0]);
+        assert!(c.get_event_bounded(2, 3, Some(2)).is_some(), "ages 0 and 2");
+        c.on_shard_committed(0, 7);
+        assert!(
+            c.get_event_bounded(2, 3, Some(2)).is_none(),
+            "one endpoint past the tenant bound refuses the whole answer"
+        );
     }
 
     #[test]

@@ -89,17 +89,19 @@ pub use admission::{AdmissionCounters, SubmitOutcome, TenantSpec};
 pub use cache::{CacheConfig, CacheStats, EmbeddingCache};
 pub use durability::{DurabilityStats, RecoveryReport};
 pub use metrics::{
-    render_flight_timeline, MetricsHub, MetricsLogger, MetricsSnapshot, SegmentId, SloConfig,
-    SpanRecord, StageId, TraceExemplar, TraceStats,
+    render_flight_timeline, BackendMetrics, MetricsHub, MetricsLogger, MetricsSnapshot, SegmentId,
+    SloConfig, SpanRecord, StageId, TraceExemplar, TraceStats,
 };
 pub use pipeline::{GnnFaultHook, ServedBatch};
 pub use queue::QueueStats;
 pub use server::{
-    CacheReport, LatencySummary, ServeConfig, ServeReport, StaleAgeSummary, StreamServer,
-    SubmitError, TenantStats,
+    BackendStats, CacheReport, LatencySummary, ServeConfig, ServeReport, StaleAgeSummary,
+    StreamServer, SubmitError, TenantStats,
 };
 pub use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
+pub use tgnn_core::{BackendKind, ComputeBackend, F32Backend, Int8Backend};
 pub use tgnn_durable::{wal_fault_hook, DurabilityConfig, DurableError, FsyncPolicy, WalFaultHook};
+pub use tgnn_hwsim::HwSimBackend;
 pub use tgnn_obs::{
     Blame, BurnState, CriticalPath, SloStatus, SpanKind, TraceSegment, TraceView,
     MAX_TRACE_SEGMENTS,

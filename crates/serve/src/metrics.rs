@@ -32,6 +32,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tgnn_core::profiling::{Stage, StageTimings};
+use tgnn_core::BackendKind;
 use tgnn_obs::{
     bucket_index, BurnState, Counter, FlightRecorder, Histogram, SloEngine, SloSpec, SloStatus,
     SpanKind, TraceSlab, TraceView,
@@ -731,6 +732,24 @@ impl MetricsHub {
                 late: tc.late.load(Ordering::Relaxed),
             });
         }
+        let backends: Vec<BackendMetrics> = BackendKind::ALL
+            .into_iter()
+            .filter_map(|k| {
+                let c = &inner.collector.backends[k.code()];
+                let served_batches = c.served_batches.load(Ordering::Relaxed);
+                if served_batches == 0 {
+                    return None;
+                }
+                let modeled = c.modeled_latencies.lock().unwrap();
+                Some(BackendMetrics {
+                    kind: k,
+                    served_batches,
+                    served_events: c.served_events.load(Ordering::Relaxed),
+                    modeled_latency: (!modeled.is_empty())
+                        .then(|| LatencySummary::from_latencies(&modeled)),
+                })
+            })
+            .collect();
         let epochs = inner.next_epoch.load(Ordering::SeqCst);
         let durability = inner.durability.as_ref().map(|d| {
             let stats = d.stats();
@@ -768,6 +787,7 @@ impl MetricsHub {
             batch_latency,
             admission,
             tenants,
+            backends,
             durability,
             cache: inner.cache.as_ref().map(|c| c.stats()),
             flight: FlightStats {
@@ -956,6 +976,23 @@ pub struct TenantMetrics {
     pub late: u64,
 }
 
+/// Per-backend slice of a [`MetricsSnapshot`]: which compute backends are
+/// serving batches and, for modeled backends (hwsim), the distribution of
+/// modeled service latencies.  Only backends that have served at least one
+/// batch appear.
+#[derive(Clone, Debug)]
+pub struct BackendMetrics {
+    /// Which datapath this row describes.
+    pub kind: BackendKind,
+    /// Pipeline-served micro-batches this backend computed.
+    pub served_batches: u64,
+    /// Events inside those batches.
+    pub served_events: u64,
+    /// Modeled service-latency distribution (one sample per served batch);
+    /// `None` for backends that really execute where they are measured.
+    pub modeled_latency: Option<LatencySummary>,
+}
+
 /// Durability slice of a [`MetricsSnapshot`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct DurabilityMetrics {
@@ -1055,6 +1092,9 @@ pub struct MetricsSnapshot {
     pub admission: AdmissionTotals,
     /// Per-tenant admission + completion counters.
     pub tenants: Vec<TenantMetrics>,
+    /// Per-backend serving counters, [`BackendKind::code`] order; empty
+    /// until a backend serves its first batch.
+    pub backends: Vec<BackendMetrics>,
     /// WAL fsync count/latency and snapshot-writer lag; `None` without
     /// durability.
     pub durability: Option<DurabilityMetrics>,
@@ -1150,6 +1190,25 @@ impl MetricsSnapshot {
                     t.served,
                     t.served_stale,
                     t.late
+                ),
+            );
+        }
+        for b in &self.backends {
+            let modeled = match &b.modeled_latency {
+                Some(m) => format!(
+                    "  modeled p50 {:.3} ms  p99 {:.3} ms  max {:.3} ms",
+                    m.p50_ms, m.p99_ms, m.max_ms
+                ),
+                None => String::new(),
+            };
+            push(
+                &mut out,
+                format!(
+                    "backend {:<6} batches {:>8}  events {:>8}{}",
+                    b.kind.label(),
+                    b.served_batches,
+                    b.served_events,
+                    modeled
                 ),
             );
         }
@@ -1349,6 +1408,38 @@ impl MetricsSnapshot {
                 t.name, t.late
             ));
         }
+        if !self.backends.is_empty() {
+            out.push_str("# TYPE tgnn_backend_served_batches_total counter\n");
+            for b in &self.backends {
+                out.push_str(&format!(
+                    "tgnn_backend_served_batches_total{{backend=\"{}\"}} {}\n",
+                    b.kind.label(),
+                    b.served_batches
+                ));
+            }
+            out.push_str("# TYPE tgnn_backend_served_events_total counter\n");
+            for b in &self.backends {
+                out.push_str(&format!(
+                    "tgnn_backend_served_events_total{{backend=\"{}\"}} {}\n",
+                    b.kind.label(),
+                    b.served_events
+                ));
+            }
+            if self.backends.iter().any(|b| b.modeled_latency.is_some()) {
+                out.push_str("# TYPE tgnn_backend_modeled_latency_ms summary\n");
+                for b in &self.backends {
+                    let Some(m) = &b.modeled_latency else {
+                        continue;
+                    };
+                    for (q, v) in [(0.5, m.p50_ms), (0.95, m.p95_ms), (0.99, m.p99_ms)] {
+                        out.push_str(&format!(
+                            "tgnn_backend_modeled_latency_ms{{backend=\"{}\",quantile=\"{q}\"}} {v:.6}\n",
+                            b.kind.label()
+                        ));
+                    }
+                }
+            }
+        }
         if let Some(c) = &self.cache {
             let mut scalar = |name: &str, kind: &str, v: String| {
                 out.push_str(&format!("# TYPE {name} {kind}\n{name} {v}\n"));
@@ -1519,6 +1610,28 @@ impl MetricsSnapshot {
             ));
         }
         s.push(']');
+        if !self.backends.is_empty() {
+            s.push_str(",\"backends\":[");
+            for (i, b) in self.backends.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"backend\":\"{}\",\"batches\":{},\"events\":{}",
+                    b.kind.label(),
+                    b.served_batches,
+                    b.served_events
+                ));
+                if let Some(m) = &b.modeled_latency {
+                    s.push_str(&format!(
+                        ",\"modeled_ms\":{{\"p50\":{:.6},\"p99\":{:.6},\"max\":{:.6}}}",
+                        m.p50_ms, m.p99_ms, m.max_ms
+                    ));
+                }
+                s.push('}');
+            }
+            s.push(']');
+        }
         if let Some(c) = &self.cache {
             s.push_str(&format!(
                 ",\"cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{:.4},\"insertions\":{},\"evictions\":{},\"expired\":{},\"served_stale\":{},\"entries\":{},\"staleness_bound\":{}}}",

@@ -67,7 +67,7 @@ use std::time::{Duration, Instant};
 use tgnn_core::memory::Message;
 use tgnn_core::stages::{run_memory_stage, GnnJobBatch, SampledBatch};
 use tgnn_core::tenancy::{Disposition, ResultMeta, TenantId};
-use tgnn_core::{ShardedMemory, TgnModel};
+use tgnn_core::{BackendKind, ComputeBackend, ShardedMemory, TgnModel, NUM_BACKEND_KINDS};
 use tgnn_graph::chronology::CommitLog;
 use tgnn_graph::sharded::shard_of;
 use tgnn_graph::{
@@ -77,11 +77,15 @@ use tgnn_tensor::{Float, Workspace};
 
 /// A micro-batch sealed by the admission batcher.  `metas` is aligned with
 /// the batch's events and carries each event's tenant/deadline stamp.
+/// Every event in a sealed batch shares one `backend` — the batcher
+/// partitions mixed pendings per backend at seal time, so a batch is the
+/// unit of backend routing.
 #[derive(Debug)]
 pub(crate) struct SealedBatch {
     pub epoch: u64,
     pub batch: EventBatch,
     pub metas: Vec<EventMeta>,
+    pub backend: BackendKind,
     pub sealed_at: Instant,
 }
 
@@ -91,6 +95,7 @@ pub(crate) struct SampledJob {
     pub epoch: u64,
     pub sampled: SampledBatch,
     pub metas: Vec<EventMeta>,
+    pub backend: BackendKind,
     pub sealed_at: Instant,
     /// When the sampler finished — the causal-trace anchor the memory
     /// stage's segment starts from.
@@ -106,6 +111,9 @@ pub(crate) struct GnnBatchHeader {
     pub num_parts: usize,
     pub events: Vec<InteractionEvent>,
     pub metas: Vec<EventMeta>,
+    /// The backend whose dispatch queue this batch's sub-jobs went to; the
+    /// reorder worker stamps it onto every result's `ResultMeta`.
+    pub backend: BackendKind,
     pub sealed_at: Instant,
     /// When the memory stage finished its gather and dispatched the
     /// sub-jobs — the anchor the epoch-level GNN trace segment starts from.
@@ -134,6 +142,11 @@ pub(crate) struct GnnSubResult {
     pub epoch: u64,
     pub part: usize,
     pub embeddings: PartEmbeddings,
+    /// Service latency the backend *models* for this part (hwsim-style
+    /// backends only; `None` for backends that execute where they are
+    /// measured).  The reorder worker takes the max over parts as the
+    /// batch's modeled latency.
+    pub modeled_latency: Option<Duration>,
     /// When the worker finished this part; the reorder worker takes the max
     /// over parts as the end of the epoch-level GNN trace segment.
     pub completed_at: Instant,
@@ -179,6 +192,18 @@ pub struct ServedBatch {
     /// what lets a client (or the bench's identity check) verify a stale
     /// answer against served history.  Empty for pipeline-served batches.
     pub cache_epochs: Vec<u64>,
+    /// The compute backend that served this batch (every event of a sealed
+    /// batch shares one backend; a stale cache answer carries the declared
+    /// backend of the tenant it answers for).  Redundant with each
+    /// `metas[i].backend` — hoisted here so clients need not inspect metas
+    /// to route on it.
+    pub backend: BackendKind,
+    /// Service latency a modeled backend (hwsim) predicted for this batch's
+    /// GNN work on its simulated datapath — the max across the batch's
+    /// sub-jobs, since the parts run in parallel on the modeled hardware
+    /// just as they do on the worker pool.  `None` for backends that really
+    /// execute where they are measured.
+    pub modeled_latency: Option<Duration>,
     /// Seal-to-embeddings pipeline latency (zero for stale batches).
     pub latency: Duration,
     /// Admission time of the batch's causal-trace anchor event (the first
@@ -207,6 +232,17 @@ pub(crate) struct TenantCollector {
     pub latencies: Mutex<Vec<Duration>>,
 }
 
+/// Per-backend completion-side counters fed by the reorder worker: how many
+/// batches/events each compute backend served, and — for modeled backends —
+/// the distribution of modeled service latencies.
+#[derive(Debug, Default)]
+pub(crate) struct BackendCollector {
+    pub served_batches: AtomicU64,
+    pub served_events: AtomicU64,
+    /// Modeled per-batch service latencies (hwsim backends only).
+    pub modeled_latencies: Mutex<Vec<Duration>>,
+}
+
 /// Aggregate counters the reorder (terminal) worker feeds.
 #[derive(Debug)]
 pub(crate) struct Collector {
@@ -217,6 +253,10 @@ pub(crate) struct Collector {
     pub first_submit: Mutex<Option<Instant>>,
     pub last_complete: Mutex<Option<Instant>>,
     pub tenants: Vec<TenantCollector>,
+    /// Indexed by [`BackendKind::code`].  Counts only pipeline-served
+    /// batches — stale cache answers are served by the cache, not a
+    /// backend, and are tracked by the tenant/cache counters instead.
+    pub backends: [BackendCollector; NUM_BACKEND_KINDS],
 }
 
 impl Collector {
@@ -231,6 +271,22 @@ impl Collector {
             tenants: (0..num_tenants)
                 .map(|_| TenantCollector::default())
                 .collect(),
+            backends: Default::default(),
+        }
+    }
+
+    /// Records one pipeline-served batch for its backend.
+    pub fn record_backend_batch(
+        &self,
+        kind: BackendKind,
+        events: usize,
+        modeled: Option<Duration>,
+    ) {
+        let b = &self.backends[kind.code()];
+        b.served_batches.fetch_add(1, Ordering::Relaxed);
+        b.served_events.fetch_add(events as u64, Ordering::Relaxed);
+        if let Some(d) = modeled {
+            b.modeled_latencies.lock().unwrap().push(d);
         }
     }
 
@@ -286,88 +342,120 @@ pub(crate) fn batcher_loop(
     let mut pending: Vec<InteractionEvent> = Vec::new();
     let mut metas: Vec<EventMeta> = Vec::new();
     let mut first_at: Option<Instant> = None;
+    let seal_one =
+        |pending: &mut Vec<InteractionEvent>, metas: &mut Vec<EventMeta>, backend: BackendKind| {
+            let epoch = next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            // The batcher's span covers the seal work (sort + WAL append +
+            // downstream send), not the accumulation wait — idle time is
+            // "waiting for admitted events".
+            let span = obs.enter(epoch);
+            // The weighted-fair merge is only per-tenant chronological, but the
+            // engine consumes each batch as a chronological stream (Algorithm 1),
+            // so restore global order inside the sealed batch.  The sort is
+            // stable, so each tenant's own order survives, and the single-tenant
+            // feed — already sorted — is untouched.
+            if pending.windows(2).any(|w| w[0].timestamp > w[1].timestamp) {
+                let mut items: Vec<(InteractionEvent, EventMeta)> =
+                    pending.drain(..).zip(metas.drain(..)).collect();
+                items.sort_by(|a, b| a.0.timestamp.total_cmp(&b.0.timestamp));
+                for (e, m) in items {
+                    pending.push(e);
+                    metas.push(m);
+                }
+            }
+            // Claim the epoch's causal-trace slot and record the admission-side
+            // segments, anchored on the first event in sealed order (the same
+            // anchor `poll` measures `Total` against).  This runs after the
+            // chronological sort so the anchor is stable from here on.
+            obs.trace_begin(epoch);
+            if let Some(m) = metas.first() {
+                obs.trace_record(
+                    epoch,
+                    SegmentId::IngressWait,
+                    m.picked_up_at.saturating_duration_since(m.admitted_at),
+                );
+            }
+            if let Some(d) = &durability {
+                if let Some(hook) = &d.wal_fault {
+                    if hook(epoch) {
+                        // Crash injection: freeze the WAL first so records still
+                        // in its user-space buffer are lost exactly as a real
+                        // process death would lose them, then die.
+                        d.wal.freeze();
+                        panic!("injected WAL fault at epoch {epoch}");
+                    }
+                }
+                d.wal
+                    .append(&tgnn_durable::WalRecord::Seal {
+                        epoch,
+                        events: pending
+                            .iter()
+                            .zip(metas.iter())
+                            .map(|(e, m)| (m.tenant.0, *e))
+                            .collect(),
+                    })
+                    .expect("batcher: WAL seal append failed");
+                // Group commit: request (don't await) the seal fsync — the
+                // reorder worker holds the epoch until the synced watermark
+                // covers it, so sealing proceeds at compute speed while the
+                // durable-before-delivered contract still holds.
+                d.request_seal_sync(epoch);
+            }
+            let sealed_at = Instant::now();
+            if let Some(m) = metas.first() {
+                obs.trace_record(
+                    epoch,
+                    SegmentId::SealWait,
+                    sealed_at.saturating_duration_since(m.picked_up_at),
+                );
+            }
+            let ok = tx
+                .send(SealedBatch {
+                    epoch,
+                    batch: EventBatch::new(std::mem::take(pending)),
+                    metas: std::mem::take(metas),
+                    backend,
+                    sealed_at,
+                })
+                .is_ok();
+            obs.exit(epoch, span);
+            ok
+        };
+    // Seal everything pending.  A homogeneous pending set (every event on
+    // the same backend — always the case on a single-backend server) seals
+    // as one batch, exactly as before backends existed.  A mixed set seals
+    // one batch per backend kind, in `code()` order (deterministic),
+    // arrival order preserved within each kind — the sealed batch is the
+    // unit of backend routing, so it must be single-backend.  The split
+    // reorders events only *across* tenants (tenants are single-backend),
+    // which the weighted-fair merge already permits.
     let seal = |pending: &mut Vec<InteractionEvent>,
                 metas: &mut Vec<EventMeta>,
                 first_at: &mut Option<Instant>| {
         if pending.is_empty() {
             return true;
         }
-        let epoch = next_epoch.fetch_add(1, Ordering::SeqCst) + 1;
-        // The batcher's span covers the seal work (sort + WAL append +
-        // downstream send), not the accumulation wait — idle time is
-        // "waiting for admitted events".
-        let span = obs.enter(epoch);
         *first_at = None;
-        // The weighted-fair merge is only per-tenant chronological, but the
-        // engine consumes each batch as a chronological stream (Algorithm 1),
-        // so restore global order inside the sealed batch.  The sort is
-        // stable, so each tenant's own order survives, and the single-tenant
-        // feed — already sorted — is untouched.
-        if pending.windows(2).any(|w| w[0].timestamp > w[1].timestamp) {
-            let mut items: Vec<(InteractionEvent, EventMeta)> =
-                pending.drain(..).zip(metas.drain(..)).collect();
-            items.sort_by(|a, b| a.0.timestamp.total_cmp(&b.0.timestamp));
-            for (e, m) in items {
-                pending.push(e);
-                metas.push(m);
-            }
+        let first = metas[0].backend;
+        if metas.iter().all(|m| m.backend == first) {
+            return seal_one(pending, metas, first);
         }
-        // Claim the epoch's causal-trace slot and record the admission-side
-        // segments, anchored on the first event in sealed order (the same
-        // anchor `poll` measures `Total` against).  This runs after the
-        // chronological sort so the anchor is stable from here on.
-        obs.trace_begin(epoch);
-        if let Some(m) = metas.first() {
-            obs.trace_record(
-                epoch,
-                SegmentId::IngressWait,
-                m.picked_up_at.saturating_duration_since(m.admitted_at),
-            );
-        }
-        if let Some(d) = &durability {
-            if let Some(hook) = &d.wal_fault {
-                if hook(epoch) {
-                    // Crash injection: freeze the WAL first so records still
-                    // in its user-space buffer are lost exactly as a real
-                    // process death would lose them, then die.
-                    d.wal.freeze();
-                    panic!("injected WAL fault at epoch {epoch}");
+        let items: Vec<(InteractionEvent, EventMeta)> =
+            pending.drain(..).zip(metas.drain(..)).collect();
+        for kind in BackendKind::ALL {
+            let mut evs = Vec::new();
+            let mut ms = Vec::new();
+            for &(e, m) in &items {
+                if m.backend == kind {
+                    evs.push(e);
+                    ms.push(m);
                 }
             }
-            d.wal
-                .append(&tgnn_durable::WalRecord::Seal {
-                    epoch,
-                    events: pending
-                        .iter()
-                        .zip(metas.iter())
-                        .map(|(e, m)| (m.tenant.0, *e))
-                        .collect(),
-                })
-                .expect("batcher: WAL seal append failed");
-            // Group commit: request (don't await) the seal fsync — the
-            // reorder worker holds the epoch until the synced watermark
-            // covers it, so sealing proceeds at compute speed while the
-            // durable-before-delivered contract still holds.
-            d.request_seal_sync(epoch);
+            if !evs.is_empty() && !seal_one(&mut evs, &mut ms, kind) {
+                return false;
+            }
         }
-        let sealed_at = Instant::now();
-        if let Some(m) = metas.first() {
-            obs.trace_record(
-                epoch,
-                SegmentId::SealWait,
-                sealed_at.saturating_duration_since(m.picked_up_at),
-            );
-        }
-        let ok = tx
-            .send(SealedBatch {
-                epoch,
-                batch: EventBatch::new(std::mem::take(pending)),
-                metas: std::mem::take(metas),
-                sealed_at,
-            })
-            .is_ok();
-        obs.exit(epoch, span);
-        ok
+        true
     };
     loop {
         let received = match first_at {
@@ -424,6 +512,7 @@ pub(crate) fn sampler_loop(
         epoch,
         batch,
         metas,
+        backend,
         sealed_at,
     }) = rx.recv()
     {
@@ -449,6 +538,7 @@ pub(crate) fn sampler_loop(
                 epoch,
                 sampled,
                 metas,
+                backend,
                 sealed_at,
                 sampled_at,
             })
@@ -465,13 +555,17 @@ pub(crate) fn sampler_loop(
 /// write-back job (before the GNN work, so the updater can release epoch `k`
 /// while the GNN stage computes).  The gathered job is split into at most
 /// `gnn_workers` sub-jobs: the batch header goes to the reorder worker (in
-/// epoch order), the sub-jobs onto the shared dispatch queue.
+/// epoch order), the sub-jobs onto the batch's *backend's* dispatch queue —
+/// `tx_gnn` is indexed by [`BackendKind::code`]; a homogeneous server has
+/// exactly one entry populated.  The memory stage itself always runs on the
+/// one shared `model` regardless of backend: the temporal state is a single
+/// trajectory, and only GNN compute is backend-specific.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn memory_loop(
     rx: Receiver<SampledJob>,
     tx_update: Sender<UpdateJob>,
     tx_header: Sender<GnnBatchHeader>,
-    tx_gnn: MpmcSender<GnnSubJob>,
+    tx_gnn: Vec<Option<MpmcSender<GnnSubJob>>>,
     gnn_workers: usize,
     memory: Arc<ShardedMemory>,
     model: Arc<TgnModel>,
@@ -485,6 +579,7 @@ pub(crate) fn memory_loop(
         epoch,
         sampled,
         metas,
+        backend,
         sealed_at,
         sampled_at,
     }) = rx.recv()
@@ -535,6 +630,7 @@ pub(crate) fn memory_loop(
                 num_parts: parts.len(),
                 events,
                 metas,
+                backend,
                 sealed_at,
                 mem_done_at,
             })
@@ -543,8 +639,11 @@ pub(crate) fn memory_loop(
             obs.exit(epoch, span);
             return;
         }
+        let dispatch = tx_gnn[backend.code()]
+            .as_ref()
+            .expect("memory: sealed batch routed to a backend with no dispatch queue");
         for (part, job) in parts.into_iter().enumerate() {
-            if tx_gnn
+            if dispatch
                 .send(GnnSubJob {
                     epoch,
                     part,
@@ -732,14 +831,17 @@ impl Drop for UnwindPoolOnPanic {
     }
 }
 
-/// GNN worker: pure batched compute over owned sub-jobs from the shared
+/// GNN worker: pure batched compute over owned sub-jobs from its backend's
 /// dispatch queue, on a persistent per-worker workspace.  One of `N`
-/// identical workers; work-sharing order does not matter because the reorder
-/// worker restores epoch/part order downstream.
+/// identical workers per backend; work-sharing order does not matter because
+/// the reorder worker restores epoch/part order downstream.  The worker runs
+/// whatever its [`ComputeBackend`] executes — f32 kernels, int8 kernels, or
+/// f32 kernels plus a modeled latency (hwsim) — and every backend's results
+/// funnel into the one shared sub-result queue.
 pub(crate) fn gnn_worker_loop(
     rx: MpmcReceiver<GnnSubJob>,
     tx: MpmcSender<GnnSubResult>,
-    model: Arc<TgnModel>,
+    backend: Arc<dyn ComputeBackend>,
     fault: Option<GnnFaultHook>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
@@ -780,7 +882,7 @@ pub(crate) fn gnn_worker_loop(
                 started.saturating_duration_since(dispatched_at),
             );
         }
-        let embeddings = job.run(&model, &mut ws);
+        let out = backend.run_gnn(&job, &mut ws);
         let completed_at = Instant::now();
         if part < crate::metrics::GNN_SUB_TRACE_PARTS {
             obs.trace_record(
@@ -793,7 +895,8 @@ pub(crate) fn gnn_worker_loop(
             .send(GnnSubResult {
                 epoch,
                 part,
-                embeddings,
+                embeddings: out.embeddings,
+                modeled_latency: out.modeled_latency,
                 completed_at,
             })
             .is_ok();
@@ -821,12 +924,14 @@ pub(crate) fn reorder_loop(
     obs: StageObs,
     latency_us: tgnn_obs::Histogram,
 ) {
-    let mut stash: HashMap<(u64, usize), (PartEmbeddings, Instant)> = HashMap::new();
+    let mut stash: HashMap<(u64, usize), (PartEmbeddings, Option<Duration>, Instant)> =
+        HashMap::new();
     while let Some(GnnBatchHeader {
         epoch,
         num_parts,
         events,
         metas,
+        backend,
         sealed_at,
         mem_done_at,
     }) = rx_header.recv()
@@ -838,9 +943,19 @@ pub(crate) fn reorder_loop(
         // segment; everything after it (until the batch is committed
         // downstream) is the reorder barrier.
         let mut last_done: Option<Instant> = None;
+        // A modeled backend predicts per-part service latencies; the batch's
+        // modeled latency is the max over parts (they run in parallel on the
+        // modeled hardware just as on the pool).
+        let mut modeled_latency: Option<Duration> = None;
+        let note_modeled = |m: Option<Duration>, acc: &mut Option<Duration>| {
+            if let Some(d) = m {
+                *acc = Some(acc.map_or(d, |a| a.max(d)));
+            }
+        };
         for (p, slot) in parts.iter_mut().enumerate() {
-            if let Some((r, done)) = stash.remove(&(epoch, p)) {
+            if let Some((r, modeled, done)) = stash.remove(&(epoch, p)) {
                 *slot = Some(r);
+                note_modeled(modeled, &mut modeled_latency);
                 last_done = Some(last_done.map_or(done, |t| t.max(done)));
                 have += 1;
             }
@@ -851,15 +966,17 @@ pub(crate) fn reorder_loop(
                     epoch: e,
                     part,
                     embeddings,
+                    modeled_latency: modeled,
                     completed_at,
                 }) => {
                     if e == epoch {
                         debug_assert!(parts[part].is_none(), "duplicate sub-result");
                         parts[part] = Some(embeddings);
+                        note_modeled(modeled, &mut modeled_latency);
                         last_done = Some(last_done.map_or(completed_at, |t| t.max(completed_at)));
                         have += 1;
                     } else {
-                        stash.insert((e, part), (embeddings, completed_at));
+                        stash.insert((e, part), (embeddings, modeled, completed_at));
                     }
                 }
                 // The worker pool is gone with this batch incomplete — a
@@ -883,6 +1000,7 @@ pub(crate) fn reorder_loop(
         }
         let latency = sealed_at.elapsed();
         collector.record_batch(events.len(), embeddings.len(), latency);
+        collector.record_backend_batch(backend, events.len(), modeled_latency);
         if obs.enabled() {
             latency_us.record(latency.as_micros() as u64);
         }
@@ -904,6 +1022,7 @@ pub(crate) fn reorder_loop(
                     } else {
                         Disposition::OnTime
                     },
+                    backend,
                     trace_id: epoch,
                 }
             })
@@ -927,6 +1046,8 @@ pub(crate) fn reorder_loop(
                 metas,
                 embeddings,
                 cache_epochs: Vec::new(),
+                backend,
+                modeled_latency,
                 latency,
                 admitted_at: admitted_at.unwrap_or(reordered_at),
                 reordered_at,

@@ -13,7 +13,7 @@ use crate::pipeline::{
     GnnBatchHeader, GnnFaultHook, GnnSubJob, GnnSubResult, SampledJob, SealedBatch, ServedBatch,
     UpdateJob,
 };
-use crate::queue::{channel, mpmc_channel, QueueStats, Receiver};
+use crate::queue::{channel, mpmc_channel, MpmcReceiver, MpmcSender, QueueStats, Receiver};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -22,13 +22,17 @@ use std::time::{Duration, Instant};
 use tgnn_core::profiling::StageTimings;
 use tgnn_core::stages::{GnnJobBatch, SampledBatch};
 use tgnn_core::tenancy::{Disposition, OverloadPolicy, ResultMeta, TenantId};
-use tgnn_core::{ShardedMemory, TgnModel};
+use tgnn_core::{
+    BackendKind, ComputeBackend, F32Backend, Int8Backend, ShardedMemory, TgnModel,
+    NUM_BACKEND_KINDS,
+};
 use tgnn_durable::{
     list_snapshots, load_snapshot, plan_recovery, read_wal, repair_torn_tail, DurabilityConfig,
     DurableError,
 };
 use tgnn_graph::chronology::CommitLog;
 use tgnn_graph::{EventBatch, InteractionEvent, ShardedNeighborTable, TemporalGraph, Timestamp};
+use tgnn_hwsim::{DdrModel, DesignConfig, HwSimBackend};
 use tgnn_tensor::Workspace;
 
 /// Tuning knobs of the streaming pipeline.
@@ -116,6 +120,13 @@ pub struct ServeConfig {
     /// runs no SLO engine.  SLO accounting is independent of `metrics` —
     /// the engine is a handful of relaxed atomics per submit/delivery.
     pub slo: Option<crate::metrics::SloConfig>,
+    /// Design point of the hwsim-modeled FPGA backend, used whenever some
+    /// tenant routes to [`BackendKind::HwSim`] (see [`TenantSpec::backend`]).
+    /// `None` (the default) models the paper's Alveo U200 design over its
+    /// measured 77 GB/s DDR bandwidth; set it to time simulated tenants on a
+    /// different configuration (e.g. an int8 datapath).  Ignored when no
+    /// tenant asks for `hwsim`.
+    pub hwsim_design: Option<DesignConfig>,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +147,7 @@ impl Default for ServeConfig {
             flight_capacity: 4096,
             metrics_sampling: 64,
             slo: None,
+            hwsim_design: None,
         }
     }
 }
@@ -158,6 +170,7 @@ impl std::fmt::Debug for ServeConfig {
             .field("flight_capacity", &self.flight_capacity)
             .field("metrics_sampling", &self.metrics_sampling)
             .field("slo", &self.slo)
+            .field("hwsim_design", &self.hwsim_design)
             .finish()
     }
 }
@@ -180,7 +193,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_latencies(latencies: &[Duration]) -> Self {
+    pub(crate) fn from_latencies(latencies: &[Duration]) -> Self {
         if latencies.is_empty() {
             return Self::default();
         }
@@ -210,6 +223,10 @@ pub struct TenantStats {
     pub weight: u32,
     /// Overload policy the tenant ran with.
     pub policy: OverloadPolicy,
+    /// Compute backend the tenant's batches were routed to — the resolved
+    /// value of [`TenantSpec::backend`] (every spec is resolved at build
+    /// time, so undeclared tenants show the server's passthrough kind).
+    pub backend: BackendKind,
     /// Admission-side counters (submitted / admitted / drops by kind /
     /// blocked submits / max ingress depth), snapshotted whole from the
     /// admission layer — see [`AdmissionCounters`] for each field's
@@ -246,6 +263,24 @@ impl TenantStats {
             self.dropped() as f64 / self.counters.submitted as f64
         }
     }
+}
+
+/// Per-backend slice of the serve report: how many pipeline-served batches
+/// each prepared compute backend answered and, for modeled backends
+/// (hwsim), the distribution of modeled service latencies.  Stale cache
+/// answers are served by the cache, not a backend, and are excluded.
+#[derive(Clone, Debug)]
+pub struct BackendStats {
+    /// Which datapath this row describes.
+    pub kind: BackendKind,
+    /// Pipeline-served micro-batches this backend computed.
+    pub served_batches: u64,
+    /// Events inside those batches.
+    pub served_events: u64,
+    /// Modeled service-latency distribution (one sample per served batch,
+    /// the max across the batch's sub-jobs); `None` for backends that
+    /// really execute where they are measured (f32, int8).
+    pub modeled_latency: Option<LatencySummary>,
 }
 
 /// Nearest-rank percentiles over the ages (in epoch barriers) of the
@@ -326,6 +361,10 @@ pub struct ServeReport {
     /// Per-tenant admission/completion statistics, indexed by
     /// [`TenantId::index`].  Single-tenant sessions have one "default" row.
     pub tenants: Vec<TenantStats>,
+    /// Per-backend serving statistics, one row per prepared compute backend
+    /// (in [`BackendKind::code`] order).  A passthrough session has exactly
+    /// one row.
+    pub backends: Vec<BackendStats>,
     /// Vertex-state commits recorded.
     pub commits: usize,
     /// True when no chronological-order violation was observed — the
@@ -412,7 +451,18 @@ pub struct StreamServer {
     stale_out: Option<Arc<Mutex<VecDeque<ServedBatch>>>>,
     memory: Arc<ShardedMemory>,
     table: Arc<ShardedNeighborTable>,
+    /// The shared stage model: sampling/memory/update run on it, and it is
+    /// the single state trajectory every backend serves from.  Passthrough
+    /// sessions keep the base model as-is (including an attached int8
+    /// weight set); heterogeneous sessions pin it to f32.
     model: Arc<TgnModel>,
+    /// Prepared compute backends, indexed by [`BackendKind::code`]; `None`
+    /// for kinds no tenant routes to.  Recovery replays sealed epochs
+    /// through these — the same per-tenant routing the live pipeline runs.
+    backends: Vec<Option<Arc<dyn ComputeBackend>>>,
+    /// Resolved backend kind per tenant index — what `build` wrote back
+    /// into the tenant specs before admission started.
+    tenant_backends: Vec<BackendKind>,
     graph: Arc<TemporalGraph>,
     commit_log: Arc<Mutex<CommitLog>>,
     collector: Arc<Collector>,
@@ -475,11 +525,31 @@ impl StreamServer {
         let num_nodes = graph.num_nodes();
         let num_shards = config.num_shards;
         let gnn_workers = config.gnn_workers;
-        let tenants = if config.tenants.is_empty() {
+        let mut tenants = if config.tenants.is_empty() {
             vec![TenantSpec::new("default").with_capacity(config.admission_capacity)]
         } else {
             config.tenants.clone()
         };
+        // Resolve every tenant's compute backend up front.  With no
+        // declarations the server is a single-backend passthrough — the
+        // base model serves as-is (on its int8 weight set when one is
+        // attached), bit-identical to the pre-backend pipeline.  Once any
+        // tenant declares a backend the GNN stage goes heterogeneous, and
+        // undeclared tenants resolve to the same passthrough kind they
+        // would have had alone.
+        let heterogeneous = tenants.iter().any(|t| t.backend.is_some());
+        let passthrough_kind = if model.is_quantized() {
+            BackendKind::Int8
+        } else {
+            BackendKind::F32
+        };
+        for t in &mut tenants {
+            if t.backend.is_none() {
+                t.backend = Some(passthrough_kind);
+            }
+        }
+        let tenant_backends: Vec<BackendKind> =
+            tenants.iter().map(|t| t.backend.unwrap()).collect();
         let num_tenants = tenants.len();
         let durability = config.durability.as_ref().map(|dcfg| {
             Arc::new(
@@ -525,6 +595,43 @@ impl StreamServer {
                 .with_burn_gate(burn_gate),
         );
         let model = Arc::new(model);
+        // One prepared backend per kind any tenant routes to.  `F32Backend`
+        // pins a detached-f32 weight set, `Int8Backend` requires (and
+        // keeps) the attached int8 set, `HwSimBackend` computes f32 and
+        // models its latency on the configured design point.
+        let mut backends: Vec<Option<Arc<dyn ComputeBackend>>> =
+            (0..NUM_BACKEND_KINDS).map(|_| None).collect();
+        for kind in tenant_backends.iter().copied() {
+            if backends[kind.code()].is_some() {
+                continue;
+            }
+            backends[kind.code()] = Some(match kind {
+                BackendKind::F32 => Arc::new(F32Backend::new(&model)) as Arc<dyn ComputeBackend>,
+                BackendKind::Int8 => Arc::new(Int8Backend::new(&model)),
+                BackendKind::HwSim => Arc::new(HwSimBackend::new(
+                    &model,
+                    config
+                        .hwsim_design
+                        .clone()
+                        .unwrap_or_else(DesignConfig::u200),
+                    DdrModel::new_gbps(77.0),
+                )),
+            });
+        }
+        let num_backends = backends.iter().flatten().count();
+        // The sampling/memory/update stages run once on one shared model —
+        // a single temporal-state trajectory regardless of who computes
+        // embeddings.  A heterogeneous session pins that model to f32
+        // (quantized weights detached) so the trajectory is
+        // backend-independent; a passthrough session keeps the base model
+        // as-is, preserving the fully-quantized serve path bit for bit.
+        let stage_model = if heterogeneous {
+            let mut m = (*model).clone();
+            m.detach_quantized();
+            Arc::new(m)
+        } else {
+            model.clone()
+        };
         let memory = Arc::new(ShardedMemory::for_config(
             num_nodes,
             &model.config,
@@ -549,15 +656,36 @@ impl StreamServer {
             channel::<GnnBatchHeader>("memory→reorder", config.stage_capacity);
         // The dispatch/result queues carry per-part items (up to gnn_workers
         // per batch), so they scale with the pool size to keep the same
-        // number of batches in flight as the other stage queues.
-        let (gnn_tx, gnn_rx) =
-            mpmc_channel::<GnnSubJob>("memory→gnn", config.stage_capacity * gnn_workers);
+        // number of batches in flight as the other stage queues.  One
+        // dispatch queue per prepared backend: the memory worker routes each
+        // sealed batch's sub-jobs to its backend's queue.
+        let mut gnn_txs: Vec<Option<MpmcSender<GnnSubJob>>> =
+            (0..NUM_BACKEND_KINDS).map(|_| None).collect();
+        let mut gnn_rxs: Vec<Option<MpmcReceiver<GnnSubJob>>> =
+            (0..NUM_BACKEND_KINDS).map(|_| None).collect();
+        for kind in BackendKind::ALL {
+            if backends[kind.code()].is_none() {
+                continue;
+            }
+            let name: &'static str = if num_backends == 1 {
+                "memory→gnn"
+            } else {
+                match kind {
+                    BackendKind::F32 => "memory→gnn[f32]",
+                    BackendKind::Int8 => "memory→gnn[int8]",
+                    BackendKind::HwSim => "memory→gnn[hwsim]",
+                }
+            };
+            let (tx, rx) = mpmc_channel::<GnnSubJob>(name, config.stage_capacity * gnn_workers);
+            gnn_txs[kind.code()] = Some(tx);
+            gnn_rxs[kind.code()] = Some(rx);
+        }
         let (parts_tx, parts_rx) =
             mpmc_channel::<GnnSubResult>("gnn→reorder", config.stage_capacity * gnn_workers);
         let (results_tx, results_rx) =
             channel::<ServedBatch>("reorder→results", config.results_capacity);
 
-        let queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send + Sync>> = vec![
+        let mut queue_stats: Vec<Box<dyn Fn() -> QueueStats + Send + Sync>> = vec![
             {
                 let m = submit_tx.monitor();
                 Box::new(move || m.stats())
@@ -578,19 +706,19 @@ impl StreamServer {
                 let m = header_tx.monitor();
                 Box::new(move || m.stats())
             },
-            {
-                let m = gnn_tx.monitor();
-                Box::new(move || m.stats())
-            },
-            {
-                let m = parts_tx.monitor();
-                Box::new(move || m.stats())
-            },
-            {
-                let m = results_tx.monitor();
-                Box::new(move || m.stats())
-            },
         ];
+        for tx in gnn_txs.iter().flatten() {
+            let m = tx.monitor();
+            queue_stats.push(Box::new(move || m.stats()));
+        }
+        queue_stats.push({
+            let m = parts_tx.monitor();
+            Box::new(move || m.stats())
+        });
+        queue_stats.push({
+            let m = results_tx.monitor();
+            Box::new(move || m.stats())
+        });
 
         // The metrics hub must exist before any worker spawns: every worker
         // carries its `StageObs` handle from birth, and the durability
@@ -604,7 +732,7 @@ impl StreamServer {
             durability: durability.clone(),
             cache: cache.clone(),
             next_epoch: next_epoch.clone(),
-            gnn_workers,
+            gnn_workers: gnn_workers * num_backends,
             metrics_sampling: config.metrics_sampling,
             slo_engine,
         });
@@ -612,7 +740,7 @@ impl StreamServer {
             d.set_obs(hub.durability_obs());
         }
 
-        let mut workers = Vec::with_capacity(6 + gnn_workers);
+        let mut workers = Vec::with_capacity(6 + gnn_workers * num_backends);
         {
             let admission = admission.clone();
             let obs = hub.stage_obs(StageId::Scheduler, 0);
@@ -641,14 +769,15 @@ impl StreamServer {
             }));
         }
         {
-            let (memory, model, graph) = (memory.clone(), model.clone(), graph.clone());
+            let (memory, model, graph) = (memory.clone(), stage_model.clone(), graph.clone());
+            let tx_gnn = gnn_txs;
             let obs = hub.stage_obs(StageId::Memory, 0);
             workers.push(spawn("tgnn-serve-memory", move || {
                 memory_loop(
                     sampled_rx,
                     update_tx,
                     header_tx,
-                    gnn_tx,
+                    tx_gnn,
                     gnn_workers,
                     memory,
                     model,
@@ -666,19 +795,36 @@ impl StreamServer {
                 update_loop(update_rx, memory, table, log, durability, cache, obs)
             }));
         }
-        for i in 0..gnn_workers {
-            let rx = gnn_rx.clone();
-            let tx = parts_tx.clone();
-            let (model, memory, table) = (model.clone(), memory.clone(), table.clone());
-            let fault = config.gnn_fault.clone();
-            let obs = hub.stage_obs(StageId::Gnn, i as u16);
-            workers.push(spawn(&format!("tgnn-serve-gnn-{i}"), move || {
-                gnn_worker_loop(rx, tx, model, fault, memory, table, obs)
-            }));
+        // One pool of `gnn_workers` compute workers per prepared backend,
+        // each pool draining its backend's dispatch queue and feeding the
+        // one shared parts queue the reorder worker consumes.
+        for (pool, kind) in BackendKind::ALL
+            .into_iter()
+            .filter(|k| backends[k.code()].is_some())
+            .enumerate()
+        {
+            for i in 0..gnn_workers {
+                let rx = gnn_rxs[kind.code()].as_ref().expect("queue exists").clone();
+                let tx = parts_tx.clone();
+                let backend = backends[kind.code()].as_ref().expect("built above").clone();
+                let (memory, table) = (memory.clone(), table.clone());
+                let fault = config.gnn_fault.clone();
+                let worker = pool * gnn_workers + i;
+                let obs = hub.stage_obs(StageId::Gnn, worker as u16);
+                let name = if num_backends == 1 {
+                    format!("tgnn-serve-gnn-{i}")
+                } else {
+                    format!("tgnn-serve-gnn-{}-{i}", kind.label())
+                };
+                workers.push(spawn(&name, move || {
+                    gnn_worker_loop(rx, tx, backend, fault, memory, table, obs)
+                }));
+            }
         }
-        // The originals were cloned into the pool; drop them so the dispatch
-        // and result channels close exactly when the last worker exits.
-        drop(gnn_rx);
+        // The originals were cloned into the pools; drop them so the
+        // dispatch and result channels close exactly when the last worker
+        // exits.
+        drop(gnn_rxs);
         drop(parts_tx);
         {
             let collector = collector.clone();
@@ -712,7 +858,9 @@ impl StreamServer {
             stale_out,
             memory,
             table,
-            model,
+            model: stage_model,
+            backends,
+            tenant_backends,
             graph,
             commit_log,
             collector,
@@ -898,8 +1046,22 @@ impl StreamServer {
             replayed_epochs += 1;
             if let Some(job) = job {
                 // Sealed but never delivered: recompute the embeddings and
-                // queue the batch for `poll`, ahead of anything new.
-                let embeddings = job.run(&server.model, &mut ws);
+                // queue the batch for `poll`, ahead of anything new.  The
+                // job replays on the same backend that would have served it
+                // live — sealed batches are backend-homogeneous by
+                // construction, so the first event's tenant decides.
+                let kind = sealed
+                    .events
+                    .first()
+                    .and_then(|(t, _)| server.tenant_backends.get(*t as usize))
+                    .copied()
+                    .unwrap_or_default();
+                let be = server.backends[kind.code()]
+                    .as_ref()
+                    .expect("recover: every resolved tenant backend is prepared")
+                    .clone();
+                let out = be.run_gnn(&job, &mut ws);
+                let embeddings = out.embeddings;
                 // Seed the cache from the re-served epochs — these are
                 // bit-identical to what the crashed server computed, and the
                 // pre-raised watermark ages them correctly (entries already
@@ -915,6 +1077,7 @@ impl StreamServer {
                     .map(|(t, _)| ResultMeta {
                         tenant: TenantId(*t),
                         disposition: Disposition::OnTime,
+                        backend: kind,
                         // Re-served epochs never ran this session's
                         // pipeline: no trace.
                         trace_id: 0,
@@ -923,6 +1086,9 @@ impl StreamServer {
                 server
                     .collector
                     .record_batch(events.len(), embeddings.len(), Duration::ZERO);
+                server
+                    .collector
+                    .record_backend_batch(kind, events.len(), out.modeled_latency);
                 for (t, _) in &sealed.events {
                     server
                         .collector
@@ -934,6 +1100,8 @@ impl StreamServer {
                     events,
                     metas,
                     embeddings,
+                    backend: kind,
+                    modeled_latency: out.modeled_latency,
                     cache_epochs: Vec::new(),
                     latency: Duration::ZERO,
                     admitted_at: now,
@@ -1220,6 +1388,7 @@ impl StreamServer {
                     name: spec.name,
                     weight: spec.weight,
                     policy: spec.policy,
+                    backend: spec.backend.unwrap_or_default(),
                     counters,
                     served,
                     late: tc.late.load(Ordering::Relaxed),
@@ -1230,6 +1399,21 @@ impl StreamServer {
                     } else {
                         served as f64 / total_time.as_secs_f64()
                     },
+                }
+            })
+            .collect();
+        let backends: Vec<BackendStats> = BackendKind::ALL
+            .into_iter()
+            .filter(|k| self.backends[k.code()].is_some())
+            .map(|k| {
+                let c = &self.collector.backends[k.code()];
+                let modeled = c.modeled_latencies.lock().unwrap();
+                BackendStats {
+                    kind: k,
+                    served_batches: c.served_batches.load(Ordering::Relaxed),
+                    served_events: c.served_events.load(Ordering::Relaxed),
+                    modeled_latency: (!modeled.is_empty())
+                        .then(|| LatencySummary::from_latencies(&modeled)),
                 }
             })
             .collect();
@@ -1253,6 +1437,7 @@ impl StreamServer {
             queues,
             backpressure_blocks,
             tenants,
+            backends,
             commits: log.commits(),
             commit_log_clean: log.is_clean(),
             num_shards: self.num_shards,
